@@ -1,0 +1,298 @@
+(* Command-line front end: fault analysis, BR search, stress
+   optimization, Table-1 generation, Shmoo plots and march-coverage
+   comparisons on the electrical DRAM column model. *)
+
+module S = Dramstress_dram.Stress
+module D = Dramstress_defect.Defect
+module O = Dramstress_dram.Ops
+module C = Dramstress_core
+module M = Dramstress_march
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let defect_kind_conv =
+  let parse s =
+    match D.find_entry s with
+    | Some e -> Ok e.D.kind
+    | None -> Error (`Msg ("unknown defect id: " ^ s ^ " (use O1..O3, Sg, Sv, B1, B2)"))
+  in
+  let print ppf k = D.pp_kind ppf k in
+  Arg.conv (parse, print)
+
+let placement_conv =
+  let parse = function
+    | "true" | "t" -> Ok D.True_bl
+    | "comp" | "c" -> Ok D.Comp_bl
+    | s -> Error (`Msg ("placement must be true|comp, got " ^ s))
+  in
+  Arg.conv (parse, D.pp_placement)
+
+let kind_arg =
+  Arg.(value & opt defect_kind_conv (D.Open_cell D.At_bitline_contact)
+       & info [ "d"; "defect" ] ~docv:"ID" ~doc:"Defect to analyse (O1..O3, Sg, Sv, B1, B2).")
+
+let placement_arg =
+  Arg.(value & opt placement_conv D.True_bl
+       & info [ "p"; "placement" ] ~docv:"SIDE" ~doc:"Bit-line placement: true or comp.")
+
+let r_arg =
+  Arg.(value & opt float 200e3
+       & info [ "r"; "resistance" ] ~docv:"OHM" ~doc:"Defect resistance in ohm.")
+
+let tcyc_arg =
+  Arg.(value & opt float 60e-9 & info [ "tcyc" ] ~docv:"S" ~doc:"Cycle time, seconds.")
+
+let vdd_arg =
+  Arg.(value & opt float 2.4 & info [ "vdd" ] ~docv:"V" ~doc:"Supply voltage.")
+
+let temp_arg =
+  Arg.(value & opt float 27.0 & info [ "temp" ] ~docv:"C" ~doc:"Temperature, Celsius.")
+
+let duty_arg =
+  Arg.(value & opt float 0.5 & info [ "duty" ] ~docv:"F" ~doc:"Clock duty cycle.")
+
+let stress_of tcyc vdd temp duty = { S.tcyc; vdd; temp_c = temp; duty }
+
+(* ------------------------------------------------------------------ *)
+(* run: execute an operation sequence                                  *)
+(* ------------------------------------------------------------------ *)
+
+let run_cmd =
+  let seq_arg =
+    Arg.(value & pos 0 string "w1 w1 w0 r"
+         & info [] ~docv:"SEQ" ~doc:"Operation sequence, e.g. 'w1 w1 w0 r' or 'w0 p1e-3 r'.")
+  in
+  let vc_arg =
+    Arg.(value & opt float 0.0 & info [ "vc" ] ~docv:"V" ~doc:"Initial cell voltage.")
+  in
+  let run seq kind placement r vc tcyc vdd temp duty =
+    let stress = stress_of tcyc vdd temp duty in
+    let defect = D.v kind placement r in
+    let ops = O.parse_seq seq in
+    let outcome = O.run ~stress ~defect ~vc_init:vc ops in
+    Format.printf "defect: %a@.stress: %a@." D.pp defect S.pp stress;
+    List.iter
+      (fun res ->
+        Format.printf "  %-6s vc_end=%6.3f V%s@."
+          (Format.asprintf "%a" O.pp_op res.O.op)
+          res.O.vc_end
+          (match res.O.sensed with
+          | Some b -> Printf.sprintf "  sensed=%d" b
+          | None -> ""))
+      outcome.O.results
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run an operation sequence on a defective column")
+    Term.(const run $ seq_arg $ kind_arg $ placement_arg $ r_arg $ vc_arg
+          $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
+
+(* ------------------------------------------------------------------ *)
+(* plane: figure 2 / figure 6                                          *)
+(* ------------------------------------------------------------------ *)
+
+let plane_cmd =
+  let run kind placement tcyc vdd temp duty =
+    let stress = stress_of tcyc vdd temp duty in
+    print_string (C.Report.figure2 ~stress ~kind ~placement ())
+  in
+  Cmd.v (Cmd.info "plane" ~doc:"Generate the w0/w1/r result planes (Figures 2 and 6)")
+    Term.(const run $ kind_arg $ placement_arg $ tcyc_arg $ vdd_arg
+          $ temp_arg $ duty_arg)
+
+(* ------------------------------------------------------------------ *)
+(* br: border resistance                                               *)
+(* ------------------------------------------------------------------ *)
+
+let br_cmd =
+  let cond_arg =
+    Arg.(value & opt (some string) None
+         & info [ "condition" ] ~docv:"SEQ"
+             ~doc:"Detection condition, e.g. 'w1 w1 w0 r0'; reads carry \
+                   their expected bit. Default: synthesized best.")
+  in
+  let run kind placement cond tcyc vdd temp duty =
+    let stress = stress_of tcyc vdd temp duty in
+    match cond with
+    | Some s ->
+      let steps =
+        List.map
+          (fun tok ->
+            match String.lowercase_ascii tok with
+            | "w0" -> C.Detection.Write 0
+            | "w1" -> C.Detection.Write 1
+            | "r0" -> C.Detection.Read 0
+            | "r1" -> C.Detection.Read 1
+            | t when String.length t > 1 && t.[0] = 'p' ->
+              C.Detection.Wait (float_of_string (String.sub t 1 (String.length t - 1)))
+            | t -> failwith ("bad detection token: " ^ t))
+          (String.split_on_char ' ' s |> List.filter (( <> ) ""))
+      in
+      let detection = C.Detection.v steps in
+      let br = C.Border.search ~stress ~kind ~placement detection in
+      Format.printf "%a under %a: %a@." C.Detection.pp detection S.pp stress
+        C.Border.pp_result br
+    | None ->
+      let detection, br =
+        C.Sc_eval.best_detection ~stress ~kind ~placement ()
+      in
+      Format.printf "best detection %a under %a: %a@." C.Detection.pp
+        detection S.pp stress C.Border.pp_result br
+  in
+  Cmd.v (Cmd.info "br" ~doc:"Search the border resistance of a defect")
+    Term.(const run $ kind_arg $ placement_arg $ cond_arg $ tcyc_arg
+          $ vdd_arg $ temp_arg $ duty_arg)
+
+(* ------------------------------------------------------------------ *)
+(* stress: full optimization for one defect                            *)
+(* ------------------------------------------------------------------ *)
+
+let stress_cmd =
+  let run kind placement tcyc vdd temp duty =
+    let nominal = stress_of tcyc vdd temp duty in
+    let e = C.Sc_eval.evaluate ~nominal ~kind ~placement () in
+    Format.printf "%a@." C.Sc_eval.pp e
+  in
+  Cmd.v (Cmd.info "stress" ~doc:"Optimize the stress combination for one defect (Section 4)")
+    Term.(const run $ kind_arg $ placement_arg $ tcyc_arg $ vdd_arg
+          $ temp_arg $ duty_arg)
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1_cmd =
+  let quick_arg =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"One open representative instead of O1..O3.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write CSV to FILE.")
+  in
+  let run quick csv =
+    let entries =
+      if quick then
+        List.filter (fun (e : D.entry) -> e.D.id <> "O2" && e.D.id <> "O3")
+          D.catalog
+      else D.catalog
+    in
+    let table = C.Table1.generate ~entries () in
+    print_string (C.Table1.render table);
+    Option.iter
+      (fun file -> Dramstress_util.Csvout.write_file file (C.Table1.to_csv table))
+      csv
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 over the defect catalog")
+    Term.(const run $ quick_arg $ csv_arg)
+
+(* ------------------------------------------------------------------ *)
+(* shmoo                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let shmoo_cmd =
+  let run kind placement r =
+    let stress = S.nominal in
+    let defect = D.v kind placement r in
+    let detection =
+      C.Detection.standard ~victim:(D.logical_victim kind placement) ~primes:2
+    in
+    let shmoo =
+      M.Shmoo.generate ~stress ~defect ~detection
+        ~x:(S.Cycle_time, Dramstress_util.Grid.linspace 45e-9 75e-9 13)
+        ~y:(S.Supply_voltage, Dramstress_util.Grid.linspace 1.8 3.0 9)
+        ()
+    in
+    print_string (M.Shmoo.render shmoo);
+    Printf.printf "fail fraction: %.2f\n" (M.Shmoo.fail_fraction shmoo)
+  in
+  Cmd.v (Cmd.info "shmoo" ~doc:"Traditional Shmoo plot (Section 2) for a defect")
+    Term.(const run $ kind_arg $ placement_arg $ r_arg)
+
+(* ------------------------------------------------------------------ *)
+(* march                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let march_cmd =
+  let run kind placement =
+    let stress = S.nominal in
+    let cases =
+      M.Coverage.standard_faults
+      @ M.Coverage.electrical_faults ~stress ~kind ~placement ()
+    in
+    let detection, _ = C.Sc_eval.best_detection ~stress ~kind ~placement () in
+    let tests =
+      [ M.March.mats_plus; M.March.march_x; M.March.march_y;
+        M.March.march_c_minus;
+        M.March.of_detection ~name:"synthesized" detection ]
+    in
+    print_string (M.Coverage.render (M.Coverage.compare_tests tests cases))
+  in
+  Cmd.v (Cmd.info "march" ~doc:"Fault coverage of standard march tests vs the synthesized condition")
+    Term.(const run $ kind_arg $ placement_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sim: transient on a SPICE deck                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sim_cmd =
+  let deck_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"DECK" ~doc:"SPICE deck file.")
+  in
+  let tstop_arg =
+    Arg.(value & opt float 100e-9 & info [ "tstop" ] ~docv:"S" ~doc:"Stop time.")
+  in
+  let dt_arg =
+    Arg.(value & opt float 0.1e-9 & info [ "dt" ] ~docv:"S" ~doc:"Time step.")
+  in
+  let probes_arg =
+    Arg.(non_empty & opt (list string) []
+         & info [ "probe" ] ~docv:"NODES" ~doc:"Comma-separated node names to record.")
+  in
+  let ic_arg =
+    Arg.(value & opt_all (pair ~sep:'=' string float) []
+         & info [ "ic" ] ~docv:"NODE=V" ~doc:"Initial condition (repeatable).")
+  in
+  let run deck tstop dt probes ics =
+    let nl = Dramstress_circuit.Spice.parse_file deck in
+    let compiled = Dramstress_circuit.Netlist.compile nl in
+    let result =
+      Dramstress_engine.Transient.run compiled
+        ~segments:[ (tstop, dt) ]
+        ~ics ~probes ()
+    in
+    let rows =
+      Array.to_list
+        (Array.mapi
+           (fun k t ->
+             t
+             :: Array.to_list
+                  (Array.map
+                     (fun vs -> vs.(k))
+                     result.Dramstress_engine.Transient.probe_values))
+           result.Dramstress_engine.Transient.times)
+    in
+    print_string
+      (Dramstress_util.Csvout.of_floats ~header:("time_s" :: probes) rows)
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Transient-simulate a SPICE deck, CSV to stdout")
+    Term.(const run $ deck_arg $ tstop_arg $ dt_arg $ probes_arg $ ic_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let catalog_cmd =
+  let run () = print_string (D.describe_figure7 ()) in
+  Cmd.v (Cmd.info "catalog" ~doc:"Show the defect catalog (Figure 7)")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "stress optimization for DRAM cell defect tests (DATE 2003 reproduction)" in
+  let info = Cmd.info "dramstress" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; plane_cmd; br_cmd; stress_cmd; table1_cmd; shmoo_cmd;
+            march_cmd; catalog_cmd; sim_cmd ]))

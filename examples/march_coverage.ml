@@ -1,0 +1,39 @@
+(* Fault coverage of standard march tests against both classic digital
+   faults and electrically-fitted weak cells, compared with the
+   detection condition the paper's method synthesizes.
+
+   Run with: dune exec examples/march_coverage.exe *)
+
+module Stress = Dramstress_dram.Stress
+module Defect = Dramstress_defect.Defect
+module Core = Dramstress_core
+module M = Dramstress_march
+
+let () =
+  let stress = Stress.nominal in
+  let kind = Defect.Open_cell Defect.At_bitline_contact in
+  let placement = Defect.True_bl in
+  Format.printf
+    "Fitting behavioural weak cells from the electrical model (%a)...@.@."
+    Defect.pp_kind kind;
+  let cases =
+    M.Coverage.standard_faults
+    @ M.Coverage.electrical_faults ~stress ~kind ~placement ()
+  in
+  let detection, br =
+    Core.Sc_eval.best_detection ~allow_pause:false ~stress ~kind ~placement ()
+  in
+  Format.printf "Synthesized detection %a (%a)@.@." Core.Detection.pp detection
+    Core.Border.pp_result br;
+  let tests =
+    [
+      M.March.mats_plus;
+      M.March.march_x;
+      M.March.march_y;
+      M.March.march_c_minus;
+      M.March.of_detection ~name:"synthesized condition" detection;
+    ]
+  in
+  List.iter (fun t -> Format.printf "%a@." M.March.pp t) tests;
+  Format.printf "@.%s@."
+    (M.Coverage.render (M.Coverage.compare_tests tests cases))

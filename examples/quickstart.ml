@@ -1,0 +1,44 @@
+(* Quickstart: build the DRAM column, inject a resistive open into a
+   cell, run the paper's detection sequence and watch the fault appear.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Stress = Dramstress_dram.Stress
+module Ops = Dramstress_dram.Ops
+module Defect = Dramstress_defect.Defect
+
+let run_and_print ~label ?defect ops =
+  let outcome =
+    Ops.run ~stress:Stress.nominal ?defect
+      ~vc_init:Stress.nominal.Stress.vdd ops
+  in
+  Printf.printf "%s\n" label;
+  List.iter
+    (fun r ->
+      Printf.printf "  %-4s  V_cell = %5.2f V%s\n"
+        (Format.asprintf "%a" Ops.pp_op r.Ops.op)
+        r.Ops.vc_end
+        (match r.Ops.sensed with
+        | Some b -> Printf.sprintf "   read -> %d" b
+        | None -> ""))
+    outcome.Ops.results;
+  Printf.printf "\n"
+
+let () =
+  let seq = [ Ops.W1; Ops.W1; Ops.W0; Ops.R ] in
+  (* a healthy cell: the w0 succeeds and the read returns 0 *)
+  run_and_print ~label:"healthy cell, sequence w1 w1 w0 r:" seq;
+  (* the same sequence with a 400 kOhm open at the bit-line contact:
+     the w0 can no longer discharge the cell within the cycle, and the
+     read returns 1 -- the defect is detected *)
+  let defect = Defect.v (Defect.Open_cell Defect.At_bitline_contact)
+      Defect.True_bl 400e3
+  in
+  run_and_print
+    ~label:"cell with a 400 kOhm open (O1), same sequence:" ~defect seq;
+  (* at 50 kOhm the open is too small to matter: the test passes, so the
+     defect escapes -- this is why stress optimization matters *)
+  let mild = Defect.with_r defect 50e3 in
+  run_and_print
+    ~label:"cell with a 50 kOhm open (O1), same sequence (escapes):"
+    ~defect:mild seq

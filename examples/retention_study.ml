@@ -1,0 +1,46 @@
+(* Retention pauses against high-resistance shorts: the mechanism
+   behind the giga-ohm stressed border resistances in Table 1. A short
+   that is orders of magnitude too weak to disturb a 60 ns cycle drains
+   the cell during a millisecond pause.
+
+   Run with: dune exec examples/retention_study.exe *)
+
+module Stress = Dramstress_dram.Stress
+module Ops = Dramstress_dram.Ops
+module Defect = Dramstress_defect.Defect
+module Core = Dramstress_core
+
+let () =
+  let stress = Stress.nominal in
+  let kind = Defect.Short_to_gnd in
+  let placement = Defect.True_bl in
+  Format.printf
+    "Sg short: stored-1 decay through the defect during a pause@.@.";
+  Format.printf "%-12s %-32s %s@." "R (short)" "Vc after w1, 1 ms pause"
+    "read result";
+  List.iter
+    (fun r ->
+      let defect = Defect.v kind placement r in
+      let outcome =
+        Ops.run ~stress ~defect ~vc_init:0.0
+          [ Ops.W1; Ops.Pause 1e-3; Ops.R ]
+      in
+      let pause_vc = (List.nth outcome.Ops.results 1).Ops.vc_end in
+      let sensed = List.hd (Ops.sensed_bits outcome) in
+      Format.printf "%-12s %-32s r -> %d (%s)@."
+        (Dramstress_util.Units.si_string r)
+        (Printf.sprintf "%.2f V" pause_vc)
+        sensed
+        (if sensed = 0 then "FAIL: detected" else "pass: escapes"))
+    [ 1e6; 100e6; 1e9; 10e9; 100e9 ];
+  (* sweep the pause length: the detectable resistance range grows with
+     the pause roughly linearly (tau = R * C_cell) *)
+  Format.printf "@.%-12s %s@." "pause" "border resistance of {w1, del, r1}";
+  List.iter
+    (fun pause ->
+      let detection = Core.Detection.retention ~victim:1 ~pause in
+      let br = Core.Border.search ~stress ~kind ~placement detection in
+      Format.printf "%-12s %a@."
+        (Dramstress_util.Units.si_string pause)
+        Core.Border.pp_result br)
+    [ 1e-6; 10e-6; 100e-6; 1e-3; 10e-3 ]

@@ -1,0 +1,49 @@
+(* The traditional black-box method (Section 2): a Shmoo plot of the
+   pass/fail outcome over two stress axes, next to what the simulation-
+   based method tells us directly.
+
+   Run with: dune exec examples/shmoo_plot.exe *)
+
+module Stress = Dramstress_dram.Stress
+module Defect = Dramstress_defect.Defect
+module Core = Dramstress_core
+module March = Dramstress_march
+
+let () =
+  let kind = Defect.Open_cell Defect.At_bitline_contact in
+  let placement = Defect.True_bl in
+  let defect = Defect.v kind placement 200e3 in
+  let detection =
+    Core.Detection.standard
+      ~victim:(Defect.logical_victim kind placement)
+      ~primes:2
+  in
+  Format.printf "Defect under test: %a@.Detection condition: %a@.@."
+    Defect.pp defect Core.Detection.pp detection;
+  (* classic tester view: tcyc on x, Vdd on y *)
+  let shmoo =
+    March.Shmoo.generate ~stress:Stress.nominal ~defect ~detection
+      ~x:(Stress.Cycle_time, Dramstress_util.Grid.linspace 45e-9 75e-9 13)
+      ~y:(Stress.Supply_voltage, Dramstress_util.Grid.linspace 1.8 3.0 9)
+      ()
+  in
+  print_string (March.Shmoo.render shmoo);
+  Format.printf "fail fraction over the plane: %.2f@.@."
+    (March.Shmoo.fail_fraction shmoo);
+  (* temperature vs cycle time *)
+  let shmoo_t =
+    March.Shmoo.generate ~stress:Stress.nominal ~defect ~detection
+      ~x:(Stress.Cycle_time, Dramstress_util.Grid.linspace 45e-9 75e-9 13)
+      ~y:(Stress.Temperature, Dramstress_util.Grid.linspace (-40.0) 90.0 7)
+      ()
+  in
+  print_string (March.Shmoo.render shmoo_t);
+  (* what the simulation-based method reports without plotting anything:
+     the direction each stress should move *)
+  let e =
+    Core.Sc_eval.evaluate ~nominal:Stress.nominal ~kind ~placement ()
+  in
+  Format.printf "@.The paper's method concludes directly:@.";
+  List.iter
+    (fun p -> Format.printf "  %a@." Core.Stressor.pp_probe p)
+    e.Core.Sc_eval.probes

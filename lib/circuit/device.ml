@@ -1,0 +1,86 @@
+type node = int
+
+type terminal = Term_a | Term_b | Term_gate
+
+type t =
+  | Resistor of { name : string; a : node; b : node; r : float }
+  | Capacitor of { name : string; a : node; b : node; c : float }
+  | Vsource of { name : string; pos : node; neg : node; wave : Waveform.t }
+  | Isource of { name : string; pos : node; neg : node; wave : Waveform.t }
+  | Switch of {
+      name : string;
+      a : node;
+      b : node;
+      ctrl : Waveform.t;
+      g_on : float;
+      g_off : float;
+      threshold : float;
+    }
+  | Mosfet of {
+      name : string;
+      d : node;
+      g : node;
+      s : node;
+      model : Mosfet.model;
+      m : float;
+    }
+
+let name = function
+  | Resistor { name; _ } | Capacitor { name; _ } | Vsource { name; _ }
+  | Isource { name; _ } | Switch { name; _ } | Mosfet { name; _ } ->
+    name
+
+let nodes = function
+  | Resistor { a; b; _ } | Capacitor { a; b; _ } | Switch { a; b; _ } ->
+    [ a; b ]
+  | Vsource { pos; neg; _ } | Isource { pos; neg; _ } -> [ pos; neg ]
+  | Mosfet { d; g; s; _ } -> [ d; g; s ]
+
+let terminal_node d term =
+  match (d, term) with
+  | (Resistor { a; _ } | Capacitor { a; _ } | Switch { a; _ }), Term_a -> a
+  | (Resistor { b; _ } | Capacitor { b; _ } | Switch { b; _ }), Term_b -> b
+  | (Vsource { pos; _ } | Isource { pos; _ }), Term_a -> pos
+  | (Vsource { neg; _ } | Isource { neg; _ }), Term_b -> neg
+  | Mosfet { d; _ }, Term_a -> d
+  | Mosfet { s; _ }, Term_b -> s
+  | Mosfet { g; _ }, Term_gate -> g
+  | ( Resistor _ | Capacitor _ | Switch _ | Vsource _ | Isource _ ), Term_gate
+    ->
+    invalid_arg "Device.terminal_node: Term_gate on a two-terminal device"
+
+let with_terminal d term n =
+  match (d, term) with
+  | Resistor r, Term_a -> Resistor { r with a = n }
+  | Resistor r, Term_b -> Resistor { r with b = n }
+  | Capacitor c, Term_a -> Capacitor { c with a = n }
+  | Capacitor c, Term_b -> Capacitor { c with b = n }
+  | Switch s, Term_a -> Switch { s with a = n }
+  | Switch s, Term_b -> Switch { s with b = n }
+  | Vsource v, Term_a -> Vsource { v with pos = n }
+  | Vsource v, Term_b -> Vsource { v with neg = n }
+  | Isource i, Term_a -> Isource { i with pos = n }
+  | Isource i, Term_b -> Isource { i with neg = n }
+  | Mosfet m, Term_a -> Mosfet { m with d = n }
+  | Mosfet m, Term_b -> Mosfet { m with s = n }
+  | Mosfet m, Term_gate -> Mosfet { m with g = n }
+  | ( Resistor _ | Capacitor _ | Switch _ | Vsource _ | Isource _ ), Term_gate
+    ->
+    invalid_arg "Device.with_terminal: Term_gate on a two-terminal device"
+
+let pp ppf d =
+  match d with
+  | Resistor { name; a; b; r } ->
+    Format.fprintf ppf "R %s %d-%d %a" name a b Dramstress_util.Units.pp_si r
+  | Capacitor { name; a; b; c } ->
+    Format.fprintf ppf "C %s %d-%d %a" name a b Dramstress_util.Units.pp_si c
+  | Vsource { name; pos; neg; _ } ->
+    Format.fprintf ppf "V %s %d-%d" name pos neg
+  | Isource { name; pos; neg; _ } ->
+    Format.fprintf ppf "I %s %d-%d" name pos neg
+  | Switch { name; a; b; _ } -> Format.fprintf ppf "S %s %d-%d" name a b
+  | Mosfet { name; d; g; s; model; _ } ->
+    let pol =
+      match model.Mosfet.polarity with Mosfet.Nmos -> "N" | Mosfet.Pmos -> "P"
+    in
+    Format.fprintf ppf "M%s %s d=%d g=%d s=%d" pol name d g s

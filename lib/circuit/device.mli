@@ -1,0 +1,52 @@
+(** Circuit elements. Nodes are integers; node 0 is ground. *)
+
+type node = int
+
+(** Terminal selector, used when rewiring a device (defect injection). *)
+type terminal =
+  | Term_a  (** first terminal of a two-terminal device / MOSFET drain *)
+  | Term_b  (** second terminal of a two-terminal device / MOSFET source *)
+  | Term_gate  (** MOSFET gate *)
+
+type t =
+  | Resistor of { name : string; a : node; b : node; r : float }
+  | Capacitor of { name : string; a : node; b : node; c : float }
+  | Vsource of { name : string; pos : node; neg : node; wave : Waveform.t }
+  | Isource of { name : string; pos : node; neg : node; wave : Waveform.t }
+      (** current flows from [pos] through the source to [neg] (i.e. a
+          positive value pushes current into [neg]'s node externally,
+          following Spice convention: positive current flows pos->neg
+          inside the source). *)
+  | Switch of {
+      name : string;
+      a : node;
+      b : node;
+      ctrl : Waveform.t;  (** time-controlled, not node-controlled *)
+      g_on : float;
+      g_off : float;
+      threshold : float;  (** on when [ctrl t > threshold] *)
+    }
+  | Mosfet of {
+      name : string;
+      d : node;
+      g : node;
+      s : node;
+      model : Mosfet.model;
+      m : float;  (** parallel multiplicity *)
+    }
+
+(** [name d] is the device's unique name. *)
+val name : t -> string
+
+(** [nodes d] lists the nodes the device touches. *)
+val nodes : t -> node list
+
+(** [terminal_node d term] reads a terminal; raises [Invalid_argument] for
+    [Term_gate] on a two-terminal device. *)
+val terminal_node : t -> terminal -> node
+
+(** [with_terminal d term n] rewires one terminal. *)
+val with_terminal : t -> terminal -> node -> t
+
+(** [pp ppf d] prints a one-line summary. *)
+val pp : Format.formatter -> t -> unit

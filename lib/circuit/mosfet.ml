@@ -1,0 +1,89 @@
+type polarity = Nmos | Pmos
+
+type model = {
+  name : string;
+  polarity : polarity;
+  vt0 : float;
+  kp : float;
+  lambda : float;
+  vt_tc : float;
+  mu_exp : float;
+  n_sub : float;
+  t_ref : float;
+}
+
+let make polarity ?(lambda = 0.05) ?(vt_tc = 2e-3) ?(mu_exp = 1.5)
+    ?(n_sub = 1.4) ?(t_ref = 300.15) ~name ~vt0 ~kp () =
+  if vt0 < 0.0 || kp <= 0.0 then
+    invalid_arg "Mosfet: vt0 and kp must be positive magnitudes";
+  { name; polarity; vt0; kp; lambda; vt_tc; mu_exp; n_sub; t_ref }
+
+let nmos ?lambda ?vt_tc ?mu_exp ?n_sub ?t_ref ~name ~vt0 ~kp () =
+  make Nmos ?lambda ?vt_tc ?mu_exp ?n_sub ?t_ref ~name ~vt0 ~kp ()
+
+let pmos ?lambda ?vt_tc ?mu_exp ?n_sub ?t_ref ~name ~vt0 ~kp () =
+  make Pmos ?lambda ?vt_tc ?mu_exp ?n_sub ?t_ref ~name ~vt0 ~kp ()
+
+let vth_mag m ~temp = m.vt0 -. (m.vt_tc *. (temp -. m.t_ref))
+
+let vth m ~temp =
+  let v = vth_mag m ~temp in
+  match m.polarity with Nmos -> v | Pmos -> -.v
+
+let kp_t m ~temp = m.kp *. ((temp /. m.t_ref) ** -.m.mu_exp)
+
+type eval = { id : float; gm : float; gds : float }
+
+(* numerically stable softplus and its derivative (logistic sigmoid) *)
+let softplus u = if u > 30.0 then u else if u < -30.0 then exp u else log1p (exp u)
+
+let sigmoid u =
+  if u > 30.0 then 1.0
+  else if u < -30.0 then exp u
+  else 1.0 /. (1.0 +. exp (-.u))
+
+(* EKV drain current for an NMOS-normalized device with vds >= 0 *)
+let ids_forward m ~temp ~vgs ~vds =
+  let vt_th = Dramstress_util.Units.thermal_voltage temp in
+  let n = m.n_sub in
+  let kp = kp_t m ~temp in
+  let vth = vth_mag m ~temp in
+  let vp = (vgs -. vth) /. n in
+  let scale = 2.0 *. n *. kp *. vt_th *. vt_th in
+  let uf = vp /. (2.0 *. vt_th) in
+  let ur = (vp -. vds) /. (2.0 *. vt_th) in
+  let ff = softplus uf and fr = softplus ur in
+  let i_f = ff *. ff and i_r = fr *. fr in
+  let clm = 1.0 +. (m.lambda *. vds) in
+  let id = scale *. (i_f -. i_r) *. clm in
+  (* d i_f / d vp = ff * sigmoid(uf) / vt_th ; same pattern for i_r *)
+  let dif_dvp = ff *. sigmoid uf /. vt_th in
+  let dir_dvp = fr *. sigmoid ur /. vt_th in
+  let gm = scale *. clm *. (dif_dvp -. dir_dvp) /. n in
+  let gds =
+    (scale *. clm *. (fr *. sigmoid ur /. vt_th))
+    +. (scale *. (i_f -. i_r) *. m.lambda)
+  in
+  { id; gm; gds }
+
+(* handle source/drain exchange: for vds < 0 evaluate the mirrored device
+   and reflect current and derivatives. The mirrored device sees
+   vgs' = vgd = vgs - vds and vds' = -vds; Id = -Id'.
+   Chain rule: dId/dvgs = -dId'/dvgs' * dvgs'/dvgs = -gm'.
+   dId/dvds = -(gm' * dvgs'/dvds + gds' * dvds'/dvds) = -( -gm' - gds')
+            = gm' + gds'. *)
+let ids_nmos m ~temp ~vgs ~vds =
+  if vds >= 0.0 then ids_forward m ~temp ~vgs ~vds
+  else begin
+    let e = ids_forward m ~temp ~vgs:(vgs -. vds) ~vds:(-.vds) in
+    { id = -.e.id; gm = -.e.gm; gds = e.gm +. e.gds }
+  end
+
+(* PMOS by sign reflection: evaluate the NMOS dual at (-vgs, -vds);
+   Id = -Id_n, dId/dvgs = -gm_n * (-1) = gm_n, dId/dvds likewise. *)
+let ids m ~temp ~vgs ~vds =
+  match m.polarity with
+  | Nmos -> ids_nmos m ~temp ~vgs ~vds
+  | Pmos ->
+    let e = ids_nmos m ~temp ~vgs:(-.vgs) ~vds:(-.vds) in
+    { id = -.e.id; gm = e.gm; gds = e.gds }

@@ -1,0 +1,88 @@
+(** Mutable netlist builder with the editing operations needed for defect
+    injection, and a validated compiled form consumed by the engine. *)
+
+type t
+
+(** [create ()] is an empty netlist containing only ground. *)
+val create : unit -> t
+
+(** [ground] is node 0. *)
+val ground : Device.node
+
+(** [node nl name] interns a named node, creating it on first use. *)
+val node : t -> string -> Device.node
+
+(** [find_node nl name] is the node id if [name] exists. *)
+val find_node : t -> string -> Device.node option
+
+(** [node_name nl n] is the name of node [n] ("0" for ground). *)
+val node_name : t -> Device.node -> string
+
+(** [fresh_node nl prefix] creates an anonymous node named
+    [prefix ^ "#" ^ id]. *)
+val fresh_node : t -> string -> Device.node
+
+(** [add nl device] registers a device; raises [Invalid_argument] on a
+    duplicate name. *)
+val add : t -> Device.t -> unit
+
+(** Convenience constructors; all intern their node names. *)
+
+val resistor : t -> name:string -> string -> string -> float -> unit
+val capacitor : t -> name:string -> string -> string -> float -> unit
+val vsource : t -> name:string -> string -> string -> Waveform.t -> unit
+val isource : t -> name:string -> string -> string -> Waveform.t -> unit
+
+val switch :
+  t -> name:string -> string -> string -> ctrl:Waveform.t ->
+  ?g_on:float -> ?g_off:float -> ?threshold:float -> unit -> unit
+
+val mosfet :
+  t -> name:string -> d:string -> g:string -> s:string ->
+  model:Mosfet.model -> ?m:float -> unit -> unit
+
+(** [find_device nl name] looks a device up by name. *)
+val find_device : t -> string -> Device.t option
+
+(** [replace_device nl name device] swaps the registered device, keeping
+    its position. Raises [Not_found] if absent. *)
+val replace_device : t -> string -> Device.t -> unit
+
+(** [remove_device nl name] deletes a device. Raises [Not_found]. *)
+val remove_device : t -> string -> unit
+
+(** [insert_series nl ~name ~device ~terminal ~r] splits the named
+    device's terminal with a series resistor of value [r] (models a
+    resistive open). A fresh internal node is created. Raises
+    [Not_found] if the device is absent. *)
+val insert_series :
+  t -> name:string -> device:string -> terminal:Device.terminal ->
+  r:float -> unit
+
+(** [devices nl] lists devices in insertion order. *)
+val devices : t -> Device.t list
+
+(** Compiled, validated form: dense node ids, device array. *)
+type compiled = private {
+  devices : Device.t array;
+  n_nodes : int;  (** including ground; node ids are [0 .. n_nodes-1] *)
+  names : string array;  (** node id -> name *)
+  n_vsources : int;
+}
+
+(** [compile nl] validates (every non-ground node reachable from at least
+    one device, no dangling voltage sources) and freezes the netlist.
+    Raises [Invalid_argument] with a diagnostic on failure. *)
+val compile : t -> compiled
+
+(** [compiled_node c name] resolves a node name after compilation; raises
+    [Not_found]. *)
+val compiled_node : compiled -> string -> Device.node
+
+(** [with_dc_source c name value] is a compiled copy with the named DC
+    voltage source set to [value] — the primitive behind DC sweeps.
+    Raises [Invalid_argument] if the source is absent or not DC. *)
+val with_dc_source : compiled -> string -> float -> compiled
+
+(** [pp ppf nl] dumps the netlist, one device per line. *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+module B = Dramstress_util.Bisect
+module G = Dramstress_util.Grid
+module D = Dramstress_defect.Defect
+module U = Dramstress_util.Units
+
+type result =
+  | Br of float
+  | Faulty_band of { lo : float; hi : float }
+  | Always_faulty
+  | Never_faulty
+
+let pp_result ppf = function
+  | Br r -> Format.fprintf ppf "BR ~ %aOhm" U.pp_si r
+  | Faulty_band { lo; hi } ->
+    Format.fprintf ppf "faulty band %aOhm .. %aOhm" U.pp_si lo U.pp_si hi
+  | Always_faulty -> Format.pp_print_string ppf "faulty over whole range"
+  | Never_faulty -> Format.pp_print_string ppf "not detected"
+
+let search ?tech ?(r_min = 1e3) ?(r_max = 1e11) ?(grid_points = 13)
+    ?(rel_tol = 0.01) ~stress ~kind ~placement cond =
+  let detect r =
+    Detection.detects ?tech ~stress ~defect:(D.v kind placement r) cond
+  in
+  let grid = G.logspace r_min r_max grid_points in
+  let outcomes = List.map (fun r -> (r, detect r)) grid in
+  let any_true = List.exists snd outcomes in
+  let all_true = List.for_all snd outcomes in
+  if all_true then Always_faulty
+  else if not any_true then Never_faulty
+  else begin
+    (* refine every adjacent pair whose outcome differs *)
+    let rec edges acc = function
+      | (r0, o0) :: ((r1, o1) :: _ as rest) ->
+        let acc =
+          if o0 <> o1 then
+            B.threshold_log ~rel_tol detect r0 r1 :: acc
+          else acc
+        in
+        edges acc rest
+      | [ _ ] | [] -> List.rev acc
+    in
+    let first_true =
+      match List.find_opt snd outcomes with
+      | Some (r, _) -> r
+      | None -> assert false
+    in
+    ignore first_true;
+    match (edges [] outcomes, snd (List.hd outcomes)) with
+    | [ e ], _ -> Br e
+    | e :: (_ :: _ as more), lo_detected ->
+      let last = List.nth more (List.length more - 1) in
+      if lo_detected then
+        (* detected at r_min, gap in the middle, detected again: report
+           the enclosing coverage conservatively as a single low edge *)
+        Br last
+      else Faulty_band { lo = e; hi = last }
+    | [], _ -> assert false
+  end
+
+let covered_range polarity result ~r_min ~r_max =
+  match (result, polarity) with
+  | Never_faulty, (D.High_r_fails | D.Low_r_fails) -> None
+  | Always_faulty, (D.High_r_fails | D.Low_r_fails) -> Some (r_min, r_max)
+  | Faulty_band { lo; hi }, (D.High_r_fails | D.Low_r_fails) -> Some (lo, hi)
+  | Br r, D.High_r_fails -> Some (r, r_max)
+  | Br r, D.Low_r_fails -> Some (r_min, r)
+
+let notional_min = 1e3
+let notional_max = 1e11
+
+let coverage_width polarity result =
+  match covered_range polarity result ~r_min:notional_min ~r_max:notional_max with
+  | None -> 0.0
+  | Some (lo, hi) -> log10 (hi /. lo)
+
+let improvement polarity ~nominal ~stressed =
+  match (nominal, stressed) with
+  | Br a, Br b -> begin
+    match polarity with
+    | D.High_r_fails -> Some (a /. b)
+    | D.Low_r_fails -> Some (b /. a)
+  end
+  | Never_faulty, _ | _, Never_faulty -> None
+  | (Br _ | Faulty_band _ | Always_faulty), _ -> begin
+    let width r =
+      match covered_range polarity r ~r_min:notional_min ~r_max:notional_max with
+      | None -> None
+      | Some (lo, hi) -> Some (hi -. lo)
+    in
+    match (width nominal, width stressed) with
+    | Some a, Some b when a > 0.0 -> Some (b /. a)
+    | _, _ -> None
+  end
+
+let better polarity a b =
+  coverage_width polarity a > coverage_width polarity b +. 1e-9

@@ -1,0 +1,58 @@
+(** Border resistance (BR) search — the paper's central quantity.
+
+    BR is the defect resistance at which the memory first shows
+    detectable faulty behaviour under a given detection condition and
+    stress combination. For opens faults appear {e above} BR; for shorts
+    {e below} it. Some defects (cell-to-cell bridges) are detectable only
+    on an interior {e band} of resistances: a hard bridge welds victim
+    and aggressor into one node (the victim write rewrites both, hiding
+    the fault), a weak one cannot couple within the test time. *)
+
+type result =
+  | Br of float          (** single boundary resistance, ohm *)
+  | Faulty_band of { lo : float; hi : float }
+      (** detected only inside [[lo, hi]] *)
+  | Always_faulty        (** detected across the whole searched range *)
+  | Never_faulty         (** not detected anywhere in the range *)
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [search ?tech ?r_min ?r_max ?grid_points ?rel_tol ~stress ~kind
+    ~placement cond] scans a log grid (default 13 points over
+    [1 kOhm, 100 GOhm]) for detection-outcome changes and refines each
+    edge by bisection to [rel_tol] (default 1%). One edge yields {!Br};
+    an interior detected region yields {!Faulty_band} (its outermost
+    edges, if the outcome flips more than twice). *)
+val search :
+  ?tech:Dramstress_dram.Tech.t ->
+  ?r_min:float ->
+  ?r_max:float ->
+  ?grid_points:int ->
+  ?rel_tol:float ->
+  stress:Dramstress_dram.Stress.t ->
+  kind:Dramstress_defect.Defect.kind ->
+  placement:Dramstress_defect.Defect.placement ->
+  Detection.t ->
+  result
+
+(** [covered_range polarity result ~r_min ~r_max] is the resistance
+    interval the test detects, per the defect's polarity. *)
+val covered_range :
+  Dramstress_defect.Defect.polarity -> result -> r_min:float -> r_max:float ->
+  (float * float) option
+
+(** [coverage_width polarity result] is the covered range's width in
+    decades, over the notional [1 kOhm, 100 GOhm] axis. *)
+val coverage_width : Dramstress_defect.Defect.polarity -> result -> float
+
+(** [improvement polarity ~nominal ~stressed] — the growth factor of the
+    covered failing-resistance range: for single boundaries, the BR ratio
+    oriented by polarity; for bands, the linear width ratio. [None] when
+    either side detects nothing. *)
+val improvement :
+  Dramstress_defect.Defect.polarity -> nominal:result -> stressed:result ->
+  float option
+
+(** [better polarity a b] — true when [a] covers strictly more of the
+    resistance axis (in decades) than [b]. *)
+val better : Dramstress_defect.Defect.polarity -> result -> result -> bool

@@ -1,0 +1,58 @@
+(** Detection conditions: operation sequences with expected read values.
+
+    The paper writes these as [{... w1 w1 w0 r0 ...}] — prime the cell
+    with the complement, write the victim value, read it back. A defect
+    is {e detected} when any read returns something other than its
+    expected value. *)
+
+type step =
+  | Write of int      (** write the logical bit (0 or 1) *)
+  | Read of int       (** read, expecting the logical bit *)
+  | Wait of float     (** retention pause, s *)
+
+type t = { steps : step list }
+
+(** [v steps] validates bits are 0/1 and pauses positive. *)
+val v : step list -> t
+
+(** [standard ~victim ~primes] is the paper's shape:
+    [primes] writes of the complement, one write of [victim], one read of
+    [victim]. [primes >= 1]. *)
+val standard : victim:int -> primes:int -> t
+
+(** [retention ~victim ~pause] writes [victim], waits, reads [victim] —
+    the classic data-retention element used against high-resistance
+    shorts. *)
+val retention : victim:int -> pause:float -> t
+
+(** [ops cond] lowers the condition to raw memory operations. *)
+val ops : t -> Dramstress_dram.Ops.op list
+
+(** [expected_reads cond] lists expected read values in order. *)
+val expected_reads : t -> int list
+
+(** [initial_vc cond ~stress ~defect] is the physical storage voltage the
+    analysis starts from: the physical image of the first written bit's
+    complement, so the first write does real work. *)
+val initial_vc :
+  t -> stress:Dramstress_dram.Stress.t -> defect:Dramstress_defect.Defect.t ->
+  float
+
+(** [detects ?tech ?min_separation ~stress ~defect cond] runs the
+    condition electrically and reports whether any read fails: a wrong
+    bit, or a bit-line separation at strobe time below [min_separation]
+    (default 0.5 V) — a metastable output that a tester's VOH/VOL levels
+    reject. *)
+val detects :
+  ?tech:Dramstress_dram.Tech.t ->
+  ?min_separation:float ->
+  stress:Dramstress_dram.Stress.t ->
+  defect:Dramstress_defect.Defect.t ->
+  t ->
+  bool
+
+(** [pp ppf cond] prints the paper's notation, e.g.
+    [{... w1, w1, w0, r0 ...}]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

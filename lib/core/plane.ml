@@ -1,0 +1,174 @@
+module O = Dramstress_dram.Ops
+module S = Dramstress_dram.Stress
+module D = Dramstress_defect.Defect
+module B = Dramstress_util.Bisect
+module I = Dramstress_util.Interp
+module G = Dramstress_util.Grid
+
+type point = { r : float; vc : float }
+
+type curve = { label : string; points : point list }
+
+type vsa_point = { r_sa : float; vsa : vsa_value }
+and vsa_value = Vsa of float | Reads_all_1 | Reads_all_0
+
+type t = {
+  op : O.op;
+  curves : curve list;
+  vsa_curve : vsa_point list;
+  vmp : float;
+  rops : float list;
+  stress : S.t;
+}
+
+let default_rops = G.logspace 1e3 1e6 12
+
+(* physical read result for an initial storage voltage: a single read op,
+   unwrapping the logical inversion of complementary placement *)
+let read_physical ?tech ~stress ?defect vc =
+  let outcome = O.run ?tech ~stress ?defect ~vc_init:vc [ O.R ] in
+  let logical =
+    match O.sensed_bits outcome with [ b ] -> b | _ -> assert false
+  in
+  match defect with
+  | Some { D.placement = D.Comp_bl; _ } -> 1 - logical
+  | Some { D.placement = D.True_bl; _ } | None -> logical
+
+let vmp ?tech ~stress () =
+  match
+    B.guarded_threshold ~tol:5e-3
+      (fun vc -> read_physical ?tech ~stress vc = 0)
+      0.0 stress.S.vdd
+  with
+  | B.Crossing v -> v
+  | B.All_true -> 0.0
+  | B.All_false -> stress.S.vdd
+
+let vsa ?tech ~stress ~defect () =
+  match
+    B.guarded_threshold ~tol:5e-3
+      (fun vc -> read_physical ?tech ~stress ~defect vc = 0)
+      0.0 stress.S.vdd
+  with
+  | B.Crossing v -> Vsa v
+  | B.All_false -> Reads_all_1
+  | B.All_true -> Reads_all_0
+
+let vsa_substitute stress = function
+  | Vsa v -> v
+  | Reads_all_1 -> 0.0
+  | Reads_all_0 -> stress.S.vdd
+
+(* the physical storage level a logical write targets *)
+let physical_target placement op =
+  let logical = match op with O.W0 -> 0 | O.W1 -> 1 | O.R | O.Pause _ -> 1 in
+  match placement with D.True_bl -> logical | D.Comp_bl -> 1 - logical
+
+let vsa_curve_of ?tech ~stress ~kind ~placement rops =
+  List.map
+    (fun r ->
+      let defect = D.v kind placement r in
+      { r_sa = r; vsa = vsa ?tech ~stress ~defect () })
+    rops
+
+let write_plane ?tech ?(n_ops = 4) ?(rops = default_rops) ~stress ~kind
+    ~placement ~op () =
+  (match op with
+  | O.W0 | O.W1 -> ()
+  | O.R | O.Pause _ -> invalid_arg "Plane.write_plane: op must be a write");
+  if n_ops < 1 then invalid_arg "Plane.write_plane: n_ops < 1";
+  let vc_init =
+    if physical_target placement op = 0 then stress.S.vdd else 0.0
+  in
+  let trajectories =
+    List.map
+      (fun r ->
+        let defect = D.v kind placement r in
+        let outcome =
+          O.run ?tech ~stress ~defect ~vc_init
+            (List.init n_ops (fun _ -> op))
+        in
+        (r, List.map (fun res -> res.O.vc_end) outcome.O.results))
+      rops
+  in
+  let curves =
+    List.init n_ops (fun k ->
+        {
+          label =
+            Format.asprintf "(%d) %a" (k + 1) O.pp_op op;
+          points =
+            List.map
+              (fun (r, vcs) -> { r; vc = List.nth vcs k })
+              trajectories;
+        })
+  in
+  {
+    op;
+    curves;
+    vsa_curve = vsa_curve_of ?tech ~stress ~kind ~placement rops;
+    vmp = vmp ?tech ~stress ();
+    rops;
+    stress;
+  }
+
+let read_plane ?tech ?(n_ops = 3) ?(rops = default_rops) ?(offset = 0.2)
+    ~stress ~kind ~placement () =
+  if n_ops < 1 then invalid_arg "Plane.read_plane: n_ops < 1";
+  let vsa_curve = vsa_curve_of ?tech ~stress ~kind ~placement rops in
+  let trajectory seed_of =
+    List.map2
+      (fun r { vsa = v; _ } ->
+        let defect = D.v kind placement r in
+        let seed =
+          Float.max 0.0
+            (Float.min stress.S.vdd (seed_of (vsa_substitute stress v)))
+        in
+        let outcome =
+          O.run ?tech ~stress ~defect ~vc_init:seed
+            (List.init n_ops (fun _ -> O.R))
+        in
+        (r, List.map (fun res -> res.O.vc_end) outcome.O.results))
+      rops vsa_curve
+  in
+  let below = trajectory (fun vsa -> vsa -. offset) in
+  let above = trajectory (fun vsa -> vsa +. offset) in
+  let curves_of tag trajectories =
+    List.init n_ops (fun k ->
+        {
+          label = Printf.sprintf "(%d) r %s" (k + 1) tag;
+          points =
+            List.map (fun (r, vcs) -> { r; vc = List.nth vcs k }) trajectories;
+        })
+  in
+  {
+    op = O.R;
+    curves = curves_of "from below Vsa" below @ curves_of "from above Vsa" above;
+    vsa_curve;
+    vmp = vmp ?tech ~stress ();
+    rops;
+    stress;
+  }
+
+let curve_interp c =
+  I.of_points (List.map (fun { r; vc } -> (r, vc)) c.points)
+
+let vsa_interp plane =
+  I.of_points
+    (List.map
+       (fun { r_sa; vsa = v } -> (r_sa, vsa_substitute plane.stress v))
+       plane.vsa_curve)
+
+let br_geometric plane =
+  match plane.curves with
+  | _ :: second :: _ -> begin
+    let w = curve_interp second in
+    let s = vsa_interp plane in
+    (* intersect on a log axis to respect the resistance sweep *)
+    let to_log c =
+      I.of_points (List.map (fun (x, y) -> (log10 x, y)) (I.points c))
+    in
+    match I.intersections (to_log w) (to_log s) with
+    | x :: _ -> Some (10.0 ** x)
+    | [] -> None
+  end
+  | _ -> None

@@ -1,0 +1,32 @@
+(** Text rendering of the paper's figures. *)
+
+(** [figure2 ?tech ?rops ~stress ~kind ~placement ()] renders the three
+    result planes (w0, w1, r) with the V_sa curve and V_mp marker —
+    Figure 2 at the nominal SC, Figure 6 at a stressed SC. Also reports
+    the geometric BR when the curves cross. *)
+val figure2 :
+  ?tech:Dramstress_dram.Tech.t ->
+  ?rops:float list ->
+  stress:Dramstress_dram.Stress.t ->
+  kind:Dramstress_defect.Defect.kind ->
+  placement:Dramstress_defect.Defect.placement ->
+  unit ->
+  string
+
+(** [figure_st_panels ?tech ~stress ~axis ~values ~kind ~placement
+    ~analysis_r ()] renders the two time-domain panels of Figures 3–5:
+    V_c(t) during a victim write and during a read of a marginal cell,
+    one series per stress value. *)
+val figure_st_panels :
+  ?tech:Dramstress_dram.Tech.t ->
+  stress:Dramstress_dram.Stress.t ->
+  axis:Dramstress_dram.Stress.axis ->
+  values:float list ->
+  kind:Dramstress_defect.Defect.kind ->
+  placement:Dramstress_defect.Defect.placement ->
+  ?analysis_r:float ->
+  unit ->
+  string
+
+(** [plane_csv plane] dumps a plane's curves for external plotting. *)
+val plane_csv : Plane.t -> string

@@ -1,0 +1,119 @@
+module S = Dramstress_dram.Stress
+module D = Dramstress_defect.Defect
+module U = Dramstress_util.Units
+
+type row = {
+  defect_id : string;
+  placement : D.placement;
+  evaluation : Sc_eval.t;
+}
+
+type t = { rows : row list; nominal : S.t }
+
+let generate ?tech ?(nominal = S.nominal) ?(entries = D.catalog)
+    ?(placements = [ D.True_bl; D.Comp_bl ]) ?pause () =
+  let rows =
+    List.concat_map
+      (fun (entry : D.entry) ->
+        List.map
+          (fun placement ->
+            {
+              defect_id = entry.D.id;
+              placement;
+              evaluation =
+                Sc_eval.evaluate ?tech ?pause ~nominal ~kind:entry.D.kind
+                  ~placement ();
+            })
+          placements)
+      entries
+  in
+  { rows; nominal }
+
+let dir_arrow probe =
+  match probe.Stressor.verdict with
+  | Stressor.Increase -> "+"
+  | Stressor.Decrease -> "-"
+  | Stressor.Neutral -> "="
+
+let br_string = function
+  | Border.Br r -> U.si_string r
+  | Border.Faulty_band { lo; hi } ->
+    Printf.sprintf "%s..%s" (U.si_string lo) (U.si_string hi)
+  | Border.Always_faulty -> "all R"
+  | Border.Never_faulty -> "none"
+
+let render table =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Format.asprintf
+       "Table 1 -- ST optimization results (nominal SC: %a)\n" S.pp
+       table.nominal);
+  Buffer.add_string buf
+    (Printf.sprintf "%-6s %-6s %-12s %-6s %-4s %-6s %-12s %-8s %s\n"
+       "Defect" "Place" "Nom. border" "t_cyc" "T" "V_dd" "Str. border"
+       "Coverage" "Str. detection condition");
+  Buffer.add_string buf (String.make 100 '-' ^ "\n");
+  List.iter
+    (fun row ->
+      let e = row.evaluation in
+      let probe axis =
+        List.find_opt (fun p -> p.Stressor.axis = axis) e.Sc_eval.probes
+      in
+      let arrow axis =
+        match probe axis with Some p -> dir_arrow p | None -> "?"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%-6s %-6s %-12s %-6s %-4s %-6s %-12s %-8s %s\n"
+           row.defect_id
+           (Format.asprintf "%a" D.pp_placement row.placement)
+           (br_string e.Sc_eval.nominal_br)
+           (arrow S.Cycle_time) (arrow S.Temperature)
+           (arrow S.Supply_voltage)
+           (br_string e.Sc_eval.stressed_br)
+           (match e.Sc_eval.improvement with
+           | Some f -> Printf.sprintf "%.2fx" f
+           | None -> "n/a")
+           (Detection.to_string e.Sc_eval.stressed_detection)))
+    table.rows;
+  Buffer.add_string buf
+    "\nDirections: + drive the stress up, - drive it down, = no effect.\n";
+  Buffer.contents buf
+
+let to_csv table =
+  let header =
+    [ "defect"; "placement"; "nominal_br_ohm"; "tcyc_dir"; "temp_dir";
+      "vdd_dir"; "stressed_br_ohm"; "improvement"; "stressed_detection" ]
+  in
+  let br_csv = function
+    | Border.Br r -> Printf.sprintf "%.6g" r
+    | Border.Faulty_band { lo; hi } -> Printf.sprintf "%.6g..%.6g" lo hi
+    | Border.Always_faulty -> "always"
+    | Border.Never_faulty -> "never"
+  in
+  let rows =
+    List.map
+      (fun row ->
+        let e = row.evaluation in
+        let arrow axis =
+          match
+            List.find_opt (fun p -> p.Stressor.axis = axis) e.Sc_eval.probes
+          with
+          | Some p -> dir_arrow p
+          | None -> "?"
+        in
+        [
+          row.defect_id;
+          Format.asprintf "%a" D.pp_placement row.placement;
+          br_csv e.Sc_eval.nominal_br;
+          arrow S.Cycle_time;
+          arrow S.Temperature;
+          arrow S.Supply_voltage;
+          br_csv e.Sc_eval.stressed_br;
+          (match e.Sc_eval.improvement with
+          | Some f -> Printf.sprintf "%.4g" f
+          | None -> "n/a");
+          Detection.to_string e.Sc_eval.stressed_detection;
+        ])
+      table.rows
+  in
+  Dramstress_util.Csvout.to_string ~header rows

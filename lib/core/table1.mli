@@ -1,0 +1,29 @@
+(** Table 1 of the paper: ST optimization results over the whole defect
+    catalog, each on the true and the complementary bit line. *)
+
+type row = {
+  defect_id : string;
+  placement : Dramstress_defect.Defect.placement;
+  evaluation : Sc_eval.t;
+}
+
+type t = { rows : row list; nominal : Dramstress_dram.Stress.t }
+
+(** [generate ?tech ?nominal ?entries ?placements ()] runs the full
+    optimization for every catalog entry and placement. The three opens
+    are electrically equivalent; pass [entries] to restrict (e.g. one
+    open representative) when compute time matters. *)
+val generate :
+  ?tech:Dramstress_dram.Tech.t ->
+  ?nominal:Dramstress_dram.Stress.t ->
+  ?entries:Dramstress_defect.Defect.entry list ->
+  ?placements:Dramstress_defect.Defect.placement list ->
+  ?pause:float ->
+  unit ->
+  t
+
+(** [render table] formats the paper-style table as text. *)
+val render : t -> string
+
+(** [to_csv table] machine-readable form. *)
+val to_csv : t -> string

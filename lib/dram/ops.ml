@@ -1,0 +1,185 @@
+module W = Dramstress_circuit.Waveform
+module D = Dramstress_defect.Defect
+module E = Dramstress_engine
+module I = Dramstress_util.Interp
+
+let runs = ref 0
+let run_count () = !runs
+let reset_run_count () = runs := 0
+
+type op = W0 | W1 | R | Pause of float
+
+let pp_op ppf = function
+  | W0 -> Format.pp_print_string ppf "w0"
+  | W1 -> Format.pp_print_string ppf "w1"
+  | R -> Format.pp_print_string ppf "r"
+  | Pause d ->
+    Format.fprintf ppf "p%a" Dramstress_util.Units.pp_si d
+
+let parse_seq s =
+  let tokens =
+    String.split_on_char ' ' (String.map (fun c -> if c = ',' then ' ' else c) s)
+    |> List.filter (fun t -> t <> "")
+  in
+  let parse_tok t =
+    match String.lowercase_ascii t with
+    | "w0" -> W0
+    | "w1" -> W1
+    | "r" | "r0" | "r1" -> R
+    | tok when String.length tok > 1 && tok.[0] = 'p' -> begin
+      match float_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+      | Some d when d > 0.0 -> Pause d
+      | Some _ | None -> invalid_arg ("Ops.parse_seq: bad pause " ^ t)
+    end
+    | _ -> invalid_arg ("Ops.parse_seq: unknown op " ^ t)
+  in
+  List.map parse_tok tokens
+
+let seq_to_string ops =
+  String.concat " " (List.map (Format.asprintf "%a" pp_op) ops)
+
+type op_result = {
+  op : op;
+  t_start : float;
+  t_end : float;
+  vc_end : float;
+  sensed : int option;
+  separation : float option;
+}
+
+type outcome = {
+  results : op_result list;
+  trace : E.Transient.result;
+  built : Column.built;
+  phases : Timing.t;
+}
+
+let vc_curve outcome = E.Transient.probe outcome.trace outcome.built.Column.vc_node
+
+let sensed_bits outcome =
+  List.filter_map (fun r -> r.sensed) outcome.results
+
+(* Expand the op list into control-signal step events and time segments.
+   Returns (controls, segments, schedule) where schedule carries the
+   per-op absolute instants needed to interpret the trace. *)
+let plan ~(tech : Tech.t) ~(stress : Stress.t) ~inverted ~steps_per_cycle ops =
+  let ph = Timing.phases tech stress in
+  let wl_high = stress.Stress.vdd +. tech.Tech.wl_boost in
+  let dt_active = stress.Stress.tcyc /. float_of_int steps_per_cycle in
+  (* step-event accumulators, in reverse time order *)
+  let wl = ref [] and wlr = ref [] and pre = ref [] and sae = ref [] in
+  let colsel = ref [] in
+  let wacc_hi = ref [] and wacc_lo = ref [] in
+  let wref_hi = ref [] and wref_lo = ref [] in
+  let segments = ref [] and schedule = ref [] in
+  let push r ev = r := ev :: !r in
+  let active_cycle off op =
+    push pre (off +. ph.Timing.t_pre_off, 0.0);
+    push pre (off +. ph.Timing.t_wl_off +. 1e-9, 1.0);
+    push wl (off +. ph.Timing.t_wl_on, wl_high);
+    push wl (off +. ph.Timing.t_wl_off, 0.0);
+    (* the reference word line is cut off at sense enable so the dummy
+       does not load the paired line during latch regeneration *)
+    push wlr (off +. ph.Timing.t_wl_on, wl_high);
+    push wlr (off +. ph.Timing.t_sense -. 0.5e-9, 0.0);
+    push sae (off +. ph.Timing.t_sense, 1.0);
+    push sae (off +. ph.Timing.t_wl_off, 0.0);
+    (match op with
+    | W0 | W1 ->
+      if ph.Timing.t_wr < ph.Timing.t_wl_off -. 1e-9 then begin
+        (* physical bit: logical bit, inverted on the complementary line *)
+        let logical = match op with W0 -> 0 | W1 | R | Pause _ -> 1 in
+        let physical = if inverted then 1 - logical else logical in
+        let acc_drive = if physical = 1 then wacc_hi else wacc_lo in
+        let ref_drive = if physical = 1 then wref_lo else wref_hi in
+        push acc_drive (off +. ph.Timing.t_wr, 1.0);
+        push acc_drive (off +. ph.Timing.t_wl_off, 0.0);
+        push ref_drive (off +. ph.Timing.t_wr, 1.0);
+        push ref_drive (off +. ph.Timing.t_wl_off, 0.0)
+      end
+    | R ->
+      (* connect the output buffer once the latch has regenerated *)
+      push colsel (off +. ph.Timing.t_decide, 1.0);
+      push colsel (off +. ph.Timing.t_wl_off, 0.0)
+    | Pause _ -> ());
+    push segments (off +. ph.Timing.t_cyc, dt_active)
+  in
+  let off = ref 0.0 in
+  List.iter
+    (fun op ->
+      let t_start = !off in
+      (match op with
+      | Pause d ->
+        let dt_pause = Float.max dt_active (d /. 1000.0) in
+        push segments (t_start +. d, dt_pause);
+        off := t_start +. d
+      | W0 | W1 | R ->
+        active_cycle t_start op;
+        off := t_start +. ph.Timing.t_cyc);
+      push schedule (op, t_start, !off))
+    ops;
+  let mk v0 events = W.pwl_steps ~t_edge:tech.Tech.t_edge v0 (List.rev events) in
+  let controls =
+    {
+      Column.wl = mk 0.0 !wl;
+      wl_ref = mk 0.0 !wlr;
+      pre = mk 1.0 !pre;
+      sae = mk 0.0 !sae;
+      wr_acc_hi = mk 0.0 !wacc_hi;
+      wr_acc_lo = mk 0.0 !wacc_lo;
+      wr_ref_hi = mk 0.0 !wref_hi;
+      wr_ref_lo = mk 0.0 !wref_lo;
+      colsel = mk 0.0 !colsel;
+    }
+  in
+  (controls, List.rev !segments, List.rev !schedule, ph)
+
+let run ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?defect
+    ?(vc_init = 0.0) ?v_neighbour ~stress ops =
+  if ops = [] then invalid_arg "Ops.run: empty sequence";
+  Stress.validate stress;
+  incr runs;
+  let vdd = stress.Stress.vdd in
+  let v_neighbour = Option.value v_neighbour ~default:vdd in
+  let inverted =
+    match defect with
+    | Some { D.placement = D.Comp_bl; _ } -> true
+    | Some { D.placement = D.True_bl; _ } | None -> false
+  in
+  let controls, segments, schedule, ph =
+    plan ~tech ~stress ~inverted ~steps_per_cycle ops
+  in
+  let built = Column.build ~tech ~vdd ~controls ?defect () in
+  let opts =
+    let base = Option.value sim ~default:E.Options.default in
+    { base with E.Options.temp = Stress.temp_k stress }
+  in
+  let ics = Column.initial_conditions built ~vdd ~vc_init ~v_neighbour in
+  let trace =
+    E.Transient.run built.Column.compiled ~opts ~segments ~ics
+      ~probes:built.Column.probes ()
+  in
+  let vc = E.Transient.probe trace built.Column.vc_node in
+  let v_acc = E.Transient.probe trace built.Column.acc_bl in
+  let v_ref = E.Transient.probe trace built.Column.ref_bl in
+  let results =
+    List.map
+      (fun (op, t_start, t_end) ->
+        let sensed, separation =
+          match op with
+          | R ->
+            (* strobe late in the cycle, once regeneration has had the
+               whole sense window: metastable outputs are still collapsed
+               while slow clean reads have reached the rails *)
+            let t_dec = t_start +. ph.Timing.t_wl_off -. 1e-9 in
+            let va = I.eval v_acc t_dec and vr = I.eval v_ref t_dec in
+            let physical = if va > vr then 1 else 0 in
+            ( Some (if inverted then 1 - physical else physical),
+              Some (Float.abs (va -. vr)) )
+          | W0 | W1 | Pause _ -> (None, None)
+        in
+        { op; t_start; t_end; vc_end = I.eval vc (t_end -. 1e-12); sensed;
+          separation })
+      schedule
+  in
+  { results; trace; built; phases = ph }

@@ -1,0 +1,82 @@
+(** Memory-operation sequencing and electrical execution.
+
+    An operation sequence ([w0 w1 r ...], the paper's notation) is turned
+    into control waveforms for the {!Column} model, simulated in one
+    transient run, and interpreted: cell voltage after every cycle and
+    the sensed logical bit for every read.
+
+    Logical values are mapped to physical storage voltages according to
+    the defect's placement: on the complementary bit line a logical 1 is
+    stored as a low voltage, so detection conditions translate with 0s
+    and 1s interchanged while the physical behaviour is identical — the
+    paper's Table 1 observation. *)
+
+(** [run_count ()] is the number of electrical simulations executed by
+    {!run} since start-up (or the last {!reset_run_count}) — the cost
+    metric the paper's method optimizes against the exhaustive
+    per-SC fault analysis. *)
+val run_count : unit -> int
+
+val reset_run_count : unit -> unit
+
+type op =
+  | W0            (** write logical 0 *)
+  | W1            (** write logical 1 *)
+  | R             (** read (destructive, with sense-amp restore) *)
+  | Pause of float  (** idle retention time, s *)
+
+val pp_op : Format.formatter -> op -> unit
+
+(** [parse_seq s] parses a compact sequence such as ["w1 w1 w0 r"] or
+    ["w1,w1,w0,r"]; pauses are written ["p1e-3"]. Raises
+    [Invalid_argument] on junk. *)
+val parse_seq : string -> op list
+
+(** [seq_to_string ops] is the inverse of {!parse_seq}. *)
+val seq_to_string : op list -> string
+
+type op_result = {
+  op : op;
+  t_start : float;
+  t_end : float;
+  vc_end : float;     (** storage-capacitor voltage at the cycle end *)
+  sensed : int option;  (** logical bit for [R]; [None] otherwise *)
+  separation : float option;
+    (** |V_bl - V_blb| at the decision instant for [R]: small values mean
+        the latch failed to regenerate (a metastable output a tester's
+        VOH/VOL strobes would reject) *)
+}
+
+type outcome = {
+  results : op_result list;
+  trace : Dramstress_engine.Transient.result;
+  built : Column.built;
+  phases : Timing.t;  (** instants of one standard cycle *)
+}
+
+(** [vc_curve outcome] is the full V_c(t) waveform. *)
+val vc_curve : outcome -> Dramstress_util.Interp.t
+
+(** [sensed_bits outcome] lists the logical read results in order. *)
+val sensed_bits : outcome -> int list
+
+(** [run ?tech ?sim ?steps_per_cycle ?defect ?vc_init ?v_neighbour ~stress
+    ops] executes the sequence.
+
+    - [vc_init] (default [0.0]): initial storage voltage, V — the paper's
+      floating-cell initialisation.
+    - [v_neighbour] (default: the supply): initial neighbour-cell voltage
+      (bridge aggressor value).
+    - [steps_per_cycle] (default 400) sets the transient resolution.
+    - [sim] overrides solver options; its temperature field is replaced
+      from [stress]. *)
+val run :
+  ?tech:Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
+  ?steps_per_cycle:int ->
+  ?defect:Dramstress_defect.Defect.t ->
+  ?vc_init:float ->
+  ?v_neighbour:float ->
+  stress:Stress.t ->
+  op list ->
+  outcome

@@ -1,0 +1,41 @@
+type t = { tcyc : float; duty : float; vdd : float; temp_c : float }
+
+let nominal = { tcyc = 60e-9; duty = 0.5; vdd = 2.4; temp_c = 27.0 }
+
+let temp_k sc = Dramstress_util.Units.celsius_to_kelvin sc.temp_c
+
+let with_tcyc sc tcyc = { sc with tcyc }
+let with_duty sc duty = { sc with duty }
+let with_vdd sc vdd = { sc with vdd }
+let with_temp_c sc temp_c = { sc with temp_c }
+
+let validate sc =
+  if sc.tcyc <= 0.0 then invalid_arg "Stress: tcyc <= 0";
+  if sc.duty <= 0.0 || sc.duty >= 1.0 then invalid_arg "Stress: duty not in (0,1)";
+  if sc.vdd <= 0.0 then invalid_arg "Stress: vdd <= 0";
+  if sc.temp_c < -273.15 then invalid_arg "Stress: temperature below 0 K"
+
+let pp ppf sc =
+  Format.fprintf ppf "tcyc=%aS duty=%.2f Vdd=%.2f V T=%+.0f C"
+    Dramstress_util.Units.pp_si sc.tcyc sc.duty sc.vdd sc.temp_c
+
+type axis = Cycle_time | Duty_cycle | Supply_voltage | Temperature
+
+let pp_axis ppf = function
+  | Cycle_time -> Format.pp_print_string ppf "t_cyc"
+  | Duty_cycle -> Format.pp_print_string ppf "duty"
+  | Supply_voltage -> Format.pp_print_string ppf "V_dd"
+  | Temperature -> Format.pp_print_string ppf "T"
+
+let set sc axis v =
+  match axis with
+  | Cycle_time -> with_tcyc sc v
+  | Duty_cycle -> with_duty sc v
+  | Supply_voltage -> with_vdd sc v
+  | Temperature -> with_temp_c sc v
+
+let get sc = function
+  | Cycle_time -> sc.tcyc
+  | Duty_cycle -> sc.duty
+  | Supply_voltage -> sc.vdd
+  | Temperature -> sc.temp_c

@@ -1,0 +1,39 @@
+(** A stress combination (SC): the operational parameters a test engineer
+    can modify at test time (Section 2 of the paper). *)
+
+type t = {
+  tcyc : float;   (** clock cycle time, s *)
+  duty : float;   (** clock duty cycle in (0, 1) *)
+  vdd : float;    (** supply voltage, V *)
+  temp_c : float; (** junction temperature, degrees Celsius *)
+}
+
+(** The paper's nominal SC: t_cyc = 60 ns, duty = 0.5, V_dd = 2.4 V,
+    T = +27 C. *)
+val nominal : t
+
+(** [temp_k sc] is the temperature in kelvin. *)
+val temp_k : t -> float
+
+val with_tcyc : t -> float -> t
+val with_duty : t -> float -> t
+val with_vdd : t -> float -> t
+val with_temp_c : t -> float -> t
+
+(** [validate sc] raises [Invalid_argument] for nonphysical values
+    (non-positive cycle time or supply, duty outside (0,1), temperature
+    below absolute zero). *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit
+
+(** The individual stress axes, for direction reports. *)
+type axis = Cycle_time | Duty_cycle | Supply_voltage | Temperature
+
+val pp_axis : Format.formatter -> axis -> unit
+
+(** [set sc axis v] returns [sc] with one axis replaced. *)
+val set : t -> axis -> float -> t
+
+(** [get sc axis] reads one axis. *)
+val get : t -> axis -> float

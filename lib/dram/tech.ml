@@ -1,0 +1,60 @@
+module M = Dramstress_circuit.Mosfet
+
+type t = {
+  c_bl : float;
+  c_cell : float;
+  c_ref : float;
+  c_sa : float;
+  c_out : float;
+  access : M.model;
+  sa_n : M.model;
+  sa_p : M.model;
+  wl_boost : float;
+  g_switch : float;
+  g_write : float;
+  g_off : float;
+  t_wl_on : float;
+  t_share : float;
+  t_wr_cmd : float;
+  t_margin0 : float;
+  t_margin_duty : float;
+  t_decide : float;
+  t_edge : float;
+}
+
+let default =
+  {
+    c_bl = 300e-15;
+    c_cell = 80e-15;
+    c_ref = 34e-15;
+    c_sa = 20e-15;
+    c_out = 30e-15;
+    access = M.nmos ~name:"acc" ~vt0:0.7 ~kp:1e-4 ~vt_tc:1.0e-3 ~mu_exp:2.0 ();
+    (* The latch NMOS pair decides (both lines sit near V_dd at sense, so
+       the PMOS pair is off initially): it is sized weak with a strongly
+       temperature-sensitive mobility, making a hot or starved latch lose
+       ground to the still-connected cell — the paper's read-stress
+       directions. The PMOS pair only restores; it is kept strong and
+       temperature-rigid so write-back priming stays firm. *)
+    sa_n = M.nmos ~name:"sa_n" ~vt0:0.5 ~kp:5e-5 ~vt_tc:0.3e-3 ~mu_exp:3.0 ();
+    sa_p = M.pmos ~name:"sa_p" ~vt0:0.5 ~kp:3e-4 ~vt_tc:0.3e-3 ~mu_exp:1.0 ();
+    wl_boost = 0.8;
+    g_switch = 1e-3;
+    g_write = 5e-3;
+    g_off = 1e-12;
+    t_wl_on = 6e-9;
+    t_share = 8e-9;
+    t_wr_cmd = 44e-9;
+    t_margin0 = 2e-9;
+    t_margin_duty = 4e-9;
+    t_decide = 6e-9;
+    t_edge = 0.5e-9;
+  }
+
+let pp ppf t =
+  let u = Dramstress_util.Units.pp_si in
+  Format.fprintf ppf
+    "@[<v>c_bl=%aF c_cell=%aF c_ref=%aF@ wl_boost=%.2f V t_wl_on=%aS \
+     t_share=%aS t_wr=%aS@]"
+    u t.c_bl u t.c_cell u t.c_ref t.wl_boost u t.t_wl_on u t.t_share u
+    t.t_wr_cmd

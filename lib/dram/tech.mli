@@ -1,0 +1,35 @@
+(** Technology and architecture parameters of the simplified
+    design-validation DRAM column model.
+
+    The values are calibrated (see DESIGN.md) so that the nominal border
+    resistance of a cell open lands in the paper's few-hundred-kilo-ohm
+    regime at t_cyc = 60 ns. Capacitances are lumped: the storage value
+    includes contact and junction parasitics of the validation model. *)
+
+type t = {
+  c_bl : float;        (** bit-line capacitance, F *)
+  c_cell : float;      (** storage (lumped) capacitance, F *)
+  c_ref : float;       (** reference (dummy) cell capacitance, F *)
+  c_sa : float;        (** parasitic on the sense-amp rail nodes, F *)
+  c_out : float;       (** output (DQ) node capacitance, F *)
+  access : Dramstress_circuit.Mosfet.model;  (** cell access transistor *)
+  sa_n : Dramstress_circuit.Mosfet.model;    (** latch NMOS *)
+  sa_p : Dramstress_circuit.Mosfet.model;    (** latch PMOS *)
+  wl_boost : float;    (** word-line high = V_dd + wl_boost, V *)
+  g_switch : float;    (** on-conductance of control switches, S *)
+  g_write : float;     (** write-driver drive conductance, S *)
+  g_off : float;       (** off-conductance of all switches, S *)
+  t_wl_on : float;     (** word-line rise instant within the cycle, s *)
+  t_share : float;     (** charge-share window before sensing, s *)
+  t_wr_cmd : float;    (** fixed write-data latency from cycle start, s *)
+  t_margin0 : float;   (** word-line fall margin at duty = 1, s *)
+  t_margin_duty : float; (** extra fall margin per unit (1 - duty), s *)
+  t_decide : float;    (** read-decision delay after sense enable, s *)
+  t_edge : float;      (** control edge duration, s *)
+}
+
+(** Calibrated defaults (see DESIGN.md section 3). *)
+val default : t
+
+(** [scaled_models tech] — convenience accessors used in reports. *)
+val pp : Format.formatter -> t -> unit

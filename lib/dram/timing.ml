@@ -1,0 +1,34 @@
+type t = {
+  t_pre_off : float;
+  t_wl_on : float;
+  t_sense : float;
+  t_decide : float;
+  t_wr : float;
+  t_wl_off : float;
+  t_cyc : float;
+}
+
+let phases (tech : Tech.t) (stress : Stress.t) =
+  Stress.validate stress;
+  let t_cyc = stress.Stress.tcyc in
+  let t_wl_on = tech.Tech.t_wl_on in
+  let margin =
+    tech.Tech.t_margin0 +. (tech.Tech.t_margin_duty *. (1.0 -. stress.Stress.duty))
+  in
+  let t_wl_off = t_cyc -. margin in
+  if t_wl_off <= t_wl_on +. 1e-9 then
+    invalid_arg "Timing.phases: cycle too short to open the word line";
+  let t_sense = Float.min (t_wl_on +. tech.Tech.t_share) (t_wl_off -. 1e-9) in
+  let t_decide = Float.min (t_sense +. tech.Tech.t_decide) (t_wl_off -. 0.5e-9) in
+  let t_wr = Float.max tech.Tech.t_wr_cmd (t_sense +. 2e-9) in
+  { t_pre_off = t_wl_on -. 1e-9; t_wl_on; t_sense; t_decide; t_wr; t_wl_off;
+    t_cyc }
+
+let write_window ph = Float.max 0.0 (ph.t_wl_off -. ph.t_wr)
+
+let pp ppf ph =
+  let u = Dramstress_util.Units.pp_si in
+  Format.fprintf ppf
+    "pre_off=%aS wl_on=%aS sense=%aS decide=%aS wr=%aS wl_off=%aS cyc=%aS"
+    u ph.t_pre_off u ph.t_wl_on u ph.t_sense u ph.t_decide u ph.t_wr
+    u ph.t_wl_off u ph.t_cyc

@@ -1,0 +1,39 @@
+(** Per-cycle control instants derived from the stress combination.
+
+    Cycle structure (times relative to the cycle start):
+
+    {v
+      0 ........ t_pre_off : precharge/equalize to V_dd
+      t_wl_on .............. word line rises (V_dd + boost)
+      t_sense .............. sense amplifier enabled (fixed share window)
+      t_decide ............. read decision sampled (BL vs BLB)
+      t_wr ................. write drivers engage (fixed command latency)
+      t_wl_off ............. word line falls; sense amp disabled
+      t_wl_off + eps .. t_cyc : precharge again
+    v}
+
+    The sense instant is a {e fixed} delay after word-line rise, so cycle
+    time does not move the sense threshold (Section 4.1's observation).
+    The write window [t_wr, t_wl_off] shrinks super-linearly as t_cyc
+    shrinks because t_wr is a fixed latency — the paper's timing-stress
+    mechanism. *)
+
+type t = {
+  t_pre_off : float;
+  t_wl_on : float;
+  t_sense : float;
+  t_decide : float;
+  t_wr : float;      (** may exceed [t_wl_off]: then no write drive at all *)
+  t_wl_off : float;
+  t_cyc : float;
+}
+
+(** [phases tech stress] computes the instants; raises [Invalid_argument]
+    via {!Stress.validate} on a nonphysical SC, or when the cycle is too
+    short to open the word line at all. *)
+val phases : Tech.t -> Stress.t -> t
+
+(** [write_window ph] is [max 0 (t_wl_off - t_wr)]. *)
+val write_window : t -> float
+
+val pp : Format.formatter -> t -> unit

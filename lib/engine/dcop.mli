@@ -1,0 +1,12 @@
+(** DC operating point: capacitors open, sources at their [t = 0] value. *)
+
+(** [solve compiled ?opts ?guess ()] computes the operating point and
+    returns per-node voltages indexed by node id. [guess] provides initial
+    node voltages (by node name). Falls back to a short gmin-stepping
+    homotopy when plain Newton fails. *)
+val solve :
+  Dramstress_circuit.Netlist.compiled ->
+  ?opts:Options.t ->
+  ?guess:(string * float) list ->
+  unit ->
+  float array

@@ -1,0 +1,196 @@
+module C = Dramstress_circuit
+module L = Dramstress_util.Linalg
+
+type t = {
+  compiled : C.Netlist.compiled;
+  n_nodes : int;
+  n_vsources : int;
+  size : int;
+  vsrc_branch : (string, int) Hashtbl.t;  (* vsource name -> branch index *)
+  cap_index : (string, int) Hashtbl.t;    (* capacitor name -> slot *)
+  n_caps : int;
+}
+
+let make (compiled : C.Netlist.compiled) =
+  let n_nodes = compiled.n_nodes in
+  let vsrc_branch = Hashtbl.create 8 in
+  let cap_index = Hashtbl.create 8 in
+  let nv = ref 0 and nc = ref 0 in
+  Array.iter
+    (fun d ->
+      match d with
+      | C.Device.Vsource { name; _ } ->
+        Hashtbl.add vsrc_branch name !nv;
+        incr nv
+      | C.Device.Capacitor { name; _ } ->
+        Hashtbl.add cap_index name !nc;
+        incr nc
+      | C.Device.Resistor _ | C.Device.Isource _ | C.Device.Switch _
+      | C.Device.Mosfet _ ->
+        ())
+    compiled.devices;
+  {
+    compiled;
+    n_nodes;
+    n_vsources = !nv;
+    size = n_nodes - 1 + !nv;
+    vsrc_branch;
+    cap_index;
+    n_caps = !nc;
+  }
+
+let size sys = sys.size
+let n_nodes sys = sys.n_nodes
+let n_capacitors sys = sys.n_caps
+
+let node_voltage _sys x node = if node = 0 then 0.0 else x.(node - 1)
+
+let voltages sys x =
+  Array.init sys.n_nodes (fun n -> if n = 0 then 0.0 else x.(n - 1))
+
+let pack sys node_voltages =
+  Array.init sys.size (fun i ->
+      if i < sys.n_nodes - 1 then node_voltages.(i + 1) else 0.0)
+
+let branch_current sys x name =
+  x.(sys.n_nodes - 1 + Hashtbl.find sys.vsrc_branch name)
+
+type reactive = {
+  dt : float;
+  prev_v : float array;
+  prev_cap_current : float array;
+}
+
+let dc_reactive sys =
+  { dt = 0.0; prev_v = Array.make sys.n_nodes 0.0;
+    prev_cap_current = Array.make sys.n_caps 0.0 }
+
+let init_reactive sys ~prev_v =
+  assert (Array.length prev_v = sys.n_nodes);
+  { dt = 0.0; prev_v; prev_cap_current = Array.make sys.n_caps 0.0 }
+
+(* Stamping helpers. Node indices map to matrix rows as [node - 1];
+   ground (0) contributions are dropped. *)
+
+let stamp_g g mat a b =
+  let ia = a - 1 and ib = b - 1 in
+  if ia >= 0 then mat.(ia).(ia) <- mat.(ia).(ia) +. g;
+  if ib >= 0 then mat.(ib).(ib) <- mat.(ib).(ib) +. g;
+  if ia >= 0 && ib >= 0 then begin
+    mat.(ia).(ib) <- mat.(ia).(ib) -. g;
+    mat.(ib).(ia) <- mat.(ib).(ia) -. g
+  end
+
+(* current [i] injected INTO node [n] appears on the RHS *)
+let stamp_i i rhs n = if n > 0 then rhs.(n - 1) <- rhs.(n - 1) +. i
+
+(* VCCS: current g * (v_cp - v_cn) flows from node [p] to node [n]
+   (leaves p, enters n). *)
+let stamp_vccs g mat p n cp cn =
+  let set r c v = if r > 0 && c > 0 then mat.(r - 1).(c - 1) <- mat.(r - 1).(c - 1) +. v in
+  set p cp g;
+  set p cn (-.g);
+  set n cp (-.g);
+  set n cn g
+
+let mosfet_stamps ~temp mat rhs x sys (m : C.Device.t) =
+  match m with
+  | C.Device.Mosfet { d; g; s; model; m = mult; _ } ->
+    let vd = node_voltage sys x d
+    and vg = node_voltage sys x g
+    and vs = node_voltage sys x s in
+    let vgs = vg -. vs and vds = vd -. vs in
+    let e = C.Mosfet.ids model ~temp ~vgs ~vds in
+    let id = e.id *. mult and gm = e.gm *. mult and gds = e.gds *. mult in
+    (* linearized: Id(v) = Ieq + gm*vgs + gds*vds *)
+    let ieq = id -. (gm *. vgs) -. (gds *. vds) in
+    (* gds acts like a resistor d-s *)
+    stamp_g gds mat d s;
+    (* gm: current gm*(vg - vs) flowing d -> s *)
+    stamp_vccs gm mat d s g s;
+    (* Ieq flows from d to s through the device: leaves d, enters s *)
+    stamp_i (-.ieq) rhs d;
+    stamp_i ieq rhs s
+  | C.Device.Resistor _ | C.Device.Capacitor _ | C.Device.Vsource _
+  | C.Device.Isource _ | C.Device.Switch _ ->
+    assert false
+
+let assemble sys ~(opts : Options.t) ~t_now ~x ~reactive =
+  let n = sys.size in
+  let mat = L.create n n in
+  let rhs = Array.make n 0.0 in
+  (* gmin to ground on every node keeps floating subcircuits solvable *)
+  for node = 1 to sys.n_nodes - 1 do
+    mat.(node - 1).(node - 1) <- mat.(node - 1).(node - 1) +. opts.gmin
+  done;
+  let branch_row name = sys.n_nodes - 1 + Hashtbl.find sys.vsrc_branch name in
+  Array.iter
+    (fun d ->
+      match d with
+      | C.Device.Resistor { a; b; r; _ } -> stamp_g (1.0 /. r) mat a b
+      | C.Device.Switch { a; b; ctrl; g_on; g_off; threshold; _ } ->
+        let g = if C.Waveform.eval ctrl t_now > threshold then g_on else g_off in
+        stamp_g g mat a b
+      | C.Device.Capacitor { name; a; b; c; _ } ->
+        if reactive.dt > 0.0 then begin
+          let vab_prev = reactive.prev_v.(a) -. reactive.prev_v.(b) in
+          let slot = Hashtbl.find sys.cap_index name in
+          let g, i_hist =
+            match opts.integrator with
+            | Options.Backward_euler ->
+              let g = c /. reactive.dt in
+              (g, g *. vab_prev)
+            | Options.Trapezoidal ->
+              let g = 2.0 *. c /. reactive.dt in
+              (g, (g *. vab_prev) +. reactive.prev_cap_current.(slot))
+          in
+          stamp_g g mat a b;
+          stamp_i i_hist rhs a;
+          stamp_i (-.i_hist) rhs b
+        end
+      | C.Device.Vsource { name; pos; neg; wave } ->
+        let row = branch_row name in
+        (* branch current leaves pos, enters neg *)
+        if pos > 0 then begin
+          mat.(pos - 1).(row) <- mat.(pos - 1).(row) +. 1.0;
+          mat.(row).(pos - 1) <- mat.(row).(pos - 1) +. 1.0
+        end;
+        if neg > 0 then begin
+          mat.(neg - 1).(row) <- mat.(neg - 1).(row) -. 1.0;
+          mat.(row).(neg - 1) <- mat.(row).(neg - 1) -. 1.0
+        end;
+        rhs.(row) <- C.Waveform.eval wave t_now
+      | C.Device.Isource { pos; neg; wave; _ } ->
+        let i = C.Waveform.eval wave t_now in
+        (* positive current flows pos -> neg through the source: leaves
+           the pos node, is injected into the neg node *)
+        stamp_i (-.i) rhs pos;
+        stamp_i i rhs neg
+      | C.Device.Mosfet _ ->
+        mosfet_stamps ~temp:opts.temp mat rhs x sys d)
+    sys.compiled.devices;
+  (mat, rhs)
+
+let cap_currents sys ~(opts : Options.t) ~x ~reactive =
+  let out = Array.make sys.n_caps 0.0 in
+  if reactive.dt > 0.0 then
+    Array.iter
+      (fun d ->
+        match d with
+        | C.Device.Capacitor { name; a; b; c; _ } ->
+          let slot = Hashtbl.find sys.cap_index name in
+          let vab = node_voltage sys x a -. node_voltage sys x b in
+          let vab_prev = reactive.prev_v.(a) -. reactive.prev_v.(b) in
+          let i =
+            match opts.integrator with
+            | Options.Backward_euler -> c /. reactive.dt *. (vab -. vab_prev)
+            | Options.Trapezoidal ->
+              (2.0 *. c /. reactive.dt *. (vab -. vab_prev))
+              -. reactive.prev_cap_current.(slot)
+          in
+          out.(slot) <- i
+        | C.Device.Resistor _ | C.Device.Vsource _ | C.Device.Isource _
+        | C.Device.Switch _ | C.Device.Mosfet _ ->
+          ())
+      sys.compiled.devices;
+  out

@@ -1,0 +1,74 @@
+(** Modified nodal analysis: system layout and stamping.
+
+    Unknown vector layout for a circuit with [n] nodes (ground excluded)
+    and [m] voltage sources:
+    {v x = [ v_1 .. v_(n-1) ; i_vsrc_0 .. i_vsrc_(m-1) ] v}
+
+    One assembly produces the linearized system [G x_new = b] around a
+    Newton iterate, with companion models for capacitors (BE or
+    trapezoidal) and linearized MOSFETs. *)
+
+type t
+
+(** [make compiled] precomputes the layout. *)
+val make : Dramstress_circuit.Netlist.compiled -> t
+
+(** [size sys] is the number of unknowns. *)
+val size : t -> int
+
+(** [n_nodes sys] is the node count including ground. *)
+val n_nodes : t -> int
+
+(** [node_voltage sys x node] reads a node voltage from an unknown vector
+    (0.0 for ground). *)
+val node_voltage : t -> float array -> Dramstress_circuit.Device.node -> float
+
+(** [voltages sys x] expands the unknown vector to a per-node voltage
+    array indexed by node id (entry 0 is ground = 0.0). *)
+val voltages : t -> float array -> float array
+
+(** [pack sys node_voltages] builds an unknown vector from per-node
+    voltages (branch currents zeroed). *)
+val pack : t -> float array -> float array
+
+(** [branch_current sys x name] reads a voltage source's branch current
+    from an unknown vector (positive out of the + terminal through the
+    external circuit). Raises [Not_found] for unknown sources. *)
+val branch_current : t -> float array -> string -> float
+
+(** Dynamic (reactive) inputs to one assembly. [prev_v] is the per-node
+    voltage array at the previous accepted time point; [prev_cap_current]
+    stores per-capacitor branch current for the trapezoidal rule (indexed
+    by capacitor order of appearance); [dt <= 0.0] means "no reactive
+    stamps" (pure DC). *)
+type reactive = {
+  dt : float;
+  prev_v : float array;
+  prev_cap_current : float array;
+}
+
+(** [dc_reactive sys] is a [reactive] that disables capacitor stamps. *)
+val dc_reactive : t -> reactive
+
+(** [init_reactive sys ~prev_v] builds a reactive record for transient
+    stepping starting from the given node voltages. *)
+val init_reactive : t -> prev_v:float array -> reactive
+
+(** [n_capacitors sys] — size of [prev_cap_current]. *)
+val n_capacitors : t -> int
+
+(** [assemble sys ~opts ~t ~x ~reactive] stamps the full linearized
+    system at time [t] around iterate [x] and returns [(g, b)]. *)
+val assemble :
+  t ->
+  opts:Options.t ->
+  t_now:float ->
+  x:float array ->
+  reactive:reactive ->
+  Dramstress_util.Linalg.matrix * float array
+
+(** [cap_currents sys ~opts ~x ~reactive] computes each capacitor's branch
+    current at the just-solved point (needed to advance the trapezoidal
+    rule). *)
+val cap_currents :
+  t -> opts:Options.t -> x:float array -> reactive:reactive -> float array

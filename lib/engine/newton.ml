@@ -1,0 +1,36 @@
+module L = Dramstress_util.Linalg
+
+exception No_convergence of { t : float; iterations : int; worst : float }
+
+let solve sys ~(opts : Options.t) ~t_now ~reactive ~x0 =
+  let n_node_unknowns = Mna.n_nodes sys - 1 in
+  let x = Array.copy x0 in
+  let rec iterate iter =
+    let mat, rhs = Mna.assemble sys ~opts ~t_now ~x ~reactive in
+    let x_new = L.lu_solve (L.lu_factor mat) rhs in
+    (* clamp node-voltage updates; branch currents move freely *)
+    let worst = ref 0.0 in
+    for i = 0 to Array.length x - 1 do
+      let dx = x_new.(i) -. x.(i) in
+      if i < n_node_unknowns then begin
+        let dx_clamped =
+          Float.max (-.opts.max_step_v) (Float.min opts.max_step_v dx)
+        in
+        x.(i) <- x.(i) +. dx_clamped;
+        worst := Float.max !worst (Float.abs dx)
+      end
+      else x.(i) <- x_new.(i)
+    done;
+    let tol =
+      opts.abstol
+      +. (opts.reltol
+         *. Array.fold_left
+              (fun acc v -> Float.max acc (Float.abs v))
+              0.0 x)
+    in
+    if !worst <= tol then x
+    else if iter >= opts.max_newton then
+      raise (No_convergence { t = t_now; iterations = iter; worst = !worst })
+    else iterate (iter + 1)
+  in
+  iterate 1

@@ -1,0 +1,18 @@
+(** Damped Newton–Raphson solve of one (possibly nonlinear) MNA system. *)
+
+exception No_convergence of { t : float; iterations : int; worst : float }
+(** Raised when the iteration cap is hit; [worst] is the largest remaining
+    voltage update. *)
+
+(** [solve sys ~opts ~t_now ~reactive ~x0] iterates assemble/solve from
+    initial guess [x0] until every node-voltage update is below
+    [abstol + reltol * |v|]. Node-voltage updates are clamped to
+    [opts.max_step_v] per iteration. Returns the converged unknown
+    vector. *)
+val solve :
+  Mna.t ->
+  opts:Options.t ->
+  t_now:float ->
+  reactive:Mna.reactive ->
+  x0:float array ->
+  float array

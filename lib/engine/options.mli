@@ -1,0 +1,17 @@
+(** Numerical options for the solver. *)
+
+type integrator = Backward_euler | Trapezoidal
+
+type t = {
+  abstol : float;       (** absolute voltage tolerance, V *)
+  reltol : float;       (** relative tolerance *)
+  max_newton : int;     (** Newton iteration cap per time point *)
+  gmin : float;         (** node-to-ground regularization conductance, S *)
+  max_step_v : float;   (** Newton per-iteration voltage step clamp, V *)
+  temp : float;         (** simulation temperature, K *)
+  integrator : integrator;
+}
+
+(** Defaults: abstol 1e-6 V, reltol 1e-4, 80 Newton iterations, gmin 1e-12 S,
+    1.0 V step clamp, 300.15 K, backward Euler. *)
+val default : t

@@ -1,0 +1,118 @@
+module C = Dramstress_circuit
+module I = Dramstress_util.Interp
+
+type result = {
+  times : float array;
+  probe_names : string array;
+  probe_values : float array array;
+  final_v : float array;
+}
+
+let probe result name =
+  let rec find i =
+    if i >= Array.length result.probe_names then raise Not_found
+    else if result.probe_names.(i) = name then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  I.of_arrays result.times result.probe_values.(i)
+
+let value_at result name t = I.eval (probe result name) t
+
+let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
+  (match segments with
+  | [] -> invalid_arg "Transient.run: no segments"
+  | _ ->
+    ignore
+      (List.fold_left
+         (fun t_prev (t_end, dt) ->
+           if dt <= 0.0 then invalid_arg "Transient.run: dt <= 0";
+           if t_end <= t_prev then
+             invalid_arg "Transient.run: segment ends must increase";
+           t_end)
+         0.0 segments));
+  let sys = Mna.make compiled in
+  let n_nodes = Mna.n_nodes sys in
+  let v = Array.make n_nodes 0.0 in
+  List.iter
+    (fun (name, value) ->
+      match
+        (try Some (C.Netlist.compiled_node compiled name) with Not_found -> None)
+      with
+      | Some n ->
+        if n = 0 then invalid_arg "Transient.run: cannot set ground IC";
+        v.(n) <- value
+      | None -> invalid_arg ("Transient.run: unknown IC node " ^ name))
+    ics;
+  let probe_ids =
+    Array.of_list
+      (List.map
+         (fun name ->
+           try C.Netlist.compiled_node compiled name
+           with Not_found ->
+             invalid_arg ("Transient.run: unknown probe node " ^ name))
+         probes)
+  in
+  (* initial quasi-static solve: a near-zero BE step pins capacitor
+     voltages at their ICs while making resistive nodes consistent *)
+  let reactive0 =
+    { (Mna.init_reactive sys ~prev_v:v) with Mna.dt = 1e-18 }
+  in
+  let x =
+    ref (Newton.solve sys ~opts ~t_now:0.0 ~reactive:reactive0
+           ~x0:(Mna.pack sys v))
+  in
+  let prev_v = ref (Mna.voltages sys !x) in
+  let prev_cap =
+    ref (Mna.cap_currents sys ~opts ~x:!x ~reactive:reactive0)
+  in
+  let times = ref [ 0.0 ] in
+  let samples = ref [ Array.map (fun id -> !prev_v.(id)) probe_ids ] in
+  let record t =
+    times := t :: !times;
+    samples := Array.map (fun id -> !prev_v.(id)) probe_ids :: !samples
+  in
+  (* one accepted step from the current state to t_next, with halving
+     retries on Newton failure *)
+  let advance t_prev t_next =
+    let rec attempt t_prev dt retries =
+      let t_now = t_prev +. dt in
+      let reactive =
+        { Mna.dt; prev_v = !prev_v; prev_cap_current = !prev_cap }
+      in
+      match Newton.solve sys ~opts ~t_now ~reactive ~x0:!x with
+      | x_new ->
+        x := x_new;
+        prev_cap := Mna.cap_currents sys ~opts ~x:x_new ~reactive;
+        prev_v := Mna.voltages sys x_new;
+        if t_now >= t_next -. 1e-21 then ()
+        else attempt t_now (t_next -. t_now) retries
+      | exception Newton.No_convergence _ when retries > 0 ->
+        attempt t_prev (dt /. 2.0) (retries - 1)
+    in
+    attempt t_prev (t_next -. t_prev) 4
+  in
+  let t = ref 0.0 in
+  List.iter
+    (fun (t_end, dt) ->
+      while !t < t_end -. (dt /. 2.0) do
+        let t_next = Float.min t_end (!t +. dt) in
+        advance !t t_next;
+        t := t_next;
+        record !t
+      done;
+      t := Float.max !t t_end)
+    segments;
+  let times_arr = Array.of_list (List.rev !times) in
+  let n_pts = Array.length times_arr in
+  let samples_arr = Array.of_list (List.rev !samples) in
+  let probe_values =
+    Array.init (Array.length probe_ids) (fun i ->
+        Array.init n_pts (fun k -> samples_arr.(k).(i)))
+  in
+  {
+    times = times_arr;
+    probe_names = Array.of_list probes;
+    probe_values;
+    final_v = !prev_v;
+  }

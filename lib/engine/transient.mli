@@ -1,0 +1,44 @@
+(** Transient analysis over a piecewise-uniform time grid.
+
+    The grid is given as segments [(t_end, dt)]: the solver steps with
+    time step [dt] until [t_end], then switches to the next segment. This
+    supports microsecond retention pauses next to sub-nanosecond switching
+    activity without an adaptive controller. *)
+
+type result = {
+  times : float array;
+  (** accepted time points, starting at 0.0 *)
+  probe_names : string array;
+  probe_values : float array array;
+  (** [probe_values.(i).(k)] is probe [i] at [times.(k)] *)
+  final_v : float array;
+  (** node voltages at the last time point, indexed by node id *)
+}
+
+(** [probe result name] is the sampled waveform of a probe as an
+    interpolating curve. Raises [Not_found] for unknown probes. *)
+val probe : result -> string -> Dramstress_util.Interp.t
+
+(** [value_at result name t] is the probe value at time [t]. *)
+val value_at : result -> string -> float -> float
+
+(** [run compiled ?opts ~segments ~ics ~probes ()] integrates the circuit.
+
+    - [segments]: ordered [(t_end, dt)] list; [t_end] strictly increases
+      and [dt > 0].
+    - [ics]: initial node voltages by node name; unnamed nodes start at
+      0 V and are made consistent by an initial quasi-static solve (a
+      backward-Euler step of essentially zero length, which pins
+      capacitor voltages at their ICs while solving resistive nodes).
+    - [probes]: node names to record at every accepted point.
+
+    Raises [Newton.No_convergence] if a time point fails to converge
+    after the built-in step-halving retries (4 halvings). *)
+val run :
+  Dramstress_circuit.Netlist.compiled ->
+  ?opts:Options.t ->
+  segments:(float * float) list ->
+  ics:(string * float) list ->
+  probes:string list ->
+  unit ->
+  result

@@ -1,0 +1,154 @@
+type order = Up | Down | Either
+
+type mop = Mw of int | Mr of int | Mdel of float
+
+type element = { order : order; ops : mop list }
+
+type t = { name : string; elements : element list }
+
+let v name elements =
+  if elements = [] then invalid_arg "March.v: no elements";
+  List.iter
+    (fun e ->
+      if e.ops = [] then invalid_arg "March.v: empty element";
+      List.iter
+        (fun op ->
+          match op with
+          | Mw b | Mr b ->
+            if b <> 0 && b <> 1 then invalid_arg "March.v: bit not 0/1"
+          | Mdel d -> if d <= 0.0 then invalid_arg "March.v: bad pause")
+        e.ops)
+    elements;
+  { name; elements }
+
+let up ops = { order = Up; ops }
+let down ops = { order = Down; ops }
+let either ops = { order = Either; ops }
+
+let mats_plus =
+  v "MATS+" [ either [ Mw 0 ]; up [ Mr 0; Mw 1 ]; down [ Mr 1; Mw 0 ] ]
+
+let march_x =
+  v "March X"
+    [ either [ Mw 0 ]; up [ Mr 0; Mw 1 ]; down [ Mr 1; Mw 0 ];
+      either [ Mr 0 ] ]
+
+let march_y =
+  v "March Y"
+    [ either [ Mw 0 ]; up [ Mr 0; Mw 1; Mr 1 ]; down [ Mr 1; Mw 0; Mr 0 ];
+      either [ Mr 0 ] ]
+
+let march_c_minus =
+  v "March C-"
+    [ either [ Mw 0 ]; up [ Mr 0; Mw 1 ]; up [ Mr 1; Mw 0 ];
+      down [ Mr 0; Mw 1 ]; down [ Mr 1; Mw 0 ]; either [ Mr 0 ] ]
+
+let of_detection ~name cond =
+  let ops =
+    List.map
+      (fun step ->
+        match step with
+        | Dramstress_core.Detection.Write b -> Mw b
+        | Dramstress_core.Detection.Read b -> Mr b
+        | Dramstress_core.Detection.Wait d -> Mdel d)
+      cond.Dramstress_core.Detection.steps
+  in
+  v name [ either ops ]
+
+let op_count test =
+  List.fold_left
+    (fun acc e ->
+      acc
+      + List.length
+          (List.filter (function Mw _ | Mr _ -> true | Mdel _ -> false) e.ops))
+    0 test.elements
+
+let pp_mop ppf = function
+  | Mw b -> Format.fprintf ppf "w%d" b
+  | Mr b -> Format.fprintf ppf "r%d" b
+  | Mdel d -> Format.fprintf ppf "del(%a)" Dramstress_util.Units.pp_si d
+
+let pp_element ppf e =
+  let arrow =
+    match e.order with Up -> "up" | Down -> "down" | Either -> "any"
+  in
+  Format.fprintf ppf "%s(%a)" arrow
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       pp_mop)
+    e.ops
+
+let pp ppf t =
+  Format.fprintf ppf "%s: {%a}" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_element)
+    t.elements
+
+let to_string t = Format.asprintf "%a" pp t
+
+let parse ~name s =
+  let s = String.trim s in
+  let s =
+    (* strip the test-name prefix "Name: {...}" and outer braces *)
+    match String.index_opt s '{' with
+    | Some i when String.length s > 0 && s.[String.length s - 1] = '}' ->
+      String.sub s (i + 1) (String.length s - i - 2)
+    | Some _ | None -> s
+  in
+  let parse_op tok =
+    let tok = String.trim (String.lowercase_ascii tok) in
+    match tok with
+    | "w0" -> Mw 0
+    | "w1" -> Mw 1
+    | "r0" -> Mr 0
+    | "r1" -> Mr 1
+    | _ ->
+      if String.length tok > 5 && String.sub tok 0 4 = "del(" &&
+         tok.[String.length tok - 1] = ')'
+      then begin
+        let inner = String.sub tok 4 (String.length tok - 5) in
+        match float_of_string_opt (String.trim inner) with
+        | Some d when d > 0.0 -> Mdel d
+        | Some _ | None -> invalid_arg ("March.parse: bad delay " ^ tok)
+      end
+      else invalid_arg ("March.parse: unknown op " ^ tok)
+  in
+  let parse_element chunk =
+    let chunk = String.trim chunk in
+    match String.index_opt chunk '(' with
+    | Some i when chunk.[String.length chunk - 1] = ')' ->
+      let order =
+        match String.lowercase_ascii (String.trim (String.sub chunk 0 i)) with
+        | "up" -> Up
+        | "down" -> Down
+        | "any" | "either" | "" -> Either
+        | o -> invalid_arg ("March.parse: unknown order " ^ o)
+      in
+      let inner = String.sub chunk (i + 1) (String.length chunk - i - 2) in
+      (* split on commas outside the del(...) parentheses *)
+      let ops = ref [] and buf = Buffer.create 8 and depth = ref 0 in
+      String.iter
+        (fun c ->
+          match c with
+          | '(' ->
+            incr depth;
+            Buffer.add_char buf c
+          | ')' ->
+            decr depth;
+            Buffer.add_char buf c
+          | ',' when !depth = 0 ->
+            ops := Buffer.contents buf :: !ops;
+            Buffer.clear buf
+          | _ -> Buffer.add_char buf c)
+        inner;
+      ops := Buffer.contents buf :: !ops;
+      { order; ops = List.rev_map parse_op !ops }
+    | Some _ | None -> invalid_arg ("March.parse: malformed element " ^ chunk)
+  in
+  let chunks =
+    String.split_on_char ';' s
+    |> List.map String.trim
+    |> List.filter (( <> ) "")
+  in
+  v name (List.map parse_element chunks)

@@ -1,0 +1,62 @@
+(** March tests: the industry-standard memory test notation.
+
+    A march test is a sequence of march elements; each element visits
+    every address in a given order and applies its operations to each
+    cell before moving on. *)
+
+type order =
+  | Up      (** ascending addresses *)
+  | Down    (** descending addresses *)
+  | Either  (** order irrelevant (both satisfy the test) *)
+
+type mop =
+  | Mw of int      (** write the bit *)
+  | Mr of int      (** read, expecting the bit *)
+  | Mdel of float  (** pause (retention element), s *)
+
+type element = { order : order; ops : mop list }
+
+type t = { name : string; elements : element list }
+
+(** [v name elements] checks the test is well formed: every element
+    non-empty, bits 0/1, pauses positive. *)
+val v : string -> element list -> t
+
+(** [up ops], [down ops], [either ops] build elements. *)
+val up : mop list -> element
+val down : mop list -> element
+val either : mop list -> element
+
+(** Standard tests from the literature. *)
+
+(** MATS+ (5n). *)
+val mats_plus : t
+
+(** March X (6n). *)
+val march_x : t
+
+(** March Y (8n). *)
+val march_y : t
+
+(** March C- (10n). *)
+val march_c_minus : t
+
+(** [of_detection ~name cond] lifts one of the paper's detection
+    conditions into a single-element march test (applied per cell). *)
+val of_detection : name:string -> Dramstress_core.Detection.t -> t
+
+(** [op_count test] is the number of operations per cell (the [n]
+    multiplier in the test's complexity). *)
+val op_count : t -> int
+
+(** [pp ppf test] prints the standard arrow notation, e.g.
+    [{up(w0); up(r0,w1); down(r1,w0)}]. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** [parse ~name s] reads the notation {!pp} emits:
+    [{any(w0); up(r0,w1); down(r1,w0)}] — braces optional, separators
+    [;], orders [up]/[down]/[any], ops [w0 w1 r0 r1 del(<seconds>)].
+    Raises [Invalid_argument] with a message on malformed input. *)
+val parse : name:string -> string -> t

@@ -1,0 +1,65 @@
+module S = Dramstress_dram.Stress
+module C = Dramstress_core
+
+type outcome = Pass | Fail | Invalid
+
+type t = {
+  x_axis : S.axis;
+  x_values : float list;
+  y_axis : S.axis;
+  y_values : float list;
+  grid : outcome array array;
+  defect : Dramstress_defect.Defect.t;
+}
+
+let generate ?tech ~stress ~defect ~detection ~x:(x_axis, x_values)
+    ~y:(y_axis, y_values) () =
+  if x_values = [] || y_values = [] then
+    invalid_arg "Shmoo.generate: empty axis";
+  let point yv xv =
+    let sc = S.set (S.set stress x_axis xv) y_axis yv in
+    match C.Detection.detects ?tech ~stress:sc ~defect detection with
+    | true -> Fail
+    | false -> Pass
+    | exception Invalid_argument _ -> Invalid
+  in
+  let grid =
+    Array.of_list
+      (List.map
+         (fun yv -> Array.of_list (List.map (fun xv -> point yv xv) x_values))
+         y_values)
+  in
+  { x_axis; x_values; y_axis; y_values; grid; defect }
+
+let fail_fraction shmoo =
+  let fails = ref 0 and valid = ref 0 in
+  Array.iter
+    (Array.iter (fun o ->
+         match o with
+         | Fail ->
+           incr fails;
+           incr valid
+         | Pass -> incr valid
+         | Invalid -> ()))
+    shmoo.grid;
+  if !valid = 0 then 0.0 else float_of_int !fails /. float_of_int !valid
+
+let render shmoo =
+  let xs = Array.of_list shmoo.x_values in
+  let ys = Array.of_list shmoo.y_values in
+  let title =
+    Format.asprintf
+      "Shmoo plot: %a (x) vs %a (y), defect %a ['.' pass, 'X' fail]"
+      S.pp_axis shmoo.x_axis S.pp_axis shmoo.y_axis
+      Dramstress_defect.Defect.pp shmoo.defect
+  in
+  Dramstress_util.Ascii_plot.render_grid ~title
+    ~rows:(Format.asprintf "%a" S.pp_axis shmoo.y_axis, Array.length ys)
+    ~cols:(Format.asprintf "%a" S.pp_axis shmoo.x_axis, Array.length xs)
+    ~row_label:(fun r -> Printf.sprintf "%.3g" ys.(r))
+    ~col_label:(fun c -> Printf.sprintf "%.3g " xs.(c))
+    (fun r c ->
+      match shmoo.grid.(r).(c) with
+      | Pass -> '.'
+      | Fail -> 'X'
+      | Invalid -> '?')

@@ -1,0 +1,40 @@
+(** Shmoo plots — the traditional black-box stress-optimization method
+    the paper's Section 2 describes (and argues against).
+
+    Two stress axes are swept; at each grid point the detection
+    condition is executed electrically against the defective column and
+    the pass/fail outcome recorded. *)
+
+type outcome =
+  | Pass        (** test passes: the defect is NOT caught here *)
+  | Fail        (** test fails: the defect is caught *)
+  | Invalid     (** the SC is not operable (e.g. cycle too short) *)
+
+type t = {
+  x_axis : Dramstress_dram.Stress.axis;
+  x_values : float list;
+  y_axis : Dramstress_dram.Stress.axis;
+  y_values : float list;
+  grid : outcome array array;  (** [grid.(yi).(xi)] *)
+  defect : Dramstress_defect.Defect.t;
+}
+
+(** [generate ?tech ~stress ~defect ~detection ~x ~y ()] sweeps the two
+    axes around the base [stress]; [x] and [y] pair an axis with its
+    values. *)
+val generate :
+  ?tech:Dramstress_dram.Tech.t ->
+  stress:Dramstress_dram.Stress.t ->
+  defect:Dramstress_defect.Defect.t ->
+  detection:Dramstress_core.Detection.t ->
+  x:Dramstress_dram.Stress.axis * float list ->
+  y:Dramstress_dram.Stress.axis * float list ->
+  unit ->
+  t
+
+(** [fail_fraction shmoo] is the share of operable points that fail. *)
+val fail_fraction : t -> float
+
+(** [render shmoo] draws the classic character plot: ['.'] pass,
+    ['X'] fail, ['?'] invalid. *)
+val render : t -> string

@@ -1,0 +1,29 @@
+let escape field =
+  let needs_quote =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n') field
+  in
+  if needs_quote then begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else field
+
+let to_string ~header rows =
+  let line fields = String.concat "," (List.map escape fields) in
+  String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+let of_floats ~header rows =
+  to_string ~header
+    (List.map (List.map (fun v -> Printf.sprintf "%.9g" v)) rows)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)

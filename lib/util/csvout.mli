@@ -1,0 +1,11 @@
+(** Minimal CSV emission for waveform and sweep data. *)
+
+(** [to_string ~header rows] renders a CSV document. Fields containing
+    commas, quotes or newlines are quoted. *)
+val to_string : header:string list -> string list list -> string
+
+(** [of_floats ~header rows] formats float rows with [%.9g]. *)
+val of_floats : header:string list -> float list list -> string
+
+(** [write_file path contents] writes (and truncates) [path]. *)
+val write_file : string -> string -> unit

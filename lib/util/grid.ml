@@ -1,0 +1,24 @@
+let linspace a b n =
+  if n <= 0 then invalid_arg "Grid.linspace: n <= 0";
+  if n = 1 then [ a ]
+  else
+    List.init n (fun i ->
+        a +. ((b -. a) *. float_of_int i /. float_of_int (n - 1)))
+
+let logspace a b n =
+  if a <= 0.0 || b <= 0.0 then invalid_arg "Grid.logspace: non-positive bound";
+  List.map exp (linspace (log a) (log b) n)
+
+let arange a b step =
+  if step = 0.0 then invalid_arg "Grid.arange: zero step";
+  let rec loop x acc =
+    if (step > 0.0 && x >= b) || (step < 0.0 && x <= b) then List.rev acc
+    else loop (x +. step) (x :: acc)
+  in
+  loop a []
+
+let decades lo hi per_decade =
+  if per_decade <= 0 then invalid_arg "Grid.decades: per_decade <= 0";
+  let span = log10 (hi /. lo) in
+  let n = Int.max 2 (1 + int_of_float (ceil (span *. float_of_int per_decade))) in
+  logspace lo hi n

@@ -1,0 +1,17 @@
+(** Sampling grids for parameter sweeps. *)
+
+(** [linspace a b n] is [n >= 2] evenly spaced points from [a] to [b]
+    inclusive. [linspace a b 1] is [[a]]. *)
+val linspace : float -> float -> int -> float list
+
+(** [logspace a b n] is [n] log-evenly spaced points from [a] to [b]
+    inclusive; both must be positive. *)
+val logspace : float -> float -> int -> float list
+
+(** [arange a b step] is [a, a+step, ...] strictly below [b] (for positive
+    step). *)
+val arange : float -> float -> float -> float list
+
+(** [decades lo hi per_decade] is a log grid covering [[lo, hi]] with
+    [per_decade] points per decade, always including both endpoints. *)
+val decades : float -> float -> int -> float list

@@ -1,0 +1,125 @@
+type matrix = float array array
+
+exception Singular of int
+
+let create n m = Array.make_matrix n m 0.0
+
+let copy a = Array.map Array.copy a
+
+let dims a =
+  let n = Array.length a in
+  if n = 0 then (0, 0) else (n, Array.length a.(0))
+
+let identity n =
+  let a = create n n in
+  for i = 0 to n - 1 do
+    a.(i).(i) <- 1.0
+  done;
+  a
+
+let mat_vec a x =
+  let n, m = dims a in
+  assert (Array.length x = m);
+  Array.init n (fun i ->
+      let row = a.(i) in
+      let s = ref 0.0 in
+      for j = 0 to m - 1 do
+        s := !s +. (row.(j) *. x.(j))
+      done;
+      !s)
+
+let mat_mul a b =
+  let n, k = dims a in
+  let k', m = dims b in
+  assert (k = k');
+  let c = create n m in
+  for i = 0 to n - 1 do
+    for p = 0 to k - 1 do
+      let aip = a.(i).(p) in
+      if aip <> 0.0 then
+        for j = 0 to m - 1 do
+          c.(i).(j) <- c.(i).(j) +. (aip *. b.(p).(j))
+        done
+    done
+  done;
+  c
+
+type lu = { lu : matrix; perm : int array }
+
+(* Doolittle LU with partial pivoting, stored in place in a copy. *)
+let lu_factor a =
+  let n, m = dims a in
+  assert (n = m);
+  let lu = copy a in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    let pivot = ref k in
+    let best = ref (Float.abs lu.(k).(k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs lu.(i).(k) in
+      if v > !best then begin
+        best := v;
+        pivot := i
+      end
+    done;
+    if !best < 1e-300 then raise (Singular k);
+    if !pivot <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!pivot);
+      lu.(!pivot) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!pivot);
+      perm.(!pivot) <- tp
+    end;
+    let pkk = lu.(k).(k) in
+    for i = k + 1 to n - 1 do
+      let f = lu.(i).(k) /. pkk in
+      lu.(i).(k) <- f;
+      if f <> 0.0 then begin
+        let ri = lu.(i) and rk = lu.(k) in
+        for j = k + 1 to n - 1 do
+          ri.(j) <- ri.(j) -. (f *. rk.(j))
+        done
+      end
+    done
+  done;
+  { lu; perm }
+
+let lu_solve { lu; perm } b =
+  let n = Array.length perm in
+  assert (Array.length b = n);
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution: L has unit diagonal *)
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    let row = lu.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (row.(j) *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    let row = lu.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (row.(j) *. x.(j))
+    done;
+    x.(i) <- !s /. row.(i)
+  done;
+  x
+
+let solve a b = lu_solve (lu_factor a) b
+
+let norm_inf x = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x
+
+let norm_2 x = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x)
+
+let axpy alpha x y =
+  for i = 0 to Array.length y - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let sub x y = Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let residual a x b = sub (mat_vec a x) b

@@ -1,0 +1,494 @@
+(* Tests for the fault-analysis core: detection conditions, border
+   resistance, result planes, stress probes and SC evaluation. *)
+
+module S = Dramstress_dram.Stress
+module O = Dramstress_dram.Ops
+module D = Dramstress_defect.Defect
+module C = Dramstress_core
+
+let nominal = S.nominal
+let open_kind = D.Open_cell D.At_bitline_contact
+
+(* ------------------------------------------------------------------ *)
+(* Detection                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_detection_standard_shape () =
+  let cond = C.Detection.standard ~victim:0 ~primes:2 in
+  Alcotest.(check bool) "steps" true
+    (cond.C.Detection.steps
+    = [ C.Detection.Write 1; C.Detection.Write 1; C.Detection.Write 0;
+        C.Detection.Read 0 ]);
+  Alcotest.(check string) "notation" "{... w1, w1, w0, r0 ...}"
+    (C.Detection.to_string cond)
+
+let test_detection_validation () =
+  Alcotest.check_raises "bad bit" (Invalid_argument "Detection.v: bit not 0/1")
+    (fun () -> ignore (C.Detection.v [ C.Detection.Write 2 ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Detection.v: empty")
+    (fun () -> ignore (C.Detection.v []));
+  Alcotest.check_raises "primes" (Invalid_argument "Detection.standard: primes < 1")
+    (fun () -> ignore (C.Detection.standard ~victim:0 ~primes:0))
+
+let test_detection_lowering () =
+  let cond = C.Detection.retention ~victim:1 ~pause:1e-3 in
+  (match C.Detection.ops cond with
+  | [ O.W1; O.Pause p; O.R ] -> Alcotest.(check (float 0.0)) "pause" 1e-3 p
+  | _ -> Alcotest.fail "lowering");
+  Alcotest.(check (list int)) "expected reads" [ 1 ]
+    (C.Detection.expected_reads cond)
+
+let test_detection_initial_vc () =
+  let cond = C.Detection.standard ~victim:0 ~primes:2 in
+  (* first write is w1: start from its complement, physical 0 *)
+  let d_true = D.v open_kind D.True_bl 1e5 in
+  Alcotest.(check (float 0.0)) "true placement" 0.0
+    (C.Detection.initial_vc cond ~stress:nominal ~defect:d_true);
+  let d_comp = D.v open_kind D.Comp_bl 1e5 in
+  Alcotest.(check (float 0.0)) "comp placement" nominal.S.vdd
+    (C.Detection.initial_vc cond ~stress:nominal ~defect:d_comp)
+
+let test_detects_open () =
+  let cond = C.Detection.standard ~victim:0 ~primes:2 in
+  let big = D.v open_kind D.True_bl 500e3 in
+  let small = D.v open_kind D.True_bl 10e3 in
+  Alcotest.(check bool) "500k detected" true
+    (C.Detection.detects ~stress:nominal ~defect:big cond);
+  Alcotest.(check bool) "10k escapes" false
+    (C.Detection.detects ~stress:nominal ~defect:small cond)
+
+(* ------------------------------------------------------------------ *)
+(* Border                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_border_open () =
+  let cond = C.Detection.standard ~victim:0 ~primes:2 in
+  match
+    C.Border.search ~r_max:1e8 ~stress:nominal ~kind:open_kind
+      ~placement:D.True_bl cond
+  with
+  | C.Border.Br r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "BR %.0f kOhm in the paper's regime" (r /. 1e3))
+      true
+      (r > 80e3 && r < 400e3)
+  | other ->
+    Alcotest.failf "expected Br, got %s"
+      (Format.asprintf "%a" C.Border.pp_result other)
+
+let test_border_true_comp_symmetry () =
+  let br placement victim =
+    let cond = C.Detection.standard ~victim ~primes:2 in
+    C.Border.search ~r_max:1e8 ~stress:nominal ~kind:open_kind ~placement cond
+  in
+  match (br D.True_bl 0, br D.Comp_bl 1) with
+  | C.Border.Br a, C.Border.Br b ->
+    Alcotest.(check bool)
+      (Printf.sprintf "true %.0fk ~ comp %.0fk" (a /. 1e3) (b /. 1e3))
+      true
+      (Float.abs (a -. b) /. a < 0.05)
+  | _ -> Alcotest.fail "expected boundaries on both placements"
+
+let test_border_band_for_neighbour_bridge () =
+  (* only an interior resistance band is detectable: a hard bridge zeroes
+     the aggressor during the victim write, a weak one cannot couple in
+     time. Needs the hot SC -- at room temperature B2 escapes entirely. *)
+  let cond = C.Detection.retention ~victim:0 ~pause:1e-3 in
+  match
+    C.Border.search ~stress:(S.with_temp_c nominal 87.0)
+      ~kind:D.Bridge_to_neighbour ~placement:D.True_bl cond
+  with
+  | C.Border.Faulty_band { lo; hi } ->
+    Alcotest.(check bool) "interior band" true (lo > 1e3 && hi < 1e11 && lo < hi)
+  | other ->
+    Alcotest.failf "expected a band, got %s"
+      (Format.asprintf "%a" C.Border.pp_result other)
+
+let test_border_helpers () =
+  let pol = D.High_r_fails in
+  Alcotest.(check bool) "lower BR better for opens" true
+    (C.Border.better pol (C.Border.Br 1e5) (C.Border.Br 2e5));
+  Alcotest.(check bool) "always beats Br" true
+    (C.Border.better pol C.Border.Always_faulty (C.Border.Br 1e5));
+  Alcotest.(check bool) "never loses" true
+    (C.Border.better pol (C.Border.Br 1e5) C.Border.Never_faulty);
+  (match
+     C.Border.improvement pol ~nominal:(C.Border.Br 2e5)
+       ~stressed:(C.Border.Br 5e4)
+   with
+  | Some f -> Alcotest.(check (float 1e-9)) "4x" 4.0 f
+  | None -> Alcotest.fail "expected improvement");
+  (match
+     C.Border.improvement D.Low_r_fails ~nominal:(C.Border.Br 1e6)
+       ~stressed:(C.Border.Br 1e9)
+   with
+  | Some f -> Alcotest.(check (float 1e-6)) "1000x" 1000.0 f
+  | None -> Alcotest.fail "expected improvement");
+  Alcotest.(check bool) "never -> none" true
+    (C.Border.improvement pol ~nominal:C.Border.Never_faulty
+       ~stressed:(C.Border.Br 1e5)
+    = None);
+  (match
+     C.Border.covered_range D.Low_r_fails (C.Border.Br 1e6) ~r_min:1e3
+       ~r_max:1e9
+   with
+  | Some (lo, hi) ->
+    Alcotest.(check (float 0.0)) "lo" 1e3 lo;
+    Alcotest.(check (float 0.0)) "hi" 1e6 hi
+  | None -> Alcotest.fail "expected range")
+
+(* ------------------------------------------------------------------ *)
+(* Planes                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_rops = Dramstress_util.Grid.logspace 1e3 1e6 6
+
+let test_vmp_reasonable () =
+  let v = C.Plane.vmp ~stress:nominal () in
+  Alcotest.(check bool) (Printf.sprintf "vmp %.2f" v) true (v > 0.5 && v < 1.9)
+
+let test_vsa_declines_with_r () =
+  let vsa r =
+    C.Plane.vsa ~stress:nominal ~defect:(D.v open_kind D.True_bl r) ()
+  in
+  match (vsa 1e3, vsa 300e3) with
+  | C.Plane.Vsa low_r, C.Plane.Vsa high_r ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%.2f -> %.2f" low_r high_r)
+      true (high_r < low_r)
+  | C.Plane.Vsa _, C.Plane.Reads_all_1 -> ()  (* collapsed: also declining *)
+  | _ -> Alcotest.fail "unexpected saturation at low R"
+
+let test_vsa_collapses_to_all_1 () =
+  (* the paper's footnote: at large opens a stored 0 cannot pull the
+     precharged bit line down, everything reads 1 *)
+  match
+    C.Plane.vsa ~stress:nominal ~defect:(D.v open_kind D.True_bl 1e8) ()
+  with
+  | C.Plane.Reads_all_1 -> ()
+  | other ->
+    Alcotest.failf "expected Reads_all_1, got %s"
+      (match other with
+      | C.Plane.Vsa v -> Printf.sprintf "Vsa %.2f" v
+      | C.Plane.Reads_all_0 -> "Reads_all_0"
+      | C.Plane.Reads_all_1 -> assert false)
+
+let test_write_plane_structure () =
+  let plane =
+    C.Plane.write_plane ~n_ops:3 ~rops:small_rops ~stress:nominal
+      ~kind:open_kind ~placement:D.True_bl ~op:O.W0 ()
+  in
+  Alcotest.(check int) "three curves" 3 (List.length plane.C.Plane.curves);
+  List.iter
+    (fun (c : C.Plane.curve) ->
+      Alcotest.(check int) "one point per R" (List.length small_rops)
+        (List.length c.C.Plane.points))
+    plane.C.Plane.curves;
+  (* successive w0 curves must be monotone: each op discharges further *)
+  match plane.C.Plane.curves with
+  | first :: second :: _ ->
+    List.iter2
+      (fun (p1 : C.Plane.point) (p2 : C.Plane.point) ->
+        Alcotest.(check bool) "second w0 lower" true
+          (p2.C.Plane.vc <= p1.C.Plane.vc +. 1e-3))
+      first.C.Plane.points second.C.Plane.points
+  | _ -> Alcotest.fail "missing curves"
+
+let test_write_plane_rejects_read () =
+  Alcotest.check_raises "read op"
+    (Invalid_argument "Plane.write_plane: op must be a write") (fun () ->
+      ignore
+        (C.Plane.write_plane ~stress:nominal ~kind:open_kind
+           ~placement:D.True_bl ~op:O.R ()))
+
+let test_br_geometric_matches_search () =
+  let plane =
+    C.Plane.write_plane ~n_ops:2
+      ~rops:(Dramstress_util.Grid.logspace 3e4 2e6 10)
+      ~stress:nominal ~kind:open_kind ~placement:D.True_bl ~op:O.W0 ()
+  in
+  match C.Plane.br_geometric plane with
+  | Some br_geo ->
+    let cond = C.Detection.standard ~victim:0 ~primes:2 in
+    (match
+       C.Border.search ~r_max:1e8 ~stress:nominal ~kind:open_kind
+         ~placement:D.True_bl cond
+     with
+    | C.Border.Br br_search ->
+      Alcotest.(check bool)
+        (Printf.sprintf "geometric %.0fk vs search %.0fk" (br_geo /. 1e3)
+           (br_search /. 1e3))
+        true
+        (br_geo /. br_search < 3.0 && br_search /. br_geo < 3.0)
+    | _ -> Alcotest.fail "search found no boundary")
+  | None -> Alcotest.fail "no geometric intersection"
+
+let test_read_plane_structure () =
+  let plane =
+    C.Plane.read_plane ~n_ops:2 ~rops:small_rops ~stress:nominal
+      ~kind:open_kind ~placement:D.True_bl ()
+  in
+  (* two seeds x two ops *)
+  Alcotest.(check int) "four curves" 4 (List.length plane.C.Plane.curves)
+
+(* ------------------------------------------------------------------ *)
+(* Stressor                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let detection_for kind placement =
+  C.Detection.standard ~victim:(D.logical_victim kind placement) ~primes:2
+
+let test_probe_cycle_time () =
+  let p =
+    C.Stressor.probe_axis ~stress:nominal ~kind:open_kind
+      ~placement:D.True_bl
+      ~detection:(detection_for open_kind D.True_bl)
+      S.Cycle_time [ 55e-9; 60e-9 ]
+  in
+  (* shorter cycle leaves a larger residual: the metric falls with the
+     axis, so the stressful direction is "decrease" *)
+  Alcotest.(check bool) "verdict decrease" true
+    (p.C.Stressor.verdict = C.Stressor.Decrease);
+  Alcotest.(check bool) "write direction decrease" true
+    (p.C.Stressor.write_direction = C.Stressor.Decrease)
+
+let test_probe_vdd_resolves_by_br () =
+  let p =
+    C.Stressor.probe_axis ~stress:nominal ~kind:open_kind
+      ~placement:D.True_bl
+      ~detection:(detection_for open_kind D.True_bl)
+      S.Supply_voltage [ 2.1; 2.4; 2.7 ]
+  in
+  (* the paper's conflict: the write wants Vdd up, the read wants it
+     down; the verdict must come from a BR comparison *)
+  Alcotest.(check bool) "conflicting probes" true
+    (p.C.Stressor.write_direction = C.Stressor.Increase);
+  Alcotest.(check bool) "resolved via BR" true
+    (p.C.Stressor.br_at_extremes <> [])
+
+let test_probe_validation () =
+  Alcotest.check_raises "one value"
+    (Invalid_argument "Stressor.probe_axis: need at least two values")
+    (fun () ->
+      ignore
+        (C.Stressor.probe_axis ~stress:nominal ~kind:open_kind
+           ~placement:D.True_bl
+           ~detection:(detection_for open_kind D.True_bl)
+           S.Cycle_time [ 60e-9 ]))
+
+let test_apply_verdict () =
+  let p =
+    C.Stressor.probe_axis ~stress:nominal ~kind:open_kind
+      ~placement:D.True_bl
+      ~detection:(detection_for open_kind D.True_bl)
+      S.Cycle_time [ 55e-9; 60e-9 ]
+  in
+  let sc = C.Stressor.apply_verdict p ~stress:nominal in
+  Alcotest.(check (float 1e-12)) "tcyc nudged down" 55e-9 sc.S.tcyc
+
+let test_default_values () =
+  (match C.Stressor.default_values S.Temperature ~stress:nominal with
+  | [ a; b; c ] ->
+    Alcotest.(check (float 1e-9)) "-33" (-33.0) a;
+    Alcotest.(check (float 1e-9)) "27" 27.0 b;
+    Alcotest.(check (float 1e-9)) "87" 87.0 c
+  | _ -> Alcotest.fail "temperature candidates");
+  match C.Stressor.default_values S.Cycle_time ~stress:nominal with
+  | [ a; b ] ->
+    Alcotest.(check (float 1e-12)) "55 ns" 55e-9 a;
+    Alcotest.(check (float 1e-12)) "60 ns" 60e-9 b
+  | _ -> Alcotest.fail "tcyc candidates"
+
+(* ------------------------------------------------------------------ *)
+(* SC evaluation + Table 1                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_sc_eval_open () =
+  let e =
+    C.Sc_eval.evaluate ~nominal ~kind:open_kind ~placement:D.True_bl ()
+  in
+  (match (e.C.Sc_eval.nominal_br, e.C.Sc_eval.stressed_br) with
+  | C.Border.Br nom, C.Border.Br str ->
+    Alcotest.(check bool)
+      (Printf.sprintf "stressed %.0fk < nominal %.0fk" (str /. 1e3)
+         (nom /. 1e3))
+      true (str < nom)
+  | _ -> Alcotest.fail "expected boundaries");
+  (match e.C.Sc_eval.improvement with
+  | Some f -> Alcotest.(check bool) "coverage grew" true (f > 1.2)
+  | None -> Alcotest.fail "expected improvement");
+  (* the stressed SC must include the shorter cycle *)
+  Alcotest.(check bool) "tcyc reduced" true
+    (e.C.Sc_eval.stressed.S.tcyc < nominal.S.tcyc)
+
+let test_sc_eval_short_uses_retention () =
+  let e =
+    C.Sc_eval.evaluate ~nominal ~kind:D.Short_to_gnd ~placement:D.True_bl ()
+  in
+  let has_pause cond =
+    List.exists
+      (function C.Detection.Wait _ -> true | _ -> false)
+      cond.C.Detection.steps
+  in
+  Alcotest.(check bool) "nominal pause-free" false
+    (has_pause e.C.Sc_eval.nominal_detection);
+  Alcotest.(check bool) "stressed uses retention" true
+    (has_pause e.C.Sc_eval.stressed_detection);
+  match e.C.Sc_eval.improvement with
+  | Some f ->
+    Alcotest.(check bool)
+      (Printf.sprintf "orders of magnitude (%.0fx)" f)
+      true (f > 100.0)
+  | None -> Alcotest.fail "expected improvement"
+
+let test_candidate_detections_placement () =
+  let conds =
+    C.Sc_eval.candidate_detections ~allow_pause:false ~placement:D.Comp_bl
+      open_kind
+  in
+  (* comp placement: victims invert, so the victim write is w1 *)
+  List.iter
+    (fun (c : C.Detection.t) ->
+      let has_r1 =
+        List.exists (function C.Detection.Read 1 -> true | _ -> false)
+          c.C.Detection.steps
+      in
+      Alcotest.(check bool) "reads expect 1" true has_r1)
+    conds
+
+let test_exhaustive_small_grid () =
+  let detection = C.Detection.standard ~victim:0 ~primes:2 in
+  let before = Dramstress_dram.Ops.run_count () in
+  let result =
+    C.Exhaustive.optimize ~tcyc_values:[ 55e-9; 60e-9 ] ~temp_values:[ 27.0 ]
+      ~vdd_values:[ 2.4 ] ~nominal ~kind:open_kind ~placement:D.True_bl
+      detection
+  in
+  Alcotest.(check int) "grid size" 2 result.C.Exhaustive.grid_size;
+  Alcotest.(check int) "ranking size" 2
+    (List.length result.C.Exhaustive.ranking);
+  Alcotest.(check bool) "simulations counted" true
+    (result.C.Exhaustive.simulations > 0
+    && Dramstress_dram.Ops.run_count () - before
+       >= result.C.Exhaustive.simulations);
+  (* the shorter cycle must win for an open *)
+  Alcotest.(check (float 1e-12)) "best tcyc" 55e-9
+    result.C.Exhaustive.best.S.tcyc;
+  match result.C.Exhaustive.best_br with
+  | C.Border.Br r -> Alcotest.(check bool) "finite BR" true (r > 1e4)
+  | _ -> Alcotest.fail "expected a boundary"
+
+let test_run_counter () =
+  Dramstress_dram.Ops.reset_run_count ();
+  ignore (Dramstress_dram.Ops.run ~stress:nominal [ Dramstress_dram.Ops.W0 ]);
+  ignore (Dramstress_dram.Ops.run ~stress:nominal [ Dramstress_dram.Ops.R ]);
+  Alcotest.(check int) "two runs" 2 (Dramstress_dram.Ops.run_count ())
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_report_figure2 () =
+  let out =
+    C.Report.figure2
+      ~rops:(Dramstress_util.Grid.logspace 1e4 1e6 5)
+      ~stress:nominal ~kind:open_kind ~placement:D.True_bl ()
+  in
+  Alcotest.(check bool) "w0 panel" true (contains out "(a) Plane of w0");
+  Alcotest.(check bool) "w1 panel" true (contains out "(b) Plane of w1");
+  Alcotest.(check bool) "r panel" true (contains out "(c) Plane of r");
+  Alcotest.(check bool) "vsa legend" true (contains out "[S] Vsa");
+  Alcotest.(check bool) "geometric BR line" true (contains out "geometric BR")
+
+let test_report_panels () =
+  let out =
+    C.Report.figure_st_panels ~stress:nominal ~axis:S.Cycle_time
+      ~values:[ 55e-9; 60e-9 ] ~kind:open_kind ~placement:D.True_bl ()
+  in
+  Alcotest.(check bool) "write panel" true (contains out "Vc during a w0");
+  Alcotest.(check bool) "read panel" true (contains out "marginal cell");
+  Alcotest.(check bool) "legend per value" true (contains out "t_cyc=5.5e-08")
+
+let test_plane_csv () =
+  let plane =
+    C.Plane.write_plane ~n_ops:2 ~rops:small_rops ~stress:nominal
+      ~kind:open_kind ~placement:D.True_bl ~op:O.W0 ()
+  in
+  let csv = C.Report.plane_csv plane in
+  Alcotest.(check bool) "header" true (contains csv "r_ohm");
+  Alcotest.(check bool) "vsa column" true (contains csv "vsa");
+  (* one data row per resistance plus the header *)
+  let lines =
+    String.split_on_char '\n' (String.trim csv) |> List.length
+  in
+  Alcotest.(check int) "rows" (1 + List.length small_rops) lines
+
+let test_table1_quick () =
+  let entries =
+    List.filter (fun (e : D.entry) -> e.D.id = "O1") D.catalog
+  in
+  let table = C.Table1.generate ~entries ~placements:[ D.True_bl ] () in
+  Alcotest.(check int) "one row" 1 (List.length table.C.Table1.rows);
+  let text = C.Table1.render table in
+  let csv = C.Table1.to_csv table in
+  Alcotest.(check bool) "render has header" true
+    (String.length text > 100);
+  Alcotest.(check bool) "csv header" true
+    (String.length csv > 50 && String.sub csv 0 6 = "defect")
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "dramstress_core"
+    [
+      ( "detection",
+        [
+          tc "standard shape" test_detection_standard_shape;
+          tc "validation" test_detection_validation;
+          tc "lowering to ops" test_detection_lowering;
+          tc "initial voltage per placement" test_detection_initial_vc;
+          tc "detects an open" test_detects_open;
+        ] );
+      ( "border",
+        [
+          tc "open BR in paper regime" test_border_open;
+          tc "true/comp symmetry" test_border_true_comp_symmetry;
+          slow "neighbour bridge band" test_border_band_for_neighbour_bridge;
+          tc "result helpers" test_border_helpers;
+        ] );
+      ( "planes",
+        [
+          tc "vmp" test_vmp_reasonable;
+          tc "Vsa declines with R" test_vsa_declines_with_r;
+          tc "Vsa collapse at large R" test_vsa_collapses_to_all_1;
+          tc "write plane structure" test_write_plane_structure;
+          tc "write plane rejects reads" test_write_plane_rejects_read;
+          slow "geometric BR vs search BR" test_br_geometric_matches_search;
+          tc "read plane structure" test_read_plane_structure;
+        ] );
+      ( "stressor",
+        [
+          tc "cycle-time verdict" test_probe_cycle_time;
+          slow "Vdd resolved by BR" test_probe_vdd_resolves_by_br;
+          tc "validation" test_probe_validation;
+          tc "apply verdict" test_apply_verdict;
+          tc "default candidates" test_default_values;
+        ] );
+      ( "sc_eval",
+        [
+          slow "open end-to-end" test_sc_eval_open;
+          slow "short uses retention" test_sc_eval_short_uses_retention;
+          tc "comp candidates invert" test_candidate_detections_placement;
+          slow "figure 2 rendering" test_report_figure2;
+          slow "stress panels rendering" test_report_panels;
+          tc "plane CSV export" test_plane_csv;
+          slow "exhaustive baseline" test_exhaustive_small_grid;
+          tc "simulation counter" test_run_counter;
+          slow "table 1 generation" test_table1_quick;
+        ] );
+    ]

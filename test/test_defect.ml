@@ -1,0 +1,88 @@
+(* Tests for the defect catalog and its classification. *)
+
+module D = Dramstress_defect.Defect
+
+let test_catalog_complete () =
+  Alcotest.(check int) "seven defects" 7 (List.length D.catalog);
+  let ids = List.map (fun (e : D.entry) -> e.D.id) D.catalog in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (id ^ " present") true (List.mem id ids))
+    [ "O1"; "O2"; "O3"; "Sg"; "Sv"; "B1"; "B2" ]
+
+let test_find_entry () =
+  (match D.find_entry "sg" with
+  | Some e -> Alcotest.(check string) "case-insensitive" "Sg" e.D.id
+  | None -> Alcotest.fail "Sg not found");
+  Alcotest.(check bool) "missing" true (D.find_entry "O9" = None)
+
+let test_polarity () =
+  Alcotest.(check bool) "opens fail high" true
+    (D.polarity (D.Open_cell D.At_bitline_contact) = D.High_r_fails);
+  Alcotest.(check bool) "shorts fail low" true
+    (D.polarity D.Short_to_gnd = D.Low_r_fails);
+  Alcotest.(check bool) "bridges fail low" true
+    (D.polarity D.Bridge_to_paired_bl = D.Low_r_fails)
+
+let test_victims () =
+  Alcotest.(check int) "open attacks 0" 0
+    (D.victim_bit (D.Open_cell D.At_plate_contact));
+  Alcotest.(check int) "Sg attacks 1" 1 (D.victim_bit D.Short_to_gnd);
+  Alcotest.(check int) "Sv attacks 0" 0 (D.victim_bit D.Short_to_vdd)
+
+let test_logical_victim_inverts () =
+  List.iter
+    (fun (e : D.entry) ->
+      let t = D.logical_victim e.D.kind D.True_bl in
+      let c = D.logical_victim e.D.kind D.Comp_bl in
+      Alcotest.(check int) (e.D.id ^ " true = physical") (D.victim_bit e.D.kind) t;
+      Alcotest.(check int) (e.D.id ^ " comp inverted") (1 - t) c)
+    D.catalog
+
+let test_constructors () =
+  let d = D.v D.Short_to_vdd D.Comp_bl 1e5 in
+  Alcotest.(check (float 0.0)) "r" 1e5 d.D.r;
+  let d' = D.with_r d 2e5 in
+  Alcotest.(check (float 0.0)) "with_r" 2e5 d'.D.r;
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Defect.v: non-positive resistance") (fun () ->
+      ignore (D.v D.Short_to_gnd D.True_bl 0.0));
+  Alcotest.check_raises "with_r non-positive"
+    (Invalid_argument "Defect.with_r: non-positive resistance") (fun () ->
+      ignore (D.with_r d (-1.0)))
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_printing () =
+  let d = D.v (D.Open_cell D.At_capacitor_contact) D.True_bl 2e5 in
+  Alcotest.(check string) "pp" "O2 (true) R=200 k"
+    (Format.asprintf "%a" D.pp d);
+  let fig7 = D.describe_figure7 () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in figure 7") true
+        (contains fig7 needle))
+    [ "O1"; "Sg"; "B2" ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dramstress_defect"
+    [
+      ( "catalog",
+        [
+          tc "completeness" test_catalog_complete;
+          tc "lookup" test_find_entry;
+          tc "polarity" test_polarity;
+          tc "victim bits" test_victims;
+          tc "logical victim inversion" test_logical_victim_inverts;
+          tc "constructors and validation" test_constructors;
+          tc "printing" test_printing;
+        ] );
+    ]

@@ -1,0 +1,347 @@
+(* Electrical behaviour tests of the DRAM column model: functional
+   correctness of operations, defect responses and stress effects. *)
+
+module S = Dramstress_dram.Stress
+module T = Dramstress_dram.Tech
+module Tm = Dramstress_dram.Timing
+module O = Dramstress_dram.Ops
+module D = Dramstress_defect.Defect
+
+let nominal = S.nominal
+let bits oc = String.concat "" (List.map string_of_int (O.sensed_bits oc))
+
+(* ------------------------------------------------------------------ *)
+(* Stress record                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_stress_validate () =
+  S.validate nominal;
+  Alcotest.check_raises "bad duty" (Invalid_argument "Stress: duty not in (0,1)")
+    (fun () -> S.validate (S.with_duty nominal 1.0));
+  Alcotest.check_raises "bad tcyc" (Invalid_argument "Stress: tcyc <= 0")
+    (fun () -> S.validate (S.with_tcyc nominal 0.0));
+  Alcotest.check_raises "cold" (Invalid_argument "Stress: temperature below 0 K")
+    (fun () -> S.validate (S.with_temp_c nominal (-300.0)))
+
+let test_stress_axes () =
+  let sc = S.set nominal S.Supply_voltage 2.1 in
+  Alcotest.(check (float 1e-9)) "set/get" 2.1 (S.get sc S.Supply_voltage);
+  Alcotest.(check (float 1e-9)) "others untouched" nominal.S.tcyc
+    (S.get sc S.Cycle_time);
+  Alcotest.(check (float 1e-9)) "kelvin" 300.15 (S.temp_k nominal)
+
+(* ------------------------------------------------------------------ *)
+(* Timing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_timing_structure () =
+  let ph = Tm.phases T.default nominal in
+  Alcotest.(check bool) "ordering" true
+    (ph.Tm.t_pre_off < ph.Tm.t_wl_on
+    && ph.Tm.t_wl_on < ph.Tm.t_sense
+    && ph.Tm.t_sense < ph.Tm.t_wr
+    && ph.Tm.t_wr < ph.Tm.t_wl_off
+    && ph.Tm.t_wl_off < ph.Tm.t_cyc)
+
+let test_timing_write_window_shrinks_superlinearly () =
+  let w tcyc = Tm.write_window (Tm.phases T.default (S.with_tcyc nominal tcyc)) in
+  let w60 = w 60e-9 and w55 = w 55e-9 in
+  Alcotest.(check bool) "5 ns cycle cut removes 5 ns of write window" true
+    (w60 -. w55 > 4.9e-9 && w55 < 0.7 *. w60)
+
+let test_timing_sense_fixed () =
+  let s tcyc = (Tm.phases T.default (S.with_tcyc nominal tcyc)).Tm.t_sense in
+  Alcotest.(check (float 1e-12)) "sense instant independent of tcyc"
+    (s 60e-9) (s 55e-9)
+
+let test_timing_duty_moves_wl_off () =
+  let off duty = (Tm.phases T.default (S.with_duty nominal duty)).Tm.t_wl_off in
+  Alcotest.(check bool) "higher duty holds the word line longer" true
+    (off 0.65 > off 0.35)
+
+let test_timing_too_short () =
+  Alcotest.check_raises "unopenable word line"
+    (Invalid_argument "Timing.phases: cycle too short to open the word line")
+    (fun () -> ignore (Tm.phases T.default (S.with_tcyc nominal 5e-9)))
+
+(* ------------------------------------------------------------------ *)
+(* Operations on a healthy column                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_good_cell_functional () =
+  let oc = O.run ~stress:nominal ~vc_init:0.0 [ O.W1; O.R; O.W0; O.R; O.W1; O.R ] in
+  Alcotest.(check string) "reads" "101" (bits oc)
+
+let test_good_cell_rails () =
+  let oc = O.run ~stress:nominal ~vc_init:1.2 [ O.W1; O.W0 ] in
+  (match oc.O.results with
+  | [ a; b ] ->
+    Alcotest.(check bool) "w1 reaches vdd" true (a.O.vc_end > 2.3);
+    Alcotest.(check bool) "w0 reaches gnd" true (Float.abs b.O.vc_end < 0.05)
+  | _ -> Alcotest.fail "expected two results")
+
+let test_read_is_restoring () =
+  (* a marginal-high cell is pulled to a full rail by the read *)
+  let oc = O.run ~stress:nominal ~vc_init:2.0 [ O.R; O.R ] in
+  match oc.O.results with
+  | [ first; second ] ->
+    Alcotest.(check (option int)) "reads 1" (Some 1) first.O.sensed;
+    Alcotest.(check bool) "restored high" true (second.O.vc_end > 2.2)
+  | _ -> Alcotest.fail "expected two results"
+
+let test_read_destructive_below_threshold () =
+  let oc = O.run ~stress:nominal ~vc_init:0.7 [ O.R ] in
+  match oc.O.results with
+  | [ r ] ->
+    Alcotest.(check (option int)) "reads 0" (Some 0) r.O.sensed;
+    Alcotest.(check bool) "written back low" true (r.O.vc_end < 0.2)
+  | _ -> Alcotest.fail "expected one result"
+
+let test_separation_healthy () =
+  let oc = O.run ~stress:nominal ~vc_init:0.0 [ O.W1; O.R ] in
+  match List.nth oc.O.results 1 with
+  | { O.separation = Some s; _ } ->
+    Alcotest.(check bool) "full-rail separation" true (s > 2.0)
+  | _ -> Alcotest.fail "expected separation on read"
+
+let test_pause_retains_recent_write () =
+  let oc = O.run ~stress:nominal ~vc_init:0.0 [ O.W1; O.Pause 1e-4; O.R ] in
+  Alcotest.(check string) "1 retained over 100 us" "1" (bits oc)
+
+let test_empty_sequence_rejected () =
+  Alcotest.check_raises "empty" (Invalid_argument "Ops.run: empty sequence")
+    (fun () -> ignore (O.run ~stress:nominal []))
+
+let test_parse_seq () =
+  Alcotest.(check bool) "round trip" true
+    (O.parse_seq "w1 w1 w0 r" = [ O.W1; O.W1; O.W0; O.R ]);
+  Alcotest.(check bool) "commas" true (O.parse_seq "w0,r" = [ O.W0; O.R ]);
+  (match O.parse_seq "w1 p1e-3 r" with
+  | [ O.W1; O.Pause p; O.R ] -> Alcotest.(check (float 1e-12)) "pause" 1e-3 p
+  | _ -> Alcotest.fail "pause parse");
+  Alcotest.(check string) "to_string" "w1 w0 r"
+    (O.seq_to_string [ O.W1; O.W0; O.R ]);
+  Alcotest.check_raises "junk" (Invalid_argument "Ops.parse_seq: unknown op x")
+    (fun () -> ignore (O.parse_seq "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Defective column behaviour                                          *)
+(* ------------------------------------------------------------------ *)
+
+let open_defect r = D.v (D.Open_cell D.At_bitline_contact) D.True_bl r
+
+let test_open_blocks_w0 () =
+  let vc r =
+    let oc = O.run ~stress:nominal ~defect:(open_defect r) ~vc_init:2.4 [ O.W0 ] in
+    (List.hd oc.O.results).O.vc_end
+  in
+  Alcotest.(check bool) "residual grows with R" true
+    (vc 1e3 < 0.1 && vc 200e3 > 0.8 && vc 200e3 < vc 1e6)
+
+let test_open_sites_equivalent () =
+  (* O1, O2, O3 sit in the same series path: equal residuals *)
+  let vc site =
+    let d = D.v (D.Open_cell site) D.True_bl 200e3 in
+    let oc = O.run ~stress:nominal ~defect:d ~vc_init:2.4 [ O.W0 ] in
+    (List.hd oc.O.results).O.vc_end
+  in
+  let v1 = vc D.At_bitline_contact in
+  let v2 = vc D.At_capacitor_contact in
+  let v3 = vc D.At_plate_contact in
+  Alcotest.(check bool)
+    (Printf.sprintf "O1=%.3f O2=%.3f O3=%.3f" v1 v2 v3)
+    true
+    (Float.abs (v1 -. v2) < 0.05 && Float.abs (v1 -. v3) < 0.05)
+
+let test_open_detected_by_paper_sequence () =
+  let oc =
+    O.run ~stress:nominal ~defect:(open_defect 400e3) ~vc_init:2.4
+      [ O.W1; O.W1; O.W0; O.R ]
+  in
+  Alcotest.(check string) "fails r0" "1" (bits oc)
+
+let test_open_escapes_when_small () =
+  let oc =
+    O.run ~stress:nominal ~defect:(open_defect 20e3) ~vc_init:2.4
+      [ O.W1; O.W1; O.W0; O.R ]
+  in
+  Alcotest.(check string) "passes" "0" (bits oc)
+
+let test_comp_placement_inverts_logic () =
+  (* same physical behaviour, 0/1 interchanged: on the complementary
+     line the open blocks the logical w1 instead *)
+  let d = D.v (D.Open_cell D.At_bitline_contact) D.Comp_bl 400e3 in
+  let oc = O.run ~stress:nominal ~defect:d ~vc_init:0.0 [ O.W0; O.W0; O.W1; O.R ] in
+  Alcotest.(check string) "fails r1 with 0" "0" (bits oc)
+
+let test_short_to_gnd_leaks_one () =
+  let d = D.v D.Short_to_gnd D.True_bl 1e6 in
+  let oc = O.run ~stress:nominal ~defect:d ~vc_init:0.0 [ O.W1; O.Pause 1e-3; O.R ] in
+  Alcotest.(check string) "1 leaked away" "0" (bits oc)
+
+let test_short_to_vdd_lifts_zero () =
+  let d = D.v D.Short_to_vdd D.True_bl 1e6 in
+  let oc = O.run ~stress:nominal ~defect:d ~vc_init:2.4 [ O.W0; O.Pause 1e-3; O.R ] in
+  Alcotest.(check string) "0 pulled up" "1" (bits oc)
+
+let test_short_harmless_when_huge () =
+  let d = D.v D.Short_to_gnd D.True_bl 1e12 in
+  let oc = O.run ~stress:nominal ~defect:d ~vc_init:0.0 [ O.W1; O.Pause 1e-3; O.R ] in
+  Alcotest.(check string) "no effect" "1" (bits oc)
+
+let test_bridge_weld_collapses_separation () =
+  (* a hard bridge to the paired line keeps the latch from separating *)
+  let d = D.v D.Bridge_to_paired_bl D.True_bl 2e3 in
+  let oc = O.run ~stress:nominal ~defect:d ~vc_init:2.4 [ O.W1; O.W0; O.R ] in
+  match List.nth oc.O.results 2 with
+  | { O.separation = Some s; _ } ->
+    Alcotest.(check bool) (Printf.sprintf "collapsed (%.2f V)" s) true (s < 0.5)
+  | _ -> Alcotest.fail "expected separation"
+
+let test_neighbour_bridge_couples_over_pause () =
+  let d = D.v D.Bridge_to_neighbour D.True_bl 1e6 in
+  (* victim written 0, aggressor holds vdd; a pause equilibrates them
+     towards the shared mid-level (just below the sense threshold at
+     room temperature -- the hot read in the next test tips it over) *)
+  let oc =
+    O.run ~stress:nominal ~defect:d ~vc_init:2.4 ~v_neighbour:2.4
+      [ O.W0; O.Pause 1e-3; O.R ]
+  in
+  let vc_after_pause = (List.nth oc.O.results 1).O.vc_end in
+  Alcotest.(check bool)
+    (Printf.sprintf "victim pulled up to %.2f V" vc_after_pause)
+    true
+    (vc_after_pause > 0.8 && vc_after_pause < 1.6)
+
+let test_neighbour_bridge_detected_hot () =
+  let d = D.v D.Bridge_to_neighbour D.True_bl 30e6 in
+  let hot = S.with_temp_c nominal 87.0 in
+  let oc =
+    O.run ~stress:hot ~defect:d ~vc_init:2.4 ~v_neighbour:2.4
+      [ O.W0; O.Pause 1e-3; O.R ]
+  in
+  Alcotest.(check string) "coupling + hot leakage flips the 0" "1" (bits oc)
+
+(* ------------------------------------------------------------------ *)
+(* Stress effects (the paper's Figures 3-5 directions)                 *)
+(* ------------------------------------------------------------------ *)
+
+let residual_after_w0 stress =
+  let oc = O.run ~stress ~defect:(open_defect 200e3) ~vc_init:stress.S.vdd [ O.W0 ] in
+  (List.hd oc.O.results).O.vc_end
+
+let test_shorter_cycle_stresses_w0 () =
+  Alcotest.(check bool) "55 ns leaves more charge" true
+    (residual_after_w0 (S.with_tcyc nominal 55e-9)
+    > residual_after_w0 nominal +. 0.2)
+
+let test_higher_vdd_stresses_w0 () =
+  Alcotest.(check bool) "2.7 V leaves more charge" true
+    (residual_after_w0 (S.with_vdd nominal 2.7)
+    > residual_after_w0 (S.with_vdd nominal 2.1) +. 0.1)
+
+let test_vdd_ratio_matches_paper () =
+  (* the paper's residuals 0.9 / 1.0 / 1.2 V scale with Vdd; ours must
+     preserve that proportionality within 10% *)
+  let r21 = residual_after_w0 (S.with_vdd nominal 2.1) in
+  let r27 = residual_after_w0 (S.with_vdd nominal 2.7) in
+  let ratio = r27 /. r21 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratio %.2f ~ 2.7/2.1" ratio)
+    true
+    (ratio > 1.15 && ratio < 1.45)
+
+let test_temperature_leakage_direction () =
+  (* a stored 0 drifts up through access-transistor leakage much faster
+     when hot: the classic retention mechanism *)
+  let drift temp_c =
+    let st = S.with_temp_c nominal temp_c in
+    let oc = O.run ~stress:st ~vc_init:0.0 [ O.Pause 10e-3; O.R ] in
+    (List.hd oc.O.results).O.vc_end
+  in
+  Alcotest.(check bool) "hot leaks more" true (drift 87.0 > drift (-33.0))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_healthy_readback =
+  (* over the whole operable SC envelope, a healthy cell returns what
+     was last written *)
+  QCheck.Test.make ~count:15 ~name:"healthy cell reads back last write"
+    QCheck.(
+      quad (float_range 58e-9 90e-9) (float_range 2.1 2.7)
+        (float_range (-20.0) 70.0) (int_range 0 1))
+    (fun (tcyc, vdd, temp_c, first_bit) ->
+      let stress = { S.tcyc; vdd; temp_c; duty = 0.5 } in
+      let w b = if b = 1 then O.W1 else O.W0 in
+      let ops = [ w first_bit; O.R; w (1 - first_bit); O.R ] in
+      let oc = O.run ~stress ~vc_init:(vdd /. 2.0) ops in
+      O.sensed_bits oc = [ first_bit; 1 - first_bit ])
+
+let prop_open_residual_monotone =
+  (* the residual after a failed w0 grows monotonically with the open *)
+  QCheck.Test.make ~count:20 ~name:"w0 residual monotone in R"
+    QCheck.(pair (float_range 2e4 8e5) (float_range 1.2 2.5))
+    (fun (r, factor) ->
+      let residual r =
+        let oc =
+          O.run ~stress:nominal ~defect:(open_defect r) ~vc_init:2.4 [ O.W0 ]
+        in
+        (List.hd oc.O.results).O.vc_end
+      in
+      residual (r *. factor) >= residual r -. 5e-3)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dramstress_dram"
+    [
+      ( "stress+timing",
+        [
+          tc "stress validation" test_stress_validate;
+          tc "axis set/get" test_stress_axes;
+          tc "phase ordering" test_timing_structure;
+          tc "write window shrinks super-linearly"
+            test_timing_write_window_shrinks_superlinearly;
+          tc "sense instant fixed" test_timing_sense_fixed;
+          tc "duty moves word-line close" test_timing_duty_moves_wl_off;
+          tc "too-short cycle rejected" test_timing_too_short;
+        ] );
+      ( "healthy column",
+        [
+          tc "functional read/write" test_good_cell_functional;
+          tc "full-rail writes" test_good_cell_rails;
+          tc "read restores" test_read_is_restoring;
+          tc "read writes back 0" test_read_destructive_below_threshold;
+          tc "healthy separation" test_separation_healthy;
+          tc "retention over 100 us" test_pause_retains_recent_write;
+          tc "empty sequence rejected" test_empty_sequence_rejected;
+          tc "sequence parsing" test_parse_seq;
+        ] );
+      ( "defects",
+        [
+          tc "open blocks w0" test_open_blocks_w0;
+          tc "O1/O2/O3 equivalent" test_open_sites_equivalent;
+          tc "paper sequence detects open" test_open_detected_by_paper_sequence;
+          tc "small open escapes" test_open_escapes_when_small;
+          tc "complementary placement inverts" test_comp_placement_inverts_logic;
+          tc "Sg leaks a stored 1" test_short_to_gnd_leaks_one;
+          tc "Sv lifts a stored 0" test_short_to_vdd_lifts_zero;
+          tc "huge short harmless" test_short_harmless_when_huge;
+          tc "hard bridge collapses separation" test_bridge_weld_collapses_separation;
+          tc "neighbour bridge couples" test_neighbour_bridge_couples_over_pause;
+          tc "neighbour bridge detected hot" test_neighbour_bridge_detected_hot;
+        ] );
+      ( "stress directions",
+        [
+          tc "shorter cycle stresses w0" test_shorter_cycle_stresses_w0;
+          tc "higher Vdd stresses w0" test_higher_vdd_stresses_w0;
+          tc "Vdd residual proportionality" test_vdd_ratio_matches_paper;
+          tc "temperature leakage direction" test_temperature_leakage_direction;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_healthy_readback;
+          QCheck_alcotest.to_alcotest prop_open_residual_monotone;
+        ] );
+    ]

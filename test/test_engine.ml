@@ -1,0 +1,331 @@
+(* Engine validation against analytic circuit solutions. *)
+
+module W = Dramstress_circuit.Waveform
+module N = Dramstress_circuit.Netlist
+module M = Dramstress_circuit.Mosfet
+module E = Dramstress_engine
+module U = Dramstress_util.Units
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs b)
+
+let check_float ?(eps = 1e-6) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* DC operating point                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_dcop_divider () =
+  let nl = N.create () in
+  N.vsource nl ~name:"v" "in" "0" (W.dc 10.0);
+  N.resistor nl ~name:"r1" "in" "mid" 1000.0;
+  N.resistor nl ~name:"r2" "mid" "0" 3000.0;
+  let c = N.compile nl in
+  let v = E.Dcop.solve c () in
+  check_float "divider" 7.5 v.(N.compiled_node c "mid")
+
+let test_dcop_current_source () =
+  let nl = N.create () in
+  N.isource nl ~name:"i" "0" "out" (W.dc 1e-3);
+  N.resistor nl ~name:"r" "out" "0" 2000.0;
+  let c = N.compile nl in
+  let v = E.Dcop.solve c () in
+  (* 1 mA into "out" through 2 kOhm -> 2 V *)
+  check_float "i*r" 2.0 v.(N.compiled_node c "out")
+
+let test_dcop_diode_connected_nmos () =
+  (* Vdd -- R -- drain=gate (diode-connected) -- source=gnd.
+     The solution must satisfy (Vdd - V) / R = Id(V). *)
+  let model = M.nmos ~name:"n" ~vt0:0.5 ~kp:2e-4 () in
+  let nl = N.create () in
+  N.vsource nl ~name:"vdd" "vdd" "0" (W.dc 2.4);
+  N.resistor nl ~name:"r" "vdd" "d" 10000.0;
+  N.mosfet nl ~name:"m" ~d:"d" ~g:"d" ~s:"0" ~model ();
+  let c = N.compile nl in
+  let v = E.Dcop.solve c () in
+  let vd = v.(N.compiled_node c "d") in
+  Alcotest.(check bool) "above threshold" true (vd > 0.5 && vd < 2.4);
+  let e = M.ids model ~temp:E.Options.default.E.Options.temp ~vgs:vd ~vds:vd in
+  check_float ~eps:1e-3 "KCL at drain" ((2.4 -. vd) /. 10000.0) e.M.id
+
+let test_dcop_bad_guess_node () =
+  let nl = N.create () in
+  N.resistor nl ~name:"r" "a" "0" 1.0;
+  let c = N.compile nl in
+  Alcotest.check_raises "unknown guess"
+    (Invalid_argument "Dcop.solve: unknown node zz") (fun () ->
+      ignore (E.Dcop.solve c ~guess:[ ("zz", 1.0) ] ()))
+
+(* ------------------------------------------------------------------ *)
+(* Transient                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rc_circuit ~r ~c_farad =
+  let nl = N.create () in
+  N.vsource nl ~name:"v" "in" "0" (W.dc 1.0);
+  N.resistor nl ~name:"r" "in" "out" r;
+  N.capacitor nl ~name:"c" "out" "0" c_farad;
+  N.compile nl
+
+let test_rc_charge () =
+  (* tau = 1 us; after 1 tau the capacitor reaches 1 - e^-1 *)
+  let c = rc_circuit ~r:1000.0 ~c_farad:1e-9 in
+  let res =
+    E.Transient.run c
+      ~segments:[ (1e-6, 1e-9) ]
+      ~ics:[ ("out", 0.0) ]
+      ~probes:[ "out" ] ()
+  in
+  let v_end = E.Transient.value_at res "out" 1e-6 in
+  check_float ~eps:2e-3 "1 - 1/e" (1.0 -. exp (-1.0)) v_end
+
+let test_rc_discharge_ic () =
+  let nl = N.create () in
+  N.resistor nl ~name:"r" "out" "0" 1000.0;
+  N.capacitor nl ~name:"c" "out" "0" 1e-9;
+  let c = N.compile nl in
+  let res =
+    E.Transient.run c
+      ~segments:[ (2e-6, 1e-9) ]
+      ~ics:[ ("out", 2.0) ]
+      ~probes:[ "out" ] ()
+  in
+  check_float ~eps:3e-3 "after 2 tau" (2.0 *. exp (-2.0))
+    (E.Transient.value_at res "out" 2e-6)
+
+let test_rc_trapezoidal_more_accurate () =
+  let c = rc_circuit ~r:1000.0 ~c_farad:1e-9 in
+  let run integrator =
+    let opts = { E.Options.default with E.Options.integrator } in
+    let res =
+      E.Transient.run c ~opts
+        ~segments:[ (1e-6, 2e-8) ]  (* coarse on purpose *)
+        ~ics:[ ("out", 0.0) ]
+        ~probes:[ "out" ] ()
+    in
+    E.Transient.value_at res "out" 1e-6
+  in
+  let exact = 1.0 -. exp (-1.0) in
+  let err_be = Float.abs (run E.Options.Backward_euler -. exact) in
+  let err_tr = Float.abs (run E.Options.Trapezoidal -. exact) in
+  Alcotest.(check bool) "trapezoidal beats BE on coarse grid" true
+    (err_tr < err_be)
+
+let test_initial_consistency () =
+  (* a resistive node with no IC must be solved consistently at t = 0 *)
+  let nl = N.create () in
+  N.vsource nl ~name:"v" "in" "0" (W.dc 4.0);
+  N.resistor nl ~name:"r1" "in" "mid" 1000.0;
+  N.resistor nl ~name:"r2" "mid" "0" 1000.0;
+  N.capacitor nl ~name:"c" "mid" "0" 1e-15;
+  let c = N.compile nl in
+  let res =
+    E.Transient.run c
+      ~segments:[ (1e-9, 1e-10) ]
+      ~ics:[]
+      ~probes:[ "mid" ] ()
+  in
+  (* the tiny capacitor was pinned at 0 initially; after a few tau
+     (tau = 0.5 ps << 1 ns) the node must sit at the divider value *)
+  check_float ~eps:1e-3 "settles to divider" 2.0
+    (E.Transient.value_at res "mid" 1e-9)
+
+let test_pulse_through_switch () =
+  (* switch closes at t = 5 ns and connects a source to a capacitor *)
+  let nl = N.create () in
+  N.vsource nl ~name:"v" "in" "0" (W.dc 1.5);
+  N.switch nl ~name:"s" "in" "out"
+    ~ctrl:(W.pwl_steps ~t_edge:1e-10 0.0 [ (5e-9, 1.0) ])
+    ~g_on:1e-2 ~g_off:1e-15 ();
+  N.capacitor nl ~name:"c" "out" "0" 1e-13;
+  let c = N.compile nl in
+  let res =
+    E.Transient.run c
+      ~segments:[ (2e-8, 1e-11) ]
+      ~ics:[ ("out", 0.0) ]
+      ~probes:[ "out" ] ()
+  in
+  check_float ~eps:1e-3 "held before close" 0.0
+    (E.Transient.value_at res "out" 4.9e-9);
+  (* tau after close = 100 fF / 10 mS = 10 ps; fully charged by 20 ns *)
+  check_float ~eps:1e-3 "charged after close" 1.5
+    (E.Transient.value_at res "out" 2e-8)
+
+let test_nmos_pass_gate_writes_degraded_one () =
+  (* NMOS pass gate: gate at 2.4 V, input at 2.4 V, output capacitor.
+     The output must charge to roughly Vg - Vth, the classic degraded 1. *)
+  let model = M.nmos ~name:"n" ~vt0:0.5 ~kp:2e-4 () in
+  let nl = N.create () in
+  N.vsource nl ~name:"vbl" "bl" "0" (W.dc 2.4);
+  N.vsource nl ~name:"vwl" "wl" "0" (W.dc 2.4);
+  N.mosfet nl ~name:"acc" ~d:"bl" ~g:"wl" ~s:"cell" ~model ();
+  N.capacitor nl ~name:"cs" "cell" "0" 1e-13;
+  let c = N.compile nl in
+  let res =
+    E.Transient.run c
+      ~segments:[ (2e-7, 1e-10) ]
+      ~ics:[ ("cell", 0.0) ]
+      ~probes:[ "cell" ] ()
+  in
+  let v_end = E.Transient.value_at res "cell" 2e-7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "degraded 1 (got %.3f)" v_end)
+    true
+    (v_end > 1.5 && v_end < 2.2)
+
+let test_nmos_pass_gate_writes_full_zero () =
+  let model = M.nmos ~name:"n" ~vt0:0.5 ~kp:2e-4 () in
+  let nl = N.create () in
+  N.vsource nl ~name:"vbl" "bl" "0" (W.dc 0.0);
+  N.vsource nl ~name:"vwl" "wl" "0" (W.dc 2.4);
+  N.mosfet nl ~name:"acc" ~d:"bl" ~g:"wl" ~s:"cell" ~model ();
+  N.capacitor nl ~name:"cs" "cell" "0" 1e-13;
+  let c = N.compile nl in
+  let res =
+    E.Transient.run c
+      ~segments:[ (2e-7, 1e-10) ]
+      ~ics:[ ("cell", 2.4) ]
+      ~probes:[ "cell" ] ()
+  in
+  let v_end = E.Transient.value_at res "cell" 2e-7 in
+  Alcotest.(check bool)
+    (Printf.sprintf "full 0 (got %.3f)" v_end)
+    true
+    (Float.abs v_end < 0.05)
+
+let test_segmented_timestep () =
+  (* long retention pause with coarse steps must agree with the analytic
+     decay: 1 ms through 1 Gohm on 100 fF -> tau = 100 us *)
+  let nl = N.create () in
+  N.resistor nl ~name:"leak" "cell" "0" 1e9;
+  N.capacitor nl ~name:"cs" "cell" "0" 1e-13;
+  let c = N.compile nl in
+  let res =
+    E.Transient.run c
+      ~segments:[ (1e-9, 1e-10); (1e-4, 1e-7) ]
+      ~ics:[ ("cell", 2.0) ]
+      ~probes:[ "cell" ] ()
+  in
+  check_float ~eps:2e-3 "one tau decay" (2.0 *. exp (-1.0))
+    (E.Transient.value_at res "cell" 1e-4)
+
+let test_probe_errors () =
+  let c = rc_circuit ~r:1.0 ~c_farad:1e-12 in
+  Alcotest.check_raises "bad probe"
+    (Invalid_argument "Transient.run: unknown probe node nope") (fun () ->
+      ignore
+        (E.Transient.run c ~segments:[ (1e-9, 1e-10) ] ~ics:[]
+           ~probes:[ "nope" ] ()));
+  Alcotest.check_raises "bad segments"
+    (Invalid_argument "Transient.run: no segments") (fun () ->
+      ignore (E.Transient.run c ~segments:[] ~ics:[] ~probes:[] ()))
+
+let prop_rc_matches_analytic =
+  QCheck.Test.make ~count:25 ~name:"RC decay matches exp() for random tau"
+    QCheck.(pair (float_range 100.0 10000.0) (float_range 0.5 3.0))
+    (fun (r, v0) ->
+      let nl = N.create () in
+      N.resistor nl ~name:"r" "out" "0" r;
+      N.capacitor nl ~name:"c" "out" "0" 1e-9;
+      let c = N.compile nl in
+      let tau = r *. 1e-9 in
+      let t_end = tau in
+      let res =
+        E.Transient.run c
+          ~segments:[ (t_end, tau /. 400.0) ]
+          ~ics:[ ("out", v0) ]
+          ~probes:[ "out" ] ()
+      in
+      let v = E.Transient.value_at res "out" t_end in
+      Float.abs (v -. (v0 *. exp (-1.0))) < 0.01 *. v0)
+
+(* ------------------------------------------------------------------ *)
+(* DC sweep                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sweep_divider () =
+  let nl = N.create () in
+  N.vsource nl ~name:"vin" "in" "0" (W.dc 0.0);
+  N.resistor nl ~name:"r1" "in" "mid" 1000.0;
+  N.resistor nl ~name:"r2" "mid" "0" 1000.0;
+  let c = N.compile nl in
+  let sweep =
+    E.Sweep.run c ~source:"vin" ~values:[ 0.0; 1.0; 2.0; 3.0 ] ()
+  in
+  List.iter
+    (fun (v, mid) -> check_float ~eps:1e-6 "half" (v /. 2.0) mid)
+    (E.Sweep.node_curve sweep "mid")
+
+let test_sweep_nmos_transfer () =
+  (* Id(Vgs) through a zero-volt ammeter source in the drain leg *)
+  let model = M.nmos ~name:"n" ~vt0:0.5 ~kp:1e-4 () in
+  let nl = N.create () in
+  N.vsource nl ~name:"vdd" "vdd" "0" (W.dc 2.4);
+  N.vsource nl ~name:"vg" "g" "0" (W.dc 0.0);
+  N.vsource nl ~name:"amm" "vdd" "d" (W.dc 0.0);
+  N.mosfet nl ~name:"m" ~d:"d" ~g:"g" ~s:"0" ~model ();
+  let c = N.compile nl in
+  let sweep =
+    E.Sweep.run c ~source:"vg"
+      ~values:(Dramstress_util.Grid.linspace 0.0 2.4 9)
+      ()
+  in
+  let curve = E.Sweep.source_current_curve sweep "amm" in
+  (* the ammeter current flows vdd -> d: positive into the drain *)
+  let currents = List.map snd curve in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-12 && monotone rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "monotone in Vgs" true (monotone currents);
+  Alcotest.(check bool) "off leakage small" true (List.hd currents < 1e-9);
+  Alcotest.(check bool) "on current substantial" true
+    (List.nth currents 8 > 1e-5)
+
+let test_sweep_validation () =
+  let nl = N.create () in
+  N.vsource nl ~name:"vp" "a" "0"
+    (W.pulse ~v0:0.0 ~v1:1.0 ~delay:0.0 ~rise:1e-9 ~width:1e-9 ~fall:1e-9 ());
+  N.resistor nl ~name:"r" "a" "0" 1.0;
+  let c = N.compile nl in
+  Alcotest.check_raises "missing"
+    (Invalid_argument "Netlist.with_dc_source: no DC source named nope")
+    (fun () -> ignore (E.Sweep.run c ~source:"nope" ~values:[ 0.0 ] ()));
+  Alcotest.check_raises "not dc"
+    (Invalid_argument "Netlist.with_dc_source: vp is not DC") (fun () ->
+      ignore (E.Sweep.run c ~source:"vp" ~values:[ 0.0 ] ()))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dramstress_engine"
+    [
+      ( "dcop",
+        [
+          tc "resistive divider" test_dcop_divider;
+          tc "current source" test_dcop_current_source;
+          tc "diode-connected nmos" test_dcop_diode_connected_nmos;
+          tc "unknown guess node" test_dcop_bad_guess_node;
+        ] );
+      ( "transient",
+        [
+          tc "rc charge" test_rc_charge;
+          tc "rc discharge from IC" test_rc_discharge_ic;
+          tc "trapezoidal accuracy" test_rc_trapezoidal_more_accurate;
+          tc "initial consistency solve" test_initial_consistency;
+          tc "switch-gated charge" test_pulse_through_switch;
+          tc "pass gate degraded 1" test_nmos_pass_gate_writes_degraded_one;
+          tc "pass gate full 0" test_nmos_pass_gate_writes_full_zero;
+          tc "segmented retention pause" test_segmented_timestep;
+          tc "probe and segment validation" test_probe_errors;
+          QCheck_alcotest.to_alcotest prop_rc_matches_analytic;
+        ] );
+      ( "sweep",
+        [
+          tc "divider tracks the source" test_sweep_divider;
+          tc "nmos transfer characteristic" test_sweep_nmos_transfer;
+          tc "validation" test_sweep_validation;
+        ] );
+    ]

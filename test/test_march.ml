@@ -1,0 +1,330 @@
+(* Tests for the march-test DSL, the behavioural memory simulator and
+   the coverage/Shmoo tooling. *)
+
+module M = Dramstress_march.March
+module Mem = Dramstress_march.Memsim
+module Cov = Dramstress_march.Coverage
+module Sh = Dramstress_march.Shmoo
+module S = Dramstress_dram.Stress
+module D = Dramstress_defect.Defect
+module C = Dramstress_core
+
+(* ------------------------------------------------------------------ *)
+(* March DSL                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_march_validation () =
+  Alcotest.check_raises "empty test" (Invalid_argument "March.v: no elements")
+    (fun () -> ignore (M.v "x" []));
+  Alcotest.check_raises "empty element"
+    (Invalid_argument "March.v: empty element") (fun () ->
+      ignore (M.v "x" [ M.up [] ]));
+  Alcotest.check_raises "bad bit" (Invalid_argument "March.v: bit not 0/1")
+    (fun () -> ignore (M.v "x" [ M.up [ M.Mw 3 ] ]))
+
+let test_march_op_counts () =
+  Alcotest.(check int) "MATS+ is 5n" 5 (M.op_count M.mats_plus);
+  Alcotest.(check int) "March X is 6n" 6 (M.op_count M.march_x);
+  Alcotest.(check int) "March Y is 8n" 8 (M.op_count M.march_y);
+  Alcotest.(check int) "March C- is 10n" 10 (M.op_count M.march_c_minus)
+
+let test_march_notation () =
+  Alcotest.(check string) "MATS+"
+    "MATS+: {any(w0); up(r0,w1); down(r1,w0)}"
+    (M.to_string M.mats_plus)
+
+let test_of_detection () =
+  let cond = C.Detection.standard ~victim:0 ~primes:2 in
+  let t = M.of_detection ~name:"synth" cond in
+  Alcotest.(check int) "ops" 4 (M.op_count t)
+
+let test_march_parse () =
+  let t = M.parse ~name:"mats+" "{any(w0); up(r0,w1); down(r1,w0)}" in
+  Alcotest.(check int) "ops" 5 (M.op_count t);
+  Alcotest.(check bool) "equals builtin" true
+    (t.M.elements = M.mats_plus.M.elements);
+  let t2 = M.parse ~name:"ret" "any(w1,del(1e-3),r1)" in
+  (match t2.M.elements with
+  | [ { M.ops = [ M.Mw 1; M.Mdel d; M.Mr 1 ]; _ } ] ->
+    Alcotest.(check (float 1e-12)) "delay" 1e-3 d
+  | _ -> Alcotest.fail "retention element");
+  Alcotest.(check bool) "bad order rejected" true
+    (match M.parse ~name:"x" "{sideways(w0)}" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "bad op rejected" true
+    (match M.parse ~name:"x" "{up(q7)}" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let prop_parse_roundtrip =
+  (* generate a random well-formed test, print it, reparse, compare *)
+  let gen_op =
+    QCheck.Gen.oneof
+      [ QCheck.Gen.return (M.Mw 0); QCheck.Gen.return (M.Mw 1);
+        QCheck.Gen.return (M.Mr 0); QCheck.Gen.return (M.Mr 1) ]
+  in
+  let gen_elem =
+    QCheck.Gen.map2
+      (fun order ops ->
+        { M.order; ops })
+      (QCheck.Gen.oneofl [ M.Up; M.Down; M.Either ])
+      (QCheck.Gen.list_size (QCheck.Gen.int_range 1 4) gen_op)
+  in
+  let gen_test =
+    QCheck.Gen.map
+      (fun elems -> M.v "rand" elems)
+      (QCheck.Gen.list_size (QCheck.Gen.int_range 1 5) gen_elem)
+  in
+  QCheck.Test.make ~count:100 ~name:"march notation round-trips"
+    (QCheck.make gen_test)
+    (fun t ->
+      let t' = M.parse ~name:"rand" (M.to_string t) in
+      t'.M.elements = t.M.elements)
+
+let prop_clean_memory_never_fails =
+  (* any well-formed march test whose elements are self-consistent
+     (every read expects the value most recently written in the same
+     element, starting from a w) passes a fault-free memory *)
+  let gen_elem =
+    let open QCheck.Gen in
+    int_range 0 1 >>= fun first ->
+    list_size (int_range 0 3) (int_range 0 1) >>= fun writes ->
+    let rec build current = function
+      | [] -> []
+      | b :: rest -> M.Mr current :: M.Mw b :: build b rest
+    in
+    oneofl [ M.Up; M.Down; M.Either ] >>= fun order ->
+    return { M.order; ops = M.Mw first :: build first writes }
+  in
+  let gen_test =
+    QCheck.Gen.map
+      (fun elems -> M.v "consistent" elems)
+      (QCheck.Gen.list_size (QCheck.Gen.int_range 1 4) gen_elem)
+  in
+  QCheck.Test.make ~count:100
+    ~name:"self-consistent tests pass clean memories"
+    (QCheck.make gen_test)
+    (fun t ->
+      let mem = Mem.create ~size:6 () in
+      Mem.run_march mem t = [])
+
+(* ------------------------------------------------------------------ *)
+(* Memsim: digital faults                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_memsim_good_memory_passes () =
+  List.iter
+    (fun test ->
+      let mem = Mem.create ~size:8 () in
+      Alcotest.(check int)
+        (M.to_string test ^ " passes clean memory")
+        0
+        (List.length (Mem.run_march mem test)))
+    [ M.mats_plus; M.march_x; M.march_y; M.march_c_minus ]
+
+let test_memsim_rw () =
+  let mem = Mem.create ~size:4 () in
+  Mem.write mem 2 1;
+  Alcotest.(check int) "read back" 1 (Mem.read mem 2);
+  Alcotest.(check int) "others untouched" 0 (Mem.read mem 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Memsim: address out of range")
+    (fun () -> ignore (Mem.read mem 9))
+
+let test_stuck_at_detected () =
+  Alcotest.(check bool) "SA0 by MATS+" true
+    (Mem.detects ~size:8 ~fault:(Mem.Stuck_at 0) M.mats_plus);
+  Alcotest.(check bool) "SA1 by MATS+" true
+    (Mem.detects ~size:8 ~fault:(Mem.Stuck_at 1) M.mats_plus)
+
+let test_transition_faults () =
+  (* MATS+ ends its down element with w0 and never reads it: TF0 escapes *)
+  Alcotest.(check bool) "TF0 escapes MATS+" false
+    (Mem.detects ~size:8 ~fault:(Mem.Transition 0) M.mats_plus);
+  Alcotest.(check bool) "TF0 caught by March X" true
+    (Mem.detects ~size:8 ~fault:(Mem.Transition 0) M.march_x);
+  Alcotest.(check bool) "TF1 caught by MATS+" true
+    (Mem.detects ~size:8 ~fault:(Mem.Transition 1) M.mats_plus)
+
+let test_coupling_faults () =
+  Alcotest.(check bool) "CFin caught by March C-" true
+    (Mem.detects ~size:8 ~fault:(Mem.Coupling_inv 0) M.march_c_minus);
+  Alcotest.(check bool) "CFid caught by March C-" true
+    (Mem.detects ~size:8 ~fault:(Mem.Coupling_idem (0, 1)) M.march_c_minus)
+
+let test_failure_location () =
+  let mem = Mem.create ~size:8 ~faults:[ (3, Mem.Stuck_at 1) ] () in
+  match Mem.run_march mem M.mats_plus with
+  | f :: _ ->
+    Alcotest.(check int) "victim address" 3 f.Mem.addr;
+    Alcotest.(check int) "expected 0" 0 f.Mem.expected;
+    Alcotest.(check int) "got 1" 1 f.Mem.got
+  | [] -> Alcotest.fail "stuck-at not found"
+
+let test_create_validation () =
+  Alcotest.check_raises "bad size" (Invalid_argument "Memsim.create: size <= 0")
+    (fun () -> ignore (Mem.create ~size:0 ()));
+  Alcotest.check_raises "bad fault addr"
+    (Invalid_argument "Memsim.create: fault address out of range") (fun () ->
+      ignore (Mem.create ~size:4 ~faults:[ (9, Mem.Stuck_at 0) ] ()))
+
+(* ------------------------------------------------------------------ *)
+(* Memsim: weak cells                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_weak_ideal_behaves_like_good () =
+  let w = Mem.Weak.ideal ~vdd:2.4 in
+  let mem = Mem.create ~size:4 ~faults:[ (1, Mem.Weak_cell w) ] () in
+  Alcotest.(check int) "march failures" 0
+    (List.length (Mem.run_march mem M.march_c_minus))
+
+let test_weak_slow_w0_fails () =
+  (* a cell whose w0 barely moves the voltage behaves like the paper's
+     open: w1 w1 w0 r0 fails *)
+  let w = { (Mem.Weak.ideal ~vdd:2.4) with Mem.Weak.alpha_w0 = 0.3 } in
+  let mem = Mem.create ~size:4 ~faults:[ (1, Mem.Weak_cell w) ] () in
+  let t =
+    M.of_detection ~name:"paper"
+      (C.Detection.standard ~victim:0 ~primes:2)
+  in
+  Alcotest.(check bool) "detected" true (Mem.run_march mem t <> [])
+
+let test_weak_leak_detected_by_pause () =
+  let w =
+    { (Mem.Weak.ideal ~vdd:2.4) with
+      Mem.Weak.leak_target = 0.0;
+      leak_tau = 1e-4 }
+  in
+  let t_no_pause = M.v "w1r1" [ M.either [ M.Mw 1; M.Mr 1 ] ] in
+  let t_pause = M.v "w1,del,r1" [ M.either [ M.Mw 1; M.Mdel 1e-3; M.Mr 1 ] ] in
+  Alcotest.(check bool) "escapes without pause" false
+    (Mem.detects ~size:4 ~fault:(Mem.Weak_cell w) t_no_pause);
+  Alcotest.(check bool) "caught with pause" true
+    (Mem.detects ~size:4 ~fault:(Mem.Weak_cell w) t_pause)
+
+let test_weak_of_electrical () =
+  let defect = D.v (D.Open_cell D.At_bitline_contact) D.True_bl 400e3 in
+  let w = Mem.Weak.of_electrical ~stress:S.nominal ~defect () in
+  (* a 400 kOhm open: writing is badly degraded in one cycle *)
+  Alcotest.(check bool)
+    (Printf.sprintf "alpha_w0 %.2f small" w.Mem.Weak.alpha_w0)
+    true
+    (w.Mem.Weak.alpha_w0 < 1.5);
+  Alcotest.(check bool) "vsa within rails" true
+    (w.Mem.Weak.vsa >= 0.0 && w.Mem.Weak.vsa <= 2.4)
+
+(* ------------------------------------------------------------------ *)
+(* Coverage                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_coverage_ordering () =
+  let cases = Cov.standard_faults in
+  let results =
+    Cov.compare_tests [ M.mats_plus; M.march_c_minus ] cases
+  in
+  match results with
+  | [ mats; mc ] ->
+    Alcotest.(check bool) "March C- >= MATS+" true
+      (mc.Cov.coverage >= mats.Cov.coverage);
+    Alcotest.(check (float 1e-9)) "March C- catches all standard faults"
+      1.0 mc.Cov.coverage
+  | _ -> Alcotest.fail "two results expected"
+
+let test_coverage_render () =
+  let r = Cov.evaluate M.mats_plus Cov.standard_faults in
+  let text = Cov.render [ r ] in
+  Alcotest.(check bool) "mentions the test" true
+    (String.length text > 0
+    && List.exists
+         (fun line -> String.length line >= 5 && String.sub line 0 5 = "MATS+")
+         (String.split_on_char '\n' text))
+
+(* ------------------------------------------------------------------ *)
+(* Shmoo                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_shmoo_timing_axis () =
+  (* sweeping tcyc across the failure edge of a 200 kOhm open: short
+     cycles must fail, long cycles must pass *)
+  let kind = D.Open_cell D.At_bitline_contact in
+  let defect = D.v kind D.True_bl 200e3 in
+  (* two-sided condition: a one-sided w0/r0 test cannot fail at broken
+     SCs where the cell accidentally floats at the expected value *)
+  let detection =
+    C.Detection.v
+      [ C.Detection.Write 1; C.Detection.Read 1; C.Detection.Write 0;
+        C.Detection.Read 0 ]
+  in
+  let shmoo =
+    Sh.generate ~stress:S.nominal ~defect ~detection
+      ~x:(S.Cycle_time, [ 50e-9; 55e-9; 70e-9; 80e-9 ])
+      ~y:(S.Supply_voltage, [ 2.4 ])
+      ()
+  in
+  (match shmoo.Sh.grid.(0).(0) with
+  | Sh.Fail -> ()
+  | Sh.Pass | Sh.Invalid -> Alcotest.fail "50 ns should fail");
+  (match shmoo.Sh.grid.(0).(3) with
+  | Sh.Pass -> ()
+  | Sh.Fail | Sh.Invalid -> Alcotest.fail "80 ns should pass");
+  let f = Sh.fail_fraction shmoo in
+  Alcotest.(check bool) "fraction interior" true (f > 0.0 && f < 1.0);
+  Alcotest.(check bool) "renders" true (String.length (Sh.render shmoo) > 0)
+
+let test_shmoo_invalid_points () =
+  let kind = D.Open_cell D.At_bitline_contact in
+  let defect = D.v kind D.True_bl 200e3 in
+  let detection = C.Detection.standard ~victim:0 ~primes:1 in
+  let shmoo =
+    Sh.generate ~stress:S.nominal ~defect ~detection
+      ~x:(S.Cycle_time, [ 5e-9; 60e-9 ])  (* 5 ns cannot open the word line *)
+      ~y:(S.Supply_voltage, [ 2.4 ])
+      ()
+  in
+  match shmoo.Sh.grid.(0).(0) with
+  | Sh.Invalid -> ()
+  | Sh.Pass | Sh.Fail -> Alcotest.fail "expected invalid SC"
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "dramstress_march"
+    [
+      ( "dsl",
+        [
+          tc "validation" test_march_validation;
+          tc "op counts" test_march_op_counts;
+          tc "notation" test_march_notation;
+          tc "of_detection" test_of_detection;
+          tc "parsing" test_march_parse;
+          QCheck_alcotest.to_alcotest prop_parse_roundtrip;
+          QCheck_alcotest.to_alcotest prop_clean_memory_never_fails;
+        ] );
+      ( "memsim digital",
+        [
+          tc "clean memory passes" test_memsim_good_memory_passes;
+          tc "read/write" test_memsim_rw;
+          tc "stuck-at" test_stuck_at_detected;
+          tc "transition faults" test_transition_faults;
+          tc "coupling faults" test_coupling_faults;
+          tc "failure location" test_failure_location;
+          tc "construction validation" test_create_validation;
+        ] );
+      ( "memsim weak cells",
+        [
+          tc "ideal weak cell is clean" test_weak_ideal_behaves_like_good;
+          tc "slow w0 caught by paper sequence" test_weak_slow_w0_fails;
+          tc "leak caught by retention element" test_weak_leak_detected_by_pause;
+          tc "electrical fitting" test_weak_of_electrical;
+        ] );
+      ( "coverage",
+        [
+          tc "March C- dominates MATS+" test_coverage_ordering;
+          tc "rendering" test_coverage_render;
+        ] );
+      ( "shmoo",
+        [
+          slow "timing edge" test_shmoo_timing_axis;
+          tc "invalid SCs marked" test_shmoo_invalid_points;
+        ] );
+    ]

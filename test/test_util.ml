@@ -1,0 +1,368 @@
+(* Unit and property tests for the numerics substrate. *)
+
+module L = Dramstress_util.Linalg
+module B = Dramstress_util.Bisect
+module I = Dramstress_util.Interp
+module G = Dramstress_util.Grid
+module S = Dramstress_util.Stats
+module U = Dramstress_util.Units
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs b)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  if not (feq ~eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Linalg                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_lu_identity () =
+  let a = L.identity 5 in
+  let b = [| 1.0; -2.0; 3.5; 0.0; 7.25 |] in
+  let x = L.solve a b in
+  Array.iteri (fun i v -> check_float "identity solve" b.(i) v) x
+
+let test_lu_known_system () =
+  (* 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3 *)
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = L.solve a [| 5.0; 10.0 |] in
+  check_float "x" 1.0 x.(0);
+  check_float "y" 3.0 x.(1)
+
+let test_lu_pivoting () =
+  (* zero leading pivot forces a row swap *)
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = L.solve a [| 2.0; 3.0 |] in
+  check_float "x" 3.0 x.(0);
+  check_float "y" 2.0 x.(1)
+
+let test_lu_singular () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" (L.Singular 1) (fun () ->
+      ignore (L.lu_factor a))
+
+let test_lu_does_not_mutate () =
+  let a = [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let saved = L.copy a in
+  ignore (L.solve a [| 1.0; 2.0 |]);
+  Array.iteri
+    (fun i row ->
+      Array.iteri (fun j v -> check_float "a unchanged" saved.(i).(j) v) row)
+    a
+
+let test_mat_vec_mul () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let v = L.mat_vec a [| 1.0; 1.0 |] in
+  check_float "row0" 3.0 v.(0);
+  check_float "row1" 7.0 v.(1);
+  let c = L.mat_mul a (L.identity 2) in
+  check_float "mat_mul id" 4.0 c.(1).(1)
+
+let test_norms () =
+  check_float "inf" 3.0 (L.norm_inf [| 1.0; -3.0; 2.0 |]);
+  check_float "l2" 5.0 (L.norm_2 [| 3.0; 4.0 |]);
+  check_float "inf empty" 0.0 (L.norm_inf [||])
+
+let prop_lu_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"lu: A x = b residual is small"
+    QCheck.(
+      pair (int_range 1 8)
+        (pair (list_of_size (Gen.return 64) (float_range (-10.0) 10.0))
+           (list_of_size (Gen.return 8) (float_range (-10.0) 10.0))))
+    (fun (n, (entries, rhs)) ->
+      let ent = Array.of_list entries and rv = Array.of_list rhs in
+      let a =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                let v = ent.((i * 8) + j) in
+                if i = j then v +. 20.0 else v))
+        (* diagonally dominant: never singular *)
+      in
+      let b = Array.init n (fun i -> rv.(i)) in
+      let x = L.solve a b in
+      L.norm_inf (L.residual a x b) < 1e-8)
+
+(* ------------------------------------------------------------------ *)
+(* Bisect                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_root_linear () =
+  let x = B.root (fun x -> x -. 1.5) 0.0 10.0 in
+  check_float ~eps:1e-6 "root" 1.5 x
+
+let test_root_cos () =
+  let x = B.root cos 0.0 3.0 in
+  check_float ~eps:1e-6 "pi/2" (Float.pi /. 2.0) x
+
+let test_root_no_bracket () =
+  Alcotest.check_raises "no bracket" B.No_bracket (fun () ->
+      ignore (B.root (fun x -> (x *. x) +. 1.0) (-1.0) 1.0))
+
+let test_threshold_updown () =
+  (* predicate true below 2.0 *)
+  let x = B.threshold (fun x -> x < 2.0) 0.0 10.0 in
+  check_float ~eps:1e-6 "boundary" 2.0 x;
+  (* predicate false below 2.0 *)
+  let x = B.threshold (fun x -> x >= 2.0) 0.0 10.0 in
+  check_float ~eps:1e-6 "boundary" 2.0 x
+
+let test_threshold_log () =
+  let x = B.threshold_log (fun r -> r < 2.0e5) 1e3 1e7 in
+  if Float.abs (x -. 2.0e5) > 0.01 *. 2.0e5 then
+    Alcotest.failf "log threshold: got %g" x
+
+let test_guarded () =
+  (match B.guarded_threshold (fun _ -> true) 0.0 1.0 with
+  | B.All_true -> ()
+  | B.All_false | B.Crossing _ -> Alcotest.fail "expected All_true");
+  (match B.guarded_threshold (fun _ -> false) 0.0 1.0 with
+  | B.All_false -> ()
+  | B.All_true | B.Crossing _ -> Alcotest.fail "expected All_false");
+  match B.guarded_threshold (fun x -> x < 0.5) 0.0 1.0 with
+  | B.Crossing x -> check_float ~eps:1e-6 "crossing" 0.5 x
+  | B.All_true | B.All_false -> Alcotest.fail "expected Crossing"
+
+let prop_threshold_finds_boundary =
+  QCheck.Test.make ~count:200 ~name:"threshold: recovers the cut point"
+    QCheck.(float_range 0.1 9.9)
+    (fun cut ->
+      let x = B.threshold (fun v -> v < cut) 0.0 10.0 in
+      Float.abs (x -. cut) < 1e-5)
+
+(* ------------------------------------------------------------------ *)
+(* Interp                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_eval () =
+  let c = I.of_points [ (0.0, 0.0); (1.0, 2.0); (2.0, 0.0) ] in
+  check_float "mid" 1.0 (I.eval c 0.5);
+  check_float "peak" 2.0 (I.eval c 1.0);
+  check_float "clamp lo" 0.0 (I.eval c (-5.0));
+  check_float "clamp hi" 0.0 (I.eval c 7.0)
+
+let test_interp_unsorted_input () =
+  let c = I.of_points [ (2.0, 4.0); (0.0, 0.0); (1.0, 1.0) ] in
+  check_float "sorted eval" 2.5 (I.eval c 1.5)
+
+let test_interp_duplicate () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Interp.of_points: duplicate abscissa") (fun () ->
+      ignore (I.of_points [ (0.0, 1.0); (0.0, 2.0) ]))
+
+let test_interp_crossings () =
+  let c = I.of_points [ (0.0, 0.0); (1.0, 2.0); (2.0, 0.0) ] in
+  match I.crossings c 1.0 with
+  | [ a; b ] ->
+    check_float "first" 0.5 a;
+    check_float "second" 1.5 b
+  | other -> Alcotest.failf "expected 2 crossings, got %d" (List.length other)
+
+let test_interp_no_crossing () =
+  let c = I.of_points [ (0.0, 0.0); (1.0, 1.0) ] in
+  Alcotest.(check (option (float 1e-9))) "none" None (I.first_crossing c 5.0)
+
+let test_interp_intersections () =
+  let a = I.of_points [ (0.0, 0.0); (10.0, 10.0) ] in
+  let b = I.of_points [ (0.0, 10.0); (10.0, 0.0) ] in
+  match I.intersections a b with
+  | [ x ] -> check_float ~eps:1e-6 "cross at 5" 5.0 x
+  | other -> Alcotest.failf "expected 1 intersection, got %d" (List.length other)
+
+let test_interp_map_y () =
+  let c = I.map_y (fun y -> 2.0 *. y) (I.of_points [ (0.0, 1.0); (1.0, 3.0) ]) in
+  check_float "scaled" 4.0 (I.eval c 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Grid                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_linspace () =
+  (match G.linspace 0.0 1.0 5 with
+  | [ a; b; c; d; e ] ->
+    check_float "a" 0.0 a;
+    check_float "b" 0.25 b;
+    check_float "c" 0.5 c;
+    check_float "d" 0.75 d;
+    check_float "e" 1.0 e
+  | _ -> Alcotest.fail "expected 5 points");
+  Alcotest.(check (list (float 1e-12))) "single" [ 3.0 ] (G.linspace 3.0 9.0 1)
+
+let test_logspace () =
+  match G.logspace 1.0 100.0 3 with
+  | [ a; b; c ] ->
+    check_float "a" 1.0 a;
+    check_float ~eps:1e-9 "b" 10.0 b;
+    check_float ~eps:1e-9 "c" 100.0 c
+  | _ -> Alcotest.fail "expected 3 points"
+
+let test_arange () =
+  Alcotest.(check (list (float 1e-12)))
+    "arange" [ 0.0; 0.5; 1.0; 1.5 ] (G.arange 0.0 2.0 0.5)
+
+let test_decades () =
+  let pts = G.decades 1e3 1e6 4 in
+  check_float "first" 1e3 (List.hd pts);
+  check_float ~eps:1e-9 "last" 1e6 (List.nth pts (List.length pts - 1));
+  Alcotest.(check bool) "enough points" true (List.length pts >= 12)
+
+let prop_logspace_monotone =
+  QCheck.Test.make ~count:100 ~name:"logspace is strictly increasing"
+    QCheck.(pair (float_range 0.001 10.0) (int_range 2 50))
+    (fun (lo, n) ->
+      let pts = G.logspace lo (lo *. 1000.0) n in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a < b && mono rest
+        | [ _ ] | [] -> true
+      in
+      mono pts && List.length pts = n)
+
+(* ------------------------------------------------------------------ *)
+(* Stats / Units                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (S.mean xs);
+  check_float "var" 1.25 (S.variance xs);
+  check_float "median" 2.5 (S.median xs);
+  let lo, hi = S.min_max xs in
+  check_float "min" 1.0 lo;
+  check_float "max" 4.0 hi;
+  check_float "q0" 1.0 (S.quantile 0.0 xs);
+  check_float "q1" 4.0 (S.quantile 1.0 xs)
+
+let test_stats_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (S.mean [||]))
+
+let test_units () =
+  check_float "kilo" 2.0e5 (U.kilo 200.0);
+  check_float "nano" 6.0e-8 (U.nano 60.0);
+  check_float "c2k" 300.15 (U.celsius_to_kelvin 27.0);
+  check_float "k2c" 27.0 (U.kelvin_to_celsius 300.15);
+  check_float ~eps:1e-4 "vt at 300K" 0.02585 (U.thermal_voltage 300.0);
+  Alcotest.(check string) "si 200k" "200 k" (U.si_string 2.0e5);
+  Alcotest.(check string) "si 0" "0" (U.si_string 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Csvout / Ascii_plot                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Csv = Dramstress_util.Csvout
+module Plot = Dramstress_util.Ascii_plot
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let test_csv_basic () =
+  let out = Csv.to_string ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  Alcotest.(check string) "csv" "a,b\n1,2\n3,4\n" out
+
+let test_csv_quoting () =
+  let out = Csv.to_string ~header:[ "x" ] [ [ "has,comma" ]; [ "has\"quote" ] ] in
+  Alcotest.(check bool) "comma quoted" true (contains out "\"has,comma\"");
+  Alcotest.(check bool) "quote doubled" true (contains out "\"has\"\"quote\"")
+
+let test_csv_floats () =
+  let out = Csv.of_floats ~header:[ "t"; "v" ] [ [ 1e-9; 2.4 ] ] in
+  Alcotest.(check bool) "formatted" true (contains out "1e-09" && contains out "2.4")
+
+let test_plot_renders_series () =
+  let s = Plot.series "curve" [ (0.0, 0.0); (1.0, 1.0); (2.0, 4.0) ] in
+  let out = Plot.render ~title:"parabola" [ s ] in
+  Alcotest.(check bool) "title" true (contains out "parabola");
+  Alcotest.(check bool) "legend" true (contains out "[c] curve");
+  Alcotest.(check bool) "glyphs placed" true (contains out "c")
+
+let test_plot_log_axis_and_hlines () =
+  let s = Plot.series ~glyph:'#' "r" [ (1e3, 1.0); (1e6, 2.0) ] in
+  let out =
+    Plot.render ~x_axis:Plot.Log10 ~hlines:[ ("level", 1.5) ] ~title:"log"
+      [ s ]
+  in
+  Alcotest.(check bool) "hline legend" true (contains out "level=1.5");
+  Alcotest.(check bool) "dashes drawn" true (contains out "- -")
+
+let test_plot_empty () =
+  let out = Plot.render ~title:"none" [ Plot.series "x" [] ] in
+  Alcotest.(check bool) "graceful" true (contains out "(no data)")
+
+let test_plot_grid () =
+  let out =
+    Plot.render_grid ~title:"g" ~rows:("y", 2) ~cols:("x", 3)
+      ~row_label:(fun r -> string_of_int r)
+      ~col_label:(fun c -> string_of_int c)
+      (fun r c -> if (r + c) mod 2 = 0 then '.' else 'X')
+  in
+  Alcotest.(check bool) "cells" true (contains out ". X .");
+  Alcotest.(check bool) "axis names" true (contains out "rows: y")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dramstress_util"
+    [
+      ( "linalg",
+        [
+          tc "identity solve" test_lu_identity;
+          tc "known 2x2 system" test_lu_known_system;
+          tc "pivoting on zero diagonal" test_lu_pivoting;
+          tc "singular detection" test_lu_singular;
+          tc "solve does not mutate input" test_lu_does_not_mutate;
+          tc "mat_vec and mat_mul" test_mat_vec_mul;
+          tc "norms" test_norms;
+          QCheck_alcotest.to_alcotest prop_lu_roundtrip;
+        ] );
+      ( "bisect",
+        [
+          tc "linear root" test_root_linear;
+          tc "cosine root" test_root_cos;
+          tc "missing bracket raises" test_root_no_bracket;
+          tc "threshold, both orientations" test_threshold_updown;
+          tc "log-axis threshold" test_threshold_log;
+          tc "guarded threshold" test_guarded;
+          QCheck_alcotest.to_alcotest prop_threshold_finds_boundary;
+        ] );
+      ( "interp",
+        [
+          tc "eval and clamping" test_interp_eval;
+          tc "input sorting" test_interp_unsorted_input;
+          tc "duplicate abscissa" test_interp_duplicate;
+          tc "crossings of a level" test_interp_crossings;
+          tc "no crossing" test_interp_no_crossing;
+          tc "curve intersections" test_interp_intersections;
+          tc "map_y" test_interp_map_y;
+        ] );
+      ( "grid",
+        [
+          tc "linspace" test_linspace;
+          tc "logspace" test_logspace;
+          tc "arange" test_arange;
+          tc "decades" test_decades;
+          QCheck_alcotest.to_alcotest prop_logspace_monotone;
+        ] );
+      ( "stats+units",
+        [
+          tc "summary statistics" test_stats_basic;
+          tc "empty input raises" test_stats_empty;
+          tc "unit conversions and SI printing" test_units;
+        ] );
+      ( "csv+plot",
+        [
+          tc "csv basics" test_csv_basic;
+          tc "csv quoting" test_csv_quoting;
+          tc "csv float formatting" test_csv_floats;
+          tc "plot renders series" test_plot_renders_series;
+          tc "log axis and markers" test_plot_log_axis_and_hlines;
+          tc "empty plot" test_plot_empty;
+          tc "character grid" test_plot_grid;
+        ] );
+    ]
