@@ -276,6 +276,149 @@ let ablation () =
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* A/B comparison of the engine hot path: the kept-alive naive assembly
+   (allocate + hash-resolve every Newton iteration, memo cache off)
+   against the incremental workspace path with the cache on, both pinned
+   to one domain so the speedup isolates the alloc/caching wins. Results
+   land in BENCH_engine.json for machine consumption. *)
+let perf_engine_ab () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let sim_naive =
+    { Dramstress_engine.Options.default with naive_assembly = true }
+  in
+  let sim_fast = Dramstress_engine.Options.default in
+  let defect = D.v open_kind D.True_bl 200e3 in
+  (* --- transient step cost, ns per accepted time point ------------- *)
+  O.set_caching false;
+  let trace_points sim =
+    let oc = O.run ~sim ~stress:nominal ~defect ~vc_init:2.4 [ O.W0 ] in
+    Array.length oc.O.trace.Dramstress_engine.Transient.times
+  in
+  let n_pts = trace_points sim_fast in
+  let reps = 5 in
+  let step_ns sim =
+    let dt =
+      wall (fun () ->
+          for _ = 1 to reps do
+            ignore (O.run ~sim ~stress:nominal ~defect ~vc_init:2.4 [ O.W0 ])
+          done)
+    in
+    1e9 *. dt /. float_of_int (reps * n_pts)
+  in
+  let step_naive = step_ns sim_naive in
+  let step_fast = step_ns sim_fast in
+  (* --- allocation budget of the incremental path ------------------- *)
+  (* Acceptance check: the incremental engine must not heap-allocate
+     matrices per Newton iteration. Each accepted point runs at least two
+     iterations, and one fresh n x n system (n ~ 21 for the column, i.e.
+     n*(n+1) > 460 words) would add >= ~900 minor words per point on top
+     of the bookkeeping measured here (per-point sample arrays, MOSFET
+     evaluation records). The naive path measures >= 10x this bound. *)
+  let alloc_limit = 1500.0 in
+  let words_per_point sim =
+    let w0 = Gc.minor_words () in
+    ignore (O.run ~sim ~stress:nominal ~defect ~vc_init:2.4 [ O.W0 ]);
+    (Gc.minor_words () -. w0) /. float_of_int n_pts
+  in
+  let words_fast = words_per_point sim_fast in
+  let words_naive = words_per_point sim_naive in
+  let alloc_ok = words_fast <= alloc_limit in
+  (* --- fig2-style plane sweep -------------------------------------- *)
+  let rops = Dramstress_util.Grid.logspace 1e3 1e6 4 in
+  let plane_sweep sim () =
+    (* the full Figure 2 plane set: w0 and w1 write planes plus the read
+       plane for one defect kind. The three planes share the defect-free
+       V_mp bisection and the per-resistance V_sa bisections, which is
+       exactly where the memo cache pays off *)
+    List.iter
+      (fun op ->
+        ignore
+          (C.Plane.write_plane ~sim ~jobs:1 ~n_ops:2 ~rops ~stress:nominal
+             ~kind:open_kind ~placement:D.True_bl ~op ()))
+      [ O.W0; O.W1 ];
+    ignore
+      (C.Plane.read_plane ~sim ~jobs:1 ~n_ops:2 ~rops ~stress:nominal
+         ~kind:open_kind ~placement:D.True_bl ())
+  in
+  O.set_caching false;
+  let plane_naive = wall (plane_sweep sim_naive) in
+  O.set_caching true;
+  O.set_cache_capacity 512 (* fresh cache: zero stats, cold start *);
+  let plane_fast = wall (plane_sweep sim_fast) in
+  let cache = O.cache_stats () in
+  let hit_rate =
+    let total = cache.O.hits + cache.O.misses in
+    if total = 0 then 0.0 else float_of_int cache.O.hits /. float_of_int total
+  in
+  (* --- one shmoo row ------------------------------------------------ *)
+  let detection =
+    C.Detection.v
+      [ C.Detection.Write 1; C.Detection.Read 1; C.Detection.Write 0;
+        C.Detection.Read 0 ]
+  in
+  let shmoo_row sim () =
+    (* plot + re-plot: a shmoo row is generated, inspected, and generated
+       again — the standard edit-and-replot loop of stress exploration.
+       The second plot is where the memo cache earns its keep (every grid
+       point is distinct within one plot, so a single cold row measures
+       assembly wins only). *)
+    for _ = 1 to 2 do
+      ignore
+        (M.Shmoo.generate ~sim ~jobs:1 ~stress:nominal ~defect ~detection
+           ~x:(S.Cycle_time, Dramstress_util.Grid.linspace 50e-9 75e-9 6)
+           ~y:(S.Supply_voltage, [ 2.4 ])
+           ())
+    done
+  in
+  O.set_caching false;
+  let shmoo_naive = wall (shmoo_row sim_naive) in
+  O.set_cache_capacity 512;
+  O.set_caching true;
+  let shmoo_fast = wall (shmoo_row sim_fast) in
+  O.set_cache_capacity 512;
+  let ratio a b = if b > 0.0 then a /. b else Float.nan in
+  Printf.printf "  %-34s naive %10.1f   incremental %10.1f   speedup %5.2fx\n"
+    "transient step (ns/point)" step_naive step_fast
+    (ratio step_naive step_fast);
+  Printf.printf "  %-34s naive %10.3f   incremental %10.3f   speedup %5.2fx\n"
+    "fig2 plane sweep (s)" plane_naive plane_fast (ratio plane_naive plane_fast);
+  Printf.printf "  %-34s naive %10.3f   incremental %10.3f   speedup %5.2fx\n"
+    "shmoo row, plot + re-plot (s)" shmoo_naive shmoo_fast
+    (ratio shmoo_naive shmoo_fast);
+  Printf.printf "  %-34s naive %10.0f   incremental %10.0f   (limit %.0f: %s)\n"
+    "minor words / point" words_naive words_fast alloc_limit
+    (if alloc_ok then "ok" else "EXCEEDED");
+  Printf.printf "  cache hit rate over the plane sweep: %.0f%% (%d hits, %d \
+                 misses)\n"
+    (100.0 *. hit_rate) cache.O.hits cache.O.misses;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"jobs\": 1,\n\
+      \  \"transient_step_ns_per_point\": { \"naive\": %.1f, \"incremental\": \
+       %.1f, \"speedup\": %.2f },\n\
+      \  \"fig2_plane_sweep_s\": { \"naive\": %.4f, \"incremental\": %.4f, \
+       \"speedup\": %.2f },\n\
+      \  \"shmoo_plot_replot_s\": { \"naive\": %.4f, \"incremental\": %.4f, \
+       \"speedup\": %.2f },\n\
+      \  \"plane_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f \
+       },\n\
+      \  \"minor_words_per_point\": { \"naive\": %.0f, \"incremental\": %.0f, \
+       \"limit\": %.0f, \"within_limit\": %b }\n\
+       }\n"
+      step_naive step_fast (ratio step_naive step_fast) plane_naive plane_fast
+      (ratio plane_naive plane_fast) shmoo_naive shmoo_fast
+      (ratio shmoo_naive shmoo_fast) cache.O.hits cache.O.misses hit_rate
+      words_naive words_fast alloc_limit alloc_ok
+  in
+  Out_channel.with_open_text "BENCH_engine.json" (fun oc ->
+      output_string oc json);
+  Printf.printf "  wrote BENCH_engine.json\n"
+
 let perf () =
   heading "perf" "engine micro-benchmarks (Bechamel)";
   let open Bechamel in
@@ -309,14 +452,20 @@ let perf () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
+  (* memoization off: the micro-benchmarks time the simulation itself,
+     not cache lookups *)
+  O.set_caching false;
   let raw = Benchmark.all cfg instances tests in
+  O.set_caching true;
   let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
   Hashtbl.iter
     (fun name ols_result ->
       match Analyze.OLS.estimates ols_result with
       | Some [ est ] -> Printf.printf "  %-44s %14.1f ns/run\n" name est
       | Some _ | None -> Printf.printf "  %-44s (no estimate)\n" name)
-    results
+    results;
+  Printf.printf "\n  -- naive vs incremental engine (1 domain) --\n";
+  perf_engine_ab ()
 
 (* ------------------------------------------------------------------ *)
 

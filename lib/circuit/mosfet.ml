@@ -42,48 +42,43 @@ let sigmoid u =
   else if u < -30.0 then exp u
   else 1.0 /. (1.0 +. exp (-.u))
 
-(* EKV drain current for an NMOS-normalized device with vds >= 0 *)
-let ids_forward m ~temp ~vgs ~vds =
+(* Polarity reflection and source/drain exchange are folded into sign
+   fixups around one forward-frame EKV evaluation, so each call allocates
+   exactly one [eval] record — this sits inside the Newton stamp loop.
+
+   Forward frame: NMOS with vds >= 0. PMOS is the NMOS dual at
+   (-vgs, -vds) with Id = -Id_n, dId/dVgs = gm_n, dId/dVds = gds_n.
+   Reverse bias (vds_n < 0) evaluates the mirrored device at
+   vgs' = vgd = vgs - vds, vds' = -vds; Id = -Id'. Chain rule:
+   dId/dvgs = -dId'/dvgs' * dvgs'/dvgs = -gm'.
+   dId/dvds = -(gm' * dvgs'/dvds + gds' * dvds'/dvds) = gm' + gds'. *)
+let ids m ~temp ~vgs ~vds =
+  let sgn = match m.polarity with Nmos -> 1.0 | Pmos -> -1.0 in
+  let vgs_n = sgn *. vgs and vds_n = sgn *. vds in
+  let reversed = vds_n < 0.0 in
+  let vgs_f = if reversed then vgs_n -. vds_n else vgs_n in
+  let vds_f = if reversed then -.vds_n else vds_n in
   let vt_th = Dramstress_util.Units.thermal_voltage temp in
   let n = m.n_sub in
   let kp = kp_t m ~temp in
   let vth = vth_mag m ~temp in
-  let vp = (vgs -. vth) /. n in
+  let vp = (vgs_f -. vth) /. n in
   let scale = 2.0 *. n *. kp *. vt_th *. vt_th in
   let uf = vp /. (2.0 *. vt_th) in
-  let ur = (vp -. vds) /. (2.0 *. vt_th) in
+  let ur = (vp -. vds_f) /. (2.0 *. vt_th) in
   let ff = softplus uf and fr = softplus ur in
   let i_f = ff *. ff and i_r = fr *. fr in
-  let clm = 1.0 +. (m.lambda *. vds) in
-  let id = scale *. (i_f -. i_r) *. clm in
+  let clm = 1.0 +. (m.lambda *. vds_f) in
+  let id_f = scale *. (i_f -. i_r) *. clm in
   (* d i_f / d vp = ff * sigmoid(uf) / vt_th ; same pattern for i_r *)
   let dif_dvp = ff *. sigmoid uf /. vt_th in
   let dir_dvp = fr *. sigmoid ur /. vt_th in
-  let gm = scale *. clm *. (dif_dvp -. dir_dvp) /. n in
-  let gds =
+  let gm_f = scale *. clm *. (dif_dvp -. dir_dvp) /. n in
+  let gds_f =
     (scale *. clm *. (fr *. sigmoid ur /. vt_th))
     +. (scale *. (i_f -. i_r) *. m.lambda)
   in
-  { id; gm; gds }
-
-(* handle source/drain exchange: for vds < 0 evaluate the mirrored device
-   and reflect current and derivatives. The mirrored device sees
-   vgs' = vgd = vgs - vds and vds' = -vds; Id = -Id'.
-   Chain rule: dId/dvgs = -dId'/dvgs' * dvgs'/dvgs = -gm'.
-   dId/dvds = -(gm' * dvgs'/dvds + gds' * dvds'/dvds) = -( -gm' - gds')
-            = gm' + gds'. *)
-let ids_nmos m ~temp ~vgs ~vds =
-  if vds >= 0.0 then ids_forward m ~temp ~vgs ~vds
-  else begin
-    let e = ids_forward m ~temp ~vgs:(vgs -. vds) ~vds:(-.vds) in
-    { id = -.e.id; gm = -.e.gm; gds = e.gm +. e.gds }
-  end
-
-(* PMOS by sign reflection: evaluate the NMOS dual at (-vgs, -vds);
-   Id = -Id_n, dId/dvgs = -gm_n * (-1) = gm_n, dId/dvds likewise. *)
-let ids m ~temp ~vgs ~vds =
-  match m.polarity with
-  | Nmos -> ids_nmos m ~temp ~vgs ~vds
-  | Pmos ->
-    let e = ids_nmos m ~temp ~vgs:(-.vgs) ~vds:(-.vds) in
-    { id = -.e.id; gm = e.gm; gds = e.gds }
+  let id_n = if reversed then -.id_f else id_f in
+  let gm_n = if reversed then -.gm_f else gm_f in
+  let gds_n = if reversed then gm_f +. gds_f else gds_f in
+  { id = sgn *. id_n; gm = gm_n; gds = gds_n }

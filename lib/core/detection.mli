@@ -38,13 +38,14 @@ val initial_vc :
   t -> stress:Dramstress_dram.Stress.t -> defect:Dramstress_defect.Defect.t ->
   float
 
-(** [detects ?tech ?min_separation ~stress ~defect cond] runs the
+(** [detects ?tech ?sim ?min_separation ~stress ~defect cond] runs the
     condition electrically and reports whether any read fails: a wrong
     bit, or a bit-line separation at strobe time below [min_separation]
     (default 0.5 V) — a metastable output that a tester's VOH/VOL levels
-    reject. *)
+    reject. [sim] overrides the solver options of the underlying run. *)
 val detects :
   ?tech:Dramstress_dram.Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
   ?min_separation:float ->
   stress:Dramstress_dram.Stress.t ->
   defect:Dramstress_defect.Defect.t ->

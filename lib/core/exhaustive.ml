@@ -10,7 +10,7 @@ type t = {
   ranking : (S.t * Border.result) list;
 }
 
-let optimize ?tech ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
+let optimize ?tech ?jobs ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
     ?(temp_values = [ -33.0; 27.0; 87.0 ])
     ?(vdd_values = [ 2.1; 2.4; 2.7 ]) ~nominal ~kind ~placement detection =
   let polarity = D.polarity kind in
@@ -26,8 +26,10 @@ let optimize ?tech ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
           temp_values)
       tcyc_values
   in
+  (* every SC evaluation is independent, so the factorial grid fans out
+     over domains; border searches within each SC stay sequential *)
   let scored =
-    List.map
+    Dramstress_util.Par.parallel_map ?jobs
       (fun sc -> (sc, Border.search ?tech ~stress:sc ~kind ~placement detection))
       combos
   in

@@ -19,9 +19,14 @@ type t = {
 (** [optimize ?tech ?tcyc_values ?temp_values ?vdd_values ~nominal ~kind
     ~placement detection] evaluates the BR of [detection] at every
     combination. Default grids: t_cyc {55, 60, 65 ns} x T {-33, 27,
-    87 C} x V_dd {2.1, 2.4, 2.7 V}. *)
+    87 C} x V_dd {2.1, 2.4, 2.7 V}.
+
+    [jobs] caps the domains used to evaluate grid points in parallel
+    (default [Dramstress_util.Par.default_jobs ()]; [~jobs:1] is
+    sequential). *)
 val optimize :
   ?tech:Dramstress_dram.Tech.t ->
+  ?jobs:int ->
   ?tcyc_values:float list ->
   ?temp_values:float list ->
   ?vdd_values:float list ->

@@ -4,6 +4,7 @@ module D = Dramstress_defect.Defect
 module B = Dramstress_util.Bisect
 module I = Dramstress_util.Interp
 module G = Dramstress_util.Grid
+module Par = Dramstress_util.Par
 
 type point = { r : float; vc : float }
 
@@ -25,8 +26,8 @@ let default_rops = G.logspace 1e3 1e6 12
 
 (* physical read result for an initial storage voltage: a single read op,
    unwrapping the logical inversion of complementary placement *)
-let read_physical ?tech ~stress ?defect vc =
-  let outcome = O.run ?tech ~stress ?defect ~vc_init:vc [ O.R ] in
+let read_physical ?tech ?sim ~stress ?defect vc =
+  let outcome = O.run ?tech ?sim ~stress ?defect ~vc_init:vc [ O.R ] in
   let logical =
     match O.sensed_bits outcome with [ b ] -> b | _ -> assert false
   in
@@ -34,20 +35,20 @@ let read_physical ?tech ~stress ?defect vc =
   | Some { D.placement = D.Comp_bl; _ } -> 1 - logical
   | Some { D.placement = D.True_bl; _ } | None -> logical
 
-let vmp ?tech ~stress () =
+let vmp ?tech ?sim ~stress () =
   match
     B.guarded_threshold ~tol:5e-3
-      (fun vc -> read_physical ?tech ~stress vc = 0)
+      (fun vc -> read_physical ?tech ?sim ~stress vc = 0)
       0.0 stress.S.vdd
   with
   | B.Crossing v -> v
   | B.All_true -> 0.0
   | B.All_false -> stress.S.vdd
 
-let vsa ?tech ~stress ~defect () =
+let vsa ?tech ?sim ~stress ~defect () =
   match
     B.guarded_threshold ~tol:5e-3
-      (fun vc -> read_physical ?tech ~stress ~defect vc = 0)
+      (fun vc -> read_physical ?tech ?sim ~stress ~defect vc = 0)
       0.0 stress.S.vdd
   with
   | B.Crossing v -> Vsa v
@@ -64,15 +65,17 @@ let physical_target placement op =
   let logical = match op with O.W0 -> 0 | O.W1 -> 1 | O.R | O.Pause _ -> 1 in
   match placement with D.True_bl -> logical | D.Comp_bl -> 1 - logical
 
-let vsa_curve_of ?tech ~stress ~kind ~placement rops =
-  List.map
+(* the resistance axis is embarrassingly parallel: each point is an
+   independent bisection / transient, so sweeps fan out over domains *)
+let vsa_curve_of ?tech ?sim ?jobs ~stress ~kind ~placement rops =
+  Par.parallel_map ?jobs
     (fun r ->
       let defect = D.v kind placement r in
-      { r_sa = r; vsa = vsa ?tech ~stress ~defect () })
+      { r_sa = r; vsa = vsa ?tech ?sim ~stress ~defect () })
     rops
 
-let write_plane ?tech ?(n_ops = 4) ?(rops = default_rops) ~stress ~kind
-    ~placement ~op () =
+let write_plane ?tech ?sim ?jobs ?(n_ops = 4) ?(rops = default_rops) ~stress
+    ~kind ~placement ~op () =
   (match op with
   | O.W0 | O.W1 -> ()
   | O.R | O.Pause _ -> invalid_arg "Plane.write_plane: op must be a write");
@@ -81,11 +84,11 @@ let write_plane ?tech ?(n_ops = 4) ?(rops = default_rops) ~stress ~kind
     if physical_target placement op = 0 then stress.S.vdd else 0.0
   in
   let trajectories =
-    List.map
+    Par.parallel_map ?jobs
       (fun r ->
         let defect = D.v kind placement r in
         let outcome =
-          O.run ?tech ~stress ~defect ~vc_init
+          O.run ?tech ?sim ~stress ~defect ~vc_init
             (List.init n_ops (fun _ -> op))
         in
         (r, List.map (fun res -> res.O.vc_end) outcome.O.results))
@@ -105,30 +108,30 @@ let write_plane ?tech ?(n_ops = 4) ?(rops = default_rops) ~stress ~kind
   {
     op;
     curves;
-    vsa_curve = vsa_curve_of ?tech ~stress ~kind ~placement rops;
-    vmp = vmp ?tech ~stress ();
+    vsa_curve = vsa_curve_of ?tech ?sim ?jobs ~stress ~kind ~placement rops;
+    vmp = vmp ?tech ?sim ~stress ();
     rops;
     stress;
   }
 
-let read_plane ?tech ?(n_ops = 3) ?(rops = default_rops) ?(offset = 0.2)
-    ~stress ~kind ~placement () =
+let read_plane ?tech ?sim ?jobs ?(n_ops = 3) ?(rops = default_rops)
+    ?(offset = 0.2) ~stress ~kind ~placement () =
   if n_ops < 1 then invalid_arg "Plane.read_plane: n_ops < 1";
-  let vsa_curve = vsa_curve_of ?tech ~stress ~kind ~placement rops in
+  let vsa_curve = vsa_curve_of ?tech ?sim ?jobs ~stress ~kind ~placement rops in
   let trajectory seed_of =
-    List.map2
-      (fun r { vsa = v; _ } ->
+    Par.parallel_map ?jobs
+      (fun (r, { vsa = v; _ }) ->
         let defect = D.v kind placement r in
         let seed =
           Float.max 0.0
             (Float.min stress.S.vdd (seed_of (vsa_substitute stress v)))
         in
         let outcome =
-          O.run ?tech ~stress ~defect ~vc_init:seed
+          O.run ?tech ?sim ~stress ~defect ~vc_init:seed
             (List.init n_ops (fun _ -> O.R))
         in
         (r, List.map (fun res -> res.O.vc_end) outcome.O.results))
-      rops vsa_curve
+      (List.combine rops vsa_curve)
   in
   let below = trajectory (fun vsa -> vsa -. offset) in
   let above = trajectory (fun vsa -> vsa +. offset) in
@@ -144,7 +147,7 @@ let read_plane ?tech ?(n_ops = 3) ?(rops = default_rops) ?(offset = 0.2)
     op = O.R;
     curves = curves_of "from below Vsa" below @ curves_of "from above Vsa" above;
     vsa_curve;
-    vmp = vmp ?tech ~stress ();
+    vmp = vmp ?tech ?sim ~stress ();
     rops;
     stress;
   }

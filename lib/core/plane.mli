@@ -33,16 +33,20 @@ type t = {
   stress : Dramstress_dram.Stress.t;
 }
 
-(** [vmp ?tech ~stress ()] is the read threshold of the defect-free
+(** [vmp ?tech ?sim ~stress ()] is the read threshold of the defect-free
     column — the voltage border between a stored 0 and 1. *)
-val vmp : ?tech:Dramstress_dram.Tech.t -> stress:Dramstress_dram.Stress.t ->
+val vmp :
+  ?tech:Dramstress_dram.Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
+  stress:Dramstress_dram.Stress.t ->
   unit -> float
 
-(** [vsa ?tech ~stress ~defect ()] is the sense threshold for the given
-    defect instance (bisection on the initial storage voltage, 10 mV
-    resolution). *)
+(** [vsa ?tech ?sim ~stress ~defect ()] is the sense threshold for the
+    given defect instance (bisection on the initial storage voltage,
+    10 mV resolution). *)
 val vsa :
   ?tech:Dramstress_dram.Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
   stress:Dramstress_dram.Stress.t ->
   defect:Dramstress_defect.Defect.t ->
   unit ->
@@ -53,9 +57,17 @@ val vsa :
     floating full-1 cell, [W1] planes from a full-0 cell, following the
     paper). [n_ops] defaults to 4; [rops] defaults to 12 points over
     [1 kOhm, 1 MOhm]. Raises [Invalid_argument] if [op] is a read or
-    pause. *)
+    pause.
+
+    [jobs] caps the number of domains used for the resistance sweep
+    (each point is an independent simulation); it defaults to
+    [Dramstress_util.Par.default_jobs ()], and [~jobs:1] forces a
+    sequential sweep. [sim] overrides the solver options of every
+    underlying run. *)
 val write_plane :
   ?tech:Dramstress_dram.Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
+  ?jobs:int ->
   ?n_ops:int ->
   ?rops:float list ->
   stress:Dramstress_dram.Stress.t ->
@@ -68,9 +80,11 @@ val write_plane :
 (** [read_plane ?tech ?n_ops ?rops ?offset ~stress ~kind ~placement ()]
     generates the repeated-read plane: two trajectories per resistance,
     seeded just below and just above [V_sa] (offset defaults to 0.2 V,
-    the paper's choice). *)
+    the paper's choice). [sim] and [jobs] as in {!write_plane}. *)
 val read_plane :
   ?tech:Dramstress_dram.Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
+  ?jobs:int ->
   ?n_ops:int ->
   ?rops:float list ->
   ?offset:float ->

@@ -10,22 +10,26 @@ type row = {
 
 type t = { rows : row list; nominal : S.t }
 
-let generate ?tech ?(nominal = S.nominal) ?(entries = D.catalog)
+let generate ?tech ?jobs ?(nominal = S.nominal) ?(entries = D.catalog)
     ?(placements = [ D.True_bl; D.Comp_bl ]) ?pause () =
-  let rows =
+  (* one work item per (defect, placement) row; rows are independent *)
+  let work =
     List.concat_map
       (fun (entry : D.entry) ->
-        List.map
-          (fun placement ->
-            {
-              defect_id = entry.D.id;
-              placement;
-              evaluation =
-                Sc_eval.evaluate ?tech ?pause ~nominal ~kind:entry.D.kind
-                  ~placement ();
-            })
-          placements)
+        List.map (fun placement -> (entry, placement)) placements)
       entries
+  in
+  let rows =
+    Dramstress_util.Par.parallel_map ?jobs
+      (fun ((entry : D.entry), placement) ->
+        {
+          defect_id = entry.D.id;
+          placement;
+          evaluation =
+            Sc_eval.evaluate ?tech ?pause ~nominal ~kind:entry.D.kind
+              ~placement ();
+        })
+      work
   in
   { rows; nominal }
 

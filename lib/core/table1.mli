@@ -9,12 +9,15 @@ type row = {
 
 type t = { rows : row list; nominal : Dramstress_dram.Stress.t }
 
-(** [generate ?tech ?nominal ?entries ?placements ()] runs the full
+(** [generate ?tech ?jobs ?nominal ?entries ?placements ()] runs the full
     optimization for every catalog entry and placement. The three opens
     are electrically equivalent; pass [entries] to restrict (e.g. one
-    open representative) when compute time matters. *)
+    open representative) when compute time matters. Rows are evaluated
+    in parallel over at most [jobs] domains (default
+    [Dramstress_util.Par.default_jobs ()]; [~jobs:1] is sequential). *)
 val generate :
   ?tech:Dramstress_dram.Tech.t ->
+  ?jobs:int ->
   ?nominal:Dramstress_dram.Stress.t ->
   ?entries:Dramstress_defect.Defect.entry list ->
   ?placements:Dramstress_defect.Defect.placement list ->

@@ -3,9 +3,10 @@ module D = Dramstress_defect.Defect
 module E = Dramstress_engine
 module I = Dramstress_util.Interp
 
-let runs = ref 0
-let run_count () = !runs
-let reset_run_count () = runs := 0
+(* counts logical run requests; atomic so parallel sweeps can share it *)
+let runs = Atomic.make 0
+let run_count () = Atomic.get runs
+let reset_run_count () = Atomic.set runs 0
 
 type op = W0 | W1 | R | Pause of float
 
@@ -134,11 +135,96 @@ let plan ~(tech : Tech.t) ~(stress : Stress.t) ~inverted ~steps_per_cycle ops =
   in
   (controls, List.rev !segments, List.rev !schedule, ph)
 
-let run ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?defect
+(* ------------------------------------------------------------------ *)
+(* Transient memo cache                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The sweep layers above (Plane, Sc_eval, Report, Table1, Shmoo) keep
+   re-running identical operation sequences: every plane recomputes the
+   same defect-free Vmp bisection, and Vsa bisections share their probe
+   reads across planes and stress axes. A bounded LRU keyed by the full
+   simulation fingerprint — everything [run] depends on — makes those
+   repeats free.
+
+   Domain-safety choice: ONE shared cache guarded by a mutex, rather
+   than per-domain caches merged after the fact. The critical section is
+   a hash lookup (microseconds) while a miss costs an entire transient
+   simulation (milliseconds to seconds), so contention is negligible and
+   a shared cache lets parallel sweep workers reuse each other's results
+   mid-sweep — per-domain caches would only merge after the sweep ends,
+   too late to save anything. Outcomes are immutable once constructed
+   (the trace's interp table is built eagerly in Transient.run), so
+   handing the same outcome to several domains is safe. *)
+
+type cache_key = {
+  k_tech : Tech.t;
+  k_stress : Stress.t;
+  k_sim : E.Options.t option;
+  k_steps : int;
+  k_defect : D.t option;
+  k_vc_init : float;
+  k_v_neighbour : float option;
+  k_ops : op list;
+}
+
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  capacity : int;
+}
+
+module Lru = Dramstress_util.Lru
+
+let cache_lock = Mutex.create ()
+let cache : (cache_key, outcome) Lru.t ref = ref (Lru.create ~capacity:512 ())
+
+let cache_enabled =
+  Atomic.make
+    (match Sys.getenv_opt "DRAMSTRESS_CACHE" with
+    | Some ("off" | "0" | "false" | "no") -> false
+    | Some _ | None -> true)
+
+let set_caching on = Atomic.set cache_enabled on
+let caching_enabled () = Atomic.get cache_enabled
+
+let with_cache f = Mutex.protect cache_lock (fun () -> f !cache)
+
+let set_cache_capacity capacity =
+  Mutex.protect cache_lock (fun () -> cache := Lru.create ~capacity ())
+
+let clear_cache () = with_cache Lru.clear
+
+let cache_stats () =
+  with_cache (fun c ->
+      { hits = Lru.hits c; misses = Lru.misses c; entries = Lru.length c;
+        capacity = Lru.capacity c })
+
+let rec run ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?defect
     ?(vc_init = 0.0) ?v_neighbour ~stress ops =
   if ops = [] then invalid_arg "Ops.run: empty sequence";
   Stress.validate stress;
-  incr runs;
+  Atomic.incr runs;
+  let key =
+    { k_tech = tech; k_stress = stress; k_sim = sim;
+      k_steps = steps_per_cycle; k_defect = defect; k_vc_init = vc_init;
+      k_v_neighbour = v_neighbour; k_ops = ops }
+  in
+  let cached =
+    if Atomic.get cache_enabled then with_cache (fun c -> Lru.find c key)
+    else None
+  in
+  match cached with
+  | Some outcome -> outcome
+  | None ->
+    let outcome = execute ~tech ?sim ~steps_per_cycle ?defect ~vc_init
+        ?v_neighbour ~stress ops in
+    if Atomic.get cache_enabled then
+      with_cache (fun c -> Lru.add c key outcome);
+    outcome
+
+and execute ~tech ?sim ~steps_per_cycle ?defect ~vc_init ?v_neighbour ~stress
+    ops =
   let vdd = stress.Stress.vdd in
   let v_neighbour = Option.value v_neighbour ~default:vdd in
   let inverted =

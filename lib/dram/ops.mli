@@ -11,10 +11,12 @@
     and 1s interchanged while the physical behaviour is identical — the
     paper's Table 1 observation. *)
 
-(** [run_count ()] is the number of electrical simulations executed by
+(** [run_count ()] is the number of simulation requests made through
     {!run} since start-up (or the last {!reset_run_count}) — the cost
     metric the paper's method optimizes against the exhaustive
-    per-SC fault analysis. *)
+    per-SC fault analysis. Requests served from the memo cache are
+    counted too; {!cache_stats} separates actual electrical simulations
+    (misses) from cached replays (hits). *)
 val run_count : unit -> int
 
 val reset_run_count : unit -> unit
@@ -59,6 +61,40 @@ val vc_curve : outcome -> Dramstress_util.Interp.t
 
 (** [sensed_bits outcome] lists the logical read results in order. *)
 val sensed_bits : outcome -> int list
+
+(** {2 Transient memo cache}
+
+    [run] memoizes outcomes in a bounded LRU keyed by the full simulation
+    fingerprint — technology, stress, solver options, step resolution,
+    defect, initial voltages and the operation sequence. The sweep layers
+    (planes, shmoo, Table 1) repeat identical sequences constantly, so
+    the cache removes most transient runs. It is shared across domains
+    and guarded by a mutex; cached outcomes are immutable.
+
+    Caching is on by default; set the environment variable
+    [DRAMSTRESS_CACHE] to [off]/[0]/[false]/[no] or call
+    [set_caching false] to disable it. *)
+
+type cache_stats = {
+  hits : int;      (** requests served from the cache *)
+  misses : int;    (** requests that ran an electrical simulation *)
+  entries : int;   (** outcomes currently held *)
+  capacity : int;  (** maximum entries before LRU eviction *)
+}
+
+(** [set_caching on] enables or disables memoization globally. *)
+val set_caching : bool -> unit
+
+val caching_enabled : unit -> bool
+
+(** [set_cache_capacity n] replaces the cache with an empty one holding
+    at most [n] outcomes (statistics reset too). *)
+val set_cache_capacity : int -> unit
+
+(** [clear_cache ()] drops all cached outcomes (statistics kept). *)
+val clear_cache : unit -> unit
+
+val cache_stats : unit -> cache_stats
 
 (** [run ?tech ?sim ?steps_per_cycle ?defect ?vc_init ?v_neighbour ~stress
     ops] executes the sequence.

@@ -13,7 +13,8 @@ let solve compiled ?(opts = Options.default) ?(guess = []) () =
     guess;
   let x0 = Mna.pack sys v0 in
   let reactive = Mna.dc_reactive sys in
-  let attempt opts = Newton.solve sys ~opts ~t_now:0.0 ~reactive ~x0 in
+  let ws = Mna.make_workspace sys in
+  let attempt opts = Newton.solve sys ~ws ~opts ~t_now:0.0 ~reactive ~x0 () in
   let x =
     try attempt opts
     with Newton.No_convergence _ ->
@@ -22,7 +23,7 @@ let solve compiled ?(opts = Options.default) ?(guess = []) () =
       let rec step gmin x_prev =
         let opts' = { opts with gmin } in
         let x =
-          Newton.solve sys ~opts:opts' ~t_now:0.0 ~reactive ~x0:x_prev
+          Newton.solve sys ~ws ~opts:opts' ~t_now:0.0 ~reactive ~x0:x_prev ()
         in
         if gmin <= opts.gmin *. 1.001 then x
         else step (Float.max opts.gmin (gmin /. 100.0)) x

@@ -1,6 +1,38 @@
 module C = Dramstress_circuit
 module L = Dramstress_util.Linalg
 
+(* Pre-resolved stamp plans: every name lookup and node-to-row mapping is
+   done once at [make] time, so the per-iteration hot path only walks
+   flat arrays of integers and floats. Devices split into a
+   *static-linear* part (resistors, voltage-source topology, capacitor
+   conductances — fixed for a given time step and integrator) that is
+   pre-stamped into a cached template, and a *dynamic* part (switches,
+   source values, capacitor history, MOSFET linearizations) restamped on
+   top of a row-wise copy of the template. *)
+
+type res_plan = { r_a : int; r_b : int; g_res : float }
+
+type switch_plan = {
+  s_a : int;
+  s_b : int;
+  ctrl : C.Waveform.t;
+  g_on : float;
+  g_off : float;
+  threshold : float;
+}
+
+type cap_plan = { c_a : int; c_b : int; slot : int; cap : float }
+type vsrc_plan = { v_pos : int; v_neg : int; row : int; v_wave : C.Waveform.t }
+type isrc_plan = { i_pos : int; i_neg : int; i_wave : C.Waveform.t }
+
+type mos_plan = {
+  m_d : int;
+  m_g : int;
+  m_s : int;
+  model : C.Mosfet.model;
+  mult : float;
+}
+
 type t = {
   compiled : C.Netlist.compiled;
   n_nodes : int;
@@ -9,6 +41,12 @@ type t = {
   vsrc_branch : (string, int) Hashtbl.t;  (* vsource name -> branch index *)
   cap_index : (string, int) Hashtbl.t;    (* capacitor name -> slot *)
   n_caps : int;
+  resistors : res_plan array;
+  switches : switch_plan array;
+  caps : cap_plan array;
+  vsrcs : vsrc_plan array;
+  isrcs : isrc_plan array;
+  mosfets : mos_plan array;
 }
 
 let make (compiled : C.Netlist.compiled) =
@@ -29,6 +67,30 @@ let make (compiled : C.Netlist.compiled) =
       | C.Device.Mosfet _ ->
         ())
     compiled.devices;
+  let resistors = ref [] and switches = ref [] and caps = ref [] in
+  let vsrcs = ref [] and isrcs = ref [] and mosfets = ref [] in
+  Array.iter
+    (fun d ->
+      match d with
+      | C.Device.Resistor { a; b; r; _ } ->
+        resistors := { r_a = a; r_b = b; g_res = 1.0 /. r } :: !resistors
+      | C.Device.Switch { a; b; ctrl; g_on; g_off; threshold; _ } ->
+        switches := { s_a = a; s_b = b; ctrl; g_on; g_off; threshold } :: !switches
+      | C.Device.Capacitor { name; a; b; c; _ } ->
+        caps :=
+          { c_a = a; c_b = b; slot = Hashtbl.find cap_index name; cap = c }
+          :: !caps
+      | C.Device.Vsource { name; pos; neg; wave } ->
+        vsrcs :=
+          { v_pos = pos; v_neg = neg;
+            row = n_nodes - 1 + Hashtbl.find vsrc_branch name; v_wave = wave }
+          :: !vsrcs
+      | C.Device.Isource { pos; neg; wave; _ } ->
+        isrcs := { i_pos = pos; i_neg = neg; i_wave = wave } :: !isrcs
+      | C.Device.Mosfet { d; g; s; model; m; _ } ->
+        mosfets := { m_d = d; m_g = g; m_s = s; model; mult = m } :: !mosfets)
+    compiled.devices;
+  let arr l = Array.of_list (List.rev !l) in
   {
     compiled;
     n_nodes;
@@ -37,6 +99,12 @@ let make (compiled : C.Netlist.compiled) =
     vsrc_branch;
     cap_index;
     n_caps = !nc;
+    resistors = arr resistors;
+    switches = arr switches;
+    caps = arr caps;
+    vsrcs = arr vsrcs;
+    isrcs = arr isrcs;
+    mosfets = arr mosfets;
   }
 
 let size sys = sys.size
@@ -85,13 +153,22 @@ let stamp_g g mat a b =
 let stamp_i i rhs n = if n > 0 then rhs.(n - 1) <- rhs.(n - 1) +. i
 
 (* VCCS: current g * (v_cp - v_cn) flows from node [p] to node [n]
-   (leaves p, enters n). *)
+   (leaves p, enters n). First-order function on purpose — an inner
+   closure here would allocate once per MOSFET per Newton iteration. *)
+let stamp_vccs_set mat r c v =
+  if r > 0 && c > 0 then mat.(r - 1).(c - 1) <- mat.(r - 1).(c - 1) +. v
+
 let stamp_vccs g mat p n cp cn =
-  let set r c v = if r > 0 && c > 0 then mat.(r - 1).(c - 1) <- mat.(r - 1).(c - 1) +. v in
-  set p cp g;
-  set p cn (-.g);
-  set n cp (-.g);
-  set n cn g
+  stamp_vccs_set mat p cp g;
+  stamp_vccs_set mat p cn (-.g);
+  stamp_vccs_set mat n cp (-.g);
+  stamp_vccs_set mat n cn g
+
+(* capacitor companion conductance for one time step *)
+let cap_g ~(opts : Options.t) ~dt c =
+  match opts.integrator with
+  | Options.Backward_euler -> c /. dt
+  | Options.Trapezoidal -> 2.0 *. c /. dt
 
 let mosfet_stamps ~temp mat rhs x sys (m : C.Device.t) =
   match m with
@@ -115,6 +192,9 @@ let mosfet_stamps ~temp mat rhs x sys (m : C.Device.t) =
   | C.Device.Isource _ | C.Device.Switch _ ->
     assert false
 
+(* Reference from-scratch assembly (the seed implementation). Kept alive
+   as the golden baseline: the incremental workspace path below must
+   produce identical systems, which the regression tests assert. *)
 let assemble sys ~(opts : Options.t) ~t_now ~x ~reactive =
   let n = sys.size in
   let mat = L.create n n in
@@ -135,14 +215,12 @@ let assemble sys ~(opts : Options.t) ~t_now ~x ~reactive =
         if reactive.dt > 0.0 then begin
           let vab_prev = reactive.prev_v.(a) -. reactive.prev_v.(b) in
           let slot = Hashtbl.find sys.cap_index name in
-          let g, i_hist =
+          let g = cap_g ~opts ~dt:reactive.dt c in
+          let i_hist =
             match opts.integrator with
-            | Options.Backward_euler ->
-              let g = c /. reactive.dt in
-              (g, g *. vab_prev)
+            | Options.Backward_euler -> g *. vab_prev
             | Options.Trapezoidal ->
-              let g = 2.0 *. c /. reactive.dt in
-              (g, (g *. vab_prev) +. reactive.prev_cap_current.(slot))
+              (g *. vab_prev) +. reactive.prev_cap_current.(slot)
           in
           stamp_g g mat a b;
           stamp_i i_hist rhs a;
@@ -171,26 +249,166 @@ let assemble sys ~(opts : Options.t) ~t_now ~x ~reactive =
     sys.compiled.devices;
   (mat, rhs)
 
+(* ------------------------------------------------------------------ *)
+(* Incremental assembly workspace                                      *)
+(* ------------------------------------------------------------------ *)
+
+type workspace = {
+  w_size : int;
+  mat : L.matrix;          (* stamped system, factored in place *)
+  rhs : float array;       (* stamped RHS, overwritten with the solution *)
+  tmpl : L.matrix;         (* cached static-linear template *)
+  (* scalar fields rather than a key tuple: the validity check runs every
+     Newton iteration and must not allocate *)
+  mutable tmpl_valid : bool;
+  mutable tmpl_dt : float;
+  mutable tmpl_gmin : float;
+  mutable tmpl_trapezoidal : bool;
+  perm : int array;
+  scratch : float array;
+}
+
+let make_workspace sys =
+  let n = sys.size in
+  {
+    w_size = n;
+    mat = L.create n n;
+    rhs = Array.make n 0.0;
+    tmpl = L.create n n;
+    tmpl_valid = false;
+    tmpl_dt = 0.0;
+    tmpl_gmin = 0.0;
+    tmpl_trapezoidal = false;
+    perm = Array.make n 0;
+    scratch = Array.make n 0.0;
+  }
+
+(* static-linear part: gmin regularization, resistors, voltage-source
+   topology and — for a fixed (dt, integrator) — the capacitor companion
+   conductances. Everything here is independent of t, x and history. *)
+let rebuild_template sys ws ~(opts : Options.t) ~dt =
+  let tmpl = ws.tmpl in
+  for i = 0 to ws.w_size - 1 do
+    Array.fill tmpl.(i) 0 ws.w_size 0.0
+  done;
+  for node = 1 to sys.n_nodes - 1 do
+    tmpl.(node - 1).(node - 1) <- tmpl.(node - 1).(node - 1) +. opts.gmin
+  done;
+  Array.iter (fun p -> stamp_g p.g_res tmpl p.r_a p.r_b) sys.resistors;
+  Array.iter
+    (fun p ->
+      if p.v_pos > 0 then begin
+        tmpl.(p.v_pos - 1).(p.row) <- tmpl.(p.v_pos - 1).(p.row) +. 1.0;
+        tmpl.(p.row).(p.v_pos - 1) <- tmpl.(p.row).(p.v_pos - 1) +. 1.0
+      end;
+      if p.v_neg > 0 then begin
+        tmpl.(p.v_neg - 1).(p.row) <- tmpl.(p.v_neg - 1).(p.row) -. 1.0;
+        tmpl.(p.row).(p.v_neg - 1) <- tmpl.(p.row).(p.v_neg - 1) -. 1.0
+      end)
+    sys.vsrcs;
+  if dt > 0.0 then
+    Array.iter
+      (fun p -> stamp_g (cap_g ~opts ~dt p.cap) tmpl p.c_a p.c_b)
+      sys.caps
+
+let assemble_into sys ws ~(opts : Options.t) ~t_now ~x ~reactive =
+  let n = ws.w_size in
+  assert (n = sys.size);
+  let trapezoidal =
+    match opts.integrator with
+    | Options.Backward_euler -> false
+    | Options.Trapezoidal -> true
+  in
+  (if
+     (not ws.tmpl_valid)
+     || ws.tmpl_dt <> reactive.dt
+     || ws.tmpl_gmin <> opts.gmin
+     || ws.tmpl_trapezoidal <> trapezoidal
+   then begin
+     rebuild_template sys ws ~opts ~dt:reactive.dt;
+     ws.tmpl_valid <- true;
+     ws.tmpl_dt <- reactive.dt;
+     ws.tmpl_gmin <- opts.gmin;
+     ws.tmpl_trapezoidal <- trapezoidal
+   end);
+  let mat = ws.mat and rhs = ws.rhs in
+  for i = 0 to n - 1 do
+    Array.blit ws.tmpl.(i) 0 mat.(i) 0 n
+  done;
+  Array.fill rhs 0 n 0.0;
+  (* dynamic stamps: switch state and source values at t_now, capacitor
+     history currents, MOSFET linearization around x. Indexed loops, not
+     [Array.iter]: this body runs every Newton iteration and a closure per
+     device class would be allocated on each call. *)
+  for i = 0 to Array.length sys.switches - 1 do
+    let p = sys.switches.(i) in
+    let g =
+      if C.Waveform.eval p.ctrl t_now > p.threshold then p.g_on else p.g_off
+    in
+    stamp_g g mat p.s_a p.s_b
+  done;
+  if reactive.dt > 0.0 then
+    for i = 0 to Array.length sys.caps - 1 do
+      let p = sys.caps.(i) in
+      let vab_prev = reactive.prev_v.(p.c_a) -. reactive.prev_v.(p.c_b) in
+      let g = cap_g ~opts ~dt:reactive.dt p.cap in
+      let i_hist =
+        match opts.integrator with
+        | Options.Backward_euler -> g *. vab_prev
+        | Options.Trapezoidal ->
+          (g *. vab_prev) +. reactive.prev_cap_current.(p.slot)
+      in
+      stamp_i i_hist rhs p.c_a;
+      stamp_i (-.i_hist) rhs p.c_b
+    done;
+  for i = 0 to Array.length sys.vsrcs - 1 do
+    let p = sys.vsrcs.(i) in
+    rhs.(p.row) <- C.Waveform.eval p.v_wave t_now
+  done;
+  for i = 0 to Array.length sys.isrcs - 1 do
+    let p = sys.isrcs.(i) in
+    let i_src = C.Waveform.eval p.i_wave t_now in
+    stamp_i (-.i_src) rhs p.i_pos;
+    stamp_i i_src rhs p.i_neg
+  done;
+  let temp = opts.temp in
+  for i = 0 to Array.length sys.mosfets - 1 do
+    let p = sys.mosfets.(i) in
+    let vd = node_voltage sys x p.m_d
+    and vg = node_voltage sys x p.m_g
+    and vs = node_voltage sys x p.m_s in
+    let vgs = vg -. vs and vds = vd -. vs in
+    let e = C.Mosfet.ids p.model ~temp ~vgs ~vds in
+    let id = e.C.Mosfet.id *. p.mult
+    and gm = e.C.Mosfet.gm *. p.mult
+    and gds = e.C.Mosfet.gds *. p.mult in
+    let ieq = id -. (gm *. vgs) -. (gds *. vds) in
+    stamp_g gds mat p.m_d p.m_s;
+    stamp_vccs gm mat p.m_d p.m_s p.m_g p.m_s;
+    stamp_i (-.ieq) rhs p.m_d;
+    stamp_i ieq rhs p.m_s
+  done
+
+let solve_in_place ws =
+  let lu = L.lu_factor_in_place ws.mat ~perm:ws.perm in
+  L.lu_solve_in_place lu ~scratch:ws.scratch ws.rhs
+
+let solution ws = ws.rhs
+
 let cap_currents sys ~(opts : Options.t) ~x ~reactive =
   let out = Array.make sys.n_caps 0.0 in
   if reactive.dt > 0.0 then
     Array.iter
-      (fun d ->
-        match d with
-        | C.Device.Capacitor { name; a; b; c; _ } ->
-          let slot = Hashtbl.find sys.cap_index name in
-          let vab = node_voltage sys x a -. node_voltage sys x b in
-          let vab_prev = reactive.prev_v.(a) -. reactive.prev_v.(b) in
-          let i =
-            match opts.integrator with
-            | Options.Backward_euler -> c /. reactive.dt *. (vab -. vab_prev)
-            | Options.Trapezoidal ->
-              (2.0 *. c /. reactive.dt *. (vab -. vab_prev))
-              -. reactive.prev_cap_current.(slot)
-          in
-          out.(slot) <- i
-        | C.Device.Resistor _ | C.Device.Vsource _ | C.Device.Isource _
-        | C.Device.Switch _ | C.Device.Mosfet _ ->
-          ())
-      sys.compiled.devices;
+      (fun p ->
+        let vab = node_voltage sys x p.c_a -. node_voltage sys x p.c_b in
+        let vab_prev = reactive.prev_v.(p.c_a) -. reactive.prev_v.(p.c_b) in
+        let i =
+          match opts.integrator with
+          | Options.Backward_euler -> p.cap /. reactive.dt *. (vab -. vab_prev)
+          | Options.Trapezoidal ->
+            (2.0 *. p.cap /. reactive.dt *. (vab -. vab_prev))
+            -. reactive.prev_cap_current.(p.slot)
+        in
+        out.(p.slot) <- i)
+      sys.caps;
   out

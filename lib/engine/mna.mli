@@ -58,7 +58,9 @@ val init_reactive : t -> prev_v:float array -> reactive
 val n_capacitors : t -> int
 
 (** [assemble sys ~opts ~t ~x ~reactive] stamps the full linearized
-    system at time [t] around iterate [x] and returns [(g, b)]. *)
+    system at time [t] around iterate [x] and returns freshly allocated
+    [(g, b)]. This is the reference from-scratch path; the workspace API
+    below produces identical systems without allocating. *)
 val assemble :
   t ->
   opts:Options.t ->
@@ -66,6 +68,43 @@ val assemble :
   x:float array ->
   reactive:reactive ->
   Dramstress_util.Linalg.matrix * float array
+
+(** Reusable per-solve buffers for the incremental assembly path: the
+    work matrix and RHS, the cached static-linear template (gmin,
+    resistors, voltage-source topology, capacitor conductances for the
+    current [(dt, gmin, integrator)]), and the pivot/substitution
+    scratch used by the in-place LU. One workspace serves any number of
+    sequential solves on the same system; it must not be shared between
+    domains. *)
+type workspace
+
+(** [make_workspace sys] allocates buffers sized for [sys]. *)
+val make_workspace : t -> workspace
+
+(** [assemble_into sys ws ~opts ~t_now ~x ~reactive] stamps the system
+    into [ws] without heap allocation: the static template is rebuilt
+    only when [(dt, gmin, integrator)] changed since the last call, then
+    copied row-wise and overlaid with the dynamic stamps (switch states,
+    source values at [t_now], capacitor history, MOSFET linearization
+    around [x]). *)
+val assemble_into :
+  t ->
+  workspace ->
+  opts:Options.t ->
+  t_now:float ->
+  x:float array ->
+  reactive:reactive ->
+  unit
+
+(** [solve_in_place ws] factors the assembled matrix in place and
+    overwrites the assembled RHS with the solution ({!solution}).
+    Raises [Dramstress_util.Linalg.Singular] on a zero pivot. *)
+val solve_in_place : workspace -> unit
+
+(** [solution ws] is the workspace RHS buffer, holding the solution
+    after {!solve_in_place}. The array is reused by the next
+    {!assemble_into}; copy anything that must survive. *)
+val solution : workspace -> float array
 
 (** [cap_currents sys ~opts ~x ~reactive] computes each capacitor's branch
     current at the just-solved point (needed to advance the trapezoidal

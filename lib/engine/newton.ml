@@ -2,35 +2,61 @@ module L = Dramstress_util.Linalg
 
 exception No_convergence of { t : float; iterations : int; worst : float }
 
-let solve sys ~(opts : Options.t) ~t_now ~reactive ~x0 =
+(* shared convergence bookkeeping: apply the clamped update from [x_new]
+   onto [x] and return the worst node-voltage move *)
+let apply_update ~(opts : Options.t) ~n_node_unknowns x x_new =
+  let worst = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let dx = x_new.(i) -. x.(i) in
+    if i < n_node_unknowns then begin
+      let dx_clamped =
+        Float.max (-.opts.max_step_v) (Float.min opts.max_step_v dx)
+      in
+      x.(i) <- x.(i) +. dx_clamped;
+      worst := Float.max !worst (Float.abs dx)
+    end
+    else x.(i) <- x_new.(i)
+  done;
+  !worst
+
+let tolerance ~(opts : Options.t) x =
+  opts.abstol
+  +. (opts.reltol
+     *. Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x)
+
+(* reference path: allocate and factor a fresh system every iteration *)
+let solve_naive sys ~(opts : Options.t) ~t_now ~reactive ~x0 =
   let n_node_unknowns = Mna.n_nodes sys - 1 in
   let x = Array.copy x0 in
   let rec iterate iter =
     let mat, rhs = Mna.assemble sys ~opts ~t_now ~x ~reactive in
     let x_new = L.lu_solve (L.lu_factor mat) rhs in
-    (* clamp node-voltage updates; branch currents move freely *)
-    let worst = ref 0.0 in
-    for i = 0 to Array.length x - 1 do
-      let dx = x_new.(i) -. x.(i) in
-      if i < n_node_unknowns then begin
-        let dx_clamped =
-          Float.max (-.opts.max_step_v) (Float.min opts.max_step_v dx)
-        in
-        x.(i) <- x.(i) +. dx_clamped;
-        worst := Float.max !worst (Float.abs dx)
-      end
-      else x.(i) <- x_new.(i)
-    done;
-    let tol =
-      opts.abstol
-      +. (opts.reltol
-         *. Array.fold_left
-              (fun acc v -> Float.max acc (Float.abs v))
-              0.0 x)
-    in
-    if !worst <= tol then x
+    let worst = apply_update ~opts ~n_node_unknowns x x_new in
+    if worst <= tolerance ~opts x then x
     else if iter >= opts.max_newton then
-      raise (No_convergence { t = t_now; iterations = iter; worst = !worst })
+      raise (No_convergence { t = t_now; iterations = iter; worst })
     else iterate (iter + 1)
   in
   iterate 1
+
+(* incremental path: all matrix work happens inside the caller-provided
+   (or one-shot) workspace — zero per-iteration matrix allocation *)
+let solve_ws sys ws ~(opts : Options.t) ~t_now ~reactive ~x0 =
+  let n_node_unknowns = Mna.n_nodes sys - 1 in
+  let x = Array.copy x0 in
+  let rec iterate iter =
+    Mna.assemble_into sys ws ~opts ~t_now ~x ~reactive;
+    Mna.solve_in_place ws;
+    let worst = apply_update ~opts ~n_node_unknowns x (Mna.solution ws) in
+    if worst <= tolerance ~opts x then x
+    else if iter >= opts.max_newton then
+      raise (No_convergence { t = t_now; iterations = iter; worst })
+    else iterate (iter + 1)
+  in
+  iterate 1
+
+let solve sys ?ws ~(opts : Options.t) ~t_now ~reactive ~x0 () =
+  if opts.naive_assembly then solve_naive sys ~opts ~t_now ~reactive ~x0
+  else
+    let ws = match ws with Some w -> w | None -> Mna.make_workspace sys in
+    solve_ws sys ws ~opts ~t_now ~reactive ~x0

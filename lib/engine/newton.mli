@@ -4,15 +4,26 @@ exception No_convergence of { t : float; iterations : int; worst : float }
 (** Raised when the iteration cap is hit; [worst] is the largest remaining
     voltage update. *)
 
-(** [solve sys ~opts ~t_now ~reactive ~x0] iterates assemble/solve from
-    initial guess [x0] until every node-voltage update is below
-    [abstol + reltol * |v|]. Node-voltage updates are clamped to
-    [opts.max_step_v] per iteration. Returns the converged unknown
-    vector. *)
+(** [solve sys ?ws ~opts ~t_now ~reactive ~x0 ()] iterates
+    assemble/solve from initial guess [x0] until every node-voltage
+    update is below [abstol + reltol * |v|]. Node-voltage updates are
+    clamped to [opts.max_step_v] per iteration. Returns the converged
+    unknown vector (freshly allocated; independent of [x0] and [ws]).
+
+    [ws] supplies reusable assembly/factorization buffers
+    ({!Mna.make_workspace}); when omitted a workspace is allocated for
+    this call. Callers solving many systems of the same layout (time
+    stepping, sweeps, homotopy) should create one workspace and pass it
+    to every call — the steady-state iteration then performs no matrix
+    allocation at all. With [opts.naive_assembly] set, the reference
+    from-scratch assembly and allocating LU are used instead and [ws]
+    is ignored. *)
 val solve :
   Mna.t ->
+  ?ws:Mna.workspace ->
   opts:Options.t ->
   t_now:float ->
   reactive:Mna.reactive ->
   x0:float array ->
+  unit ->
   float array

@@ -8,6 +8,7 @@ type t = {
   max_step_v : float;
   temp : float;
   integrator : integrator;
+  naive_assembly : bool;
 }
 
 let default =
@@ -19,4 +20,5 @@ let default =
     max_step_v = 1.0;
     temp = 300.15;
     integrator = Backward_euler;
+    naive_assembly = false;
   }

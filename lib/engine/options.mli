@@ -10,8 +10,13 @@ type t = {
   max_step_v : float;   (** Newton per-iteration voltage step clamp, V *)
   temp : float;         (** simulation temperature, K *)
   integrator : integrator;
+  naive_assembly : bool;
+      (** use the reference from-scratch MNA assembly and allocating LU
+          path instead of the incremental workspace engine. Slower;
+          kept alive as the golden baseline for regression tests and
+          A/B benchmarks. *)
 }
 
 (** Defaults: abstol 1e-6 V, reltol 1e-4, 80 Newton iterations, gmin 1e-12 S,
-    1.0 V step clamp, 300.15 K, backward Euler. *)
+    1.0 V step clamp, 300.15 K, backward Euler, incremental assembly. *)
 val default : t

@@ -6,18 +6,48 @@ type result = {
   probe_names : string array;
   probe_values : float array array;
   final_v : float array;
+  probe_interps : (string, I.t) Hashtbl.t;
 }
 
+exception
+  Step_failed of {
+    seg_start : float;
+    seg_end : float;
+    t : float;
+    dt : float;
+    retries : int;
+    iterations : int;
+    worst : float;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Step_failed { seg_start; seg_end; t; dt; retries; iterations; worst } ->
+      Some
+        (Printf.sprintf
+           "Transient.Step_failed { segment %.4g..%.4g s; t=%.4g s; dt=%.4g \
+            s; %d halving retries exhausted; %d Newton iterations; worst \
+            update %.3g V }"
+           seg_start seg_end t dt retries iterations worst)
+    | _ -> None)
+
 let probe result name =
-  let rec find i =
-    if i >= Array.length result.probe_names then raise Not_found
-    else if result.probe_names.(i) = name then i
-    else find (i + 1)
-  in
-  let i = find 0 in
-  I.of_arrays result.times result.probe_values.(i)
+  match Hashtbl.find_opt result.probe_interps name with
+  | Some interp -> interp
+  | None -> raise Not_found
 
 let value_at result name t = I.eval (probe result name) t
+
+(* the sampled times strictly increase, so the interpolant can take the
+   arrays directly without the sort/dedup pass of [I.of_points] *)
+let make_interps times probe_names probe_values =
+  let tbl = Hashtbl.create (Array.length probe_names) in
+  Array.iteri
+    (fun i name ->
+      if not (Hashtbl.mem tbl name) then
+        Hashtbl.add tbl name (I.of_sorted_arrays times probe_values.(i)))
+    probe_names;
+  tbl
 
 let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
   (match segments with
@@ -32,6 +62,7 @@ let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
            t_end)
          0.0 segments));
   let sys = Mna.make compiled in
+  let ws = Mna.make_workspace sys in
   let n_nodes = Mna.n_nodes sys in
   let v = Array.make n_nodes 0.0 in
   List.iter
@@ -59,8 +90,8 @@ let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
     { (Mna.init_reactive sys ~prev_v:v) with Mna.dt = 1e-18 }
   in
   let x =
-    ref (Newton.solve sys ~opts ~t_now:0.0 ~reactive:reactive0
-           ~x0:(Mna.pack sys v))
+    ref (Newton.solve sys ~ws ~opts ~t_now:0.0 ~reactive:reactive0
+           ~x0:(Mna.pack sys v) ())
   in
   let prev_v = ref (Mna.voltages sys !x) in
   let prev_cap =
@@ -72,37 +103,46 @@ let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
     times := t :: !times;
     samples := Array.map (fun id -> !prev_v.(id)) probe_ids :: !samples
   in
+  let max_retries = 4 in
   (* one accepted step from the current state to t_next, with halving
-     retries on Newton failure *)
-  let advance t_prev t_next =
+     retries on Newton failure; an exhausted retry budget surfaces as
+     Step_failed so sweep-level callers can report which point died *)
+  let advance ~seg_start ~seg_end t_prev t_next =
     let rec attempt t_prev dt retries =
       let t_now = t_prev +. dt in
       let reactive =
         { Mna.dt; prev_v = !prev_v; prev_cap_current = !prev_cap }
       in
-      match Newton.solve sys ~opts ~t_now ~reactive ~x0:!x with
+      match Newton.solve sys ~ws ~opts ~t_now ~reactive ~x0:!x () with
       | x_new ->
         x := x_new;
         prev_cap := Mna.cap_currents sys ~opts ~x:x_new ~reactive;
         prev_v := Mna.voltages sys x_new;
         if t_now >= t_next -. 1e-21 then ()
         else attempt t_now (t_next -. t_now) retries
-      | exception Newton.No_convergence _ when retries > 0 ->
-        attempt t_prev (dt /. 2.0) (retries - 1)
+      | exception Newton.No_convergence { t; iterations; worst } ->
+        if retries > 0 then attempt t_prev (dt /. 2.0) (retries - 1)
+        else
+          raise
+            (Step_failed
+               { seg_start; seg_end; t; dt; retries = max_retries; iterations;
+                 worst })
     in
-    attempt t_prev (t_next -. t_prev) 4
+    attempt t_prev (t_next -. t_prev) max_retries
   in
   let t = ref 0.0 in
-  List.iter
-    (fun (t_end, dt) ->
-      while !t < t_end -. (dt /. 2.0) do
-        let t_next = Float.min t_end (!t +. dt) in
-        advance !t t_next;
-        t := t_next;
-        record !t
-      done;
-      t := Float.max !t t_end)
-    segments;
+  ignore
+    (List.fold_left
+       (fun seg_start (t_end, dt) ->
+         while !t < t_end -. (dt /. 2.0) do
+           let t_next = Float.min t_end (!t +. dt) in
+           advance ~seg_start ~seg_end:t_end !t t_next;
+           t := t_next;
+           record !t
+         done;
+         t := Float.max !t t_end;
+         t_end)
+       0.0 segments);
   let times_arr = Array.of_list (List.rev !times) in
   let n_pts = Array.length times_arr in
   let samples_arr = Array.of_list (List.rev !samples) in
@@ -110,9 +150,11 @@ let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
     Array.init (Array.length probe_ids) (fun i ->
         Array.init n_pts (fun k -> samples_arr.(k).(i)))
   in
+  let probe_names = Array.of_list probes in
   {
     times = times_arr;
-    probe_names = Array.of_list probes;
+    probe_names;
     probe_values;
     final_v = !prev_v;
+    probe_interps = make_interps times_arr probe_names probe_values;
   }

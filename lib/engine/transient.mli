@@ -13,7 +13,26 @@ type result = {
   (** [probe_values.(i).(k)] is probe [i] at [times.(k)] *)
   final_v : float array;
   (** node voltages at the last time point, indexed by node id *)
+  probe_interps : (string, Dramstress_util.Interp.t) Hashtbl.t;
+  (** name -> interpolant table built at result construction; {!probe}
+      and {!value_at} are O(1) lookups instead of rebuilding the
+      interpolant per query. Treat as read-only. *)
 }
+
+exception
+  Step_failed of {
+    seg_start : float;  (** start of the segment being integrated, s *)
+    seg_end : float;    (** end of that segment, s *)
+    t : float;          (** time point that failed to converge, s *)
+    dt : float;         (** step size of the final (smallest) attempt, s *)
+    retries : int;      (** halving retries that were exhausted *)
+    iterations : int;   (** Newton iterations spent on the last attempt *)
+    worst : float;      (** largest remaining voltage update, V *)
+  }
+(** Raised when a time point still fails to converge after the built-in
+    step-halving retries. Wraps {!Newton.No_convergence} with enough
+    context (segment bounds, final step size, retry budget) for
+    sweep-level callers to report which operating point diverged. *)
 
 (** [probe result name] is the sampled waveform of a probe as an
     interpolating curve. Raises [Not_found] for unknown probes. *)
@@ -32,8 +51,8 @@ val value_at : result -> string -> float -> float
       capacitor voltages at their ICs while solving resistive nodes).
     - [probes]: node names to record at every accepted point.
 
-    Raises [Newton.No_convergence] if a time point fails to converge
-    after the built-in step-halving retries (4 halvings). *)
+    Raises {!Step_failed} if a time point fails to converge after the
+    built-in step-halving retries (4 halvings). *)
 val run :
   Dramstress_circuit.Netlist.compiled ->
   ?opts:Options.t ->

@@ -12,22 +12,29 @@ type t = {
   defect : Dramstress_defect.Defect.t;
 }
 
-let generate ?tech ~stress ~defect ~detection ~x:(x_axis, x_values)
+let generate ?tech ?sim ?jobs ~stress ~defect ~detection ~x:(x_axis, x_values)
     ~y:(y_axis, y_values) () =
   if x_values = [] || y_values = [] then
     invalid_arg "Shmoo.generate: empty axis";
-  let point yv xv =
+  let point (yv, xv) =
     let sc = S.set (S.set stress x_axis xv) y_axis yv in
-    match C.Detection.detects ?tech ~stress:sc ~defect detection with
+    match C.Detection.detects ?tech ?sim ~stress:sc ~defect detection with
     | true -> Fail
     | false -> Pass
     | exception Invalid_argument _ -> Invalid
   in
+  (* flatten the grid so all y*x points share one domain pool instead of
+     parallelizing row by row *)
+  let coords =
+    List.concat_map (fun yv -> List.map (fun xv -> (yv, xv)) x_values) y_values
+  in
+  let outcomes =
+    Array.of_list (Dramstress_util.Par.parallel_map ?jobs point coords)
+  in
+  let n_x = List.length x_values in
   let grid =
-    Array.of_list
-      (List.map
-         (fun yv -> Array.of_list (List.map (fun xv -> point yv xv) x_values))
-         y_values)
+    Array.init (List.length y_values) (fun yi ->
+        Array.init n_x (fun xi -> outcomes.((yi * n_x) + xi)))
   in
   { x_axis; x_values; y_axis; y_values; grid; defect }
 

@@ -19,11 +19,16 @@ type t = {
   defect : Dramstress_defect.Defect.t;
 }
 
-(** [generate ?tech ~stress ~defect ~detection ~x ~y ()] sweeps the two
-    axes around the base [stress]; [x] and [y] pair an axis with its
-    values. *)
+(** [generate ?tech ?sim ?jobs ~stress ~defect ~detection ~x ~y ()]
+    sweeps the two axes around the base [stress]; [x] and [y] pair an
+    axis with its values. Grid points are evaluated in parallel over at
+    most [jobs] domains (default [Dramstress_util.Par.default_jobs ()];
+    [~jobs:1] is sequential). [sim] overrides the solver options of the
+    underlying runs. *)
 val generate :
   ?tech:Dramstress_dram.Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
+  ?jobs:int ->
   stress:Dramstress_dram.Stress.t ->
   defect:Dramstress_defect.Defect.t ->
   detection:Dramstress_core.Detection.t ->

@@ -19,6 +19,17 @@ let of_arrays xs ys =
     invalid_arg "Interp.of_arrays: length mismatch";
   of_points (Array.to_list (Array.map2 (fun x y -> (x, y)) xs ys))
 
+let of_sorted_arrays xs ys =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Interp.of_sorted_arrays: empty";
+  if n <> Array.length ys then
+    invalid_arg "Interp.of_sorted_arrays: length mismatch";
+  for i = 0 to n - 2 do
+    if xs.(i) >= xs.(i + 1) then
+      invalid_arg "Interp.of_sorted_arrays: abscissae must strictly increase"
+  done;
+  { xs; ys }
+
 let eval { xs; ys } x =
   let n = Array.length xs in
   if x <= xs.(0) then ys.(0)

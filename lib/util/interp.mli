@@ -11,6 +11,14 @@ val of_points : (float * float) list -> t
 (** [of_arrays xs ys] like {!of_points} from parallel arrays. *)
 val of_arrays : float array -> float array -> t
 
+(** [of_sorted_arrays xs ys] builds a curve directly over the given
+    arrays, which must already be strictly increasing in [xs] — no sort,
+    no copy (the arrays are aliased, so callers must not mutate them).
+    O(n) validation only; raises [Invalid_argument] when out of order.
+    This is the hot-path constructor for simulation traces, whose time
+    axis is increasing by construction. *)
+val of_sorted_arrays : float array -> float array -> t
+
 (** [eval c x] linearly interpolates; clamps outside the sampled range. *)
 val eval : t -> float -> float
 

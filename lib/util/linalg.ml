@@ -46,12 +46,9 @@ let mat_mul a b =
 
 type lu = { lu : matrix; perm : int array }
 
-(* Doolittle LU with partial pivoting, stored in place in a copy. *)
-let lu_factor a =
-  let n, m = dims a in
-  assert (n = m);
-  let lu = copy a in
-  let perm = Array.init n (fun i -> i) in
+(* Doolittle LU with partial pivoting, factoring [lu] destructively.
+   [perm] must come in as the identity permutation. *)
+let factor_loop lu perm n =
   for k = 0 to n - 1 do
     let pivot = ref k in
     let best = ref (Float.abs lu.(k).(k)) in
@@ -82,13 +79,29 @@ let lu_factor a =
         done
       end
     done
-  done;
+  done
+
+let lu_factor a =
+  let n, m = dims a in
+  assert (n = m);
+  let lu = copy a in
+  let perm = Array.init n (fun i -> i) in
+  factor_loop lu perm n;
   { lu; perm }
 
-let lu_solve { lu; perm } b =
-  let n = Array.length perm in
-  assert (Array.length b = n);
-  let x = Array.init n (fun i -> b.(perm.(i))) in
+let lu_factor_in_place a ~perm =
+  let n, m = dims a in
+  assert (n = m);
+  assert (Array.length perm = n);
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done;
+  factor_loop a perm n;
+  { lu = a; perm }
+
+(* forward/back substitution over a dense LU, solving destructively
+   into [x] (which must already hold the permuted RHS) *)
+let substitute lu x n =
   (* forward substitution: L has unit diagonal *)
   for i = 1 to n - 1 do
     let s = ref x.(i) in
@@ -106,7 +119,23 @@ let lu_solve { lu; perm } b =
       s := !s -. (row.(j) *. x.(j))
     done;
     x.(i) <- !s /. row.(i)
+  done
+
+let lu_solve_in_place { lu; perm } ~scratch b =
+  let n = Array.length perm in
+  assert (Array.length b = n);
+  assert (Array.length scratch >= n);
+  for i = 0 to n - 1 do
+    scratch.(i) <- b.(perm.(i))
   done;
+  substitute lu scratch n;
+  Array.blit scratch 0 b 0 n
+
+let lu_solve { lu; perm } b =
+  let n = Array.length perm in
+  assert (Array.length b = n);
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  substitute lu x n;
   x
 
 let solve a b = lu_solve (lu_factor a) b

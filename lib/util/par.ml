@@ -1,0 +1,55 @@
+(* Dependency-free parallel map over OCaml 5 domains.
+
+   Work items are handed out one at a time through an atomic cursor
+   (self-scheduling), which balances the very uneven per-item cost of
+   sweep workloads (a bisection at one resistance can take many times
+   longer than at another). Results are written to per-index slots, so
+   output order always matches input order regardless of scheduling. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "DRAMSTRESS_JOBS" with
+  | Some s -> begin
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> Domain.recommended_domain_count ()
+  end
+  | None -> Domain.recommended_domain_count ()
+
+let parallel_map ?jobs f xs =
+  let jobs =
+    match jobs with Some j -> Int.max 1 j | None -> default_jobs ()
+  in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 -> List.map f xs
+  | _ ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let jobs = Int.min jobs n in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f input.(i) with
+          | y -> out.(i) <- Some y
+          | exception e ->
+            (* keep the first failure; remaining items are abandoned *)
+            ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join helpers;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map (function Some y -> y | None -> assert false) out)
+
+let parallel_iter ?jobs f xs =
+  ignore (parallel_map ?jobs (fun x -> f x) xs)

@@ -1,0 +1,26 @@
+(** Parallel sweeps over OCaml 5 domains — no external dependencies.
+
+    [f] runs concurrently in up to [jobs] domains, so it must be
+    domain-safe: pure computations, or computations whose shared state
+    is synchronized (the {!Dramstress_dram.Ops} memo cache is
+    mutex-guarded for exactly this reason). *)
+
+(** [default_jobs ()] is the [DRAMSTRESS_JOBS] environment variable when
+    set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]. A value of [1] disables
+    parallelism everywhere it is used as the default. *)
+val default_jobs : unit -> int
+
+(** [parallel_map ?jobs f xs] maps [f] over [xs] using up to [jobs]
+    domains (default {!default_jobs}); items are self-scheduled one at a
+    time so uneven per-item costs balance. The result order matches the
+    input order exactly, as with [List.map]. With [jobs = 1] (or on a
+    single-core machine, or lists shorter than 2) this degrades to
+    sequential [List.map] with no domain spawned.
+
+    If [f] raises, the first exception is re-raised in the caller after
+    all domains have drained; remaining unstarted items are skipped. *)
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_iter ?jobs f xs] is {!parallel_map} ignoring results. *)
+val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit

@@ -262,6 +262,87 @@ let test_temperature_leakage_direction () =
   Alcotest.(check bool) "hot leaks more" true (drift 87.0 > drift (-33.0))
 
 (* ------------------------------------------------------------------ *)
+(* Incremental engine vs naive assembly (golden regression)            *)
+(* ------------------------------------------------------------------ *)
+
+module E = Dramstress_engine
+
+let test_incremental_matches_naive () =
+  (* the optimized workspace path must reproduce the allocating baseline
+     on a full DRAM column with a defect, for both integrators *)
+  let d = D.v D.Short_to_gnd D.True_bl 500e3 in
+  let ops = [ O.W1; O.R; O.W0; O.Pause 1e-5; O.R ] in
+  List.iter
+    (fun integrator ->
+      let run naive =
+        (* tight Newton tolerances: the fixed point is then unique to far
+           below the 1e-9 comparison, so the check is about the assembly
+           paths and not about where Newton happened to stop *)
+        let sim =
+          { E.Options.default with E.Options.naive_assembly = naive;
+            integrator; abstol = 1e-12; reltol = 1e-10 }
+        in
+        O.run ~sim ~stress:nominal ~defect:d ~vc_init:1.0 ops
+      in
+      let a = run true and b = run false in
+      Alcotest.(check (list int))
+        "sensed bits agree" (O.sensed_bits a) (O.sensed_bits b);
+      let ta = a.O.trace and tb = b.O.trace in
+      Alcotest.(check int)
+        "same point count"
+        (Array.length ta.E.Transient.times)
+        (Array.length tb.E.Transient.times);
+      let close eps v w = Float.abs (v -. w) <= eps *. (1.0 +. Float.abs w) in
+      Array.iteri
+        (fun i v ->
+          let w = tb.E.Transient.final_v.(i) in
+          if not (close 1e-9 v w) then
+            Alcotest.failf "final_v.(%d): naive %.12g vs incremental %.12g" i v
+              w)
+        ta.E.Transient.final_v;
+      (* mid-trace points pass through sense-amp regeneration, whose
+         positive feedback amplifies last-ulp summation-order differences
+         before the rails collapse them again — hence the looser bound
+         here; summation-order-independent trace equality at 1e-9 is
+         covered by the engine-level pass-gate test *)
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun k v ->
+              let w = tb.E.Transient.probe_values.(i).(k) in
+              if not (close 1e-6 v w) then
+                Alcotest.failf "probe %s at %d: naive %.12g vs incremental %.12g"
+                  ta.E.Transient.probe_names.(i) k v w)
+            row)
+        ta.E.Transient.probe_values)
+    [ E.Options.Backward_euler; E.Options.Trapezoidal ]
+
+let test_memo_cache_replays () =
+  (* identical requests are served from the cache: run_count still counts
+     them, but only the first one simulates *)
+  O.set_cache_capacity 64;
+  (* fresh cache, stats zeroed *)
+  let before = O.run_count () in
+  let oc1 = O.run ~stress:nominal ~vc_init:0.0 [ O.W1; O.R ] in
+  let oc2 = O.run ~stress:nominal ~vc_init:0.0 [ O.W1; O.R ] in
+  Alcotest.(check int) "both requests counted" (before + 2) (O.run_count ());
+  Alcotest.(check bool) "replayed outcome is shared" true (oc1 == oc2);
+  let s = O.cache_stats () in
+  Alcotest.(check int) "one simulation" 1 s.O.misses;
+  Alcotest.(check int) "one replay" 1 s.O.hits;
+  (* a different request misses *)
+  let oc3 = O.run ~stress:nominal ~vc_init:0.1 [ O.W1; O.R ] in
+  Alcotest.(check bool) "different key simulates" true (oc3 != oc1);
+  Alcotest.(check int) "second miss" 2 (O.cache_stats ()).O.misses;
+  (* disabling caching bypasses the table entirely *)
+  O.set_caching false;
+  let oc4 = O.run ~stress:nominal ~vc_init:0.0 [ O.W1; O.R ] in
+  Alcotest.(check bool) "bypass returns a fresh outcome" true (oc4 != oc1);
+  Alcotest.(check int) "no new hit" 1 (O.cache_stats ()).O.hits;
+  O.set_caching true;
+  O.set_cache_capacity 512
+
+(* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -338,6 +419,11 @@ let () =
           tc "higher Vdd stresses w0" test_higher_vdd_stresses_w0;
           tc "Vdd residual proportionality" test_vdd_ratio_matches_paper;
           tc "temperature leakage direction" test_temperature_leakage_direction;
+        ] );
+      ( "engine integration",
+        [
+          tc "incremental matches naive assembly" test_incremental_matches_naive;
+          tc "memo cache replays identical runs" test_memo_cache_replays;
         ] );
       ( "properties",
         [

@@ -240,6 +240,77 @@ let prop_rc_matches_analytic =
       let v = E.Transient.value_at res "out" t_end in
       Float.abs (v -. (v0 *. exp (-1.0))) < 0.01 *. v0)
 
+let test_step_failed_context () =
+  (* with a single Newton iteration the solver cannot track the pulse
+     edge: each halved retry still moves the source by more than the
+     tolerance in one step, so the retry budget runs out and the failure
+     must surface as Step_failed with the segment context attached *)
+  let nl = N.create () in
+  N.vsource nl ~name:"vp" "in" "0"
+    (W.pulse ~v0:0.0 ~v1:1.0 ~delay:5e-10 ~rise:1e-10 ~width:1e-9 ~fall:1e-10
+       ());
+  N.resistor nl ~name:"r" "in" "out" 1000.0;
+  N.capacitor nl ~name:"c" "out" "0" 1e-12;
+  let c = N.compile nl in
+  let opts = { E.Options.default with E.Options.max_newton = 1 } in
+  match
+    E.Transient.run c ~opts
+      ~segments:[ (2e-9, 1e-10) ]
+      ~ics:[] ~probes:[ "out" ] ()
+  with
+  | _ -> Alcotest.fail "expected Step_failed"
+  | exception E.Transient.Step_failed
+      { seg_start; seg_end; t; dt; retries; iterations; worst } ->
+    check_float "seg_start" 0.0 seg_start;
+    check_float "seg_end" 2e-9 seg_end;
+    Alcotest.(check bool) "t inside segment" true (t > 0.0 && t <= 2e-9);
+    Alcotest.(check bool) "dt was halved" true (dt < 1e-10 && dt > 0.0);
+    Alcotest.(check int) "retry budget reported" 4 retries;
+    Alcotest.(check int) "iterations spent" 1 iterations;
+    Alcotest.(check bool) "worst update reported" true (worst > 0.0)
+
+let test_naive_assembly_matches_incremental () =
+  (* golden cross-check at the engine level: the kept-alive allocating
+     assembly and the incremental workspace path must agree bit-for-bit
+     within solver tolerance on a nonlinear switching circuit *)
+  let model = M.nmos ~name:"n" ~vt0:0.5 ~kp:2e-4 () in
+  let nl = N.create () in
+  N.vsource nl ~name:"vbl" "bl" "0" (W.dc 2.4);
+  N.vsource nl ~name:"vwl" "wl" "0"
+    (W.pulse ~v0:0.0 ~v1:2.4 ~delay:1e-9 ~rise:1e-9 ~width:20e-9 ~fall:1e-9 ());
+  N.mosfet nl ~name:"acc" ~d:"bl" ~g:"wl" ~s:"cell" ~model ();
+  N.capacitor nl ~name:"cs" "cell" "0" 1e-13;
+  let c = N.compile nl in
+  let run naive integrator =
+    let opts =
+      { E.Options.default with E.Options.naive_assembly = naive; integrator }
+    in
+    E.Transient.run c ~opts
+      ~segments:[ (3e-8, 5e-11) ]
+      ~ics:[ ("cell", 0.0) ]
+      ~probes:[ "cell"; "bl" ] ()
+  in
+  List.iter
+    (fun integrator ->
+      let a = run true integrator and b = run false integrator in
+      Alcotest.(check int)
+        "same point count"
+        (Array.length a.E.Transient.times)
+        (Array.length b.E.Transient.times);
+      Array.iteri
+        (fun i va ->
+          Array.iteri
+            (fun k v ->
+              check_float ~eps:1e-9 "trace match" v
+                b.E.Transient.probe_values.(i).(k))
+            va)
+        a.E.Transient.probe_values;
+      Array.iteri
+        (fun i v -> check_float ~eps:1e-9 "final_v match" v
+            b.E.Transient.final_v.(i))
+        a.E.Transient.final_v)
+    [ E.Options.Backward_euler; E.Options.Trapezoidal ]
+
 (* ------------------------------------------------------------------ *)
 (* DC sweep                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -320,6 +391,9 @@ let () =
           tc "pass gate full 0" test_nmos_pass_gate_writes_full_zero;
           tc "segmented retention pause" test_segmented_timestep;
           tc "probe and segment validation" test_probe_errors;
+          tc "step failure carries context" test_step_failed_context;
+          tc "naive assembly matches incremental"
+            test_naive_assembly_matches_incremental;
           QCheck_alcotest.to_alcotest prop_rc_matches_analytic;
         ] );
       ( "sweep",

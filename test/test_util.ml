@@ -305,6 +305,155 @@ let test_plot_grid () =
   Alcotest.(check bool) "axis names" true (contains out "rows: y")
 
 (* ------------------------------------------------------------------ *)
+(* In-place LU                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_lu_in_place_matches_solve () =
+  let a = [| [| 4.0; 1.0; 0.5 |]; [| 1.0; 3.0; -1.0 |]; [| 0.0; 2.0; 5.0 |] |] in
+  let b = [| 1.0; -2.0; 4.0 |] in
+  let expected = L.solve a b in
+  let work = L.copy a in
+  let perm = Array.make 3 0 in
+  let scratch = Array.make 3 0.0 in
+  let fact = L.lu_factor_in_place work ~perm in
+  let x = Array.copy b in
+  L.lu_solve_in_place fact ~scratch x;
+  Array.iteri (fun i v -> check_float "in-place solve" expected.(i) v) x
+
+let test_lu_in_place_pivoting () =
+  let work = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let perm = Array.make 2 0 in
+  let scratch = Array.make 2 0.0 in
+  let fact = L.lu_factor_in_place work ~perm in
+  let x = [| 2.0; 3.0 |] in
+  L.lu_solve_in_place fact ~scratch x;
+  check_float "x" 3.0 x.(0);
+  check_float "y" 2.0 x.(1)
+
+let test_lu_in_place_reuse () =
+  (* the same perm/scratch buffers serve successive factorizations, as in
+     the Newton iteration hot loop *)
+  let perm = Array.make 2 0 in
+  let scratch = Array.make 2 0.0 in
+  List.iter
+    (fun scale ->
+      let work = [| [| 2.0 *. scale; 1.0 |]; [| 1.0; 3.0 |] |] in
+      let reference = L.solve work [| 5.0; 10.0 |] in
+      let x = [| 5.0; 10.0 |] in
+      L.lu_solve_in_place (L.lu_factor_in_place work ~perm) ~scratch x;
+      Array.iteri (fun i v -> check_float "reuse" reference.(i) v) x)
+    [ 1.0; 2.0; 0.5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Interp.of_sorted_arrays                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_interp_of_sorted_arrays () =
+  let xs = [| 0.0; 1.0; 2.0 |] and ys = [| 0.0; 10.0; 0.0 |] in
+  let c = I.of_sorted_arrays xs ys in
+  check_float "midpoint" 5.0 (I.eval c 0.5);
+  check_float "clamp left" 0.0 (I.eval c (-1.0));
+  Alcotest.check_raises "unsorted rejected"
+    (Invalid_argument "Interp.of_sorted_arrays: abscissae must strictly increase")
+    (fun () -> ignore (I.of_sorted_arrays [| 1.0; 0.0 |] [| 0.0; 0.0 |]))
+
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Lru = Dramstress_util.Lru
+
+let test_lru_basic () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  Alcotest.(check (option int)) "a" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "b" (Some 2) (Lru.find c "b");
+  Alcotest.(check int) "hits" 2 (Lru.hits c);
+  Alcotest.(check (option int)) "miss" None (Lru.find c "z");
+  Alcotest.(check int) "misses" 1 (Lru.misses c)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:2 () in
+  Lru.add c "a" 1;
+  Lru.add c "b" 2;
+  (* touch "a" so "b" is the least recently used *)
+  ignore (Lru.find c "a");
+  Lru.add c "c" 3;
+  Alcotest.(check (option int)) "a survives" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option int)) "c present" (Some 3) (Lru.find c "c");
+  Alcotest.(check int) "bounded" 2 (Lru.length c)
+
+let test_lru_replace_and_clear () =
+  let c = Lru.create ~capacity:4 () in
+  Lru.add c 1 "one";
+  Lru.add c 1 "uno";
+  Alcotest.(check (option string)) "replaced" (Some "uno") (Lru.find c 1);
+  Alcotest.(check int) "no duplicate entry" 1 (Lru.length c);
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c);
+  Alcotest.(check (option string)) "gone" None (Lru.find c 1)
+
+(* ------------------------------------------------------------------ *)
+(* Par                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Par = Dramstress_util.Par
+
+(* order-sensitive workload: result depends on the element AND its
+   position, so any reordering or index mix-up in the runner shows up *)
+let par_workload xs = List.mapi (fun i x -> (i, x * x, string_of_int x)) xs
+
+let test_par_matches_list_map () =
+  let xs = List.init 57 (fun i -> i - 7) in
+  let expected = par_workload xs in
+  let via_par =
+    Par.parallel_map (fun x -> x)
+      (List.mapi (fun i x -> (i, x * x, string_of_int x)) xs)
+  in
+  Alcotest.(check int) "length" (List.length expected) (List.length via_par);
+  List.iter2
+    (fun (i, a, s) (i', a', s') ->
+      Alcotest.(check int) "index" i i';
+      Alcotest.(check int) "value" a a';
+      Alcotest.(check string) "string" s s')
+    expected via_par;
+  (* and through the parallel path proper, at several job counts *)
+  List.iter
+    (fun jobs ->
+      let got =
+        Par.parallel_map ~jobs (fun x -> (x, x * x, string_of_int x)) xs
+      in
+      let want = List.map (fun x -> (x, x * x, string_of_int x)) xs in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d preserves order" jobs)
+        true (got = want))
+    [ 1; 2; 4; 8 ]
+
+let test_par_exception_propagates () =
+  let boom = Failure "boom" in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "exception at jobs=%d" jobs)
+        boom
+        (fun () ->
+          ignore
+            (Par.parallel_map ~jobs
+               (fun x -> if x = 13 then raise boom else x)
+               (List.init 20 Fun.id))))
+    [ 1; 4 ]
+
+let test_par_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Par.parallel_map ~jobs:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ]
+    (Par.parallel_map ~jobs:4 succ [ 1 ])
+
+let test_par_default_jobs () =
+  Alcotest.(check bool) "at least one domain" true (Par.default_jobs () >= 1)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -319,7 +468,23 @@ let () =
           tc "solve does not mutate input" test_lu_does_not_mutate;
           tc "mat_vec and mat_mul" test_mat_vec_mul;
           tc "norms" test_norms;
+          tc "in-place LU matches solve" test_lu_in_place_matches_solve;
+          tc "in-place LU pivoting" test_lu_in_place_pivoting;
+          tc "in-place LU buffer reuse" test_lu_in_place_reuse;
           QCheck_alcotest.to_alcotest prop_lu_roundtrip;
+        ] );
+      ( "lru",
+        [
+          tc "find/add and stats" test_lru_basic;
+          tc "eviction follows recency" test_lru_eviction_order;
+          tc "replace and clear" test_lru_replace_and_clear;
+        ] );
+      ( "par",
+        [
+          tc "parallel_map equals List.map" test_par_matches_list_map;
+          tc "exceptions propagate" test_par_exception_propagates;
+          tc "empty and singleton inputs" test_par_empty_and_singleton;
+          tc "default job count" test_par_default_jobs;
         ] );
       ( "bisect",
         [
@@ -336,6 +501,7 @@ let () =
           tc "eval and clamping" test_interp_eval;
           tc "input sorting" test_interp_unsorted_input;
           tc "duplicate abscissa" test_interp_duplicate;
+          tc "of_sorted_arrays" test_interp_of_sorted_arrays;
           tc "crossings of a level" test_interp_crossings;
           tc "no crossing" test_interp_no_crossing;
           tc "curve intersections" test_interp_intersections;
