@@ -14,6 +14,7 @@ module D = Dramstress_defect.Defect
 module C = Dramstress_core
 module M = Dramstress_march
 module U = Dramstress_util.Units
+module Tel = Dramstress_util.Telemetry
 
 let nominal = S.nominal
 let open_kind = D.Open_cell D.At_bitline_contact
@@ -380,6 +381,61 @@ let perf_engine_ab () =
   O.set_caching true;
   let shmoo_fast = wall (shmoo_row sim_fast) in
   O.set_cache_capacity 512;
+  (* --- disabled-telemetry overhead guard ---------------------------- *)
+  (* The probes are compiled into the hot path, so there is no probe-free
+     build to A/B against. Bound the overhead arithmetically instead:
+     measure the unit cost of a disabled probe (one atomic load plus a
+     branch), count the probes one workload fires (from an enabled-run
+     snapshot), and compare the product against the workload's wall time
+     measured above with telemetry off. *)
+  Tel.set_enabled false;
+  let probe_c = Tel.Counter.make "bench.telemetry.probe" in
+  let probe_h =
+    Tel.Histogram.make ~lo:1.0 ~hi:10.0 ~buckets:4 "bench.telemetry.probe_ms"
+  in
+  let probe_reps = 5_000_000 in
+  let probe_ns =
+    let dt =
+      wall (fun () ->
+          for _ = 1 to probe_reps do
+            Tel.Counter.incr probe_c;
+            Tel.Histogram.observe probe_h 1.0
+          done)
+    in
+    1e9 *. dt /. float_of_int (2 * probe_reps)
+  in
+  O.set_caching false;
+  Tel.set_enabled true;
+  Tel.reset ();
+  ignore (O.run ~sim:sim_fast ~stress:nominal ~defect ~vc_init:2.4 [ O.W0 ]);
+  Tel.set_enabled false;
+  let snap = Tel.snapshot () in
+  let cval name =
+    match List.assoc_opt name snap.Tel.counters with Some n -> n | None -> 0
+  in
+  (* probe call sites per op: 3 per Newton iteration (factor + solve
+     counters, clamp add), 3 per converged solve (solve counter,
+     iteration add, histogram), 2 per accepted step (counter + dt
+     histogram), 1 per rejection, ~2 per transient run (run counter +
+     segment span checks), 3 per Ops request (request + hit-or-miss
+     counters + span check) *)
+  let probe_calls =
+    (3 * cval "engine.newton.iterations")
+    + (3 * cval "engine.newton.solves")
+    + (2 * cval "engine.transient.steps_accepted")
+    + cval "engine.transient.steps_rejected"
+    + (2 * cval "engine.transient.runs")
+    + (3 * cval "dram.ops.requests")
+  in
+  Tel.reset ();
+  O.set_caching true;
+  (* wall time of the same op with telemetry off: step_fast ns/point *)
+  let op_wall_s = step_fast *. float_of_int n_pts /. 1e9 in
+  let overhead_pct =
+    100.0 *. (float_of_int probe_calls *. probe_ns /. 1e9) /. op_wall_s
+  in
+  let overhead_limit_pct = 2.0 in
+  let overhead_ok = overhead_pct <= overhead_limit_pct in
   let ratio a b = if b > 0.0 then a /. b else Float.nan in
   Printf.printf "  %-34s naive %10.1f   incremental %10.1f   speedup %5.2fx\n"
     "transient step (ns/point)" step_naive step_fast
@@ -395,6 +451,11 @@ let perf_engine_ab () =
   Printf.printf "  cache hit rate over the plane sweep: %.0f%% (%d hits, %d \
                  misses)\n"
     (100.0 *. hit_rate) cache.O.hits cache.O.misses;
+  Printf.printf
+    "  disabled telemetry: %.2f ns/probe x %d probes/op = %.4f%% of the op \
+     (limit %.1f%%: %s)\n"
+    probe_ns probe_calls overhead_pct overhead_limit_pct
+    (if overhead_ok then "ok" else "EXCEEDED");
   let json =
     Printf.sprintf
       "{\n\
@@ -408,12 +469,16 @@ let perf_engine_ab () =
       \  \"plane_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f \
        },\n\
       \  \"minor_words_per_point\": { \"naive\": %.0f, \"incremental\": %.0f, \
-       \"limit\": %.0f, \"within_limit\": %b }\n\
+       \"limit\": %.0f, \"within_limit\": %b },\n\
+      \  \"telemetry_disabled_overhead\": { \"probe_ns\": %.3f, \
+       \"probe_calls_per_op\": %d, \"overhead_pct\": %.5f, \"limit_pct\": \
+       %.1f, \"overhead_within_limit\": %b }\n\
        }\n"
       step_naive step_fast (ratio step_naive step_fast) plane_naive plane_fast
       (ratio plane_naive plane_fast) shmoo_naive shmoo_fast
       (ratio shmoo_naive shmoo_fast) cache.O.hits cache.O.misses hit_rate
-      words_naive words_fast alloc_limit alloc_ok
+      words_naive words_fast alloc_limit alloc_ok probe_ns probe_calls
+      overhead_pct overhead_limit_pct overhead_ok
   in
   Out_channel.with_open_text "BENCH_engine.json" (fun oc ->
       output_string oc json);

@@ -57,6 +57,97 @@ let duty_arg =
 let stress_of tcyc vdd temp duty = { S.tcyc; vdd; temp_c = temp; duty }
 
 (* ------------------------------------------------------------------ *)
+(* telemetry: --metrics / --trace on every subcommand                  *)
+(* ------------------------------------------------------------------ *)
+
+module Tel = Dramstress_util.Telemetry
+
+let metrics_arg =
+  let fmt = Arg.enum [ ("human", `Human); ("json", `Json) ] in
+  Arg.(value & opt (some fmt) None
+       & info [ "metrics" ] ~docv:"FMT"
+           ~doc:"Enable telemetry and report collected metrics when the \
+                 command finishes: $(b,human) prints an aligned table on \
+                 stderr, $(b,json) prints one JSON object on stdout (or \
+                 to $(b,--metrics-out)).")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "metrics-out" ] ~docv:"FILE"
+           ~doc:"Write the $(b,--metrics) report to FILE instead of the \
+                 standard streams.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Enable telemetry and stream span events: $(b,stderr) (or \
+                 $(b,pretty)) for human-readable lines, anything else as \
+                 a JSON-lines file path. Overrides DRAMSTRESS_TRACE.")
+
+let cache_stats_json (c : O.cache_stats) =
+  Printf.sprintf
+    "{ \"requests\": %d, \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"entries\": %d, \"capacity\": %d }"
+    c.O.requests c.O.hits c.O.misses c.O.evictions c.O.entries c.O.capacity
+
+(* returns the finish hook that renders the metrics report; the command
+   body runs inside [with_telemetry] so the report happens on both
+   success and failure *)
+let telemetry_setup metrics metrics_out trace =
+  Tel.configure_from_env ();
+  (match trace with
+  | Some ("stderr" | "pretty") ->
+    Tel.set_enabled true;
+    Tel.set_sink Tel.Sink.stderr_pretty
+  | Some path ->
+    Tel.set_enabled true;
+    Tel.set_sink (Tel.Sink.jsonl_file path)
+  | None -> ());
+  if metrics <> None then Tel.set_enabled true;
+  fun () ->
+    Tel.close_sink ();
+    match metrics with
+    | None -> ()
+    | Some fmt ->
+      let snap = Tel.snapshot () in
+      let cache = O.cache_stats () in
+      let write_to default_channel out =
+        match metrics_out with
+        | Some file ->
+          let oc = open_out file in
+          output_string oc out;
+          close_out oc
+        | None ->
+          output_string default_channel out;
+          flush default_channel
+      in
+      (match fmt with
+      | `Human ->
+        write_to stderr
+          (Tel.render_table snap
+          ^ Printf.sprintf
+              "cache: %d requests, %d hits, %d misses, %d evictions \
+               (%d/%d entries)\n"
+              cache.O.requests cache.O.hits cache.O.misses cache.O.evictions
+              cache.O.entries cache.O.capacity)
+      | `Json ->
+        write_to stdout
+          (Tel.to_json ~extra:[ ("cache_stats", cache_stats_json cache) ]
+             snap))
+
+let telemetry_term =
+  Term.(const telemetry_setup $ metrics_arg $ metrics_out_arg $ trace_arg)
+
+let with_telemetry finish f =
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+(* ------------------------------------------------------------------ *)
 (* run: execute an operation sequence                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -68,7 +159,8 @@ let run_cmd =
   let vc_arg =
     Arg.(value & opt float 0.0 & info [ "vc" ] ~docv:"V" ~doc:"Initial cell voltage.")
   in
-  let run seq kind placement r vc tcyc vdd temp duty =
+  let run tel seq kind placement r vc tcyc vdd temp duty =
+    with_telemetry tel @@ fun () ->
     let stress = stress_of tcyc vdd temp duty in
     let defect = D.v kind placement r in
     let ops = O.parse_seq seq in
@@ -85,21 +177,35 @@ let run_cmd =
       outcome.O.results
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an operation sequence on a defective column")
-    Term.(const run $ seq_arg $ kind_arg $ placement_arg $ r_arg $ vc_arg
-          $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
+    Term.(const run $ telemetry_term $ seq_arg $ kind_arg $ placement_arg
+          $ r_arg $ vc_arg $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* plane: figure 2 / figure 6                                          *)
 (* ------------------------------------------------------------------ *)
 
 let plane_cmd =
-  let run kind placement tcyc vdd temp duty =
+  let points_arg =
+    Arg.(value & opt (some int) None
+         & info [ "points" ] ~docv:"N"
+             ~doc:"Number of resistance points per plane (default 12); \
+                   small values make quick smoke runs.")
+  in
+  let run tel kind placement points tcyc vdd temp duty =
+    with_telemetry tel @@ fun () ->
     let stress = stress_of tcyc vdd temp duty in
-    print_string (C.Report.figure2 ~stress ~kind ~placement ())
+    let rops =
+      Option.map
+        (fun n ->
+          if n < 2 then failwith "plane: --points must be >= 2"
+          else Dramstress_util.Grid.logspace 1e3 1e6 n)
+        points
+    in
+    print_string (C.Report.figure2 ?rops ~stress ~kind ~placement ())
   in
   Cmd.v (Cmd.info "plane" ~doc:"Generate the w0/w1/r result planes (Figures 2 and 6)")
-    Term.(const run $ kind_arg $ placement_arg $ tcyc_arg $ vdd_arg
-          $ temp_arg $ duty_arg)
+    Term.(const run $ telemetry_term $ kind_arg $ placement_arg $ points_arg
+          $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* br: border resistance                                               *)
@@ -112,7 +218,8 @@ let br_cmd =
              ~doc:"Detection condition, e.g. 'w1 w1 w0 r0'; reads carry \
                    their expected bit. Default: synthesized best.")
   in
-  let run kind placement cond tcyc vdd temp duty =
+  let run tel kind placement cond tcyc vdd temp duty =
+    with_telemetry tel @@ fun () ->
     let stress = stress_of tcyc vdd temp duty in
     match cond with
     | Some s ->
@@ -141,22 +248,23 @@ let br_cmd =
         detection S.pp stress C.Border.pp_result br
   in
   Cmd.v (Cmd.info "br" ~doc:"Search the border resistance of a defect")
-    Term.(const run $ kind_arg $ placement_arg $ cond_arg $ tcyc_arg
-          $ vdd_arg $ temp_arg $ duty_arg)
+    Term.(const run $ telemetry_term $ kind_arg $ placement_arg $ cond_arg
+          $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stress: full optimization for one defect                            *)
 (* ------------------------------------------------------------------ *)
 
 let stress_cmd =
-  let run kind placement tcyc vdd temp duty =
+  let run tel kind placement tcyc vdd temp duty =
+    with_telemetry tel @@ fun () ->
     let nominal = stress_of tcyc vdd temp duty in
     let e = C.Sc_eval.evaluate ~nominal ~kind ~placement () in
     Format.printf "%a@." C.Sc_eval.pp e
   in
   Cmd.v (Cmd.info "stress" ~doc:"Optimize the stress combination for one defect (Section 4)")
-    Term.(const run $ kind_arg $ placement_arg $ tcyc_arg $ vdd_arg
-          $ temp_arg $ duty_arg)
+    Term.(const run $ telemetry_term $ kind_arg $ placement_arg $ tcyc_arg
+          $ vdd_arg $ temp_arg $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -171,7 +279,8 @@ let table1_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write CSV to FILE.")
   in
-  let run quick csv =
+  let run tel quick csv =
+    with_telemetry tel @@ fun () ->
     let entries =
       if quick then
         List.filter (fun (e : D.entry) -> e.D.id <> "O2" && e.D.id <> "O3")
@@ -185,14 +294,15 @@ let table1_cmd =
       csv
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 over the defect catalog")
-    Term.(const run $ quick_arg $ csv_arg)
+    Term.(const run $ telemetry_term $ quick_arg $ csv_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shmoo                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let shmoo_cmd =
-  let run kind placement r =
+  let run tel kind placement r =
+    with_telemetry tel @@ fun () ->
     let stress = S.nominal in
     let defect = D.v kind placement r in
     let detection =
@@ -208,14 +318,15 @@ let shmoo_cmd =
     Printf.printf "fail fraction: %.2f\n" (M.Shmoo.fail_fraction shmoo)
   in
   Cmd.v (Cmd.info "shmoo" ~doc:"Traditional Shmoo plot (Section 2) for a defect")
-    Term.(const run $ kind_arg $ placement_arg $ r_arg)
+    Term.(const run $ telemetry_term $ kind_arg $ placement_arg $ r_arg)
 
 (* ------------------------------------------------------------------ *)
 (* march                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let march_cmd =
-  let run kind placement =
+  let run tel kind placement =
+    with_telemetry tel @@ fun () ->
     let stress = S.nominal in
     let cases =
       M.Coverage.standard_faults
@@ -230,7 +341,7 @@ let march_cmd =
     print_string (M.Coverage.render (M.Coverage.compare_tests tests cases))
   in
   Cmd.v (Cmd.info "march" ~doc:"Fault coverage of standard march tests vs the synthesized condition")
-    Term.(const run $ kind_arg $ placement_arg)
+    Term.(const run $ telemetry_term $ kind_arg $ placement_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sim: transient on a SPICE deck                                      *)
@@ -255,7 +366,8 @@ let sim_cmd =
     Arg.(value & opt_all (pair ~sep:'=' string float) []
          & info [ "ic" ] ~docv:"NODE=V" ~doc:"Initial condition (repeatable).")
   in
-  let run deck tstop dt probes ics =
+  let run tel deck tstop dt probes ics =
+    with_telemetry tel @@ fun () ->
     let nl = Dramstress_circuit.Spice.parse_file deck in
     let compiled = Dramstress_circuit.Netlist.compile nl in
     let result =
@@ -279,14 +391,15 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Transient-simulate a SPICE deck, CSV to stdout")
-    Term.(const run $ deck_arg $ tstop_arg $ dt_arg $ probes_arg $ ic_arg)
+    Term.(const run $ telemetry_term $ deck_arg $ tstop_arg $ dt_arg
+          $ probes_arg $ ic_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let catalog_cmd =
-  let run () = print_string (D.describe_figure7 ()) in
+  let run tel () = with_telemetry tel (fun () -> print_string (D.describe_figure7 ())) in
   Cmd.v (Cmd.info "catalog" ~doc:"Show the defect catalog (Figure 7)")
-    Term.(const run $ const ())
+    Term.(const run $ telemetry_term $ const ())
 
 let () =
   let doc = "stress optimization for DRAM cell defect tests (DATE 2003 reproduction)" in

@@ -16,10 +16,10 @@ let pp_result ppf = function
   | Always_faulty -> Format.pp_print_string ppf "faulty over whole range"
   | Never_faulty -> Format.pp_print_string ppf "not detected"
 
-let search ?tech ?(r_min = 1e3) ?(r_max = 1e11) ?(grid_points = 13)
+let search ?tech ?config ?(r_min = 1e3) ?(r_max = 1e11) ?(grid_points = 13)
     ?(rel_tol = 0.01) ~stress ~kind ~placement cond =
   let detect r =
-    Detection.detects ?tech ~stress ~defect:(D.v kind placement r) cond
+    Detection.detects ?tech ?config ~stress ~defect:(D.v kind placement r) cond
   in
   let grid = G.logspace r_min r_max grid_points in
   let outcomes = List.map (fun r -> (r, detect r)) grid in

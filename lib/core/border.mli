@@ -25,6 +25,7 @@ val pp_result : Format.formatter -> result -> unit
     edges, if the outcome flips more than twice). *)
 val search :
   ?tech:Dramstress_dram.Tech.t ->
+  ?config:Dramstress_dram.Sim_config.t ->
   ?r_min:float ->
   ?r_max:float ->
   ?grid_points:int ->

@@ -52,9 +52,9 @@ let initial_vc cond ~stress ~defect =
   in
   if physical = 1 then stress.S.vdd else 0.0
 
-let detects ?tech ?sim ?(min_separation = 0.5) ~stress ~defect cond =
+let detects ?tech ?sim ?config ?(min_separation = 0.5) ~stress ~defect cond =
   let vc_init = initial_vc cond ~stress ~defect in
-  let outcome = O.run ?tech ?sim ~stress ~defect ~vc_init (ops cond) in
+  let outcome = O.run ?tech ?sim ?config ~stress ~defect ~vc_init (ops cond) in
   let reads =
     List.filter_map
       (fun r ->

@@ -46,6 +46,7 @@ val initial_vc :
 val detects :
   ?tech:Dramstress_dram.Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
+  ?config:Dramstress_dram.Sim_config.t ->
   ?min_separation:float ->
   stress:Dramstress_dram.Stress.t ->
   defect:Dramstress_defect.Defect.t ->

@@ -1,6 +1,12 @@
 module S = Dramstress_dram.Stress
+module Sc = Dramstress_dram.Sim_config
 module O = Dramstress_dram.Ops
 module D = Dramstress_defect.Defect
+module Tel = Dramstress_util.Telemetry
+
+let h_point =
+  Tel.Histogram.make ~unit_:"ms" ~lo:1e-2 ~hi:1e6 ~buckets:40
+    "core.sweep.point_ms"
 
 type t = {
   best : S.t;
@@ -10,9 +16,10 @@ type t = {
   ranking : (S.t * Border.result) list;
 }
 
-let optimize ?tech ?jobs ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
+let optimize ?tech ?jobs ?config ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
     ?(temp_values = [ -33.0; 27.0; 87.0 ])
     ?(vdd_values = [ 2.1; 2.4; 2.7 ]) ~nominal ~kind ~placement detection =
+  let config = Sc.resolve ?tech ?jobs ?config () in
   let polarity = D.polarity kind in
   let before = O.run_count () in
   let combos =
@@ -29,8 +36,18 @@ let optimize ?tech ?jobs ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
   (* every SC evaluation is independent, so the factorial grid fans out
      over domains; border searches within each SC stay sequential *)
   let scored =
-    Dramstress_util.Par.parallel_map ?jobs
-      (fun sc -> (sc, Border.search ?tech ~stress:sc ~kind ~placement detection))
+    Dramstress_util.Par.parallel_map ~jobs:(Sc.resolve_jobs config)
+      (fun sc ->
+        Tel.Histogram.time_ms h_point (fun () ->
+            Tel.with_span "exhaustive.point"
+              ~attrs:(fun () ->
+                [ ("tcyc", Tel.Float sc.S.tcyc);
+                  ("temp_c", Tel.Float sc.S.temp_c);
+                  ("vdd", Tel.Float sc.S.vdd) ])
+              (fun () ->
+                ( sc,
+                  Border.search ~config ~stress:sc ~kind ~placement detection
+                ))))
       combos
   in
   let ranking =
@@ -60,15 +77,15 @@ type comparison = {
   agreement : bool;
 }
 
-let compare_methods ?tech ~nominal ~kind ~placement () =
+let compare_methods ?tech ?config ~nominal ~kind ~placement () =
   let detection =
     Detection.standard ~victim:(D.logical_victim kind placement) ~primes:2
   in
   let exhaustive =
-    optimize ?tech ~nominal ~kind ~placement detection
+    optimize ?tech ?config ~nominal ~kind ~placement detection
   in
   let before = O.run_count () in
-  let e = Sc_eval.evaluate ?tech ~nominal ~kind ~placement () in
+  let e = Sc_eval.evaluate ?tech ?config ~nominal ~kind ~placement () in
   let probe_simulations = O.run_count () - before in
   let close a b rel = Float.abs (a -. b) <= rel *. Float.abs b +. 1e-12 in
   let agreement =

@@ -22,11 +22,16 @@ type t = {
     87 C} x V_dd {2.1, 2.4, 2.7 V}.
 
     [jobs] caps the domains used to evaluate grid points in parallel
-    (default [Dramstress_util.Par.default_jobs ()]; [~jobs:1] is
-    sequential). *)
+    (default [Dramstress_util.Par.resolve_jobs]; [~jobs:1] is
+    sequential). [config] bundles the simulation parameters
+    ({!Dramstress_dram.Sim_config.t}); explicit [?tech ?jobs] override
+    matching [config] fields. Each grid point observes the shared
+    [core.sweep.point_ms] telemetry histogram and emits an
+    [exhaustive.point] span. *)
 val optimize :
   ?tech:Dramstress_dram.Tech.t ->
   ?jobs:int ->
+  ?config:Dramstress_dram.Sim_config.t ->
   ?tcyc_values:float list ->
   ?temp_values:float list ->
   ?vdd_values:float list ->
@@ -52,6 +57,7 @@ type comparison = {
     reports the simulation budgets. *)
 val compare_methods :
   ?tech:Dramstress_dram.Tech.t ->
+  ?config:Dramstress_dram.Sim_config.t ->
   nominal:Dramstress_dram.Stress.t ->
   kind:Dramstress_defect.Defect.kind ->
   placement:Dramstress_defect.Defect.placement ->

@@ -1,10 +1,24 @@
 module O = Dramstress_dram.Ops
 module S = Dramstress_dram.Stress
+module Sc = Dramstress_dram.Sim_config
 module D = Dramstress_defect.Defect
 module B = Dramstress_util.Bisect
 module I = Dramstress_util.Interp
 module G = Dramstress_util.Grid
 module Par = Dramstress_util.Par
+module Tel = Dramstress_util.Telemetry
+
+(* shared by every sweep layer: wall time of one independent sweep point
+   (one resistance: its bisections and transients) *)
+let h_point =
+  Tel.Histogram.make ~unit_:"ms" ~lo:1e-2 ~hi:1e6 ~buckets:40
+    "core.sweep.point_ms"
+
+(* per-point probe used by all resistance sweeps in this module: the
+   histogram feeds metrics, the span feeds the trace sink *)
+let sweep_point ~r f =
+  Tel.Histogram.time_ms h_point (fun () ->
+      Tel.with_span "plane.point" ~attrs:(fun () -> [ ("r", Tel.Float r) ]) f)
 
 type point = { r : float; vc : float }
 
@@ -26,8 +40,8 @@ let default_rops = G.logspace 1e3 1e6 12
 
 (* physical read result for an initial storage voltage: a single read op,
    unwrapping the logical inversion of complementary placement *)
-let read_physical ?tech ?sim ~stress ?defect vc =
-  let outcome = O.run ?tech ?sim ~stress ?defect ~vc_init:vc [ O.R ] in
+let read_physical ~config ~stress ?defect vc =
+  let outcome = O.run ~config ~stress ?defect ~vc_init:vc [ O.R ] in
   let logical =
     match O.sensed_bits outcome with [ b ] -> b | _ -> assert false
   in
@@ -35,20 +49,22 @@ let read_physical ?tech ?sim ~stress ?defect vc =
   | Some { D.placement = D.Comp_bl; _ } -> 1 - logical
   | Some { D.placement = D.True_bl; _ } | None -> logical
 
-let vmp ?tech ?sim ~stress () =
+let vmp ?tech ?sim ?config ~stress () =
+  let config = Sc.resolve ?tech ?sim ?config () in
   match
     B.guarded_threshold ~tol:5e-3
-      (fun vc -> read_physical ?tech ?sim ~stress vc = 0)
+      (fun vc -> read_physical ~config ~stress vc = 0)
       0.0 stress.S.vdd
   with
   | B.Crossing v -> v
   | B.All_true -> 0.0
   | B.All_false -> stress.S.vdd
 
-let vsa ?tech ?sim ~stress ~defect () =
+let vsa ?tech ?sim ?config ~stress ~defect () =
+  let config = Sc.resolve ?tech ?sim ?config () in
   match
     B.guarded_threshold ~tol:5e-3
-      (fun vc -> read_physical ?tech ?sim ~stress ~defect vc = 0)
+      (fun vc -> read_physical ~config ~stress ~defect vc = 0)
       0.0 stress.S.vdd
   with
   | B.Crossing v -> Vsa v
@@ -67,31 +83,36 @@ let physical_target placement op =
 
 (* the resistance axis is embarrassingly parallel: each point is an
    independent bisection / transient, so sweeps fan out over domains *)
-let vsa_curve_of ?tech ?sim ?jobs ~stress ~kind ~placement rops =
-  Par.parallel_map ?jobs
+let vsa_curve_of ?tech ?sim ?jobs ?config ~stress ~kind ~placement rops =
+  let config = Sc.resolve ?tech ?sim ?jobs ?config () in
+  Par.parallel_map ~jobs:(Sc.resolve_jobs config)
     (fun r ->
-      let defect = D.v kind placement r in
-      { r_sa = r; vsa = vsa ?tech ?sim ~stress ~defect () })
+      sweep_point ~r (fun () ->
+          let defect = D.v kind placement r in
+          { r_sa = r; vsa = vsa ~config ~stress ~defect () }))
     rops
 
-let write_plane ?tech ?sim ?jobs ?(n_ops = 4) ?(rops = default_rops) ~stress
-    ~kind ~placement ~op () =
+let write_plane ?tech ?sim ?jobs ?config ?(n_ops = 4) ?(rops = default_rops)
+    ~stress ~kind ~placement ~op () =
   (match op with
   | O.W0 | O.W1 -> ()
   | O.R | O.Pause _ -> invalid_arg "Plane.write_plane: op must be a write");
   if n_ops < 1 then invalid_arg "Plane.write_plane: n_ops < 1";
+  let config = Sc.resolve ?tech ?sim ?jobs ?config () in
+  let jobs = Sc.resolve_jobs config in
   let vc_init =
     if physical_target placement op = 0 then stress.S.vdd else 0.0
   in
   let trajectories =
-    Par.parallel_map ?jobs
+    Par.parallel_map ~jobs
       (fun r ->
-        let defect = D.v kind placement r in
-        let outcome =
-          O.run ?tech ?sim ~stress ~defect ~vc_init
-            (List.init n_ops (fun _ -> op))
-        in
-        (r, List.map (fun res -> res.O.vc_end) outcome.O.results))
+        sweep_point ~r (fun () ->
+            let defect = D.v kind placement r in
+            let outcome =
+              O.run ~config ~stress ~defect ~vc_init
+                (List.init n_ops (fun _ -> op))
+            in
+            (r, List.map (fun res -> res.O.vc_end) outcome.O.results)))
       rops
   in
   let curves =
@@ -108,29 +129,32 @@ let write_plane ?tech ?sim ?jobs ?(n_ops = 4) ?(rops = default_rops) ~stress
   {
     op;
     curves;
-    vsa_curve = vsa_curve_of ?tech ?sim ?jobs ~stress ~kind ~placement rops;
-    vmp = vmp ?tech ?sim ~stress ();
+    vsa_curve = vsa_curve_of ~config ~stress ~kind ~placement rops;
+    vmp = vmp ~config ~stress ();
     rops;
     stress;
   }
 
-let read_plane ?tech ?sim ?jobs ?(n_ops = 3) ?(rops = default_rops)
+let read_plane ?tech ?sim ?jobs ?config ?(n_ops = 3) ?(rops = default_rops)
     ?(offset = 0.2) ~stress ~kind ~placement () =
   if n_ops < 1 then invalid_arg "Plane.read_plane: n_ops < 1";
-  let vsa_curve = vsa_curve_of ?tech ?sim ?jobs ~stress ~kind ~placement rops in
+  let config = Sc.resolve ?tech ?sim ?jobs ?config () in
+  let jobs = Sc.resolve_jobs config in
+  let vsa_curve = vsa_curve_of ~config ~stress ~kind ~placement rops in
   let trajectory seed_of =
-    Par.parallel_map ?jobs
+    Par.parallel_map ~jobs
       (fun (r, { vsa = v; _ }) ->
-        let defect = D.v kind placement r in
-        let seed =
-          Float.max 0.0
-            (Float.min stress.S.vdd (seed_of (vsa_substitute stress v)))
-        in
-        let outcome =
-          O.run ?tech ?sim ~stress ~defect ~vc_init:seed
-            (List.init n_ops (fun _ -> O.R))
-        in
-        (r, List.map (fun res -> res.O.vc_end) outcome.O.results))
+        sweep_point ~r (fun () ->
+            let defect = D.v kind placement r in
+            let seed =
+              Float.max 0.0
+                (Float.min stress.S.vdd (seed_of (vsa_substitute stress v)))
+            in
+            let outcome =
+              O.run ~config ~stress ~defect ~vc_init:seed
+                (List.init n_ops (fun _ -> O.R))
+            in
+            (r, List.map (fun res -> res.O.vc_end) outcome.O.results)))
       (List.combine rops vsa_curve)
   in
   let below = trajectory (fun vsa -> vsa -. offset) in
@@ -147,7 +171,7 @@ let read_plane ?tech ?sim ?jobs ?(n_ops = 3) ?(rops = default_rops)
     op = O.R;
     curves = curves_of "from below Vsa" below @ curves_of "from above Vsa" above;
     vsa_curve;
-    vmp = vmp ?tech ?sim ~stress ();
+    vmp = vmp ~config ~stress ();
     rops;
     stress;
   }

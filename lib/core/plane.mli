@@ -33,20 +33,28 @@ type t = {
   stress : Dramstress_dram.Stress.t;
 }
 
-(** [vmp ?tech ?sim ~stress ()] is the read threshold of the defect-free
-    column — the voltage border between a stored 0 and 1. *)
+(** [vmp ?tech ?sim ?config ~stress ()] is the read threshold of the
+    defect-free column — the voltage border between a stored 0 and 1.
+
+    Everywhere in this module, [config] bundles the simulation
+    parameters ({!Dramstress_dram.Sim_config.t}); the loose
+    [?tech ?sim ?jobs] optionals are the original spelling, kept for
+    compatibility, and override matching [config] fields when both are
+    given. *)
 val vmp :
   ?tech:Dramstress_dram.Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
+  ?config:Dramstress_dram.Sim_config.t ->
   stress:Dramstress_dram.Stress.t ->
   unit -> float
 
-(** [vsa ?tech ?sim ~stress ~defect ()] is the sense threshold for the
-    given defect instance (bisection on the initial storage voltage,
-    10 mV resolution). *)
+(** [vsa ?tech ?sim ?config ~stress ~defect ()] is the sense threshold
+    for the given defect instance (bisection on the initial storage
+    voltage, 10 mV resolution). *)
 val vsa :
   ?tech:Dramstress_dram.Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
+  ?config:Dramstress_dram.Sim_config.t ->
   stress:Dramstress_dram.Stress.t ->
   defect:Dramstress_defect.Defect.t ->
   unit ->
@@ -61,13 +69,19 @@ val vsa :
 
     [jobs] caps the number of domains used for the resistance sweep
     (each point is an independent simulation); it defaults to
-    [Dramstress_util.Par.default_jobs ()], and [~jobs:1] forces a
+    [Dramstress_util.Par.resolve_jobs] (which honours the
+    [DRAMSTRESS_JOBS] environment variable), and [~jobs:1] forces a
     sequential sweep. [sim] overrides the solver options of every
-    underlying run. *)
+    underlying run.
+
+    When {!Dramstress_util.Telemetry} is enabled, each resistance point
+    observes the shared [core.sweep.point_ms] histogram and emits a
+    [plane.point] span. *)
 val write_plane :
   ?tech:Dramstress_dram.Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
   ?jobs:int ->
+  ?config:Dramstress_dram.Sim_config.t ->
   ?n_ops:int ->
   ?rops:float list ->
   stress:Dramstress_dram.Stress.t ->
@@ -80,11 +94,13 @@ val write_plane :
 (** [read_plane ?tech ?n_ops ?rops ?offset ~stress ~kind ~placement ()]
     generates the repeated-read plane: two trajectories per resistance,
     seeded just below and just above [V_sa] (offset defaults to 0.2 V,
-    the paper's choice). [sim] and [jobs] as in {!write_plane}. *)
+    the paper's choice). [sim], [jobs] and [config] as in
+    {!write_plane}. *)
 val read_plane :
   ?tech:Dramstress_dram.Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
   ?jobs:int ->
+  ?config:Dramstress_dram.Sim_config.t ->
   ?n_ops:int ->
   ?rops:float list ->
   ?offset:float ->

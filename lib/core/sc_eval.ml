@@ -31,12 +31,13 @@ let candidate_detections ?(allow_pause = true) ?(pause = 1e-3) ~placement
   | D.Bridge_to_neighbour ->
     standards
 
-let best_detection ?tech ?allow_pause ?pause ~stress ~kind ~placement () =
+let best_detection ?tech ?config ?allow_pause ?pause ~stress ~kind ~placement
+    () =
   let polarity = D.polarity kind in
   let scored =
     List.map
       (fun cond ->
-        (cond, Border.search ?tech ~stress ~kind ~placement cond))
+        (cond, Border.search ?tech ?config ~stress ~kind ~placement cond))
       (candidate_detections ?allow_pause ?pause ~placement kind)
   in
   match scored with
@@ -47,14 +48,14 @@ let best_detection ?tech ?allow_pause ?pause ~stress ~kind ~placement () =
         if Border.better polarity b best_b then (c, b) else (best_c, best_b))
       first rest
 
-let evaluate ?tech
+let evaluate ?tech ?config
     ?(axes = [ S.Cycle_time; S.Temperature; S.Supply_voltage ])
     ?(analysis_r = 200e3) ?pause ~nominal ~kind ~placement () =
   (* retention pauses are part of the stress repertoire, not the nominal
      test: the nominal detection is pause-free *)
   let nominal_detection, nominal_br =
-    best_detection ?tech ~allow_pause:false ?pause ~stress:nominal ~kind
-      ~placement ()
+    best_detection ?tech ?config ~allow_pause:false ?pause ~stress:nominal
+      ~kind ~placement ()
   in
   (* probe each axis at the nominal point, resolving by BR against the
      nominal best detection *)
@@ -73,7 +74,7 @@ let evaluate ?tech
   in
   (* Section 4.4: re-derive the detection condition under the applied SC *)
   let stressed_detection, stressed_br =
-    best_detection ?tech ?pause ~stress:stressed ~kind ~placement ()
+    best_detection ?tech ?config ?pause ~stress:stressed ~kind ~placement ()
   in
   let improvement =
     Border.improvement (D.polarity kind) ~nominal:nominal_br

@@ -35,6 +35,7 @@ val candidate_detections :
     winning condition with its BR. *)
 val best_detection :
   ?tech:Dramstress_dram.Tech.t ->
+  ?config:Dramstress_dram.Sim_config.t ->
   ?allow_pause:bool ->
   ?pause:float ->
   stress:Dramstress_dram.Stress.t ->
@@ -48,6 +49,7 @@ val best_detection :
     supply voltage (the paper's three STs). *)
 val evaluate :
   ?tech:Dramstress_dram.Tech.t ->
+  ?config:Dramstress_dram.Sim_config.t ->
   ?axes:Dramstress_dram.Stress.axis list ->
   ?analysis_r:float ->
   ?pause:float ->

@@ -1,6 +1,12 @@
 module S = Dramstress_dram.Stress
+module Sc = Dramstress_dram.Sim_config
 module D = Dramstress_defect.Defect
 module U = Dramstress_util.Units
+module Tel = Dramstress_util.Telemetry
+
+let h_point =
+  Tel.Histogram.make ~unit_:"ms" ~lo:1e-2 ~hi:1e6 ~buckets:40
+    "core.sweep.point_ms"
 
 type row = {
   defect_id : string;
@@ -10,8 +16,10 @@ type row = {
 
 type t = { rows : row list; nominal : S.t }
 
-let generate ?tech ?jobs ?(nominal = S.nominal) ?(entries = D.catalog)
-    ?(placements = [ D.True_bl; D.Comp_bl ]) ?pause () =
+let generate ?tech ?jobs ?config ?(nominal = S.nominal)
+    ?(entries = D.catalog) ?(placements = [ D.True_bl; D.Comp_bl ]) ?pause ()
+    =
+  let config = Sc.resolve ?tech ?jobs ?config () in
   (* one work item per (defect, placement) row; rows are independent *)
   let work =
     List.concat_map
@@ -20,15 +28,22 @@ let generate ?tech ?jobs ?(nominal = S.nominal) ?(entries = D.catalog)
       entries
   in
   let rows =
-    Dramstress_util.Par.parallel_map ?jobs
+    Dramstress_util.Par.parallel_map ~jobs:(Sc.resolve_jobs config)
       (fun ((entry : D.entry), placement) ->
-        {
-          defect_id = entry.D.id;
-          placement;
-          evaluation =
-            Sc_eval.evaluate ?tech ?pause ~nominal ~kind:entry.D.kind
-              ~placement ();
-        })
+        Tel.Histogram.time_ms h_point (fun () ->
+            Tel.with_span "table1.row"
+              ~attrs:(fun () ->
+                [ ("defect", Tel.Str entry.D.id);
+                  ("placement",
+                   Tel.Str (Format.asprintf "%a" D.pp_placement placement)) ])
+              (fun () ->
+                {
+                  defect_id = entry.D.id;
+                  placement;
+                  evaluation =
+                    Sc_eval.evaluate ~config ?pause ~nominal
+                      ~kind:entry.D.kind ~placement ();
+                })))
       work
   in
   { rows; nominal }

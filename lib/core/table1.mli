@@ -14,10 +14,16 @@ type t = { rows : row list; nominal : Dramstress_dram.Stress.t }
     are electrically equivalent; pass [entries] to restrict (e.g. one
     open representative) when compute time matters. Rows are evaluated
     in parallel over at most [jobs] domains (default
-    [Dramstress_util.Par.default_jobs ()]; [~jobs:1] is sequential). *)
+    [Dramstress_util.Par.resolve_jobs]; [~jobs:1] is sequential).
+    [config] bundles the simulation parameters
+    ({!Dramstress_dram.Sim_config.t}); explicit [?tech ?jobs] override
+    matching [config] fields. Each row observes the shared
+    [core.sweep.point_ms] telemetry histogram and emits a [table1.row]
+    span. *)
 val generate :
   ?tech:Dramstress_dram.Tech.t ->
   ?jobs:int ->
+  ?config:Dramstress_dram.Sim_config.t ->
   ?nominal:Dramstress_dram.Stress.t ->
   ?entries:Dramstress_defect.Defect.entry list ->
   ?placements:Dramstress_defect.Defect.placement list ->

@@ -2,11 +2,12 @@ module W = Dramstress_circuit.Waveform
 module D = Dramstress_defect.Defect
 module E = Dramstress_engine
 module I = Dramstress_util.Interp
+module Tel = Dramstress_util.Telemetry
 
-(* counts logical run requests; atomic so parallel sweeps can share it *)
-let runs = Atomic.make 0
-let run_count () = Atomic.get runs
-let reset_run_count () = Atomic.set runs 0
+let c_requests = Tel.Counter.make "dram.ops.requests"
+let c_hits = Tel.Counter.make "dram.ops.cache_hits"
+let c_misses = Tel.Counter.make "dram.ops.cache_misses"
+let c_evictions = Tel.Counter.make "dram.ops.cache_evictions"
 
 type op = W0 | W1 | R | Pause of float
 
@@ -167,60 +168,127 @@ type cache_key = {
   k_ops : op list;
 }
 
-type cache_stats = {
+module Lru = Dramstress_util.Lru
+
+module Cache = struct
+  type stats = {
+    requests : int;
+    hits : int;
+    misses : int;
+    evictions : int;
+    entries : int;
+    capacity : int;
+  }
+
+  type t = {
+    lock : Mutex.t;
+    mutable lru : (cache_key, outcome) Lru.t;
+    enabled : bool Atomic.t;
+    request_count : int Atomic.t;
+  }
+
+  let env_enabled () =
+    match Sys.getenv_opt "DRAMSTRESS_CACHE" with
+    | Some ("off" | "0" | "false" | "no") -> false
+    | Some _ | None -> true
+
+  let create ?(capacity = 512) ?enabled () =
+    {
+      lock = Mutex.create ();
+      lru = Lru.create ~capacity ();
+      enabled =
+        Atomic.make
+          (match enabled with Some b -> b | None -> env_enabled ());
+      request_count = Atomic.make 0;
+    }
+
+  let default = create ()
+
+  let set_enabled t on = Atomic.set t.enabled on
+  let is_enabled t = Atomic.get t.enabled
+  let with_lru t f = Mutex.protect t.lock (fun () -> f t.lru)
+
+  (* a fresh LRU means fresh hit/miss/eviction statistics (the original
+     [set_cache_capacity] semantics); the request counter is independent
+     of the storage and survives *)
+  let resize t capacity =
+    Mutex.protect t.lock (fun () -> t.lru <- Lru.create ~capacity ())
+
+  let clear t = with_lru t Lru.clear
+
+  let stats t =
+    with_lru t (fun c ->
+        {
+          requests = Atomic.get t.request_count;
+          hits = Lru.hits c;
+          misses = Lru.misses c;
+          evictions = Lru.evictions c;
+          entries = Lru.length c;
+          capacity = Lru.capacity c;
+        })
+
+  let reset_stats t = with_lru t Lru.reset_stats
+  let requests t = Atomic.get t.request_count
+  let reset_requests t = Atomic.set t.request_count 0
+end
+
+type cache_stats = Cache.stats = {
+  requests : int;
   hits : int;
   misses : int;
+  evictions : int;
   entries : int;
   capacity : int;
 }
 
-module Lru = Dramstress_util.Lru
+(* -- backward-compatible wrappers over [Cache.default] -------------- *)
 
-let cache_lock = Mutex.create ()
-let cache : (cache_key, outcome) Lru.t ref = ref (Lru.create ~capacity:512 ())
+let run_count () = Cache.requests Cache.default
+let reset_run_count () = Cache.reset_requests Cache.default
+let set_caching on = Cache.set_enabled Cache.default on
+let caching_enabled () = Cache.is_enabled Cache.default
+let set_cache_capacity n = Cache.resize Cache.default n
+let clear_cache () = Cache.clear Cache.default
+let cache_stats () = Cache.stats Cache.default
 
-let cache_enabled =
-  Atomic.make
-    (match Sys.getenv_opt "DRAMSTRESS_CACHE" with
-    | Some ("off" | "0" | "false" | "no") -> false
-    | Some _ | None -> true)
-
-let set_caching on = Atomic.set cache_enabled on
-let caching_enabled () = Atomic.get cache_enabled
-
-let with_cache f = Mutex.protect cache_lock (fun () -> f !cache)
-
-let set_cache_capacity capacity =
-  Mutex.protect cache_lock (fun () -> cache := Lru.create ~capacity ())
-
-let clear_cache () = with_cache Lru.clear
-
-let cache_stats () =
-  with_cache (fun c ->
-      { hits = Lru.hits c; misses = Lru.misses c; entries = Lru.length c;
-        capacity = Lru.capacity c })
-
-let rec run ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?defect
-    ?(vc_init = 0.0) ?v_neighbour ~stress ops =
+let rec run ?tech ?sim ?steps_per_cycle ?defect ?(vc_init = 0.0)
+    ?v_neighbour ?config ?(cache = Cache.default) ~stress ops =
   if ops = [] then invalid_arg "Ops.run: empty sequence";
   Stress.validate stress;
-  Atomic.incr runs;
+  let cfg = Sim_config.resolve ?tech ?sim ?steps_per_cycle ?config () in
+  Atomic.incr cache.Cache.request_count;
+  Tel.Counter.incr c_requests;
   let key =
-    { k_tech = tech; k_stress = stress; k_sim = sim;
-      k_steps = steps_per_cycle; k_defect = defect; k_vc_init = vc_init;
-      k_v_neighbour = v_neighbour; k_ops = ops }
+    { k_tech = cfg.Sim_config.tech; k_stress = stress;
+      k_sim = cfg.Sim_config.sim; k_steps = cfg.Sim_config.steps_per_cycle;
+      k_defect = defect; k_vc_init = vc_init; k_v_neighbour = v_neighbour;
+      k_ops = ops }
   in
   let cached =
-    if Atomic.get cache_enabled then with_cache (fun c -> Lru.find c key)
+    if Cache.is_enabled cache then
+      Cache.with_lru cache (fun c -> Lru.find c key)
     else None
   in
   match cached with
-  | Some outcome -> outcome
+  | Some outcome ->
+    Tel.Counter.incr c_hits;
+    outcome
   | None ->
-    let outcome = execute ~tech ?sim ~steps_per_cycle ?defect ~vc_init
-        ?v_neighbour ~stress ops in
-    if Atomic.get cache_enabled then
-      with_cache (fun c -> Lru.add c key outcome);
+    Tel.Counter.incr c_misses;
+    let outcome =
+      Tel.with_span "ops.run"
+        ~attrs:(fun () -> [ ("seq", Tel.Str (seq_to_string ops)) ])
+        (fun () ->
+          execute ~tech:cfg.Sim_config.tech ?sim:cfg.Sim_config.sim
+            ~steps_per_cycle:cfg.Sim_config.steps_per_cycle ?defect ~vc_init
+            ?v_neighbour ~stress ops)
+    in
+    if Cache.is_enabled cache then
+      Cache.with_lru cache (fun c ->
+          let ev0 = Lru.evictions c in
+          Lru.add c key outcome;
+          let d = Lru.evictions c - ev0 in
+          if d > 0 then Tel.Counter.add c_evictions d);
     outcome
 
 and execute ~tech ?sim ~steps_per_cycle ?defect ~vc_init ?v_neighbour ~stress
@@ -238,7 +306,7 @@ and execute ~tech ?sim ~steps_per_cycle ?defect ~vc_init ?v_neighbour ~stress
   let built = Column.build ~tech ~vdd ~controls ?defect () in
   let opts =
     let base = Option.value sim ~default:E.Options.default in
-    { base with E.Options.temp = Stress.temp_k stress }
+    { base with E.Options.temp = Stress.temp_kelvin stress }
   in
   let ics = Column.initial_conditions built ~vdd ~vc_init ~v_neighbour in
   let trace =

@@ -11,16 +11,6 @@
     and 1s interchanged while the physical behaviour is identical — the
     paper's Table 1 observation. *)
 
-(** [run_count ()] is the number of simulation requests made through
-    {!run} since start-up (or the last {!reset_run_count}) — the cost
-    metric the paper's method optimizes against the exhaustive
-    per-SC fault analysis. Requests served from the memo cache are
-    counted too; {!cache_stats} separates actual electrical simulations
-    (misses) from cached replays (hits). *)
-val run_count : unit -> int
-
-val reset_run_count : unit -> unit
-
 type op =
   | W0            (** write logical 0 *)
   | W1            (** write logical 1 *)
@@ -68,44 +58,127 @@ val sensed_bits : outcome -> int list
     fingerprint — technology, stress, solver options, step resolution,
     defect, initial voltages and the operation sequence. The sweep layers
     (planes, shmoo, Table 1) repeat identical sequences constantly, so
-    the cache removes most transient runs. It is shared across domains
-    and guarded by a mutex; cached outcomes are immutable.
+    the cache removes most transient runs.
+
+    Caches are explicit handles ({!Cache.t}); {!run} uses
+    {!Cache.default} unless told otherwise, so independent experiments
+    can isolate their statistics (and memory) by passing their own
+    handle. A handle is shared across domains and guarded internally by
+    a mutex; cached outcomes are immutable.
 
     Caching is on by default; set the environment variable
-    [DRAMSTRESS_CACHE] to [off]/[0]/[false]/[no] or call
-    [set_caching false] to disable it. *)
+    [DRAMSTRESS_CACHE] to [off]/[0]/[false]/[no] (read when a handle is
+    created) or call {!Cache.set_enabled} to disable it.
 
-type cache_stats = {
-  hits : int;      (** requests served from the cache *)
-  misses : int;    (** requests that ran an electrical simulation *)
-  entries : int;   (** outcomes currently held *)
-  capacity : int;  (** maximum entries before LRU eviction *)
+    When {!Dramstress_util.Telemetry} is enabled, requests, hits, misses
+    and evictions also feed the [dram.ops.requests] /
+    [dram.ops.cache_hits] / [dram.ops.cache_misses] /
+    [dram.ops.cache_evictions] counters, and every cache miss runs its
+    electrical simulation inside an [ops.run] span. *)
+
+module Cache : sig
+  type t
+  (** A memo-cache handle: bounded LRU storage plus its own request
+      counter and enable flag. *)
+
+  (** Point-in-time statistics ({!stats}). [requests] counts every
+      {!Ops.run} call routed through this handle — the paper's
+      simulation-cost metric; [hits]/[misses]/[evictions] describe the
+      LRU since creation, the last {!resize} or {!reset_stats}. *)
+  type stats = {
+    requests : int;   (** run requests, cached or not *)
+    hits : int;       (** requests served from the cache *)
+    misses : int;     (** requests that ran an electrical simulation *)
+    evictions : int;  (** entries dropped by capacity pressure *)
+    entries : int;    (** outcomes currently held *)
+    capacity : int;   (** maximum entries before LRU eviction *)
+  }
+
+  (** [create ?capacity ?enabled ()] makes an independent cache (default
+      capacity 512). [enabled] defaults to the [DRAMSTRESS_CACHE]
+      environment setting. *)
+  val create : ?capacity:int -> ?enabled:bool -> unit -> t
+
+  (** The process-wide cache used by {!Ops.run} when no handle is
+      passed. *)
+  val default : t
+
+  val set_enabled : t -> bool -> unit
+  val is_enabled : t -> bool
+
+  (** [resize t n] replaces the storage with an empty LRU holding at
+      most [n] outcomes. Hit/miss/eviction statistics reset; the request
+      counter is kept. *)
+  val resize : t -> int -> unit
+
+  (** [clear t] drops every cached outcome (statistics kept). *)
+  val clear : t -> unit
+
+  val stats : t -> stats
+
+  (** [reset_stats t] zeroes hit/miss/eviction statistics without
+      touching the stored outcomes or the request counter. *)
+  val reset_stats : t -> unit
+
+  (** [requests t] / [reset_requests t] — the request counter alone. *)
+  val requests : t -> int
+
+  val reset_requests : t -> unit
+end
+
+type cache_stats = Cache.stats = {
+  requests : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
 }
 
-(** [set_caching on] enables or disables memoization globally. *)
+(** {3 Deprecated global wrappers}
+
+    These operate on {!Cache.default} and exist for source compatibility
+    with the original global-state API; new code should hold a
+    {!Cache.t} and call its functions directly. *)
+
+(** [run_count ()] is [Cache.requests Cache.default] — the number of
+    simulation requests made through {!run} since start-up (or the last
+    {!reset_run_count}), the cost metric the paper's method optimizes
+    against exhaustive per-SC fault analysis. Requests served from the
+    memo cache are counted too; {!cache_stats} separates actual
+    electrical simulations (misses) from cached replays (hits). *)
+val run_count : unit -> int
+
+val reset_run_count : unit -> unit
+
+(** [set_caching on] is [Cache.set_enabled Cache.default on]. *)
 val set_caching : bool -> unit
 
 val caching_enabled : unit -> bool
 
-(** [set_cache_capacity n] replaces the cache with an empty one holding
-    at most [n] outcomes (statistics reset too). *)
+(** [set_cache_capacity n] is [Cache.resize Cache.default n]. *)
 val set_cache_capacity : int -> unit
 
-(** [clear_cache ()] drops all cached outcomes (statistics kept). *)
+(** [clear_cache ()] is [Cache.clear Cache.default]. *)
 val clear_cache : unit -> unit
 
 val cache_stats : unit -> cache_stats
 
-(** [run ?tech ?sim ?steps_per_cycle ?defect ?vc_init ?v_neighbour ~stress
-    ops] executes the sequence.
+(** [run ?tech ?sim ?steps_per_cycle ?defect ?vc_init ?v_neighbour
+    ?config ?cache ~stress ops] executes the sequence.
 
     - [vc_init] (default [0.0]): initial storage voltage, V — the paper's
       floating-cell initialisation.
     - [v_neighbour] (default: the supply): initial neighbour-cell voltage
       (bridge aggressor value).
-    - [steps_per_cycle] (default 400) sets the transient resolution.
-    - [sim] overrides solver options; its temperature field is replaced
-      from [stress]. *)
+    - [config] bundles technology / solver options / step resolution
+      ({!Sim_config.t}); the loose [?tech ?sim ?steps_per_cycle]
+      optionals are the original spelling, kept for compatibility, and
+      override the matching [config] fields when both are given
+      ({!Sim_config.resolve}).
+    - [cache] (default {!Cache.default}) selects the memo cache.
+    - The solver temperature is always taken from [stress]
+      ({!Stress.temp_kelvin}), overriding any [sim] temperature. *)
 val run :
   ?tech:Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
@@ -113,6 +186,8 @@ val run :
   ?defect:Dramstress_defect.Defect.t ->
   ?vc_init:float ->
   ?v_neighbour:float ->
+  ?config:Sim_config.t ->
+  ?cache:Cache.t ->
   stress:Stress.t ->
   op list ->
   outcome

@@ -1,0 +1,33 @@
+type t = {
+  tech : Tech.t;
+  sim : Dramstress_engine.Options.t option;
+  steps_per_cycle : int;
+  jobs : int option;
+}
+
+let default =
+  { tech = Tech.default; sim = None; steps_per_cycle = 400; jobs = None }
+
+let v ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?jobs () =
+  if steps_per_cycle < 1 then
+    invalid_arg "Sim_config.v: steps_per_cycle < 1";
+  { tech; sim; steps_per_cycle; jobs }
+
+(* explicit legacy optionals always beat the bundled config, so existing
+   call sites keep their meaning when a config is introduced around them *)
+let resolve ?tech ?sim ?steps_per_cycle ?jobs ?config () =
+  let base = Option.value config ~default in
+  let t =
+    {
+      tech = Option.value tech ~default:base.tech;
+      sim = (match sim with Some _ -> sim | None -> base.sim);
+      steps_per_cycle =
+        Option.value steps_per_cycle ~default:base.steps_per_cycle;
+      jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
+    }
+  in
+  if t.steps_per_cycle < 1 then
+    invalid_arg "Sim_config.resolve: steps_per_cycle < 1";
+  t
+
+let resolve_jobs t = Dramstress_util.Par.resolve_jobs ?jobs:t.jobs ()

@@ -1,0 +1,56 @@
+(** Bundled simulation configuration.
+
+    Every sweep layer historically took the same loose optional
+    arguments — [?tech ?sim ?steps_per_cycle ?jobs] — and threaded them
+    down to {!Ops.run} by hand. [Sim_config.t] bundles them into one
+    value that can be built once and passed through any depth of sweep
+    calls as [?config].
+
+    The loose optionals remain accepted everywhere for compatibility;
+    when both are given, an explicit optional overrides the
+    corresponding [config] field ({!resolve}). *)
+
+type t = {
+  tech : Tech.t;             (** technology / cell parameters *)
+  sim : Dramstress_engine.Options.t option;
+      (** solver option overrides; [None] means engine defaults.
+          [Ops.run] replaces the temperature field from the stress. *)
+  steps_per_cycle : int;     (** transient resolution per clock cycle *)
+  jobs : int option;
+      (** domain count for parallel sweeps; [None] defers to
+          [DRAMSTRESS_JOBS] then the recommended domain count
+          ({!Dramstress_util.Par.resolve_jobs}) *)
+}
+
+(** [default]: {!Tech.default}, engine-default solver options,
+    400 steps per cycle, automatic job count. *)
+val default : t
+
+(** [v ?tech ?sim ?steps_per_cycle ?jobs ()] builds a config; omitted
+    fields take their {!default} values. Raises [Invalid_argument] if
+    [steps_per_cycle < 1]. *)
+val v :
+  ?tech:Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
+  ?steps_per_cycle:int ->
+  ?jobs:int ->
+  unit ->
+  t
+
+(** [resolve ?tech ?sim ?steps_per_cycle ?jobs ?config ()] merges the
+    legacy loose optionals with a bundled [config]: an explicit optional
+    wins over the matching [config] field, which wins over {!default}.
+    This is the single merge point used by every API that accepts both
+    styles. *)
+val resolve :
+  ?tech:Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
+  ?steps_per_cycle:int ->
+  ?jobs:int ->
+  ?config:t ->
+  unit ->
+  t
+
+(** [resolve_jobs t] is the effective domain count:
+    [Par.resolve_jobs ?jobs:t.jobs ()]. *)
+val resolve_jobs : t -> int

@@ -2,7 +2,8 @@ type t = { tcyc : float; duty : float; vdd : float; temp_c : float }
 
 let nominal = { tcyc = 60e-9; duty = 0.5; vdd = 2.4; temp_c = 27.0 }
 
-let temp_k sc = Dramstress_util.Units.celsius_to_kelvin sc.temp_c
+let temp_kelvin sc = Dramstress_util.Units.celsius_to_kelvin sc.temp_c
+let temp_k = temp_kelvin
 
 let with_tcyc sc tcyc = { sc with tcyc }
 let with_duty sc duty = { sc with duty }

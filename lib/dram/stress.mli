@@ -12,7 +12,16 @@ type t = {
     T = +27 C. *)
 val nominal : t
 
-(** [temp_k sc] is the temperature in kelvin. *)
+(** [temp_kelvin sc] converts {!field-temp_c} to kelvin — the unit the
+    solver's [Options.temp] field expects. The record stores Celsius
+    (what a datasheet or tester setting quotes); every consumer that
+    needs an absolute temperature must convert through this function so
+    the unit boundary lives in exactly one place. The paper's nominal
+    +27 °C maps to 300.15 K. *)
+val temp_kelvin : t -> float
+
+(** [temp_k] is {!temp_kelvin} — the original (ambiguously named)
+    spelling, kept for existing callers. *)
 val temp_k : t -> float
 
 val with_tcyc : t -> float -> t

@@ -1,5 +1,16 @@
 module C = Dramstress_circuit
 module L = Dramstress_util.Linalg
+module Tel = Dramstress_util.Telemetry
+
+let c_template_rebuilds = Tel.Counter.make "engine.mna.template_rebuilds"
+let c_lu_factors = Tel.Counter.make "engine.mna.lu_factors"
+let c_lu_solves = Tel.Counter.make "engine.mna.lu_solves"
+
+(* one factorization + one substitution happened (the naive Newton path
+   calls this; the incremental path counts inside [solve_in_place]) *)
+let record_factor_solve () =
+  Tel.Counter.incr c_lu_factors;
+  Tel.Counter.incr c_lu_solves
 
 (* Pre-resolved stamp plans: every name lookup and node-to-row mapping is
    done once at [make] time, so the per-iteration hot path only walks
@@ -325,6 +336,7 @@ let assemble_into sys ws ~(opts : Options.t) ~t_now ~x ~reactive =
      || ws.tmpl_gmin <> opts.gmin
      || ws.tmpl_trapezoidal <> trapezoidal
    then begin
+     Tel.Counter.incr c_template_rebuilds;
      rebuild_template sys ws ~opts ~dt:reactive.dt;
      ws.tmpl_valid <- true;
      ws.tmpl_dt <- reactive.dt;
@@ -390,6 +402,7 @@ let assemble_into sys ws ~(opts : Options.t) ~t_now ~x ~reactive =
   done
 
 let solve_in_place ws =
+  record_factor_solve ();
   let lu = L.lu_factor_in_place ws.mat ~perm:ws.perm in
   L.lu_solve_in_place lu ~scratch:ws.scratch ws.rhs
 

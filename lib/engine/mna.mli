@@ -111,3 +111,8 @@ val solution : workspace -> float array
     rule). *)
 val cap_currents :
   t -> opts:Options.t -> x:float array -> reactive:reactive -> float array
+
+(** [record_factor_solve ()] bumps the [engine.mna.lu_factors] /
+    [engine.mna.lu_solves] telemetry counters — called by solver paths
+    that factor outside {!solve_in_place} (the naive reference path). *)
+val record_factor_solve : unit -> unit

@@ -1,22 +1,35 @@
 module L = Dramstress_util.Linalg
+module Tel = Dramstress_util.Telemetry
 
 exception No_convergence of { t : float; iterations : int; worst : float }
+
+let c_solves = Tel.Counter.make "engine.newton.solves"
+let c_iterations = Tel.Counter.make "engine.newton.iterations"
+let c_failures = Tel.Counter.make "engine.newton.failures"
+let c_clamps = Tel.Counter.make "engine.newton.step_clamps"
+
+let h_iterations =
+  Tel.Histogram.make ~unit_:"iters" ~lo:1.0 ~hi:128.0 ~buckets:14
+    "engine.newton.iterations_per_solve"
 
 (* shared convergence bookkeeping: apply the clamped update from [x_new]
    onto [x] and return the worst node-voltage move *)
 let apply_update ~(opts : Options.t) ~n_node_unknowns x x_new =
   let worst = ref 0.0 in
+  let clamped = ref 0 in
   for i = 0 to Array.length x - 1 do
     let dx = x_new.(i) -. x.(i) in
     if i < n_node_unknowns then begin
       let dx_clamped =
         Float.max (-.opts.max_step_v) (Float.min opts.max_step_v dx)
       in
+      if dx_clamped <> dx then incr clamped;
       x.(i) <- x.(i) +. dx_clamped;
       worst := Float.max !worst (Float.abs dx)
     end
     else x.(i) <- x_new.(i)
   done;
+  Tel.Counter.add c_clamps !clamped;
   !worst
 
 let tolerance ~(opts : Options.t) x =
@@ -24,17 +37,30 @@ let tolerance ~(opts : Options.t) x =
   +. (opts.reltol
      *. Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 x)
 
+let record_solve iterations =
+  Tel.Counter.incr c_solves;
+  Tel.Counter.add c_iterations iterations;
+  Tel.Histogram.observe h_iterations (float_of_int iterations)
+
+let fail ~t_now ~iter ~worst =
+  Tel.Counter.incr c_failures;
+  Tel.Counter.add c_iterations iter;
+  raise (No_convergence { t = t_now; iterations = iter; worst })
+
 (* reference path: allocate and factor a fresh system every iteration *)
 let solve_naive sys ~(opts : Options.t) ~t_now ~reactive ~x0 =
   let n_node_unknowns = Mna.n_nodes sys - 1 in
   let x = Array.copy x0 in
   let rec iterate iter =
     let mat, rhs = Mna.assemble sys ~opts ~t_now ~x ~reactive in
+    Mna.record_factor_solve ();
     let x_new = L.lu_solve (L.lu_factor mat) rhs in
     let worst = apply_update ~opts ~n_node_unknowns x x_new in
-    if worst <= tolerance ~opts x then x
-    else if iter >= opts.max_newton then
-      raise (No_convergence { t = t_now; iterations = iter; worst })
+    if worst <= tolerance ~opts x then begin
+      record_solve iter;
+      x
+    end
+    else if iter >= opts.max_newton then fail ~t_now ~iter ~worst
     else iterate (iter + 1)
   in
   iterate 1
@@ -48,9 +74,11 @@ let solve_ws sys ws ~(opts : Options.t) ~t_now ~reactive ~x0 =
     Mna.assemble_into sys ws ~opts ~t_now ~x ~reactive;
     Mna.solve_in_place ws;
     let worst = apply_update ~opts ~n_node_unknowns x (Mna.solution ws) in
-    if worst <= tolerance ~opts x then x
-    else if iter >= opts.max_newton then
-      raise (No_convergence { t = t_now; iterations = iter; worst })
+    if worst <= tolerance ~opts x then begin
+      record_solve iter;
+      x
+    end
+    else if iter >= opts.max_newton then fail ~t_now ~iter ~worst
     else iterate (iter + 1)
   in
   iterate 1

@@ -1,5 +1,14 @@
 module C = Dramstress_circuit
 module I = Dramstress_util.Interp
+module Tel = Dramstress_util.Telemetry
+
+let c_runs = Tel.Counter.make "engine.transient.runs"
+let c_accepted = Tel.Counter.make "engine.transient.steps_accepted"
+let c_rejected = Tel.Counter.make "engine.transient.steps_rejected"
+
+let h_dt =
+  Tel.Histogram.make ~unit_:"s" ~lo:1e-15 ~hi:1e-3 ~buckets:48
+    "engine.transient.dt_s"
 
 type result = {
   times : float array;
@@ -50,6 +59,7 @@ let make_interps times probe_names probe_values =
   tbl
 
 let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
+  Tel.Counter.incr c_runs;
   (match segments with
   | [] -> invalid_arg "Transient.run: no segments"
   | _ ->
@@ -115,12 +125,15 @@ let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
       in
       match Newton.solve sys ~ws ~opts ~t_now ~reactive ~x0:!x () with
       | x_new ->
+        Tel.Counter.incr c_accepted;
+        Tel.Histogram.observe h_dt dt;
         x := x_new;
         prev_cap := Mna.cap_currents sys ~opts ~x:x_new ~reactive;
         prev_v := Mna.voltages sys x_new;
         if t_now >= t_next -. 1e-21 then ()
         else attempt t_now (t_next -. t_now) retries
       | exception Newton.No_convergence { t; iterations; worst } ->
+        Tel.Counter.incr c_rejected;
         if retries > 0 then attempt t_prev (dt /. 2.0) (retries - 1)
         else
           raise
@@ -134,13 +147,19 @@ let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
   ignore
     (List.fold_left
        (fun seg_start (t_end, dt) ->
-         while !t < t_end -. (dt /. 2.0) do
-           let t_next = Float.min t_end (!t +. dt) in
-           advance ~seg_start ~seg_end:t_end !t t_next;
-           t := t_next;
-           record !t
-         done;
-         t := Float.max !t t_end;
+         Tel.with_span "transient.segment"
+           ~attrs:(fun () ->
+             [ ("t_start", Tel.Float seg_start);
+               ("t_end", Tel.Float t_end);
+               ("dt", Tel.Float dt) ])
+           (fun () ->
+             while !t < t_end -. (dt /. 2.0) do
+               let t_next = Float.min t_end (!t +. dt) in
+               advance ~seg_start ~seg_end:t_end !t t_next;
+               t := t_next;
+               record !t
+             done;
+             t := Float.max !t t_end);
          t_end)
        0.0 segments);
   let times_arr = Array.of_list (List.rev !times) in

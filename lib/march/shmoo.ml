@@ -1,5 +1,11 @@
 module S = Dramstress_dram.Stress
+module Sc = Dramstress_dram.Sim_config
 module C = Dramstress_core
+module Tel = Dramstress_util.Telemetry
+
+let h_point =
+  Tel.Histogram.make ~unit_:"ms" ~lo:1e-2 ~hi:1e6 ~buckets:40
+    "core.sweep.point_ms"
 
 type outcome = Pass | Fail | Invalid
 
@@ -12,16 +18,21 @@ type t = {
   defect : Dramstress_defect.Defect.t;
 }
 
-let generate ?tech ?sim ?jobs ~stress ~defect ~detection ~x:(x_axis, x_values)
-    ~y:(y_axis, y_values) () =
+let generate ?tech ?sim ?jobs ?config ~stress ~defect ~detection
+    ~x:(x_axis, x_values) ~y:(y_axis, y_values) () =
   if x_values = [] || y_values = [] then
     invalid_arg "Shmoo.generate: empty axis";
+  let config = Sc.resolve ?tech ?sim ?jobs ?config () in
   let point (yv, xv) =
-    let sc = S.set (S.set stress x_axis xv) y_axis yv in
-    match C.Detection.detects ?tech ?sim ~stress:sc ~defect detection with
-    | true -> Fail
-    | false -> Pass
-    | exception Invalid_argument _ -> Invalid
+    Tel.Histogram.time_ms h_point (fun () ->
+        Tel.with_span "shmoo.point"
+          ~attrs:(fun () -> [ ("x", Tel.Float xv); ("y", Tel.Float yv) ])
+          (fun () ->
+            let sc = S.set (S.set stress x_axis xv) y_axis yv in
+            match C.Detection.detects ~config ~stress:sc ~defect detection with
+            | true -> Fail
+            | false -> Pass
+            | exception Invalid_argument _ -> Invalid))
   in
   (* flatten the grid so all y*x points share one domain pool instead of
      parallelizing row by row *)
@@ -29,7 +40,9 @@ let generate ?tech ?sim ?jobs ~stress ~defect ~detection ~x:(x_axis, x_values)
     List.concat_map (fun yv -> List.map (fun xv -> (yv, xv)) x_values) y_values
   in
   let outcomes =
-    Array.of_list (Dramstress_util.Par.parallel_map ?jobs point coords)
+    Array.of_list
+      (Dramstress_util.Par.parallel_map ~jobs:(Sc.resolve_jobs config) point
+         coords)
   in
   let n_x = List.length x_values in
   let grid =

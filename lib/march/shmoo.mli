@@ -22,13 +22,18 @@ type t = {
 (** [generate ?tech ?sim ?jobs ~stress ~defect ~detection ~x ~y ()]
     sweeps the two axes around the base [stress]; [x] and [y] pair an
     axis with its values. Grid points are evaluated in parallel over at
-    most [jobs] domains (default [Dramstress_util.Par.default_jobs ()];
+    most [jobs] domains (default [Dramstress_util.Par.resolve_jobs];
     [~jobs:1] is sequential). [sim] overrides the solver options of the
-    underlying runs. *)
+    underlying runs. [config] bundles the simulation parameters
+    ({!Dramstress_dram.Sim_config.t}); explicit [?tech ?sim ?jobs]
+    override matching [config] fields. Each grid point observes the
+    shared [core.sweep.point_ms] telemetry histogram and emits a
+    [shmoo.point] span. *)
 val generate :
   ?tech:Dramstress_dram.Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
   ?jobs:int ->
+  ?config:Dramstress_dram.Sim_config.t ->
   stress:Dramstress_dram.Stress.t ->
   defect:Dramstress_defect.Defect.t ->
   detection:Dramstress_core.Detection.t ->

@@ -17,17 +17,19 @@ type ('k, 'v) t = {
   mutable tail : ('k, 'v) node option;  (* least recently used *)
   mutable hits : int;
   mutable misses : int;
+  mutable evictions : int;
 }
 
 let create ?(capacity = 256) () =
   if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
   { capacity; tbl = Hashtbl.create (2 * capacity); head = None; tail = None;
-    hits = 0; misses = 0 }
+    hits = 0; misses = 0; evictions = 0 }
 
 let capacity c = c.capacity
 let length c = Hashtbl.length c.tbl
 let hits c = c.hits
 let misses c = c.misses
+let evictions c = c.evictions
 
 let unlink c node =
   (match node.prev with
@@ -65,7 +67,8 @@ let evict_lru c =
   | None -> ()
   | Some node ->
     unlink c node;
-    Hashtbl.remove c.tbl node.key
+    Hashtbl.remove c.tbl node.key;
+    c.evictions <- c.evictions + 1
 
 let add c key value =
   match Hashtbl.find_opt c.tbl key with
@@ -86,7 +89,8 @@ let clear c =
 
 let reset_stats c =
   c.hits <- 0;
-  c.misses <- 0
+  c.misses <- 0;
+  c.evictions <- 0
 
 (* keys from most to least recently used, for tests and debugging *)
 let keys c =

@@ -33,6 +33,11 @@ val length : ('k, 'v) t -> int
 val hits : ('k, 'v) t -> int
 
 val misses : ('k, 'v) t -> int
+
+(** [evictions c] counts entries silently dropped by capacity pressure
+    since creation or {!reset_stats}. *)
+val evictions : ('k, 'v) t -> int
+
 val reset_stats : ('k, 'v) t -> unit
 
 (** [clear c] drops every entry (statistics are kept). *)

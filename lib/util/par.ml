@@ -6,19 +6,41 @@
    longer than at another). Results are written to per-index slots, so
    output order always matches input order regardless of scheduling. *)
 
-let default_jobs () =
-  match Sys.getenv_opt "DRAMSTRESS_JOBS" with
-  | Some s -> begin
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> n
-    | Some _ | None -> Domain.recommended_domain_count ()
+module Tel = Telemetry
+
+let c_sweeps = Tel.Counter.make "util.par.sweeps"
+let c_tasks = Tel.Counter.make "util.par.tasks"
+let c_domains = Tel.Counter.make "util.par.domains_spawned"
+
+let h_idle =
+  Tel.Histogram.make ~unit_:"ms" ~lo:1e-3 ~hi:1e5 ~buckets:32
+    "util.par.worker_idle_ms"
+
+let h_tasks_per_worker =
+  Tel.Histogram.make ~unit_:"tasks" ~lo:1.0 ~hi:1e6 ~buckets:24
+    "util.par.tasks_per_worker"
+
+(* the single resolution point for every ?jobs in the code base:
+   explicit argument > DRAMSTRESS_JOBS environment > recommended count *)
+let resolve_jobs ?jobs () =
+  match jobs with
+  | Some j -> Int.max 1 j
+  | None -> begin
+    match Sys.getenv_opt "DRAMSTRESS_JOBS" with
+    | Some s -> begin
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ()
+    end
+    | None -> Domain.recommended_domain_count ()
   end
-  | None -> Domain.recommended_domain_count ()
+
+let default_jobs () = resolve_jobs ()
 
 let parallel_map ?jobs f xs =
-  let jobs =
-    match jobs with Some j -> Int.max 1 j | None -> default_jobs ()
-  in
+  let jobs = resolve_jobs ?jobs () in
+  Tel.Counter.incr c_sweeps;
+  Tel.Counter.add c_tasks (List.length xs);
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
@@ -30,23 +52,41 @@ let parallel_map ?jobs f xs =
     let out = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
-    let worker () =
+    (* per-worker completion instants, for the idle-time histogram: a
+       worker is idle from its last item until the slowest worker ends *)
+    let watching = Tel.enabled () in
+    let done_at = Array.make jobs 0.0 in
+    let task_count = Array.make jobs 0 in
+    let worker w () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n && Atomic.get failure = None then begin
           (match f input.(i) with
-          | y -> out.(i) <- Some y
+          | y ->
+            out.(i) <- Some y;
+            task_count.(w) <- task_count.(w) + 1
           | exception e ->
             (* keep the first failure; remaining items are abandoned *)
             ignore (Atomic.compare_and_set failure None (Some e)));
           loop ()
         end
       in
-      loop ()
+      loop ();
+      if watching then done_at.(w) <- Unix.gettimeofday ()
     in
-    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    Tel.Counter.add c_domains (jobs - 1);
+    let helpers = List.init (jobs - 1) (fun w -> Domain.spawn (worker (w + 1))) in
+    worker 0 ();
     List.iter Domain.join helpers;
+    if watching then begin
+      let t_end = Unix.gettimeofday () in
+      Array.iter
+        (fun t -> Tel.Histogram.observe h_idle (1e3 *. Float.max 0.0 (t_end -. t)))
+        done_at;
+      Array.iter
+        (fun c -> Tel.Histogram.observe h_tasks_per_worker (float_of_int c))
+        task_count
+    end;
     (match Atomic.get failure with Some e -> raise e | None -> ());
     Array.to_list
       (Array.map (function Some y -> y | None -> assert false) out)

@@ -3,16 +3,30 @@
     [f] runs concurrently in up to [jobs] domains, so it must be
     domain-safe: pure computations, or computations whose shared state
     is synchronized (the {!Dramstress_dram.Ops} memo cache is
-    mutex-guarded for exactly this reason). *)
+    mutex-guarded for exactly this reason).
 
-(** [default_jobs ()] is the [DRAMSTRESS_JOBS] environment variable when
-    set to a positive integer, otherwise
-    [Domain.recommended_domain_count ()]. A value of [1] disables
-    parallelism everywhere it is used as the default. *)
+    When {!Telemetry} is enabled, every sweep contributes to the
+    [util.par.sweeps] / [util.par.tasks] / [util.par.domains_spawned]
+    counters and the [util.par.worker_idle_ms] /
+    [util.par.tasks_per_worker] histograms. *)
+
+(** [resolve_jobs ?jobs ()] is the single domain-count resolution point
+    used by every sweep layer. Precedence:
+
+    + the explicit [jobs] argument (clamped to at least 1),
+    + the [DRAMSTRESS_JOBS] environment variable when it parses as a
+      positive integer,
+    + [Domain.recommended_domain_count ()].
+
+    A resolved value of [1] disables parallelism everywhere it is used. *)
+val resolve_jobs : ?jobs:int -> unit -> int
+
+(** [default_jobs ()] is [resolve_jobs ()] — kept for callers of the
+    original API; new code should use {!resolve_jobs}. *)
 val default_jobs : unit -> int
 
 (** [parallel_map ?jobs f xs] maps [f] over [xs] using up to [jobs]
-    domains (default {!default_jobs}); items are self-scheduled one at a
+    domains (default {!resolve_jobs}); items are self-scheduled one at a
     time so uneven per-item costs balance. The result order matches the
     input order exactly, as with [List.map]. With [jobs = 1] (or on a
     single-core machine, or lists shorter than 2) this degrades to
