@@ -148,6 +148,41 @@ let with_telemetry finish f =
     raise e
 
 (* ------------------------------------------------------------------ *)
+(* checkpointing: --checkpoint / --resume on every subcommand          *)
+(* ------------------------------------------------------------------ *)
+
+module Ck = Dramstress_util.Checkpoint
+
+let checkpoint_arg =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Record per-point sweep results to FILE (JSON lines) as \
+                 the command progresses, so an interrupted run can be \
+                 resumed with $(b,--resume).")
+
+let resume_arg =
+  Arg.(value & flag
+       & info [ "resume" ]
+           ~doc:"Resume from the $(b,--checkpoint) file: replay its \
+                 finished points and append new ones. Without \
+                 $(b,--resume) an existing checkpoint file is \
+                 truncated.")
+
+let checkpoint_setup path resume =
+  match (path, resume) with
+  | None, true -> failwith "--resume requires --checkpoint FILE"
+  | None, false -> None
+  | Some path, resume -> Some (Ck.open_ ~resume path)
+
+let checkpoint_term =
+  Term.(const checkpoint_setup $ checkpoint_arg $ resume_arg)
+
+(* the store must be closed (flushed) whether the command succeeds or
+   dies mid-sweep: the next --resume picks up whatever was recorded *)
+let with_checkpoint ck f =
+  Fun.protect ~finally:(fun () -> Option.iter Ck.close ck) (fun () -> f ck)
+
+(* ------------------------------------------------------------------ *)
 (* run: execute an operation sequence                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -159,8 +194,9 @@ let run_cmd =
   let vc_arg =
     Arg.(value & opt float 0.0 & info [ "vc" ] ~docv:"V" ~doc:"Initial cell voltage.")
   in
-  let run tel seq kind placement r vc tcyc vdd temp duty =
+  let run tel ck seq kind placement r vc tcyc vdd temp duty =
     with_telemetry tel @@ fun () ->
+    with_checkpoint ck @@ fun _ck ->
     let stress = stress_of tcyc vdd temp duty in
     let defect = D.v kind placement r in
     let ops = O.parse_seq seq in
@@ -177,8 +213,9 @@ let run_cmd =
       outcome.O.results
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an operation sequence on a defective column")
-    Term.(const run $ telemetry_term $ seq_arg $ kind_arg $ placement_arg
-          $ r_arg $ vc_arg $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ seq_arg $ kind_arg
+          $ placement_arg $ r_arg $ vc_arg $ tcyc_arg $ vdd_arg $ temp_arg
+          $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* plane: figure 2 / figure 6                                          *)
@@ -191,8 +228,9 @@ let plane_cmd =
              ~doc:"Number of resistance points per plane (default 12); \
                    small values make quick smoke runs.")
   in
-  let run tel kind placement points tcyc vdd temp duty =
+  let run tel ck kind placement points tcyc vdd temp duty =
     with_telemetry tel @@ fun () ->
+    with_checkpoint ck @@ fun checkpoint ->
     let stress = stress_of tcyc vdd temp duty in
     let rops =
       Option.map
@@ -201,11 +239,13 @@ let plane_cmd =
           else Dramstress_util.Grid.logspace 1e3 1e6 n)
         points
     in
-    print_string (C.Report.figure2 ?rops ~stress ~kind ~placement ())
+    print_string
+      (C.Report.figure2 ?checkpoint ?rops ~stress ~kind ~placement ())
   in
   Cmd.v (Cmd.info "plane" ~doc:"Generate the w0/w1/r result planes (Figures 2 and 6)")
-    Term.(const run $ telemetry_term $ kind_arg $ placement_arg $ points_arg
-          $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ kind_arg
+          $ placement_arg $ points_arg $ tcyc_arg $ vdd_arg $ temp_arg
+          $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* br: border resistance                                               *)
@@ -218,8 +258,9 @@ let br_cmd =
              ~doc:"Detection condition, e.g. 'w1 w1 w0 r0'; reads carry \
                    their expected bit. Default: synthesized best.")
   in
-  let run tel kind placement cond tcyc vdd temp duty =
+  let run tel ck kind placement cond tcyc vdd temp duty =
     with_telemetry tel @@ fun () ->
+    with_checkpoint ck @@ fun checkpoint ->
     let stress = stress_of tcyc vdd temp duty in
     match cond with
     | Some s ->
@@ -237,34 +278,36 @@ let br_cmd =
           (String.split_on_char ' ' s |> List.filter (( <> ) ""))
       in
       let detection = C.Detection.v steps in
-      let br = C.Border.search ~stress ~kind ~placement detection in
+      let br = C.Border.search ?checkpoint ~stress ~kind ~placement detection in
       Format.printf "%a under %a: %a@." C.Detection.pp detection S.pp stress
         C.Border.pp_result br
     | None ->
       let detection, br =
-        C.Sc_eval.best_detection ~stress ~kind ~placement ()
+        C.Sc_eval.best_detection ?checkpoint ~stress ~kind ~placement ()
       in
       Format.printf "best detection %a under %a: %a@." C.Detection.pp
         detection S.pp stress C.Border.pp_result br
   in
   Cmd.v (Cmd.info "br" ~doc:"Search the border resistance of a defect")
-    Term.(const run $ telemetry_term $ kind_arg $ placement_arg $ cond_arg
-          $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ kind_arg
+          $ placement_arg $ cond_arg $ tcyc_arg $ vdd_arg $ temp_arg
+          $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stress: full optimization for one defect                            *)
 (* ------------------------------------------------------------------ *)
 
 let stress_cmd =
-  let run tel kind placement tcyc vdd temp duty =
+  let run tel ck kind placement tcyc vdd temp duty =
     with_telemetry tel @@ fun () ->
+    with_checkpoint ck @@ fun checkpoint ->
     let nominal = stress_of tcyc vdd temp duty in
-    let e = C.Sc_eval.evaluate ~nominal ~kind ~placement () in
+    let e = C.Sc_eval.evaluate ?checkpoint ~nominal ~kind ~placement () in
     Format.printf "%a@." C.Sc_eval.pp e
   in
   Cmd.v (Cmd.info "stress" ~doc:"Optimize the stress combination for one defect (Section 4)")
-    Term.(const run $ telemetry_term $ kind_arg $ placement_arg $ tcyc_arg
-          $ vdd_arg $ temp_arg $ duty_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ kind_arg
+          $ placement_arg $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -279,37 +322,39 @@ let table1_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write CSV to FILE.")
   in
-  let run tel quick csv =
+  let run tel ck quick csv =
     with_telemetry tel @@ fun () ->
+    with_checkpoint ck @@ fun checkpoint ->
     let entries =
       if quick then
         List.filter (fun (e : D.entry) -> e.D.id <> "O2" && e.D.id <> "O3")
           D.catalog
       else D.catalog
     in
-    let table = C.Table1.generate ~entries () in
+    let table = C.Table1.generate ?checkpoint ~entries () in
     print_string (C.Table1.render table);
     Option.iter
       (fun file -> Dramstress_util.Csvout.write_file file (C.Table1.to_csv table))
       csv
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 over the defect catalog")
-    Term.(const run $ telemetry_term $ quick_arg $ csv_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ quick_arg $ csv_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shmoo                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let shmoo_cmd =
-  let run tel kind placement r =
+  let run tel ck kind placement r =
     with_telemetry tel @@ fun () ->
+    with_checkpoint ck @@ fun checkpoint ->
     let stress = S.nominal in
     let defect = D.v kind placement r in
     let detection =
       C.Detection.standard ~victim:(D.logical_victim kind placement) ~primes:2
     in
     let shmoo =
-      M.Shmoo.generate ~stress ~defect ~detection
+      M.Shmoo.generate ?checkpoint ~stress ~defect ~detection
         ~x:(S.Cycle_time, Dramstress_util.Grid.linspace 45e-9 75e-9 13)
         ~y:(S.Supply_voltage, Dramstress_util.Grid.linspace 1.8 3.0 9)
         ()
@@ -318,21 +363,25 @@ let shmoo_cmd =
     Printf.printf "fail fraction: %.2f\n" (M.Shmoo.fail_fraction shmoo)
   in
   Cmd.v (Cmd.info "shmoo" ~doc:"Traditional Shmoo plot (Section 2) for a defect")
-    Term.(const run $ telemetry_term $ kind_arg $ placement_arg $ r_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ kind_arg
+          $ placement_arg $ r_arg)
 
 (* ------------------------------------------------------------------ *)
 (* march                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let march_cmd =
-  let run tel kind placement =
+  let run tel ck kind placement =
     with_telemetry tel @@ fun () ->
+    with_checkpoint ck @@ fun checkpoint ->
     let stress = S.nominal in
     let cases =
       M.Coverage.standard_faults
       @ M.Coverage.electrical_faults ~stress ~kind ~placement ()
     in
-    let detection, _ = C.Sc_eval.best_detection ~stress ~kind ~placement () in
+    let detection, _ =
+      C.Sc_eval.best_detection ?checkpoint ~stress ~kind ~placement ()
+    in
     let tests =
       [ M.March.mats_plus; M.March.march_x; M.March.march_y;
         M.March.march_c_minus;
@@ -341,7 +390,8 @@ let march_cmd =
     print_string (M.Coverage.render (M.Coverage.compare_tests tests cases))
   in
   Cmd.v (Cmd.info "march" ~doc:"Fault coverage of standard march tests vs the synthesized condition")
-    Term.(const run $ telemetry_term $ kind_arg $ placement_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ kind_arg
+          $ placement_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sim: transient on a SPICE deck                                      *)
@@ -366,8 +416,9 @@ let sim_cmd =
     Arg.(value & opt_all (pair ~sep:'=' string float) []
          & info [ "ic" ] ~docv:"NODE=V" ~doc:"Initial condition (repeatable).")
   in
-  let run tel deck tstop dt probes ics =
+  let run tel ck deck tstop dt probes ics =
     with_telemetry tel @@ fun () ->
+    with_checkpoint ck @@ fun _ck ->
     let nl = Dramstress_circuit.Spice.parse_file deck in
     let compiled = Dramstress_circuit.Netlist.compile nl in
     let result =
@@ -391,15 +442,18 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Transient-simulate a SPICE deck, CSV to stdout")
-    Term.(const run $ telemetry_term $ deck_arg $ tstop_arg $ dt_arg
-          $ probes_arg $ ic_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ deck_arg $ tstop_arg
+          $ dt_arg $ probes_arg $ ic_arg)
 
 (* ------------------------------------------------------------------ *)
 
 let catalog_cmd =
-  let run tel () = with_telemetry tel (fun () -> print_string (D.describe_figure7 ())) in
+  let run tel ck () =
+    with_telemetry tel @@ fun () ->
+    with_checkpoint ck @@ fun _ck -> print_string (D.describe_figure7 ())
+  in
   Cmd.v (Cmd.info "catalog" ~doc:"Show the defect catalog (Figure 7)")
-    Term.(const run $ telemetry_term $ const ())
+    Term.(const run $ telemetry_term $ checkpoint_term $ const ())
 
 let () =
   let doc = "stress optimization for DRAM cell defect tests (DATE 2003 reproduction)" in

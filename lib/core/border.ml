@@ -2,76 +2,258 @@ module B = Dramstress_util.Bisect
 module G = Dramstress_util.Grid
 module D = Dramstress_defect.Defect
 module U = Dramstress_util.Units
+module O = Dramstress_dram.Ops
+module E = Dramstress_engine
+module Ck = Dramstress_util.Checkpoint
+module Tel = Dramstress_util.Telemetry
+
+let c_skipped = Tel.Counter.make "core.border.skipped_samples"
+let c_unknown_edges = Tel.Counter.make "core.border.unknown_edges"
+
+type edge = Exact of float | Unknown of { lo : float; hi : float }
+
+type band = { b_lo : edge; b_hi : edge }
 
 type result =
   | Br of float
   | Faulty_band of { lo : float; hi : float }
+  | Bands of band list
   | Always_faulty
   | Never_faulty
+  | Unsampled
+
+let pp_edge ppf = function
+  | Exact v -> Format.fprintf ppf "%aOhm" U.pp_si v
+  | Unknown { lo; hi } ->
+    Format.fprintf ppf "?(%aOhm..%aOhm)" U.pp_si lo U.pp_si hi
 
 let pp_result ppf = function
   | Br r -> Format.fprintf ppf "BR ~ %aOhm" U.pp_si r
   | Faulty_band { lo; hi } ->
     Format.fprintf ppf "faulty band %aOhm .. %aOhm" U.pp_si lo U.pp_si hi
+  | Bands bands ->
+    Format.fprintf ppf "faulty bands %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+         (fun ppf { b_lo; b_hi } ->
+           Format.fprintf ppf "%a .. %a" pp_edge b_lo pp_edge b_hi))
+      bands
   | Always_faulty -> Format.pp_print_string ppf "faulty over whole range"
   | Never_faulty -> Format.pp_print_string ppf "not detected"
+  | Unsampled -> Format.pp_print_string ppf "no point could be simulated"
 
-let search ?tech ?config ?(r_min = 1e3) ?(r_max = 1e11) ?(grid_points = 13)
-    ?(rel_tol = 0.01) ~stress ~kind ~placement cond =
-  let detect r =
-    Detection.detects ?tech ?config ~stress ~defect:(D.v kind placement r) cond
+(* geometric midpoint: the resistance axis is logarithmic throughout *)
+let edge_mid = function Exact v -> v | Unknown { lo; hi } -> sqrt (lo *. hi)
+
+(* ------------------------------------------------------------------ *)
+(* Pure classification core                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* [of_samples] turns a scanned grid into the honest band structure.
+   Failed samples ([None]) are skippable: transitions are located
+   between consecutive KNOWN samples only, so one pathological
+   resistance narrows the evidence instead of killing the search. Every
+   detected interval is reported — a detected/undetected/detected
+   pattern yields two bands, not a collapsed single edge. *)
+let of_samples ~refine ~r_min ~r_max samples =
+  let known =
+    List.filter_map (fun (r, o) -> Option.map (fun b -> (r, b)) o) samples
   in
-  let grid = G.logspace r_min r_max grid_points in
-  let outcomes = List.map (fun r -> (r, detect r)) grid in
-  let any_true = List.exists snd outcomes in
-  let all_true = List.for_all snd outcomes in
-  if all_true then Always_faulty
-  else if not any_true then Never_faulty
-  else begin
-    (* refine every adjacent pair whose outcome differs *)
-    let rec edges acc = function
-      | (r0, o0) :: ((r1, o1) :: _ as rest) ->
-        let acc =
-          if o0 <> o1 then
-            B.threshold_log ~rel_tol detect r0 r1 :: acc
-          else acc
-        in
-        edges acc rest
-      | [ _ ] | [] -> List.rev acc
-    in
-    let first_true =
-      match List.find_opt snd outcomes with
-      | Some (r, _) -> r
-      | None -> assert false
-    in
-    ignore first_true;
-    match (edges [] outcomes, snd (List.hd outcomes)) with
-    | [ e ], _ -> Br e
-    | e :: (_ :: _ as more), lo_detected ->
-      let last = List.nth more (List.length more - 1) in
-      if lo_detected then
-        (* detected at r_min, gap in the middle, detected again: report
-           the enclosing coverage conservatively as a single low edge *)
-        Br last
-      else Faulty_band { lo = e; hi = last }
-    | [], _ -> assert false
+  match known with
+  | [] -> Unsampled
+  | (_, first_detected) :: _ ->
+    if List.for_all snd known then Always_faulty
+    else if not (List.exists snd known) then Never_faulty
+    else begin
+      (* transitions between consecutive known samples, tagged with the
+         detection state that holds after the transition *)
+      let rec transitions acc = function
+        | (r0, b0) :: ((r1, b1) :: _ as rest) ->
+          let acc = if b0 <> b1 then (refine r0 r1, b1) :: acc else acc in
+          transitions acc rest
+        | [ _ ] | [] -> List.rev acc
+      in
+      let close bands lo hi = { b_lo = lo; b_hi = hi } :: bands in
+      let bands, open_band =
+        List.fold_left
+          (fun (bands, open_band) (e, detected_after) ->
+            if detected_after then (bands, Some e)
+            else
+              match open_band with
+              | Some lo -> (close bands lo e, None)
+              | None -> (bands, None))
+          ([], if first_detected then Some (Exact r_min) else None)
+          (transitions [] known)
+      in
+      let bands =
+        match open_band with
+        | Some lo -> close bands lo (Exact r_max)
+        | None -> bands
+      in
+      match List.rev bands with
+      | [] -> assert false (* some sample is detected, some is not *)
+      | [ { b_lo = Exact lo; b_hi = Exact hi } ] when lo = r_min ->
+        (* detected from the range start up to a single interior edge *)
+        Br hi
+      | [ { b_lo = Exact lo; b_hi = Exact hi } ] when hi = r_max ->
+        Br lo
+      | [ { b_lo = Exact lo; b_hi = Exact hi } ] -> Faulty_band { lo; hi }
+      | bands -> Bands bands
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Electrical search                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* only genuine solver failures are skippable; anything else is a bug
+   and must propagate *)
+let is_solver_failure = function
+  | E.Transient.Step_failed _ | E.Newton.No_convergence _
+  | O.Exhausted_retries _ ->
+    true
+  | _ -> false
+
+let encode_edge = function
+  | Exact v -> Printf.sprintf "e%h" v
+  | Unknown { lo; hi } -> Printf.sprintf "u%h,%h" lo hi
+
+let decode_edge s =
+  let fl x = float_of_string_opt x in
+  if s = "" then None
+  else
+    match s.[0] with
+    | 'e' -> Option.map (fun v -> Exact v) (fl (String.sub s 1 (String.length s - 1)))
+    | 'u' -> begin
+      match String.split_on_char ',' (String.sub s 1 (String.length s - 1)) with
+      | [ lo; hi ] -> begin
+        match (fl lo, fl hi) with
+        | Some lo, Some hi -> Some (Unknown { lo; hi })
+        | _, _ -> None
+      end
+      | _ -> None
+    end
+    | _ -> None
+
+let encode_result = function
+  | Br v -> Printf.sprintf "br %h" v
+  | Faulty_band { lo; hi } -> Printf.sprintf "band %h %h" lo hi
+  | Bands bands ->
+    "bands "
+    ^ String.concat ";"
+        (List.map
+           (fun { b_lo; b_hi } ->
+             encode_edge b_lo ^ ":" ^ encode_edge b_hi)
+           bands)
+  | Always_faulty -> "always"
+  | Never_faulty -> "never"
+  | Unsampled -> "unsampled"
+
+let decode_result s =
+  match String.split_on_char ' ' s with
+  | [ "always" ] -> Some Always_faulty
+  | [ "never" ] -> Some Never_faulty
+  | [ "unsampled" ] -> Some Unsampled
+  | [ "br"; v ] -> Option.map (fun v -> Br v) (float_of_string_opt v)
+  | [ "band"; lo; hi ] -> begin
+    match (float_of_string_opt lo, float_of_string_opt hi) with
+    | Some lo, Some hi -> Some (Faulty_band { lo; hi })
+    | _, _ -> None
   end
+  | [ "bands"; bands ] -> begin
+    let decode_band b =
+      match String.split_on_char ':' b with
+      | [ lo; hi ] -> begin
+        match (decode_edge lo, decode_edge hi) with
+        | Some b_lo, Some b_hi -> Some { b_lo; b_hi }
+        | _, _ -> None
+      end
+      | _ -> None
+    in
+    let decoded = List.map decode_band (String.split_on_char ';' bands) in
+    if List.for_all Option.is_some decoded then
+      Some (Bands (List.filter_map Fun.id decoded))
+    else None
+  end
+  | _ -> None
+
+let search ?tech ?config ?checkpoint ?(r_min = 1e3) ?(r_max = 1e11)
+    ?(grid_points = 13) ?(rel_tol = 0.01) ~stress ~kind ~placement cond =
+  let compute () =
+    let detect r =
+      Detection.detects ?tech ?config ~stress ~defect:(D.v kind placement r)
+        cond
+    in
+    let try_detect r =
+      match detect r with
+      | b -> Some b
+      | exception e when is_solver_failure e ->
+        Tel.Counter.incr c_skipped;
+        None
+    in
+    let samples =
+      List.map (fun r -> (r, try_detect r)) (G.logspace r_min r_max grid_points)
+    in
+    let refine r0 r1 =
+      (* the bisection revisits resistances near the transition; if one
+         of them is itself unsimulatable the edge position degrades to
+         the bracketing known samples instead of aborting the search *)
+      match B.threshold_log ~rel_tol detect r0 r1 with
+      | v -> Exact v
+      | exception e when is_solver_failure e ->
+        Tel.Counter.incr c_unknown_edges;
+        Unknown { lo = r0; hi = r1 }
+    in
+    of_samples ~refine ~r_min ~r_max samples
+  in
+  match checkpoint with
+  | None -> compute ()
+  | Some _ ->
+    let key =
+      Printf.sprintf "border.search|%s|%h|%h|%d|%h"
+        (Ck.fingerprint (tech, config, stress, kind, placement, cond))
+        r_min r_max grid_points rel_tol
+    in
+    let descr =
+      Format.asprintf "border %a/%a under %a" D.pp_kind kind D.pp_placement
+        placement Dramstress_dram.Stress.pp stress
+    in
+    Ck.memo checkpoint ~key ~descr ~encode:encode_result ~decode:decode_result
+      compute
+
+(* ------------------------------------------------------------------ *)
+(* Coverage arithmetic                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let covered_ranges polarity result ~r_min ~r_max =
+  match (result, polarity) with
+  | (Never_faulty | Unsampled), (D.High_r_fails | D.Low_r_fails) -> []
+  | Always_faulty, (D.High_r_fails | D.Low_r_fails) -> [ (r_min, r_max) ]
+  | Faulty_band { lo; hi }, (D.High_r_fails | D.Low_r_fails) -> [ (lo, hi) ]
+  | Bands bands, (D.High_r_fails | D.Low_r_fails) ->
+    List.map (fun b -> (edge_mid b.b_lo, edge_mid b.b_hi)) bands
+  | Br r, D.High_r_fails -> [ (r, r_max) ]
+  | Br r, D.Low_r_fails -> [ (r_min, r) ]
 
 let covered_range polarity result ~r_min ~r_max =
-  match (result, polarity) with
-  | Never_faulty, (D.High_r_fails | D.Low_r_fails) -> None
-  | Always_faulty, (D.High_r_fails | D.Low_r_fails) -> Some (r_min, r_max)
-  | Faulty_band { lo; hi }, (D.High_r_fails | D.Low_r_fails) -> Some (lo, hi)
-  | Br r, D.High_r_fails -> Some (r, r_max)
-  | Br r, D.Low_r_fails -> Some (r_min, r)
+  match covered_ranges polarity result ~r_min ~r_max with
+  | [] -> None
+  | (lo0, hi0) :: rest ->
+    (* the hull: for multi-band results this overstates the covered area;
+       [covered_ranges] has the honest list *)
+    Some
+      (List.fold_left
+         (fun (lo, hi) (l, h) -> (Float.min lo l, Float.max hi h))
+         (lo0, hi0) rest)
 
 let notional_min = 1e3
 let notional_max = 1e11
 
 let coverage_width polarity result =
-  match covered_range polarity result ~r_min:notional_min ~r_max:notional_max with
-  | None -> 0.0
-  | Some (lo, hi) -> log10 (hi /. lo)
+  List.fold_left
+    (fun acc (lo, hi) ->
+      if hi > lo && lo > 0.0 then acc +. log10 (hi /. lo) else acc)
+    0.0
+    (covered_ranges polarity result ~r_min:notional_min ~r_max:notional_max)
 
 let improvement polarity ~nominal ~stressed =
   match (nominal, stressed) with
@@ -80,17 +262,15 @@ let improvement polarity ~nominal ~stressed =
     | D.High_r_fails -> Some (a /. b)
     | D.Low_r_fails -> Some (b /. a)
   end
-  | Never_faulty, _ | _, Never_faulty -> None
-  | (Br _ | Faulty_band _ | Always_faulty), _ -> begin
-    let width r =
-      match covered_range polarity r ~r_min:notional_min ~r_max:notional_max with
-      | None -> None
-      | Some (lo, hi) -> Some (hi -. lo)
-    in
-    match (width nominal, width stressed) with
-    | Some a, Some b when a > 0.0 -> Some (b /. a)
-    | _, _ -> None
-  end
+  | (Never_faulty | Unsampled), _ | _, (Never_faulty | Unsampled) -> None
+  | (Br _ | Faulty_band _ | Bands _ | Always_faulty), _ ->
+    (* mixed result shapes: compare covered widths in log decades, the
+       same axis [coverage_width] scores on — a linear hi-lo ratio here
+       would contradict the paper's log-resistance axis and make the
+       mixed-shape improvement incommensurable with the BR-ratio case *)
+    let a = coverage_width polarity nominal in
+    let b = coverage_width polarity stressed in
+    if a > 0.0 then Some (b /. a) else None
 
 let better polarity a b =
   coverage_width polarity a > coverage_width polarity b +. 1e-9

@@ -6,26 +6,80 @@
     {e below} it. Some defects (cell-to-cell bridges) are detectable only
     on an interior {e band} of resistances: a hard bridge welds victim
     and aggressor into one node (the victim write rewrites both, hiding
-    the fault), a weak one cannot couple within the test time. *)
+    the fault), a weak one cannot couple within the test time.
+
+    The search is fault tolerant: a grid sample whose transient
+    simulation fails (even after {!Dramstress_dram.Ops.run}'s retry
+    ladder) is skipped rather than aborting the search, and an edge whose
+    bisection fails is reported as {!Unknown} — bounded by the two known
+    samples that bracket it — instead of being silently guessed. *)
+
+(** A detected-band boundary: either bisected to tolerance, or known only
+    to lie between two grid samples because the refinement could not be
+    simulated. *)
+type edge =
+  | Exact of float  (** bisected boundary resistance, ohm *)
+  | Unknown of { lo : float; hi : float }
+      (** boundary somewhere in [[lo, hi]]; refinement failed *)
+
+type band = { b_lo : edge; b_hi : edge }
+(** One contiguous detected-resistance interval. *)
 
 type result =
   | Br of float          (** single boundary resistance, ohm *)
   | Faulty_band of { lo : float; hi : float }
-      (** detected only inside [[lo, hi]] *)
+      (** detected only inside [[lo, hi]], both edges bisected *)
+  | Bands of band list
+      (** two or more detected intervals, or a single interval with an
+          {!Unknown} edge — e.g. a detected/undetected/detected pattern
+          that older revisions collapsed into one bogus boundary *)
   | Always_faulty        (** detected across the whole searched range *)
   | Never_faulty         (** not detected anywhere in the range *)
+  | Unsampled            (** every grid sample failed to simulate *)
 
+val pp_edge : Format.formatter -> edge -> unit
 val pp_result : Format.formatter -> result -> unit
 
-(** [search ?tech ?r_min ?r_max ?grid_points ?rel_tol ~stress ~kind
-    ~placement cond] scans a log grid (default 13 points over
-    [1 kOhm, 100 GOhm]) for detection-outcome changes and refines each
-    edge by bisection to [rel_tol] (default 1%). One edge yields {!Br};
-    an interior detected region yields {!Faulty_band} (its outermost
-    edges, if the outcome flips more than twice). *)
+(** [edge_mid e] is a point estimate of the boundary: the value of an
+    {!Exact} edge, the geometric midpoint of an {!Unknown} bracket (the
+    resistance axis is logarithmic). *)
+val edge_mid : edge -> float
+
+(** [of_samples ~refine ~r_min ~r_max samples] is the pure
+    classification core behind {!search}: [samples] is the scanned grid
+    in ascending resistance order, [None] marking points that could not
+    be simulated; [refine r0 r1] locates the detection edge between two
+    known samples with opposite outcomes. Failed samples are skipped —
+    transitions are taken between consecutive {e known} samples. Exposed
+    for tests. *)
+val of_samples :
+  refine:(float -> float -> edge) ->
+  r_min:float ->
+  r_max:float ->
+  (float * bool option) list ->
+  result
+
+(** [search ?tech ?config ?checkpoint ?r_min ?r_max ?grid_points
+    ?rel_tol ~stress ~kind ~placement cond] scans a log grid (default 13
+    points over [1 kOhm, 100 GOhm]) for detection-outcome changes and
+    refines each edge by bisection to [rel_tol] (default 1%). One edge
+    yields {!Br}; an interior detected region yields {!Faulty_band};
+    multiple regions or unrefinable edges yield {!Bands}.
+
+    Grid samples and edge refinements that fail with a solver error
+    ([Transient.Step_failed], [Newton.No_convergence],
+    [Ops.Exhausted_retries]) are skipped / degraded to {!Unknown} and
+    counted on [core.border.skipped_samples] /
+    [core.border.unknown_edges]; other exceptions propagate.
+
+    [checkpoint] memoizes the whole result in a
+    {!Dramstress_util.Checkpoint} store keyed by every input that can
+    change it, so interrupted campaigns (Table 1, stress optimisation)
+    resume without re-simulating finished searches. *)
 val search :
   ?tech:Dramstress_dram.Tech.t ->
   ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?r_min:float ->
   ?r_max:float ->
   ?grid_points:int ->
@@ -36,20 +90,38 @@ val search :
   Detection.t ->
   result
 
-(** [covered_range polarity result ~r_min ~r_max] is the resistance
-    interval the test detects, per the defect's polarity. *)
+(** [encode_result] / [decode_result] — the compact stable string form
+    used by the checkpoint store ([%h] floats, so round-trips are exact).
+    [decode_result] is total: it returns [None] on any foreign string. *)
+val encode_result : result -> string
+
+val decode_result : string -> result option
+
+(** [covered_ranges polarity result ~r_min ~r_max] is the list of
+    resistance intervals the test detects, per the defect's polarity, in
+    ascending order. {!Unknown} edges contribute their {!edge_mid}. *)
+val covered_ranges :
+  Dramstress_defect.Defect.polarity -> result -> r_min:float -> r_max:float ->
+  (float * float) list
+
+(** [covered_range polarity result ~r_min ~r_max] is the hull of
+    {!covered_ranges} — kept for compatibility; for {!Bands} results it
+    overstates the covered area. *)
 val covered_range :
   Dramstress_defect.Defect.polarity -> result -> r_min:float -> r_max:float ->
   (float * float) option
 
-(** [coverage_width polarity result] is the covered range's width in
-    decades, over the notional [1 kOhm, 100 GOhm] axis. *)
+(** [coverage_width polarity result] is the total covered width in log
+    decades — summed across bands — over the notional
+    [1 kOhm, 100 GOhm] axis. *)
 val coverage_width : Dramstress_defect.Defect.polarity -> result -> float
 
 (** [improvement polarity ~nominal ~stressed] — the growth factor of the
-    covered failing-resistance range: for single boundaries, the BR ratio
-    oriented by polarity; for bands, the linear width ratio. [None] when
-    either side detects nothing. *)
+    covered failing-resistance range: for two single boundaries, the BR
+    ratio oriented by polarity; for any other combination, the ratio of
+    {!coverage_width} values (log decades — the same axis as the BR
+    case, unlike the linear widths older revisions compared). [None]
+    when either side detects nothing. *)
 val improvement :
   Dramstress_defect.Defect.polarity -> nominal:result -> stressed:result ->
   float option

@@ -14,9 +14,11 @@ type t = {
   grid_size : int;
   simulations : int;
   ranking : (S.t * Border.result) list;
+  failures : S.t Dramstress_util.Outcome.failure list;
 }
 
-let optimize ?tech ?jobs ?config ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
+let optimize ?tech ?jobs ?config ?checkpoint
+    ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
     ?(temp_values = [ -33.0; 27.0; 87.0 ])
     ?(vdd_values = [ 2.1; 2.4; 2.7 ]) ~nominal ~kind ~placement detection =
   let config = Sc.resolve ?tech ?jobs ?config () in
@@ -34,21 +36,25 @@ let optimize ?tech ?jobs ?config ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
       tcyc_values
   in
   (* every SC evaluation is independent, so the factorial grid fans out
-     over domains; border searches within each SC stay sequential *)
-  let scored =
-    Dramstress_util.Par.parallel_map ~jobs:(Sc.resolve_jobs config)
-      (fun sc ->
-        Tel.Histogram.time_ms h_point (fun () ->
-            Tel.with_span "exhaustive.point"
-              ~attrs:(fun () ->
-                [ ("tcyc", Tel.Float sc.S.tcyc);
-                  ("temp_c", Tel.Float sc.S.temp_c);
-                  ("vdd", Tel.Float sc.S.vdd) ])
-              (fun () ->
-                ( sc,
-                  Border.search ~config ~stress:sc ~kind ~placement detection
-                ))))
-      combos
+     over domains; border searches within each SC stay sequential. A
+     grid point whose search fails outright becomes a [Failed] slot and
+     the remaining SCs are still ranked. *)
+  let scored, failures =
+    Dramstress_util.Outcome.partition
+      (Dramstress_util.Par.parallel_map_outcomes
+         ~jobs:(Sc.resolve_jobs config) ~retries_of:O.retries_of
+         (fun sc ->
+           Tel.Histogram.time_ms h_point (fun () ->
+               Tel.with_span "exhaustive.point"
+                 ~attrs:(fun () ->
+                   [ ("tcyc", Tel.Float sc.S.tcyc);
+                     ("temp_c", Tel.Float sc.S.temp_c);
+                     ("vdd", Tel.Float sc.S.vdd) ])
+                 (fun () ->
+                   ( sc,
+                     Border.search ?checkpoint ~config ~stress:sc ~kind
+                       ~placement detection ))))
+         combos)
   in
   let ranking =
     List.sort
@@ -59,7 +65,7 @@ let optimize ?tech ?jobs ?config ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
       scored
   in
   match ranking with
-  | [] -> invalid_arg "Exhaustive.optimize: empty grid"
+  | [] -> invalid_arg "Exhaustive.optimize: empty grid or every point failed"
   | (best, best_br) :: _ ->
     {
       best;
@@ -67,6 +73,7 @@ let optimize ?tech ?jobs ?config ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
       grid_size = List.length combos;
       simulations = O.run_count () - before;
       ranking;
+      failures;
     }
 
 type comparison = {
@@ -77,15 +84,17 @@ type comparison = {
   agreement : bool;
 }
 
-let compare_methods ?tech ?config ~nominal ~kind ~placement () =
+let compare_methods ?tech ?config ?checkpoint ~nominal ~kind ~placement () =
   let detection =
     Detection.standard ~victim:(D.logical_victim kind placement) ~primes:2
   in
   let exhaustive =
-    optimize ?tech ?config ~nominal ~kind ~placement detection
+    optimize ?tech ?config ?checkpoint ~nominal ~kind ~placement detection
   in
   let before = O.run_count () in
-  let e = Sc_eval.evaluate ?tech ?config ~nominal ~kind ~placement () in
+  let e =
+    Sc_eval.evaluate ?tech ?config ?checkpoint ~nominal ~kind ~placement ()
+  in
   let probe_simulations = O.run_count () - before in
   let close a b rel = Float.abs (a -. b) <= rel *. Float.abs b +. 1e-12 in
   let agreement =
@@ -105,8 +114,12 @@ let compare_methods ?tech ?config ~nominal ~kind ~placement () =
 
 let pp ppf t =
   Format.fprintf ppf
-    "@[<v2>exhaustive search over %d SCs (%d simulations):@ best: %a -> %a@]"
-    t.grid_size t.simulations S.pp t.best Border.pp_result t.best_br
+    "@[<v2>exhaustive search over %d SCs (%d simulations%s):@ best: %a -> %a@]"
+    t.grid_size t.simulations
+    (match List.length t.failures with
+    | 0 -> ""
+    | n -> Printf.sprintf ", %d points failed" n)
+    S.pp t.best Border.pp_result t.best_br
 
 let pp_comparison ppf c =
   Format.fprintf ppf

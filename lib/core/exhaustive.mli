@@ -14,6 +14,9 @@ type t = {
   simulations : int;        (** electrical runs consumed *)
   ranking : (Dramstress_dram.Stress.t * Border.result) list;
       (** every SC with its BR, most covering first *)
+  failures : Dramstress_dram.Stress.t Dramstress_util.Outcome.failure list;
+      (** grid points whose border search failed outright; the ranking is
+          built from the surviving points *)
 }
 
 (** [optimize ?tech ?tcyc_values ?temp_values ?vdd_values ~nominal ~kind
@@ -27,11 +30,17 @@ type t = {
     ({!Dramstress_dram.Sim_config.t}); explicit [?tech ?jobs] override
     matching [config] fields. Each grid point observes the shared
     [core.sweep.point_ms] telemetry histogram and emits an
-    [exhaustive.point] span. *)
+    [exhaustive.point] span.
+
+    [checkpoint] memoizes each grid point's whole border search, so an
+    interrupted optimization resumes where it stopped. A grid point that
+    still fails lands in [t.failures]; [Invalid_argument] is raised only
+    when the grid is empty or {e no} point survived. *)
 val optimize :
   ?tech:Dramstress_dram.Tech.t ->
   ?jobs:int ->
   ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?tcyc_values:float list ->
   ?temp_values:float list ->
   ?vdd_values:float list ->
@@ -58,6 +67,7 @@ type comparison = {
 val compare_methods :
   ?tech:Dramstress_dram.Tech.t ->
   ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   nominal:Dramstress_dram.Stress.t ->
   kind:Dramstress_defect.Defect.kind ->
   placement:Dramstress_defect.Defect.placement ->

@@ -6,6 +6,8 @@ module B = Dramstress_util.Bisect
 module I = Dramstress_util.Interp
 module G = Dramstress_util.Grid
 module Par = Dramstress_util.Par
+module Out = Dramstress_util.Outcome
+module Ck = Dramstress_util.Checkpoint
 module Tel = Dramstress_util.Telemetry
 
 (* shared by every sweep layer: wall time of one independent sweep point
@@ -33,6 +35,7 @@ type t = {
   vsa_curve : vsa_point list;
   vmp : float;
   rops : float list;
+  failures : float Out.failure list;
   stress : S.t;
 }
 
@@ -81,19 +84,76 @@ let physical_target placement op =
   let logical = match op with O.W0 -> 0 | O.W1 -> 1 | O.R | O.Pause _ -> 1 in
   match placement with D.True_bl -> logical | D.Comp_bl -> 1 - logical
 
-(* the resistance axis is embarrassingly parallel: each point is an
-   independent bisection / transient, so sweeps fan out over domains *)
-let vsa_curve_of ?tech ?sim ?jobs ?config ~stress ~kind ~placement rops =
-  let config = Sc.resolve ?tech ?sim ?jobs ?config () in
-  Par.parallel_map ~jobs:(Sc.resolve_jobs config)
-    (fun r ->
-      sweep_point ~r (fun () ->
-          let defect = D.v kind placement r in
-          { r_sa = r; vsa = vsa ~config ~stress ~defect () }))
-    rops
+(* ------------------------------------------------------------------ *)
+(* Checkpoint payload codecs: [%h] floats so a resumed sweep rebuilds   *)
+(* byte-identical planes                                                *)
+(* ------------------------------------------------------------------ *)
 
-let write_plane ?tech ?sim ?jobs ?config ?(n_ops = 4) ?(rops = default_rops)
-    ~stress ~kind ~placement ~op () =
+let encode_vsa = function
+  | Vsa v -> Printf.sprintf "v%h" v
+  | Reads_all_1 -> "1"
+  | Reads_all_0 -> "0"
+
+let decode_vsa = function
+  | "1" -> Some Reads_all_1
+  | "0" -> Some Reads_all_0
+  | s when String.length s > 1 && s.[0] = 'v' ->
+    Option.map
+      (fun v -> Vsa v)
+      (float_of_string_opt (String.sub s 1 (String.length s - 1)))
+  | _ -> None
+
+let encode_floats vs = String.concat "," (List.map (Printf.sprintf "%h") vs)
+
+let decode_floats s =
+  let parts = if s = "" then [] else String.split_on_char ',' s in
+  let decoded = List.map float_of_string_opt parts in
+  if List.for_all Option.is_some decoded then
+    Some (List.filter_map Fun.id decoded)
+  else None
+
+let encode_write_point (vcs, v) = encode_floats vcs ^ "|" ^ encode_vsa v
+
+let decode_write_point s =
+  match String.split_on_char '|' s with
+  | [ vcs; v ] -> begin
+    match (decode_floats vcs, decode_vsa v) with
+    | Some vcs, Some v -> Some (vcs, v)
+    | _, _ -> None
+  end
+  | _ -> None
+
+let encode_read_point (v, below, above) =
+  encode_vsa v ^ "|" ^ encode_floats below ^ "|" ^ encode_floats above
+
+let decode_read_point s =
+  match String.split_on_char '|' s with
+  | [ v; below; above ] -> begin
+    match (decode_vsa v, decode_floats below, decode_floats above) with
+    | Some v, Some below, Some above -> Some (v, below, above)
+    | _, _, _ -> None
+  end
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Plane sweeps                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* the resistance axis is embarrassingly parallel: each point is an
+   independent bisection / transient, so sweeps fan out over domains.
+   Each point runs through [parallel_map_outcomes]: a point whose
+   simulation still fails after the retry policy becomes a [Failed]
+   slot in [t.failures] instead of aborting the whole plane. *)
+
+let curves_of ~n_ops ~label points =
+  List.init n_ops (fun k ->
+      {
+        label = label k;
+        points = List.map (fun (r, vcs) -> { r; vc = List.nth vcs k }) points;
+      })
+
+let write_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 4)
+    ?(rops = default_rops) ~stress ~kind ~placement ~op () =
   (match op with
   | O.W0 | O.W1 -> ()
   | O.R | O.Pause _ -> invalid_arg "Plane.write_plane: op must be a write");
@@ -103,76 +163,97 @@ let write_plane ?tech ?sim ?jobs ?config ?(n_ops = 4) ?(rops = default_rops)
   let vc_init =
     if physical_target placement op = 0 then stress.S.vdd else 0.0
   in
-  let trajectories =
-    Par.parallel_map ~jobs
+  let base_key =
+    Ck.fingerprint ("plane.write", config, stress, kind, placement, op, n_ops)
+  in
+  let outcomes =
+    Par.parallel_map_outcomes ~jobs ~retries_of:O.retries_of
       (fun r ->
         sweep_point ~r (fun () ->
-            let defect = D.v kind placement r in
-            let outcome =
-              O.run ~config ~stress ~defect ~vc_init
-                (List.init n_ops (fun _ -> op))
+            let vcs, v =
+              Ck.memo checkpoint
+                ~key:(Printf.sprintf "%s|%h" base_key r)
+                ~descr:(Printf.sprintf "write plane r=%g" r)
+                ~encode:encode_write_point ~decode:decode_write_point
+                (fun () ->
+                  let defect = D.v kind placement r in
+                  let outcome =
+                    O.run ~config ~stress ~defect ~vc_init
+                      (List.init n_ops (fun _ -> op))
+                  in
+                  ( List.map (fun res -> res.O.vc_end) outcome.O.results,
+                    vsa ~config ~stress ~defect () ))
             in
-            (r, List.map (fun res -> res.O.vc_end) outcome.O.results)))
+            (r, vcs, v)))
       rops
   in
-  let curves =
-    List.init n_ops (fun k ->
-        {
-          label =
-            Format.asprintf "(%d) %a" (k + 1) O.pp_op op;
-          points =
-            List.map
-              (fun (r, vcs) -> { r; vc = List.nth vcs k })
-              trajectories;
-        })
-  in
+  let points, failures = Out.partition outcomes in
   {
     op;
-    curves;
-    vsa_curve = vsa_curve_of ~config ~stress ~kind ~placement rops;
+    curves =
+      curves_of ~n_ops
+        ~label:(fun k -> Format.asprintf "(%d) %a" (k + 1) O.pp_op op)
+        (List.map (fun (r, vcs, _) -> (r, vcs)) points);
+    vsa_curve = List.map (fun (r, _, v) -> { r_sa = r; vsa = v }) points;
     vmp = vmp ~config ~stress ();
-    rops;
+    rops = List.map (fun (r, _, _) -> r) points;
+    failures;
     stress;
   }
 
-let read_plane ?tech ?sim ?jobs ?config ?(n_ops = 3) ?(rops = default_rops)
-    ?(offset = 0.2) ~stress ~kind ~placement () =
+let read_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 3)
+    ?(rops = default_rops) ?(offset = 0.2) ~stress ~kind ~placement () =
   if n_ops < 1 then invalid_arg "Plane.read_plane: n_ops < 1";
   let config = Sc.resolve ?tech ?sim ?jobs ?config () in
   let jobs = Sc.resolve_jobs config in
-  let vsa_curve = vsa_curve_of ~config ~stress ~kind ~placement rops in
-  let trajectory seed_of =
-    Par.parallel_map ~jobs
-      (fun (r, { vsa = v; _ }) ->
+  let base_key =
+    Ck.fingerprint
+      ("plane.read", config, stress, kind, placement, n_ops, offset)
+  in
+  let outcomes =
+    Par.parallel_map_outcomes ~jobs ~retries_of:O.retries_of
+      (fun r ->
         sweep_point ~r (fun () ->
-            let defect = D.v kind placement r in
-            let seed =
-              Float.max 0.0
-                (Float.min stress.S.vdd (seed_of (vsa_substitute stress v)))
+            let v, below, above =
+              Ck.memo checkpoint
+                ~key:(Printf.sprintf "%s|%h" base_key r)
+                ~descr:(Printf.sprintf "read plane r=%g" r)
+                ~encode:encode_read_point ~decode:decode_read_point
+                (fun () ->
+                  let defect = D.v kind placement r in
+                  let v = vsa ~config ~stress ~defect () in
+                  let trajectory seed_of =
+                    let seed =
+                      Float.max 0.0
+                        (Float.min stress.S.vdd
+                           (seed_of (vsa_substitute stress v)))
+                    in
+                    let outcome =
+                      O.run ~config ~stress ~defect ~vc_init:seed
+                        (List.init n_ops (fun _ -> O.R))
+                    in
+                    List.map (fun res -> res.O.vc_end) outcome.O.results
+                  in
+                  ( v,
+                    trajectory (fun vsa -> vsa -. offset),
+                    trajectory (fun vsa -> vsa +. offset) ))
             in
-            let outcome =
-              O.run ~config ~stress ~defect ~vc_init:seed
-                (List.init n_ops (fun _ -> O.R))
-            in
-            (r, List.map (fun res -> res.O.vc_end) outcome.O.results)))
-      (List.combine rops vsa_curve)
+            (r, v, below, above)))
+      rops
   in
-  let below = trajectory (fun vsa -> vsa -. offset) in
-  let above = trajectory (fun vsa -> vsa +. offset) in
-  let curves_of tag trajectories =
-    List.init n_ops (fun k ->
-        {
-          label = Printf.sprintf "(%d) r %s" (k + 1) tag;
-          points =
-            List.map (fun (r, vcs) -> { r; vc = List.nth vcs k }) trajectories;
-        })
-  in
+  let points, failures = Out.partition outcomes in
+  let below = List.map (fun (r, _, b, _) -> (r, b)) points in
+  let above = List.map (fun (r, _, _, a) -> (r, a)) points in
+  let label tag k = Printf.sprintf "(%d) r %s" (k + 1) tag in
   {
     op = O.R;
-    curves = curves_of "from below Vsa" below @ curves_of "from above Vsa" above;
-    vsa_curve;
+    curves =
+      curves_of ~n_ops ~label:(label "from below Vsa") below
+      @ curves_of ~n_ops ~label:(label "from above Vsa") above;
+    vsa_curve = List.map (fun (r, v, _, _) -> { r_sa = r; vsa = v }) points;
     vmp = vmp ~config ~stress ();
-    rops;
+    rops = List.map (fun (r, _, _, _) -> r) points;
+    failures;
     stress;
   }
 

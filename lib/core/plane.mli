@@ -30,6 +30,12 @@ type t = {
   vsa_curve : vsa_point list;
   vmp : float;                    (** defect-free read threshold *)
   rops : float list;
+      (** the resistances that simulated successfully, ascending; curves
+          and [vsa_curve] are aligned with this list *)
+  failures : float Dramstress_util.Outcome.failure list;
+      (** sweep points whose simulation failed even after the retry
+          policy ({!Dramstress_dram.Sim_config.retry_policy}) ran dry;
+          the plane is built from the surviving points *)
   stress : Dramstress_dram.Stress.t;
 }
 
@@ -76,12 +82,19 @@ val vsa :
 
     When {!Dramstress_util.Telemetry} is enabled, each resistance point
     observes the shared [core.sweep.point_ms] histogram and emits a
-    [plane.point] span. *)
+    [plane.point] span.
+
+    A point that raises — even after {!Dramstress_dram.Ops.run}'s retry
+    ladder — lands in [t.failures] instead of aborting the sweep.
+    [checkpoint] records each finished point ([%h] floats, so resumed
+    planes are byte-identical) in a {!Dramstress_util.Checkpoint} store
+    and replays it on resume. *)
 val write_plane :
   ?tech:Dramstress_dram.Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
   ?jobs:int ->
   ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?n_ops:int ->
   ?rops:float list ->
   stress:Dramstress_dram.Stress.t ->
@@ -94,13 +107,14 @@ val write_plane :
 (** [read_plane ?tech ?n_ops ?rops ?offset ~stress ~kind ~placement ()]
     generates the repeated-read plane: two trajectories per resistance,
     seeded just below and just above [V_sa] (offset defaults to 0.2 V,
-    the paper's choice). [sim], [jobs] and [config] as in
-    {!write_plane}. *)
+    the paper's choice). [sim], [jobs], [config], [checkpoint] and
+    failure handling as in {!write_plane}. *)
 val read_plane :
   ?tech:Dramstress_dram.Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
   ?jobs:int ->
   ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?n_ops:int ->
   ?rops:float list ->
   ?offset:float ->

@@ -27,14 +27,18 @@ let plane_chart ~title (plane : Plane.t) =
     ~title
     (List.mapi series_of_curve plane.Plane.curves @ [ vsa_series ])
 
-let figure2 ?tech ?rops ~stress ~kind ~placement () =
+let figure2 ?tech ?checkpoint ?rops ~stress ~kind ~placement () =
   let w0 =
-    Plane.write_plane ?tech ?rops ~stress ~kind ~placement ~op:O.W0 ()
+    Plane.write_plane ?tech ?checkpoint ?rops ~stress ~kind ~placement
+      ~op:O.W0 ()
   in
   let w1 =
-    Plane.write_plane ?tech ?rops ~stress ~kind ~placement ~op:O.W1 ()
+    Plane.write_plane ?tech ?checkpoint ?rops ~stress ~kind ~placement
+      ~op:O.W1 ()
   in
-  let r = Plane.read_plane ?tech ?rops ~stress ~kind ~placement () in
+  let r =
+    Plane.read_plane ?tech ?checkpoint ?rops ~stress ~kind ~placement ()
+  in
   let br_line =
     match Plane.br_geometric w0 with
     | Some br ->

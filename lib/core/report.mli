@@ -6,6 +6,7 @@
     the geometric BR when the curves cross. *)
 val figure2 :
   ?tech:Dramstress_dram.Tech.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?rops:float list ->
   stress:Dramstress_dram.Stress.t ->
   kind:Dramstress_defect.Defect.kind ->

@@ -31,13 +31,15 @@ let candidate_detections ?(allow_pause = true) ?(pause = 1e-3) ~placement
   | D.Bridge_to_neighbour ->
     standards
 
-let best_detection ?tech ?config ?allow_pause ?pause ~stress ~kind ~placement
-    () =
+let best_detection ?tech ?config ?checkpoint ?allow_pause ?pause ~stress
+    ~kind ~placement () =
   let polarity = D.polarity kind in
   let scored =
     List.map
       (fun cond ->
-        (cond, Border.search ?tech ?config ~stress ~kind ~placement cond))
+        ( cond,
+          Border.search ?tech ?config ?checkpoint ~stress ~kind ~placement
+            cond ))
       (candidate_detections ?allow_pause ?pause ~placement kind)
   in
   match scored with
@@ -48,22 +50,22 @@ let best_detection ?tech ?config ?allow_pause ?pause ~stress ~kind ~placement
         if Border.better polarity b best_b then (c, b) else (best_c, best_b))
       first rest
 
-let evaluate ?tech ?config
+let evaluate ?tech ?config ?checkpoint
     ?(axes = [ S.Cycle_time; S.Temperature; S.Supply_voltage ])
     ?(analysis_r = 200e3) ?pause ~nominal ~kind ~placement () =
   (* retention pauses are part of the stress repertoire, not the nominal
      test: the nominal detection is pause-free *)
   let nominal_detection, nominal_br =
-    best_detection ?tech ?config ~allow_pause:false ?pause ~stress:nominal
-      ~kind ~placement ()
+    best_detection ?tech ?config ?checkpoint ~allow_pause:false ?pause
+      ~stress:nominal ~kind ~placement ()
   in
   (* probe each axis at the nominal point, resolving by BR against the
      nominal best detection *)
   let probes =
     List.map
       (fun axis ->
-        Stressor.probe_axis ?tech ~analysis_r ~stress:nominal ~kind ~placement
-          ~detection:nominal_detection axis
+        Stressor.probe_axis ?tech ?checkpoint ~analysis_r ~stress:nominal
+          ~kind ~placement ~detection:nominal_detection axis
           (Stressor.default_values axis ~stress:nominal))
       axes
   in
@@ -74,7 +76,8 @@ let evaluate ?tech ?config
   in
   (* Section 4.4: re-derive the detection condition under the applied SC *)
   let stressed_detection, stressed_br =
-    best_detection ?tech ?config ?pause ~stress:stressed ~kind ~placement ()
+    best_detection ?tech ?config ?checkpoint ?pause ~stress:stressed ~kind
+      ~placement ()
   in
   let improvement =
     Border.improvement (D.polarity kind) ~nominal:nominal_br

@@ -36,6 +36,7 @@ val candidate_detections :
 val best_detection :
   ?tech:Dramstress_dram.Tech.t ->
   ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?allow_pause:bool ->
   ?pause:float ->
   stress:Dramstress_dram.Stress.t ->
@@ -46,10 +47,13 @@ val best_detection :
 
 (** [evaluate ?tech ?axes ?analysis_r ~nominal ~kind ~placement ()] runs
     the complete flow. [axes] defaults to cycle time, temperature and
-    supply voltage (the paper's three STs). *)
+    supply voltage (the paper's three STs). [checkpoint] memoizes every
+    border search of the flow, so interrupted campaigns (e.g. Table 1)
+    resume without repeating finished searches. *)
 val evaluate :
   ?tech:Dramstress_dram.Tech.t ->
   ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?axes:Dramstress_dram.Stress.axis list ->
   ?analysis_r:float ->
   ?pause:float ->

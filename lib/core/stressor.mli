@@ -43,9 +43,12 @@ type probe = {
     candidate [values] (ordered; at least two). [analysis_r] is the
     defect resistance the probes run at (default 200 kOhm, the paper's
     choice). [epsilon] is the significance floor for calling a direction
-    (default 10 mV). [force_br] always resolves by BR comparison. *)
+    (default 10 mV). [force_br] always resolves by BR comparison.
+    [checkpoint] memoizes the BR searches a conflicting verdict falls
+    back to. *)
 val probe_axis :
   ?tech:Dramstress_dram.Tech.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?analysis_r:float ->
   ?epsilon:float ->
   ?force_br:bool ->

@@ -14,21 +14,29 @@ type row = {
   evaluation : Sc_eval.t;
 }
 
-type t = { rows : row list; nominal : S.t }
+type t = {
+  rows : row list;
+  failures : (string * D.placement) Dramstress_util.Outcome.failure list;
+  nominal : S.t;
+}
 
-let generate ?tech ?jobs ?config ?(nominal = S.nominal)
+let generate ?tech ?jobs ?config ?checkpoint ?(nominal = S.nominal)
     ?(entries = D.catalog) ?(placements = [ D.True_bl; D.Comp_bl ]) ?pause ()
     =
   let config = Sc.resolve ?tech ?jobs ?config () in
-  (* one work item per (defect, placement) row; rows are independent *)
+  (* one work item per (defect, placement) row; rows are independent.
+     A row whose evaluation fails outright becomes a [Failed] slot so
+     one pathological defect cannot sink the whole table. *)
   let work =
     List.concat_map
       (fun (entry : D.entry) ->
         List.map (fun placement -> (entry, placement)) placements)
       entries
   in
-  let rows =
-    Dramstress_util.Par.parallel_map ~jobs:(Sc.resolve_jobs config)
+  let outcomes =
+    Dramstress_util.Par.parallel_map_outcomes
+      ~jobs:(Sc.resolve_jobs config)
+      ~retries_of:Dramstress_dram.Ops.retries_of
       (fun ((entry : D.entry), placement) ->
         Tel.Histogram.time_ms h_point (fun () ->
             Tel.with_span "table1.row"
@@ -41,12 +49,19 @@ let generate ?tech ?jobs ?config ?(nominal = S.nominal)
                   defect_id = entry.D.id;
                   placement;
                   evaluation =
-                    Sc_eval.evaluate ~config ?pause ~nominal
+                    Sc_eval.evaluate ~config ?checkpoint ?pause ~nominal
                       ~kind:entry.D.kind ~placement ();
                 })))
       work
   in
-  { rows; nominal }
+  let rows, failures =
+    Dramstress_util.Outcome.partition
+      (List.map
+         (Dramstress_util.Outcome.map_point
+            (fun ((entry : D.entry), placement) -> (entry.D.id, placement)))
+         outcomes)
+  in
+  { rows; failures; nominal }
 
 let dir_arrow probe =
   match probe.Stressor.verdict with
@@ -54,12 +69,24 @@ let dir_arrow probe =
   | Stressor.Decrease -> "-"
   | Stressor.Neutral -> "="
 
+let edge_string = function
+  | Border.Exact v -> U.si_string v
+  | Border.Unknown { lo; hi } ->
+    Printf.sprintf "?(%s..%s)" (U.si_string lo) (U.si_string hi)
+
 let br_string = function
   | Border.Br r -> U.si_string r
   | Border.Faulty_band { lo; hi } ->
     Printf.sprintf "%s..%s" (U.si_string lo) (U.si_string hi)
+  | Border.Bands bands ->
+    String.concat "+"
+      (List.map
+         (fun { Border.b_lo; b_hi } ->
+           Printf.sprintf "%s..%s" (edge_string b_lo) (edge_string b_hi))
+         bands)
   | Border.Always_faulty -> "all R"
   | Border.Never_faulty -> "none"
+  | Border.Unsampled -> "unsampled"
 
 let render table =
   let buf = Buffer.create 2048 in
@@ -96,6 +123,20 @@ let render table =
     table.rows;
   Buffer.add_string buf
     "\nDirections: + drive the stress up, - drive it down, = no effect.\n";
+  if table.failures <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "\n%d row(s) failed to evaluate:\n"
+         (List.length table.failures));
+    List.iter
+      (fun f ->
+        let id, placement = f.Dramstress_util.Outcome.point in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s %s: %s (after %d retries)\n" id
+             (Format.asprintf "%a" D.pp_placement placement)
+             (Dramstress_util.Outcome.error_message f)
+             f.Dramstress_util.Outcome.retries))
+      table.failures
+  end;
   Buffer.contents buf
 
 let to_csv table =
@@ -103,11 +144,22 @@ let to_csv table =
     [ "defect"; "placement"; "nominal_br_ohm"; "tcyc_dir"; "temp_dir";
       "vdd_dir"; "stressed_br_ohm"; "improvement"; "stressed_detection" ]
   in
+  let edge_csv = function
+    | Border.Exact v -> Printf.sprintf "%.6g" v
+    | Border.Unknown { lo; hi } -> Printf.sprintf "?%.6g..%.6g" lo hi
+  in
   let br_csv = function
     | Border.Br r -> Printf.sprintf "%.6g" r
     | Border.Faulty_band { lo; hi } -> Printf.sprintf "%.6g..%.6g" lo hi
+    | Border.Bands bands ->
+      String.concat "+"
+        (List.map
+           (fun { Border.b_lo; b_hi } ->
+             Printf.sprintf "%s..%s" (edge_csv b_lo) (edge_csv b_hi))
+           bands)
     | Border.Always_faulty -> "always"
     | Border.Never_faulty -> "never"
+    | Border.Unsampled -> "unsampled"
   in
   let rows =
     List.map

@@ -7,7 +7,15 @@ type row = {
   evaluation : Sc_eval.t;
 }
 
-type t = { rows : row list; nominal : Dramstress_dram.Stress.t }
+type t = {
+  rows : row list;
+  failures :
+    (string * Dramstress_defect.Defect.placement)
+    Dramstress_util.Outcome.failure list;
+      (** (defect id, placement) rows whose evaluation failed even after
+          the retry policy; the table is built from the surviving rows *)
+  nominal : Dramstress_dram.Stress.t;
+}
 
 (** [generate ?tech ?jobs ?nominal ?entries ?placements ()] runs the full
     optimization for every catalog entry and placement. The three opens
@@ -19,11 +27,16 @@ type t = { rows : row list; nominal : Dramstress_dram.Stress.t }
     ({!Dramstress_dram.Sim_config.t}); explicit [?tech ?jobs] override
     matching [config] fields. Each row observes the shared
     [core.sweep.point_ms] telemetry histogram and emits a [table1.row]
-    span. *)
+    span.
+
+    [checkpoint] threads a {!Dramstress_util.Checkpoint} store through
+    every border search of every row: an interrupted table regeneration
+    resumes from the finished searches instead of starting over. *)
 val generate :
   ?tech:Dramstress_dram.Tech.t ->
   ?jobs:int ->
   ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?nominal:Dramstress_dram.Stress.t ->
   ?entries:Dramstress_defect.Defect.entry list ->
   ?placements:Dramstress_defect.Defect.placement list ->

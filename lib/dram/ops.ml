@@ -8,6 +8,34 @@ let c_requests = Tel.Counter.make "dram.ops.requests"
 let c_hits = Tel.Counter.make "dram.ops.cache_hits"
 let c_misses = Tel.Counter.make "dram.ops.cache_misses"
 let c_evictions = Tel.Counter.make "dram.ops.cache_evictions"
+let c_retry_attempts = Tel.Counter.make "dram.ops.retry_attempts"
+let c_degraded = Tel.Counter.make "dram.ops.degraded_runs"
+let c_failed = Tel.Counter.make "dram.ops.failed_runs"
+
+(* which escalation stage finally rescued a degraded run: 1 = first
+   retry stage, 2 = second, ... — the policy's effectiveness profile *)
+let h_retry_stage =
+  Tel.Histogram.make ~unit_:"stage" ~lo:1.0 ~hi:16.0 ~buckets:8
+    "dram.ops.retry_success_stage"
+
+exception
+  Exhausted_retries of { error : exn; attempts : int; stages : string list }
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted_retries { error; attempts; stages } ->
+      Some
+        (Printf.sprintf
+           "Ops.Exhausted_retries { %d retry attempts (%s) all failed; last \
+            error: %s }"
+           attempts
+           (String.concat ", " stages)
+           (Printexc.to_string error))
+    | _ -> None)
+
+(* the retry count a sweep layer should attach to a Failed outcome for
+   this error ({!Dramstress_util.Par.parallel_map_outcomes}) *)
+let retries_of = function Exhausted_retries { attempts; _ } -> attempts | _ -> 0
 
 type op = W0 | W1 | R | Pause of float
 
@@ -279,10 +307,12 @@ let rec run ?tech ?sim ?steps_per_cycle ?defect ?(vc_init = 0.0)
       Tel.with_span "ops.run"
         ~attrs:(fun () -> [ ("seq", Tel.Str (seq_to_string ops)) ])
         (fun () ->
-          execute ~tech:cfg.Sim_config.tech ?sim:cfg.Sim_config.sim
-            ~steps_per_cycle:cfg.Sim_config.steps_per_cycle ?defect ~vc_init
-            ?v_neighbour ~stress ops)
+          execute_resilient ~cfg ?defect ~vc_init ?v_neighbour ~stress ops)
     in
+    (* a run rescued by a degraded stage is cached under the BASE config
+       key on purpose: the base configuration cannot produce an outcome
+       at all (it fails), and repeat requests should get the degraded
+       result instantly instead of re-walking the failure ladder *)
     if Cache.is_enabled cache then
       Cache.with_lru cache (fun c ->
           let ev0 = Lru.evictions c in
@@ -290,6 +320,82 @@ let rec run ?tech ?sim ?steps_per_cycle ?defect ?(vc_init = 0.0)
           let d = Lru.evictions c - ev0 in
           if d > 0 then Tel.Counter.add c_evictions d);
     outcome
+
+(* ------------------------------------------------------------------ *)
+(* Retry / degradation ladder                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A solver failure at one awkward resistance must not kill a 10k-point
+   campaign: walk the configured escalation stages, each applied on top
+   of the previous concessions, until one converges or the ladder runs
+   dry (-> Exhausted_retries, which sweep layers convert into a Failed
+   outcome slot). Only genuine convergence failures are retried —
+   programming errors propagate immediately. *)
+and degrade_config (cfg : Sim_config.t) stage =
+  let base_sim = Option.value cfg.Sim_config.sim ~default:E.Options.default in
+  match stage with
+  | Sim_config.Halve_dt ->
+    { cfg with
+      Sim_config.sim =
+        Some
+          { base_sim with
+            E.Options.dt_scale = base_sim.E.Options.dt_scale /. 2.0 } }
+  | Sim_config.Raise_steps factor ->
+    { cfg with
+      Sim_config.steps_per_cycle = cfg.Sim_config.steps_per_cycle * factor }
+  | Sim_config.Damped_newton { max_step_v; max_newton_scale } ->
+    { cfg with
+      Sim_config.sim =
+        Some
+          { base_sim with
+            E.Options.max_step_v;
+            max_newton = base_sim.E.Options.max_newton * max_newton_scale } }
+
+and execute_resilient ~(cfg : Sim_config.t) ?defect ~vc_init ?v_neighbour
+    ~stress ops =
+  let exec (c : Sim_config.t) =
+    execute ~tech:c.Sim_config.tech ?sim:c.Sim_config.sim
+      ~steps_per_cycle:c.Sim_config.steps_per_cycle ?defect ~vc_init
+      ?v_neighbour ~stress ops
+  in
+  let recoverable = function
+    | E.Transient.Step_failed _ | E.Newton.No_convergence _ -> true
+    | _ -> false
+  in
+  try exec cfg
+  with e when recoverable e ->
+    let bt = Printexc.get_raw_backtrace () in
+    let stages = cfg.Sim_config.retry.Sim_config.stages in
+    if stages = [] then Printexc.raise_with_backtrace e bt
+    else begin
+      let rec attempt c stage_idx tried last_err = function
+        | [] ->
+          Tel.Counter.incr c_failed;
+          raise
+            (Exhausted_retries
+               { error = last_err; attempts = List.length tried;
+                 stages = List.rev tried })
+        | stage :: rest -> begin
+          Tel.Counter.incr c_retry_attempts;
+          let c = degrade_config c stage in
+          let tried = Sim_config.stage_name stage :: tried in
+          match
+            Tel.with_span "ops.retry"
+              ~attrs:(fun () ->
+                [ ("stage", Tel.Str (Sim_config.stage_name stage));
+                  ("attempt", Tel.Int stage_idx) ])
+              (fun () -> exec c)
+          with
+          | outcome ->
+            Tel.Counter.incr c_degraded;
+            Tel.Histogram.observe h_retry_stage (float_of_int stage_idx);
+            outcome
+          | exception e when recoverable e ->
+            attempt c (stage_idx + 1) tried e rest
+        end
+      in
+      attempt cfg 1 [] e stages
+    end
 
 and execute ~tech ?sim ~steps_per_cycle ?defect ~vc_init ?v_neighbour ~stress
     ops =

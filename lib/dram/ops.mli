@@ -11,6 +11,23 @@
     and 1s interchanged while the physical behaviour is identical — the
     paper's Table 1 observation. *)
 
+(** Raised by {!run} when a transient solver failure survived every
+    stage of the configured retry/degradation policy
+    ({!Sim_config.retry_policy}): [error] is the last solver exception,
+    [attempts] how many degraded retries ran, [stages] their labels in
+    order. Sweep layers convert this into a
+    {!Dramstress_util.Outcome.Failed} slot rather than letting it abort
+    the campaign. With {!Sim_config.no_retry}, the original solver
+    exception propagates unchanged instead. *)
+exception
+  Exhausted_retries of { error : exn; attempts : int; stages : string list }
+
+(** [retries_of e] is the retry count to attach to a [Failed] outcome
+    for exception [e]: the [attempts] of {!Exhausted_retries}, [0] for
+    anything else. Designed to be passed as [?retries_of] to
+    {!Dramstress_util.Par.parallel_map_outcomes}. *)
+val retries_of : exn -> int
+
 type op =
   | W0            (** write logical 0 *)
   | W1            (** write logical 1 *)
@@ -178,7 +195,18 @@ val cache_stats : unit -> cache_stats
       ({!Sim_config.resolve}).
     - [cache] (default {!Cache.default}) selects the memo cache.
     - The solver temperature is always taken from [stress]
-      ({!Stress.temp_kelvin}), overriding any [sim] temperature. *)
+      ({!Stress.temp_kelvin}), overriding any [sim] temperature.
+
+    On [Transient.Step_failed] / [Newton.No_convergence] the resolved
+    config's retry policy is walked: each stage piles a further
+    concession onto the previous ones (halved dt scale, multiplied
+    steps-per-cycle, damped Newton) and the simulation is retried. A
+    stage that converges returns its outcome — cached under the original
+    request key, so repeats skip the failure ladder; a ladder that runs
+    dry raises {!Exhausted_retries}. Retry activity feeds the
+    [dram.ops.retry_attempts] / [dram.ops.degraded_runs] /
+    [dram.ops.failed_runs] counters and the
+    [dram.ops.retry_success_stage] histogram. *)
 val run :
   ?tech:Tech.t ->
   ?sim:Dramstress_engine.Options.t ->

@@ -1,21 +1,72 @@
+type retry_stage =
+  | Halve_dt
+  | Raise_steps of int
+  | Damped_newton of { max_step_v : float; max_newton_scale : int }
+
+type retry_policy = { stages : retry_stage list }
+
+let no_retry = { stages = [] }
+
+(* escalation order mirrors how a SPICE operator rescues a diverging
+   transient by hand: first a finer first step, then a finer step
+   everywhere, finally a heavily damped Newton that trades iterations
+   for robustness *)
+let default_retry =
+  {
+    stages =
+      [ Halve_dt; Raise_steps 4;
+        Damped_newton { max_step_v = 0.25; max_newton_scale = 4 } ];
+  }
+
+let pp_stage ppf = function
+  | Halve_dt -> Format.pp_print_string ppf "halve-dt"
+  | Raise_steps n -> Format.fprintf ppf "steps-x%d" n
+  | Damped_newton { max_step_v; max_newton_scale } ->
+    Format.fprintf ppf "damped-newton(%.3gV,x%d)" max_step_v max_newton_scale
+
+let stage_name s = Format.asprintf "%a" pp_stage s
+
+let validate_policy p =
+  List.iter
+    (fun stage ->
+      match stage with
+      | Halve_dt -> ()
+      | Raise_steps n ->
+        if n < 2 then invalid_arg "Sim_config: Raise_steps factor < 2"
+      | Damped_newton { max_step_v; max_newton_scale } ->
+        if max_step_v <= 0.0 then
+          invalid_arg "Sim_config: Damped_newton max_step_v <= 0";
+        if max_newton_scale < 1 then
+          invalid_arg "Sim_config: Damped_newton max_newton_scale < 1")
+    p.stages
+
 type t = {
   tech : Tech.t;
   sim : Dramstress_engine.Options.t option;
   steps_per_cycle : int;
   jobs : int option;
+  retry : retry_policy;
 }
 
 let default =
-  { tech = Tech.default; sim = None; steps_per_cycle = 400; jobs = None }
+  {
+    tech = Tech.default;
+    sim = None;
+    steps_per_cycle = 400;
+    jobs = None;
+    retry = default_retry;
+  }
 
-let v ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?jobs () =
+let v ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?jobs
+    ?(retry = default_retry) () =
   if steps_per_cycle < 1 then
     invalid_arg "Sim_config.v: steps_per_cycle < 1";
-  { tech; sim; steps_per_cycle; jobs }
+  validate_policy retry;
+  { tech; sim; steps_per_cycle; jobs; retry }
 
 (* explicit legacy optionals always beat the bundled config, so existing
    call sites keep their meaning when a config is introduced around them *)
-let resolve ?tech ?sim ?steps_per_cycle ?jobs ?config () =
+let resolve ?tech ?sim ?steps_per_cycle ?jobs ?retry ?config () =
   let base = Option.value config ~default in
   let t =
     {
@@ -24,10 +75,12 @@ let resolve ?tech ?sim ?steps_per_cycle ?jobs ?config () =
       steps_per_cycle =
         Option.value steps_per_cycle ~default:base.steps_per_cycle;
       jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
+      retry = Option.value retry ~default:base.retry;
     }
   in
   if t.steps_per_cycle < 1 then
     invalid_arg "Sim_config.resolve: steps_per_cycle < 1";
+  validate_policy t.retry;
   t
 
 let resolve_jobs t = Dramstress_util.Par.resolve_jobs ?jobs:t.jobs ()

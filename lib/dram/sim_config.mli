@@ -10,6 +10,41 @@
     when both are given, an explicit optional overrides the
     corresponding [config] field ({!resolve}). *)
 
+(** {1 Retry / degradation policy}
+
+    What {!Ops.run} does when the transient solver fails on a point
+    ([Transient.Step_failed] / [Newton.No_convergence]): each stage
+    derives a degraded configuration and the run is retried, in order,
+    until one succeeds or the list is exhausted. *)
+
+type retry_stage =
+  | Halve_dt
+      (** retry with the initial time step halved
+          ([Options.dt_scale] x0.5) *)
+  | Raise_steps of int
+      (** retry with [steps_per_cycle] multiplied by the factor
+          (at least 2) *)
+  | Damped_newton of { max_step_v : float; max_newton_scale : int }
+      (** retry with a damped Newton: the per-iteration voltage clamp
+          tightened to [max_step_v] and the iteration cap multiplied by
+          [max_newton_scale] — slow but robust *)
+
+type retry_policy = { stages : retry_stage list }
+
+(** [no_retry] fails immediately, pre-resilience behaviour: the first
+    solver error propagates unchanged. *)
+val no_retry : retry_policy
+
+(** [default_retry] is [Halve_dt], then [Raise_steps 4], then
+    [Damped_newton { max_step_v = 0.25; max_newton_scale = 4 }]. *)
+val default_retry : retry_policy
+
+val pp_stage : Format.formatter -> retry_stage -> unit
+
+(** [stage_name s] — short label used in telemetry and error reports,
+    e.g. ["halve-dt"], ["steps-x4"], ["damped-newton(0.25V,x4)"]. *)
+val stage_name : retry_stage -> string
+
 type t = {
   tech : Tech.t;             (** technology / cell parameters *)
   sim : Dramstress_engine.Options.t option;
@@ -20,33 +55,38 @@ type t = {
       (** domain count for parallel sweeps; [None] defers to
           [DRAMSTRESS_JOBS] then the recommended domain count
           ({!Dramstress_util.Par.resolve_jobs}) *)
+  retry : retry_policy;
+      (** what {!Ops.run} tries when the solver fails on a point *)
 }
 
 (** [default]: {!Tech.default}, engine-default solver options,
-    400 steps per cycle, automatic job count. *)
+    400 steps per cycle, automatic job count, {!default_retry}. *)
 val default : t
 
-(** [v ?tech ?sim ?steps_per_cycle ?jobs ()] builds a config; omitted
-    fields take their {!default} values. Raises [Invalid_argument] if
-    [steps_per_cycle < 1]. *)
+(** [v ?tech ?sim ?steps_per_cycle ?jobs ?retry ()] builds a config;
+    omitted fields take their {!default} values. Raises
+    [Invalid_argument] if [steps_per_cycle < 1] or the retry policy has
+    an invalid stage. *)
 val v :
   ?tech:Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
   ?steps_per_cycle:int ->
   ?jobs:int ->
+  ?retry:retry_policy ->
   unit ->
   t
 
-(** [resolve ?tech ?sim ?steps_per_cycle ?jobs ?config ()] merges the
-    legacy loose optionals with a bundled [config]: an explicit optional
-    wins over the matching [config] field, which wins over {!default}.
-    This is the single merge point used by every API that accepts both
-    styles. *)
+(** [resolve ?tech ?sim ?steps_per_cycle ?jobs ?retry ?config ()] merges
+    the legacy loose optionals with a bundled [config]: an explicit
+    optional wins over the matching [config] field, which wins over
+    {!default}. This is the single merge point used by every API that
+    accepts both styles. *)
 val resolve :
   ?tech:Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
   ?steps_per_cycle:int ->
   ?jobs:int ->
+  ?retry:retry_policy ->
   ?config:t ->
   unit ->
   t

@@ -9,6 +9,7 @@ type t = {
   temp : float;
   integrator : integrator;
   naive_assembly : bool;
+  dt_scale : float;
 }
 
 let default =
@@ -21,4 +22,5 @@ let default =
     temp = 300.15;
     integrator = Backward_euler;
     naive_assembly = false;
+    dt_scale = 1.0;
   }

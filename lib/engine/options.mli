@@ -15,8 +15,16 @@ type t = {
           path instead of the incremental workspace engine. Slower;
           kept alive as the golden baseline for regression tests and
           A/B benchmarks. *)
+  dt_scale : float;
+      (** multiplier applied to every transient segment's nominal time
+          step (must be positive; default 1.0). Values below 1 refine
+          the integration uniformly without touching the segment plan —
+          the knob the retry/degradation policy
+          ({!Dramstress_dram.Sim_config.retry_policy}) uses to halve the
+          initial dt after a Newton failure. *)
 }
 
 (** Defaults: abstol 1e-6 V, reltol 1e-4, 80 Newton iterations, gmin 1e-12 S,
-    1.0 V step clamp, 300.15 K, backward Euler, incremental assembly. *)
+    1.0 V step clamp, 300.15 K, backward Euler, incremental assembly,
+    dt_scale 1.0. *)
 val default : t

@@ -60,6 +60,16 @@ let make_interps times probe_names probe_values =
 
 let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
   Tel.Counter.incr c_runs;
+  if not (opts.Options.dt_scale > 0.0) then
+    invalid_arg "Transient.run: dt_scale must be positive";
+  (* the degradation knob: refine every segment's nominal step uniformly
+     without touching the segment plan itself *)
+  let segments =
+    if opts.Options.dt_scale = 1.0 then segments
+    else
+      List.map (fun (t_end, dt) -> (t_end, dt *. opts.Options.dt_scale))
+        segments
+  in
   (match segments with
   | [] -> invalid_arg "Transient.run: no segments"
   | _ ->

@@ -1,13 +1,31 @@
 module S = Dramstress_dram.Stress
 module Sc = Dramstress_dram.Sim_config
+module O = Dramstress_dram.Ops
+module E = Dramstress_engine
 module C = Dramstress_core
+module Ck = Dramstress_util.Checkpoint
 module Tel = Dramstress_util.Telemetry
 
 let h_point =
   Tel.Histogram.make ~unit_:"ms" ~lo:1e-2 ~hi:1e6 ~buckets:40
     "core.sweep.point_ms"
 
-type outcome = Pass | Fail | Invalid
+let c_errored = Tel.Counter.make "march.shmoo.errored_points"
+
+type outcome = Pass | Fail | Invalid | Errored
+
+let encode_outcome = function
+  | Pass -> "p"
+  | Fail -> "f"
+  | Invalid -> "i"
+  | Errored -> "e"
+
+let decode_outcome = function
+  | "p" -> Some Pass
+  | "f" -> Some Fail
+  | "i" -> Some Invalid
+  | "e" -> Some Errored
+  | _ -> None
 
 type t = {
   x_axis : S.axis;
@@ -18,21 +36,44 @@ type t = {
   defect : Dramstress_defect.Defect.t;
 }
 
-let generate ?tech ?sim ?jobs ?config ~stress ~defect ~detection
+let is_solver_failure = function
+  | E.Transient.Step_failed _ | E.Newton.No_convergence _
+  | O.Exhausted_retries _ ->
+    true
+  | _ -> false
+
+let generate ?tech ?sim ?jobs ?config ?checkpoint ~stress ~defect ~detection
     ~x:(x_axis, x_values) ~y:(y_axis, y_values) () =
   if x_values = [] || y_values = [] then
     invalid_arg "Shmoo.generate: empty axis";
   let config = Sc.resolve ?tech ?sim ?jobs ?config () in
+  let base_key =
+    Ck.fingerprint
+      ("shmoo", config, stress, defect, detection, x_axis, y_axis)
+  in
   let point (yv, xv) =
     Tel.Histogram.time_ms h_point (fun () ->
         Tel.with_span "shmoo.point"
           ~attrs:(fun () -> [ ("x", Tel.Float xv); ("y", Tel.Float yv) ])
           (fun () ->
-            let sc = S.set (S.set stress x_axis xv) y_axis yv in
-            match C.Detection.detects ~config ~stress:sc ~defect detection with
-            | true -> Fail
-            | false -> Pass
-            | exception Invalid_argument _ -> Invalid))
+            Ck.memo checkpoint
+              ~key:(Printf.sprintf "%s|%h|%h" base_key yv xv)
+              ~descr:(Printf.sprintf "shmoo cell x=%g y=%g" xv yv)
+              ~encode:encode_outcome ~decode:decode_outcome
+              (fun () ->
+                let sc = S.set (S.set stress x_axis xv) y_axis yv in
+                match
+                  C.Detection.detects ~config ~stress:sc ~defect detection
+                with
+                | true -> Fail
+                | false -> Pass
+                | exception Invalid_argument _ -> Invalid
+                | exception e when is_solver_failure e ->
+                  (* the SC is nominally operable but the solver cannot
+                     follow it even degraded: an honest separate verdict,
+                     not a silent Pass or Invalid *)
+                  Tel.Counter.incr c_errored;
+                  Errored)))
   in
   (* flatten the grid so all y*x points share one domain pool instead of
      parallelizing row by row *)
@@ -60,7 +101,7 @@ let fail_fraction shmoo =
            incr fails;
            incr valid
          | Pass -> incr valid
-         | Invalid -> ()))
+         | Invalid | Errored -> ()))
     shmoo.grid;
   if !valid = 0 then 0.0 else float_of_int !fails /. float_of_int !valid
 
@@ -82,4 +123,5 @@ let render shmoo =
       match shmoo.grid.(r).(c) with
       | Pass -> '.'
       | Fail -> 'X'
-      | Invalid -> '?')
+      | Invalid -> '?'
+      | Errored -> '!')

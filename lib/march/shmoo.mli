@@ -9,6 +9,9 @@ type outcome =
   | Pass        (** test passes: the defect is NOT caught here *)
   | Fail        (** test fails: the defect is caught *)
   | Invalid     (** the SC is not operable (e.g. cycle too short) *)
+  | Errored
+      (** the solver could not simulate the cell even after the retry
+          policy; counted on [march.shmoo.errored_points] *)
 
 type t = {
   x_axis : Dramstress_dram.Stress.axis;
@@ -28,12 +31,18 @@ type t = {
     ({!Dramstress_dram.Sim_config.t}); explicit [?tech ?sim ?jobs]
     override matching [config] fields. Each grid point observes the
     shared [core.sweep.point_ms] telemetry histogram and emits a
-    [shmoo.point] span. *)
+    [shmoo.point] span.
+
+    A grid cell whose simulation fails with a solver error (even after
+    the retry policy) renders as {!Errored} instead of aborting the
+    plot. [checkpoint] records each finished cell in a
+    {!Dramstress_util.Checkpoint} store so interrupted plots resume. *)
 val generate :
   ?tech:Dramstress_dram.Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
   ?jobs:int ->
   ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
   stress:Dramstress_dram.Stress.t ->
   defect:Dramstress_defect.Defect.t ->
   detection:Dramstress_core.Detection.t ->
@@ -42,9 +51,10 @@ val generate :
   unit ->
   t
 
-(** [fail_fraction shmoo] is the share of operable points that fail. *)
+(** [fail_fraction shmoo] is the share of operable points that fail;
+    {!Invalid} and {!Errored} cells are excluded from the base. *)
 val fail_fraction : t -> float
 
 (** [render shmoo] draws the classic character plot: ['.'] pass,
-    ['X'] fail, ['?'] invalid. *)
+    ['X'] fail, ['?'] invalid, ['!'] errored. *)
 val render : t -> string

@@ -1,0 +1,162 @@
+(* Incremental JSONL checkpoint store for resumable sweeps.
+
+   One record per completed sweep point, appended and flushed as soon as
+   the point finishes, so a killed process loses at most the points that
+   were still in flight. Records are keyed by a stable digest of a
+   canonical point descriptor; on resume the file is replayed into a
+   hash table and already-completed points are served from it instead of
+   being recomputed.
+
+   A truncated final line — the signature of a kill mid-write — is
+   skipped on load rather than failing the resume. *)
+
+module Tel = Telemetry
+
+let c_hits = Tel.Counter.make "util.checkpoint.hits"
+let c_misses = Tel.Counter.make "util.checkpoint.misses"
+let c_records = Tel.Counter.make "util.checkpoint.records"
+let c_loaded = Tel.Counter.make "util.checkpoint.loaded"
+let c_skipped = Tel.Counter.make "util.checkpoint.malformed_lines"
+
+type t = {
+  path : string;
+  lock : Mutex.t;
+  table : (string, string) Hashtbl.t;
+  mutable oc : out_channel option;
+}
+
+let digest_key s = Digest.to_hex (Digest.string s)
+
+let fingerprint v = Digest.to_hex (Digest.string (Marshal.to_string v []))
+
+(* minimal JSON-string unescape, inverse of Telemetry.json_escape *)
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      match s.[i] with
+      | '\\' when i + 1 < n -> begin
+        match s.[i + 1] with
+        | '"' -> Buffer.add_char buf '"'; go (i + 2)
+        | '\\' -> Buffer.add_char buf '\\'; go (i + 2)
+        | 'n' -> Buffer.add_char buf '\n'; go (i + 2)
+        | 'r' -> Buffer.add_char buf '\r'; go (i + 2)
+        | 't' -> Buffer.add_char buf '\t'; go (i + 2)
+        | 'u' when i + 5 < n ->
+          (match int_of_string_opt ("0x" ^ String.sub s (i + 2) 4) with
+          | Some code when code < 0x100 -> Buffer.add_char buf (Char.chr code)
+          | Some _ | None -> ());
+          go (i + 6)
+        | c -> Buffer.add_char buf c; go (i + 2)
+      end
+      | c -> Buffer.add_char buf c; go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf
+
+(* extract the value of a top-level string field from one record line;
+   tolerant of anything else on the line *)
+let field line name =
+  let marker = Printf.sprintf "\"%s\":\"" name in
+  let ln = String.length line and lm = String.length marker in
+  let rec find i =
+    if i + lm > ln then None
+    else if String.sub line i lm = marker then begin
+      (* scan to the closing unescaped quote *)
+      let rec close j =
+        if j >= ln then None
+        else if line.[j] = '\\' then close (j + 2)
+        else if line.[j] = '"' then Some j
+        else close (j + 1)
+      in
+      match close (i + lm) with
+      | Some j -> Some (unescape (String.sub line (i + lm) (j - i - lm)))
+      | None -> None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let load_into table path =
+  match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            match (field line "key", field line "value") with
+            | Some k, Some v ->
+              Hashtbl.replace table k v;
+              Tel.Counter.incr c_loaded
+            | _, _ -> if String.trim line <> "" then Tel.Counter.incr c_skipped
+          done
+        with End_of_file -> ())
+
+let open_ ?(resume = false) path =
+  let table = Hashtbl.create 256 in
+  if resume then load_into table path;
+  (* resume appends behind the loaded entries; a fresh run truncates any
+     stale file so old points cannot leak into the new campaign *)
+  let flags =
+    if resume then [ Open_wronly; Open_creat; Open_append ]
+    else [ Open_wronly; Open_creat; Open_trunc ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  { path; lock = Mutex.create (); table; oc = Some oc }
+
+let path t = t.path
+let entries t = Hashtbl.length t.table
+
+let find t key =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key)
+
+let record t ~key ?(descr = "") value =
+  Mutex.protect t.lock (fun () ->
+      if not (Hashtbl.mem t.table key) then begin
+        Hashtbl.replace t.table key value;
+        match t.oc with
+        | None -> ()
+        | Some oc ->
+          let descr_field =
+            if descr = "" then ""
+            else Printf.sprintf "\"descr\":\"%s\"," (Tel.json_escape descr)
+          in
+          Printf.fprintf oc "{%s\"key\":\"%s\",\"value\":\"%s\"}\n" descr_field
+            (Tel.json_escape key) (Tel.json_escape value);
+          (* flush per record: an interrupt loses at most in-flight points *)
+          flush oc;
+          Tel.Counter.incr c_records
+      end)
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        t.oc <- None;
+        close_out_noerr oc)
+
+(* the one helper sweep layers actually call *)
+let memo t ~key ?descr ~encode ~decode f =
+  match t with
+  | None -> f ()
+  | Some t ->
+    let k = digest_key key in
+    let cached =
+      match find t k with
+      | None -> None
+      | Some payload -> decode payload
+    in
+    (match cached with
+    | Some v ->
+      Tel.Counter.incr c_hits;
+      v
+    | None ->
+      Tel.Counter.incr c_misses;
+      let v = f () in
+      record t ~key:k ?descr (encode v);
+      v)

@@ -1,0 +1,70 @@
+(** Incremental JSONL checkpoint store for resumable sweeps.
+
+    Long sweep campaigns (planes, Table 1, Shmoo grids) write one JSONL
+    record per completed point, flushed immediately, so an interrupted
+    run can restart from where it left off: opening the same file with
+    [resume = true] replays the completed points into memory and
+    {!memo} serves them without recomputation.
+
+    Records are [{"descr": ..., "key": ..., "value": ...}] where [key]
+    is a stable digest of a canonical point descriptor ({!digest_key})
+    and [value] is the layer's own compact payload encoding (hex floats,
+    so decoded results are bit-identical to computed ones). A truncated
+    final line — the signature of a kill mid-write — is skipped on load.
+
+    Handles are domain-safe: {!find}/{!record} take an internal lock, so
+    parallel sweep workers ({!Par.parallel_map}) may share one store.
+
+    When {!Telemetry} is enabled, activity feeds the
+    [util.checkpoint.hits] / [misses] / [records] / [loaded] /
+    [malformed_lines] counters. *)
+
+type t
+
+(** [open_ ?resume path] opens a store. With [resume = false] (the
+    default) any existing file at [path] is truncated — a fresh
+    campaign. With [resume = true] existing records are loaded first and
+    new records appended behind them. *)
+val open_ : ?resume:bool -> string -> t
+
+val path : t -> string
+
+(** [entries t] is the number of distinct completed points held. *)
+val entries : t -> int
+
+(** [find t key] looks up a digest key ({!digest_key}). *)
+val find : t -> string -> string option
+
+(** [record t ~key ?descr value] appends one completed point and
+    flushes. Duplicate keys are ignored (first record wins, matching
+    what {!find} would have returned). *)
+val record : t -> key:string -> ?descr:string -> string -> unit
+
+(** [close t] closes the underlying channel; further {!record}s update
+    only the in-memory table. *)
+val close : t -> unit
+
+(** [digest_key descriptor] is the stable hex digest under which a
+    point is stored. [descriptor] should canonically encode everything
+    the point's result depends on. *)
+val digest_key : string -> string
+
+(** [fingerprint v] digests an arbitrary (closure-free) value via its
+    marshalled bytes — a convenient way to fold structured context
+    (technology records, solver options, detection conditions) into a
+    point descriptor. Stable across runs of the same binary. *)
+val fingerprint : 'a -> string
+
+(** [memo t ~key ?descr ~encode ~decode f] is the per-point resume hook:
+    with [t = None] it is just [f ()]; otherwise a decoded stored value
+    if present, else [f ()] recorded under [digest_key key]. [decode]
+    returning [None] (corrupt/foreign payload) falls back to
+    recomputation. *)
+val memo :
+  t option ->
+  key:string ->
+  ?descr:string ->
+  encode:('a -> string) ->
+  decode:(string -> 'a option) ->
+  (unit -> 'a) ->
+  'a

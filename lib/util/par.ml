@@ -11,6 +11,7 @@ module Tel = Telemetry
 let c_sweeps = Tel.Counter.make "util.par.sweeps"
 let c_tasks = Tel.Counter.make "util.par.tasks"
 let c_domains = Tel.Counter.make "util.par.domains_spawned"
+let c_task_failures = Tel.Counter.make "util.par.task_failures"
 
 let h_idle =
   Tel.Histogram.make ~unit_:"ms" ~lo:1e-3 ~hi:1e5 ~buckets:32
@@ -66,8 +67,13 @@ let parallel_map ?jobs f xs =
             out.(i) <- Some y;
             task_count.(w) <- task_count.(w) + 1
           | exception e ->
-            (* keep the first failure; remaining items are abandoned *)
-            ignore (Atomic.compare_and_set failure None (Some e)));
+            (* keep the first failure; remaining items are abandoned.
+               The backtrace must be captured here, in the worker domain
+               that observed the raise — re-raising in the caller with a
+               bare [raise] would rebind the trace to the join site and
+               lose the actual origin *)
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
           loop ()
         end
       in
@@ -87,9 +93,25 @@ let parallel_map ?jobs f xs =
         (fun c -> Tel.Histogram.observe h_tasks_per_worker (float_of_int c))
         task_count
     end;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
     Array.to_list
       (Array.map (function Some y -> y | None -> assert false) out)
 
 let parallel_iter ?jobs f xs =
   ignore (parallel_map ?jobs (fun x -> f x) xs)
+
+(* Per-point fault tolerance: every item completes with a structured
+   outcome instead of the first raise killing the sweep. The inner
+   closure never raises, so [parallel_map]'s abandon path is never
+   taken and all items run. *)
+let parallel_map_outcomes ?jobs ?(retries_of = fun _ -> 0) f xs =
+  parallel_map ?jobs
+    (fun x ->
+      match f x with
+      | y -> Outcome.Ok y
+      | exception e ->
+        Tel.Counter.incr c_task_failures;
+        Outcome.Failed { Outcome.point = x; error = e; retries = retries_of e })
+    xs

@@ -33,8 +33,25 @@ val default_jobs : unit -> int
     sequential [List.map] with no domain spawned.
 
     If [f] raises, the first exception is re-raised in the caller after
-    all domains have drained; remaining unstarted items are skipped. *)
+    all domains have drained; remaining unstarted items are skipped. The
+    original backtrace is captured in the worker domain and restored on
+    re-raise ([Printexc.raise_with_backtrace]), so [OCAMLRUNPARAM=b]
+    shows where the failure actually originated. *)
 val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [parallel_iter ?jobs f xs] is {!parallel_map} ignoring results. *)
 val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+
+(** [parallel_map_outcomes ?jobs ?retries_of f xs] is the fault-tolerant
+    variant: a raise from [f x] becomes [Outcome.Failed] for that slot —
+    counted on [util.par.task_failures] — and every other item still
+    runs. Result order matches input order. [retries_of] extracts the
+    retry count recorded in the failure from the exception (e.g.
+    {!Dramstress_dram.Ops.retries_of} for simulator errors that already
+    went through the degradation policy); it defaults to [fun _ -> 0]. *)
+val parallel_map_outcomes :
+  ?jobs:int ->
+  ?retries_of:(exn -> int) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('a, 'b) Outcome.t list

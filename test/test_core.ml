@@ -137,6 +137,172 @@ let test_border_helpers () =
     Alcotest.(check (float 0.0)) "hi" 1e6 hi
   | None -> Alcotest.fail "expected range")
 
+(* classification core: a synthetic [refine] that bisects geometrically,
+   so expected edge positions are computable in the test *)
+let geo_refine r0 r1 = C.Border.Exact (sqrt (r0 *. r1))
+
+let of_samples = C.Border.of_samples ~refine:geo_refine ~r_min:1e3 ~r_max:1e9
+
+let test_of_samples_single_edges () =
+  (* detected from r_min up to one edge: the band touches the range
+     start, so the honest summary is a single boundary *)
+  (match
+     of_samples
+       [ (1e3, Some true); (1e4, Some true); (1e5, Some false);
+         (1e6, Some false) ]
+   with
+  | C.Border.Br e ->
+    Alcotest.(check (float 0.0)) "edge between the flip" (sqrt (1e4 *. 1e5)) e
+  | other ->
+    Alcotest.failf "expected Br, got %a" C.Border.pp_result other);
+  (* detected from one edge up to r_max *)
+  (match
+     of_samples [ (1e3, Some false); (1e4, Some false); (1e5, Some true) ]
+   with
+  | C.Border.Br e ->
+    Alcotest.(check (float 0.0)) "edge" (sqrt (1e4 *. 1e5)) e
+  | other -> Alcotest.failf "expected Br, got %a" C.Border.pp_result other);
+  (* degenerate grids *)
+  Alcotest.(check bool) "all detected" true
+    (of_samples [ (1e3, Some true); (1e6, Some true) ] = C.Border.Always_faulty);
+  Alcotest.(check bool) "none detected" true
+    (of_samples [ (1e3, Some false); (1e6, Some false) ]
+    = C.Border.Never_faulty);
+  Alcotest.(check bool) "no known sample" true
+    (of_samples [ (1e3, None); (1e6, None) ] = C.Border.Unsampled)
+
+let test_of_samples_interior_band () =
+  match
+    of_samples
+      [ (1e3, Some false); (1e4, Some true); (1e5, Some true);
+        (1e6, Some false) ]
+  with
+  | C.Border.Faulty_band { lo; hi } ->
+    Alcotest.(check (float 0.0)) "lower edge" (sqrt (1e3 *. 1e4)) lo;
+    Alcotest.(check (float 0.0)) "upper edge" (sqrt (1e5 *. 1e6)) hi
+  | other ->
+    Alcotest.failf "expected Faulty_band, got %a" C.Border.pp_result other
+
+let test_of_samples_two_bands () =
+  (* detected / undetected / detected: the multi-edge shape older
+     revisions collapsed into a single bogus [Br last] *)
+  match
+    of_samples
+      [ (1e3, Some true); (1e4, Some false); (1e5, Some false);
+        (1e6, Some true); (1e7, Some true) ]
+  with
+  | C.Border.Bands [ b1; b2 ] ->
+    Alcotest.(check bool) "first band opens at r_min" true
+      (b1.C.Border.b_lo = C.Border.Exact 1e3);
+    Alcotest.(check bool) "first band closes at the first flip" true
+      (b1.C.Border.b_hi = C.Border.Exact (sqrt (1e3 *. 1e4)));
+    Alcotest.(check bool) "second band opens at the second flip" true
+      (b2.C.Border.b_lo = C.Border.Exact (sqrt (1e5 *. 1e6)));
+    Alcotest.(check bool) "second band runs to r_max" true
+      (b2.C.Border.b_hi = C.Border.Exact 1e9)
+  | other -> Alcotest.failf "expected two bands, got %a" C.Border.pp_result other
+
+let test_of_samples_skips_failed () =
+  (* a failed sample between two known ones: the transition is taken
+     between the KNOWN neighbours, not dropped and not fatal *)
+  match
+    of_samples [ (1e3, Some true); (1e4, None); (1e5, Some false) ]
+  with
+  | C.Border.Br e ->
+    Alcotest.(check (float 0.0)) "edge brackets skip the failed point"
+      (sqrt (1e3 *. 1e5)) e
+  | other -> Alcotest.failf "expected Br, got %a" C.Border.pp_result other
+
+let test_of_samples_unknown_edge () =
+  (* refinement failure: the edge degrades to its bracketing samples and
+     the band surfaces as Bands so the uncertainty is visible *)
+  let unknown_refine r0 r1 = C.Border.Unknown { lo = r0; hi = r1 } in
+  (match
+     C.Border.of_samples ~refine:unknown_refine ~r_min:1e3 ~r_max:1e9
+       [ (1e3, Some false); (1e4, Some true); (1e5, Some false) ]
+   with
+  | C.Border.Bands
+      [
+        {
+          b_lo = C.Border.Unknown { lo = l1; hi = h1 };
+          b_hi = C.Border.Unknown { lo = l2; hi = h2 };
+        };
+      ] ->
+    Alcotest.(check (float 0.0)) "lo bracket lo" 1e3 l1;
+    Alcotest.(check (float 0.0)) "lo bracket hi" 1e4 h1;
+    Alcotest.(check (float 0.0)) "hi bracket lo" 1e4 l2;
+    Alcotest.(check (float 0.0)) "hi bracket hi" 1e5 h2
+  | other ->
+    Alcotest.failf "expected one unknown-edged band, got %a" C.Border.pp_result
+      other);
+  Alcotest.(check (float 0.0)) "edge_mid is geometric" (sqrt (1e3 *. 1e5))
+    (C.Border.edge_mid (C.Border.Unknown { lo = 1e3; hi = 1e5 }))
+
+let test_border_codec_roundtrip () =
+  let results =
+    [
+      C.Border.Br 1.234e5;
+      C.Border.Faulty_band { lo = 3.7e3; hi = 9.81e7 };
+      C.Border.Bands
+        [
+          { b_lo = C.Border.Exact 1e3;
+            b_hi = C.Border.Unknown { lo = 2e3; hi = 5e3 } };
+          { b_lo = C.Border.Exact 4.44e6; b_hi = C.Border.Exact 1e9 };
+        ];
+      C.Border.Always_faulty;
+      C.Border.Never_faulty;
+      C.Border.Unsampled;
+    ]
+  in
+  List.iter
+    (fun r ->
+      let s = C.Border.encode_result r in
+      match C.Border.decode_result s with
+      | Some r' ->
+        Alcotest.(check bool) (Printf.sprintf "roundtrip %s" s) true (r = r')
+      | None -> Alcotest.failf "decode failed on %s" s)
+    results;
+  Alcotest.(check bool) "foreign string rejected" true
+    (C.Border.decode_result "garbage 1 2 3" = None);
+  Alcotest.(check bool) "empty rejected" true (C.Border.decode_result "" = None)
+
+let test_improvement_log_decades () =
+  (* regression for the linear-width fallback: band growth must be
+     measured in log decades, like the BR-ratio case. 1e4..1e5 ->
+     1e4..1e7 is 3x in decades; the old linear (hi - lo) ratio said
+     ~111x *)
+  let pol = D.High_r_fails in
+  (match
+     C.Border.improvement pol
+       ~nominal:(C.Border.Faulty_band { lo = 1e4; hi = 1e5 })
+       ~stressed:(C.Border.Faulty_band { lo = 1e4; hi = 1e7 })
+   with
+  | Some f -> Alcotest.(check (float 1e-9)) "3 decades / 1 decade" 3.0 f
+  | None -> Alcotest.fail "expected improvement");
+  (* mixed Br / band shapes are commensurable on the same axis: Br 1e5
+     covers 1e5..1e11 = 6 decades, the band 1e3..1e9 also 6 decades *)
+  (match
+     C.Border.improvement pol ~nominal:(C.Border.Br 1e5)
+       ~stressed:(C.Border.Faulty_band { lo = 1e3; hi = 1e9 })
+   with
+  | Some f -> Alcotest.(check (float 1e-9)) "equal coverage" 1.0 f
+  | None -> Alcotest.fail "expected improvement");
+  (* Unsampled behaves like Never_faulty: no comparison is honest *)
+  Alcotest.(check bool) "unsampled -> none" true
+    (C.Border.improvement pol ~nominal:C.Border.Unsampled
+       ~stressed:(C.Border.Br 1e5)
+    = None);
+  (* multi-band coverage sums the decades of every band *)
+  let two_bands =
+    C.Border.Bands
+      [
+        { b_lo = C.Border.Exact 1e3; b_hi = C.Border.Exact 1e4 };
+        { b_lo = C.Border.Exact 1e6; b_hi = C.Border.Exact 1e8 };
+      ]
+  in
+  Alcotest.(check (float 1e-9)) "1 + 2 decades" 3.0
+    (C.Border.coverage_width pol two_bands)
+
 (* ------------------------------------------------------------------ *)
 (* Planes                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -230,6 +396,81 @@ let test_read_plane_structure () =
   in
   (* two seeds x two ops *)
   Alcotest.(check int) "four curves" 4 (List.length plane.C.Plane.curves)
+
+let test_plane_survives_injected_failure () =
+  (* the acceptance shape of the resilience tentpole: one point that can
+     never be simulated (negative resistance -> Defect.v raises) must
+     leave exactly one [Failed] slot and a plane built from the rest *)
+  let bad_r = -1.0 in
+  let rops = [ 1e3; bad_r; 1e5; 1e6 ] in
+  let plane =
+    C.Plane.write_plane ~jobs:1 ~n_ops:2 ~rops ~stress:nominal
+      ~kind:open_kind ~placement:D.True_bl ~op:Dramstress_dram.Ops.W0 ()
+  in
+  let module Out = Dramstress_util.Outcome in
+  (match plane.C.Plane.failures with
+  | [ f ] ->
+    Alcotest.(check (float 0.0)) "failed point recorded" bad_r f.Out.point;
+    Alcotest.(check int) "no retries for a non-solver error" 0 f.Out.retries;
+    (match f.Out.error with
+    | Invalid_argument _ -> ()
+    | e -> Alcotest.failf "unexpected error %s" (Printexc.to_string e))
+  | fs -> Alcotest.failf "expected exactly one failure, got %d" (List.length fs));
+  Alcotest.(check (list (float 0.0))) "survivors in order" [ 1e3; 1e5; 1e6 ]
+    plane.C.Plane.rops;
+  List.iter
+    (fun (c : C.Plane.curve) ->
+      Alcotest.(check int) "curves skip the failed point" 3
+        (List.length c.C.Plane.points))
+    plane.C.Plane.curves;
+  Alcotest.(check int) "vsa curve too" 3 (List.length plane.C.Plane.vsa_curve)
+
+let test_plane_checkpoint_resume_identical () =
+  let path = Filename.temp_file "dramstress_plane" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let module Ck = Dramstress_util.Checkpoint in
+      let sweep ?checkpoint () =
+        C.Plane.write_plane ~jobs:1 ~n_ops:2 ~rops:small_rops ?checkpoint
+          ~stress:nominal ~kind:open_kind ~placement:D.True_bl
+          ~op:Dramstress_dram.Ops.W0 ()
+      in
+      let reference = sweep () in
+      let ck = Ck.open_ path in
+      let full = sweep ~checkpoint:ck () in
+      Ck.close ck;
+      Alcotest.(check bool) "checkpointed run matches plain run" true
+        (full = reference);
+      (* simulate a mid-sweep kill: keep only half the records *)
+      let lines =
+        let ic = open_in path in
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+        in
+        go []
+      in
+      Alcotest.(check int) "one record per point" (List.length small_rops)
+        (List.length lines);
+      let keep = List.filteri (fun i _ -> i < 3) lines in
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+      close_out oc;
+      (* resume: recomputes the dropped tail, serves the kept head *)
+      let ck = Ck.open_ ~resume:true path in
+      Alcotest.(check int) "partial store" 3 (Ck.entries ck);
+      let resumed = sweep ~checkpoint:ck () in
+      Ck.close ck;
+      Alcotest.(check bool) "resumed plane identical to uninterrupted" true
+        (resumed = reference);
+      let ck = Ck.open_ ~resume:true path in
+      Alcotest.(check int) "store complete again" (List.length small_rops)
+        (Ck.entries ck);
+      Ck.close ck)
 
 (* ------------------------------------------------------------------ *)
 (* Stressor                                                            *)
@@ -460,6 +701,13 @@ let () =
           tc "true/comp symmetry" test_border_true_comp_symmetry;
           slow "neighbour bridge band" test_border_band_for_neighbour_bridge;
           tc "result helpers" test_border_helpers;
+          tc "of_samples single edges" test_of_samples_single_edges;
+          tc "of_samples interior band" test_of_samples_interior_band;
+          tc "of_samples two bands" test_of_samples_two_bands;
+          tc "of_samples skips failed samples" test_of_samples_skips_failed;
+          tc "of_samples unknown edges" test_of_samples_unknown_edge;
+          tc "result codec roundtrip" test_border_codec_roundtrip;
+          tc "improvement in log decades" test_improvement_log_decades;
         ] );
       ( "planes",
         [
@@ -470,6 +718,10 @@ let () =
           tc "write plane rejects reads" test_write_plane_rejects_read;
           slow "geometric BR vs search BR" test_br_geometric_matches_search;
           tc "read plane structure" test_read_plane_structure;
+          tc "injected failure leaves one Failed slot"
+            test_plane_survives_injected_failure;
+          slow "checkpoint resume is byte-identical"
+            test_plane_checkpoint_resume_identical;
         ] );
       ( "stressor",
         [

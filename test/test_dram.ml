@@ -343,6 +343,83 @@ let test_memo_cache_replays () =
   O.set_cache_capacity 512
 
 (* ------------------------------------------------------------------ *)
+(* Retry / degradation ladder                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Sc = Dramstress_dram.Sim_config
+
+(* a Newton starved to a single iteration cannot converge anywhere — a
+   deterministic solver failure for exercising the ladder without
+   hunting for a pathological resistance *)
+let tight_sim = { E.Options.default with E.Options.max_newton = 1 }
+
+(* restores a workable iteration budget (1 * 100); max_step_v stays at
+   the default, so the rescued solution matches a healthy run *)
+let rescue_stage = Sc.Damped_newton { max_step_v = 1.0; max_newton_scale = 100 }
+
+let run_tight ~retry () =
+  O.run
+    ~config:(Sc.v ~sim:tight_sim ~retry ())
+    ~cache:(O.Cache.create ())
+    ~stress:nominal ~defect:(open_defect 200e3) ~vc_init:2.4 [ O.W0 ]
+
+let test_no_retry_propagates () =
+  match run_tight ~retry:Sc.no_retry () with
+  | _ -> Alcotest.fail "starved solver should not converge"
+  | exception E.Newton.No_convergence _ -> ()
+
+let test_retry_ladder_rescues () =
+  let oc = run_tight ~retry:{ Sc.stages = [ rescue_stage ] } () in
+  let rescued = (List.hd oc.O.results).O.vc_end in
+  let healthy =
+    O.run ~cache:(O.Cache.create ()) ~stress:nominal
+      ~defect:(open_defect 200e3) ~vc_init:2.4 [ O.W0 ]
+  in
+  let reference = (List.hd healthy.O.results).O.vc_end in
+  Alcotest.(check bool)
+    (Printf.sprintf "rescued %.6f ~ healthy %.6f" rescued reference)
+    true
+    (Float.abs (rescued -. reference) < 1e-6)
+
+let test_retry_ladder_exhausts () =
+  match run_tight ~retry:{ Sc.stages = [ Sc.Halve_dt ] } () with
+  | _ -> Alcotest.fail "halved dt cannot fix a starved Newton"
+  | exception O.Exhausted_retries { attempts; stages; error } ->
+    Alcotest.(check int) "one attempt" 1 attempts;
+    Alcotest.(check (list string)) "stage names" [ "halve-dt" ] stages;
+    (match error with
+    | E.Newton.No_convergence _ -> ()
+    | e -> Alcotest.failf "unexpected final error %s" (Printexc.to_string e));
+    Alcotest.(check int) "retries_of reads attempts" 1
+      (O.retries_of (O.Exhausted_retries { error; attempts; stages }));
+    Alcotest.(check int) "retries_of ignores other exceptions" 0
+      (O.retries_of Exit)
+
+let test_retry_telemetry_reconciles () =
+  let module Tel = Dramstress_util.Telemetry in
+  let was = Tel.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Tel.set_enabled was)
+    (fun () ->
+      Tel.set_enabled true;
+      Tel.reset ();
+      (* one rescued run (1 attempt, 1 degraded) and one exhausted run
+         (1 attempt, 1 failed) *)
+      ignore (run_tight ~retry:{ Sc.stages = [ rescue_stage ] } ());
+      (try ignore (run_tight ~retry:{ Sc.stages = [ Sc.Halve_dt ] } ())
+       with O.Exhausted_retries _ -> ());
+      let snap = Tel.snapshot () in
+      let counter name =
+        match List.assoc_opt name snap.Tel.counters with
+        | Some v -> v
+        | None -> Alcotest.failf "counter %s missing from snapshot" name
+      in
+      Alcotest.(check int) "retry_attempts" 2
+        (counter "dram.ops.retry_attempts");
+      Alcotest.(check int) "degraded_runs" 1 (counter "dram.ops.degraded_runs");
+      Alcotest.(check int) "failed_runs" 1 (counter "dram.ops.failed_runs"))
+
+(* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -424,6 +501,13 @@ let () =
         [
           tc "incremental matches naive assembly" test_incremental_matches_naive;
           tc "memo cache replays identical runs" test_memo_cache_replays;
+        ] );
+      ( "retry ladder",
+        [
+          tc "empty policy propagates the error" test_no_retry_propagates;
+          tc "damped stage rescues the run" test_retry_ladder_rescues;
+          tc "exhausted ladder raises" test_retry_ladder_exhausts;
+          tc "telemetry counters reconcile" test_retry_telemetry_reconciles;
         ] );
       ( "properties",
         [

@@ -263,10 +263,10 @@ let test_shmoo_timing_axis () =
   in
   (match shmoo.Sh.grid.(0).(0) with
   | Sh.Fail -> ()
-  | Sh.Pass | Sh.Invalid -> Alcotest.fail "50 ns should fail");
+  | Sh.Pass | Sh.Invalid | Sh.Errored -> Alcotest.fail "50 ns should fail");
   (match shmoo.Sh.grid.(0).(3) with
   | Sh.Pass -> ()
-  | Sh.Fail | Sh.Invalid -> Alcotest.fail "80 ns should pass");
+  | Sh.Fail | Sh.Invalid | Sh.Errored -> Alcotest.fail "80 ns should pass");
   let f = Sh.fail_fraction shmoo in
   Alcotest.(check bool) "fraction interior" true (f > 0.0 && f < 1.0);
   Alcotest.(check bool) "renders" true (String.length (Sh.render shmoo) > 0)
@@ -283,7 +283,7 @@ let test_shmoo_invalid_points () =
   in
   match shmoo.Sh.grid.(0).(0) with
   | Sh.Invalid -> ()
-  | Sh.Pass | Sh.Fail -> Alcotest.fail "expected invalid SC"
+  | Sh.Pass | Sh.Fail | Sh.Errored -> Alcotest.fail "expected invalid SC"
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in

@@ -453,6 +453,238 @@ let test_par_empty_and_singleton () =
 let test_par_default_jobs () =
   Alcotest.(check bool) "at least one domain" true (Par.default_jobs () >= 1)
 
+let test_par_first_failure_wins () =
+  (* at jobs = 1 the sequential path is deterministic: the FIRST failing
+     item's exception is the one re-raised, later failures never run *)
+  let exn_of i = Failure (Printf.sprintf "item %d" i) in
+  Alcotest.check_raises "first failing item propagates" (exn_of 3) (fun () ->
+      ignore
+        (Par.parallel_map ~jobs:1
+           (fun i -> if i >= 3 then raise (exn_of i) else i)
+           (List.init 10 Fun.id)))
+
+let test_par_abandons_after_failure () =
+  (* sequential path: items after the failing one are never started *)
+  let processed = Atomic.make 0 in
+  (try
+     ignore
+       (Par.parallel_map ~jobs:1
+          (fun i ->
+            Atomic.incr processed;
+            if i = 4 then failwith "stop here";
+            i)
+          (List.init 20 Fun.id))
+   with Failure _ -> ());
+  Alcotest.(check int) "items after the failure skipped" 5
+    (Atomic.get processed);
+  (* parallel path: a failure must not hang the sweep, and at least the
+     failing item ran; unstarted tail items may be skipped *)
+  let processed = Atomic.make 0 in
+  (try
+     ignore
+       (Par.parallel_map ~jobs:4
+          (fun i ->
+            Atomic.incr processed;
+            if i = 4 then failwith "stop here";
+            i)
+          (List.init 64 Fun.id))
+   with Failure _ -> ());
+  let n = Atomic.get processed in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel run drained without hanging (%d processed)" n)
+    true
+    (n >= 1 && n <= 64)
+
+let test_par_backtrace_preserved () =
+  (* satellite: worker backtraces survive the cross-domain re-raise.
+     Only meaningful when the runtime records backtraces at all. *)
+  let was = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  Fun.protect
+    ~finally:(fun () -> Printexc.record_backtrace was)
+    (fun () ->
+      let deep_failure x =
+        (* a few frames so the captured trace is non-trivial *)
+        let g y = if y > 2 then failwith "deep" else y in
+        g (x + 10)
+      in
+      List.iter
+        (fun jobs ->
+          match
+            Par.parallel_map ~jobs deep_failure (List.init 8 Fun.id)
+          with
+          | _ -> Alcotest.fail "expected the worker exception"
+          | exception Failure _ ->
+            let bt = Printexc.get_raw_backtrace () in
+            Alcotest.(check bool)
+              (Printf.sprintf "non-empty backtrace at jobs=%d" jobs)
+              true
+              (Printexc.raw_backtrace_length bt > 0))
+        [ 1; 4 ])
+
+module Outcome = Dramstress_util.Outcome
+
+let test_par_outcomes_mixed () =
+  let xs = List.init 30 Fun.id in
+  let f x = if x mod 7 = 3 then failwith (string_of_int x) else x * x in
+  List.iter
+    (fun jobs ->
+      let outs = Par.parallel_map_outcomes ~jobs f xs in
+      Alcotest.(check int) "one outcome per item" (List.length xs)
+        (List.length outs);
+      (* positional: slot i corresponds to input i *)
+      List.iteri
+        (fun i out ->
+          match out with
+          | Outcome.Ok v ->
+            Alcotest.(check bool) "ok slot" true (i mod 7 <> 3);
+            Alcotest.(check int) "payload" (i * i) v
+          | Outcome.Failed { point; error; retries } ->
+            Alcotest.(check bool) "failed slot" true (i mod 7 = 3);
+            Alcotest.(check int) "point is the input" i point;
+            Alcotest.(check int) "default retries" 0 retries;
+            Alcotest.(check string) "error kept"
+              (string_of_int i)
+              (match error with Failure m -> m | _ -> "?"))
+        outs;
+      let oks, fails = Outcome.partition outs in
+      Alcotest.(check int) "ok count" 26 (List.length oks);
+      Alcotest.(check int) "failure count" 4 (List.length fails);
+      Alcotest.(check (list int)) "failures in input order" [ 3; 10; 17; 24 ]
+        (List.map (fun f -> f.Outcome.point) fails))
+    [ 1; 4 ]
+
+let test_par_outcomes_retries_hook () =
+  let outs =
+    Par.parallel_map_outcomes ~jobs:1
+      ~retries_of:(function Failure m -> int_of_string m | _ -> 0)
+      (fun x -> if x = 2 then failwith "5" else x)
+      [ 0; 1; 2; 3 ]
+  in
+  match outs with
+  | [ Ok 0; Ok 1; Failed f; Ok 3 ] ->
+    Alcotest.(check int) "retries extracted from the exception" 5
+      f.Outcome.retries
+  | _ -> Alcotest.fail "unexpected outcome shape"
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Ck = Dramstress_util.Checkpoint
+
+let with_ck_file f =
+  let path = Filename.temp_file "dramstress_ck" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_ck_record_find_roundtrip () =
+  with_ck_file @@ fun path ->
+  let t = Ck.open_ path in
+  let key = Ck.digest_key "point A" in
+  Alcotest.(check (option string)) "miss before record" None (Ck.find t key);
+  Ck.record t ~key ~descr:"point A" "payload-a";
+  Ck.record t ~key:(Ck.digest_key "point B") "payload-b";
+  Alcotest.(check (option string)) "hit" (Some "payload-a") (Ck.find t key);
+  Alcotest.(check int) "two entries" 2 (Ck.entries t);
+  (* duplicate keys: first record wins *)
+  Ck.record t ~key "payload-a2";
+  Alcotest.(check (option string))
+    "first record wins" (Some "payload-a") (Ck.find t key);
+  Ck.close t
+
+let test_ck_fresh_open_truncates () =
+  with_ck_file @@ fun path ->
+  let t = Ck.open_ path in
+  Ck.record t ~key:(Ck.digest_key "k") "v";
+  Ck.close t;
+  let t = Ck.open_ path in
+  (* resume = false: a fresh campaign, prior records gone *)
+  Alcotest.(check int) "truncated" 0 (Ck.entries t);
+  Alcotest.(check (option string))
+    "old record unavailable" None
+    (Ck.find t (Ck.digest_key "k"));
+  Ck.close t
+
+let test_ck_resume_loads () =
+  with_ck_file @@ fun path ->
+  let t = Ck.open_ path in
+  let k1 = Ck.digest_key "p1" and k2 = Ck.digest_key "p2" in
+  Ck.record t ~key:k1 ~descr:"p1" "0x1.8p+1";
+  Ck.record t ~key:k2 "second";
+  Ck.close t;
+  let t = Ck.open_ ~resume:true path in
+  Alcotest.(check int) "both loaded" 2 (Ck.entries t);
+  Alcotest.(check (option string)) "k1" (Some "0x1.8p+1") (Ck.find t k1);
+  Alcotest.(check (option string)) "k2" (Some "second") (Ck.find t k2);
+  (* appends land behind the replayed records *)
+  let k3 = Ck.digest_key "p3" in
+  Ck.record t ~key:k3 "third";
+  Ck.close t;
+  let t = Ck.open_ ~resume:true path in
+  Alcotest.(check int) "append survived" 3 (Ck.entries t);
+  Ck.close t
+
+let test_ck_truncated_final_line () =
+  with_ck_file @@ fun path ->
+  let t = Ck.open_ path in
+  let k1 = Ck.digest_key "whole" in
+  Ck.record t ~key:k1 "intact";
+  Ck.close t;
+  (* simulate a kill mid-write: append half a record, no newline *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"key\":\"deadbeef\",\"va";
+  close_out oc;
+  let t = Ck.open_ ~resume:true path in
+  Alcotest.(check int) "only the intact record" 1 (Ck.entries t);
+  Alcotest.(check (option string)) "intact survives" (Some "intact")
+    (Ck.find t k1);
+  Ck.close t
+
+let test_ck_memo () =
+  with_ck_file @@ fun path ->
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    3.25
+  in
+  let enc = Printf.sprintf "%h" in
+  let dec s = float_of_string_opt s in
+  (* no store: always computes *)
+  let v = Ck.memo None ~key:"k" ~encode:enc ~decode:dec compute in
+  Alcotest.(check (float 0.0)) "passthrough" 3.25 v;
+  Alcotest.(check int) "computed" 1 !calls;
+  let t = Ck.open_ path in
+  let v = Ck.memo (Some t) ~key:"k" ~encode:enc ~decode:dec compute in
+  Alcotest.(check (float 0.0)) "miss computes" 3.25 v;
+  Alcotest.(check int) "computed again" 2 !calls;
+  let v = Ck.memo (Some t) ~key:"k" ~encode:enc ~decode:dec compute in
+  Alcotest.(check (float 0.0)) "hit" 3.25 v;
+  Alcotest.(check int) "served from store" 2 !calls;
+  Ck.close t;
+  (* and across a resume *)
+  let t = Ck.open_ ~resume:true path in
+  let v = Ck.memo (Some t) ~key:"k" ~encode:enc ~decode:dec compute in
+  Alcotest.(check (float 0.0)) "hit after resume" 3.25 v;
+  Alcotest.(check int) "no recomputation" 2 !calls;
+  (* decode refusing the payload falls back to recomputation *)
+  let v =
+    Ck.memo (Some t) ~key:"k" ~encode:enc
+      ~decode:(fun _ -> None)
+      compute
+  in
+  Alcotest.(check (float 0.0)) "fallback value" 3.25 v;
+  Alcotest.(check int) "recomputed on decode failure" 3 !calls;
+  Ck.close t
+
+let test_ck_fingerprint_stable () =
+  let a = Ck.fingerprint ("plane", 1.5, [ 1; 2; 3 ]) in
+  let b = Ck.fingerprint ("plane", 1.5, [ 1; 2; 3 ]) in
+  let c = Ck.fingerprint ("plane", 1.5, [ 1; 2; 4 ]) in
+  Alcotest.(check string) "deterministic" a b;
+  Alcotest.(check bool) "sensitive to the value" true (a <> c)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -485,6 +717,20 @@ let () =
           tc "exceptions propagate" test_par_exception_propagates;
           tc "empty and singleton inputs" test_par_empty_and_singleton;
           tc "default job count" test_par_default_jobs;
+          tc "first failure wins" test_par_first_failure_wins;
+          tc "failure abandons remaining items" test_par_abandons_after_failure;
+          tc "worker backtrace preserved" test_par_backtrace_preserved;
+          tc "outcome variant keeps every slot" test_par_outcomes_mixed;
+          tc "outcome retries_of hook" test_par_outcomes_retries_hook;
+        ] );
+      ( "checkpoint",
+        [
+          tc "record/find roundtrip" test_ck_record_find_roundtrip;
+          tc "fresh open truncates" test_ck_fresh_open_truncates;
+          tc "resume loads prior records" test_ck_resume_loads;
+          tc "truncated final line skipped" test_ck_truncated_final_line;
+          tc "memo hit/miss/fallback" test_ck_memo;
+          tc "fingerprint stability" test_ck_fingerprint_stable;
         ] );
       ( "bisect",
         [
