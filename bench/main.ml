@@ -5,7 +5,7 @@
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- fig3 table1 ...
    Available targets: fig2 fig3 fig4 fig5 fig6 fig7 table1 shmoo perf
-                      ablation resilience *)
+                      ablation resilience health *)
 
 module S = Dramstress_dram.Stress
 module T = Dramstress_dram.Tech
@@ -571,6 +571,164 @@ let resilience () =
       output_string oc json);
   Printf.printf "  wrote BENCH_resilience.json\n"
 
+(* ------------------------------------------------------------------ *)
+
+(* Cost of the numerical health layer: the per-iteration finiteness scan
+   of the Newton state and the per-iteration deadline poll must stay
+   within 2% of the unguarded hot path. Chaos is dormant unless armed
+   through the environment, so this measures the pure guard cost.
+   Results land in BENCH_health.json. *)
+let health () =
+  heading "health" "numerical health guard and deadline overhead";
+  let module Sc = Dramstress_dram.Sim_config in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let sim_off =
+    { Dramstress_engine.Options.default with health_guards = false }
+  in
+  let cfg_off = Sc.v ~sim:sim_off ~retry:Sc.no_retry () in
+  let cfg_on = Sc.v ~retry:Sc.no_retry () in
+  (* a generous budget: the poll fires every Newton iteration but the
+     deadline never trips, so only the clock reads are priced in *)
+  let cfg_deadline = Sc.v ~retry:Sc.no_retry ~deadline:3600.0 () in
+  let defect = D.v open_kind D.True_bl 200e3 in
+  O.set_caching false;
+  (* --- single-op cost, best of several trials to shed scheduler noise *)
+  let reps = 20 and trials = 5 in
+  let op_s config =
+    let best = ref infinity in
+    for _ = 1 to trials do
+      let dt =
+        wall (fun () ->
+            for _ = 1 to reps do
+              ignore
+                (O.run ~config ~stress:nominal ~defect ~vc_init:2.4 [ O.W0 ])
+            done)
+      in
+      if dt < !best then best := dt
+    done;
+    !best /. float_of_int reps
+  in
+  let op_off = op_s cfg_off in
+  let op_on = op_s cfg_on in
+  let op_deadline = op_s cfg_deadline in
+  (* --- fig2-style plane sweep: w0 + w1 + read planes, one domain ---- *)
+  let rops = Dramstress_util.Grid.logspace 1e3 1e6 4 in
+  let plane_sweep config () =
+    List.iter
+      (fun op ->
+        ignore
+          (C.Plane.write_plane ~config ~jobs:1 ~n_ops:2 ~rops ~stress:nominal
+             ~kind:open_kind ~placement:D.True_bl ~op ()))
+      [ O.W0; O.W1 ];
+    ignore
+      (C.Plane.read_plane ~config ~jobs:1 ~n_ops:2 ~rops ~stress:nominal
+         ~kind:open_kind ~placement:D.True_bl ())
+  in
+  let plane_s config =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let dt = wall (plane_sweep config) in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let plane_off = plane_s cfg_off in
+  let plane_on = plane_s cfg_on in
+  let plane_deadline = plane_s cfg_deadline in
+  (* --- arithmetic overhead bound ----------------------------------- *)
+  (* The wall-clock A/B above is informative, but scheduler noise on a
+     shared host swamps a 2% signal. Bound the guard cost the way the
+     telemetry bench does: measure the unit cost of one guard — a
+     finiteness scan of a system-sized state vector, and one clock read
+     for the deadline poll — count how often an op fires each (once per
+     Newton iteration), and compare the product against the op's wall
+     time. *)
+  let state = Array.make 24 1.0 in
+  let unit_ns reps f =
+    let dt = wall (fun () -> for _ = 1 to reps do f () done) in
+    1e9 *. dt /. float_of_int reps
+  in
+  let sink = ref 0 in
+  let scan_ns =
+    unit_ns 2_000_000 (fun () ->
+        let bad = ref (-1) in
+        for i = 0 to Array.length state - 1 do
+          let v = state.(i) in
+          if !bad < 0 && not (v -. v = 0.0) then bad := i
+        done;
+        if !bad >= 0 then incr sink)
+  in
+  ignore (Sys.opaque_identity !sink);
+  let clock_ns =
+    unit_ns 2_000_000 (fun () ->
+        ignore (Sys.opaque_identity (Unix.gettimeofday ())))
+  in
+  Tel.set_enabled true;
+  Tel.reset ();
+  ignore (O.run ~config:cfg_on ~stress:nominal ~defect ~vc_init:2.4 [ O.W0 ]);
+  Tel.set_enabled false;
+  let snap = Tel.snapshot () in
+  let cval name =
+    match List.assoc_opt name snap.Tel.counters with Some n -> n | None -> 0
+  in
+  let iters = cval "engine.newton.iterations" in
+  let solves = cval "engine.newton.solves" in
+  Tel.reset ();
+  O.set_caching true;
+  (* the deadline clock is read on iteration 1 and every 8th after, so a
+     solve of k iterations polls at most 1 + k/8 times *)
+  let polls = solves + (iters / 8) in
+  let guard_pct = 100.0 *. (float_of_int iters *. scan_ns /. 1e9) /. op_off in
+  let deadline_pct =
+    guard_pct +. (100.0 *. (float_of_int polls *. clock_ns /. 1e9) /. op_off)
+  in
+  let limit_pct = 2.0 in
+  let guard_ok = guard_pct <= limit_pct in
+  let deadline_ok = deadline_pct <= limit_pct in
+  Printf.printf
+    "  %-34s unguarded %9.2f   guarded %9.2f   +deadline %9.2f\n"
+    "single w0 op (ms, wall)" (1e3 *. op_off) (1e3 *. op_on)
+    (1e3 *. op_deadline);
+  Printf.printf
+    "  %-34s unguarded %9.3f   guarded %9.3f   +deadline %9.3f\n"
+    "fig2 plane sweep (s, wall)" plane_off plane_on plane_deadline;
+  Printf.printf
+    "  guard unit cost: %.1f ns/scan x %d iterations + %.1f ns/clock x %d \
+     polls per op\n"
+    scan_ns iters clock_ns polls;
+  Printf.printf "  health guard overhead: %.3f%% (limit %.1f%%: %s)\n"
+    guard_pct limit_pct
+    (if guard_ok then "ok" else "EXCEEDED");
+  Printf.printf "  guard + deadline poll overhead: %.3f%% (limit %.1f%%: %s)\n"
+    deadline_pct limit_pct
+    (if deadline_ok then "ok" else "EXCEEDED");
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"jobs\": 1,\n\
+      \  \"single_op_s\": { \"unguarded\": %.6f, \"guarded\": %.6f, \
+       \"guarded_deadline\": %.6f },\n\
+      \  \"plane_sweep_s\": { \"unguarded\": %.5f, \"guarded\": %.5f, \
+       \"guarded_deadline\": %.5f },\n\
+      \  \"guard_unit\": { \"scan_ns\": %.2f, \"clock_ns\": %.2f, \
+       \"newton_iterations_per_op\": %d, \"deadline_polls_per_op\": %d },\n\
+      \  \"guard_overhead_pct\": %.4f,\n\
+      \  \"deadline_overhead_pct\": %.4f,\n\
+      \  \"limit_pct\": %.1f,\n\
+      \  \"within_limit\": %b\n\
+       }\n"
+      op_off op_on op_deadline plane_off plane_on plane_deadline scan_ns
+      clock_ns iters polls guard_pct deadline_pct limit_pct
+      (guard_ok && deadline_ok)
+  in
+  Out_channel.with_open_text "BENCH_health.json" (fun oc ->
+      output_string oc json);
+  Printf.printf "  wrote BENCH_health.json\n"
+
 let perf () =
   heading "perf" "engine micro-benchmarks (Bechamel)";
   let open Bechamel in
@@ -626,7 +784,7 @@ let all_targets =
     ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
     ("fig6", fig6); ("fig7", fig7); ("table1", table1); ("shmoo", shmoo);
     ("methods", methods); ("ablation", ablation); ("perf", perf);
-    ("resilience", resilience);
+    ("resilience", resilience); ("health", health);
   ]
 
 let () =

@@ -183,6 +183,44 @@ let with_checkpoint ck f =
   Fun.protect ~finally:(fun () -> Option.iter Ck.close ck) (fun () -> f ck)
 
 (* ------------------------------------------------------------------ *)
+(* failed-point exit policy: --fail-on-error on sweep subcommands      *)
+(* ------------------------------------------------------------------ *)
+
+let fail_on_error_arg =
+  Arg.(value & flag
+       & info [ "fail-on-error" ]
+           ~doc:"Exit non-zero when any sweep point failed: status 4 if \
+                 every failure exhausted its retry ladder \
+                 (infrastructure gave up), status 3 if any point failed \
+                 for another reason (numerical health, timeout, \
+                 injected fault). Failed points are always reported in \
+                 the output; this flag additionally surfaces them to \
+                 scripts and CI.")
+
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SEC"
+           ~doc:"Wall-clock budget per sweep point, covering the point's \
+                 whole retry ladder. A point that exceeds it is cut off \
+                 cooperatively and reported as a timed-out failure while \
+                 the rest of the campaign proceeds.")
+
+let config_of_deadline =
+  Option.map (fun d -> Dramstress_dram.Sim_config.v ~deadline:d ())
+
+(* called AFTER the telemetry/checkpoint wrappers have unwound, so
+   [exit] cannot skip their finalizers *)
+let failures_exit ~fail_on_error errors =
+  if fail_on_error && errors <> [] then begin
+    let exhausted_only =
+      List.for_all
+        (function O.Exhausted_retries _ -> true | _ -> false)
+        errors
+    in
+    exit (if exhausted_only then 4 else 3)
+  end
+
+(* ------------------------------------------------------------------ *)
 (* run: execute an operation sequence                                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -228,24 +266,33 @@ let plane_cmd =
              ~doc:"Number of resistance points per plane (default 12); \
                    small values make quick smoke runs.")
   in
-  let run tel ck kind placement points tcyc vdd temp duty =
-    with_telemetry tel @@ fun () ->
-    with_checkpoint ck @@ fun checkpoint ->
-    let stress = stress_of tcyc vdd temp duty in
-    let rops =
-      Option.map
-        (fun n ->
-          if n < 2 then failwith "plane: --points must be >= 2"
-          else Dramstress_util.Grid.logspace 1e3 1e6 n)
-        points
+  let run tel ck fail_on_error deadline kind placement points tcyc vdd temp
+      duty =
+    let failures =
+      with_telemetry tel @@ fun () ->
+      with_checkpoint ck @@ fun checkpoint ->
+      let stress = stress_of tcyc vdd temp duty in
+      let rops =
+        Option.map
+          (fun n ->
+            if n < 2 then failwith "plane: --points must be >= 2"
+            else Dramstress_util.Grid.logspace 1e3 1e6 n)
+          points
+      in
+      let rendered, failures =
+        C.Report.figure2_with_failures
+          ?config:(config_of_deadline deadline)
+          ?checkpoint ?rops ~stress ~kind ~placement ()
+      in
+      print_string rendered;
+      List.map (fun f -> f.Dramstress_util.Outcome.error) failures
     in
-    print_string
-      (C.Report.figure2 ?checkpoint ?rops ~stress ~kind ~placement ())
+    failures_exit ~fail_on_error failures
   in
   Cmd.v (Cmd.info "plane" ~doc:"Generate the w0/w1/r result planes (Figures 2 and 6)")
-    Term.(const run $ telemetry_term $ checkpoint_term $ kind_arg
-          $ placement_arg $ points_arg $ tcyc_arg $ vdd_arg $ temp_arg
-          $ duty_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ fail_on_error_arg
+          $ deadline_arg $ kind_arg $ placement_arg $ points_arg $ tcyc_arg
+          $ vdd_arg $ temp_arg $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* br: border resistance                                               *)
@@ -322,23 +369,35 @@ let table1_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write CSV to FILE.")
   in
-  let run tel ck quick csv =
-    with_telemetry tel @@ fun () ->
-    with_checkpoint ck @@ fun checkpoint ->
-    let entries =
-      if quick then
-        List.filter (fun (e : D.entry) -> e.D.id <> "O2" && e.D.id <> "O3")
-          D.catalog
-      else D.catalog
+  let run tel ck fail_on_error deadline quick csv =
+    let failures =
+      with_telemetry tel @@ fun () ->
+      with_checkpoint ck @@ fun checkpoint ->
+      let entries =
+        if quick then
+          List.filter (fun (e : D.entry) -> e.D.id <> "O2" && e.D.id <> "O3")
+            D.catalog
+        else D.catalog
+      in
+      let table =
+        C.Table1.generate
+          ?config:(config_of_deadline deadline)
+          ?checkpoint ~entries ()
+      in
+      print_string (C.Table1.render table);
+      Option.iter
+        (fun file ->
+          Dramstress_util.Csvout.write_file file (C.Table1.to_csv table))
+        csv;
+      List.map
+        (fun f -> f.Dramstress_util.Outcome.error)
+        table.C.Table1.failures
     in
-    let table = C.Table1.generate ?checkpoint ~entries () in
-    print_string (C.Table1.render table);
-    Option.iter
-      (fun file -> Dramstress_util.Csvout.write_file file (C.Table1.to_csv table))
-      csv
+    failures_exit ~fail_on_error failures
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 over the defect catalog")
-    Term.(const run $ telemetry_term $ checkpoint_term $ quick_arg $ csv_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ fail_on_error_arg
+          $ deadline_arg $ quick_arg $ csv_arg)
 
 (* ------------------------------------------------------------------ *)
 (* shmoo                                                               *)
@@ -446,6 +505,202 @@ let sim_cmd =
           $ dt_arg $ probes_arg $ ic_arg)
 
 (* ------------------------------------------------------------------ *)
+(* chaos: deterministic fault-injection self-test                      *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let module Chaos = Dramstress_util.Chaos in
+  let module Par = Dramstress_util.Par in
+  let module Out = Dramstress_util.Outcome in
+  let module Sc = Dramstress_dram.Sim_config in
+  let module E = Dramstress_engine in
+  let seed_arg =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Chaos seed; different seeds strike different points \
+                   of the campaigns but every seed must satisfy the \
+                   same invariants.")
+  in
+  let run tel ck seed =
+    let violations =
+      with_telemetry tel @@ fun () ->
+      with_checkpoint ck @@ fun _ck ->
+      Fun.protect ~finally:(fun () -> Chaos.disarm ()) @@ fun () ->
+      (* reconciliation reads the telemetry counters, so the harness
+         runs with telemetry on regardless of --metrics *)
+      Tel.set_enabled true;
+      let violations = ref 0 in
+      let check name ok =
+        Printf.printf "  %-52s %s\n%!" name
+          (if ok then "ok" else "VIOLATION");
+        if not ok then incr violations
+      in
+      let counter name =
+        let snap = Tel.snapshot () in
+        Option.value ~default:0 (List.assoc_opt name snap.Tel.counters)
+      in
+      let points = [ 100e3; 200e3; 400e3; 800e3; 1600e3 ] in
+      let open_defect r = D.v (D.Open_cell D.At_bitline_contact) D.True_bl r in
+      (* jobs = 1 keeps the per-fault query order deterministic, which
+         is what makes exact failure accounting assertable *)
+      let sweep ?(config = Sc.v ()) () =
+        let cache = O.Cache.create () in
+        Par.parallel_map_outcomes ~jobs:1 ~retries_of:O.retries_of
+          (fun r ->
+            let oc =
+              O.run ~config ~cache ~stress:S.nominal ~defect:(open_defect r)
+                ~vc_init:2.4 [ O.W0; O.R ]
+            in
+            (List.hd oc.O.results).O.vc_end)
+          points
+      in
+      let structured = function
+        | E.Newton.Numerical_health _ | E.Newton.No_convergence _
+        | E.Newton.Timeout _ | E.Transient.Step_failed _
+        | O.Exhausted_retries _ | Chaos.Injected_fault _ ->
+          true
+        | _ -> false
+      in
+      let accounted outs =
+        List.length outs = List.length points
+        && List.for_all
+             (function
+               | Out.Ok v -> Float.is_finite v
+               | Out.Failed f -> structured f.Out.error)
+             outs
+      in
+      let expected_total = ref 0 in
+      let t0_injected = counter "util.chaos.injected" in
+      let t0_class =
+        List.map
+          (fun f -> (f, counter ("util.chaos.injected." ^ Chaos.fault_name f)))
+          Chaos.all_faults
+      in
+      let finish_class f =
+        expected_total := !expected_total + Chaos.injected f
+      in
+
+      Printf.printf "chaos self-test, seed %d\n" seed;
+
+      Printf.printf "fault class: perturb_jacobian\n";
+      let before = counter "engine.health.singular_lu" in
+      Chaos.configure ~seed "perturb_jacobian@97";
+      let outs = sweep ~config:(Sc.v ~retry:Sc.no_retry ()) () in
+      let inj = Chaos.injected Chaos.Perturb_jacobian in
+      check "campaign completes with structured outcomes" (accounted outs);
+      check "chaos struck" (inj > 0);
+      check "every zeroed row detected as singular LU"
+        (counter "engine.health.singular_lu" - before = inj);
+      finish_class Chaos.Perturb_jacobian;
+
+      Printf.printf "fault class: inject_nan_state\n";
+      let before = counter "engine.health.nan_detected" in
+      Chaos.configure ~seed "inject_nan_state@53";
+      let outs = sweep () in
+      let inj = Chaos.injected Chaos.Inject_nan_state in
+      check "campaign completes with structured outcomes" (accounted outs);
+      check "chaos struck" (inj > 0);
+      check "every poisoned state detected as NaN"
+        (counter "engine.health.nan_detected" - before = inj);
+      finish_class Chaos.Inject_nan_state;
+
+      Printf.printf "fault class: force_newton_diverge (deadline)\n";
+      let before = counter "dram.ops.deadline_exceeded" in
+      Chaos.configure ~seed:0 "force_newton_diverge@+1";
+      let config =
+        Sc.v
+          ~sim:{ E.Options.default with E.Options.max_newton = 1_000_000_000 }
+          ~retry:Sc.no_retry ~deadline:0.05 ()
+      in
+      let outs = sweep ~config () in
+      (match outs with
+      | Out.Failed { error = E.Newton.Timeout _; _ } :: rest ->
+        check "hung point cut off as Failed{Timeout}" true;
+        check "rest of the sweep finished"
+          (List.for_all (function Out.Ok _ -> true | _ -> false) rest)
+      | _ -> check "hung point cut off as Failed{Timeout}" false);
+      check "deadline counted once"
+        (counter "dram.ops.deadline_exceeded" - before = 1);
+      check "exactly one injection" (Chaos.injected Chaos.Force_newton_diverge = 1);
+      finish_class Chaos.Force_newton_diverge;
+
+      Printf.printf "fault class: fail_worker_task\n";
+      Chaos.configure ~seed "fail_worker_task@3";
+      let outs = sweep () in
+      let inj = Chaos.injected Chaos.Fail_worker_task in
+      let injected_failures =
+        List.length
+          (List.filter
+             (function
+               | Out.Failed { error = Chaos.Injected_fault _; _ } -> true
+               | Out.Failed _ | Out.Ok _ -> false)
+             outs)
+      in
+      check "campaign completes with structured outcomes" (accounted outs);
+      check "chaos struck" (inj > 0);
+      check "every worker fault is a Failed slot" (injected_failures = inj);
+      finish_class Chaos.Fail_worker_task;
+
+      Printf.printf "fault class: truncate_checkpoint\n";
+      let stress = S.nominal in
+      let kind = D.Open_cell D.At_bitline_contact and placement = D.True_bl in
+      let rops = Dramstress_util.Grid.logspace 1e3 1e6 4 in
+      O.clear_cache ();
+      Chaos.disarm ();
+      let clean = C.Report.figure2 ~rops ~stress ~kind ~placement () in
+      let path = Filename.temp_file "dramstress_chaos_ck" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+        (fun () ->
+          Chaos.configure ~seed "truncate_checkpoint@2";
+          O.clear_cache ();
+          let store = Ck.open_ path in
+          let chaotic =
+            C.Report.figure2 ~checkpoint:store ~rops ~stress ~kind ~placement
+              ()
+          in
+          Ck.close store;
+          let inj = Chaos.injected Chaos.Truncate_checkpoint in
+          check "chaos struck" (inj > 0);
+          check "running campaign unaffected by truncation"
+            (String.equal chaotic clean);
+          finish_class Chaos.Truncate_checkpoint;
+          Chaos.disarm ();
+          O.clear_cache ();
+          let store = Ck.open_ ~resume:true path in
+          let resumed =
+            C.Report.figure2 ~checkpoint:store ~rops ~stress ~kind ~placement
+              ()
+          in
+          Ck.close store;
+          check "resume after truncation is byte-identical"
+            (String.equal resumed clean));
+
+      Printf.printf "reconciliation\n";
+      check "util.chaos.injected = sum of class injections"
+        (counter "util.chaos.injected" - t0_injected = !expected_total);
+      check "per-class telemetry counters sum to the total"
+        (List.fold_left
+           (fun acc (f, t0) ->
+             acc
+             + counter ("util.chaos.injected." ^ Chaos.fault_name f)
+             - t0)
+           0 t0_class
+        = !expected_total);
+      !violations
+    in
+    if violations > 0 then begin
+      Printf.printf "chaos: %d violation(s)\n" violations;
+      exit 1
+    end
+    else Printf.printf "chaos: all invariants hold\n"
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Self-test the failure paths with deterministic fault injection")
+    Term.(const run $ telemetry_term $ checkpoint_term $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let catalog_cmd =
   let run tel ck () =
@@ -456,10 +711,13 @@ let catalog_cmd =
     Term.(const run $ telemetry_term $ checkpoint_term $ const ())
 
 let () =
+  (* opt into fault injection when DRAMSTRESS_CHAOS is set; dormant
+     otherwise (one atomic load per site) *)
+  Dramstress_util.Chaos.configure_from_env ();
   let doc = "stress optimization for DRAM cell defect tests (DATE 2003 reproduction)" in
   let info = Cmd.info "dramstress" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; plane_cmd; br_cmd; stress_cmd; table1_cmd; shmoo_cmd;
-            march_cmd; catalog_cmd; sim_cmd ]))
+            march_cmd; catalog_cmd; sim_cmd; chaos_cmd ]))

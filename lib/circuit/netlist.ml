@@ -42,6 +42,42 @@ let fresh_node nl prefix =
   nl.fresh <- nl.fresh + 1;
   node nl (Printf.sprintf "%s#%d" prefix nl.fresh)
 
+(* ------------------------------------------------------------------ *)
+(* Pre-flight diagnostics                                              *)
+(* ------------------------------------------------------------------ *)
+
+type diagnostic =
+  | Floating_node of { node : string }
+  | Non_finite_param of { device : string; param : string; value : float }
+  | Zero_capacitance of { device : string }
+  | Unknown_device of { context : string; device : string }
+
+let pp_diagnostic ppf = function
+  | Floating_node { node } ->
+    Format.fprintf ppf "floating node %S (no device touches it)" node
+  | Non_finite_param { device; param; value } ->
+    Format.fprintf ppf "device %S: parameter %s is not finite (%h)" device
+      param value
+  | Zero_capacitance { device } ->
+    Format.fprintf ppf
+      "capacitor %S: non-positive capacitance (dynamic node has no state)"
+      device
+  | Unknown_device { context; device } ->
+    Format.fprintf ppf "%s: no device named %S" context device
+
+exception Invalid of diagnostic list
+
+let () =
+  Printexc.register_printer (function
+    | Invalid diags ->
+      Some
+        (Format.asprintf "Netlist.Invalid [@[<hov>%a@]]"
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+              pp_diagnostic)
+           diags)
+    | _ -> None)
+
 let add nl d =
   let n = Device.name d in
   if Hashtbl.mem nl.device_tbl n then
@@ -101,7 +137,9 @@ let remove_device nl name =
 
 let insert_series nl ~name ~device ~terminal ~r =
   match find_device nl device with
-  | None -> raise Not_found
+  | None ->
+    raise
+      (Invalid [ Unknown_device { context = "Netlist.insert_series"; device } ])
   | Some d ->
     let old_node = Device.terminal_node d terminal in
     let mid = fresh_node nl (device ^ ".open") in
@@ -117,11 +155,40 @@ type compiled = {
   n_vsources : int;
 }
 
+(* numeric device parameters that must be finite for any stamp built
+   from them to be finite. Waveform shapes are validated at their own
+   construction sites; DC levels are covered here. *)
+let param_diagnostics d =
+  let name = Device.name d in
+  let finite param value acc =
+    if Float.is_finite value then acc
+    else Non_finite_param { device = name; param; value } :: acc
+  in
+  let wave_levels param w acc =
+    match w with
+    | Waveform.Dc v -> finite (param ^ ".dc") v acc
+    | Waveform.Pulse _ | Waveform.Pwl _ -> acc
+  in
+  match d with
+  | Device.Resistor { r; _ } -> finite "r" r []
+  | Device.Capacitor { c; _ } ->
+    let acc = finite "c" c [] in
+    if Float.is_finite c && c <= 0.0 then Zero_capacitance { device = name } :: acc
+    else acc
+  | Device.Vsource { wave; _ } -> wave_levels "v" wave []
+  | Device.Isource { wave; _ } -> wave_levels "i" wave []
+  | Device.Switch { g_on; g_off; threshold; _ } ->
+    finite "g_on" g_on [] |> finite "g_off" g_off |> finite "threshold" threshold
+  | Device.Mosfet { m; _ } -> finite "m" m []
+
 let compile nl =
   let devs = Array.of_list (devices nl) in
   let n_nodes = nl.next_node in
   let names = Array.make n_nodes "?" in
   List.iter (fun (id, name) -> names.(id) <- name) nl.node_names;
+  (* collect every structural problem before raising, so one compile
+     reports the whole sick set instead of the first symptom *)
+  let diags = ref [] in
   (* every non-ground node must be touched by at least one device *)
   let touched = Array.make n_nodes false in
   touched.(0) <- true;
@@ -131,9 +198,10 @@ let compile nl =
   Array.iteri
     (fun i t ->
       if not t then
-        invalid_arg
-          (Printf.sprintf "Netlist.compile: dangling node %S" names.(i)))
+        diags := Floating_node { node = names.(i) } :: !diags)
     touched;
+  Array.iter (fun d -> diags := param_diagnostics d @ !diags) devs;
+  if !diags <> [] then raise (Invalid (List.rev !diags));
   let n_vsources =
     Array.fold_left
       (fun acc d -> match d with Device.Vsource _ -> acc + 1 | _ -> acc)

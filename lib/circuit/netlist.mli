@@ -54,7 +54,8 @@ val remove_device : t -> string -> unit
 (** [insert_series nl ~name ~device ~terminal ~r] splits the named
     device's terminal with a series resistor of value [r] (models a
     resistive open). A fresh internal node is created. Raises
-    [Not_found] if the device is absent. *)
+    {!Invalid} with an [Unknown_device] diagnostic if the device is
+    absent — the defect-injection-onto-nothing failure mode. *)
 val insert_series :
   t -> name:string -> device:string -> terminal:Device.terminal ->
   r:float -> unit
@@ -70,9 +71,38 @@ type compiled = private {
   n_vsources : int;
 }
 
-(** [compile nl] validates (every non-ground node reachable from at least
-    one device, no dangling voltage sources) and freezes the netlist.
-    Raises [Invalid_argument] with a diagnostic on failure. *)
+(** Pre-flight structural problems found by {!compile} (and by editing
+    operations such as {!insert_series}). Each diagnostic names the
+    offending netlist element so the error is actionable without a
+    solver trace. *)
+type diagnostic =
+  | Floating_node of { node : string }
+    (** a non-ground node no device stamp touches: its matrix row would
+        be all-zero and the LU factorisation structurally singular *)
+  | Non_finite_param of { device : string; param : string; value : float }
+    (** a NaN/infinite device parameter that would poison every stamp
+        built from it (raw {!add} bypasses the smart-constructor
+        checks) *)
+  | Zero_capacitance of { device : string }
+    (** a capacitor with [c <= 0]: its node claims dynamic state but
+        carries none, so the companion-model conductance is 0/undefined *)
+  | Unknown_device of { context : string; device : string }
+    (** an editing operation (defect injection) addressed a device that
+        does not exist in the netlist *)
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+
+(** Raised by {!compile} with {e every} diagnostic found — the whole
+    sick set in one report, not just the first symptom — and by editing
+    operations with a singleton list. A printer is registered, so
+    uncaught escapes render readably. *)
+exception Invalid of diagnostic list
+
+(** [compile nl] validates the netlist — every non-ground node touched
+    by at least one device stamp, all numeric device parameters finite,
+    no non-positive capacitances — and freezes it. Raises {!Invalid}
+    with the full diagnostic list on failure, before any solve is
+    attempted. *)
 val compile : t -> compiled
 
 (** [compiled_node c name] resolves a node name after compilation; raises

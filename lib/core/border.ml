@@ -106,9 +106,11 @@ let of_samples ~refine ~r_min ~r_max samples =
 (* ------------------------------------------------------------------ *)
 
 (* only genuine solver failures are skippable; anything else is a bug
-   and must propagate *)
+   and must propagate. Health-guard and deadline errors are solver
+   failures too: the point is untrustworthy, not the program. *)
 let is_solver_failure = function
   | E.Transient.Step_failed _ | E.Newton.No_convergence _
+  | E.Newton.Numerical_health _ | E.Newton.Timeout _
   | O.Exhausted_retries _ ->
     true
   | _ -> false

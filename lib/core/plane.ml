@@ -195,7 +195,9 @@ let write_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 4)
         ~label:(fun k -> Format.asprintf "(%d) %a" (k + 1) O.pp_op op)
         (List.map (fun (r, vcs, _) -> (r, vcs)) points);
     vsa_curve = List.map (fun (r, _, v) -> { r_sa = r; vsa = v }) points;
-    vmp = vmp ~config ~stress ();
+    (* the shared defect-free midpoint is a plane prerequisite, not a
+       sweep point: the per-point deadline does not apply to it *)
+    vmp = vmp ~config:{ config with Sc.deadline = None } ~stress ();
     rops = List.map (fun (r, _, _) -> r) points;
     failures;
     stress;
@@ -251,7 +253,7 @@ let read_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 3)
       curves_of ~n_ops ~label:(label "from below Vsa") below
       @ curves_of ~n_ops ~label:(label "from above Vsa") above;
     vsa_curve = List.map (fun (r, v, _, _) -> { r_sa = r; vsa = v }) points;
-    vmp = vmp ~config ~stress ();
+    vmp = vmp ~config:{ config with Sc.deadline = None } ~stress ();
     rops = List.map (fun (r, _, _, _) -> r) points;
     failures;
     stress;
@@ -268,7 +270,9 @@ let vsa_interp plane =
 
 let br_geometric plane =
   match plane.curves with
-  | _ :: second :: _ -> begin
+  (* a plane whose every point failed has empty curves: no crossing *)
+  | _ :: second :: _ when second.points <> [] && plane.vsa_curve <> [] ->
+    begin
     let w = curve_interp second in
     let s = vsa_interp plane in
     (* intersect on a log axis to respect the resistance sweep *)

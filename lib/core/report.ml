@@ -27,17 +27,19 @@ let plane_chart ~title (plane : Plane.t) =
     ~title
     (List.mapi series_of_curve plane.Plane.curves @ [ vsa_series ])
 
-let figure2 ?tech ?checkpoint ?rops ~stress ~kind ~placement () =
+let figure2_with_failures ?tech ?config ?checkpoint ?rops ~stress ~kind
+    ~placement () =
   let w0 =
-    Plane.write_plane ?tech ?checkpoint ?rops ~stress ~kind ~placement
-      ~op:O.W0 ()
+    Plane.write_plane ?tech ?config ?checkpoint ?rops ~stress ~kind
+      ~placement ~op:O.W0 ()
   in
   let w1 =
-    Plane.write_plane ?tech ?checkpoint ?rops ~stress ~kind ~placement
-      ~op:O.W1 ()
+    Plane.write_plane ?tech ?config ?checkpoint ?rops ~stress ~kind
+      ~placement ~op:O.W1 ()
   in
   let r =
-    Plane.read_plane ?tech ?checkpoint ?rops ~stress ~kind ~placement ()
+    Plane.read_plane ?tech ?config ?checkpoint ?rops ~stress ~kind
+      ~placement ()
   in
   let br_line =
     match Plane.br_geometric w0 with
@@ -47,15 +49,40 @@ let figure2 ?tech ?checkpoint ?rops ~stress ~kind ~placement () =
         Dramstress_util.Units.pp_si br
     | None -> "geometric BR: no crossing in the sampled range\n"
   in
-  String.concat "\n"
-    [
-      Format.asprintf "Result planes for defect %a (%a) at %a" D.pp_kind kind
-        D.pp_placement placement S.pp stress;
-      plane_chart ~title:"(a) Plane of w0" w0;
-      plane_chart ~title:"(b) Plane of w1" w1;
-      plane_chart ~title:"(c) Plane of r" r;
-      br_line;
-    ]
+  let failures =
+    w0.Plane.failures @ w1.Plane.failures @ r.Plane.failures
+  in
+  let failure_lines =
+    if failures = [] then []
+    else
+      [
+        Printf.sprintf "%d point(s) failed and are omitted above:"
+          (List.length failures)
+        :: List.map
+             (fun f ->
+               Format.asprintf "  R = %aOhm: %s"
+                 Dramstress_util.Units.pp_si f.Dramstress_util.Outcome.point
+                 (Dramstress_util.Outcome.error_message f))
+             failures
+        |> String.concat "\n";
+      ]
+  in
+  ( String.concat "\n"
+      ([
+         Format.asprintf "Result planes for defect %a (%a) at %a" D.pp_kind
+           kind D.pp_placement placement S.pp stress;
+         plane_chart ~title:"(a) Plane of w0" w0;
+         plane_chart ~title:"(b) Plane of w1" w1;
+         plane_chart ~title:"(c) Plane of r" r;
+         br_line;
+       ]
+      @ failure_lines),
+    failures )
+
+let figure2 ?tech ?config ?checkpoint ?rops ~stress ~kind ~placement () =
+  fst
+    (figure2_with_failures ?tech ?config ?checkpoint ?rops ~stress ~kind
+       ~placement ())
 
 let figure_st_panels ?tech ~stress ~axis ~values ~kind ~placement
     ?(analysis_r = 200e3) () =

@@ -1,11 +1,14 @@
 (** Text rendering of the paper's figures. *)
 
-(** [figure2 ?tech ?rops ~stress ~kind ~placement ()] renders the three
-    result planes (w0, w1, r) with the V_sa curve and V_mp marker —
-    Figure 2 at the nominal SC, Figure 6 at a stressed SC. Also reports
-    the geometric BR when the curves cross. *)
+(** [figure2 ?tech ?config ?rops ~stress ~kind ~placement ()] renders
+    the three result planes (w0, w1, r) with the V_sa curve and V_mp
+    marker — Figure 2 at the nominal SC, Figure 6 at a stressed SC.
+    Also reports the geometric BR when the curves cross. [config]
+    bundles solver options, retry policy and per-point deadline as in
+    {!Plane.write_plane}. *)
 val figure2 :
   ?tech:Dramstress_dram.Tech.t ->
+  ?config:Dramstress_dram.Sim_config.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
   ?rops:float list ->
   stress:Dramstress_dram.Stress.t ->
@@ -13,6 +16,21 @@ val figure2 :
   placement:Dramstress_defect.Defect.placement ->
   unit ->
   string
+
+(** Like {!figure2} but also returns the per-point sweep failures of
+    all three planes (in plane order w0, w1, r), so front ends can
+    turn failed points into an exit status. Failed points are listed
+    at the end of the rendering, never interpolated over. *)
+val figure2_with_failures :
+  ?tech:Dramstress_dram.Tech.t ->
+  ?config:Dramstress_dram.Sim_config.t ->
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?rops:float list ->
+  stress:Dramstress_dram.Stress.t ->
+  kind:Dramstress_defect.Defect.kind ->
+  placement:Dramstress_defect.Defect.placement ->
+  unit ->
+  string * float Dramstress_util.Outcome.failure list
 
 (** [figure_st_panels ?tech ~stress ~axis ~values ~kind ~placement
     ~analysis_r ()] renders the two time-domain panels of Figures 3–5:

@@ -11,6 +11,7 @@ let c_evictions = Tel.Counter.make "dram.ops.cache_evictions"
 let c_retry_attempts = Tel.Counter.make "dram.ops.retry_attempts"
 let c_degraded = Tel.Counter.make "dram.ops.degraded_runs"
 let c_failed = Tel.Counter.make "dram.ops.failed_runs"
+let c_deadline = Tel.Counter.make "dram.ops.deadline_exceeded"
 
 (* which escalation stage finally rescued a degraded run: 1 = first
    retry stage, 2 = second, ... — the policy's effectiveness profile *)
@@ -303,11 +304,27 @@ let rec run ?tech ?sim ?steps_per_cycle ?defect ?(vc_init = 0.0)
     outcome
   | None ->
     Tel.Counter.incr c_misses;
+    (* the wall-clock budget covers the whole request — base attempt
+       plus every retry stage — so it is pinned to an absolute instant
+       here, once, rather than restarting per attempt *)
+    let deadline_at =
+      Option.map
+        (fun budget_s -> (Unix.gettimeofday () +. budget_s, budget_s))
+        cfg.Sim_config.deadline
+    in
     let outcome =
       Tel.with_span "ops.run"
         ~attrs:(fun () -> [ ("seq", Tel.Str (seq_to_string ops)) ])
         (fun () ->
-          execute_resilient ~cfg ?defect ~vc_init ?v_neighbour ~stress ops)
+          match
+            execute_resilient ~cfg ?deadline_at ?defect ~vc_init ?v_neighbour
+              ~stress ops
+          with
+          | outcome -> outcome
+          | exception (E.Newton.Timeout _ as e) ->
+            let bt = Printexc.get_raw_backtrace () in
+            Tel.Counter.incr c_deadline;
+            Printexc.raise_with_backtrace e bt)
     in
     (* a run rescued by a degraded stage is cached under the BASE config
        key on purpose: the base configuration cannot produce an outcome
@@ -351,15 +368,21 @@ and degrade_config (cfg : Sim_config.t) stage =
             E.Options.max_step_v;
             max_newton = base_sim.E.Options.max_newton * max_newton_scale } }
 
-and execute_resilient ~(cfg : Sim_config.t) ?defect ~vc_init ?v_neighbour
-    ~stress ops =
+and execute_resilient ~(cfg : Sim_config.t) ?deadline_at ?defect ~vc_init
+    ?v_neighbour ~stress ops =
   let exec (c : Sim_config.t) =
     execute ~tech:c.Sim_config.tech ?sim:c.Sim_config.sim
-      ~steps_per_cycle:c.Sim_config.steps_per_cycle ?defect ~vc_init
-      ?v_neighbour ~stress ops
+      ~steps_per_cycle:c.Sim_config.steps_per_cycle ?deadline_at ?defect
+      ~vc_init ?v_neighbour ~stress ops
   in
+  (* Newton.Timeout is deliberately absent: a point that exhausted its
+     wall-clock budget must not walk the ladder (each stage only costs
+     more wall time), so it propagates straight to the sweep layer as a
+     Failed outcome *)
   let recoverable = function
-    | E.Transient.Step_failed _ | E.Newton.No_convergence _ -> true
+    | E.Transient.Step_failed _ | E.Newton.No_convergence _
+    | E.Newton.Numerical_health _ ->
+      true
     | _ -> false
   in
   try exec cfg
@@ -397,8 +420,8 @@ and execute_resilient ~(cfg : Sim_config.t) ?defect ~vc_init ?v_neighbour
       attempt cfg 1 [] e stages
     end
 
-and execute ~tech ?sim ~steps_per_cycle ?defect ~vc_init ?v_neighbour ~stress
-    ops =
+and execute ~tech ?sim ~steps_per_cycle ?deadline_at ?defect ~vc_init
+    ?v_neighbour ~stress ops =
   let vdd = stress.Stress.vdd in
   let v_neighbour = Option.value v_neighbour ~default:vdd in
   let inverted =
@@ -416,7 +439,7 @@ and execute ~tech ?sim ~steps_per_cycle ?defect ~vc_init ?v_neighbour ~stress
   in
   let ics = Column.initial_conditions built ~vdd ~vc_init ~v_neighbour in
   let trace =
-    E.Transient.run built.Column.compiled ~opts ~segments ~ics
+    E.Transient.run built.Column.compiled ~opts ?deadline_at ~segments ~ics
       ~probes:built.Column.probes ()
   in
   let vc = E.Transient.probe trace built.Column.vc_node in

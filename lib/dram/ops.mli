@@ -197,16 +197,25 @@ val cache_stats : unit -> cache_stats
     - The solver temperature is always taken from [stress]
       ({!Stress.temp_kelvin}), overriding any [sim] temperature.
 
-    On [Transient.Step_failed] / [Newton.No_convergence] the resolved
-    config's retry policy is walked: each stage piles a further
-    concession onto the previous ones (halved dt scale, multiplied
-    steps-per-cycle, damped Newton) and the simulation is retried. A
-    stage that converges returns its outcome — cached under the original
-    request key, so repeats skip the failure ladder; a ladder that runs
-    dry raises {!Exhausted_retries}. Retry activity feeds the
+    On [Transient.Step_failed] / [Newton.No_convergence] /
+    [Newton.Numerical_health] the resolved config's retry policy is
+    walked: each stage piles a further concession onto the previous
+    ones (halved dt scale, multiplied steps-per-cycle, damped Newton)
+    and the simulation is retried. A stage that converges returns its
+    outcome — cached under the original request key, so repeats skip
+    the failure ladder; a ladder that runs dry raises
+    {!Exhausted_retries}. Retry activity feeds the
     [dram.ops.retry_attempts] / [dram.ops.degraded_runs] /
     [dram.ops.failed_runs] counters and the
-    [dram.ops.retry_success_stage] histogram. *)
+    [dram.ops.retry_success_stage] histogram.
+
+    A [config.deadline] wall-clock budget is pinned to an absolute
+    instant when the request starts and covers the base attempt plus
+    every retry stage. Past it the run raises [Newton.Timeout] — which
+    is deliberately NOT retried (every ladder stage only costs more
+    wall time) and is counted in [dram.ops.deadline_exceeded]; sweep
+    layers surface it as a [Failed] outcome slot while the rest of the
+    campaign proceeds. *)
 val run :
   ?tech:Tech.t ->
   ?sim:Dramstress_engine.Options.t ->

@@ -46,6 +46,7 @@ type t = {
   steps_per_cycle : int;
   jobs : int option;
   retry : retry_policy;
+  deadline : float option;
 }
 
 let default =
@@ -55,18 +56,25 @@ let default =
     steps_per_cycle = 400;
     jobs = None;
     retry = default_retry;
+    deadline = None;
   }
 
+let validate_deadline = function
+  | None -> ()
+  | Some d ->
+    if not (d > 0.0) then invalid_arg "Sim_config: deadline must be > 0"
+
 let v ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?jobs
-    ?(retry = default_retry) () =
+    ?(retry = default_retry) ?deadline () =
   if steps_per_cycle < 1 then
     invalid_arg "Sim_config.v: steps_per_cycle < 1";
   validate_policy retry;
-  { tech; sim; steps_per_cycle; jobs; retry }
+  validate_deadline deadline;
+  { tech; sim; steps_per_cycle; jobs; retry; deadline }
 
 (* explicit legacy optionals always beat the bundled config, so existing
    call sites keep their meaning when a config is introduced around them *)
-let resolve ?tech ?sim ?steps_per_cycle ?jobs ?retry ?config () =
+let resolve ?tech ?sim ?steps_per_cycle ?jobs ?retry ?deadline ?config () =
   let base = Option.value config ~default in
   let t =
     {
@@ -76,11 +84,13 @@ let resolve ?tech ?sim ?steps_per_cycle ?jobs ?retry ?config () =
         Option.value steps_per_cycle ~default:base.steps_per_cycle;
       jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
       retry = Option.value retry ~default:base.retry;
+      deadline = (match deadline with Some _ -> deadline | None -> base.deadline);
     }
   in
   if t.steps_per_cycle < 1 then
     invalid_arg "Sim_config.resolve: steps_per_cycle < 1";
   validate_policy t.retry;
+  validate_deadline t.deadline;
   t
 
 let resolve_jobs t = Dramstress_util.Par.resolve_jobs ?jobs:t.jobs ()

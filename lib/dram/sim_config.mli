@@ -57,22 +57,32 @@ type t = {
           ({!Dramstress_util.Par.resolve_jobs}) *)
   retry : retry_policy;
       (** what {!Ops.run} tries when the solver fails on a point *)
+  deadline : float option;
+      (** wall-clock budget per point, in seconds: each {!Ops.run}
+          request (covering its whole retry ladder) must finish within
+          this budget or fail with {!Dramstress_engine.Newton.Timeout}.
+          [None] (the default) never times out. The budget is converted
+          to an absolute instant when the request starts, so ladder
+          retries spend from the same allowance instead of resetting
+          it. *)
 }
 
 (** [default]: {!Tech.default}, engine-default solver options,
-    400 steps per cycle, automatic job count, {!default_retry}. *)
+    400 steps per cycle, automatic job count, {!default_retry}, no
+    deadline. *)
 val default : t
 
-(** [v ?tech ?sim ?steps_per_cycle ?jobs ?retry ()] builds a config;
-    omitted fields take their {!default} values. Raises
-    [Invalid_argument] if [steps_per_cycle < 1] or the retry policy has
-    an invalid stage. *)
+(** [v ?tech ?sim ?steps_per_cycle ?jobs ?retry ?deadline ()] builds a
+    config; omitted fields take their {!default} values. Raises
+    [Invalid_argument] if [steps_per_cycle < 1], the retry policy has
+    an invalid stage, or [deadline <= 0]. *)
 val v :
   ?tech:Tech.t ->
   ?sim:Dramstress_engine.Options.t ->
   ?steps_per_cycle:int ->
   ?jobs:int ->
   ?retry:retry_policy ->
+  ?deadline:float ->
   unit ->
   t
 
@@ -87,6 +97,7 @@ val resolve :
   ?steps_per_cycle:int ->
   ?jobs:int ->
   ?retry:retry_policy ->
+  ?deadline:float ->
   ?config:t ->
   unit ->
   t

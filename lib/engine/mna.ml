@@ -401,8 +401,14 @@ let assemble_into sys ws ~(opts : Options.t) ~t_now ~x ~reactive =
     stamp_i ieq rhs p.m_s
   done
 
+module Chaos = Dramstress_util.Chaos
+
 let solve_in_place ws =
   record_factor_solve ();
+  if Chaos.armed () && Chaos.fire Chaos.Perturb_jacobian then
+    (* zero a row: crisply rank-deficient, so the factorization's pivot
+       guard must catch it — the detection the chaos harness asserts *)
+    Array.fill ws.mat.(0) 0 ws.w_size 0.0;
   let lu = L.lu_factor_in_place ws.mat ~perm:ws.perm in
   L.lu_solve_in_place lu ~scratch:ws.scratch ws.rhs
 

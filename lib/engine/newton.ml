@@ -1,12 +1,34 @@
 module L = Dramstress_util.Linalg
+module Chaos = Dramstress_util.Chaos
 module Tel = Dramstress_util.Telemetry
 
 exception No_convergence of { t : float; iterations : int; worst : float }
+
+exception
+  Numerical_health of { t : float; iterations : int; what : string }
+
+exception Timeout of { t : float; budget_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Numerical_health { t; iterations; what } ->
+      Some
+        (Printf.sprintf
+           "Newton.Numerical_health { t=%.4g s; iteration %d; %s }" t
+           iterations what)
+    | Timeout { t; budget_s } ->
+      Some
+        (Printf.sprintf
+           "Newton.Timeout { t=%.4g s; wall-clock budget %.3g s exceeded }" t
+           budget_s)
+    | _ -> None)
 
 let c_solves = Tel.Counter.make "engine.newton.solves"
 let c_iterations = Tel.Counter.make "engine.newton.iterations"
 let c_failures = Tel.Counter.make "engine.newton.failures"
 let c_clamps = Tel.Counter.make "engine.newton.step_clamps"
+let c_nan = Tel.Counter.make "engine.health.nan_detected"
+let c_singular = Tel.Counter.make "engine.health.singular_lu"
 
 let h_iterations =
   Tel.Histogram.make ~unit_:"iters" ~lo:1.0 ~hi:128.0 ~buckets:14
@@ -47,16 +69,69 @@ let fail ~t_now ~iter ~worst =
   Tel.Counter.add c_iterations iter;
   raise (No_convergence { t = t_now; iterations = iter; worst })
 
+let sick ~t_now ~iter what =
+  Tel.Counter.incr c_failures;
+  Tel.Counter.add c_iterations iter;
+  raise (Numerical_health { t = t_now; iterations = iter; what })
+
+(* runtime health monitor, shared by both solve paths. All three checks
+   raise typed errors that the retry ladder above understands — a sick
+   state never leaves the solver as a plausible-looking voltage. *)
+
+let check_finite ~t_now ~iter x =
+  let n = Array.length x in
+  let bad = ref (-1) in
+  for i = 0 to n - 1 do
+    (* v -. v is 0 for finite v, nan for nan/inf; the local float keeps
+       the scan unboxed without flambda, unlike a Float.is_finite call *)
+    let v = x.(i) in
+    if !bad < 0 && not (v -. v = 0.0) then bad := i
+  done;
+  if !bad >= 0 then begin
+    Tel.Counter.incr c_nan;
+    sick ~t_now ~iter
+      (Printf.sprintf "non-finite state (%h at unknown %d)" x.(!bad) !bad)
+  end
+
+(* the clock is read on the first iteration (an already-expired budget
+   trips before any work) and every 8th after, so a hung solve is cut
+   within 8 iterations of the deadline at 1/8 the gettimeofday cost *)
+let check_deadline ~deadline_at ~t_now ~iter =
+  match deadline_at with
+  | None -> ()
+  | Some (at, budget_s) ->
+    if iter land 7 = 1 && Unix.gettimeofday () > at then
+      raise (Timeout { t = t_now; budget_s })
+
+(* the chaos sites local to the solver; both are no-ops while dormant *)
+let chaos_diverge () =
+  Chaos.armed () && Chaos.fire Chaos.Force_newton_diverge
+
+let chaos_nan x =
+  if Chaos.armed () && Chaos.fire Chaos.Inject_nan_state then
+    x.(0) <- Float.nan
+
 (* reference path: allocate and factor a fresh system every iteration *)
-let solve_naive sys ~(opts : Options.t) ~t_now ~reactive ~x0 =
+let solve_naive sys ~(opts : Options.t) ?deadline_at ~t_now ~reactive ~x0 () =
   let n_node_unknowns = Mna.n_nodes sys - 1 in
   let x = Array.copy x0 in
+  let diverge = chaos_diverge () in
   let rec iterate iter =
+    check_deadline ~deadline_at ~t_now ~iter;
     let mat, rhs = Mna.assemble sys ~opts ~t_now ~x ~reactive in
     Mna.record_factor_solve ();
-    let x_new = L.lu_solve (L.lu_factor mat) rhs in
+    let x_new =
+      match L.lu_solve (L.lu_factor mat) rhs with
+      | x_new -> x_new
+      | exception L.Singular { row; pivot } ->
+        Tel.Counter.incr c_singular;
+        sick ~t_now ~iter
+          (Printf.sprintf "singular system (row %d, pivot %.3g)" row pivot)
+    in
     let worst = apply_update ~opts ~n_node_unknowns x x_new in
-    if worst <= tolerance ~opts x then begin
+    chaos_nan x;
+    if opts.health_guards then check_finite ~t_now ~iter x;
+    if (not diverge) && worst <= tolerance ~opts x then begin
       record_solve iter;
       x
     end
@@ -67,14 +142,23 @@ let solve_naive sys ~(opts : Options.t) ~t_now ~reactive ~x0 =
 
 (* incremental path: all matrix work happens inside the caller-provided
    (or one-shot) workspace — zero per-iteration matrix allocation *)
-let solve_ws sys ws ~(opts : Options.t) ~t_now ~reactive ~x0 =
+let solve_ws sys ws ~(opts : Options.t) ?deadline_at ~t_now ~reactive ~x0 () =
   let n_node_unknowns = Mna.n_nodes sys - 1 in
   let x = Array.copy x0 in
+  let diverge = chaos_diverge () in
   let rec iterate iter =
+    check_deadline ~deadline_at ~t_now ~iter;
     Mna.assemble_into sys ws ~opts ~t_now ~x ~reactive;
-    Mna.solve_in_place ws;
+    (match Mna.solve_in_place ws with
+    | () -> ()
+    | exception L.Singular { row; pivot } ->
+      Tel.Counter.incr c_singular;
+      sick ~t_now ~iter
+        (Printf.sprintf "singular system (row %d, pivot %.3g)" row pivot));
     let worst = apply_update ~opts ~n_node_unknowns x (Mna.solution ws) in
-    if worst <= tolerance ~opts x then begin
+    chaos_nan x;
+    if opts.health_guards then check_finite ~t_now ~iter x;
+    if (not diverge) && worst <= tolerance ~opts x then begin
       record_solve iter;
       x
     end
@@ -83,8 +167,9 @@ let solve_ws sys ws ~(opts : Options.t) ~t_now ~reactive ~x0 =
   in
   iterate 1
 
-let solve sys ?ws ~(opts : Options.t) ~t_now ~reactive ~x0 () =
-  if opts.naive_assembly then solve_naive sys ~opts ~t_now ~reactive ~x0
+let solve sys ?ws ?deadline_at ~(opts : Options.t) ~t_now ~reactive ~x0 () =
+  if opts.naive_assembly then
+    solve_naive sys ~opts ?deadline_at ~t_now ~reactive ~x0 ()
   else
     let ws = match ws with Some w -> w | None -> Mna.make_workspace sys in
-    solve_ws sys ws ~opts ~t_now ~reactive ~x0
+    solve_ws sys ws ~opts ?deadline_at ~t_now ~reactive ~x0 ()

@@ -4,11 +4,37 @@ exception No_convergence of { t : float; iterations : int; worst : float }
 (** Raised when the iteration cap is hit; [worst] is the largest remaining
     voltage update. *)
 
-(** [solve sys ?ws ~opts ~t_now ~reactive ~x0 ()] iterates
+exception Numerical_health of { t : float; iterations : int; what : string }
+(** Raised by the runtime health monitor when the iteration produces a
+    numerically sick state: a NaN/Inf in the unknown vector (counted in
+    [engine.health.nan_detected]) or a singular/rank-deficient system
+    matrix (counted in [engine.health.singular_lu]). [what] is a short
+    human-readable description. Treated as recoverable by the
+    {!Dramstress_dram.Ops} retry ladder, exactly like
+    {!No_convergence}. *)
+
+exception Timeout of { t : float; budget_s : float }
+(** Raised by the cooperative deadline check when the wall-clock budget
+    ([Sim_config.deadline]) passed down as [deadline_at] is exceeded.
+    Deliberately NOT recoverable: retrying a point that already burned
+    its budget only burns more, so it surfaces directly as a [Failed]
+    sweep outcome. *)
+
+(** [solve sys ?ws ?deadline_at ~opts ~t_now ~reactive ~x0 ()] iterates
     assemble/solve from initial guess [x0] until every node-voltage
     update is below [abstol + reltol * |v|]. Node-voltage updates are
     clamped to [opts.max_step_v] per iteration. Returns the converged
     unknown vector (freshly allocated; independent of [x0] and [ws]).
+
+    With [opts.health_guards] (the default) the state vector is checked
+    for NaN/Inf after every update and a singular LU factorization is
+    converted into {!Numerical_health} — a few flat array scans per
+    iteration, negligible against the O(n^3) factorization.
+
+    [deadline_at], when given as [(at, budget_s)], is an absolute
+    [Unix.gettimeofday]-clock instant polled once per iteration; past
+    it the solve raises [Timeout { t; budget_s }]. The poll costs one
+    [gettimeofday] per iteration and nothing when [None].
 
     [ws] supplies reusable assembly/factorization buffers
     ({!Mna.make_workspace}); when omitted a workspace is allocated for
@@ -21,6 +47,7 @@ exception No_convergence of { t : float; iterations : int; worst : float }
 val solve :
   Mna.t ->
   ?ws:Mna.workspace ->
+  ?deadline_at:float * float ->
   opts:Options.t ->
   t_now:float ->
   reactive:Mna.reactive ->

@@ -10,6 +10,7 @@ type t = {
   integrator : integrator;
   naive_assembly : bool;
   dt_scale : float;
+  health_guards : bool;
 }
 
 let default =
@@ -23,4 +24,5 @@ let default =
     integrator = Backward_euler;
     naive_assembly = false;
     dt_scale = 1.0;
+    health_guards = true;
   }

@@ -58,7 +58,8 @@ let make_interps times probe_names probe_values =
     probe_names;
   tbl
 
-let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
+let run compiled ?(opts = Options.default) ?deadline_at ~segments ~ics ~probes
+    () =
   Tel.Counter.incr c_runs;
   if not (opts.Options.dt_scale > 0.0) then
     invalid_arg "Transient.run: dt_scale must be positive";
@@ -110,8 +111,8 @@ let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
     { (Mna.init_reactive sys ~prev_v:v) with Mna.dt = 1e-18 }
   in
   let x =
-    ref (Newton.solve sys ~ws ~opts ~t_now:0.0 ~reactive:reactive0
-           ~x0:(Mna.pack sys v) ())
+    ref (Newton.solve sys ~ws ?deadline_at ~opts ~t_now:0.0
+           ~reactive:reactive0 ~x0:(Mna.pack sys v) ())
   in
   let prev_v = ref (Mna.voltages sys !x) in
   let prev_cap =
@@ -133,7 +134,8 @@ let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
       let reactive =
         { Mna.dt; prev_v = !prev_v; prev_cap_current = !prev_cap }
       in
-      match Newton.solve sys ~ws ~opts ~t_now ~reactive ~x0:!x () with
+      match Newton.solve sys ~ws ?deadline_at ~opts ~t_now ~reactive ~x0:!x ()
+      with
       | x_new ->
         Tel.Counter.incr c_accepted;
         Tel.Histogram.observe h_dt dt;
@@ -150,6 +152,16 @@ let run compiled ?(opts = Options.default) ~segments ~ics ~probes () =
             (Step_failed
                { seg_start; seg_end; t; dt; retries = max_retries; iterations;
                  worst })
+      (* a numerically sick step gets the same halving retries — a
+         smaller step often routes around the sick region — but an
+         exhausted budget re-raises the typed health error itself so
+         the retry ladder and sweep reports keep the diagnosis.
+         Newton.Timeout is deliberately not caught: a point past its
+         wall-clock budget must fail now, not retry. *)
+      | exception (Newton.Numerical_health _ as e) ->
+        Tel.Counter.incr c_rejected;
+        if retries > 0 then attempt t_prev (dt /. 2.0) (retries - 1)
+        else raise e
     in
     attempt t_prev (t_next -. t_prev) max_retries
   in

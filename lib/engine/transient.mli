@@ -41,7 +41,8 @@ val probe : result -> string -> Dramstress_util.Interp.t
 (** [value_at result name t] is the probe value at time [t]. *)
 val value_at : result -> string -> float -> float
 
-(** [run compiled ?opts ~segments ~ics ~probes ()] integrates the circuit.
+(** [run compiled ?opts ?deadline_at ~segments ~ics ~probes ()]
+    integrates the circuit.
 
     - [segments]: ordered [(t_end, dt)] list; [t_end] strictly increases
       and [dt > 0].
@@ -50,12 +51,19 @@ val value_at : result -> string -> float -> float
       backward-Euler step of essentially zero length, which pins
       capacitor voltages at their ICs while solving resistive nodes).
     - [probes]: node names to record at every accepted point.
+    - [deadline_at]: absolute wall-clock cutoff [(at, budget_s)] threaded
+      into every {!Newton.solve}; past it the run raises
+      {!Newton.Timeout} immediately (no halving retries).
 
     Raises {!Step_failed} if a time point fails to converge after the
-    built-in step-halving retries (4 halvings). *)
+    built-in step-halving retries (4 halvings). A step that trips the
+    runtime health monitor gets the same halving retries but re-raises
+    {!Newton.Numerical_health} (with its original context) when they
+    are exhausted. *)
 val run :
   Dramstress_circuit.Netlist.compiled ->
   ?opts:Options.t ->
+  ?deadline_at:float * float ->
   segments:(float * float) list ->
   ics:(string * float) list ->
   probes:string list ->

@@ -1,0 +1,168 @@
+(* Deterministic, seed-driven fault injection.
+
+   The injection sites live permanently on the hot paths (Newton, MNA
+   factorization, parallel sweep workers, checkpoint writes) but are
+   dormant unless armed: the site guard is one atomic load of [armed],
+   so a production run pays a branch per site and nothing else.
+
+   Determinism contract: every site consults [fire], which advances a
+   per-fault query counter and fires on a schedule derived only from
+   the configured seed and the counter value — never from time or
+   Random. Two runs with the same seed, spec and [jobs = 1] therefore
+   inject exactly the same faults at exactly the same points, which is
+   what lets the chaos tests assert exact failure accounting. *)
+
+module Tel = Telemetry
+
+type fault =
+  | Perturb_jacobian
+  | Force_newton_diverge
+  | Inject_nan_state
+  | Fail_worker_task
+  | Truncate_checkpoint
+
+let all_faults =
+  [ Perturb_jacobian; Force_newton_diverge; Inject_nan_state;
+    Fail_worker_task; Truncate_checkpoint ]
+
+let fault_name = function
+  | Perturb_jacobian -> "perturb_jacobian"
+  | Force_newton_diverge -> "force_newton_diverge"
+  | Inject_nan_state -> "inject_nan_state"
+  | Fail_worker_task -> "fail_worker_task"
+  | Truncate_checkpoint -> "truncate_checkpoint"
+
+let fault_of_name s =
+  List.find_opt (fun f -> fault_name f = s) all_faults
+
+let index = function
+  | Perturb_jacobian -> 0
+  | Force_newton_diverge -> 1
+  | Inject_nan_state -> 2
+  | Fail_worker_task -> 3
+  | Truncate_checkpoint -> 4
+
+let n_faults = 5
+
+exception Injected_fault of { fault : fault }
+
+let () =
+  Printexc.register_printer (function
+    | Injected_fault { fault } ->
+      Some (Printf.sprintf "Chaos.Injected_fault(%s)" (fault_name fault))
+    | _ -> None)
+
+(* firing schedule for one fault class *)
+type mode =
+  | Every of int  (* fires once per window of [n] queries *)
+  | Once of int   (* fires on exactly the [n]-th query, then never again *)
+
+let c_injected = Tel.Counter.make "util.chaos.injected"
+
+let c_per_class =
+  Array.of_list
+    (List.map
+       (fun f -> Tel.Counter.make ("util.chaos.injected." ^ fault_name f))
+       all_faults)
+
+let armed_flag = Atomic.make false
+let seed_v = Atomic.make 0
+let modes = Array.init n_faults (fun _ -> Atomic.make (None : mode option))
+let queries = Array.init n_faults (fun _ -> Atomic.make 0)
+let injections = Array.init n_faults (fun _ -> Atomic.make 0)
+
+let armed () = Atomic.get armed_flag
+let seed () = Atomic.get seed_v
+let injected f = Atomic.get injections.(index f)
+let total_injected () = Array.fold_left (fun a c -> a + Atomic.get c) 0 injections
+
+let reset_counts () =
+  Array.iter (fun c -> Atomic.set c 0) queries;
+  Array.iter (fun c -> Atomic.set c 0) injections
+
+let disarm () =
+  Atomic.set armed_flag false;
+  Array.iter (fun m -> Atomic.set m None) modes
+
+(* spec grammar: comma-separated [name], [name@N] (periodic, once per
+   window of N queries) or [name@+N] (exactly once, on the N-th query) *)
+let parse_spec spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if entries = [] then invalid_arg "Chaos: empty fault spec";
+  List.map
+    (fun entry ->
+      let name, mode =
+        match String.index_opt entry '@' with
+        | None -> (entry, Every 1)
+        | Some i ->
+          let name = String.sub entry 0 i in
+          let arg = String.sub entry (i + 1) (String.length entry - i - 1) in
+          let once, num =
+            if String.length arg > 0 && arg.[0] = '+' then
+              (true, String.sub arg 1 (String.length arg - 1))
+            else (false, arg)
+          in
+          (match int_of_string_opt num with
+          | Some n when n >= 1 -> (name, if once then Once n else Every n)
+          | Some _ | None ->
+            invalid_arg
+              (Printf.sprintf "Chaos: bad fault period %S in %S" arg entry))
+      in
+      match fault_of_name name with
+      | Some f -> (f, mode)
+      | None -> invalid_arg (Printf.sprintf "Chaos: unknown fault class %S" name))
+    entries
+
+let configure ~seed spec =
+  let parsed = parse_spec spec in
+  Atomic.set armed_flag false;
+  Array.iter (fun m -> Atomic.set m None) modes;
+  reset_counts ();
+  Atomic.set seed_v seed;
+  List.iter (fun (f, m) -> Atomic.set modes.(index f) (Some m)) parsed;
+  Atomic.set armed_flag true
+
+(* DRAMSTRESS_CHAOS=seed:spec, e.g. "42:inject_nan_state@50,fail_worker_task@7" *)
+let configure_from_env () =
+  match Sys.getenv_opt "DRAMSTRESS_CHAOS" with
+  | None | Some "" | Some ("off" | "0" | "false" | "no") -> disarm ()
+  | Some v -> begin
+    match String.index_opt v ':' with
+    | None -> invalid_arg ("Chaos: DRAMSTRESS_CHAOS must be seed:spec, got " ^ v)
+    | Some i ->
+      let seed_s = String.sub v 0 i in
+      let spec = String.sub v (i + 1) (String.length v - i - 1) in
+      (match int_of_string_opt (String.trim seed_s) with
+      | Some seed -> configure ~seed spec
+      | None ->
+        invalid_arg ("Chaos: bad DRAMSTRESS_CHAOS seed in " ^ v))
+  end
+
+let record_injection f =
+  Atomic.incr injections.(index f);
+  Tel.Counter.incr c_injected;
+  Tel.Counter.incr c_per_class.(index f)
+
+let fire f =
+  if not (Atomic.get armed_flag) then false
+  else begin
+    let i = index f in
+    match Atomic.get modes.(i) with
+    | None -> false
+    | Some mode ->
+      (* queries are numbered from 1 *)
+      let q = 1 + Atomic.fetch_and_add queries.(i) 1 in
+      let hit =
+        match mode with
+        (* the seed rotates which query inside each window fires, so
+           different seeds stress different points of the campaign *)
+        | Every n -> (q - 1) mod n = Atomic.get seed_v mod n
+        | Once n -> q = n
+      in
+      if hit then record_injection f;
+      hit
+  end

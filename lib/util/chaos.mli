@@ -1,0 +1,81 @@
+(** Deterministic, seed-driven fault injection for resilience testing.
+
+    Injection sites are compiled into the engine, sweep and checkpoint
+    layers but stay dormant (one atomic load per site) until the module
+    is armed — either programmatically with {!configure} or through the
+    [DRAMSTRESS_CHAOS] environment variable. Firing decisions depend
+    only on the configured seed and a per-fault query counter, never on
+    wall time or [Random], so a campaign run with [jobs = 1], the same
+    seed and the same spec injects byte-identically reproducible
+    faults. *)
+
+(** The five injectable fault classes and where they strike:
+    - [Perturb_jacobian]: zeroes a matrix row before factorization in
+      {!Dramstress_engine.Mna.solve_in_place}, forcing a singular LU;
+    - [Force_newton_diverge]: makes one Newton solve ignore its
+      convergence test, so it iterates until [max_newton] (or a
+      deadline) stops it;
+    - [Inject_nan_state]: poisons one entry of the Newton state vector
+      with NaN, exercising the finiteness guards;
+    - [Fail_worker_task]: raises {!Injected_fault} inside a
+      {!Par.parallel_map_outcomes} worker, producing a [Failed] slot;
+    - [Truncate_checkpoint]: truncates one checkpoint record mid-write,
+      simulating a kill during the append. *)
+type fault =
+  | Perturb_jacobian
+  | Force_newton_diverge
+  | Inject_nan_state
+  | Fail_worker_task
+  | Truncate_checkpoint
+
+val all_faults : fault list
+
+(** Stable spec / telemetry name: ["perturb_jacobian"], ... *)
+val fault_name : fault -> string
+
+val fault_of_name : string -> fault option
+
+exception Injected_fault of { fault : fault }
+(** Raised by the [Fail_worker_task] site (and available to custom
+    sites in tests). *)
+
+(** [configure ~seed spec] arms the harness. [spec] is a comma-separated
+    list of entries: [name] (fire on every query), [name@N] (fire once
+    per window of [N] queries; the seed rotates which query in the
+    window) or [name@+N] (fire exactly once, on the [N]-th query).
+    Resets all query and injection counters. Raises [Invalid_argument]
+    on an unknown fault name or a bad period. *)
+val configure : seed:int -> string -> unit
+
+(** [configure_from_env ()] arms from [DRAMSTRESS_CHAOS=seed:spec]
+    (e.g. [42:inject_nan_state@50,fail_worker_task@7]); unset, empty or
+    [off|0|false|no] disarms. Never called implicitly — front ends opt
+    in at startup. *)
+val configure_from_env : unit -> unit
+
+(** [disarm ()] returns every site to its dormant state. Injection
+    counters survive so tests can read them after the campaign. *)
+val disarm : unit -> unit
+
+(** [armed ()] is the cheap site guard: a single atomic load. *)
+val armed : unit -> bool
+
+val seed : unit -> int
+
+(** [fire f] advances fault [f]'s query counter and reports whether the
+    site should inject now. Counts every injection in the module's own
+    atomics (always) and in the [util.chaos.injected] /
+    [util.chaos.injected.<class>] telemetry counters (when telemetry is
+    enabled). Always [false] while dormant. *)
+val fire : fault -> bool
+
+(** [injected f] — injections of class [f] since the last
+    {!configure} / {!reset_counts}. *)
+val injected : fault -> int
+
+(** [total_injected ()] — sum over all classes; always equals the sum
+    of {!injected} per class, which the chaos CLI asserts against the
+    telemetry counters. *)
+val total_injected : unit -> int
+
+val reset_counts : unit -> unit

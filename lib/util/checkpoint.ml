@@ -125,8 +125,17 @@ let record t ~key ?(descr = "") value =
             if descr = "" then ""
             else Printf.sprintf "\"descr\":\"%s\"," (Tel.json_escape descr)
           in
-          Printf.fprintf oc "{%s\"key\":\"%s\",\"value\":\"%s\"}\n" descr_field
-            (Tel.json_escape key) (Tel.json_escape value);
+          let line =
+            Printf.sprintf "{%s\"key\":\"%s\",\"value\":\"%s\"}\n" descr_field
+              (Tel.json_escape key) (Tel.json_escape value)
+          in
+          if Chaos.armed () && Chaos.fire Chaos.Truncate_checkpoint then
+            (* a kill mid-append: half a record, no trailing newline.
+               The store stays correct — the in-memory table already
+               holds the value, and on resume the malformed bytes are
+               skipped and the point recomputed *)
+            output_string oc (String.sub line 0 (String.length line / 2))
+          else output_string oc line;
           (* flush per record: an interrupt loses at most in-flight points *)
           flush oc;
           Tel.Counter.incr c_records

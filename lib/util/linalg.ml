@@ -1,6 +1,13 @@
 type matrix = float array array
 
-exception Singular of int
+exception Singular of { row : int; pivot : float }
+
+let () =
+  Printexc.register_printer (function
+    | Singular { row; pivot } ->
+      Some
+        (Printf.sprintf "Linalg.Singular { row = %d; pivot = %.6g }" row pivot)
+    | _ -> None)
 
 let create n m = Array.make_matrix n m 0.0
 
@@ -47,8 +54,29 @@ let mat_mul a b =
 type lu = { lu : matrix; perm : int array }
 
 (* Doolittle LU with partial pivoting, factoring [lu] destructively.
-   [perm] must come in as the identity permutation. *)
+   [perm] must come in as the identity permutation.
+
+   The pivot threshold is relative to the matrix's largest entry at
+   factor time: a pivot below [scale * 1e-14] is cancellation residue,
+   not signal, and dividing through it would fill the factors with
+   garbage that only surfaces as a wrong answer much later. The
+   relative scale matters — MNA matrices carry gmin entries (~1e-12 S)
+   that are legitimate pivots against an O(1) scale, while a 1e-16
+   residue of an O(1) cancellation is not. An absolute 1e-300 floor
+   still covers the all-tiny-matrix corner. *)
+let pivot_threshold lu n =
+  let scale = ref 0.0 in
+  for i = 0 to n - 1 do
+    let row = lu.(i) in
+    for j = 0 to n - 1 do
+      let v = Float.abs row.(j) in
+      if v > !scale then scale := v
+    done
+  done;
+  Float.max 1e-300 (!scale *. 1e-14)
+
 let factor_loop lu perm n =
+  let threshold = pivot_threshold lu n in
   for k = 0 to n - 1 do
     let pivot = ref k in
     let best = ref (Float.abs lu.(k).(k)) in
@@ -59,7 +87,9 @@ let factor_loop lu perm n =
         pivot := i
       end
     done;
-    if !best < 1e-300 then raise (Singular k);
+    if not (!best >= threshold) then
+      (* [not >=] rather than [<] so a NaN pivot column is also caught *)
+      raise (Singular { row = k; pivot = !best });
     if !pivot <> k then begin
       let tmp = lu.(k) in
       lu.(k) <- lu.(!pivot);

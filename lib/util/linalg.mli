@@ -28,12 +28,17 @@ val mat_mul : matrix -> matrix -> matrix
 (** LU factorization with partial pivoting, kept with its permutation. *)
 type lu
 
-(** [lu_factor a] factors a copy of [a]. Raises [Singular] if a pivot
-    column is numerically zero. *)
+(** [lu_factor a] factors a copy of [a]. Raises [Singular] if the best
+    available pivot is numerically zero. *)
 val lu_factor : matrix -> lu
 
-exception Singular of int
-(** Raised with the offending pivot index when factorization fails. *)
+exception Singular of { row : int; pivot : float }
+(** Raised when factorization meets a pivot column whose largest entry
+    [pivot] falls below the rank threshold (the matrix's largest entry
+    times 1e-14, floored at 1e-300) at elimination step [row] — the
+    matrix is structurally singular or rank-deficient to working
+    precision. NaN pivots are reported the same way rather than being
+    divided through. *)
 
 (** [lu_solve lu b] solves [a * x = b] for the [a] given to [lu_factor].
     [b] is not modified. *)

@@ -109,7 +109,11 @@ let parallel_iter ?jobs f xs =
 let parallel_map_outcomes ?jobs ?(retries_of = fun _ -> 0) f xs =
   parallel_map ?jobs
     (fun x ->
-      match f x with
+      match
+        if Chaos.armed () && Chaos.fire Chaos.Fail_worker_task then
+          raise (Chaos.Injected_fault { fault = Chaos.Fail_worker_task });
+        f x
+      with
       | y -> Outcome.Ok y
       | exception e ->
         Tel.Counter.incr c_task_failures;

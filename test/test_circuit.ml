@@ -206,8 +206,44 @@ let test_netlist_dangling () =
   ignore (N.node nl "floating");
   N.resistor nl ~name:"r1" "a" "0" 1.0;
   Alcotest.check_raises "dangling"
-    (Invalid_argument "Netlist.compile: dangling node \"floating\"")
+    (N.Invalid [ N.Floating_node { node = "floating" } ])
     (fun () -> ignore (N.compile nl))
+
+let test_netlist_diagnostics_collected () =
+  (* one compile reports every problem, not just the first symptom *)
+  let nl = N.create () in
+  ignore (N.node nl "floating");
+  (* raw add bypasses the smart-constructor finiteness/positivity checks *)
+  N.add nl
+    (D.Resistor { name = "r_nan"; a = N.node nl "a"; b = 0; r = Float.nan });
+  N.add nl (D.Capacitor { name = "c_zero"; a = N.node nl "a"; b = 0; c = 0.0 });
+  match N.compile nl with
+  | _ -> Alcotest.fail "expected Netlist.Invalid"
+  | exception N.Invalid diags ->
+    let has p = List.exists p diags in
+    Alcotest.(check int) "all three diagnostics" 3 (List.length diags);
+    Alcotest.(check bool) "floating" true
+      (has (function N.Floating_node { node } -> node = "floating" | _ -> false));
+    Alcotest.(check bool) "non-finite r" true
+      (has (function
+        | N.Non_finite_param { device = "r_nan"; param = "r"; value } ->
+          Float.is_nan value
+        | _ -> false));
+    Alcotest.(check bool) "zero capacitance" true
+      (has (function
+        | N.Zero_capacitance { device = "c_zero" } -> true
+        | _ -> false))
+
+let test_netlist_nonfinite_dc_source () =
+  let nl = N.create () in
+  N.vsource nl ~name:"vdd" "vdd" "0" (W.dc Float.infinity);
+  N.resistor nl ~name:"r" "vdd" "0" 1000.0;
+  match N.compile nl with
+  | _ -> Alcotest.fail "expected Netlist.Invalid"
+  | exception N.Invalid [ N.Non_finite_param { device; param; _ } ] ->
+    Alcotest.(check string) "device" "vdd" device;
+    Alcotest.(check string) "param" "v.dc" param
+  | exception N.Invalid _ -> Alcotest.fail "expected a single diagnostic"
 
 let test_insert_series () =
   let nl = N.create () in
@@ -227,7 +263,10 @@ let test_insert_series () =
 
 let test_insert_series_missing () =
   let nl = N.create () in
-  Alcotest.check_raises "missing" Not_found (fun () ->
+  Alcotest.check_raises "missing"
+    (N.Invalid
+       [ N.Unknown_device { context = "Netlist.insert_series"; device = "none" } ])
+    (fun () ->
       N.insert_series nl ~name:"x" ~device:"none" ~terminal:D.Term_a ~r:1.0)
 
 let test_replace_remove () =
@@ -405,6 +444,9 @@ let () =
           tc "duplicate device rejected" test_netlist_duplicate_device;
           tc "compile counts" test_netlist_compile_counts;
           tc "dangling node rejected" test_netlist_dangling;
+          tc "diagnostics collected in one report"
+            test_netlist_diagnostics_collected;
+          tc "non-finite DC level rejected" test_netlist_nonfinite_dc_source;
           tc "series insertion (open defect)" test_insert_series;
           tc "series insertion on missing device" test_insert_series_missing;
           tc "replace and remove" test_replace_remove;

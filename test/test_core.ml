@@ -425,6 +425,39 @@ let test_plane_survives_injected_failure () =
     plane.C.Plane.curves;
   Alcotest.(check int) "vsa curve too" 3 (List.length plane.C.Plane.vsa_curve)
 
+let test_plane_all_points_failed_renders () =
+  (* regression: a campaign whose every point times out must still
+     render and report. The shared defect-free V_mp probe is exempt
+     from the per-point deadline, and the geometric BR degrades to "no
+     crossing" instead of crashing on empty curves. *)
+  let module Sc = Dramstress_dram.Sim_config in
+  let config = Sc.v ~jobs:1 ~retry:Sc.no_retry ~deadline:1e-9 () in
+  let rops = [ 1e3; 1e5; 1e6 ] in
+  let rendered, failures =
+    C.Report.figure2_with_failures ~config ~rops ~stress:nominal
+      ~kind:open_kind ~placement:D.True_bl ()
+  in
+  Alcotest.(check int) "every point of all three planes failed"
+    (3 * List.length rops)
+    (List.length failures);
+  List.iter
+    (fun f ->
+      match f.Dramstress_util.Outcome.error with
+      | Dramstress_engine.Newton.Timeout _ -> ()
+      | e ->
+        Alcotest.failf "expected a timeout failure, got %s"
+          (Printexc.to_string e))
+    failures;
+  let contains sub =
+    let n = String.length rendered and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub rendered i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "failed points are listed, not hidden" true
+    (contains "point(s) failed");
+  Alcotest.(check bool) "BR degrades to no-crossing" true
+    (contains "no crossing")
+
 let test_plane_checkpoint_resume_identical () =
   let path = Filename.temp_file "dramstress_plane" ".jsonl" in
   Fun.protect
@@ -720,6 +753,8 @@ let () =
           tc "read plane structure" test_read_plane_structure;
           tc "injected failure leaves one Failed slot"
             test_plane_survives_injected_failure;
+          tc "all points failed still renders"
+            test_plane_all_points_failed_renders;
           slow "checkpoint resume is byte-identical"
             test_plane_checkpoint_resume_identical;
         ] );

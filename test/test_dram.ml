@@ -420,6 +420,155 @@ let test_retry_telemetry_reconciles () =
       Alcotest.(check int) "failed_runs" 1 (counter "dram.ops.failed_runs"))
 
 (* ------------------------------------------------------------------ *)
+(* Deadlines and chaos at the operation level                          *)
+(* ------------------------------------------------------------------ *)
+
+module Chaos = Dramstress_util.Chaos
+module Par = Dramstress_util.Par
+module Outcome = Dramstress_util.Outcome
+
+let with_chaos f = Fun.protect ~finally:(fun () -> Chaos.disarm ()) f
+
+(* a solver that can never converge (one Newton iteration) under a
+   microscopic wall-clock budget: the run must die of Timeout — which
+   the ladder deliberately does NOT retry — not of No_convergence *)
+let test_deadline_timeout_propagates () =
+  let module Tel = Dramstress_util.Telemetry in
+  let was = Tel.enabled () in
+  Fun.protect
+    ~finally:(fun () -> Tel.set_enabled was)
+    (fun () ->
+      Tel.set_enabled true;
+      Tel.reset ();
+      let config =
+        Sc.v ~sim:tight_sim ~retry:{ Sc.stages = [ rescue_stage ] }
+          ~deadline:1e-9 ()
+      in
+      (match
+         O.run ~config ~cache:(O.Cache.create ()) ~stress:nominal
+           ~defect:(open_defect 200e3) ~vc_init:2.4 [ O.W0 ]
+       with
+      | _ -> Alcotest.fail "expected Timeout"
+      | exception E.Newton.Timeout { budget_s; _ } ->
+        Alcotest.(check (float 0.0)) "budget echoed" 1e-9 budget_s);
+      let snap = Tel.snapshot () in
+      Alcotest.(check (option int)) "deadline counter" (Some 1)
+        (List.assoc_opt "dram.ops.deadline_exceeded" snap.Tel.counters))
+
+let test_deadline_generous_is_unobtrusive () =
+  let config = Sc.v ~deadline:3600.0 () in
+  let oc =
+    O.run ~config ~cache:(O.Cache.create ()) ~stress:nominal ~vc_init:0.0
+      [ O.W1; O.R ]
+  in
+  Alcotest.(check (list int)) "normal result" [ 1 ] (O.sensed_bits oc)
+
+let test_deadline_validation () =
+  Alcotest.check_raises "non-positive deadline"
+    (Invalid_argument "Sim_config: deadline must be > 0") (fun () ->
+      ignore (Sc.v ~deadline:0.0 ()))
+
+(* the acceptance scenario: one chaos-hung point is cut off by the
+   deadline and reported as Failed {error = Timeout} while the rest of
+   the sweep completes normally *)
+let test_sweep_hung_point_cut_off () =
+  with_chaos @@ fun () ->
+  (* Once-mode: exactly the first Newton solve of the campaign ignores
+     its convergence test; a huge iteration budget makes it effectively
+     hang until the wall-clock deadline trips *)
+  Chaos.configure ~seed:0 "force_newton_diverge@+1";
+  let config =
+    Sc.v
+      ~sim:{ E.Options.default with E.Options.max_newton = 1_000_000_000 }
+      ~retry:Sc.no_retry ~deadline:0.05 ()
+  in
+  let cache = O.Cache.create () in
+  let points = [ 100e3; 200e3; 400e3; 800e3 ] in
+  let outcomes =
+    Par.parallel_map_outcomes ~jobs:1 ~retries_of:O.retries_of
+      (fun r ->
+        let oc =
+          O.run ~config ~cache ~stress:nominal ~defect:(open_defect r)
+            ~vc_init:2.4 [ O.W0; O.R ]
+        in
+        (List.hd oc.O.results).O.vc_end)
+      points
+  in
+  Alcotest.(check int) "every slot kept" (List.length points)
+    (List.length outcomes);
+  (match outcomes with
+  | Outcome.Failed { error = E.Newton.Timeout { budget_s; _ }; point; _ }
+    :: rest ->
+    Alcotest.(check (float 0.0)) "budget in error" 0.05 budget_s;
+    Alcotest.(check (float 0.0)) "failed point identified" 100e3 point;
+    List.iter
+      (function
+        | Outcome.Ok v ->
+          Alcotest.(check bool) "finite voltage" true (Float.is_finite v)
+        | Outcome.Failed f ->
+          Alcotest.failf "later point failed: %s"
+            (Printexc.to_string f.Outcome.error))
+      rest
+  | _ -> Alcotest.fail "first point should have timed out");
+  Alcotest.(check int) "exactly one injection" 1
+    (Chaos.injected Chaos.Force_newton_diverge)
+
+(* a transient NaN (one poisoned solve) is rescued by the built-in
+   step-halving retry: the campaign result is healthy and the injection
+   is still accounted *)
+let test_nan_once_rescued_by_halving () =
+  with_chaos @@ fun () ->
+  Chaos.configure ~seed:0 "inject_nan_state@+40";
+  let oc =
+    O.run ~cache:(O.Cache.create ()) ~stress:nominal ~vc_init:0.0 [ O.W1; O.R ]
+  in
+  Alcotest.(check (list int)) "healthy readback" [ 1 ] (O.sensed_bits oc);
+  Alcotest.(check int) "one injection" 1 (Chaos.injected Chaos.Inject_nan_state);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "finite V_c" true (Float.is_finite r.O.vc_end))
+    oc.O.results
+
+(* a sweep under sustained jacobian sabotage completes with every
+   injected failure as a structured outcome — no NaN ever reaches a
+   reported V_c *)
+let test_sweep_survives_singular_chaos () =
+  with_chaos @@ fun () ->
+  Chaos.configure ~seed:1 "perturb_jacobian@200";
+  let config = Sc.v ~retry:Sc.no_retry () in
+  let cache = O.Cache.create () in
+  let points = [ 100e3; 200e3; 400e3; 800e3; 1600e3; 3200e3 ] in
+  let outcomes =
+    Par.parallel_map_outcomes ~jobs:1 ~retries_of:O.retries_of
+      (fun r ->
+        let oc =
+          O.run ~config ~cache ~stress:nominal ~defect:(open_defect r)
+            ~vc_init:2.4 [ O.W0 ]
+        in
+        (List.hd oc.O.results).O.vc_end)
+      points
+  in
+  let oks, failures =
+    List.partition (function Outcome.Ok _ -> true | _ -> false) outcomes
+  in
+  Alcotest.(check int) "campaign completes" (List.length points)
+    (List.length oks + List.length failures);
+  Alcotest.(check bool) "chaos did strike" true
+    (Chaos.injected Chaos.Perturb_jacobian > 0);
+  List.iter
+    (function
+      | Outcome.Ok v ->
+        Alcotest.(check bool) "ok is finite" true (Float.is_finite v)
+      | Outcome.Failed { error; _ } -> begin
+        match error with
+        | E.Newton.Numerical_health _ | E.Newton.No_convergence _
+        | E.Transient.Step_failed _ ->
+          ()
+        | e -> Alcotest.failf "unstructured failure: %s" (Printexc.to_string e)
+      end)
+    outcomes
+
+(* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -508,6 +657,16 @@ let () =
           tc "damped stage rescues the run" test_retry_ladder_rescues;
           tc "exhausted ladder raises" test_retry_ladder_exhausts;
           tc "telemetry counters reconcile" test_retry_telemetry_reconciles;
+        ] );
+      ( "deadlines+chaos",
+        [
+          tc "timeout propagates untried" test_deadline_timeout_propagates;
+          tc "generous deadline unobtrusive"
+            test_deadline_generous_is_unobtrusive;
+          tc "deadline validation" test_deadline_validation;
+          tc "hung point cut off, sweep finishes" test_sweep_hung_point_cut_off;
+          tc "transient NaN rescued by halving" test_nan_once_rescued_by_halving;
+          tc "sweep survives singular chaos" test_sweep_survives_singular_chaos;
         ] );
       ( "properties",
         [

@@ -312,6 +312,109 @@ let test_naive_assembly_matches_incremental () =
     [ E.Options.Backward_euler; E.Options.Trapezoidal ]
 
 (* ------------------------------------------------------------------ *)
+(* Numerical health guards                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Chaos = Dramstress_util.Chaos
+
+let rc_fixture () =
+  let nl = N.create () in
+  N.vsource nl ~name:"v" "in" "0" (W.dc 1.0);
+  N.resistor nl ~name:"r" "in" "out" 1000.0;
+  N.capacitor nl ~name:"c" "out" "0" 1e-12;
+  N.compile nl
+
+let run_rc ?deadline_at c =
+  E.Transient.run c ?deadline_at
+    ~segments:[ (5e-9, 1e-10) ]
+    ~ics:[] ~probes:[ "out" ] ()
+
+let with_chaos f = Fun.protect ~finally:(fun () -> Chaos.disarm ()) f
+
+let test_health_nan_state_detected () =
+  with_chaos @@ fun () ->
+  Chaos.configure ~seed:0 "inject_nan_state";
+  let c = rc_fixture () in
+  (match run_rc c with
+  | _ -> Alcotest.fail "expected Numerical_health"
+  | exception E.Newton.Numerical_health { t; iterations; what } ->
+    Alcotest.(check bool) "time context" true (t >= 0.0);
+    Alcotest.(check bool) "iteration context" true (iterations >= 1);
+    Alcotest.(check bool) "names the symptom" true
+      (String.length what > 0));
+  Alcotest.(check bool) "injections recorded" true
+    (Chaos.injected Chaos.Inject_nan_state > 0)
+
+let test_health_guards_can_be_disabled () =
+  (* with health_guards off the chaos NaN sails through unchecked: the
+     run must NOT raise Numerical_health (this is the A/B the bench
+     overhead target relies on). The result is garbage, which is the
+     point: the guard is what stands between NaN and the caller. *)
+  with_chaos @@ fun () ->
+  Chaos.configure ~seed:0 "inject_nan_state";
+  let c = rc_fixture () in
+  let opts = { E.Options.default with E.Options.health_guards = false } in
+  match
+    E.Transient.run c ~opts ~segments:[ (5e-10, 1e-10) ] ~ics:[]
+      ~probes:[ "out" ] ()
+  with
+  | r ->
+    Alcotest.(check bool) "NaN reached the trace" true
+      (Array.exists
+         (fun row -> Array.exists (fun v -> Float.is_nan v) row)
+         r.E.Transient.probe_values)
+  | exception E.Newton.Numerical_health _ ->
+    Alcotest.fail "guards fired while disabled"
+  | exception E.Transient.Step_failed _ -> ()
+  | exception E.Newton.No_convergence _ -> ()
+
+let test_health_singular_lu_detected () =
+  with_chaos @@ fun () ->
+  Chaos.configure ~seed:0 "perturb_jacobian";
+  let c = rc_fixture () in
+  (match run_rc c with
+  | _ -> Alcotest.fail "expected Numerical_health"
+  | exception E.Newton.Numerical_health { what; _ } ->
+    Alcotest.(check bool) "names the singular system" true
+      (String.length what >= 8 && String.sub what 0 8 = "singular"));
+  Alcotest.(check bool) "injections recorded" true
+    (Chaos.injected Chaos.Perturb_jacobian > 0)
+
+let test_health_forced_divergence_is_structured () =
+  (* a solve that refuses to converge must surface as the existing
+     Step_failed (after halving retries), never as garbage voltages *)
+  with_chaos @@ fun () ->
+  Chaos.configure ~seed:0 "force_newton_diverge";
+  let c = rc_fixture () in
+  match run_rc c with
+  | _ -> Alcotest.fail "expected a structured convergence failure"
+  | exception E.Transient.Step_failed { retries; _ } ->
+    Alcotest.(check int) "halving retries were spent" 4 retries
+  | exception E.Newton.No_convergence _ ->
+    (* the initial consistency solve diverges first; it has no halving
+       retries but still fails with the typed exception *)
+    ()
+
+let test_deadline_cuts_solve () =
+  let c = rc_fixture () in
+  (* a deadline already in the past: the very first Newton iteration
+     must give up with the budget in the payload *)
+  let deadline_at = (Unix.gettimeofday () -. 1.0, 0.25) in
+  match run_rc ~deadline_at c with
+  | _ -> Alcotest.fail "expected Timeout"
+  | exception E.Newton.Timeout { t; budget_s } ->
+    Alcotest.(check bool) "time context" true (t >= 0.0);
+    Alcotest.(check (float 0.0)) "budget echoed" 0.25 budget_s
+
+let test_deadline_generous_budget_unobtrusive () =
+  let c = rc_fixture () in
+  let deadline_at = (Unix.gettimeofday () +. 3600.0, 3600.0) in
+  let a = run_rc ~deadline_at c and b = run_rc c in
+  Array.iteri
+    (fun i v -> check_float ~eps:0.0 "identical trace" v b.E.Transient.final_v.(i))
+    a.E.Transient.final_v
+
+(* ------------------------------------------------------------------ *)
 (* DC sweep                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -395,6 +498,17 @@ let () =
           tc "naive assembly matches incremental"
             test_naive_assembly_matches_incremental;
           QCheck_alcotest.to_alcotest prop_rc_matches_analytic;
+        ] );
+      ( "health",
+        [
+          tc "NaN state detected" test_health_nan_state_detected;
+          tc "guards can be disabled" test_health_guards_can_be_disabled;
+          tc "singular LU detected" test_health_singular_lu_detected;
+          tc "forced divergence is structured"
+            test_health_forced_divergence_is_structured;
+          tc "deadline cuts the solve" test_deadline_cuts_solve;
+          tc "generous deadline unobtrusive"
+            test_deadline_generous_budget_unobtrusive;
         ] );
       ( "sweep",
         [

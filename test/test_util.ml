@@ -39,8 +39,45 @@ let test_lu_pivoting () =
 
 let test_lu_singular () =
   let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
-  Alcotest.check_raises "singular" (L.Singular 1) (fun () ->
-      ignore (L.lu_factor a))
+  match L.lu_factor a with
+  | _ -> Alcotest.fail "expected Singular"
+  | exception L.Singular { row; pivot } ->
+    Alcotest.(check int) "row" 1 row;
+    Alcotest.(check bool) "tiny pivot" true (Float.abs pivot < 1e-9)
+
+let test_lu_rank_deficient_residue () =
+  (* row 2 = row 0 + row 1: elimination leaves only cancellation residue
+     in the last pivot. The old absolute-epsilon test let the residue
+     through and divided by ~1e-16 — the unguarded-division bug; the
+     relative threshold must reject it. *)
+  let a =
+    [| [| 1.0; 2.0; 3.0 |]; [| 4.0; 5.0; 6.0 |]; [| 5.0; 7.0; 9.0 |] |]
+  in
+  (match L.lu_factor a with
+  | _ -> Alcotest.fail "expected Singular on rank-2 matrix"
+  | exception L.Singular { row; _ } -> Alcotest.(check int) "last row" 2 row);
+  (* scaled copies must be caught identically: the threshold is relative *)
+  let scaled = Array.map (Array.map (fun v -> v *. 1e9)) a in
+  match L.lu_factor scaled with
+  | _ -> Alcotest.fail "expected Singular on scaled rank-2 matrix"
+  | exception L.Singular _ -> ()
+
+let test_lu_near_singular_ok () =
+  (* a gmin-conditioned system: pivots differ by 12 orders of magnitude
+     but the matrix is genuinely invertible and must still solve *)
+  let a = [| [| 1.0; 0.0 |]; [| 0.0; 1e-12 |] |] in
+  let x = L.solve a [| 1.0; 2e-12 |] in
+  check_float "x0" 1.0 x.(0);
+  check_float "x1" 2.0 x.(1)
+
+let test_lu_nan_pivot_rejected () =
+  (* a NaN entry must surface as Singular, not as NaN solutions *)
+  let a = [| [| Float.nan; 1.0 |]; [| 1.0; 1.0 |] |] in
+  match L.solve a [| 1.0; 1.0 |] with
+  | x ->
+    if Array.exists (fun v -> not (Float.is_finite v)) x then
+      Alcotest.fail "NaN leaked into the solution"
+  | exception L.Singular _ -> ()
 
 let test_lu_does_not_mutate () =
   let a = [| [| 4.0; 1.0 |]; [| 1.0; 3.0 |] |] in
@@ -685,6 +722,221 @@ let test_ck_fingerprint_stable () =
   Alcotest.(check string) "deterministic" a b;
   Alcotest.(check bool) "sensitive to the value" true (a <> c)
 
+let test_ck_truncate_every_byte () =
+  (* property: a checkpoint file cut at ANY byte offset either loads a
+     strict prefix of the records or fails cleanly — never a crash,
+     never a corrupt record served as valid *)
+  with_ck_file @@ fun path ->
+  let t = Ck.open_ path in
+  let keys =
+    List.init 5 (fun i -> Ck.digest_key (Printf.sprintf "point-%d" i))
+  in
+  List.iteri
+    (fun i k ->
+      Ck.record t ~key:k ~descr:(Printf.sprintf "descr %d" i)
+        (Printf.sprintf "%h" (float_of_int i *. 1.25)))
+    keys;
+  Ck.close t;
+  let whole = In_channel.with_open_bin path In_channel.input_all in
+  let total = String.length whole in
+  let tmp = Filename.temp_file "dramstress_ck_cut" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      for cut = 0 to total do
+        Out_channel.with_open_bin tmp (fun oc ->
+            Out_channel.output_string oc (String.sub whole 0 cut));
+        match Ck.open_ ~resume:true tmp with
+        | t ->
+          let n = Ck.entries t in
+          if n > 5 then
+            Alcotest.failf "cut at %d invented records (%d)" cut n;
+          (* every surviving record must be one of the true payloads *)
+          List.iteri
+            (fun i k ->
+              match Ck.find t k with
+              | None -> ()
+              | Some v ->
+                Alcotest.(check string)
+                  (Printf.sprintf "cut %d, record %d intact" cut i)
+                  (Printf.sprintf "%h" (float_of_int i *. 1.25))
+                  v)
+            keys;
+          Ck.close t
+        | exception exn ->
+          Alcotest.failf "cut at %d: load crashed with %s" cut
+            (Printexc.to_string exn)
+      done;
+      (* the untruncated file loads everything *)
+      let t = Ck.open_ ~resume:true tmp in
+      Alcotest.(check int) "full file loads all" 5 (Ck.entries t);
+      Ck.close t)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Chaos = Dramstress_util.Chaos
+
+let with_chaos f =
+  Fun.protect ~finally:(fun () -> Chaos.disarm ()) f
+
+let test_chaos_dormant_by_default () =
+  Chaos.disarm ();
+  Alcotest.(check bool) "dormant" false (Chaos.armed ());
+  Alcotest.(check bool) "fire is false" false (Chaos.fire Chaos.Inject_nan_state);
+  Alcotest.(check int) "nothing injected" 0 (Chaos.total_injected ())
+
+let test_chaos_spec_parsing () =
+  with_chaos @@ fun () ->
+  Chaos.configure ~seed:7 "inject_nan_state@50,fail_worker_task@+3";
+  Alcotest.(check bool) "armed" true (Chaos.armed ());
+  Alcotest.(check int) "seed" 7 (Chaos.seed ());
+  Alcotest.check_raises "unknown fault"
+    (Invalid_argument "Chaos: unknown fault class \"bogus\"") (fun () ->
+      Chaos.configure ~seed:1 "bogus");
+  Alcotest.check_raises "bad period"
+    (Invalid_argument "Chaos: bad fault period \"0\" in \"inject_nan_state@0\"")
+    (fun () -> Chaos.configure ~seed:1 "inject_nan_state@0");
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Chaos.fault_name f) true
+        (Chaos.fault_of_name (Chaos.fault_name f) = Some f))
+    Chaos.all_faults
+
+let test_chaos_every_determinism () =
+  with_chaos @@ fun () ->
+  let pattern () =
+    Chaos.configure ~seed:42 "inject_nan_state@5";
+    List.init 20 (fun _ -> Chaos.fire Chaos.Inject_nan_state)
+  in
+  let a = pattern () and b = pattern () in
+  Alcotest.(check (list bool)) "seed-deterministic" a b;
+  Alcotest.(check int) "4 windows of 5 in 20 queries" 4
+    (List.length (List.filter Fun.id a));
+  (* a different seed shifts which query in the window fires *)
+  Chaos.configure ~seed:43 "inject_nan_state@5";
+  let c = List.init 20 (fun _ -> Chaos.fire Chaos.Inject_nan_state) in
+  Alcotest.(check int) "same count under any seed" 4
+    (List.length (List.filter Fun.id c));
+  Alcotest.(check bool) "different phase" true (a <> c);
+  (* unconfigured faults never fire while others do *)
+  Alcotest.(check bool) "other fault silent" false
+    (Chaos.fire Chaos.Perturb_jacobian)
+
+let test_chaos_once_mode () =
+  with_chaos @@ fun () ->
+  Chaos.configure ~seed:9 "force_newton_diverge@+3";
+  let fires = List.init 10 (fun _ -> Chaos.fire Chaos.Force_newton_diverge) in
+  Alcotest.(check (list bool)) "exactly the 3rd query"
+    [ false; false; true; false; false; false; false; false; false; false ]
+    fires;
+  Alcotest.(check int) "counted once" 1 (Chaos.injected Chaos.Force_newton_diverge);
+  Alcotest.(check int) "total matches" 1 (Chaos.total_injected ())
+
+let test_chaos_injection_accounting () =
+  with_chaos @@ fun () ->
+  Chaos.configure ~seed:1 "inject_nan_state@2,perturb_jacobian@4";
+  for _ = 1 to 8 do
+    ignore (Chaos.fire Chaos.Inject_nan_state);
+    ignore (Chaos.fire Chaos.Perturb_jacobian)
+  done;
+  Alcotest.(check int) "nan: 4 of 8" 4 (Chaos.injected Chaos.Inject_nan_state);
+  Alcotest.(check int) "jacobian: 2 of 8" 2
+    (Chaos.injected Chaos.Perturb_jacobian);
+  Alcotest.(check int) "total = sum of classes"
+    (List.fold_left (fun acc f -> acc + Chaos.injected f) 0 Chaos.all_faults)
+    (Chaos.total_injected ());
+  Chaos.reset_counts ();
+  Alcotest.(check int) "reset" 0 (Chaos.total_injected ())
+
+let test_chaos_env_parsing () =
+  with_chaos @@ fun () ->
+  Unix.putenv "DRAMSTRESS_CHAOS" "42:inject_nan_state@50";
+  Chaos.configure_from_env ();
+  Alcotest.(check bool) "armed from env" true (Chaos.armed ());
+  Alcotest.(check int) "seed from env" 42 (Chaos.seed ());
+  Unix.putenv "DRAMSTRESS_CHAOS" "off";
+  Chaos.configure_from_env ();
+  Alcotest.(check bool) "off disarms" false (Chaos.armed ());
+  Unix.putenv "DRAMSTRESS_CHAOS" "";
+  Chaos.configure_from_env ();
+  Alcotest.(check bool) "empty stays dormant" false (Chaos.armed ())
+
+let test_chaos_truncated_record_resume () =
+  with_chaos @@ fun () ->
+  (* the Checkpoint injection site: every second record is cut in half
+     mid-write, as if the process were killed during the append. The
+     running campaign is unaffected (the in-memory table holds the
+     value); a resume must load the intact records and skip the
+     mangled ones cleanly. *)
+  with_ck_file @@ fun path ->
+  Chaos.configure ~seed:1 "truncate_checkpoint@2";
+  let t = Ck.open_ path in
+  let keys = List.init 6 (fun i -> Ck.digest_key (Printf.sprintf "p%d" i)) in
+  List.iteri
+    (fun i k -> Ck.record t ~key:k (Printf.sprintf "payload-%d" i))
+    keys;
+  (* current run still sees everything *)
+  List.iteri
+    (fun i k ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "in-memory p%d" i)
+        (Some (Printf.sprintf "payload-%d" i))
+        (Ck.find t k))
+    keys;
+  Ck.close t;
+  let n_injected = Chaos.injected Chaos.Truncate_checkpoint in
+  Alcotest.(check int) "3 of 6 records truncated" 3 n_injected;
+  Chaos.disarm ();
+  (* a truncated record has no newline, so the next append glues onto
+     it and both parse as one malformed line: the resume must keep the
+     clean prefix, skip the mangled bytes and never serve a corrupt
+     payload *)
+  let t = Ck.open_ ~resume:true path in
+  List.iteri
+    (fun i k ->
+      match Ck.find t k with
+      | None -> ()
+      | Some v ->
+        Alcotest.(check string)
+          (Printf.sprintf "resumed p%d uncorrupted" i)
+          (Printf.sprintf "payload-%d" i)
+          v)
+    keys;
+  Alcotest.(check (option string)) "clean head record survives"
+    (Some "payload-0")
+    (Ck.find t (List.hd keys));
+  Ck.close t
+
+let test_chaos_worker_fault_outcomes () =
+  with_chaos @@ fun () ->
+  (* the Par injection site: armed Fail_worker_task turns slots into
+     structured Failed outcomes without aborting the campaign *)
+  Chaos.configure ~seed:0 "fail_worker_task@4";
+  let module Par = Dramstress_util.Par in
+  let module Outcome = Dramstress_util.Outcome in
+  let outs =
+    Par.parallel_map_outcomes ~jobs:1 (fun x -> x * 10) (List.init 8 Fun.id)
+  in
+  Alcotest.(check int) "all slots kept" 8 (List.length outs);
+  let failed =
+    List.filter
+      (function
+        | Outcome.Failed { error = Chaos.Injected_fault _; _ } -> true
+        | Outcome.Failed _ | Outcome.Ok _ -> false)
+      outs
+  in
+  Alcotest.(check int) "2 of 8 injected" 2 (List.length failed);
+  Alcotest.(check int) "accounting agrees" 2
+    (Chaos.injected Chaos.Fail_worker_task);
+  (* disarmed: same call is clean *)
+  Chaos.disarm ();
+  let outs = Par.parallel_map_outcomes ~jobs:1 (fun x -> x) [ 1; 2; 3 ] in
+  Alcotest.(check bool) "no failures when dormant" true
+    (List.for_all (function Outcome.Ok _ -> true | _ -> false) outs)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -697,6 +949,9 @@ let () =
           tc "known 2x2 system" test_lu_known_system;
           tc "pivoting on zero diagonal" test_lu_pivoting;
           tc "singular detection" test_lu_singular;
+          tc "rank-deficient residue rejected" test_lu_rank_deficient_residue;
+          tc "near-singular gmin system solves" test_lu_near_singular_ok;
+          tc "NaN pivot rejected" test_lu_nan_pivot_rejected;
           tc "solve does not mutate input" test_lu_does_not_mutate;
           tc "mat_vec and mat_mul" test_mat_vec_mul;
           tc "norms" test_norms;
@@ -731,6 +986,19 @@ let () =
           tc "truncated final line skipped" test_ck_truncated_final_line;
           tc "memo hit/miss/fallback" test_ck_memo;
           tc "fingerprint stability" test_ck_fingerprint_stable;
+          tc "truncation at every byte offset" test_ck_truncate_every_byte;
+        ] );
+      ( "chaos",
+        [
+          tc "dormant by default" test_chaos_dormant_by_default;
+          tc "spec parsing" test_chaos_spec_parsing;
+          tc "Every-mode determinism" test_chaos_every_determinism;
+          tc "Once-mode fires exactly once" test_chaos_once_mode;
+          tc "injection accounting" test_chaos_injection_accounting;
+          tc "environment parsing" test_chaos_env_parsing;
+          tc "truncated records resumable" test_chaos_truncated_record_resume;
+          tc "worker faults become Failed outcomes"
+            test_chaos_worker_fault_outcomes;
         ] );
       ( "bisect",
         [
