@@ -729,6 +729,116 @@ let health () =
       output_string oc json);
   Printf.printf "  wrote BENCH_health.json\n"
 
+(* Cost of the campaign layer: store write overhead on a cold run
+   against the same physics computed with no store at all, and the
+   warm-rerun win. The warm rerun must simulate nothing — that is the
+   subsystem's core promise — so the bench doubles as a tripwire.
+   Results land in BENCH_campaign.json. *)
+let campaign () =
+  heading "campaign" "campaign store: cold vs warm, read/write overhead";
+  let module Cp = Dramstress_campaign in
+  let module St = Dramstress_util.Store in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (Unix.gettimeofday () -. t0, v)
+  in
+  let m =
+    Cp.Manifest.of_string
+      {|
+(campaign
+  (name bench)
+  (defects (O1 true))
+  (stress nominal)
+  (stress low-vdd (vdd 2.1))
+  (detections (seq "w1 w1 w0 r0") (seq "w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+  in
+  let points = Cp.Plan.points m in
+  let n = List.length points in
+  (* the in-process LRU would serve repeat runs from memory and hide the
+     store entirely; disable it so every number prices the store *)
+  O.set_caching false;
+  (* baseline: the same physics with no persistence anywhere *)
+  let direct, () =
+    wall (fun () ->
+        List.iter
+          (fun (p : Cp.Plan.point) ->
+            let d =
+              match p.Cp.Plan.detection with
+              | Cp.Manifest.Seq d -> d
+              | _ -> assert false
+            in
+            ignore
+              (C.Border.search ~config:m.Cp.Manifest.config ~r_min:1e4
+                 ~r_max:1e8 ~grid_points:5 ~rel_tol:0.05
+                 ~stress:p.Cp.Plan.stress ~kind:p.Cp.Plan.defect.D.kind
+                 ~placement:p.Cp.Plan.placement d))
+          points)
+  in
+  let dir = Filename.temp_file "dramstress_bench_campaign" "" in
+  Sys.remove dir;
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ -> ())
+  @@ fun () ->
+  let run () =
+    let s = St.open_ ~name:"bench" dir in
+    Fun.protect
+      ~finally:(fun () -> St.close s)
+      (fun () -> Cp.Runner.run ~jobs:1 ~store:s m)
+  in
+  let cold, cold_sum = wall run in
+  let warm, warm_sum = wall run in
+  O.set_caching true;
+  let ratio a b = if b > 0.0 then a /. b else Float.nan in
+  let write_overhead_pct = 100.0 *. (ratio cold direct -. 1.0) in
+  let warm_speedup = ratio cold warm in
+  (* tripwires: full reuse, and the warm run must actually be cheap *)
+  let reuse_ok =
+    warm_sum.Cp.Runner.simulated = 0 && warm_sum.Cp.Runner.reused = n
+  in
+  let speedup_limit = 5.0 in
+  let speedup_ok = warm_speedup >= speedup_limit in
+  Printf.printf "  %-40s %10.4f s\n" "direct (no store)" direct;
+  Printf.printf "  %-40s %10.4f s   (write overhead %+.1f%%)\n"
+    "cold run (store populated)" cold write_overhead_pct;
+  Printf.printf "  %-40s %10.4f s   (speedup %.0fx, limit %.0fx: %s)\n"
+    "warm rerun (store only)" warm warm_speedup speedup_limit
+    (if speedup_ok then "ok" else "EXCEEDED");
+  Printf.printf "  %-40s %d/%d reused, %d simulated (%s)\n"
+    "warm reuse" warm_sum.Cp.Runner.reused n warm_sum.Cp.Runner.simulated
+    (if reuse_ok then "ok" else "VIOLATION: warm run recomputed");
+  Printf.printf "  %-40s %10.1f us/point\n" "store read cost, warm"
+    (1e6 *. warm /. float_of_int n);
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"jobs\": 1,\n\
+      \  \"points\": %d,\n\
+      \  \"wall_s\": { \"direct\": %.5f, \"cold\": %.5f, \"warm\": %.5f },\n\
+      \  \"store_write_overhead_pct\": %.2f,\n\
+      \  \"warm_speedup\": { \"value\": %.1f, \"limit\": %.1f, \
+       \"within_limit\": %b },\n\
+      \  \"warm_reuse\": { \"reused\": %d, \"simulated\": %d, \"full_reuse\": \
+       %b }\n\
+       }\n"
+      n direct cold warm write_overhead_pct warm_speedup speedup_limit
+      speedup_ok warm_sum.Cp.Runner.reused warm_sum.Cp.Runner.simulated
+      reuse_ok
+  in
+  Out_channel.with_open_text "BENCH_campaign.json" (fun oc ->
+      output_string oc json);
+  Printf.printf "  wrote BENCH_campaign.json\n";
+  ignore cold_sum
+
 let perf () =
   heading "perf" "engine micro-benchmarks (Bechamel)";
   let open Bechamel in
@@ -784,7 +894,7 @@ let all_targets =
     ("fig2", fig2); ("fig3", fig3); ("fig4", fig4); ("fig5", fig5);
     ("fig6", fig6); ("fig7", fig7); ("table1", table1); ("shmoo", shmoo);
     ("methods", methods); ("ablation", ablation); ("perf", perf);
-    ("resilience", resilience); ("health", health);
+    ("resilience", resilience); ("health", health); ("campaign", campaign);
   ]
 
 let () =

@@ -701,6 +701,236 @@ let chaos_cmd =
     Term.(const run $ telemetry_term $ checkpoint_term $ seed_arg)
 
 (* ------------------------------------------------------------------ *)
+(* campaign: manifest-driven studies over a persistent result store    *)
+(* ------------------------------------------------------------------ *)
+
+module Cp = Dramstress_campaign
+module Store = Dramstress_util.Store
+module B = Dramstress_util.Build_info
+
+let manifest_pos idx docv =
+  Arg.(required & pos idx (some file) None
+       & info [] ~docv ~doc:"Campaign manifest file (s-expression).")
+
+let store_opt_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"DIR"
+           ~doc:"Campaign store directory. Default: the manifest path \
+                 with its extension replaced by $(b,.campaign).")
+
+let store_dir_of manifest = function
+  | Some dir -> dir
+  | None -> Filename.remove_extension manifest ^ ".campaign"
+
+let with_store ~name dir f =
+  let store = Store.open_ ~name dir in
+  Fun.protect ~finally:(fun () -> Store.close store) (fun () -> f store)
+
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains (default: the manifest's sim section, \
+                 else the machine).")
+
+let campaign_run_cmd =
+  let run tel fail_on_error jobs manifest store_dir =
+    let failures =
+      with_telemetry tel @@ fun () ->
+      let m = Cp.Manifest.load manifest in
+      let dir = store_dir_of manifest store_dir in
+      with_store ~name:m.Cp.Manifest.name dir @@ fun store ->
+      let s = Cp.Runner.run ?jobs ~store m in
+      Format.printf "%a@." Cp.Runner.pp_summary s;
+      List.map
+        (fun f -> f.Dramstress_util.Outcome.error)
+        s.Cp.Runner.failures
+    in
+    failures_exit ~fail_on_error failures
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a campaign: simulate only the points its store does \
+             not already hold")
+    Term.(const run $ telemetry_term $ fail_on_error_arg $ jobs_arg
+          $ manifest_pos 0 "MANIFEST" $ store_opt_arg)
+
+let campaign_status_cmd =
+  let run tel manifest store_dir =
+    with_telemetry tel @@ fun () ->
+    let m = Cp.Manifest.load manifest in
+    let dir = store_dir_of manifest store_dir in
+    with_store ~name:m.Cp.Manifest.name dir @@ fun store ->
+    let states = Cp.Runner.states ~store m in
+    let count f = List.length (List.filter f states) in
+    let done_ = count (fun (_, s) -> match s with `Done _ -> true | _ -> false) in
+    let failed = count (fun (_, s) -> match s with `Failed _ -> true | _ -> false) in
+    let missing = count (fun (_, s) -> match s with `Missing -> true | _ -> false) in
+    List.iter
+      (fun (p, st) ->
+        Printf.printf "%-44s %s\n"
+          (Format.asprintf "%a" Cp.Plan.pp_point p)
+          (match st with
+          | `Done r -> "done: " ^ C.Table1.br_string r.Cp.Plan.br
+          | `Failed msg -> "FAILED: " ^ msg
+          | `Missing -> "missing"))
+      states;
+    Printf.printf "\n%d point(s): %d done, %d failed, %d missing\n"
+      (List.length states) done_ failed missing;
+    (match Store.engines store with
+    | [] | [ _ ] -> ()
+    | engines ->
+      Printf.printf "store written by %d engine build(s):\n"
+        (List.length engines);
+      List.iter (fun (e, n) -> Printf.printf "  %6d  %s\n" n e) engines)
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Classify every planned point against the store without \
+             simulating")
+    Term.(const run $ telemetry_term $ manifest_pos 0 "MANIFEST"
+          $ store_opt_arg)
+
+let campaign_query_cmd =
+  let defect_filter_arg =
+    Arg.(value & opt (some string) None
+         & info [ "d"; "defect" ] ~docv:"ID" ~doc:"Only this defect id.")
+  in
+  let stress_filter_arg =
+    Arg.(value & opt (some string) None
+         & info [ "stress" ] ~docv:"LABEL" ~doc:"Only this stress label.")
+  in
+  let run tel manifest store_dir defect stress =
+    with_telemetry tel @@ fun () ->
+    let m = Cp.Manifest.load manifest in
+    let dir = store_dir_of manifest store_dir in
+    with_store ~name:m.Cp.Manifest.name dir @@ fun store ->
+    Cp.Runner.states ~store m
+    |> List.filter (fun ((p : Cp.Plan.point), _) ->
+           (match defect with
+           | Some id -> p.Cp.Plan.defect.D.id = id
+           | None -> true)
+           && match stress with
+              | Some l -> p.Cp.Plan.stress_label = l
+              | None -> true)
+    |> List.iter (fun (p, st) ->
+           match st with
+           | `Done (r : Cp.Plan.result) ->
+             Printf.printf "%-44s %-12s %s\n"
+               (Format.asprintf "%a" Cp.Plan.pp_point p)
+               (C.Table1.br_string r.Cp.Plan.br)
+               (C.Detection.to_string r.Cp.Plan.detection)
+           | `Failed msg ->
+             Printf.printf "%-44s FAILED: %s\n"
+               (Format.asprintf "%a" Cp.Plan.pp_point p)
+               msg
+           | `Missing ->
+             Printf.printf "%-44s missing\n"
+               (Format.asprintf "%a" Cp.Plan.pp_point p))
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Print stored border results for (a filtered subset of) the \
+             campaign's points")
+    Term.(const run $ telemetry_term $ manifest_pos 0 "MANIFEST"
+          $ store_opt_arg $ defect_filter_arg $ stress_filter_arg)
+
+let campaign_diff_cmd =
+  let dir_pos idx docv =
+    Arg.(required & pos idx (some string) None
+         & info [] ~docv ~doc:"Campaign store directory.")
+  in
+  let stress_a_arg =
+    Arg.(value & opt (some string) None
+         & info [ "stress-a" ] ~docv:"LABEL"
+             ~doc:"Compare side A at this stress label (with \
+                   $(b,--stress-b): Table-1 nominal-vs-stressed mode). \
+                   Default: match equal labels across the sides.")
+  in
+  let stress_b_arg =
+    Arg.(value & opt (some string) None
+         & info [ "stress-b" ] ~docv:"LABEL"
+             ~doc:"Compare side B at this stress label.")
+  in
+  let csv_arg =
+    Arg.(value & opt (some string) None
+         & info [ "csv" ] ~docv:"FILE" ~doc:"Also write CSV to FILE.")
+  in
+  let fail_on_diff_arg =
+    Arg.(value & flag
+         & info [ "fail-on-diff" ]
+             ~doc:"Exit with status 5 when any row shifted or is missing \
+                   a side — the self-diff-must-be-empty check in CI.")
+  in
+  let run tel ma da mb db sa sb csv fail_on_diff =
+    let shifted_or_missing =
+      with_telemetry tel @@ fun () ->
+      let side mpath dpath =
+        let m = Cp.Manifest.load mpath in
+        let store = Store.open_ ~name:m.Cp.Manifest.name dpath in
+        {
+          Cp.Diff.store;
+          manifest = m;
+          label = Printf.sprintf "%s (%s)" m.Cp.Manifest.name dpath;
+        }
+      in
+      let a = side ma da in
+      let b = side mb db in
+      Fun.protect
+        ~finally:(fun () ->
+          Store.close a.Cp.Diff.store;
+          Store.close b.Cp.Diff.store)
+        (fun () ->
+          let pairing =
+            match (sa, sb) with
+            | None, None -> Cp.Diff.Matched_stresses
+            | Some a, Some b -> Cp.Diff.Stress_pair { a; b }
+            | _ ->
+              failwith "--stress-a and --stress-b must be given together"
+          in
+          let d = Cp.Diff.v ~pairing ~a ~b () in
+          print_string (Cp.Diff.render d);
+          Option.iter
+            (fun file ->
+              Dramstress_util.Csvout.write_file file (Cp.Diff.to_csv d))
+            csv;
+          d.Cp.Diff.shifted + d.Cp.Diff.missing)
+    in
+    if fail_on_diff && shifted_or_missing > 0 then exit 5
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two campaign stores (or two stress settings) and \
+             report border-resistance shifts per defect")
+    Term.(const run $ telemetry_term $ manifest_pos 0 "MANIFEST_A"
+          $ dir_pos 1 "DIR_A" $ manifest_pos 2 "MANIFEST_B"
+          $ dir_pos 3 "DIR_B" $ stress_a_arg $ stress_b_arg $ csv_arg
+          $ fail_on_diff_arg)
+
+let campaign_cmd =
+  Cmd.group
+    (Cmd.info "campaign"
+       ~doc:"Declarative studies: run a manifest against a persistent \
+             result store; query and diff stores")
+    [ campaign_run_cmd; campaign_status_cmd; campaign_query_cmd;
+      campaign_diff_cmd ]
+
+(* ------------------------------------------------------------------ *)
+(* version: build metadata                                             *)
+(* ------------------------------------------------------------------ *)
+
+let version_cmd =
+  let run () =
+    print_endline B.identity;
+    Printf.printf "version: %s\ngit:     %s\nocaml:   %s\ndune:    %s\n"
+      B.version B.git B.ocaml B.dune
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:"Print build metadata — the engine identity stamped into \
+             every campaign-store record")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
 
 let catalog_cmd =
   let run tel ck () =
@@ -715,9 +945,10 @@ let () =
      otherwise (one atomic load per site) *)
   Dramstress_util.Chaos.configure_from_env ();
   let doc = "stress optimization for DRAM cell defect tests (DATE 2003 reproduction)" in
-  let info = Cmd.info "dramstress" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "dramstress" ~version:B.identity ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; plane_cmd; br_cmd; stress_cmd; table1_cmd; shmoo_cmd;
-            march_cmd; catalog_cmd; sim_cmd; chaos_cmd ]))
+            march_cmd; catalog_cmd; sim_cmd; chaos_cmd; campaign_cmd;
+            version_cmd ]))

@@ -1,0 +1,23 @@
+; Supply-voltage campaign: three defect classes at the paper's nominal
+; V_dd = 2.4 V and at a lowered 2.1 V corner. Run it with
+;
+;   dune exec examples/campaign_study.exe
+;
+; or through the CLI:
+;
+;   dune exec bin/dramstress.exe -- campaign run examples/campaign_study.sexp
+(campaign
+  (name vdd-study)
+  ; one defect of each class on the true bit-line: an open at the
+  ; bit-line contact, a short to ground, a bridge to the neighbour cell
+  (defects (O1 true) (Sg true) (B1 true))
+  (stress nominal)
+  (stress low-vdd (vdd 2.1))
+  ; score every (defect, stress) pair with the same two sequences so the
+  ; border shifts are attributable to the stress alone; the second is a
+  ; retention test — Sg only drains the cell given time, so the plain
+  ; write/read sequence never sees it
+  (detections (seq "w1 w1 w0 r0") (seq "w1 p1e-3 r1"))
+  ; short-to-gnd borders reach the giga-ohm range, so keep r-max high;
+  ; a coarse grid and loose tolerance keep the example quick
+  (border (r-min 1e4) (r-max 1e11) (grid-points 8) (rel-tol 0.05)))

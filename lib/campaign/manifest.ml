@@ -1,0 +1,610 @@
+module D = Dramstress_defect.Defect
+module S = Dramstress_dram.Stress
+module Sc = Dramstress_dram.Sim_config
+module Det = Dramstress_core.Detection
+module M = Dramstress_march.March
+
+type detection_spec =
+  | Best
+  | Best_no_pause
+  | Seq of Det.t
+  | March of M.t
+
+type t = {
+  name : string;
+  defects : (D.entry * D.placement) list;
+  stresses : (string * S.t) list;
+  detections : detection_spec list;
+  config : Sc.t;
+  r_min : float;
+  r_max : float;
+  grid_points : int;
+  rel_tol : float;
+}
+
+type diagnostic =
+  | Parse_error of { line : int; msg : string }
+  | Unknown_section of { section : string }
+  | Missing_field of { section : string; field : string }
+  | Empty_section of { section : string }
+  | Unknown_defect of { id : string }
+  | Duplicate_label of { label : string }
+  | Bad_value of {
+      section : string;
+      field : string;
+      value : string;
+      msg : string;
+    }
+
+let pp_diagnostic ppf = function
+  | Parse_error { line; msg } ->
+    Format.fprintf ppf "parse error at line %d: %s" line msg
+  | Unknown_section { section } ->
+    Format.fprintf ppf "unknown section (%s ...)" section
+  | Missing_field { section; field } ->
+    Format.fprintf ppf "section (%s): missing %s" section field
+  | Empty_section { section } ->
+    Format.fprintf ppf "section (%s) declares nothing" section
+  | Unknown_defect { id } ->
+    Format.fprintf ppf
+      "unknown defect id %s (the catalog has O1..O3, Sg, Sv, B1, B2)" id
+  | Duplicate_label { label } ->
+    Format.fprintf ppf "stress label %S declared twice" label
+  | Bad_value { section; field; value; msg } ->
+    Format.fprintf ppf "section (%s), field %s: bad value %S (%s)" section
+      field value msg
+
+exception Invalid of diagnostic list
+
+let () =
+  Printexc.register_printer (function
+    | Invalid ds ->
+      Some
+        (Format.asprintf "@[<v2>invalid campaign manifest:@ %a@]"
+           (Format.pp_print_list pp_diagnostic)
+           ds)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* s-expression reader                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse_failed of int * string
+
+let parse_sexps src =
+  let n = String.length src in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () =
+    (if !pos < n && src.[!pos] = '\n' then incr line);
+    incr pos
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\r' | '\n') ->
+      advance ();
+      skip_ws ()
+    | Some ';' ->
+      while peek () <> None && peek () <> Some '\n' do advance () done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let read_string () =
+    advance () (* opening quote *);
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Parse_failed (!line, "unterminated string"))
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some c ->
+          Buffer.add_char buf (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+          advance ()
+        | None -> raise (Parse_failed (!line, "unterminated escape")));
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let read_atom () =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | Some (' ' | '\t' | '\r' | '\n' | '(' | ')' | ';' | '"') | None -> ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec read_sexp () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_failed (!line, "unexpected end of input"))
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        match peek () with
+        | None -> raise (Parse_failed (!line, "unclosed '('"))
+        | Some ')' -> advance ()
+        | _ ->
+          items := read_sexp () :: !items;
+          loop ()
+      in
+      loop ();
+      List (List.rev !items)
+    | Some ')' -> raise (Parse_failed (!line, "unexpected ')'"))
+    | Some '"' -> Atom (read_string ())
+    | _ -> Atom (read_atom ())
+  in
+  let rec read_all acc =
+    skip_ws ();
+    if !pos >= n then List.rev acc else read_all (read_sexp () :: acc)
+  in
+  read_all []
+
+(* ------------------------------------------------------------------ *)
+(* validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let detection_label = function
+  | Best -> "best"
+  | Best_no_pause -> "best-nopause"
+  | Seq d ->
+    "seq:"
+    ^ String.concat ","
+        (List.map
+           (function
+             | Det.Write b -> Printf.sprintf "w%d" b
+             | Det.Read b -> Printf.sprintf "r%d" b
+             | Det.Wait t -> Printf.sprintf "p%g" t)
+           d.Det.steps)
+  | March m -> "march:" ^ m.M.name
+
+(* a section body is a list of (field value...) sub-lists; anything else
+   in it is reported against the section *)
+let of_string ?(source = "<string>") src =
+  ignore source;
+  let diags = ref [] in
+  let diag d = diags := d :: !diags in
+  let sexps =
+    try parse_sexps src
+    with Parse_failed (line, msg) -> raise (Invalid [ Parse_error { line; msg } ])
+  in
+  let body =
+    match sexps with
+    | [ List (Atom "campaign" :: body) ] -> body
+    | [ List (Atom other :: _) ] ->
+      raise
+        (Invalid
+           [ Parse_error
+               { line = 1; msg = "expected (campaign ...), got (" ^ other ^ " ...)" } ])
+    | _ ->
+      raise
+        (Invalid
+           [ Parse_error
+               { line = 1; msg = "expected exactly one (campaign ...) form" } ])
+  in
+  let name = ref None in
+  let defects = ref [] in
+  let stresses = ref [] in
+  let sweeps = ref [] in
+  let detections = ref [] in
+  let sim_fields = ref [] in
+  let border_fields = ref [] in
+  let float_of section field v =
+    match float_of_string_opt v with
+    | Some f -> Some f
+    | None ->
+      diag (Bad_value { section; field; value = v; msg = "not a number" });
+      None
+  in
+  let int_of section field v =
+    match int_of_string_opt v with
+    | Some i -> Some i
+    | None ->
+      diag (Bad_value { section; field; value = v; msg = "not an integer" });
+      None
+  in
+  let axis_of_name = function
+    | "tcyc" -> Some S.Cycle_time
+    | "duty" -> Some S.Duty_cycle
+    | "vdd" -> Some S.Supply_voltage
+    | "temp" -> Some S.Temperature
+    | _ -> None
+  in
+  let parse_stress_fields ~section base fields =
+    List.fold_left
+      (fun stress field ->
+        match field with
+        | List [ Atom axis; Atom v ] -> begin
+          match axis_of_name axis with
+          | None ->
+            diag
+              (Bad_value
+                 {
+                   section;
+                   field = axis;
+                   value = v;
+                   msg = "unknown stress axis (tcyc|duty|vdd|temp)";
+                 });
+            stress
+          | Some ax -> begin
+            match float_of section axis v with
+            | Some f -> S.set stress ax f
+            | None -> stress
+          end
+        end
+        | _ ->
+          diag
+            (Bad_value
+               {
+                 section;
+                 field = "-";
+                 value = "";
+                 msg = "expected (axis value) pairs";
+               });
+          stress)
+      base fields
+  in
+  let parse_defect_item item =
+    let placement_of = function
+      | "true" | "t" -> Some D.True_bl
+      | "comp" | "c" -> Some D.Comp_bl
+      | _ -> None
+    in
+    let entry id =
+      match D.find_entry id with
+      | Some e -> Some e
+      | None ->
+        diag (Unknown_defect { id });
+        None
+    in
+    match item with
+    | Atom id ->
+      (* bare id: both placements, the Table-1 convention *)
+      Option.iter
+        (fun e ->
+          defects := (e, D.Comp_bl) :: (e, D.True_bl) :: !defects)
+        (entry id)
+    | List [ Atom id; Atom pl ] -> begin
+      match placement_of pl with
+      | None ->
+        diag
+          (Bad_value
+             {
+               section = "defects";
+               field = id;
+               value = pl;
+               msg = "placement must be true|comp";
+             })
+      | Some placement ->
+        Option.iter (fun e -> defects := (e, placement) :: !defects) (entry id)
+    end
+    | _ ->
+      diag
+        (Bad_value
+           {
+             section = "defects";
+             field = "-";
+             value = "";
+             msg = "expected a defect id or (id true|comp)";
+           })
+  in
+  let parse_detection_item item =
+    match item with
+    | Atom "best" -> detections := Best :: !detections
+    | Atom ("best-no-pause" | "best-nopause") ->
+      detections := Best_no_pause :: !detections
+    | List [ Atom "seq"; Atom s ] -> begin
+      match Dramstress_dram.Ops.parse_seq s with
+      | exception Invalid_argument msg ->
+        diag (Bad_value { section = "detections"; field = "seq"; value = s; msg })
+      | _ ->
+        (* parse_seq validated the tokens; rebuild as a detection with
+           expected read values (rN tokens carry them; bare r reads the
+           last written bit) *)
+        let steps, _ =
+          List.fold_left
+            (fun (acc, last) tok ->
+              match String.lowercase_ascii tok with
+              | "" -> (acc, last)
+              | "w0" -> (Det.Write 0 :: acc, 0)
+              | "w1" -> (Det.Write 1 :: acc, 1)
+              | "r0" -> (Det.Read 0 :: acc, last)
+              | "r1" -> (Det.Read 1 :: acc, last)
+              | "r" -> (Det.Read last :: acc, last)
+              | t when String.length t > 1 && t.[0] = 'p' -> begin
+                match float_of_string_opt (String.sub t 1 (String.length t - 1)) with
+                | Some p -> (Det.Wait p :: acc, last)
+                | None -> (acc, last)
+              end
+              | t ->
+                diag
+                  (Bad_value
+                     {
+                       section = "detections";
+                       field = "seq";
+                       value = t;
+                       msg = "expected w0|w1|r|r0|r1|p<seconds>";
+                     });
+                (acc, last))
+            ([], 0)
+            (String.split_on_char ' '
+               (String.map (function ',' -> ' ' | c -> c) s))
+        in
+        (match Det.v (List.rev steps) with
+        | d -> detections := Seq d :: !detections
+        | exception Invalid_argument msg ->
+          diag
+            (Bad_value { section = "detections"; field = "seq"; value = s; msg }))
+    end
+    | List [ Atom "march"; Atom s ] -> begin
+      match M.parse ~name:s s with
+      | m -> detections := March m :: !detections
+      | exception Invalid_argument msg ->
+        diag
+          (Bad_value { section = "detections"; field = "march"; value = s; msg })
+    end
+    | _ ->
+      diag
+        (Bad_value
+           {
+             section = "detections";
+             field = "-";
+             value = "";
+             msg = "expected best | best-no-pause | (seq \"...\") | (march \"...\")";
+           })
+  in
+  List.iter
+    (fun section ->
+      match section with
+      | List [ Atom "name"; Atom n ] -> name := Some n
+      | List (Atom "name" :: _) ->
+        diag
+          (Bad_value
+             {
+               section = "name";
+               field = "name";
+               value = "";
+               msg = "expected (name <atom>)";
+             })
+      | List (Atom "defects" :: items) -> List.iter parse_defect_item items
+      | List (Atom "stress" :: Atom label :: fields) ->
+        stresses :=
+          (label, parse_stress_fields ~section:"stress" S.nominal fields)
+          :: !stresses
+      | List (Atom "stress" :: _) ->
+        diag (Missing_field { section = "stress"; field = "label" })
+      | List (Atom "sweep" :: axes) -> sweeps := axes :: !sweeps
+      | List (Atom "detections" :: items) ->
+        List.iter parse_detection_item items
+      | List (Atom "sim" :: fields) -> sim_fields := fields :: !sim_fields
+      | List (Atom "border" :: fields) ->
+        border_fields := fields :: !border_fields
+      | List (Atom s :: _) -> diag (Unknown_section { section = s })
+      | List [] | List (List _ :: _) | Atom _ ->
+        diag (Unknown_section { section = "<non-list>" }))
+    body;
+  (* sweeps expand to a cross product over the listed axes, labeled by
+     their values, based on the nominal SC *)
+  let expand_sweep axes =
+    let parsed =
+      List.filter_map
+        (fun axis_form ->
+          match axis_form with
+          | List (Atom axis :: (_ :: _ as values)) -> begin
+            match axis_of_name axis with
+            | None ->
+              diag
+                (Bad_value
+                   {
+                     section = "sweep";
+                     field = axis;
+                     value = "";
+                     msg = "unknown stress axis (tcyc|duty|vdd|temp)";
+                   });
+              None
+            | Some ax ->
+              let vs =
+                List.filter_map
+                  (function
+                    | Atom v -> float_of "sweep" axis v
+                    | List _ ->
+                      diag
+                        (Bad_value
+                           {
+                             section = "sweep";
+                             field = axis;
+                             value = "";
+                             msg = "expected numeric values";
+                           });
+                      None)
+                  values
+              in
+              if vs = [] then None else Some (axis, ax, vs)
+          end
+          | _ ->
+            diag
+              (Bad_value
+                 {
+                   section = "sweep";
+                   field = "-";
+                   value = "";
+                   msg = "expected (axis v1 v2 ...)";
+                 });
+            None)
+        axes
+    in
+    List.fold_left
+      (fun combos (axis_name, ax, vs) ->
+        List.concat_map
+          (fun (label, stress) ->
+            List.map
+              (fun v ->
+                let part = Printf.sprintf "%s=%g" axis_name v in
+                let label = if label = "" then part else label ^ "," ^ part in
+                (label, S.set stress ax v))
+              vs)
+          combos)
+      [ ("", S.nominal) ]
+      parsed
+    |> List.filter (fun (label, _) -> label <> "")
+  in
+  let swept = List.concat_map expand_sweep (List.rev !sweeps) in
+  let stresses = List.rev !stresses @ swept in
+  (* stress physicality *)
+  List.iter
+    (fun (label, s) ->
+      match S.validate s with
+      | () -> ()
+      | exception Invalid_argument msg ->
+        diag
+          (Bad_value
+             { section = "stress"; field = label; value = ""; msg }))
+    stresses;
+  (* duplicate labels *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (label, _) ->
+      if Hashtbl.mem seen label then diag (Duplicate_label { label })
+      else Hashtbl.add seen label ())
+    stresses;
+  (* sim section *)
+  let steps_per_cycle = ref None
+  and deadline = ref None
+  and jobs = ref None in
+  List.iter
+    (List.iter (fun field ->
+         match field with
+         | List [ Atom ("steps-per-cycle" | "steps_per_cycle"); Atom v ] ->
+           steps_per_cycle := int_of "sim" "steps-per-cycle" v
+         | List [ Atom "deadline"; Atom v ] ->
+           deadline := float_of "sim" "deadline" v
+         | List [ Atom "jobs"; Atom v ] -> jobs := int_of "sim" "jobs" v
+         | List (Atom f :: _) ->
+           diag
+             (Bad_value
+                {
+                  section = "sim";
+                  field = f;
+                  value = "";
+                  msg = "expected steps-per-cycle | deadline | jobs";
+                })
+         | _ ->
+           diag
+             (Bad_value
+                {
+                  section = "sim";
+                  field = "-";
+                  value = "";
+                  msg = "expected (field value) pairs";
+                })))
+    (List.rev !sim_fields);
+  (* border section *)
+  let r_min = ref 1e3
+  and r_max = ref 1e11
+  and grid_points = ref 13
+  and rel_tol = ref 0.01 in
+  List.iter
+    (List.iter (fun field ->
+         match field with
+         | List [ Atom ("r-min" | "r_min"); Atom v ] ->
+           Option.iter (fun f -> r_min := f) (float_of "border" "r-min" v)
+         | List [ Atom ("r-max" | "r_max"); Atom v ] ->
+           Option.iter (fun f -> r_max := f) (float_of "border" "r-max" v)
+         | List [ Atom ("grid-points" | "grid_points"); Atom v ] ->
+           Option.iter (fun i -> grid_points := i) (int_of "border" "grid-points" v)
+         | List [ Atom ("rel-tol" | "rel_tol"); Atom v ] ->
+           Option.iter (fun f -> rel_tol := f) (float_of "border" "rel-tol" v)
+         | List (Atom f :: _) ->
+           diag
+             (Bad_value
+                {
+                  section = "border";
+                  field = f;
+                  value = "";
+                  msg = "expected r-min | r-max | grid-points | rel-tol";
+                })
+         | _ ->
+           diag
+             (Bad_value
+                {
+                  section = "border";
+                  field = "-";
+                  value = "";
+                  msg = "expected (field value) pairs";
+                })))
+    (List.rev !border_fields);
+  if !r_min <= 0.0 || !r_max <= !r_min then
+    diag
+      (Bad_value
+         {
+           section = "border";
+           field = "r-min/r-max";
+           value = Printf.sprintf "%g..%g" !r_min !r_max;
+           msg = "need 0 < r-min < r-max";
+         });
+  if !grid_points < 2 then
+    diag
+      (Bad_value
+         {
+           section = "border";
+           field = "grid-points";
+           value = string_of_int !grid_points;
+           msg = "need at least 2";
+         });
+  if !name = None then diag (Missing_field { section = "campaign"; field = "name" });
+  if !defects = [] then diag (Empty_section { section = "defects" });
+  if stresses = [] then diag (Empty_section { section = "stress" });
+  let config =
+    match
+      Sc.v ?steps_per_cycle:!steps_per_cycle ?deadline:!deadline ?jobs:!jobs
+        ()
+    with
+    | c -> c
+    | exception Invalid_argument msg ->
+      diag (Bad_value { section = "sim"; field = "-"; value = ""; msg });
+      Sc.default
+  in
+  (match List.rev !diags with [] -> () | ds -> raise (Invalid ds));
+  {
+    name = Option.get !name;
+    defects = List.rev !defects;
+    stresses;
+    detections =
+      (match List.rev !detections with [] -> [ Best ] | ds -> ds);
+    config;
+    r_min = !r_min;
+    r_max = !r_max;
+    grid_points = !grid_points;
+    rel_tol = !rel_tol;
+  }
+
+let load path =
+  of_string ~source:path (In_channel.with_open_text path In_channel.input_all)
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v2>campaign %s:@ %d defect placement(s), %d stress setting(s), %d \
+     detection(s)@ border: %g..%g Ohm, %d grid points, %.2g rel tol@ %a@]"
+    m.name (List.length m.defects)
+    (List.length m.stresses)
+    (List.length m.detections)
+    m.r_min m.r_max m.grid_points m.rel_tol
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (l, s) ->
+         Format.fprintf ppf "%s: %a" l S.pp s))
+    m.stresses

@@ -1,0 +1,109 @@
+module D = Dramstress_defect.Defect
+module S = Dramstress_dram.Stress
+module Sc = Dramstress_dram.Sim_config
+module Det = Dramstress_core.Detection
+module Border = Dramstress_core.Border
+module M = Dramstress_march.March
+module Ck = Dramstress_util.Checkpoint
+
+type point = {
+  defect : D.entry;
+  placement : D.placement;
+  stress_label : string;
+  stress : S.t;
+  detection : Manifest.detection_spec;
+}
+
+type result = { detection : Det.t; br : Border.result }
+
+let points (m : Manifest.t) =
+  List.concat_map
+    (fun (defect, placement) ->
+      List.concat_map
+        (fun (stress_label, stress) ->
+          List.map
+            (fun detection ->
+              { defect; placement; stress_label; stress; detection })
+            m.Manifest.detections)
+        m.Manifest.stresses)
+    m.Manifest.defects
+
+(* ------------------------------------------------------------------ *)
+(* codecs                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let encode_detection (d : Det.t) =
+  String.concat ","
+    (List.map
+       (function
+         | Det.Write b -> Printf.sprintf "w%d" b
+         | Det.Read b -> Printf.sprintf "r%d" b
+         | Det.Wait t -> Printf.sprintf "p%h" t)
+       d.Det.steps)
+
+let decode_detection s =
+  let step tok =
+    if tok = "" then None
+    else
+      let rest () = String.sub tok 1 (String.length tok - 1) in
+      match tok.[0] with
+      | 'w' -> Option.map (fun b -> Det.Write b) (int_of_string_opt (rest ()))
+      | 'r' -> Option.map (fun b -> Det.Read b) (int_of_string_opt (rest ()))
+      | 'p' -> Option.map (fun t -> Det.Wait t) (float_of_string_opt (rest ()))
+      | _ -> None
+  in
+  let toks = String.split_on_char ',' s in
+  let steps = List.map step toks in
+  if List.for_all Option.is_some steps then
+    match Det.v (List.filter_map Fun.id steps) with
+    | d -> Some d
+    | exception Invalid_argument _ -> None
+  else None
+
+let encode_result { detection; br } =
+  encode_detection detection ^ "|" ^ Border.encode_result br
+
+let decode_result s =
+  match String.index_opt s '|' with
+  | None -> None
+  | Some i ->
+    let det = String.sub s 0 i in
+    let br = String.sub s (i + 1) (String.length s - i - 1) in
+    (match (decode_detection det, Border.decode_result br) with
+    | Some detection, Some br -> Some { detection; br }
+    | _, _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* content addresses                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* the detection part of the address: explicit sequences (and marches,
+   via their per-cell lowering) address by their canonical op text, so
+   equivalent specs share records; synthesized specs address by the
+   request, since the winning sequence is an OUTPUT of the point *)
+let detection_canon = function
+  | Manifest.Best -> "best"
+  | Manifest.Best_no_pause -> "best-nopause"
+  | Manifest.Seq d -> "seq:" ^ encode_detection d
+  | Manifest.March t -> "seq:" ^ encode_detection (M.to_detection t)
+
+let placement_tag = function D.True_bl -> "true" | D.Comp_bl -> "comp"
+
+let descriptor (m : Manifest.t) p =
+  let c = m.Manifest.config in
+  (* only value-changing physics: scheduling knobs (jobs, deadline,
+     retry) are deliberately left out of the fingerprint *)
+  let physics = Ck.fingerprint (c.Sc.tech, c.Sc.sim, c.Sc.steps_per_cycle) in
+  Printf.sprintf "campaign.point|v1|%s|%h,%h,%h,%h|%s|%s|%s|%h,%h,%d,%h"
+    physics p.stress.S.tcyc p.stress.S.duty p.stress.S.vdd p.stress.S.temp_c
+    p.defect.D.id (placement_tag p.placement)
+    (detection_canon p.detection)
+    m.Manifest.r_min m.Manifest.r_max m.Manifest.grid_points
+    m.Manifest.rel_tol
+
+let fail_key m p = "campaign.fail|" ^ descriptor m p
+
+let pp_point ppf p =
+  Format.fprintf ppf "%s/%a @@ %s [%s]" p.defect.D.id D.pp_placement
+    p.placement p.stress_label
+    (Manifest.detection_label p.detection)

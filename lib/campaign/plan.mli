@@ -1,0 +1,60 @@
+(** Campaign planning: manifest → concrete simulation points, each with
+    a stable content address into a {!Dramstress_util.Store}.
+
+    The address deliberately covers {e only} inputs that change the
+    simulated values: the physics fingerprint (technology, engine
+    options, transient resolution), the stress values, the defect and
+    its placement, the canonical detection text, and the border-search
+    window. It excludes the stress {e label} (a renamed setting reuses
+    its records), the campaign name, and scheduling knobs (jobs,
+    deadline, retry policy) — two campaigns that agree on the physics
+    share results byte for byte. *)
+
+type point = {
+  defect : Dramstress_defect.Defect.entry;
+  placement : Dramstress_defect.Defect.placement;
+  stress_label : string;
+  stress : Dramstress_dram.Stress.t;
+  detection : Manifest.detection_spec;
+}
+(** One (defect placement x stress x detection) cell of the campaign. *)
+
+type result = {
+  detection : Dramstress_core.Detection.t;
+      (** the concrete operation sequence that was scored — for [Best]
+          points, the synthesized winner *)
+  br : Dramstress_core.Border.result;
+}
+(** What a finished point stores: the border result together with the
+    operation sequence that produced it. *)
+
+(** [points m] expands the manifest into its full cross product, in
+    manifest declaration order (defects outermost, detections
+    innermost). *)
+val points : Manifest.t -> point list
+
+(** [descriptor m p] is the content address of [p] under manifest [m]'s
+    physics — the success-record key. Stable across processes and
+    domains; hex floats throughout, no locale or precision loss. *)
+val descriptor : Manifest.t -> point -> string
+
+(** [fail_key m p] is the failure-record key for [p] — a separate
+    namespace so a recorded failure never shadows a later success and is
+    retried on the next run. *)
+val fail_key : Manifest.t -> point -> string
+
+(** [encode_result] / [decode_result] — store payload codec for finished
+    points ([%h] floats; round-trips exactly). [decode_result] is total. *)
+val encode_result : result -> string
+
+val decode_result : string -> result option
+
+(** [encode_detection] / [decode_detection] — canonical text form of a
+    concrete operation sequence (["w1,w0,r0"]; pauses as [p%h]). The
+    march and seq specs that lower to the same per-cell stream share it,
+    and therefore share store records. *)
+val encode_detection : Dramstress_core.Detection.t -> string
+
+val decode_detection : string -> Dramstress_core.Detection.t option
+
+val pp_point : Format.formatter -> point -> unit

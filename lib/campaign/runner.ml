@@ -1,0 +1,144 @@
+module D = Dramstress_defect.Defect
+module Sc = Dramstress_dram.Sim_config
+module O = Dramstress_dram.Ops
+module Border = Dramstress_core.Border
+module Sc_eval = Dramstress_core.Sc_eval
+module M = Dramstress_march.March
+module Store = Dramstress_util.Store
+module Outcome = Dramstress_util.Outcome
+module Par = Dramstress_util.Par
+module Tel = Dramstress_util.Telemetry
+
+let c_planned = Tel.Counter.make "campaign.points_planned"
+let c_reused = Tel.Counter.make "campaign.points_reused"
+let c_simulated = Tel.Counter.make "campaign.points_simulated"
+let c_failed = Tel.Counter.make "campaign.points_failed"
+
+type state = [ `Done of Plan.result | `Failed of string | `Missing ]
+
+let state ~store (m : Manifest.t) p =
+  match Store.find store ~key:(Plan.descriptor m p) with
+  | Some payload -> begin
+    match Plan.decode_result payload with
+    | Some r -> `Done r
+    | None -> `Missing (* foreign payload: treat as absent, recompute *)
+  end
+  | None -> begin
+    match Store.find store ~key:(Plan.fail_key m p) with
+    | Some msg -> `Failed msg
+    | None -> `Missing
+  end
+
+let states ~store m =
+  List.map (fun p -> (p, state ~store m p)) (Plan.points m)
+
+type summary = {
+  planned : int;
+  reused : int;
+  simulated : int;
+  results : (Plan.point * Plan.result) list;
+  failures : Plan.point Outcome.failure list;
+}
+
+let run ?jobs ~store (m : Manifest.t) =
+  let points = Plan.points m in
+  let planned = List.length points in
+  Tel.Counter.add c_planned planned;
+  (* split against the store: successes are never recomputed *)
+  let classified =
+    List.map
+      (fun p ->
+        match state ~store m p with
+        | `Done r -> (p, Some r)
+        | `Failed _ | `Missing -> (p, None))
+      points
+  in
+  let reused = List.filter_map (fun (p, r) -> Option.map (fun r -> (p, r)) r) classified in
+  let todo = List.filter_map (fun (p, r) -> if r = None then Some p else None) classified in
+  Tel.Counter.add c_reused (List.length reused);
+  let jobs =
+    match jobs with
+    | Some j -> j
+    | None -> Sc.resolve_jobs m.Manifest.config
+  in
+  (* the store's checkpoint handle memoizes the border searches INSIDE
+     each point, so killing a run mid-point loses nothing but the
+     classification step; the point record itself is written from the
+     worker the moment its result exists *)
+  let checkpoint = Store.checkpoint store in
+  let outcomes =
+    Par.parallel_map_outcomes ~jobs ~retries_of:O.retries_of
+      (fun (p : Plan.point) ->
+        let r =
+          match p.Plan.detection with
+          | Manifest.Best | Manifest.Best_no_pause ->
+            let allow_pause = p.Plan.detection = Manifest.Best in
+            let detection, br =
+              Sc_eval.best_detection ~config:m.Manifest.config ~checkpoint
+                ~r_min:m.Manifest.r_min ~r_max:m.Manifest.r_max
+                ~grid_points:m.Manifest.grid_points ~rel_tol:m.Manifest.rel_tol
+                ~allow_pause ~stress:p.Plan.stress ~kind:p.Plan.defect.D.kind
+                ~placement:p.Plan.placement ()
+            in
+            { Plan.detection; br }
+          | Manifest.Seq _ | Manifest.March _ ->
+            let d =
+              match p.Plan.detection with
+              | Manifest.Seq d -> d
+              | Manifest.March t -> M.to_detection t
+              | _ -> assert false
+            in
+            let br =
+              Border.search ~config:m.Manifest.config ~checkpoint
+                ~r_min:m.Manifest.r_min ~r_max:m.Manifest.r_max
+                ~grid_points:m.Manifest.grid_points ~rel_tol:m.Manifest.rel_tol
+                ~stress:p.Plan.stress ~kind:p.Plan.defect.D.kind
+                ~placement:p.Plan.placement d
+            in
+            { Plan.detection = d; br }
+        in
+        let descr = Format.asprintf "%a" Plan.pp_point p in
+        Store.put store ~key:(Plan.descriptor m p) ~descr
+          (Plan.encode_result r);
+        (p, r))
+      todo
+  in
+  let fresh, failures = Outcome.partition outcomes in
+  Tel.Counter.add c_simulated (List.length fresh);
+  Tel.Counter.add c_failed (List.length failures);
+  (* failure records: separate namespace, last attempt wins, so status
+     reports the current story and the next run retries them *)
+  List.iter
+    (fun (f : Plan.point Outcome.failure) ->
+      let descr = Format.asprintf "FAILED %a" Plan.pp_point f.Outcome.point in
+      Store.put store ~key:(Plan.fail_key m f.Outcome.point) ~descr
+        ~overwrite:true
+        (Printexc.to_string f.Outcome.error))
+    failures;
+  (* reassemble in plan order *)
+  let by_point = Hashtbl.create 64 in
+  List.iter
+    (fun (p, r) -> Hashtbl.replace by_point (Plan.descriptor m p) r)
+    (reused @ fresh);
+  let results =
+    List.filter_map
+      (fun p ->
+        Option.map (fun r -> (p, r)) (Hashtbl.find_opt by_point (Plan.descriptor m p)))
+      points
+  in
+  {
+    planned;
+    reused = List.length reused;
+    simulated = List.length fresh;
+    results;
+    failures;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v2>campaign: %d point(s) planned, %d reused, %d simulated, %d \
+     failed@ %a@]"
+    s.planned s.reused s.simulated
+    (List.length s.failures)
+    (Format.pp_print_list (Outcome.pp_failure Plan.pp_point))
+    s.failures

@@ -1,0 +1,55 @@
+(** Campaign execution: plan against the store, simulate only what is
+    missing, record everything.
+
+    The contract that makes campaigns resumable:
+
+    - a point whose success record exists is {e never} recomputed — it
+      is counted as reused and its stored payload is returned;
+    - a point that previously {e failed} is retried: failures live in a
+      separate key namespace ([campaign.fail|...]) that success lookups
+      never consult, and are overwritten in place on each new attempt;
+    - success records are written from inside the worker domains as
+      points finish, so a killed run keeps everything completed so far —
+      and the store's checkpoint handle is threaded into every border
+      search, so even a half-finished point resumes from its finished
+      searches.
+
+    Counters: [campaign.points_planned], [campaign.points_reused],
+    [campaign.points_simulated], [campaign.points_failed]. A warm rerun
+    of an unchanged campaign reports [points_simulated = 0]. *)
+
+type state =
+  [ `Done of Plan.result  (** success record present *)
+  | `Failed of string  (** only a failure record present *)
+  | `Missing  (** never attempted (or store was discarded) *) ]
+
+(** [state ~store m p] classifies one point against the store without
+    simulating anything. *)
+val state : store:Dramstress_util.Store.t -> Manifest.t -> Plan.point -> state
+
+(** [states ~store m] is {!state} over the whole plan, in plan order. *)
+val states :
+  store:Dramstress_util.Store.t ->
+  Manifest.t ->
+  (Plan.point * state) list
+
+type summary = {
+  planned : int;
+  reused : int;  (** points answered from the store *)
+  simulated : int;  (** points computed this run (successfully) *)
+  results : (Plan.point * Plan.result) list;
+      (** every finished point — reused and fresh — in plan order *)
+  failures : Plan.point Dramstress_util.Outcome.failure list;
+      (** points that failed even after the retry policy; recorded in
+          the store's failure namespace and retried on the next run *)
+}
+
+(** [run ?jobs ~store m] executes the campaign: expands the plan, reuses
+    stored successes, simulates the rest in parallel
+    ({!Dramstress_util.Par.parallel_map_outcomes} over the config's
+    domain count; [?jobs] overrides). Solver failures become [failures],
+    not exceptions. *)
+val run :
+  ?jobs:int -> store:Dramstress_util.Store.t -> Manifest.t -> summary
+
+val pp_summary : Format.formatter -> summary -> unit

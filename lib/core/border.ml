@@ -178,6 +178,8 @@ let decode_result s =
   end
   | _ -> None
 
+let equal_result a b = String.equal (encode_result a) (encode_result b)
+
 let search ?tech ?config ?checkpoint ?(r_min = 1e3) ?(r_max = 1e11)
     ?(grid_points = 13) ?(rel_tol = 0.01) ~stress ~kind ~placement cond =
   let compute () =

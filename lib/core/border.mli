@@ -90,6 +90,13 @@ val search :
   Detection.t ->
   result
 
+(** [equal_result a b] — structural equality on results, NaN-safe (it
+    compares the canonical {!encode_result} forms, under which every
+    float round-trips bit-exactly). Two stores that replay the same
+    simulation compare equal under it — the emptiness criterion of a
+    campaign self-diff. *)
+val equal_result : result -> result -> bool
+
 (** [encode_result] / [decode_result] — the compact stable string form
     used by the checkpoint store ([%h] floats, so round-trips are exact).
     [decode_result] is total: it returns [None] on any foreign string. *)

@@ -32,11 +32,17 @@ val candidate_detections :
 
 (** [best_detection ?tech ~stress ~kind ~placement ()] picks the
     candidate with the most covering BR at the given SC, returning the
-    winning condition with its BR. *)
+    winning condition with its BR. [?r_min ?r_max ?grid_points ?rel_tol]
+    pass through to every underlying {!Border.search} (campaign
+    manifests narrow the window to bound cost). *)
 val best_detection :
   ?tech:Dramstress_dram.Tech.t ->
   ?config:Dramstress_dram.Sim_config.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?r_min:float ->
+  ?r_max:float ->
+  ?grid_points:int ->
+  ?rel_tol:float ->
   ?allow_pause:bool ->
   ?pause:float ->
   stress:Dramstress_dram.Stress.t ->

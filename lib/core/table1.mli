@@ -44,6 +44,12 @@ val generate :
   unit ->
   t
 
+(** [br_string result] is the compact border-resistance cell rendering
+    used by {!render} ("200k", "1M..10G", "all R", ...) — exposed so
+    other Table-1-style reports (campaign BR-shift diffs) render borders
+    identically to the canonical table. *)
+val br_string : Border.result -> string
+
 (** [render table] formats the paper-style table as text. *)
 val render : t -> string
 

@@ -55,6 +55,22 @@ let of_detection ~name cond =
   in
   v name [ either ops ]
 
+let to_detection test =
+  (* the per-cell operation stream: address order is irrelevant for a
+     single victim cell, so the elements' op lists simply concatenate *)
+  let steps =
+    List.concat_map
+      (fun e ->
+        List.map
+          (function
+            | Mw b -> Dramstress_core.Detection.Write b
+            | Mr b -> Dramstress_core.Detection.Read b
+            | Mdel d -> Dramstress_core.Detection.Wait d)
+          e.ops)
+      test.elements
+  in
+  Dramstress_core.Detection.v steps
+
 let op_count test =
   List.fold_left
     (fun acc e ->

@@ -45,6 +45,14 @@ val march_c_minus : t
     conditions into a single-element march test (applied per cell). *)
 val of_detection : name:string -> Dramstress_core.Detection.t -> t
 
+(** [to_detection test] is the inverse of {!of_detection}: the per-cell
+    operation stream of the march test as a single detection condition —
+    the lowering used when a campaign manifest names a march test as one
+    of its operation sequences. Address order is irrelevant for a single
+    victim cell, so the elements' operation lists concatenate in test
+    order. *)
+val to_detection : t -> Dramstress_core.Detection.t
+
 (** [op_count test] is the number of operations per cell (the [n]
     multiplier in the test's complexity). *)
 val op_count : t -> int

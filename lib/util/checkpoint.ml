@@ -22,6 +22,9 @@ type t = {
   path : string;
   lock : Mutex.t;
   table : (string, string) Hashtbl.t;
+  extra : (string * string) list;
+      (* constant fields stamped onto every record line, e.g. the engine
+         identity of the binary that produced the results *)
   mutable oc : out_channel option;
 }
 
@@ -96,7 +99,7 @@ let load_into table path =
           done
         with End_of_file -> ())
 
-let open_ ?(resume = false) path =
+let open_ ?(resume = false) ?(extra = []) path =
   let table = Hashtbl.create 256 in
   if resume then load_into table path;
   (* resume appends behind the loaded entries; a fresh run truncates any
@@ -106,7 +109,7 @@ let open_ ?(resume = false) path =
     else [ Open_wronly; Open_creat; Open_trunc ]
   in
   let oc = open_out_gen flags 0o644 path in
-  { path; lock = Mutex.create (); table; oc = Some oc }
+  { path; lock = Mutex.create (); table; extra; oc = Some oc }
 
 let path t = t.path
 let entries t = Hashtbl.length t.table
@@ -114,9 +117,9 @@ let entries t = Hashtbl.length t.table
 let find t key =
   Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key)
 
-let record t ~key ?(descr = "") value =
+let record t ~key ?(descr = "") ?(overwrite = false) value =
   Mutex.protect t.lock (fun () ->
-      if not (Hashtbl.mem t.table key) then begin
+      if overwrite || not (Hashtbl.mem t.table key) then begin
         Hashtbl.replace t.table key value;
         match t.oc with
         | None -> ()
@@ -125,9 +128,18 @@ let record t ~key ?(descr = "") value =
             if descr = "" then ""
             else Printf.sprintf "\"descr\":\"%s\"," (Tel.json_escape descr)
           in
+          let extra_fields =
+            String.concat ""
+              (List.map
+                 (fun (k, v) ->
+                   Printf.sprintf "\"%s\":\"%s\"," (Tel.json_escape k)
+                     (Tel.json_escape v))
+                 t.extra)
+          in
           let line =
-            Printf.sprintf "{%s\"key\":\"%s\",\"value\":\"%s\"}\n" descr_field
-              (Tel.json_escape key) (Tel.json_escape value)
+            Printf.sprintf "{%s%s\"key\":\"%s\",\"value\":\"%s\"}\n"
+              descr_field extra_fields (Tel.json_escape key)
+              (Tel.json_escape value)
           in
           if Chaos.armed () && Chaos.fire Chaos.Truncate_checkpoint then
             (* a kill mid-append: half a record, no trailing newline.

@@ -21,11 +21,16 @@
 
 type t
 
-(** [open_ ?resume path] opens a store. With [resume = false] (the
-    default) any existing file at [path] is truncated — a fresh
+(** [open_ ?resume ?extra path] opens a store. With [resume = false]
+    (the default) any existing file at [path] is truncated — a fresh
     campaign. With [resume = true] existing records are loaded first and
-    new records appended behind them. *)
-val open_ : ?resume:bool -> string -> t
+    new records appended behind them. [extra] is a list of constant
+    [(field, value)] string pairs stamped onto every record line written
+    through this handle — e.g. the engine identity of the producing
+    binary ({!Build_info.identity}), so stale results are detectable
+    after an engine upgrade. Loading tolerates (and ignores) unknown
+    fields, so stores written with different [extra] sets interoperate. *)
+val open_ : ?resume:bool -> ?extra:(string * string) list -> string -> t
 
 val path : t -> string
 
@@ -35,10 +40,14 @@ val entries : t -> int
 (** [find t key] looks up a digest key ({!digest_key}). *)
 val find : t -> string -> string option
 
-(** [record t ~key ?descr value] appends one completed point and
-    flushes. Duplicate keys are ignored (first record wins, matching
-    what {!find} would have returned). *)
-val record : t -> key:string -> ?descr:string -> string -> unit
+(** [record t ~key ?descr ?overwrite value] appends one completed point
+    and flushes. Duplicate keys are ignored (first record wins, matching
+    what {!find} would have returned) unless [overwrite] is set, in
+    which case the new value replaces the table entry and a fresh line
+    is appended — on reload the {e last} record for a key wins, so the
+    append-only file stays consistent with the in-memory view. *)
+val record :
+  t -> key:string -> ?descr:string -> ?overwrite:bool -> string -> unit
 
 (** [close t] closes the underlying channel; further {!record}s update
     only the in-memory table. *)
@@ -48,6 +57,14 @@ val close : t -> unit
     point is stored. [descriptor] should canonically encode everything
     the point's result depends on. *)
 val digest_key : string -> string
+
+(** [field line name] extracts the value of the top-level string field
+    [name] from one JSONL record line, tolerating (and skipping) any
+    other fields — the same parser {!open_} uses on load. [None] when
+    the field is absent or the line is truncated mid-record. Exposed so
+    higher-level stores ({!Store}) and tests can read the stamped
+    [extra] fields back. *)
+val field : string -> string -> string option
 
 (** [fingerprint v] digests an arbitrary (closure-free) value via its
     marshalled bytes — a convenient way to fold structured context

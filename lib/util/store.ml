@@ -1,0 +1,130 @@
+(* Content-addressed persistent result store: a directory holding an
+   append-only Checkpoint file plus a small rewritable index summary.
+   See store.mli for the layout contract. *)
+
+let records_file = "records.jsonl"
+let index_file = "index.json"
+
+type t = {
+  dir : string;
+  name : string;
+  engine : string;
+  ck : Checkpoint.t;
+}
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+type index = { ix_name : string; ix_engine : string; ix_records : int }
+
+(* index.json is one flat object; reuse the tolerant checkpoint field
+   parser for the string fields and scan by hand for the one int *)
+let index dirpath =
+  let path = Filename.concat dirpath index_file in
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents ->
+    let line = String.concat " " (String.split_on_char '\n' contents) in
+    let int_field name =
+      let marker = Printf.sprintf "\"%s\":" name in
+      let ln = String.length line and lm = String.length marker in
+      let rec find i =
+        if i + lm > ln then None
+        else if String.sub line i lm = marker then begin
+          let j = ref (i + lm) in
+          while !j < ln && line.[!j] = ' ' do incr j done;
+          let k = ref !j in
+          while !k < ln && (match line.[!k] with '0' .. '9' -> true | _ -> false) do
+            incr k
+          done;
+          int_of_string_opt (String.sub line !j (!k - !j))
+        end
+        else find (i + 1)
+      in
+      find 0
+    in
+    (match (Checkpoint.field line "name", int_field "records") with
+    | Some ix_name, Some ix_records ->
+      let ix_engine =
+        Option.value ~default:"unknown" (Checkpoint.field line "engine")
+      in
+      Some { ix_name; ix_engine; ix_records }
+    | _, _ -> None)
+
+let write_index t =
+  let path = Filename.concat t.dir index_file in
+  let tmp = path ^ ".tmp" in
+  (* no space after the colons: {!Checkpoint.field} reads these back *)
+  let json =
+    Printf.sprintf
+      "{\n  \"name\":\"%s\",\n  \"engine\":\"%s\",\n  \"records\":%d\n}\n"
+      (Telemetry.json_escape t.name)
+      (Telemetry.json_escape t.engine)
+      (Checkpoint.entries t.ck)
+  in
+  Out_channel.with_open_text tmp (fun oc -> output_string oc json);
+  (* atomic publish: readers see the old or the new index, never half *)
+  Sys.rename tmp path
+
+let open_ ?engine ~name dirpath =
+  let engine =
+    match engine with Some e -> e | None -> Build_info.identity
+  in
+  mkdir_p dirpath;
+  let ck =
+    Checkpoint.open_ ~resume:true
+      ~extra:[ ("engine", engine) ]
+      (Filename.concat dirpath records_file)
+  in
+  let t = { dir = dirpath; name; engine; ck } in
+  write_index t;
+  t
+
+let dir t = t.dir
+let name t = t.name
+let engine t = t.engine
+let entries t = Checkpoint.entries t.ck
+let checkpoint t = t.ck
+
+let find t ~key = Checkpoint.find t.ck (Checkpoint.digest_key key)
+
+let put t ~key ?descr ?overwrite value =
+  Checkpoint.record t.ck ~key:(Checkpoint.digest_key key) ?descr ?overwrite
+    value
+
+let memo t ~key ?descr ~encode ~decode f =
+  Checkpoint.memo (Some t.ck) ~key ?descr ~encode ~decode f
+
+let engines t =
+  let tally = Hashtbl.create 4 in
+  let path = Filename.concat t.dir records_file in
+  (match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if Checkpoint.field line "key" <> None then begin
+              let e =
+                Option.value ~default:"unknown"
+                  (Checkpoint.field line "engine")
+              in
+              Hashtbl.replace tally e
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tally e))
+            end
+          done
+        with End_of_file -> ()));
+  Hashtbl.fold (fun e n acc -> (e, n) :: acc) tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let close t =
+  write_index t;
+  Checkpoint.close t.ck

@@ -1,0 +1,91 @@
+(** Content-addressed persistent result store — a campaign directory.
+
+    Where {!Checkpoint} is a single resumable file owned by one run, a
+    [Store] is a durable directory meant to outlive any number of runs:
+    results accumulate append-only across processes and are shared by
+    fingerprint, so two campaigns (or a campaign and a direct sweep)
+    that need the same simulated point compute it once.
+
+    Layout under the store directory:
+
+    - [records.jsonl] — the {!Checkpoint} machinery opened in
+      append-only mode: one record per completed point, hex-float
+      payloads, flushed per record, truncated-final-line tolerance,
+      domain-safe. Every record is stamped with the engine identity of
+      the binary that produced it ({!Build_info.identity} unless
+      overridden), so stale-engine results are detectable.
+    - [index.json] — a small summary (store name, engine, record count)
+      rewritten atomically on {!close}; a convenience for humans and
+      status commands, never the source of truth. A missing or stale
+      index is rebuilt from [records.jsonl].
+
+    Records are keyed by {!Checkpoint.digest_key} of a canonical point
+    descriptor — the content address. Unlike a checkpoint, {!put} may
+    overwrite (last record wins on reload), which lets failure markers
+    be superseded by later successes while successes themselves are
+    never recomputed.
+
+    Activity feeds the same [util.checkpoint.*] telemetry counters as
+    the checkpoint layer. *)
+
+type t
+
+(** [open_ ?engine ~name dir] opens (creating if needed) the store
+    directory [dir]. Existing records are loaded; new records append.
+    [name] labels the store in [index.json]; [engine] (default
+    {!Build_info.identity}) is stamped onto every record written through
+    this handle. *)
+val open_ : ?engine:string -> name:string -> string -> t
+
+val dir : t -> string
+val name : t -> string
+
+(** [engine t] is the identity stamped on records this handle writes. *)
+val engine : t -> string
+
+(** [entries t] is the number of distinct keys held (all engines). *)
+val entries : t -> int
+
+(** [checkpoint t] is the underlying {!Checkpoint} handle — the reuse
+    hook: pass it as [?checkpoint] to {!Dramstress_core.Border.search},
+    Table 1 generation or any other sweep layer and their per-point
+    memoization lands in this store, content-addressed alongside the
+    campaign's own records. *)
+val checkpoint : t -> Checkpoint.t
+
+(** [find t ~key] looks up the raw (undigested) descriptor [key]. *)
+val find : t -> key:string -> string option
+
+(** [put t ~key ?descr ?overwrite value] records a completed point
+    under descriptor [key] and flushes. Default first-wins; with
+    [overwrite] the last record wins (used for failure markers). *)
+val put : t -> key:string -> ?descr:string -> ?overwrite:bool -> string -> unit
+
+(** [memo t ~key ?descr ~encode ~decode f] — serve the decoded stored
+    value if present, else compute, record and return it. *)
+val memo :
+  t ->
+  key:string ->
+  ?descr:string ->
+  encode:('a -> string) ->
+  decode:(string -> 'a option) ->
+  (unit -> 'a) ->
+  'a
+
+(** [engines t] scans [records.jsonl] and returns the distinct engine
+    identity strings found with their record counts, most frequent
+    first — the staleness report: more than one entry means the store
+    mixes results from different builds. Records written before engine
+    stamping existed count under ["unknown"]. *)
+val engines : t -> (string * int) list
+
+(** [close t] flushes, closes the record channel and rewrites
+    [index.json] (atomically, via a temp file + rename). *)
+val close : t -> unit
+
+(** What {!index} reads back from [index.json]. *)
+type index = { ix_name : string; ix_engine : string; ix_records : int }
+
+(** [index dirpath] reads the summary of a store directory without
+    opening (or locking) the store; [None] if no readable index exists. *)
+val index : string -> index option

@@ -1,0 +1,466 @@
+(* Campaign subsystem: manifest parsing and diagnostics, plan content
+   addressing, store-backed runs (reuse, failure retry), and diff
+   reports. Electrical points use a narrow border window so the whole
+   suite stays cheap. *)
+
+module Cp = Dramstress_campaign
+module Manifest = Cp.Manifest
+module Plan = Cp.Plan
+module Runner = Cp.Runner
+module Diff = Cp.Diff
+module D = Dramstress_defect.Defect
+module S = Dramstress_dram.Stress
+module Sc = Dramstress_dram.Sim_config
+module O = Dramstress_dram.Ops
+module C = Dramstress_core
+module M = Dramstress_march.March
+module St = Dramstress_util.Store
+module Outcome = Dramstress_util.Outcome
+
+let with_store_dir f =
+  let dir = Filename.temp_file "dramstress_campaign" "" in
+  Sys.remove dir;
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* manifest                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let full_manifest =
+  {|
+(campaign
+  (name vdd-study) ; comments survive anywhere
+  (defects O1 (Sg true) (B1 comp))
+  (stress nominal)
+  (stress low-vdd (vdd 2.1))
+  (sweep (vdd 2.1 2.7) (temp -33 87))
+  (detections best best-no-pause (seq "w1 w1 w0 r0")
+              (march "{up(w0);up(r0,w1)}"))
+  (sim (steps-per-cycle 200) (deadline 30) (jobs 2))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+
+let test_manifest_full () =
+  let m = Manifest.of_string full_manifest in
+  Alcotest.(check string) "name" "vdd-study" m.Manifest.name;
+  (* bare O1 expands to both placements *)
+  Alcotest.(check int) "defect placements" 4 (List.length m.Manifest.defects);
+  (* 2 explicit + 2x2 sweep *)
+  Alcotest.(check (list string))
+    "stress labels, declaration order then sweep"
+    [ "nominal"; "low-vdd"; "vdd=2.1,temp=-33"; "vdd=2.1,temp=87";
+      "vdd=2.7,temp=-33"; "vdd=2.7,temp=87" ]
+    (List.map fst m.Manifest.stresses);
+  Alcotest.(check int) "detections" 4 (List.length m.Manifest.detections);
+  Alcotest.(check int) "steps-per-cycle" 200 m.Manifest.config.Sc.steps_per_cycle;
+  Alcotest.(check (option int)) "jobs" (Some 2) m.Manifest.config.Sc.jobs;
+  Alcotest.(check (float 0.0)) "r-min" 1e4 m.Manifest.r_min;
+  Alcotest.(check int) "grid" 5 m.Manifest.grid_points;
+  (* the sweep entries really moved the axes *)
+  let swept = List.assoc "vdd=2.1,temp=87" m.Manifest.stresses in
+  Alcotest.(check (float 0.0)) "swept vdd" 2.1 swept.S.vdd;
+  Alcotest.(check (float 0.0)) "swept temp" 87.0 swept.S.temp_c
+
+let test_manifest_defaults () =
+  let m =
+    Manifest.of_string "(campaign (name d) (defects O1) (stress nominal))"
+  in
+  Alcotest.(check int) "detections default to best" 1
+    (List.length m.Manifest.detections);
+  Alcotest.(check bool) "the default is Best" true
+    (m.Manifest.detections = [ Manifest.Best ]);
+  Alcotest.(check (float 0.0)) "default r-min" 1e3 m.Manifest.r_min;
+  Alcotest.(check (float 0.0)) "default r-max" 1e11 m.Manifest.r_max;
+  Alcotest.(check int) "default grid" 13 m.Manifest.grid_points
+
+let test_manifest_collects_diagnostics () =
+  (* one parse, every problem reported: unknown defect, bad axis,
+     duplicate label, missing name *)
+  let src =
+    {|
+(campaign
+  (defects O9 O1)
+  (stress a (frequency 2))
+  (stress a)
+  (border (grid-points 1)))
+|}
+  in
+  match Manifest.of_string src with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Manifest.Invalid ds ->
+    let has pred = List.exists pred ds in
+    Alcotest.(check bool) "unknown defect" true
+      (has (function Manifest.Unknown_defect { id = "O9" } -> true | _ -> false));
+    Alcotest.(check bool) "bad stress axis" true
+      (has (function
+        | Manifest.Bad_value { section = "stress"; field = "frequency"; _ } ->
+          true
+        | _ -> false));
+    Alcotest.(check bool) "duplicate label" true
+      (has (function
+        | Manifest.Duplicate_label { label = "a" } -> true
+        | _ -> false));
+    Alcotest.(check bool) "bad grid" true
+      (has (function
+        | Manifest.Bad_value { section = "border"; field = "grid-points"; _ }
+          ->
+          true
+        | _ -> false));
+    Alcotest.(check bool) "missing name" true
+      (has (function
+        | Manifest.Missing_field { section = "campaign"; field = "name" } ->
+          true
+        | _ -> false))
+
+let test_manifest_parse_error_line () =
+  match Manifest.of_string "(campaign\n  (name x)\n  (defects O1" with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Manifest.Invalid [ Manifest.Parse_error { line; _ } ] ->
+    Alcotest.(check int) "line of the unclosed paren" 3 line
+  | exception Manifest.Invalid _ -> Alcotest.fail "expected one parse error"
+
+(* ------------------------------------------------------------------ *)
+(* plan: content addressing                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mini ?(detections = {|(detections (seq "w1 w1 w0 r0"))|}) ?(sim = "")
+    ?(border = "(border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05))")
+    ?(stress = "(stress nominal)") () =
+  Manifest.of_string
+    (Printf.sprintf "(campaign (name mini) (defects (O1 true)) %s %s %s %s)"
+       stress detections sim border)
+
+let test_plan_cross_product () =
+  let m = Manifest.of_string full_manifest in
+  let pts = Plan.points m in
+  (* 4 placements x 6 stresses x 4 detections *)
+  Alcotest.(check int) "cross product" (4 * 6 * 4) (List.length pts);
+  (* detections innermost: first four points share defect and stress *)
+  match pts with
+  | a :: b :: _ ->
+    Alcotest.(check string) "same stress first"
+      a.Plan.stress_label b.Plan.stress_label;
+    Alcotest.(check bool) "different detection" true
+      (a.Plan.detection <> b.Plan.detection)
+  | _ -> Alcotest.fail "empty plan"
+
+let test_descriptor_sensitivity () =
+  let base = mini () in
+  let d m = Plan.descriptor m (List.hd (Plan.points m)) in
+  (* value-changing inputs move the address *)
+  Alcotest.(check bool) "stress changes it" true
+    (d base <> d (mini ~stress:"(stress hot (temp 87))" ()));
+  Alcotest.(check bool) "sim physics changes it" true
+    (d base <> d (mini ~sim:"(sim (steps-per-cycle 123))" ()));
+  Alcotest.(check bool) "border window changes it" true
+    (d base
+    <> d
+         (mini
+            ~border:
+              "(border (r-min 1e4) (r-max 1e9) (grid-points 5) (rel-tol 0.05))"
+            ()));
+  Alcotest.(check bool) "detection changes it" true
+    (d base <> d (mini ~detections:{|(detections (seq "w0 r0"))|} ()));
+  (* scheduling and naming do NOT *)
+  Alcotest.(check string) "jobs/deadline do not"
+    (d base)
+    (d (mini ~sim:"(sim (jobs 7) (deadline 5))" ()));
+  Alcotest.(check string) "stress label does not"
+    (d base)
+    (d (mini ~stress:"(stress renamed)" ()))
+
+let test_descriptor_defect_injective () =
+  (* distinct (defect, placement) pairs never share an address *)
+  let m = Manifest.of_string full_manifest in
+  let pts = Plan.points m in
+  let keys = List.map (Plan.descriptor m) pts in
+  let tbl = Hashtbl.create 97 in
+  List.iter
+    (fun k ->
+      if Hashtbl.mem tbl k then Alcotest.failf "collision on %s" k
+      else Hashtbl.add tbl k ())
+    keys;
+  Alcotest.(check int) "all distinct" (List.length pts) (Hashtbl.length tbl)
+
+let test_descriptor_domain_stable () =
+  let m = mini () in
+  let p = List.hd (Plan.points m) in
+  let expected = Plan.descriptor m p in
+  List.init 4 (fun _ -> Domain.spawn (fun () -> Plan.descriptor m p))
+  |> List.map Domain.join
+  |> List.iter
+       (Alcotest.(check string) "same address in every domain" expected)
+
+let test_march_seq_share_address () =
+  (* a march and the seq it lowers to are the same physics -> same
+     address -> shared store records *)
+  let seq = mini ~detections:{|(detections (seq "w0 r0 w1"))|} () in
+  let march = mini ~detections:{|(detections (march "{up(w0);up(r0,w1)}"))|} () in
+  Alcotest.(check string) "shared content address"
+    (Plan.descriptor seq (List.hd (Plan.points seq)))
+    (Plan.descriptor march (List.hd (Plan.points march)))
+
+let test_result_codec_roundtrip () =
+  let det =
+    C.Detection.v
+      [ C.Detection.Write 1; C.Detection.Wait 1.5e-3; C.Detection.Read 0 ]
+  in
+  let borders =
+    [ C.Border.Br 2.0e5;
+      C.Border.Faulty_band { lo = 1.25e4; hi = 3.5e7 };
+      C.Border.Bands
+        [ { C.Border.b_lo = C.Border.Exact 1e4;
+            b_hi = C.Border.Unknown { lo = 2e4; hi = 4e4 } } ];
+      C.Border.Always_faulty; C.Border.Never_faulty; C.Border.Unsampled ]
+  in
+  List.iter
+    (fun br ->
+      let r = { Plan.detection = det; br } in
+      match Plan.decode_result (Plan.encode_result r) with
+      | None -> Alcotest.fail "decode refused its own encoding"
+      | Some r' ->
+        Alcotest.(check bool) "border round-trips" true
+          (C.Border.equal_result br r'.Plan.br);
+        Alcotest.(check string) "detection round-trips"
+          (Plan.encode_detection det)
+          (Plan.encode_detection r'.Plan.detection))
+    borders;
+  Alcotest.(check (option string)) "foreign payload refused" None
+    (Option.map Plan.encode_result (Plan.decode_result "gibberish"))
+
+(* ------------------------------------------------------------------ *)
+(* runner: reuse and failure retry                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_manifest =
+  {|
+(campaign
+  (name run-t)
+  (defects (O1 true))
+  (stress nominal)
+  (stress low-vdd (vdd 2.1))
+  (detections (seq "w1 w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+
+let test_runner_cold_then_warm () =
+  with_store_dir @@ fun dir ->
+  let m = Manifest.of_string run_manifest in
+  (* cold *)
+  let s1 = St.open_ ~engine:"e" ~name:"run-t" dir in
+  let r1 = Runner.run ~jobs:1 ~store:s1 m in
+  St.close s1;
+  Alcotest.(check int) "planned" 2 r1.Runner.planned;
+  Alcotest.(check int) "cold: nothing reused" 0 r1.Runner.reused;
+  Alcotest.(check int) "cold: everything simulated" 2 r1.Runner.simulated;
+  Alcotest.(check int) "no failures" 0 (List.length r1.Runner.failures);
+  Alcotest.(check int) "all results" 2 (List.length r1.Runner.results);
+  (* warm, across a fresh handle AND a cleared LRU: the reuse must come
+     from the persistent store, not the in-memory cache *)
+  O.clear_cache ();
+  let s2 = St.open_ ~engine:"e" ~name:"run-t" dir in
+  let r2 = Runner.run ~jobs:1 ~store:s2 m in
+  St.close s2;
+  Alcotest.(check int) "warm: everything reused" 2 r2.Runner.reused;
+  Alcotest.(check int) "warm: nothing simulated" 0 r2.Runner.simulated;
+  (* and byte-identical results *)
+  List.iter2
+    (fun (_, a) (_, b) ->
+      Alcotest.(check bool) "same border" true
+        (C.Border.equal_result a.Plan.br b.Plan.br))
+    r1.Runner.results r2.Runner.results
+
+let test_runner_failure_retry () =
+  let module Chaos = Dramstress_util.Chaos in
+  Fun.protect ~finally:(fun () -> Chaos.disarm ()) @@ fun () ->
+  with_store_dir @@ fun dir ->
+  let m = Manifest.of_string run_manifest in
+  (* chaos fails one of the two worker tasks: the campaign must record
+     the failure and keep the surviving point *)
+  Chaos.configure ~seed:0 "fail_worker_task@2";
+  O.clear_cache ();
+  let s = St.open_ ~engine:"e" ~name:"run-t" dir in
+  let r = Runner.run ~jobs:1 ~store:s m in
+  St.close s;
+  Alcotest.(check int) "one failure" 1 (List.length r.Runner.failures);
+  Alcotest.(check int) "one success" 1 r.Runner.simulated;
+  (* the failure is visible as a state, with its message *)
+  let s = St.open_ ~engine:"e" ~name:"run-t" dir in
+  let states = Runner.states ~store:s m in
+  St.close s;
+  let count pred = List.length (List.filter (fun (_, st) -> pred st) states) in
+  Alcotest.(check int) "one Done" 1
+    (count (function `Done _ -> true | _ -> false));
+  Alcotest.(check int) "one Failed" 1
+    (count (function `Failed _ -> true | _ -> false));
+  (* disarmed rerun: the success is reused, the failure is RETRIED *)
+  Chaos.disarm ();
+  O.clear_cache ();
+  let s = St.open_ ~engine:"e" ~name:"run-t" dir in
+  let r = Runner.run ~jobs:1 ~store:s m in
+  Alcotest.(check int) "success reused" 1 r.Runner.reused;
+  Alcotest.(check int) "failure retried" 1 r.Runner.simulated;
+  Alcotest.(check int) "no failures left" 0 (List.length r.Runner.failures);
+  (* the stale failure marker no longer shadows the fresh success *)
+  let states = Runner.states ~store:s m in
+  St.close s;
+  Alcotest.(check int) "all Done" 2
+    (List.length
+       (List.filter
+          (fun (_, st) -> match st with `Done _ -> true | _ -> false)
+          states))
+
+(* ------------------------------------------------------------------ *)
+(* diff                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_campaign dir src =
+  let m = Manifest.of_string src in
+  let s = St.open_ ~engine:"e" ~name:m.Manifest.name dir in
+  let r = Runner.run ~jobs:1 ~store:s m in
+  St.close s;
+  (m, r)
+
+let side dir (m : Manifest.t) label =
+  { Diff.store = St.open_ ~engine:"e" ~name:m.Manifest.name dir;
+    manifest = m; label }
+
+let test_diff_self_empty () =
+  with_store_dir @@ fun dir ->
+  let m, _ = run_campaign dir run_manifest in
+  let a = side dir m "a" and b = side dir m "b" in
+  let d = Diff.v ~a ~b () in
+  St.close a.Diff.store;
+  St.close b.Diff.store;
+  Alcotest.(check int) "rows" 2 (List.length d.Diff.rows);
+  Alcotest.(check int) "self-diff: no shifts" 0 d.Diff.shifted;
+  Alcotest.(check int) "self-diff: no missing sides" 0 d.Diff.missing;
+  Alcotest.(check (list string)) "no unpaired labels" [] d.Diff.unpaired
+
+let test_diff_stress_pair_parity () =
+  with_store_dir @@ fun dir ->
+  let m, _ = run_campaign dir run_manifest in
+  let a = side dir m "a" and b = side dir m "b" in
+  let d =
+    Diff.v ~pairing:(Diff.Stress_pair { a = "nominal"; b = "low-vdd" }) ~a ~b
+      ()
+  in
+  St.close a.Diff.store;
+  St.close b.Diff.store;
+  match d.Diff.rows with
+  | [ row ] ->
+    let ra = Option.get row.Diff.a and rb = Option.get row.Diff.b in
+    (* acceptance: the stored campaign values equal a direct search on
+       the same grid, bit for bit *)
+    let entry = Option.get (D.find_entry "O1") in
+    let direct stress =
+      C.Border.search ~config:m.Manifest.config ~r_min:1e4 ~r_max:1e8
+        ~grid_points:5 ~rel_tol:0.05 ~stress ~kind:entry.D.kind
+        ~placement:D.True_bl
+        (C.Detection.v
+           [ C.Detection.Write 1; C.Detection.Write 1; C.Detection.Write 0;
+             C.Detection.Read 0 ])
+    in
+    Alcotest.(check bool) "nominal side = direct search" true
+      (C.Border.equal_result ra.Plan.br (direct S.nominal));
+    Alcotest.(check bool) "stressed side = direct search" true
+      (C.Border.equal_result rb.Plan.br
+         (direct (S.set S.nominal S.Supply_voltage 2.1)))
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let test_diff_missing_side () =
+  with_store_dir @@ fun dir ->
+  with_store_dir @@ fun empty_dir ->
+  let m, _ = run_campaign dir run_manifest in
+  let a = side dir m "full" in
+  let b = side empty_dir m "empty" in
+  let d = Diff.v ~a ~b () in
+  St.close a.Diff.store;
+  St.close b.Diff.store;
+  Alcotest.(check int) "every row lacks side B" (List.length d.Diff.rows)
+    d.Diff.missing;
+  Alcotest.(check int) "missing is not a shift" 0 d.Diff.shifted;
+  List.iter
+    (fun (r : Diff.row) ->
+      Alcotest.(check bool) "A populated" true (r.Diff.a <> None);
+      Alcotest.(check bool) "B absent" true (r.Diff.b = None))
+    d.Diff.rows
+
+let test_best_point_parity () =
+  (* a synthesized-best campaign point stores exactly what
+     Sc_eval.best_detection computes on the same window *)
+  with_store_dir @@ fun dir ->
+  let m, r =
+    run_campaign dir
+      {|
+(campaign
+  (name best-t)
+  (defects (O1 true))
+  (stress nominal)
+  (detections best-no-pause)
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+  in
+  match r.Runner.results with
+  | [ (_, stored) ] ->
+    let entry = Option.get (D.find_entry "O1") in
+    let detection, br =
+      C.Sc_eval.best_detection ~config:m.Manifest.config ~r_min:1e4
+        ~r_max:1e8 ~grid_points:5 ~rel_tol:0.05 ~allow_pause:false
+        ~stress:S.nominal ~kind:entry.D.kind ~placement:D.True_bl ()
+    in
+    Alcotest.(check bool) "same border" true
+      (C.Border.equal_result stored.Plan.br br);
+    Alcotest.(check string) "same winning detection"
+      (Plan.encode_detection detection)
+      (Plan.encode_detection stored.Plan.detection)
+  | rs -> Alcotest.failf "expected one result, got %d" (List.length rs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dramstress_campaign"
+    [
+      ( "manifest",
+        [
+          tc "full example parses" test_manifest_full;
+          tc "defaults" test_manifest_defaults;
+          tc "diagnostics collected, not fail-fast"
+            test_manifest_collects_diagnostics;
+          tc "parse errors carry line numbers" test_manifest_parse_error_line;
+        ] );
+      ( "plan",
+        [
+          tc "cross product and order" test_plan_cross_product;
+          tc "address sensitivity" test_descriptor_sensitivity;
+          tc "no collisions across the plan" test_descriptor_defect_injective;
+          tc "address stable across domains" test_descriptor_domain_stable;
+          tc "march and equivalent seq share records"
+            test_march_seq_share_address;
+          tc "result codec round-trips" test_result_codec_roundtrip;
+        ] );
+      ( "runner",
+        [
+          tc "cold run then warm 100% reuse" test_runner_cold_then_warm;
+          tc "failures recorded and retried, successes kept"
+            test_runner_failure_retry;
+        ] );
+      ( "diff",
+        [
+          tc "completed self-diff is empty" test_diff_self_empty;
+          tc "stress pair matches direct search" test_diff_stress_pair_parity;
+          tc "missing side reported, not shifted" test_diff_missing_side;
+          tc "best point matches Sc_eval directly" test_best_point_parity;
+        ] );
+    ]

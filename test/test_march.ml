@@ -38,6 +38,21 @@ let test_of_detection () =
   let t = M.of_detection ~name:"synth" cond in
   Alcotest.(check int) "ops" 4 (M.op_count t)
 
+let test_to_detection () =
+  (* lowering concatenates the per-cell op streams in element order *)
+  let t =
+    M.parse ~name:"mixed" "{up(w0); up(r0,w1); down(del(2e-3),r1)}"
+  in
+  (match (M.to_detection t).C.Detection.steps with
+  | [ C.Detection.Write 0; C.Detection.Read 0; C.Detection.Write 1;
+      C.Detection.Wait d; C.Detection.Read 1 ] ->
+    Alcotest.(check (float 1e-12)) "pause carried over" 2e-3 d
+  | _ -> Alcotest.fail "unexpected lowering");
+  (* inverse of of_detection *)
+  let cond = C.Detection.standard ~victim:1 ~primes:3 in
+  Alcotest.(check bool) "of_detection round-trips" true
+    (M.to_detection (M.of_detection ~name:"rt" cond) = cond)
+
 let test_march_parse () =
   let t = M.parse ~name:"mats+" "{any(w0); up(r0,w1); down(r1,w0)}" in
   Alcotest.(check int) "ops" 5 (M.op_count t);
@@ -296,6 +311,7 @@ let () =
           tc "op counts" test_march_op_counts;
           tc "notation" test_march_notation;
           tc "of_detection" test_of_detection;
+          tc "to_detection lowering" test_to_detection;
           tc "parsing" test_march_parse;
           QCheck_alcotest.to_alcotest prop_parse_roundtrip;
           QCheck_alcotest.to_alcotest prop_clean_memory_never_fails;

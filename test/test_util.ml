@@ -938,6 +938,165 @@ let test_chaos_worker_fault_outcomes () =
     (List.for_all (function Outcome.Ok _ -> true | _ -> false) outs)
 
 (* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module St = Dramstress_util.Store
+
+let with_store_dir f =
+  let dir = Filename.temp_file "dramstress_store" "" in
+  Sys.remove dir;
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let test_store_roundtrip () =
+  with_store_dir @@ fun dir ->
+  let s = St.open_ ~engine:"engine-A" ~name:"rt" dir in
+  Alcotest.(check (option string)) "miss" None (St.find s ~key:"alpha");
+  St.put s ~key:"alpha" ~descr:"alpha point" "0x1.9p+3";
+  Alcotest.(check (option string))
+    "hit" (Some "0x1.9p+3") (St.find s ~key:"alpha");
+  (* success records are first-wins: a replayed point never clobbers *)
+  St.put s ~key:"alpha" "other";
+  Alcotest.(check (option string))
+    "first wins" (Some "0x1.9p+3") (St.find s ~key:"alpha");
+  (* failure markers are last-wins *)
+  St.put s ~key:"marker" ~overwrite:true "attempt 1";
+  St.put s ~key:"marker" ~overwrite:true "attempt 2";
+  Alcotest.(check (option string))
+    "overwrite: last wins" (Some "attempt 2")
+    (St.find s ~key:"marker");
+  St.close s;
+  (* records outlive the process: a fresh handle sees everything *)
+  let s = St.open_ ~engine:"engine-B" ~name:"rt" dir in
+  Alcotest.(check (option string))
+    "persisted" (Some "0x1.9p+3") (St.find s ~key:"alpha");
+  Alcotest.(check (option string))
+    "last overwrite persisted" (Some "attempt 2")
+    (St.find s ~key:"marker");
+  St.close s
+
+let test_store_index_and_engines () =
+  with_store_dir @@ fun dir ->
+  Alcotest.(check bool) "no index before first close" true
+    (St.index dir = None);
+  let s = St.open_ ~engine:"engine-A" ~name:"idx" dir in
+  St.put s ~key:"k1" "v1";
+  St.put s ~key:"k2" "v2";
+  St.close s;
+  (match St.index dir with
+  | None -> Alcotest.fail "index.json missing after close"
+  | Some ix ->
+    Alcotest.(check string) "name" "idx" ix.St.ix_name;
+    Alcotest.(check string) "engine" "engine-A" ix.St.ix_engine;
+    Alcotest.(check int) "records" 2 ix.St.ix_records);
+  (* a second build appends under its own identity; the staleness
+     report tallies both *)
+  let s = St.open_ ~engine:"engine-B" ~name:"idx" dir in
+  St.put s ~key:"k3" "v3";
+  Alcotest.(check (list (pair string int)))
+    "engines, most frequent first"
+    [ ("engine-A", 2); ("engine-B", 1) ]
+    (St.engines s);
+  St.close s
+
+let test_store_truncated_tail () =
+  with_store_dir @@ fun dir ->
+  let s = St.open_ ~engine:"e" ~name:"t" dir in
+  St.put s ~key:"whole" "intact";
+  St.close s;
+  (* simulate a kill mid-write on the shared records file *)
+  let oc =
+    open_out_gen [ Open_append ] 0o644 (Filename.concat dir "records.jsonl")
+  in
+  output_string oc "{\"engine\":\"e\",\"key\":\"dead";
+  close_out oc;
+  let s = St.open_ ~engine:"e" ~name:"t" dir in
+  Alcotest.(check int) "only the intact record" 1 (St.entries s);
+  Alcotest.(check (option string))
+    "intact record served" (Some "intact")
+    (St.find s ~key:"whole");
+  St.close s
+
+let test_store_memo () =
+  with_store_dir @@ fun dir ->
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    6.5
+  in
+  let enc = Printf.sprintf "%h" in
+  let dec = float_of_string_opt in
+  let s = St.open_ ~engine:"e" ~name:"m" dir in
+  let v = St.memo s ~key:"point" ~encode:enc ~decode:dec compute in
+  Alcotest.(check (float 0.0)) "miss computes" 6.5 v;
+  let v = St.memo s ~key:"point" ~encode:enc ~decode:dec compute in
+  Alcotest.(check (float 0.0)) "hit" 6.5 v;
+  Alcotest.(check int) "computed once" 1 !calls;
+  St.close s;
+  let s = St.open_ ~engine:"e" ~name:"m" dir in
+  let v = St.memo s ~key:"point" ~encode:enc ~decode:dec compute in
+  Alcotest.(check (float 0.0)) "hit across reopen" 6.5 v;
+  Alcotest.(check int) "still computed once" 1 !calls;
+  St.close s
+
+(* fingerprints are content addresses: distinct values must never
+   collide, equal values must agree across domains and re-serialization *)
+
+let has_nan (a, b, c) =
+  Float.is_nan a || Float.is_nan b || Float.is_nan c
+
+let prop_fingerprint_injective =
+  QCheck.Test.make ~count:200
+    ~name:"distinct values -> distinct fingerprints"
+    QCheck.(
+      pair
+        (triple float float float)
+        (triple float float float))
+    (fun (a, b) ->
+      QCheck.assume (not (has_nan a) && not (has_nan b));
+      if a = b then Ck.fingerprint a = Ck.fingerprint b
+      else Ck.fingerprint a <> Ck.fingerprint b)
+
+let prop_fingerprint_stable_reserialized =
+  (* the fingerprint keys durable stores, so it must survive a
+     round-trip through the record file byte-exactly *)
+  QCheck.Test.make ~count:50
+    ~name:"fingerprint round-trips through a store"
+    QCheck.(triple float float float)
+    (fun v ->
+      QCheck.assume (not (has_nan v));
+      let fp = Ck.fingerprint v in
+      with_store_dir @@ fun dir ->
+      let s = St.open_ ~engine:"e" ~name:"fp" dir in
+      St.put s ~key:fp "seen";
+      St.close s;
+      let s = St.open_ ~engine:"e" ~name:"fp" dir in
+      let hit = St.find s ~key:(Ck.fingerprint v) = Some "seen" in
+      St.close s;
+      hit)
+
+let test_fingerprint_domain_stable () =
+  let v = ("stress", 2.4, 60e-9, [ 1; 2; 3 ]) in
+  let expected = Ck.fingerprint v in
+  let fps =
+    List.init 4 (fun _ -> Domain.spawn (fun () -> Ck.fingerprint v))
+    |> List.map Domain.join
+  in
+  List.iter
+    (Alcotest.(check string) "same fingerprint in every domain" expected)
+    fps
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -987,6 +1146,17 @@ let () =
           tc "memo hit/miss/fallback" test_ck_memo;
           tc "fingerprint stability" test_ck_fingerprint_stable;
           tc "truncation at every byte offset" test_ck_truncate_every_byte;
+        ] );
+      ( "store",
+        [
+          tc "put/find, overwrite, reopen" test_store_roundtrip;
+          tc "index file and engine tally" test_store_index_and_engines;
+          tc "truncated tail tolerated" test_store_truncated_tail;
+          tc "memo across reopen" test_store_memo;
+          tc "fingerprint stable across domains"
+            test_fingerprint_domain_stable;
+          QCheck_alcotest.to_alcotest prop_fingerprint_injective;
+          QCheck_alcotest.to_alcotest prop_fingerprint_stable_reserialized;
         ] );
       ( "chaos",
         [
