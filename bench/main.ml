@@ -15,6 +15,8 @@ module C = Dramstress_core
 module M = Dramstress_march
 module U = Dramstress_util.Units
 module Tel = Dramstress_util.Telemetry
+module Sc = Dramstress_dram.Sim_config
+module Chaos = Dramstress_util.Chaos
 
 let nominal = S.nominal
 let open_kind = D.Open_cell D.At_bitline_contact
@@ -290,6 +292,7 @@ let perf_engine_ab () =
     f ();
     Unix.gettimeofday () -. t0
   in
+  let ratio a b = if b > 0.0 then a /. b else Float.nan in
   let sim_naive =
     { Dramstress_engine.Options.default with naive_assembly = true }
   in
@@ -332,7 +335,14 @@ let perf_engine_ab () =
   let alloc_ok = words_fast <= alloc_limit in
   (* --- fig2-style plane sweep -------------------------------------- *)
   let rops = Dramstress_util.Grid.logspace 1e3 1e6 4 in
-  let plane_sweep sim () =
+  (* the naive/incremental A/B is pinned to one lane so its meaning is
+     unchanged by the ensemble engine: both sides sweep the plane one
+     scalar transient at a time, and the speedup isolates the
+     assembly/caching wins exactly as before. The batched measurement
+     below lifts the lane pin. *)
+  let scalar_cfg = Sc.v ~lanes:1 () in
+  let batched_cfg = Sc.v ~lanes:16 () in
+  let plane_sweep ~config sim () =
     (* the full Figure 2 plane set: w0 and w1 write planes plus the read
        plane for one defect kind. The three planes share the defect-free
        V_mp bisection and the per-resistance V_sa bisections, which is
@@ -340,22 +350,127 @@ let perf_engine_ab () =
     List.iter
       (fun op ->
         ignore
-          (C.Plane.write_plane ~sim ~jobs:1 ~n_ops:2 ~rops ~stress:nominal
-             ~kind:open_kind ~placement:D.True_bl ~op ()))
+          (C.Plane.write_plane ~sim ~config ~jobs:1 ~n_ops:2 ~rops
+             ~stress:nominal ~kind:open_kind ~placement:D.True_bl ~op ()))
       [ O.W0; O.W1 ];
     ignore
-      (C.Plane.read_plane ~sim ~jobs:1 ~n_ops:2 ~rops ~stress:nominal
+      (C.Plane.read_plane ~sim ~config ~jobs:1 ~n_ops:2 ~rops ~stress:nominal
          ~kind:open_kind ~placement:D.True_bl ())
   in
   O.set_caching false;
-  let plane_naive = wall (plane_sweep sim_naive) in
+  let plane_naive = wall (plane_sweep ~config:scalar_cfg sim_naive) in
   O.set_caching true;
   O.set_cache_capacity 512 (* fresh cache: zero stats, cold start *);
-  let plane_fast = wall (plane_sweep sim_fast) in
+  let plane_fast = wall (plane_sweep ~config:scalar_cfg sim_fast) in
   let cache = O.cache_stats () in
   let hit_rate =
     let total = cache.O.hits + cache.O.misses in
     if total = 0 then 0.0 else float_of_int cache.O.hits /. float_of_int total
+  in
+  (* --- batched ensemble sweep vs both scalar paths ------------------ *)
+  (* same plane set, same single domain, fresh cache: resistances travel
+     as ensemble lanes through the shared sparse LU instead of one
+     transient per point. The tripwire is the tentpole acceptance: the
+     batched sweep must beat the naive baseline by >= 5x. *)
+  O.set_cache_capacity 512;
+  let plane_batched = wall (plane_sweep ~config:batched_cfg sim_fast) in
+  let batch_speedup = ratio plane_naive plane_batched in
+  let batch_speedup_limit = 5.0 in
+  let batch_speedup_ok = batch_speedup >= batch_speedup_limit in
+  (* --- per-lane allocation of the batched path ---------------------- *)
+  (* Acceptance check for the ensemble engine: amortised over the batch,
+     a lane must allocate no more than the scalar incremental path does
+     per accepted time point (the SoA state rows are shared, bisection
+     bookkeeping is amortised). Measured on a fresh 16-lane w0 batch with
+     the memo cache off and one domain (Gc.minor_words is per-domain);
+     the limit is the measured figure plus 10% headroom. *)
+  let lane_words_limit = 1175.0 in
+  let lanes_n = 16 in
+  let batch_lanes =
+    List.init lanes_n (fun i ->
+        {
+          O.defect =
+            Some
+              (D.v open_kind D.True_bl
+                 (1e3 *. Float.pow 10.0 (float_of_int i /. 5.0)));
+          vc_init = 2.4;
+        })
+  in
+  let batch_cache = O.Cache.create ~enabled:false () in
+  let batch_run () =
+    O.run_batch ~cache:batch_cache ~stress:nominal ~lanes:batch_lanes [ O.W0 ]
+  in
+  let clean_batch = batch_run () in
+  let batch_pts =
+    match List.hd clean_batch with
+    | Ok oc -> Array.length oc.O.trace.Dramstress_engine.Transient.times
+    | Error _ -> n_pts
+  in
+  let words_lane =
+    let w0 = Gc.minor_words () in
+    ignore (batch_run ());
+    (Gc.minor_words () -. w0) /. float_of_int (lanes_n * batch_pts)
+  in
+  let lane_alloc_ok = words_lane <= lane_words_limit in
+  (* --- chaos smoke: per-lane failure isolation in a batch ----------- *)
+  (* One NaN, one lane: [inject_nan_state@+1] fires on the very first
+     Newton chaos query of the run, which is lane 0's initial
+     quasi-static solve. The lane dies inside the ensemble, falls back
+     to the full scalar ladder (the one-shot fault is already spent, so
+     the fallback converges), and every other lane must finish
+     untouched — bitwise equal to the clean batch. *)
+  let vc_ends = function
+    | Ok oc -> List.map (fun (r : O.op_result) -> r.O.vc_end) oc.O.results
+    | Error _ -> []
+  in
+  let bitwise_eq a b =
+    List.length a = List.length b
+    && List.for_all2
+         (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+         a b
+  in
+  let fallbacks0 = O.lane_fallbacks () in
+  Chaos.configure ~seed:7 "inject_nan_state@+1";
+  let poisoned_batch = batch_run () in
+  Chaos.disarm ();
+  let chaos_injected = Chaos.injected Chaos.Inject_nan_state in
+  let chaos_fallbacks = O.lane_fallbacks () - fallbacks0 in
+  let chaos_all_ok =
+    List.for_all (function Ok _ -> true | Error _ -> false) poisoned_batch
+  in
+  let chaos_others_bitwise =
+    List.for_all2
+      (fun c p -> bitwise_eq (vc_ends c) (vc_ends p))
+      (List.tl clean_batch) (List.tl poisoned_batch)
+  in
+  (* and a lane that exhausts retries for real: an infinite initial
+     voltage fails the ensemble and the whole scalar ladder, so its slot
+     must surface [Exhausted_retries] while its batch mates still match
+     the clean run bitwise *)
+  let fallbacks1 = O.lane_fallbacks () in
+  let doomed_batch =
+    O.run_batch ~cache:batch_cache ~stress:nominal
+      ~lanes:
+        (List.mapi
+           (fun i l ->
+             if i = 3 then { l with O.vc_init = Float.infinity } else l)
+           batch_lanes)
+      [ O.W0 ]
+  in
+  let doomed_fallbacks = O.lane_fallbacks () - fallbacks1 in
+  let doomed_isolated =
+    List.for_all2
+      (fun i c ->
+        match (i, List.nth doomed_batch i) with
+        | 3, Error (O.Exhausted_retries _) -> true
+        | 3, _ -> false
+        | _, Ok _ -> bitwise_eq (vc_ends c) (vc_ends (List.nth doomed_batch i))
+        | _, Error _ -> false)
+      (List.init lanes_n Fun.id) clean_batch
+  in
+  let chaos_ok =
+    chaos_injected = 1 && chaos_fallbacks = 1 && chaos_all_ok
+    && chaos_others_bitwise && doomed_fallbacks = 1 && doomed_isolated
   in
   (* --- one shmoo row ------------------------------------------------ *)
   let detection =
@@ -438,12 +553,24 @@ let perf_engine_ab () =
   in
   let overhead_limit_pct = 2.0 in
   let overhead_ok = overhead_pct <= overhead_limit_pct in
-  let ratio a b = if b > 0.0 then a /. b else Float.nan in
   Printf.printf "  %-34s naive %10.1f   incremental %10.1f   speedup %5.2fx\n"
     "transient step (ns/point)" step_naive step_fast
     (ratio step_naive step_fast);
   Printf.printf "  %-34s naive %10.3f   incremental %10.3f   speedup %5.2fx\n"
     "fig2 plane sweep (s)" plane_naive plane_fast (ratio plane_naive plane_fast);
+  Printf.printf
+    "  %-34s naive %10.3f   batched     %10.3f   speedup %5.2fx (limit %.0fx: \
+     %s)\n"
+    "fig2 plane sweep, 16 lanes (s)" plane_naive plane_batched batch_speedup
+    batch_speedup_limit
+    (if batch_speedup_ok then "ok" else "BELOW");
+  Printf.printf "  %-34s %10.0f words (limit %.0f: %s)\n"
+    "batched alloc / lane / point" words_lane lane_words_limit
+    (if lane_alloc_ok then "ok" else "EXCEEDED");
+  Printf.printf
+    "  batch chaos smoke: %d injected, %d+%d fallbacks, isolation %s\n"
+    chaos_injected chaos_fallbacks doomed_fallbacks
+    (if chaos_ok then "ok" else "VIOLATED");
   Printf.printf "  %-34s naive %10.3f   incremental %10.3f   speedup %5.2fx\n"
     "shmoo row, plot + re-plot (s)" shmoo_naive shmoo_fast
     (ratio shmoo_naive shmoo_fast);
@@ -466,6 +593,15 @@ let perf_engine_ab () =
        %.1f, \"speedup\": %.2f },\n\
       \  \"fig2_plane_sweep_s\": { \"naive\": %.4f, \"incremental\": %.4f, \
        \"speedup\": %.2f },\n\
+      \  \"fig2_plane_batched_s\": { \"naive\": %.4f, \"batched\": %.4f, \
+       \"lanes\": %d, \"speedup\": %.2f, \"limit\": %.1f, \"within_limit\": \
+       %b },\n\
+      \  \"minor_words_per_lane\": { \"batched\": %.0f, \"limit\": %.0f, \
+       \"within_limit\": %b },\n\
+      \  \"batch_chaos_smoke\": { \"injected\": %d, \"nan_lane_fallbacks\": \
+       %d, \"exhausted_lane_fallbacks\": %d, \"all_lanes_recovered\": %b, \
+       \"unpoisoned_lanes_bitwise_equal\": %b, \"exhausted_lane_isolated\": \
+       %b, \"ok\": %b },\n\
       \  \"shmoo_plot_replot_s\": { \"naive\": %.4f, \"incremental\": %.4f, \
        \"speedup\": %.2f },\n\
       \  \"plane_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f \
@@ -477,7 +613,11 @@ let perf_engine_ab () =
        %.1f, \"overhead_within_limit\": %b }\n\
        }\n"
       step_naive step_fast (ratio step_naive step_fast) plane_naive plane_fast
-      (ratio plane_naive plane_fast) shmoo_naive shmoo_fast
+      (ratio plane_naive plane_fast) plane_naive plane_batched 16 batch_speedup
+      batch_speedup_limit batch_speedup_ok words_lane lane_words_limit
+      lane_alloc_ok chaos_injected chaos_fallbacks doomed_fallbacks
+      chaos_all_ok chaos_others_bitwise doomed_isolated chaos_ok shmoo_naive
+      shmoo_fast
       (ratio shmoo_naive shmoo_fast) cache.O.hits cache.O.misses hit_rate
       words_naive words_fast alloc_limit alloc_ok probe_ns probe_calls
       overhead_pct overhead_limit_pct overhead_ok
@@ -494,7 +634,6 @@ let perf_engine_ab () =
    BENCH_resilience.json. *)
 let resilience () =
   heading "resilience" "checkpoint/resume and retry-policy cost";
-  let module Sc = Dramstress_dram.Sim_config in
   let module Ck = Dramstress_util.Checkpoint in
   let wall f =
     let t0 = Unix.gettimeofday () in
@@ -580,7 +719,6 @@ let resilience () =
    Results land in BENCH_health.json. *)
 let health () =
   heading "health" "numerical health guard and deadline overhead";
-  let module Sc = Dramstress_dram.Sim_config in
   let wall f =
     let t0 = Unix.gettimeofday () in
     f ();
@@ -589,11 +727,14 @@ let health () =
   let sim_off =
     { Dramstress_engine.Options.default with health_guards = false }
   in
-  let cfg_off = Sc.v ~sim:sim_off ~retry:Sc.no_retry () in
-  let cfg_on = Sc.v ~retry:Sc.no_retry () in
+  (* one lane everywhere: a deadline forces the scalar path, so the
+     guarded/unguarded/deadline triple must all run scalar for a
+     like-for-like comparison *)
+  let cfg_off = Sc.v ~sim:sim_off ~retry:Sc.no_retry ~lanes:1 () in
+  let cfg_on = Sc.v ~retry:Sc.no_retry ~lanes:1 () in
   (* a generous budget: the poll fires every Newton iteration but the
      deadline never trips, so only the clock reads are priced in *)
-  let cfg_deadline = Sc.v ~retry:Sc.no_retry ~deadline:3600.0 () in
+  let cfg_deadline = Sc.v ~retry:Sc.no_retry ~deadline:3600.0 ~lanes:1 () in
   let defect = D.v open_kind D.True_bl 200e3 in
   O.set_caching false;
   (* --- single-op cost, best of several trials to shed scheduler noise *)
@@ -676,12 +817,12 @@ let health () =
     match List.assoc_opt name snap.Tel.counters with Some n -> n | None -> 0
   in
   let iters = cval "engine.newton.iterations" in
-  let solves = cval "engine.newton.solves" in
   Tel.reset ();
   O.set_caching true;
-  (* the deadline clock is read on iteration 1 and every 8th after, so a
-     solve of k iterations polls at most 1 + k/8 times *)
-  let polls = solves + (iters / 8) in
+  (* the deadline clock is read once per 16 checks, with the poll phase
+     carried across solves, so an op of k total Newton iterations reads
+     the clock ~k/16 times *)
+  let polls = iters / 16 in
   let guard_pct = 100.0 *. (float_of_int iters *. scan_ns /. 1e9) /. op_off in
   let deadline_pct =
     guard_pct +. (100.0 *. (float_of_int polls *. clock_ns /. 1e9) /. op_off)

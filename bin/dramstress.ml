@@ -90,6 +90,25 @@ let cache_stats_json (c : O.cache_stats) =
      \"entries\": %d, \"capacity\": %d }"
     c.O.requests c.O.hits c.O.misses c.O.evictions c.O.entries c.O.capacity
 
+(* always-on mirrors of the batched-solver counters, reported next to
+   [cache_stats] so the engine ledgers reconcile with telemetry off:
+   misses = transient runs + ensemble lanes (modulo retries/fallbacks) *)
+let ensemble_stats_json (e : Dramstress_engine.Ensemble.stats) =
+  Printf.sprintf
+    "{ \"lanes\": %d, \"batches\": %d, \"masked_lane_iters\": %d, \
+     \"lane_failures\": %d, \"lane_fallbacks\": %d }"
+    e.Dramstress_engine.Ensemble.lanes e.Dramstress_engine.Ensemble.batches
+    e.Dramstress_engine.Ensemble.masked_lane_iters
+    e.Dramstress_engine.Ensemble.lane_failures (O.lane_fallbacks ())
+
+let sparse_lu_stats_json (s : Dramstress_util.Sparse_lu.stats) =
+  Printf.sprintf
+    "{ \"analyses\": %d, \"reanalyses\": %d, \"numeric_refactor\": %d, \
+     \"symbolic_reuse\": %d }"
+    s.Dramstress_util.Sparse_lu.analyses s.Dramstress_util.Sparse_lu.reanalyses
+    s.Dramstress_util.Sparse_lu.numeric_refactor
+    s.Dramstress_util.Sparse_lu.symbolic_reuse
+
 (* returns the finish hook that renders the metrics report; the command
    body runs inside [with_telemetry] so the report happens on both
    success and failure *)
@@ -111,6 +130,8 @@ let telemetry_setup metrics metrics_out trace =
     | Some fmt ->
       let snap = Tel.snapshot () in
       let cache = O.cache_stats () in
+      let ens = Dramstress_engine.Ensemble.stats () in
+      let slu = Dramstress_util.Sparse_lu.stats () in
       let write_to default_channel out =
         match metrics_out with
         | Some file ->
@@ -129,10 +150,31 @@ let telemetry_setup metrics metrics_out trace =
               "cache: %d requests, %d hits, %d misses, %d evictions \
                (%d/%d entries)\n"
               cache.O.requests cache.O.hits cache.O.misses cache.O.evictions
-              cache.O.entries cache.O.capacity)
+              cache.O.entries cache.O.capacity
+          ^ Printf.sprintf
+              "ensemble: %d lanes in %d batches, %d masked lane-iters, \
+               %d lane failures, %d scalar fallbacks\n"
+              ens.Dramstress_engine.Ensemble.lanes
+              ens.Dramstress_engine.Ensemble.batches
+              ens.Dramstress_engine.Ensemble.masked_lane_iters
+              ens.Dramstress_engine.Ensemble.lane_failures
+              (O.lane_fallbacks ())
+          ^ Printf.sprintf
+              "sparse LU: %d analyses (+%d stale reruns), %d numeric \
+               refactors, %d symbolic reuses\n"
+              slu.Dramstress_util.Sparse_lu.analyses
+              slu.Dramstress_util.Sparse_lu.reanalyses
+              slu.Dramstress_util.Sparse_lu.numeric_refactor
+              slu.Dramstress_util.Sparse_lu.symbolic_reuse)
       | `Json ->
         write_to stdout
-          (Tel.to_json ~extra:[ ("cache_stats", cache_stats_json cache) ]
+          (Tel.to_json
+             ~extra:
+               [
+                 ("cache_stats", cache_stats_json cache);
+                 ("ensemble_stats", ensemble_stats_json ens);
+                 ("sparse_lu_stats", sparse_lu_stats_json slu);
+               ]
              snap))
 
 let telemetry_term =

@@ -3,8 +3,11 @@ module G = Dramstress_util.Grid
 module D = Dramstress_defect.Defect
 module U = Dramstress_util.Units
 module O = Dramstress_dram.Ops
+module Sc = Dramstress_dram.Sim_config
 module E = Dramstress_engine
 module Ck = Dramstress_util.Checkpoint
+module Par = Dramstress_util.Par
+module Chaos = Dramstress_util.Chaos
 module Tel = Dramstress_util.Telemetry
 
 let c_skipped = Tel.Counter.make "core.border.skipped_samples"
@@ -183,8 +186,9 @@ let equal_result a b = String.equal (encode_result a) (encode_result b)
 let search ?tech ?config ?checkpoint ?(r_min = 1e3) ?(r_max = 1e11)
     ?(grid_points = 13) ?(rel_tol = 0.01) ~stress ~kind ~placement cond =
   let compute () =
+    let cfg = Sc.resolve ?tech ?config () in
     let detect r =
-      Detection.detects ?tech ?config ~stress ~defect:(D.v kind placement r)
+      Detection.detects ~config:cfg ~stress ~defect:(D.v kind placement r)
         cond
     in
     let try_detect r =
@@ -194,8 +198,51 @@ let search ?tech ?config ?checkpoint ?(r_min = 1e3) ?(r_max = 1e11)
         Tel.Counter.incr c_skipped;
         None
     in
+    let grid = G.logspace r_min r_max grid_points in
+    let lanes_max = Sc.resolve_lanes cfg in
     let samples =
-      List.map (fun r -> (r, try_detect r)) (G.logspace r_min r_max grid_points)
+      (* the grid scan batches by default: all resistances of the scan
+         become lanes of shared ensembles ([O.run_batch]) judged per
+         lane; scalar for [lanes = 1], per-point deadlines, or an armed
+         chaos harness — same values, same cache keys, either way. The
+         refinement bisections below stay scalar: each walks its own
+         resistance trajectory, and caching makes revisits free. *)
+      if
+        lanes_max > 1
+        && cfg.Sc.deadline = None
+        && (not (Chaos.armed ()))
+        && List.length grid > 1
+      then begin
+        let defects = List.map (fun r -> D.v kind placement r) grid in
+        let vc_init =
+          Detection.initial_vc cond ~stress ~defect:(List.hd defects)
+        in
+        let results =
+          List.concat
+            (Par.parallel_map ~jobs:(Sc.resolve_jobs cfg)
+               (fun chunk ->
+                 let lanes =
+                   List.map (fun d -> { O.defect = Some d; O.vc_init }) chunk
+                 in
+                 match
+                   O.run_batch ~config:cfg ~stress ~lanes
+                     (Detection.ops cond)
+                 with
+                 | res -> res
+                 | exception e -> List.map (fun _ -> Error e) lanes)
+               (Par.chunks ~size:lanes_max defects))
+        in
+        List.map2
+          (fun r res ->
+            match res with
+            | Ok outcome -> (r, Some (Detection.judge cond outcome))
+            | Error e when is_solver_failure e ->
+              Tel.Counter.incr c_skipped;
+              (r, None)
+            | Error e -> raise e)
+          grid results
+      end
+      else List.map (fun r -> (r, try_detect r)) grid
     in
     let refine r0 r1 =
       (* the bisection revisits resistances near the transition; if one

@@ -52,9 +52,7 @@ let initial_vc cond ~stress ~defect =
   in
   if physical = 1 then stress.S.vdd else 0.0
 
-let detects ?tech ?sim ?config ?(min_separation = 0.5) ~stress ~defect cond =
-  let vc_init = initial_vc cond ~stress ~defect in
-  let outcome = O.run ?tech ?sim ?config ~stress ~defect ~vc_init (ops cond) in
+let judge ?(min_separation = 0.5) cond outcome =
   let reads =
     List.filter_map
       (fun r ->
@@ -68,6 +66,11 @@ let detects ?tech ?sim ?config ?(min_separation = 0.5) ~stress ~defect cond =
   List.exists2
     (fun (actual, separation) e -> actual <> e || separation < min_separation)
     reads expected
+
+let detects ?tech ?sim ?config ?min_separation ~stress ~defect cond =
+  let vc_init = initial_vc cond ~stress ~defect in
+  let outcome = O.run ?tech ?sim ?config ~stress ~defect ~vc_init (ops cond) in
+  judge ?min_separation cond outcome
 
 let pp ppf cond =
   let pp_step ppf = function

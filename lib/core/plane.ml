@@ -136,6 +136,186 @@ let decode_read_point s =
   | _ -> None
 
 (* ------------------------------------------------------------------ *)
+(* Batched evaluation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Planes batch by default: every resistance of a sweep becomes one lane
+   of a shared ensemble integration ([O.run_batch]) instead of an
+   independent transient, so topology planning, symbolic sparse-LU
+   analysis and waveform evaluation are paid once per batch. The scalar
+   path remains for [lanes = 1] ([DRAMSTRESS_LANES=1] or
+   [Sim_config.lanes = Some 1]), for per-point wall-clock deadlines (a
+   budget has no meaning inside a shared solve) and under an armed chaos
+   harness (whose fault plans reason about scalar per-point runs). Both
+   paths produce identical values and share cache and checkpoint keys,
+   so sweeps can switch paths mid-campaign. *)
+
+let batching config =
+  Sc.resolve_lanes config > 1
+  && config.Sc.deadline = None
+  && not (Dramstress_util.Chaos.armed ())
+
+(* one batched evaluation round: [pts] are [(key, lane)] pairs; lanes
+   are cut into ensemble-width chunks that fan out over domains. A raise
+   from [O.run_batch] itself (e.g. a topology build failure, which would
+   fail each lane of the batch identically on the scalar path) degrades
+   to per-lane [Error]s instead of aborting the sweep. *)
+let run_rounds ~config ~jobs ~lanes_max ~stress ~ops pts =
+  List.concat
+    (Par.parallel_map ~jobs
+       (fun chunk ->
+         Tel.with_span "plane.batch"
+           ~attrs:(fun () -> [ ("lanes", Tel.Int (List.length chunk)) ])
+           (fun () ->
+             let lanes = List.map snd chunk in
+             let res =
+               match O.run_batch ~config ~stress ~lanes ops with
+               | res -> res
+               | exception e -> List.map (fun _ -> Error e) lanes
+             in
+             List.map2 (fun (k, _) r -> (k, r)) chunk res))
+       (Par.chunks ~size:lanes_max pts))
+
+(* batched [vsa]: every lane follows the exact guarded-bisection
+   trajectory of the scalar version — same brackets, same midpoints,
+   same [tol] and iteration cap as {!B.guarded_threshold} — but each
+   predicate round evaluates all still-active lanes in one ensemble.
+   All Crossing lanes share the bracket [0, vdd], so they stay in
+   lockstep and the whole bisection costs [log2 (vdd / tol)] rounds for
+   the entire batch. A lane whose simulation fails carries its
+   exception out as [Error] without disturbing its batch mates. *)
+let vsa_many ~config ~jobs ~lanes_max ~stress defects =
+  let n = Array.length defects in
+  let vdd = stress.S.vdd in
+  let tol = 5e-3 and max_iter = 200 in
+  let out = Array.make n None in
+  let pred_round pts =
+    List.map
+      (fun (i, r) ->
+        ( i,
+          Result.map
+            (fun outcome ->
+              let logical =
+                match O.sensed_bits outcome with
+                | [ b ] -> b
+                | _ -> assert false
+              in
+              let physical =
+                match defects.(i).D.placement with
+                | D.Comp_bl -> 1 - logical
+                | D.True_bl -> logical
+              in
+              physical = 0)
+            r ))
+      (run_rounds ~config ~jobs ~lanes_max ~stress ~ops:[ O.R ]
+         (List.map
+            (fun ((i : int), vc) ->
+              (i, { O.defect = Some defects.(i); O.vc_init = vc }))
+            pts))
+  in
+  let plo = Array.make n false in
+  List.iter
+    (fun (i, r) ->
+      match r with
+      | Ok b -> plo.(i) <- b
+      | Error e -> out.(i) <- Some (Error e))
+    (pred_round (List.init n (fun i -> (i, 0.0))));
+  let live =
+    List.filter (fun i -> Option.is_none out.(i)) (List.init n Fun.id)
+  in
+  let crossing = ref [] in
+  List.iter
+    (fun (i, r) ->
+      match r with
+      | Error e -> out.(i) <- Some (Error e)
+      | Ok phi ->
+        if Bool.equal plo.(i) phi then
+          out.(i) <- Some (Ok (if phi then Reads_all_0 else Reads_all_1))
+        else crossing := i :: !crossing)
+    (pred_round (List.map (fun i -> (i, vdd)) live));
+  let lo = Array.make n 0.0 and hi = Array.make n vdd in
+  let iter = Array.make n 0 in
+  let active = ref (List.rev !crossing) in
+  while !active <> [] do
+    let finished, continuing =
+      List.partition
+        (fun i -> Float.abs (hi.(i) -. lo.(i)) <= tol || iter.(i) >= max_iter)
+        !active
+    in
+    List.iter
+      (fun i -> out.(i) <- Some (Ok (Vsa (0.5 *. (lo.(i) +. hi.(i))))))
+      finished;
+    let next = ref [] in
+    List.iter
+      (fun (i, r) ->
+        match r with
+        | Error e -> out.(i) <- Some (Error e)
+        | Ok pm ->
+          let m = 0.5 *. (lo.(i) +. hi.(i)) in
+          if Bool.equal pm plo.(i) then lo.(i) <- m else hi.(i) <- m;
+          iter.(i) <- iter.(i) + 1;
+          next := i :: !next)
+      (if continuing = [] then []
+       else
+         pred_round
+           (List.map (fun i -> (i, 0.5 *. (lo.(i) +. hi.(i)))) continuing));
+    active := List.rev !next
+  done;
+  Array.map Option.get out
+
+(* shared scaffolding of the batched planes: checkpoint replay into
+   [slots], per-point defect construction with [D.v] failures captured
+   as point failures, and the final assembly into [Outcome.t] slots in
+   input order — all under the exact keys and payload codecs of the
+   scalar [Ck.memo] path, so a checkpointed sweep can resume on either
+   path bit-identically. *)
+let batched_slots ~checkpoint ~decode ~kind ~placement ~keys rops_arr =
+  let n = Array.length rops_arr in
+  let slots = Array.make n None in
+  (match checkpoint with
+  | None -> ()
+  | Some store ->
+    Array.iteri
+      (fun i key ->
+        match Option.bind (Ck.find store (Ck.digest_key key)) decode with
+        | Some v -> slots.(i) <- Some (Ok v)
+        | None -> ())
+      keys);
+  let defects = Array.make n None in
+  Array.iteri
+    (fun i r ->
+      if Option.is_none slots.(i) then
+        match D.v kind placement r with
+        | d -> defects.(i) <- Some d
+        | exception e -> slots.(i) <- Some (Error e))
+    rops_arr;
+  (slots, defects)
+
+let live_indices slots =
+  List.filter
+    (fun i -> Option.is_none slots.(i))
+    (List.init (Array.length slots) Fun.id)
+
+let commit_point ~checkpoint ~encode ~descr ~keys ~slots i payload =
+  (match checkpoint with
+  | None -> ()
+  | Some store ->
+    Ck.record store ~key:(Ck.digest_key keys.(i)) ~descr:(descr i)
+      (encode payload));
+  slots.(i) <- Some (Ok payload)
+
+let assemble_outcomes ~slots rops_arr =
+  Array.to_list
+    (Array.mapi
+       (fun i r ->
+         match slots.(i) with
+         | Some (Ok payload) -> Out.Ok (r, payload)
+         | Some (Error e) ->
+           Out.Failed { Out.point = r; error = e; retries = O.retries_of e }
+         | None -> assert false)
+       rops_arr)
+
+(* ------------------------------------------------------------------ *)
 (* Plane sweeps                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -152,6 +332,49 @@ let curves_of ~n_ops ~label points =
         points = List.map (fun (r, vcs) -> { r; vc = List.nth vcs k }) points;
       })
 
+(* batched write plane: checkpoint-missing resistances become lanes of
+   shared ensembles — one round of [n_ops] writes, then the lockstep
+   Vsa bisection — instead of independent per-point transients *)
+let write_plane_batched ~config ~jobs ~lanes_max ~checkpoint ~n_ops ~stress
+    ~kind ~placement ~op ~vc_init ~base_key rops =
+  let rops_arr = Array.of_list rops in
+  let keys = Array.map (fun r -> Printf.sprintf "%s|%h" base_key r) rops_arr in
+  let descr i = Printf.sprintf "write plane r=%g" rops_arr.(i) in
+  let slots, defects =
+    batched_slots ~checkpoint ~decode:decode_write_point ~kind ~placement
+      ~keys rops_arr
+  in
+  (* write trajectories: one ensemble run of [n_ops] writes per chunk *)
+  let vcs_arr = Array.make (Array.length rops_arr) [] in
+  List.iter
+    (fun (i, r) ->
+      match r with
+      | Ok outcome ->
+        vcs_arr.(i) <- List.map (fun res -> res.O.vc_end) outcome.O.results
+      | Error e -> slots.(i) <- Some (Error e))
+    (run_rounds ~config ~jobs ~lanes_max ~stress
+       ~ops:(List.init n_ops (fun _ -> op))
+       (List.map
+          (fun i -> (i, { O.defect = defects.(i); O.vc_init }))
+          (live_indices slots)));
+  (* sense-amp thresholds of the surviving points, batched bisection *)
+  let live = live_indices slots in
+  let vsas =
+    vsa_many ~config ~jobs ~lanes_max ~stress
+      (Array.of_list (List.map (fun i -> Option.get defects.(i)) live))
+  in
+  List.iteri
+    (fun k i ->
+      match vsas.(k) with
+      | Ok v ->
+        commit_point ~checkpoint ~encode:encode_write_point ~descr ~keys
+          ~slots i (vcs_arr.(i), v)
+      | Error e -> slots.(i) <- Some (Error e))
+    live;
+  List.map
+    (fun o -> Out.map (fun (r, (vcs, v)) -> (r, vcs, v)) o)
+    (assemble_outcomes ~slots rops_arr)
+
 let write_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 4)
     ?(rops = default_rops) ~stress ~kind ~placement ~op () =
   (match op with
@@ -167,7 +390,12 @@ let write_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 4)
     Ck.fingerprint ("plane.write", config, stress, kind, placement, op, n_ops)
   in
   let outcomes =
-    Par.parallel_map_outcomes ~jobs ~retries_of:O.retries_of
+    if batching config then
+      write_plane_batched ~config ~jobs ~lanes_max:(Sc.resolve_lanes config)
+        ~checkpoint ~n_ops ~stress ~kind ~placement ~op ~vc_init ~base_key
+        rops
+    else
+      Par.parallel_map_outcomes ~jobs ~retries_of:O.retries_of
       (fun r ->
         sweep_point ~r (fun () ->
             let vcs, v =
@@ -203,6 +431,63 @@ let write_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 4)
     stress;
   }
 
+(* batched read plane: the lockstep Vsa bisection first, then two
+   ensemble rounds of [n_ops] reads seeded just below / above each
+   lane's own threshold *)
+let read_plane_batched ~config ~jobs ~lanes_max ~checkpoint ~n_ops ~offset
+    ~stress ~kind ~placement ~base_key rops =
+  let rops_arr = Array.of_list rops in
+  let n = Array.length rops_arr in
+  let keys = Array.map (fun r -> Printf.sprintf "%s|%h" base_key r) rops_arr in
+  let descr i = Printf.sprintf "read plane r=%g" rops_arr.(i) in
+  let slots, defects =
+    batched_slots ~checkpoint ~decode:decode_read_point ~kind ~placement ~keys
+      rops_arr
+  in
+  let vsas = Array.make n Reads_all_1 in
+  let live = live_indices slots in
+  let res =
+    vsa_many ~config ~jobs ~lanes_max ~stress
+      (Array.of_list (List.map (fun i -> Option.get defects.(i)) live))
+  in
+  List.iteri
+    (fun k i ->
+      match res.(k) with
+      | Ok v -> vsas.(i) <- v
+      | Error e -> slots.(i) <- Some (Error e))
+    live;
+  let trajectory_round seed_of =
+    let vcs = Array.make n [] in
+    List.iter
+      (fun (i, r) ->
+        match r with
+        | Ok outcome ->
+          vcs.(i) <- List.map (fun res -> res.O.vc_end) outcome.O.results
+        | Error e -> slots.(i) <- Some (Error e))
+      (run_rounds ~config ~jobs ~lanes_max ~stress
+         ~ops:(List.init n_ops (fun _ -> O.R))
+         (List.map
+            (fun i ->
+              let seed =
+                Float.max 0.0
+                  (Float.min stress.S.vdd
+                     (seed_of (vsa_substitute stress vsas.(i))))
+              in
+              (i, { O.defect = defects.(i); O.vc_init = seed }))
+            (live_indices slots)));
+    vcs
+  in
+  let below = trajectory_round (fun vsa -> vsa -. offset) in
+  let above = trajectory_round (fun vsa -> vsa +. offset) in
+  List.iter
+    (fun i ->
+      commit_point ~checkpoint ~encode:encode_read_point ~descr ~keys ~slots i
+        (vsas.(i), below.(i), above.(i)))
+    (live_indices slots);
+  List.map
+    (fun o -> Out.map (fun (r, (v, b, a)) -> (r, v, b, a)) o)
+    (assemble_outcomes ~slots rops_arr)
+
 let read_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 3)
     ?(rops = default_rops) ?(offset = 0.2) ~stress ~kind ~placement () =
   if n_ops < 1 then invalid_arg "Plane.read_plane: n_ops < 1";
@@ -213,7 +498,11 @@ let read_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 3)
       ("plane.read", config, stress, kind, placement, n_ops, offset)
   in
   let outcomes =
-    Par.parallel_map_outcomes ~jobs ~retries_of:O.retries_of
+    if batching config then
+      read_plane_batched ~config ~jobs ~lanes_max:(Sc.resolve_lanes config)
+        ~checkpoint ~n_ops ~offset ~stress ~kind ~placement ~base_key rops
+    else
+      Par.parallel_map_outcomes ~jobs ~retries_of:O.retries_of
       (fun r ->
         sweep_point ~r (fun () ->
             let v, below, above =

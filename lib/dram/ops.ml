@@ -280,64 +280,6 @@ let set_cache_capacity n = Cache.resize Cache.default n
 let clear_cache () = Cache.clear Cache.default
 let cache_stats () = Cache.stats Cache.default
 
-let rec run ?tech ?sim ?steps_per_cycle ?defect ?(vc_init = 0.0)
-    ?v_neighbour ?config ?(cache = Cache.default) ~stress ops =
-  if ops = [] then invalid_arg "Ops.run: empty sequence";
-  Stress.validate stress;
-  let cfg = Sim_config.resolve ?tech ?sim ?steps_per_cycle ?config () in
-  Atomic.incr cache.Cache.request_count;
-  Tel.Counter.incr c_requests;
-  let key =
-    { k_tech = cfg.Sim_config.tech; k_stress = stress;
-      k_sim = cfg.Sim_config.sim; k_steps = cfg.Sim_config.steps_per_cycle;
-      k_defect = defect; k_vc_init = vc_init; k_v_neighbour = v_neighbour;
-      k_ops = ops }
-  in
-  let cached =
-    if Cache.is_enabled cache then
-      Cache.with_lru cache (fun c -> Lru.find c key)
-    else None
-  in
-  match cached with
-  | Some outcome ->
-    Tel.Counter.incr c_hits;
-    outcome
-  | None ->
-    Tel.Counter.incr c_misses;
-    (* the wall-clock budget covers the whole request — base attempt
-       plus every retry stage — so it is pinned to an absolute instant
-       here, once, rather than restarting per attempt *)
-    let deadline_at =
-      Option.map
-        (fun budget_s -> (Unix.gettimeofday () +. budget_s, budget_s))
-        cfg.Sim_config.deadline
-    in
-    let outcome =
-      Tel.with_span "ops.run"
-        ~attrs:(fun () -> [ ("seq", Tel.Str (seq_to_string ops)) ])
-        (fun () ->
-          match
-            execute_resilient ~cfg ?deadline_at ?defect ~vc_init ?v_neighbour
-              ~stress ops
-          with
-          | outcome -> outcome
-          | exception (E.Newton.Timeout _ as e) ->
-            let bt = Printexc.get_raw_backtrace () in
-            Tel.Counter.incr c_deadline;
-            Printexc.raise_with_backtrace e bt)
-    in
-    (* a run rescued by a degraded stage is cached under the BASE config
-       key on purpose: the base configuration cannot produce an outcome
-       at all (it fails), and repeat requests should get the degraded
-       result instantly instead of re-walking the failure ladder *)
-    if Cache.is_enabled cache then
-      Cache.with_lru cache (fun c ->
-          let ev0 = Lru.evictions c in
-          Lru.add c key outcome;
-          let d = Lru.evictions c - ev0 in
-          if d > 0 then Tel.Counter.add c_evictions d);
-    outcome
-
 (* ------------------------------------------------------------------ *)
 (* Retry / degradation ladder                                          *)
 (* ------------------------------------------------------------------ *)
@@ -348,7 +290,7 @@ let rec run ?tech ?sim ?steps_per_cycle ?defect ?(vc_init = 0.0)
    dry (-> Exhausted_retries, which sweep layers convert into a Failed
    outcome slot). Only genuine convergence failures are retried —
    programming errors propagate immediately. *)
-and degrade_config (cfg : Sim_config.t) stage =
+let degrade_config (cfg : Sim_config.t) stage =
   let base_sim = Option.value cfg.Sim_config.sim ~default:E.Options.default in
   match stage with
   | Sim_config.Halve_dt ->
@@ -368,7 +310,62 @@ and degrade_config (cfg : Sim_config.t) stage =
             E.Options.max_step_v;
             max_newton = base_sim.E.Options.max_newton * max_newton_scale } }
 
-and execute_resilient ~(cfg : Sim_config.t) ?deadline_at ?defect ~vc_init
+(* interpret one simulated trace against the op schedule: per-op sensed
+   bit, sense separation and end-of-op cell voltage. Shared verbatim by
+   the scalar and the batched execution paths — an outcome must not
+   depend on which path produced the trace. *)
+let interpret ~inverted ~schedule ~(ph : Timing.t) ~(built : Column.built)
+    trace =
+  let vc = E.Transient.probe trace built.Column.vc_node in
+  let v_acc = E.Transient.probe trace built.Column.acc_bl in
+  let v_ref = E.Transient.probe trace built.Column.ref_bl in
+  let results =
+    List.map
+      (fun (op, t_start, t_end) ->
+        let sensed, separation =
+          match op with
+          | R ->
+            (* strobe late in the cycle, once regeneration has had the
+               whole sense window: metastable outputs are still collapsed
+               while slow clean reads have reached the rails *)
+            let t_dec = t_start +. ph.Timing.t_wl_off -. 1e-9 in
+            let va = I.eval v_acc t_dec and vr = I.eval v_ref t_dec in
+            let physical = if va > vr then 1 else 0 in
+            ( Some (if inverted then 1 - physical else physical),
+              Some (Float.abs (va -. vr)) )
+          | W0 | W1 | Pause _ -> (None, None)
+        in
+        { op; t_start; t_end; vc_end = I.eval vc (t_end -. 1e-12); sensed;
+          separation })
+      schedule
+  in
+  { results; trace; built; phases = ph }
+
+let execute ~tech ?sim ~steps_per_cycle ?deadline_at ?defect ~vc_init
+    ?v_neighbour ~stress ops =
+  let vdd = stress.Stress.vdd in
+  let v_neighbour = Option.value v_neighbour ~default:vdd in
+  let inverted =
+    match defect with
+    | Some { D.placement = D.Comp_bl; _ } -> true
+    | Some { D.placement = D.True_bl; _ } | None -> false
+  in
+  let controls, segments, schedule, ph =
+    plan ~tech ~stress ~inverted ~steps_per_cycle ops
+  in
+  let built = Column.build ~tech ~vdd ~controls ?defect () in
+  let opts =
+    let base = Option.value sim ~default:E.Options.default in
+    { base with E.Options.temp = Stress.temp_kelvin stress }
+  in
+  let ics = Column.initial_conditions built ~vdd ~vc_init ~v_neighbour in
+  let trace =
+    E.Transient.run built.Column.compiled ~opts ?deadline_at ~segments ~ics
+      ~probes:built.Column.probes ()
+  in
+  interpret ~inverted ~schedule ~ph ~built trace
+
+let execute_resilient ~(cfg : Sim_config.t) ?deadline_at ?defect ~vc_init
     ?v_neighbour ~stress ops =
   let exec (c : Sim_config.t) =
     execute ~tech:c.Sim_config.tech ?sim:c.Sim_config.sim
@@ -420,49 +417,230 @@ and execute_resilient ~(cfg : Sim_config.t) ?deadline_at ?defect ~vc_init
       attempt cfg 1 [] e stages
     end
 
-and execute ~tech ?sim ~steps_per_cycle ?deadline_at ?defect ~vc_init
-    ?v_neighbour ~stress ops =
+(* the full scalar miss path of [run] minus the cache: deadline
+   pinning, tracing span, deadline counting and the retry ladder.
+   Shared by [run] and the per-lane fallback of [run_batch], so a lane
+   that falls out of an ensemble gets exactly the scalar treatment. *)
+let execute_with_ladder ~(cfg : Sim_config.t) ?defect ~vc_init ?v_neighbour
+    ~stress ops =
+  (* the wall-clock budget covers the whole request — base attempt
+     plus every retry stage — so it is pinned to an absolute instant
+     here, once, rather than restarting per attempt *)
+  let deadline_at =
+    Option.map
+      (fun budget_s -> (Unix.gettimeofday () +. budget_s, budget_s))
+      cfg.Sim_config.deadline
+  in
+  Tel.with_span "ops.run"
+    ~attrs:(fun () -> [ ("seq", Tel.Str (seq_to_string ops)) ])
+    (fun () ->
+      match
+        execute_resilient ~cfg ?deadline_at ?defect ~vc_init ?v_neighbour
+          ~stress ops
+      with
+      | outcome -> outcome
+      | exception (E.Newton.Timeout _ as e) ->
+        let bt = Printexc.get_raw_backtrace () in
+        Tel.Counter.incr c_deadline;
+        Printexc.raise_with_backtrace e bt)
+
+let store_outcome cache key outcome =
+  if Cache.is_enabled cache then
+    Cache.with_lru cache (fun c ->
+        let ev0 = Lru.evictions c in
+        Lru.add c key outcome;
+        let d = Lru.evictions c - ev0 in
+        if d > 0 then Tel.Counter.add c_evictions d)
+
+let run ?tech ?sim ?steps_per_cycle ?defect ?(vc_init = 0.0) ?v_neighbour
+    ?config ?(cache = Cache.default) ~stress ops =
+  if ops = [] then invalid_arg "Ops.run: empty sequence";
+  Stress.validate stress;
+  let cfg = Sim_config.resolve ?tech ?sim ?steps_per_cycle ?config () in
+  Atomic.incr cache.Cache.request_count;
+  Tel.Counter.incr c_requests;
+  let key =
+    { k_tech = cfg.Sim_config.tech; k_stress = stress;
+      k_sim = cfg.Sim_config.sim; k_steps = cfg.Sim_config.steps_per_cycle;
+      k_defect = defect; k_vc_init = vc_init; k_v_neighbour = v_neighbour;
+      k_ops = ops }
+  in
+  let cached =
+    if Cache.is_enabled cache then
+      Cache.with_lru cache (fun c -> Lru.find c key)
+    else None
+  in
+  match cached with
+  | Some outcome ->
+    Tel.Counter.incr c_hits;
+    outcome
+  | None ->
+    Tel.Counter.incr c_misses;
+    let outcome =
+      execute_with_ladder ~cfg ?defect ~vc_init ?v_neighbour ~stress ops
+    in
+    (* a run rescued by a degraded stage is cached under the BASE config
+       key on purpose: the base configuration cannot produce an outcome
+       at all (it fails), and repeat requests should get the degraded
+       result instantly instead of re-walking the failure ladder *)
+    store_outcome cache key outcome;
+    outcome
+
+(* ------------------------------------------------------------------ *)
+(* Batched execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let c_lane_fallbacks = Tel.Counter.make "dram.ops.lane_fallbacks"
+
+(* always-on mirror for [--metrics] reconciliation *)
+let g_lane_fallbacks = Atomic.make 0
+
+let lane_fallbacks () = Atomic.get g_lane_fallbacks
+let reset_lane_fallbacks () = Atomic.set g_lane_fallbacks 0
+
+type lane = { defect : D.t option; vc_init : float }
+
+(* every miss lane of one batch through a single ensemble run: shared
+   topology (defect kind + placement fixed across lanes), per-lane
+   resistance as an {!Mna} resistor override and per-lane initial cell
+   voltage as lane ICs *)
+let execute_batch ~(cfg : Sim_config.t) ?v_neighbour ~stress ~lanes ops =
+  let tech = cfg.Sim_config.tech in
   let vdd = stress.Stress.vdd in
-  let v_neighbour = Option.value v_neighbour ~default:vdd in
+  let v_nb = Option.value v_neighbour ~default:vdd in
+  let defect0 = (List.hd lanes).defect in
   let inverted =
-    match defect with
+    match defect0 with
     | Some { D.placement = D.Comp_bl; _ } -> true
     | Some { D.placement = D.True_bl; _ } | None -> false
   in
   let controls, segments, schedule, ph =
-    plan ~tech ~stress ~inverted ~steps_per_cycle ops
+    plan ~tech ~stress ~inverted
+      ~steps_per_cycle:cfg.Sim_config.steps_per_cycle ops
   in
-  let built = Column.build ~tech ~vdd ~controls ?defect () in
+  (* the column is built once, with the first lane's defect; every lane
+     (including the first) then overrides [r_defect] with its own
+     resistance, so the netlist value never leaks into any lane *)
+  let built = Column.build ~tech ~vdd ~controls ?defect:defect0 () in
   let opts =
-    let base = Option.value sim ~default:E.Options.default in
+    let base = Option.value cfg.Sim_config.sim ~default:E.Options.default in
     { base with E.Options.temp = Stress.temp_kelvin stress }
   in
-  let ics = Column.initial_conditions built ~vdd ~vc_init ~v_neighbour in
-  let trace =
-    E.Transient.run built.Column.compiled ~opts ?deadline_at ~segments ~ics
-      ~probes:built.Column.probes ()
+  let elanes =
+    Array.of_list
+      (List.map
+         (fun l ->
+           {
+             E.Ensemble.ics =
+               Column.initial_conditions built ~vdd ~vc_init:l.vc_init
+                 ~v_neighbour:v_nb;
+             override = Option.map (fun d -> ("r_defect", d.D.r)) l.defect;
+           })
+         lanes)
   in
-  let vc = E.Transient.probe trace built.Column.vc_node in
-  let v_acc = E.Transient.probe trace built.Column.acc_bl in
-  let v_ref = E.Transient.probe trace built.Column.ref_bl in
-  let results =
-    List.map
-      (fun (op, t_start, t_end) ->
-        let sensed, separation =
-          match op with
-          | R ->
-            (* strobe late in the cycle, once regeneration has had the
-               whole sense window: metastable outputs are still collapsed
-               while slow clean reads have reached the rails *)
-            let t_dec = t_start +. ph.Timing.t_wl_off -. 1e-9 in
-            let va = I.eval v_acc t_dec and vr = I.eval v_ref t_dec in
-            let physical = if va > vr then 1 else 0 in
-            ( Some (if inverted then 1 - physical else physical),
-              Some (Float.abs (va -. vr)) )
-          | W0 | W1 | Pause _ -> (None, None)
-        in
-        { op; t_start; t_end; vc_end = I.eval vc (t_end -. 1e-12); sensed;
-          separation })
-      schedule
+  let traces =
+    Tel.with_span "ops.run_batch"
+      ~attrs:(fun () ->
+        [ ("seq", Tel.Str (seq_to_string ops));
+          ("lanes", Tel.Int (Array.length elanes)) ])
+      (fun () ->
+        E.Ensemble.run built.Column.compiled ~opts ~segments ~lanes:elanes
+          ~probes:built.Column.probes ())
   in
-  { results; trace; built; phases = ph }
+  Array.map
+    (Result.map (fun trace -> interpret ~inverted ~schedule ~ph ~built trace))
+    traces
+
+let run_batch ?tech ?sim ?steps_per_cycle ?v_neighbour ?config
+    ?(cache = Cache.default) ~stress ~lanes ops =
+  if ops = [] then invalid_arg "Ops.run_batch: empty sequence";
+  if lanes = [] then invalid_arg "Ops.run_batch: no lanes";
+  Stress.validate stress;
+  let shape = function
+    | None -> None
+    | Some { D.kind; placement; r = _ } -> Some (kind, placement)
+  in
+  let shape0 = shape (List.hd lanes).defect in
+  List.iter
+    (fun l ->
+      if shape l.defect <> shape0 then
+        invalid_arg
+          "Ops.run_batch: lanes must share one defect kind and placement")
+    lanes;
+  let cfg = Sim_config.resolve ?tech ?sim ?steps_per_cycle ?config () in
+  let lanes_arr = Array.of_list lanes in
+  let n = Array.length lanes_arr in
+  (* per-lane keys and request/hit/miss accounting identical to scalar
+     [run]: a batched lane and a scalar call are interchangeable in the
+     cache, and [requests = hits + misses] keeps holding *)
+  let keys =
+    Array.map
+      (fun l ->
+        { k_tech = cfg.Sim_config.tech; k_stress = stress;
+          k_sim = cfg.Sim_config.sim;
+          k_steps = cfg.Sim_config.steps_per_cycle; k_defect = l.defect;
+          k_vc_init = l.vc_init; k_v_neighbour = v_neighbour; k_ops = ops })
+      lanes_arr
+  in
+  let slots : (outcome, exn) result option array = Array.make n None in
+  Array.iteri
+    (fun i key ->
+      Atomic.incr cache.Cache.request_count;
+      Tel.Counter.incr c_requests;
+      let cached =
+        if Cache.is_enabled cache then
+          Cache.with_lru cache (fun c -> Lru.find c key)
+        else None
+      in
+      match cached with
+      | Some o ->
+        Tel.Counter.incr c_hits;
+        slots.(i) <- Some (Ok o)
+      | None -> Tel.Counter.incr c_misses)
+    keys;
+  let missing = ref [] in
+  for i = n - 1 downto 0 do
+    if Option.is_none slots.(i) then missing := i :: !missing
+  done;
+  let finish i outcome =
+    store_outcome cache keys.(i) outcome;
+    slots.(i) <- Some (Ok outcome)
+  in
+  let scalar i =
+    let l = lanes_arr.(i) in
+    match
+      execute_with_ladder ~cfg ?defect:l.defect ~vc_init:l.vc_init
+        ?v_neighbour ~stress ops
+    with
+    | outcome -> finish i outcome
+    | exception e -> slots.(i) <- Some (Error e)
+  in
+  (match !missing with
+  | [] -> ()
+  | [ i ] -> scalar i (* a single miss: an ensemble of one is overhead *)
+  | missing when cfg.Sim_config.deadline <> None ->
+    (* the wall-clock budget is a per-point contract; inside a shared
+       ensemble one slow lane would burn every lane's budget, so
+       deadline-bound requests take the scalar path per lane *)
+    List.iter scalar missing
+  | missing ->
+    let results =
+      execute_batch ~cfg ?v_neighbour ~stress
+        ~lanes:(List.map (fun i -> lanes_arr.(i)) missing)
+        ops
+    in
+    List.iteri
+      (fun j i ->
+        match results.(j) with
+        | Ok outcome -> finish i outcome
+        | Error _ ->
+          (* the lane died inside the ensemble (after its in-batch
+             dt-halving retries); give it the full scalar treatment —
+             base attempt plus retry ladder — exactly what a scalar miss
+             would get. Non-convergent lanes end up as [Error
+             Exhausted_retries] slots without disturbing batch mates. *)
+          Tel.Counter.incr c_lane_fallbacks;
+          Atomic.incr g_lane_fallbacks;
+          scalar i)
+      missing);
+  Array.to_list (Array.map Option.get slots)

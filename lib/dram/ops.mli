@@ -228,3 +228,58 @@ val run :
   stress:Stress.t ->
   op list ->
   outcome
+
+(** {2 Batched execution}
+
+    Sweep layers evaluating one operation sequence at many operating
+    points (a resistance decade sweep, a batched bisection round) hand
+    the whole set to {!run_batch} as {e lanes}: one circuit topology,
+    one shared time grid, N simultaneous integrations
+    ({!Dramstress_engine.Ensemble}). *)
+
+(** One batched operating point: the defect instance this lane simulates
+    (kind and placement must match across the batch — only [r] may
+    differ; [None] for a defect-free lane, all-[None] batches allowed)
+    and its initial storage voltage. *)
+type lane = {
+  defect : Dramstress_defect.Defect.t option;
+  vc_init : float;
+}
+
+(** [run_batch ?tech ?sim ?steps_per_cycle ?v_neighbour ?config ?cache
+    ~stress ~lanes ops] is the batched [run]: one result slot per lane,
+    in lane order.
+
+    Each lane is accounted exactly like a scalar {!run} call — its own
+    cache key (interchangeable with scalar keys), its own request /
+    hit / miss tick — so cache statistics reconcile identically on
+    either path. Lanes that miss are integrated together in one
+    ensemble; a lane that fails inside the ensemble falls back to the
+    full scalar treatment (base attempt plus retry ladder, counted on
+    [dram.ops.lane_fallbacks]) and surfaces as [Error] (typically
+    {!Exhausted_retries}) only if that fails too, without disturbing
+    its batch mates. With a wall-clock [deadline] configured, or for a
+    single-lane miss, every miss takes the scalar path (a per-point
+    budget has no meaning inside a shared ensemble; an ensemble of one
+    is overhead).
+
+    Raises [Invalid_argument] for an empty [lanes] or [ops] list, or
+    for lanes mixing defect kinds/placements. *)
+val run_batch :
+  ?tech:Tech.t ->
+  ?sim:Dramstress_engine.Options.t ->
+  ?steps_per_cycle:int ->
+  ?v_neighbour:float ->
+  ?config:Sim_config.t ->
+  ?cache:Cache.t ->
+  stress:Stress.t ->
+  lanes:lane list ->
+  op list ->
+  (outcome, exn) result list
+
+(** [lane_fallbacks ()] — always-on count of lanes that fell out of an
+    ensemble into the scalar retry ladder (mirror of the
+    [dram.ops.lane_fallbacks] counter, readable with telemetry off). *)
+val lane_fallbacks : unit -> int
+
+val reset_lane_fallbacks : unit -> unit

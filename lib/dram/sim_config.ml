@@ -45,6 +45,7 @@ type t = {
   sim : Dramstress_engine.Options.t option;
   steps_per_cycle : int;
   jobs : int option;
+  lanes : int option;
   retry : retry_policy;
   deadline : float option;
 }
@@ -55,6 +56,7 @@ let default =
     sim = None;
     steps_per_cycle = 400;
     jobs = None;
+    lanes = None;
     retry = default_retry;
     deadline = None;
   }
@@ -64,17 +66,18 @@ let validate_deadline = function
   | Some d ->
     if not (d > 0.0) then invalid_arg "Sim_config: deadline must be > 0"
 
-let v ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?jobs
+let v ?(tech = Tech.default) ?sim ?(steps_per_cycle = 400) ?jobs ?lanes
     ?(retry = default_retry) ?deadline () =
   if steps_per_cycle < 1 then
     invalid_arg "Sim_config.v: steps_per_cycle < 1";
   validate_policy retry;
   validate_deadline deadline;
-  { tech; sim; steps_per_cycle; jobs; retry; deadline }
+  { tech; sim; steps_per_cycle; jobs; lanes; retry; deadline }
 
 (* explicit legacy optionals always beat the bundled config, so existing
    call sites keep their meaning when a config is introduced around them *)
-let resolve ?tech ?sim ?steps_per_cycle ?jobs ?retry ?deadline ?config () =
+let resolve ?tech ?sim ?steps_per_cycle ?jobs ?lanes ?retry ?deadline ?config
+    () =
   let base = Option.value config ~default in
   let t =
     {
@@ -83,6 +86,7 @@ let resolve ?tech ?sim ?steps_per_cycle ?jobs ?retry ?deadline ?config () =
       steps_per_cycle =
         Option.value steps_per_cycle ~default:base.steps_per_cycle;
       jobs = (match jobs with Some _ -> jobs | None -> base.jobs);
+      lanes = (match lanes with Some _ -> lanes | None -> base.lanes);
       retry = Option.value retry ~default:base.retry;
       deadline = (match deadline with Some _ -> deadline | None -> base.deadline);
     }
@@ -94,3 +98,4 @@ let resolve ?tech ?sim ?steps_per_cycle ?jobs ?retry ?deadline ?config () =
   t
 
 let resolve_jobs t = Dramstress_util.Par.resolve_jobs ?jobs:t.jobs ()
+let resolve_lanes t = Dramstress_util.Par.resolve_lanes ?lanes:t.lanes ()

@@ -55,6 +55,13 @@ type t = {
       (** domain count for parallel sweeps; [None] defers to
           [DRAMSTRESS_JOBS] then the recommended domain count
           ({!Dramstress_util.Par.resolve_jobs}) *)
+  lanes : int option;
+      (** ensemble width for batched sweeps — how many operating points
+          one {!Ops.run_batch} integrates simultaneously; [None] defers
+          to [DRAMSTRESS_LANES] then
+          {!Dramstress_util.Par.default_lanes}
+          ({!Dramstress_util.Par.resolve_lanes}). [Some 1] disables
+          batching (every point takes the scalar path). *)
   retry : retry_policy;
       (** what {!Ops.run} tries when the solver fails on a point *)
   deadline : float option;
@@ -81,6 +88,7 @@ val v :
   ?sim:Dramstress_engine.Options.t ->
   ?steps_per_cycle:int ->
   ?jobs:int ->
+  ?lanes:int ->
   ?retry:retry_policy ->
   ?deadline:float ->
   unit ->
@@ -96,6 +104,7 @@ val resolve :
   ?sim:Dramstress_engine.Options.t ->
   ?steps_per_cycle:int ->
   ?jobs:int ->
+  ?lanes:int ->
   ?retry:retry_policy ->
   ?deadline:float ->
   ?config:t ->
@@ -105,3 +114,10 @@ val resolve :
 (** [resolve_jobs t] is the effective domain count:
     [Par.resolve_jobs ?jobs:t.jobs ()]. *)
 val resolve_jobs : t -> int
+
+(** [resolve_lanes t] is the effective ensemble width:
+    [Par.resolve_lanes ?lanes:t.lanes ()] — the explicit field, else
+    [DRAMSTRESS_LANES], else {!Dramstress_util.Par.default_lanes};
+    junk or non-positive env values fall back to the default, explicit
+    values are clamped to at least 1. *)
+val resolve_lanes : t -> int

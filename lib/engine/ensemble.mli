@@ -1,0 +1,83 @@
+(** Batched ensemble transient integration.
+
+    One circuit topology, one MNA assembly plan, one shared time grid —
+    and N {e lanes}, each a variant of the operating point: its own
+    initial conditions and (optionally) its own value for one designated
+    resistor (the defect under sweep). The ensemble advances all lanes
+    through the grid together:
+
+    - control waveforms are evaluated once per time point and shared by
+      every lane ({!Mna.eval_controls_into});
+    - the sparse-LU symbolic analysis is shared across lanes (the
+      structural pattern is a property of the topology, not the values);
+    - Newton iterations run as {e masked sweeps}: each sweep performs
+      one iteration for every not-yet-converged lane, and lanes that
+      converged early sit out the rest
+      ([engine.ensemble.masked_lane_iters] counts those skipped
+      iterations).
+
+    Per lane, the iterate sequence is the same as a scalar
+    {!Transient.run} of that lane would produce with the same workspace
+    machinery: the same assembly, the same update clamping and
+    convergence test ({!Newton.apply_update}, {!Newton.tolerance}), the
+    same dt-halving retry ladder on step failure (4 halvings), and the
+    same health guards. A lane that fails — Newton divergence after
+    retries ({!Transient.Step_failed}), a numerical-health trip, a
+    poisoned state — is masked out and reported in its own result slot;
+    the surviving lanes are unaffected.
+
+    Lane state lives in a structure-of-arrays Bigarray block, so a
+    16-lane ensemble costs one workspace plus [16 x size] floats, not 16
+    workspaces. *)
+
+(** One ensemble member. [ics] are per-lane initial node voltages (same
+    contract as [Transient.run ~ics]). [override], when given as
+    [(resistor_name, ohms)], makes this lane see that resistance for the
+    named resistor; all overriding lanes must name the {e same} resistor
+    (one shared topology), and lanes without an override ride at the
+    netlist value. *)
+type lane = {
+  ics : (string * float) list;
+  override : (string * float) option;
+}
+
+(** Always-on run totals (independent of telemetry being enabled), the
+    reconciliation source for [--metrics] — same contract as
+    [Ops.cache_stats] and [Sparse_lu.stats]. *)
+type stats = {
+  lanes : int;  (** lanes integrated across all batches *)
+  batches : int;  (** ensemble runs *)
+  masked_lane_iters : int;
+      (** lane-iterations skipped because the lane had already converged
+          while batch mates were still iterating *)
+  lane_failures : int;  (** lanes that exhausted their retry ladder *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+(** [run compiled ?opts ~segments ~lanes ~probes ()] integrates every
+    lane over the shared grid and returns one result slot per lane, in
+    lane order: [Ok result] mirrors what [Transient.run] would return
+    for that lane, [Error e] carries the lane's failure
+    ({!Transient.Step_failed}, {!Newton.No_convergence} from the initial
+    quasi-static solve, or {!Newton.Numerical_health}) without
+    disturbing the other lanes.
+
+    Segments, ICs and probes follow the {!Transient.run} contract.
+    There is no deadline support: ensembles are for bulk throughput
+    where per-point wall-clock budgets don't apply (callers with a
+    deadline use the scalar path).
+
+    Raises [Invalid_argument] for an empty lane array, invalid segments,
+    unknown IC/probe nodes, a non-positive override resistance, an
+    unknown override resistor, or lanes overriding different
+    resistors. *)
+val run :
+  Dramstress_circuit.Netlist.compiled ->
+  ?opts:Options.t ->
+  segments:(float * float) list ->
+  lanes:lane array ->
+  probes:string list ->
+  unit ->
+  (Transient.result, exn) result array

@@ -51,6 +51,7 @@ type t = {
   size : int;
   vsrc_branch : (string, int) Hashtbl.t;  (* vsource name -> branch index *)
   cap_index : (string, int) Hashtbl.t;    (* capacitor name -> slot *)
+  res_index : (string, int) Hashtbl.t;    (* resistor name -> plan index *)
   n_caps : int;
   resistors : res_plan array;
   switches : switch_plan array;
@@ -80,10 +81,14 @@ let make (compiled : C.Netlist.compiled) =
     compiled.devices;
   let resistors = ref [] and switches = ref [] and caps = ref [] in
   let vsrcs = ref [] and isrcs = ref [] and mosfets = ref [] in
+  let res_index = Hashtbl.create 8 in
+  let nr = ref 0 in
   Array.iter
     (fun d ->
       match d with
-      | C.Device.Resistor { a; b; r; _ } ->
+      | C.Device.Resistor { name; a; b; r; _ } ->
+        Hashtbl.add res_index name !nr;
+        incr nr;
         resistors := { r_a = a; r_b = b; g_res = 1.0 /. r } :: !resistors
       | C.Device.Switch { a; b; ctrl; g_on; g_off; threshold; _ } ->
         switches := { s_a = a; s_b = b; ctrl; g_on; g_off; threshold } :: !switches
@@ -109,6 +114,7 @@ let make (compiled : C.Netlist.compiled) =
     size = n_nodes - 1 + !nv;
     vsrc_branch;
     cap_index;
+    res_index;
     n_caps = !nc;
     resistors = arr resistors;
     switches = arr switches;
@@ -121,6 +127,51 @@ let make (compiled : C.Netlist.compiled) =
 let size sys = sys.size
 let n_nodes sys = sys.n_nodes
 let n_capacitors sys = sys.n_caps
+let resistor_index sys name = Hashtbl.find_opt sys.res_index name
+let resistor_g sys index = sys.resistors.(index).g_res
+
+(* The structural nonzero pattern of every system any assembly of [sys]
+   can produce — derived from the stamp PLANS, never from numeric
+   values: a MOSFET's gm is zero below threshold and nonzero above, a
+   switch conductance swings between g_on and g_off, but the stamped
+   POSITIONS are fixed. This is what {!Dramstress_util.Sparse_lu}
+   analyses once per topology. *)
+let structural_pattern sys =
+  let n = sys.size in
+  let pat = Array.make_matrix n n false in
+  let mark r c = if r > 0 && c > 0 then pat.(r - 1).(c - 1) <- true in
+  let mark_g a b =
+    mark a a;
+    mark b b;
+    mark a b;
+    mark b a
+  in
+  for node = 1 to sys.n_nodes - 1 do
+    pat.(node - 1).(node - 1) <- true (* gmin *)
+  done;
+  Array.iter (fun p -> mark_g p.r_a p.r_b) sys.resistors;
+  Array.iter (fun p -> mark_g p.s_a p.s_b) sys.switches;
+  Array.iter (fun p -> mark_g p.c_a p.c_b) sys.caps;
+  Array.iter
+    (fun p ->
+      (* branch rows/cols land past the node block; mark them directly *)
+      if p.v_pos > 0 then begin
+        pat.(p.v_pos - 1).(p.row) <- true;
+        pat.(p.row).(p.v_pos - 1) <- true
+      end;
+      if p.v_neg > 0 then begin
+        pat.(p.v_neg - 1).(p.row) <- true;
+        pat.(p.row).(p.v_neg - 1) <- true
+      end)
+    sys.vsrcs;
+  Array.iter
+    (fun p ->
+      (* gds between d and s, plus the gm VCCS controlled by (g, s) *)
+      mark_g p.m_d p.m_s;
+      mark p.m_d p.m_g;
+      mark p.m_s p.m_g)
+    sys.mosfets;
+  pat
 
 let node_voltage _sys x node = if node = 0 then 0.0 else x.(node - 1)
 
@@ -264,6 +315,8 @@ let assemble sys ~(opts : Options.t) ~t_now ~x ~reactive =
 (* Incremental assembly workspace                                      *)
 (* ------------------------------------------------------------------ *)
 
+module Sp = Dramstress_util.Sparse_lu
+
 type workspace = {
   w_size : int;
   mat : L.matrix;          (* stamped system, factored in place *)
@@ -275,8 +328,24 @@ type workspace = {
   mutable tmpl_dt : float;
   mutable tmpl_gmin : float;
   mutable tmpl_trapezoidal : bool;
+  mutable tmpl_excluded : int;
+  (* per-lane resistance override (ensemble sweeps): plan index of the
+     resistor excluded from the template, and the conductance stamped in
+     its place after every template copy. [-1] = no override. Stamping
+     the lane conductance directly — rather than adding a delta on top
+     of the base stamp — keeps the lane's conductance exact across the
+     full 1e3..1e11 Ohm sweep range (a delta cancels catastrophically
+     when the lane and base conductances differ by orders of magnitude) *)
+  mutable excluded_res : int;
+  mutable override_g : float;
+  (* cached control evaluations for the current t_now, shared across
+     ensemble lanes (one waveform walk per time point, not per lane) *)
+  sw_g : float array;
+  vs_v : float array;
+  is_i : float array;
   perm : int array;
   scratch : float array;
+  mutable slu : Sp.t option;  (* lazily built on the first sparse solve *)
 }
 
 let make_workspace sys =
@@ -290,13 +359,30 @@ let make_workspace sys =
     tmpl_dt = 0.0;
     tmpl_gmin = 0.0;
     tmpl_trapezoidal = false;
+    tmpl_excluded = -1;
+    excluded_res = -1;
+    override_g = 0.0;
+    sw_g = Array.make (Array.length sys.switches) 0.0;
+    vs_v = Array.make (Array.length sys.vsrcs) 0.0;
+    is_i = Array.make (Array.length sys.isrcs) 0.0;
     perm = Array.make n 0;
     scratch = Array.make n 0.0;
+    slu = None;
   }
+
+let set_resistor_override ws ~index ~g =
+  ws.excluded_res <- index;
+  ws.override_g <- g
+
+let clear_resistor_override ws =
+  ws.excluded_res <- -1;
+  ws.override_g <- 0.0
 
 (* static-linear part: gmin regularization, resistors, voltage-source
    topology and — for a fixed (dt, integrator) — the capacitor companion
-   conductances. Everything here is independent of t, x and history. *)
+   conductances. Everything here is independent of t, x and history. A
+   resistor under lane override is left out (its lane conductance is
+   stamped fresh after each template copy instead). *)
 let rebuild_template sys ws ~(opts : Options.t) ~dt =
   let tmpl = ws.tmpl in
   for i = 0 to ws.w_size - 1 do
@@ -305,7 +391,10 @@ let rebuild_template sys ws ~(opts : Options.t) ~dt =
   for node = 1 to sys.n_nodes - 1 do
     tmpl.(node - 1).(node - 1) <- tmpl.(node - 1).(node - 1) +. opts.gmin
   done;
-  Array.iter (fun p -> stamp_g p.g_res tmpl p.r_a p.r_b) sys.resistors;
+  Array.iteri
+    (fun i p ->
+      if i <> ws.excluded_res then stamp_g p.g_res tmpl p.r_a p.r_b)
+    sys.resistors;
   Array.iter
     (fun p ->
       if p.v_pos > 0 then begin
@@ -322,7 +411,25 @@ let rebuild_template sys ws ~(opts : Options.t) ~dt =
       (fun p -> stamp_g (cap_g ~opts ~dt p.cap) tmpl p.c_a p.c_b)
       sys.caps
 
-let assemble_into sys ws ~(opts : Options.t) ~t_now ~x ~reactive =
+(* Evaluate every control waveform at [t_now] into the workspace
+   buffers. Split out of assembly so the ensemble engine can walk the
+   waveforms once per time point and share the values across all lanes
+   (they integrate on one shared grid). *)
+let eval_controls_into sys ws ~t_now =
+  for i = 0 to Array.length sys.switches - 1 do
+    let p = sys.switches.(i) in
+    ws.sw_g.(i) <-
+      (if C.Waveform.eval p.ctrl t_now > p.threshold then p.g_on else p.g_off)
+  done;
+  for i = 0 to Array.length sys.vsrcs - 1 do
+    ws.vs_v.(i) <- C.Waveform.eval sys.vsrcs.(i).v_wave t_now
+  done;
+  for i = 0 to Array.length sys.isrcs - 1 do
+    ws.is_i.(i) <- C.Waveform.eval sys.isrcs.(i).i_wave t_now
+  done
+
+(* assembly from pre-evaluated controls ([eval_controls_into]) *)
+let assemble_into_pre sys ws ~(opts : Options.t) ~x ~reactive =
   let n = ws.w_size in
   assert (n = sys.size);
   let trapezoidal =
@@ -335,29 +442,31 @@ let assemble_into sys ws ~(opts : Options.t) ~t_now ~x ~reactive =
      || ws.tmpl_dt <> reactive.dt
      || ws.tmpl_gmin <> opts.gmin
      || ws.tmpl_trapezoidal <> trapezoidal
+     || ws.tmpl_excluded <> ws.excluded_res
    then begin
      Tel.Counter.incr c_template_rebuilds;
      rebuild_template sys ws ~opts ~dt:reactive.dt;
      ws.tmpl_valid <- true;
      ws.tmpl_dt <- reactive.dt;
      ws.tmpl_gmin <- opts.gmin;
-     ws.tmpl_trapezoidal <- trapezoidal
+     ws.tmpl_trapezoidal <- trapezoidal;
+     ws.tmpl_excluded <- ws.excluded_res
    end);
   let mat = ws.mat and rhs = ws.rhs in
   for i = 0 to n - 1 do
     Array.blit ws.tmpl.(i) 0 mat.(i) 0 n
   done;
   Array.fill rhs 0 n 0.0;
+  (if ws.excluded_res >= 0 then
+     let p = sys.resistors.(ws.excluded_res) in
+     stamp_g ws.override_g mat p.r_a p.r_b);
   (* dynamic stamps: switch state and source values at t_now, capacitor
      history currents, MOSFET linearization around x. Indexed loops, not
      [Array.iter]: this body runs every Newton iteration and a closure per
      device class would be allocated on each call. *)
   for i = 0 to Array.length sys.switches - 1 do
     let p = sys.switches.(i) in
-    let g =
-      if C.Waveform.eval p.ctrl t_now > p.threshold then p.g_on else p.g_off
-    in
-    stamp_g g mat p.s_a p.s_b
+    stamp_g ws.sw_g.(i) mat p.s_a p.s_b
   done;
   if reactive.dt > 0.0 then
     for i = 0 to Array.length sys.caps - 1 do
@@ -374,12 +483,11 @@ let assemble_into sys ws ~(opts : Options.t) ~t_now ~x ~reactive =
       stamp_i (-.i_hist) rhs p.c_b
     done;
   for i = 0 to Array.length sys.vsrcs - 1 do
-    let p = sys.vsrcs.(i) in
-    rhs.(p.row) <- C.Waveform.eval p.v_wave t_now
+    rhs.(sys.vsrcs.(i).row) <- ws.vs_v.(i)
   done;
   for i = 0 to Array.length sys.isrcs - 1 do
     let p = sys.isrcs.(i) in
-    let i_src = C.Waveform.eval p.i_wave t_now in
+    let i_src = ws.is_i.(i) in
     stamp_i (-.i_src) rhs p.i_pos;
     stamp_i i_src rhs p.i_neg
   done;
@@ -401,21 +509,44 @@ let assemble_into sys ws ~(opts : Options.t) ~t_now ~x ~reactive =
     stamp_i ieq rhs p.m_s
   done
 
+let assemble_into sys ws ~(opts : Options.t) ~t_now ~x ~reactive =
+  eval_controls_into sys ws ~t_now;
+  assemble_into_pre sys ws ~opts ~x ~reactive
+
 module Chaos = Dramstress_util.Chaos
 
-let solve_in_place ws =
+let solve_in_place sys ws ~(opts : Options.t) =
   record_factor_solve ();
   if Chaos.armed () && Chaos.fire Chaos.Perturb_jacobian then
     (* zero a row: crisply rank-deficient, so the factorization's pivot
        guard must catch it — the detection the chaos harness asserts *)
     Array.fill ws.mat.(0) 0 ws.w_size 0.0;
-  let lu = L.lu_factor_in_place ws.mat ~perm:ws.perm in
-  L.lu_solve_in_place lu ~scratch:ws.scratch ws.rhs
+  if opts.dense_lu then begin
+    (* golden oracle: the dense in-place LU with per-factor partial
+       pivoting, selected like [naive_assembly] selects the reference
+       assembly *)
+    let lu = L.lu_factor_in_place ws.mat ~perm:ws.perm in
+    L.lu_solve_in_place lu ~scratch:ws.scratch ws.rhs
+  end
+  else begin
+    let slu =
+      match ws.slu with
+      | Some s -> s
+      | None ->
+        let s = Sp.make ~n:ws.w_size ~pattern:(structural_pattern sys) in
+        ws.slu <- Some s;
+        s
+    in
+    Sp.factor slu ws.mat;
+    Sp.solve slu ~scratch:ws.scratch ws.rhs
+  end
 
 let solution ws = ws.rhs
 
-let cap_currents sys ~(opts : Options.t) ~x ~reactive =
-  let out = Array.make sys.n_caps 0.0 in
+(* [out] may alias [reactive.prev_cap_current]: each capacitor reads
+   only its own slot's previous current before overwriting that same
+   slot, so the in-place update is well-defined. *)
+let cap_currents_into sys ~(opts : Options.t) ~x ~reactive ~out =
   if reactive.dt > 0.0 then
     Array.iter
       (fun p ->
@@ -429,5 +560,10 @@ let cap_currents sys ~(opts : Options.t) ~x ~reactive =
             -. reactive.prev_cap_current.(p.slot)
         in
         out.(p.slot) <- i)
-      sys.caps;
+      sys.caps
+  else Array.iter (fun p -> out.(p.slot) <- 0.0) sys.caps
+
+let cap_currents sys ~(opts : Options.t) ~x ~reactive =
+  let out = Array.make sys.n_caps 0.0 in
+  cap_currents_into sys ~opts ~x ~reactive ~out;
   out

@@ -57,6 +57,21 @@ val init_reactive : t -> prev_v:float array -> reactive
 (** [n_capacitors sys] — size of [prev_cap_current]. *)
 val n_capacitors : t -> int
 
+(** [resistor_index sys name] is the plan index of the named resistor,
+    for {!set_resistor_override} — the hook ensemble sweeps use to vary
+    one resistance (the defect) across lanes of a shared topology. *)
+val resistor_index : t -> string -> int option
+
+(** [resistor_g sys index] is the base conductance of plan [index]. *)
+val resistor_g : t -> int -> float
+
+(** [structural_pattern sys] is the [size x size] boolean nonzero
+    pattern of every system any assembly of [sys] can produce, derived
+    from the stamp plans (never from numeric values — a MOSFET [gm] or
+    switch conductance being zero {e now} says nothing about the next
+    iterate). Input for {!Dramstress_util.Sparse_lu.make}. *)
+val structural_pattern : t -> bool array array
+
 (** [assemble sys ~opts ~t ~x ~reactive] stamps the full linearized
     system at time [t] around iterate [x] and returns freshly allocated
     [(g, b)]. This is the reference from-scratch path; the workspace API
@@ -81,12 +96,42 @@ type workspace
 (** [make_workspace sys] allocates buffers sized for [sys]. *)
 val make_workspace : t -> workspace
 
-(** [assemble_into sys ws ~opts ~t_now ~x ~reactive] stamps the system
-    into [ws] without heap allocation: the static template is rebuilt
-    only when [(dt, gmin, integrator)] changed since the last call, then
-    copied row-wise and overlaid with the dynamic stamps (switch states,
-    source values at [t_now], capacitor history, MOSFET linearization
-    around [x]). *)
+(** [set_resistor_override ws ~index ~g] makes every subsequent assembly
+    stamp conductance [g] for resistor plan [index] instead of its
+    netlist value: the resistor is dropped from the static template
+    (rebuilt on the next assembly) and [g] stamped fresh after each
+    template copy, so the lane conductance is exact — no cancellation
+    against the base value. This is how ensemble sweeps give each lane
+    its own defect resistance over one shared topology. *)
+val set_resistor_override : workspace -> index:int -> g:float -> unit
+
+(** [clear_resistor_override ws] restores the netlist resistance. *)
+val clear_resistor_override : workspace -> unit
+
+(** [eval_controls_into sys ws ~t_now] evaluates every control waveform
+    (switch controls, source values) at [t_now] into workspace buffers
+    consumed by {!assemble_into_pre}. Split from assembly so ensemble
+    lanes sharing a time grid walk each waveform once per time point,
+    not once per lane. *)
+val eval_controls_into : t -> workspace -> t_now:float -> unit
+
+(** [assemble_into_pre sys ws ~opts ~x ~reactive] stamps the system from
+    the control values left by the last {!eval_controls_into}: template
+    copy (rebuilt only when [(dt, gmin, integrator, override)] changed),
+    then dynamic stamps — switch states, source values, capacitor
+    history, MOSFET linearization around [x]. *)
+val assemble_into_pre :
+  t ->
+  workspace ->
+  opts:Options.t ->
+  x:float array ->
+  reactive:reactive ->
+  unit
+
+(** [assemble_into sys ws ~opts ~t_now ~x ~reactive] is
+    {!eval_controls_into} followed by {!assemble_into_pre} — the
+    single-lane spelling, producing systems identical to {!assemble}
+    without heap allocation. *)
 val assemble_into :
   t ->
   workspace ->
@@ -96,10 +141,16 @@ val assemble_into :
   reactive:reactive ->
   unit
 
-(** [solve_in_place ws] factors the assembled matrix in place and
-    overwrites the assembled RHS with the solution ({!solution}).
-    Raises [Dramstress_util.Linalg.Singular] on a zero pivot. *)
-val solve_in_place : workspace -> unit
+(** [solve_in_place sys ws ~opts] factors the assembled matrix and
+    overwrites the assembled RHS with the solution ({!solution}). The
+    default path is the sparsity-aware factorization
+    ({!Dramstress_util.Sparse_lu}) reusing one symbolic analysis per
+    topology, held in the workspace; with [opts.dense_lu] the dense
+    in-place LU with per-factor partial pivoting runs instead — the
+    golden oracle, selected exactly like [naive_assembly]. Raises
+    [Dramstress_util.Linalg.Singular] on a rank-deficient (or
+    non-finite) system. *)
+val solve_in_place : t -> workspace -> opts:Options.t -> unit
 
 (** [solution ws] is the workspace RHS buffer, holding the solution
     after {!solve_in_place}. The array is reused by the next
@@ -111,6 +162,18 @@ val solution : workspace -> float array
     rule). *)
 val cap_currents :
   t -> opts:Options.t -> x:float array -> reactive:reactive -> float array
+
+(** Allocation-free variant writing into [out] (length >= n_capacitors).
+    [out] may alias [reactive.prev_cap_current]: each capacitor reads only
+    its own slot before overwriting it. With [reactive.dt <= 0] the slots
+    are zeroed, matching {!cap_currents}. *)
+val cap_currents_into :
+  t ->
+  opts:Options.t ->
+  x:float array ->
+  reactive:reactive ->
+  out:float array ->
+  unit
 
 (** [record_factor_solve ()] bumps the [engine.mna.lu_factors] /
     [engine.mna.lu_solves] telemetry counters — called by solver paths

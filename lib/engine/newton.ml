@@ -74,6 +74,13 @@ let sick ~t_now ~iter what =
   Tel.Counter.add c_iterations iter;
   raise (Numerical_health { t = t_now; iterations = iter; what })
 
+(* a singular LU surfaced from either factorization path: counted on the
+   health counter, then converted to the typed error *)
+let sick_singular ~t_now ~iter ~row ~pivot =
+  Tel.Counter.incr c_singular;
+  sick ~t_now ~iter
+    (Printf.sprintf "singular system (row %d, pivot %.3g)" row pivot)
+
 (* runtime health monitor, shared by both solve paths. All three checks
    raise typed errors that the retry ladder above understands — a sick
    state never leaves the solver as a plausible-looking voltage. *)
@@ -93,14 +100,24 @@ let check_finite ~t_now ~iter x =
       (Printf.sprintf "non-finite state (%h at unknown %d)" x.(!bad) !bad)
   end
 
-(* the clock is read on the first iteration (an already-expired budget
-   trips before any work) and every 8th after, so a hung solve is cut
-   within 8 iterations of the deadline at 1/8 the gettimeofday cost *)
-let check_deadline ~deadline_at ~t_now ~iter =
+(* The clock is read once per 16 deadline checks, with the phase carried
+   across solves: most solves converge in a handful of iterations, so a
+   per-solve phase would still pay one gettimeofday per time point,
+   while the shared counter amortizes the poll over ~16 Newton
+   iterations regardless of solve boundaries. A hung (or already
+   expired) run is cut within 16 iterations of the deadline — tens of
+   microseconds against seconds-scale budgets. The counter is a plain
+   ref: deadline runs are scalar/per-domain, and a racy phase merely
+   shifts when the next poll lands. *)
+let poll_phase = ref 0
+
+let check_deadline ~deadline_at ~t_now ~iter:_ =
   match deadline_at with
   | None -> ()
   | Some (at, budget_s) ->
-    if iter land 7 = 1 && Unix.gettimeofday () > at then
+    let ph = !poll_phase + 1 in
+    poll_phase := ph;
+    if ph land 15 = 0 && Unix.gettimeofday () > at then
       raise (Timeout { t = t_now; budget_s })
 
 (* the chaos sites local to the solver; both are no-ops while dormant *)
@@ -124,9 +141,7 @@ let solve_naive sys ~(opts : Options.t) ?deadline_at ~t_now ~reactive ~x0 () =
       match L.lu_solve (L.lu_factor mat) rhs with
       | x_new -> x_new
       | exception L.Singular { row; pivot } ->
-        Tel.Counter.incr c_singular;
-        sick ~t_now ~iter
-          (Printf.sprintf "singular system (row %d, pivot %.3g)" row pivot)
+        sick_singular ~t_now ~iter ~row ~pivot
     in
     let worst = apply_update ~opts ~n_node_unknowns x x_new in
     chaos_nan x;
@@ -149,12 +164,10 @@ let solve_ws sys ws ~(opts : Options.t) ?deadline_at ~t_now ~reactive ~x0 () =
   let rec iterate iter =
     check_deadline ~deadline_at ~t_now ~iter;
     Mna.assemble_into sys ws ~opts ~t_now ~x ~reactive;
-    (match Mna.solve_in_place ws with
+    (match Mna.solve_in_place sys ws ~opts with
     | () -> ()
     | exception L.Singular { row; pivot } ->
-      Tel.Counter.incr c_singular;
-      sick ~t_now ~iter
-        (Printf.sprintf "singular system (row %d, pivot %.3g)" row pivot));
+      sick_singular ~t_now ~iter ~row ~pivot);
     let worst = apply_update ~opts ~n_node_unknowns x (Mna.solution ws) in
     chaos_nan x;
     if opts.health_guards then check_finite ~t_now ~iter x;

@@ -54,3 +54,46 @@ val solve :
   x0:float array ->
   unit ->
   float array
+
+(** {2 Iteration building blocks}
+
+    Exposed for {!Ensemble}, which interleaves the iterations of many
+    lanes and therefore cannot call {!solve} — but must remain
+    step-for-step identical to it per lane. Not a stable API for other
+    callers. *)
+
+(** [apply_update ~opts ~n_node_unknowns x x_new] applies the clamped
+    Newton update from [x_new] onto [x] and returns the worst
+    node-voltage move (before clamping). *)
+val apply_update :
+  opts:Options.t -> n_node_unknowns:int -> float array -> float array -> float
+
+(** [tolerance ~opts x] is the convergence bound
+    [abstol + reltol * max_i |x_i|]. *)
+val tolerance : opts:Options.t -> float array -> float
+
+(** [record_solve iterations] feeds the solve/iteration telemetry for
+    one converged solve. *)
+val record_solve : int -> unit
+
+(** [fail ~t_now ~iter ~worst] counts and raises {!No_convergence}. *)
+val fail : t_now:float -> iter:int -> worst:float -> 'a
+
+(** [sick ~t_now ~iter what] counts and raises {!Numerical_health}. *)
+val sick : t_now:float -> iter:int -> string -> 'a
+
+(** [sick_singular ~t_now ~iter ~row ~pivot] counts a singular LU on
+    [engine.health.singular_lu] and raises {!Numerical_health}. *)
+val sick_singular : t_now:float -> iter:int -> row:int -> pivot:float -> 'a
+
+(** [check_finite ~t_now ~iter x] raises {!Numerical_health} (counting
+    [engine.health.nan_detected]) if [x] holds a NaN or infinity. *)
+val check_finite : t_now:float -> iter:int -> float array -> unit
+
+(** [chaos_diverge ()] queries the [Force_newton_diverge] chaos site —
+    [true] forces this solve to run to its iteration cap. *)
+val chaos_diverge : unit -> bool
+
+(** [chaos_nan x] queries the [Inject_nan_state] chaos site and, when it
+    fires, poisons [x.(0)] with a NaN. *)
+val chaos_nan : float array -> unit

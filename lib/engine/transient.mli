@@ -34,6 +34,15 @@ exception
     context (segment bounds, final step size, retry budget) for
     sweep-level callers to report which operating point diverged. *)
 
+(** [make_interps times probe_names probe_values] builds the interpolant
+    table of a {!result} from strictly increasing sample times. Exposed
+    for {!Ensemble}, which assembles per-lane results itself. *)
+val make_interps :
+  float array ->
+  string array ->
+  float array array ->
+  (string, Dramstress_util.Interp.t) Hashtbl.t
+
 (** [probe result name] is the sampled waveform of a probe as an
     interpolating curve. Raises [Not_found] for unknown probes. *)
 val probe : result -> string -> Dramstress_util.Interp.t

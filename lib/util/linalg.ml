@@ -111,6 +111,8 @@ let factor_loop lu perm n =
     done
   done
 
+let lu_perm { perm; _ } = perm
+
 let lu_factor a =
   let n, m = dims a in
   assert (n = m);

@@ -51,6 +51,12 @@ val lu_solve : lu -> float array -> float array
     aliases [a] and [perm]. Raises [Singular] like {!lu_factor}. *)
 val lu_factor_in_place : matrix -> perm:int array -> lu
 
+(** [lu_perm f] is the row permutation chosen by partial pivoting:
+    factored row [i] holds original row [lu_perm f].(i). {!Sparse_lu}
+    seeds its fixed pivot order from this. The array aliases the
+    factorization's own state — do not mutate. *)
+val lu_perm : lu -> int array
+
 (** [lu_solve_in_place lu ~scratch b] overwrites [b] with the solution of
     [a * x = b], allocation-free. [scratch] is caller-owned workspace of
     at least the system size; its contents are clobbered. *)

@@ -21,22 +21,52 @@ let h_tasks_per_worker =
   Tel.Histogram.make ~unit_:"tasks" ~lo:1.0 ~hi:1e6 ~buckets:24
     "util.par.tasks_per_worker"
 
-(* the single resolution point for every ?jobs in the code base:
-   explicit argument > DRAMSTRESS_JOBS environment > recommended count *)
-let resolve_jobs ?jobs () =
-  match jobs with
+(* One clamping/validation point shared by every worker-count knob
+   (jobs, ensemble lanes): explicit argument > environment variable >
+   default. An explicit value clamps to at least 1; environment junk —
+   unparsable text, zero, negatives — degrades to the default rather
+   than diverging per knob. *)
+let clamp_count ?explicit ~env ~default () =
+  match explicit with
   | Some j -> Int.max 1 j
   | None -> begin
-    match Sys.getenv_opt "DRAMSTRESS_JOBS" with
+    match Sys.getenv_opt env with
     | Some s -> begin
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> n
-      | Some _ | None -> Domain.recommended_domain_count ()
+      | Some _ | None -> default ()
     end
-    | None -> Domain.recommended_domain_count ()
+    | None -> default ()
   end
 
+(* the single resolution point for every ?jobs in the code base:
+   explicit argument > DRAMSTRESS_JOBS environment > recommended count *)
+let resolve_jobs ?jobs () =
+  clamp_count ?explicit:jobs ~env:"DRAMSTRESS_JOBS"
+    ~default:Domain.recommended_domain_count ()
+
+let default_lanes = 16
+
+(* same precedence and degradation for the ensemble lane count:
+   explicit argument > DRAMSTRESS_LANES environment > 16 *)
+let resolve_lanes ?lanes () =
+  clamp_count ?explicit:lanes ~env:"DRAMSTRESS_LANES"
+    ~default:(fun () -> default_lanes) ()
+
 let default_jobs () = resolve_jobs ()
+
+(* order-preserving split into consecutive runs of at most [size]; used
+   by batched sweeps to cut a lane list into ensemble-width chunks that
+   then fan out over domains *)
+let chunks ~size xs =
+  if size < 1 then invalid_arg "Par.chunks: size < 1";
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+      else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
 
 let parallel_map ?jobs f xs =
   let jobs = resolve_jobs ?jobs () in

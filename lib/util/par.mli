@@ -21,9 +21,39 @@
     A resolved value of [1] disables parallelism everywhere it is used. *)
 val resolve_jobs : ?jobs:int -> unit -> int
 
+(** [clamp_count ?explicit ~env ~default ()] is the clamping/validation
+    helper behind {!resolve_jobs} and {!resolve_lanes}: an [explicit]
+    value is clamped to at least 1; otherwise the [env] environment
+    variable is consulted and anything that does not parse as a positive
+    integer (junk text, [0], negatives) degrades to [default ()]. *)
+val clamp_count :
+  ?explicit:int -> env:string -> default:(unit -> int) -> unit -> int
+
+(** [resolve_lanes ?lanes ()] resolves the ensemble batch width with the
+    same precedence and degradation rules as {!resolve_jobs}:
+
+    + the explicit [lanes] argument (clamped to at least 1),
+    + the [DRAMSTRESS_LANES] environment variable when it parses as a
+      positive integer,
+    + {!default_lanes}.
+
+    A resolved value of [1] disables the batched ensemble path. *)
+val resolve_lanes : ?lanes:int -> unit -> int
+
+(** The default ensemble batch width ([16]) when neither an explicit
+    lane count nor [DRAMSTRESS_LANES] is given. *)
+val default_lanes : int
+
 (** [default_jobs ()] is [resolve_jobs ()] — kept for callers of the
     original API; new code should use {!resolve_jobs}. *)
 val default_jobs : unit -> int
+
+(** [chunks ~size xs] splits [xs] into consecutive runs of at most
+    [size] elements, preserving order ([List.concat (chunks ~size xs) =
+    xs]). Batched sweeps use it to cut a lane list into ensemble-width
+    chunks before fanning the chunks out over domains. Raises
+    [Invalid_argument] when [size < 1]. *)
+val chunks : size:int -> 'a list -> 'a list list
 
 (** [parallel_map ?jobs f xs] maps [f] over [xs] using up to [jobs]
     domains (default {!resolve_jobs}); items are self-scheduled one at a

@@ -715,6 +715,49 @@ let test_table1_quick () =
   Alcotest.(check bool) "csv header" true
     (String.length csv > 50 && String.sub csv 0 6 = "defect")
 
+(* ------------------------------------------------------------------ *)
+(* Batched sweeps: golden parity with the scalar path                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_batched_sweeps_match_scalar () =
+  (* with memoization off so both configurations really simulate, a
+     border search and a write plane must come out identical whether
+     the points run through the scalar path (lanes = 1) or the batched
+     ensemble (lanes = 8) *)
+  let module Sc = Dramstress_dram.Sim_config in
+  let scalar = Sc.v ~lanes:1 () in
+  let batched = Sc.v ~lanes:8 () in
+  O.set_caching false;
+  Fun.protect ~finally:(fun () -> O.set_caching true) @@ fun () ->
+  let cond = C.Detection.standard ~victim:0 ~primes:2 in
+  let br config =
+    C.Border.search ~config ~r_max:1e8 ~stress:nominal ~kind:open_kind
+      ~placement:D.True_bl cond
+  in
+  Alcotest.(check bool) "border search identical" true
+    (C.Border.equal_result (br scalar) (br batched));
+  let plane config =
+    C.Plane.write_plane ~config ~jobs:1 ~n_ops:2
+      ~rops:[ 1e4; 1e5; 1e6; 1e7 ] ~stress:nominal ~kind:D.Short_to_gnd
+      ~placement:D.True_bl ~op:O.W0 ()
+  in
+  let ps = plane scalar and pb = plane batched in
+  (* the shared-ensemble LU uses one pivot order for the whole batch
+     while each scalar point factors with its own, so voltages agree to
+     rounding (1e-9), not bit-exactly; the grid itself is exact *)
+  Alcotest.(check (float 1e-9)) "vmp matches" ps.C.Plane.vmp pb.C.Plane.vmp;
+  Alcotest.(check (list (float 0.0)))
+    "surviving resistances identical" ps.C.Plane.rops pb.C.Plane.rops;
+  List.iter2
+    (fun (cs : C.Plane.curve) (cb : C.Plane.curve) ->
+      Alcotest.(check string) "curve label" cs.C.Plane.label cb.C.Plane.label;
+      List.iter2
+        (fun (p : C.Plane.point) (q : C.Plane.point) ->
+          Alcotest.(check (float 0.0)) "point r" p.C.Plane.r q.C.Plane.r;
+          Alcotest.(check (float 1e-9)) "point vc" p.C.Plane.vc q.C.Plane.vc)
+        cs.C.Plane.points cb.C.Plane.points)
+    ps.C.Plane.curves pb.C.Plane.curves
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -757,6 +800,7 @@ let () =
             test_plane_all_points_failed_renders;
           slow "checkpoint resume is byte-identical"
             test_plane_checkpoint_resume_identical;
+          slow "batched sweeps match scalar" test_batched_sweeps_match_scalar;
         ] );
       ( "stressor",
         [

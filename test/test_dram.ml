@@ -569,6 +569,141 @@ let test_sweep_survives_singular_chaos () =
     outcomes
 
 (* ------------------------------------------------------------------ *)
+(* Batched execution: golden parity with the scalar path               *)
+(* ------------------------------------------------------------------ *)
+
+let rel_close eps a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs b)
+
+let check_op_parity ~ctx (br : O.op_result) (sr : O.op_result) =
+  Alcotest.(check bool)
+    (ctx ^ ": vc_end matches scalar")
+    true
+    (rel_close 1e-9 br.O.vc_end sr.O.vc_end);
+  (match (br.O.sensed, sr.O.sensed) with
+  | Some b, Some s -> Alcotest.(check int) (ctx ^ ": sensed bit") s b
+  | None, None -> ()
+  | _ -> Alcotest.failf "%s: sensed presence differs" ctx);
+  match (br.O.separation, sr.O.separation) with
+  | Some b, Some s ->
+    Alcotest.(check bool) (ctx ^ ": separation") true (rel_close 1e-9 b s)
+  | None, None -> ()
+  | _ -> Alcotest.failf "%s: separation presence differs" ctx
+
+(* batched and scalar runs of one defect class, both with memoization
+   off so every lane really simulates on its own path *)
+let batch_vs_scalar ~tag ~kind ~placement ~rs ops =
+  let lanes =
+    List.mapi
+      (fun i r ->
+        {
+          O.defect = Some (D.v kind placement r);
+          vc_init = (if i mod 2 = 0 then 0.0 else 2.4);
+        })
+      rs
+  in
+  let bcache = O.Cache.create ~enabled:false () in
+  let scache = O.Cache.create ~enabled:false () in
+  let batched = O.run_batch ~cache:bcache ~stress:nominal ~lanes ops in
+  List.iteri
+    (fun i lane ->
+      let ctx = Printf.sprintf "%s lane %d" tag i in
+      let scalar =
+        O.run ~cache:scache ?defect:lane.O.defect ~vc_init:lane.O.vc_init
+          ~stress:nominal ops
+      in
+      match List.nth batched i with
+      | Error e -> Alcotest.failf "%s failed: %s" ctx (Printexc.to_string e)
+      | Ok oc ->
+        Alcotest.(check int)
+          (ctx ^ ": op count")
+          (List.length scalar.O.results)
+          (List.length oc.O.results);
+        List.iter2 (check_op_parity ~ctx) oc.O.results scalar.O.results)
+    lanes
+
+let test_batch_matches_scalar_all_classes () =
+  (* every defect class (and both placements for the open), through the
+     paper's detection sequence: per-lane cycle-end voltages, sensed
+     bits and sense separations agree with the scalar path to 1e-9 *)
+  let ops = [ O.W1; O.W1; O.W0; O.R ] in
+  let rs = [ 1e4; 3e5; 1e7; 1e8 ] in
+  List.iter
+    (fun (tag, kind, placement) -> batch_vs_scalar ~tag ~kind ~placement ~rs ops)
+    [
+      ("O1", D.Open_cell D.At_bitline_contact, D.True_bl);
+      ("O2", D.Open_cell D.At_capacitor_contact, D.True_bl);
+      ("O3", D.Open_cell D.At_plate_contact, D.True_bl);
+      ("Sg", D.Short_to_gnd, D.True_bl);
+      ("Sv", D.Short_to_vdd, D.True_bl);
+      ("B1", D.Bridge_to_paired_bl, D.True_bl);
+      ("B2", D.Bridge_to_neighbour, D.True_bl);
+      ("O1/comp", D.Open_cell D.At_bitline_contact, D.Comp_bl);
+    ]
+
+let test_batch_matches_scalar_retention_stream () =
+  (* a stream with an idle retention segment and two reads — the grid
+     has multi-scale segments, the reads exercise the sense path twice *)
+  let ops = [ O.W1; O.Pause 1e-4; O.R; O.W0; O.R ] in
+  let rs = [ 2e5; 5e7 ] in
+  batch_vs_scalar ~tag:"Sg/pause" ~kind:D.Short_to_gnd ~placement:D.True_bl
+    ~rs ops;
+  batch_vs_scalar ~tag:"B2/pause" ~kind:D.Bridge_to_neighbour
+    ~placement:D.True_bl ~rs ops
+
+let test_batch_exhausted_lane_isolated () =
+  (* a lane with a non-finite initial state dies inside the ensemble,
+     falls back to the scalar ladder, exhausts it, and surfaces as an
+     [Error] slot — its batch mates must be bit-identical to the same
+     batch run without the doomed lane's poison *)
+  let ops = [ O.W0; O.R ] in
+  let mk i vc =
+    {
+      O.defect = Some (D.v D.Short_to_gnd D.True_bl (1e5 *. float_of_int (i + 1)));
+      vc_init = vc;
+    }
+  in
+  let clean_lanes = List.init 4 (fun i -> mk i 2.4) in
+  let poisoned_lanes =
+    List.mapi
+      (fun i l -> if i = 2 then { l with O.vc_init = Float.infinity } else l)
+      clean_lanes
+  in
+  let fb0 = O.lane_fallbacks () in
+  let clean =
+    O.run_batch
+      ~cache:(O.Cache.create ~enabled:false ())
+      ~stress:nominal ~lanes:clean_lanes ops
+  in
+  Alcotest.(check int) "clean batch: no fallback" fb0 (O.lane_fallbacks ());
+  let poisoned =
+    O.run_batch
+      ~cache:(O.Cache.create ~enabled:false ())
+      ~stress:nominal ~lanes:poisoned_lanes ops
+  in
+  Alcotest.(check int)
+    "exactly one lane fell back to the scalar ladder" (fb0 + 1)
+    (O.lane_fallbacks ());
+  List.iteri
+    (fun i (c, p) ->
+      match (i, c, p) with
+      | 2, _, Error (O.Exhausted_retries _) -> ()
+      | 2, _, Error e ->
+        Alcotest.failf "doomed lane: unexpected error %s" (Printexc.to_string e)
+      | 2, _, Ok _ -> Alcotest.fail "doomed lane unexpectedly converged"
+      | _, Ok co, Ok po ->
+        List.iter2
+          (fun (cr : O.op_result) (pr : O.op_result) ->
+            Alcotest.(check bool)
+              (Printf.sprintf "lane %d vc_end bitwise-unaffected" i)
+              true
+              (Int64.equal
+                 (Int64.bits_of_float cr.O.vc_end)
+                 (Int64.bits_of_float pr.O.vc_end)))
+          co.O.results po.O.results
+      | _, _, _ -> Alcotest.failf "lane %d failed unexpectedly" i)
+    (List.combine clean poisoned)
+
+(* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -667,6 +802,14 @@ let () =
           tc "hung point cut off, sweep finishes" test_sweep_hung_point_cut_off;
           tc "transient NaN rescued by halving" test_nan_once_rescued_by_halving;
           tc "sweep survives singular chaos" test_sweep_survives_singular_chaos;
+        ] );
+      ( "batched parity",
+        [
+          tc "all defect classes match scalar"
+            test_batch_matches_scalar_all_classes;
+          tc "retention stream matches scalar"
+            test_batch_matches_scalar_retention_stream;
+          tc "exhausted lane isolated" test_batch_exhausted_lane_isolated;
         ] );
       ( "properties",
         [

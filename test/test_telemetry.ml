@@ -198,6 +198,7 @@ let test_cache_counters_reconcile () =
   O.clear_cache ();
   O.Cache.reset_stats O.Cache.default;
   O.reset_run_count ();
+  O.reset_lane_fallbacks ();
   Tel.reset ();
   Tel.set_enabled true;
   let plane () =
@@ -226,9 +227,13 @@ let test_cache_counters_reconcile () =
   Alcotest.(check int) "repeat sweep adds no misses" mid.misses st.misses;
   Alcotest.(check bool) "repeat sweep hits the cache" true
     (st.hits > mid.hits);
-  (* every electrical simulation is one transient run *)
-  Alcotest.(check int) "misses = transient runs" st.misses
-    (cval snap "engine.transient.runs");
+  (* every electrical simulation is one transient run (scalar path) or
+     one ensemble lane (batched path); with no retries or lane
+     fallbacks in this healthy sweep the ledgers reconcile exactly *)
+  Alcotest.(check int) "misses = transient runs + ensemble lanes" st.misses
+    (cval snap "engine.transient.runs" + cval snap "engine.ensemble.lanes");
+  Alcotest.(check int) "no lane fell back to the scalar ladder" 0
+    (O.lane_fallbacks ());
   (* and the planes themselves agree *)
   Alcotest.(check (float 1e-12)) "cached sweep reproduces vmp" p1.vmp p2.vmp
 

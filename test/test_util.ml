@@ -490,6 +490,58 @@ let test_par_empty_and_singleton () =
 let test_par_default_jobs () =
   Alcotest.(check bool) "at least one domain" true (Par.default_jobs () >= 1)
 
+let test_par_chunks () =
+  let check_split ~size xs =
+    let cs = Par.chunks ~size xs in
+    Alcotest.(check (list int))
+      (Printf.sprintf "concat inverts at size %d" size)
+      xs (List.concat cs);
+    List.iteri
+      (fun i c ->
+        let len = List.length c in
+        Alcotest.(check bool) "chunk non-empty" true (len > 0);
+        Alcotest.(check bool) "chunk within size" true (len <= size);
+        (* every chunk but the last is full *)
+        if i < List.length cs - 1 then
+          Alcotest.(check int) "interior chunk full" size len)
+      cs
+  in
+  List.iter
+    (fun size ->
+      check_split ~size [];
+      check_split ~size (List.init 1 Fun.id);
+      check_split ~size (List.init 16 Fun.id);
+      check_split ~size (List.init 17 Fun.id))
+    [ 1; 3; 16; 100 ];
+  Alcotest.check_raises "size 0 rejected"
+    (Invalid_argument "Par.chunks: size < 1") (fun () ->
+      ignore (Par.chunks ~size:0 [ 1 ]))
+
+let test_resolve_lanes () =
+  (* same precedence and degradation contract as resolve_jobs, on the
+     DRAMSTRESS_LANES variable *)
+  let with_env v f =
+    let old = Sys.getenv_opt "DRAMSTRESS_LANES" in
+    Unix.putenv "DRAMSTRESS_LANES" v;
+    Fun.protect f ~finally:(fun () ->
+        Unix.putenv "DRAMSTRESS_LANES" (Option.value old ~default:""))
+  in
+  with_env "5" (fun () ->
+      Alcotest.(check int) "env wins over default" 5 (Par.resolve_lanes ());
+      Alcotest.(check int) "explicit arg wins over env" 3
+        (Par.resolve_lanes ~lanes:3 ());
+      Alcotest.(check int) "arg clamped to >= 1" 1
+        (Par.resolve_lanes ~lanes:0 ()));
+  with_env "junk" (fun () ->
+      Alcotest.(check int) "junk env falls back to the default"
+        Par.default_lanes (Par.resolve_lanes ()));
+  with_env "-2" (fun () ->
+      Alcotest.(check int) "negative env falls back to the default"
+        Par.default_lanes (Par.resolve_lanes ()));
+  with_env "" (fun () ->
+      Alcotest.(check int) "unset env takes the default" Par.default_lanes
+        (Par.resolve_lanes ()))
+
 let test_par_first_failure_wins () =
   (* at jobs = 1 the sequential path is deterministic: the FIRST failing
      item's exception is the one re-raised, later failures never run *)
@@ -1131,6 +1183,8 @@ let () =
           tc "exceptions propagate" test_par_exception_propagates;
           tc "empty and singleton inputs" test_par_empty_and_singleton;
           tc "default job count" test_par_default_jobs;
+          tc "chunks split/concat contract" test_par_chunks;
+          tc "resolve_lanes precedence" test_resolve_lanes;
           tc "first failure wins" test_par_first_failure_wins;
           tc "failure abandons remaining items" test_par_abandons_after_failure;
           tc "worker backtrace preserved" test_par_backtrace_preserved;
