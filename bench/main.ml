@@ -498,6 +498,67 @@ let perf_engine_ab () =
   O.set_caching true;
   let shmoo_fast = wall (shmoo_row sim_fast) in
   O.set_cache_capacity 512;
+  (* --- adaptive planner tripwire ------------------------------------ *)
+  (* The PR-7 acceptance: on a dense border window the adaptive campaign
+     planner must reach the exact grid-strategy borders from >= 5x fewer
+     simulated points. Two campaigns identical but for the strategy
+     field, each against a fresh store and a cleared solver cache;
+     [O.simulations] counts solver cache misses — the honest cost metric
+     (store reuse and LRU hits are free). *)
+  let module Cm = Dramstress_campaign.Manifest in
+  let module Cr = Dramstress_campaign.Runner in
+  let module St = Dramstress_util.Store in
+  let planner_manifest strategy =
+    Printf.sprintf
+      "(campaign (name adapt-bench) (defects (O1 true)) (stress nominal) \
+       (sweep (vdd 2.1 2.4 2.7)) (detections (seq \"w1 w1 w0 r0\")) \
+       (border (r-min 1e4) (r-max 1e8) (grid-points 65) (rel-tol 0.05) \
+       (strategy %s)))"
+      strategy
+  in
+  let with_temp_store name f =
+    let dir = Filename.temp_file "dramstress_bench" "" in
+    Sys.remove dir;
+    let rec rm p =
+      if Sys.file_exists p then
+        if Sys.is_directory p then begin
+          Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+          Sys.rmdir p
+        end
+        else Sys.remove p
+    in
+    Fun.protect
+      ~finally:(fun () -> try rm dir with Sys_error _ -> ())
+      (fun () ->
+        let store = St.open_ ~engine:"bench" ~name dir in
+        Fun.protect ~finally:(fun () -> St.close store) (fun () -> f store))
+  in
+  let run_planner strategy =
+    let m = Cm.of_string (planner_manifest strategy) in
+    with_temp_store m.Cm.name @@ fun store ->
+    O.clear_cache ();
+    let before = O.simulations () in
+    let r = Cr.run ~jobs:1 ~store m in
+    (r, O.simulations () - before)
+  in
+  let planner_grid, planner_grid_sims = run_planner "grid" in
+  let planner_adaptive, planner_adaptive_sims = run_planner "adaptive" in
+  let planner_ratio =
+    ratio (float_of_int planner_grid_sims) (float_of_int planner_adaptive_sims)
+  in
+  let planner_limit = 5.0 in
+  let planner_parity =
+    List.length planner_grid.Cr.results = 4
+    && List.length planner_adaptive.Cr.results = 4
+    && List.for_all2
+         (fun (_, (g : Dramstress_campaign.Plan.result))
+              (_, (a : Dramstress_campaign.Plan.result)) ->
+           C.Border.equal_result g.Dramstress_campaign.Plan.br
+             a.Dramstress_campaign.Plan.br)
+         planner_grid.Cr.results planner_adaptive.Cr.results
+  in
+  let planner_ok = planner_ratio >= planner_limit && planner_parity in
+  O.set_cache_capacity 512;
   (* --- disabled-telemetry overhead guard ---------------------------- *)
   (* The probes are compiled into the hot path, so there is no probe-free
      build to A/B against. Bound the overhead arithmetically instead:
@@ -574,6 +635,13 @@ let perf_engine_ab () =
   Printf.printf "  %-34s naive %10.3f   incremental %10.3f   speedup %5.2fx\n"
     "shmoo row, plot + re-plot (s)" shmoo_naive shmoo_fast
     (ratio shmoo_naive shmoo_fast);
+  Printf.printf
+    "  %-34s grid  %10d   adaptive    %10d   ratio %6.2fx (limit %.0fx, \
+     parity %s: %s)\n"
+    "planner simulated points" planner_grid_sims planner_adaptive_sims
+    planner_ratio planner_limit
+    (if planner_parity then "ok" else "VIOLATED")
+    (if planner_ok then "ok" else "BELOW");
   Printf.printf "  %-34s naive %10.0f   incremental %10.0f   (limit %.0f: %s)\n"
     "minor words / point" words_naive words_fast alloc_limit
     (if alloc_ok then "ok" else "EXCEEDED");
@@ -604,6 +672,9 @@ let perf_engine_ab () =
        %b, \"ok\": %b },\n\
       \  \"shmoo_plot_replot_s\": { \"naive\": %.4f, \"incremental\": %.4f, \
        \"speedup\": %.2f },\n\
+      \  \"adaptive_planner\": { \"grid_simulations\": %d, \
+       \"adaptive_simulations\": %d, \"ratio\": %.2f, \"limit\": %.1f, \
+       \"parity\": %b, \"within_limit\": %b },\n\
       \  \"plane_cache\": { \"hits\": %d, \"misses\": %d, \"hit_rate\": %.3f \
        },\n\
       \  \"minor_words_per_point\": { \"naive\": %.0f, \"incremental\": %.0f, \
@@ -618,7 +689,9 @@ let perf_engine_ab () =
       lane_alloc_ok chaos_injected chaos_fallbacks doomed_fallbacks
       chaos_all_ok chaos_others_bitwise doomed_isolated chaos_ok shmoo_naive
       shmoo_fast
-      (ratio shmoo_naive shmoo_fast) cache.O.hits cache.O.misses hit_rate
+      (ratio shmoo_naive shmoo_fast)
+      planner_grid_sims planner_adaptive_sims planner_ratio planner_limit
+      planner_parity planner_ok cache.O.hits cache.O.misses hit_rate
       words_naive words_fast alloc_limit alloc_ok probe_ns probe_calls
       overhead_pct overhead_limit_pct overhead_ok
   in

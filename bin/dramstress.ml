@@ -56,6 +56,41 @@ let duty_arg =
 
 let stress_of tcyc vdd temp duty = { S.tcyc; vdd; temp_c = temp; duty }
 
+(* border-search window flags, shared by the commands that search *)
+let r_min_arg =
+  Arg.(value & opt (some float) None
+       & info [ "r-min" ] ~docv:"OHM" ~doc:"Border-search window low end.")
+
+let r_max_arg =
+  Arg.(value & opt (some float) None
+       & info [ "r-max" ] ~docv:"OHM" ~doc:"Border-search window high end.")
+
+let grid_points_arg =
+  Arg.(value & opt (some int) None
+       & info [ "grid-points" ] ~docv:"N"
+           ~doc:"Border-search log-grid resolution.")
+
+let rel_tol_arg =
+  Arg.(value & opt (some float) None
+       & info [ "rel-tol" ] ~docv:"TOL"
+           ~doc:"Relative tolerance of edge bisection.")
+
+let adaptive_arg =
+  Arg.(value & flag
+       & info [ "adaptive" ]
+           ~doc:"Scan the border window adaptively (sparse probing of the \
+                 same grid) instead of exhaustively.")
+
+let window_term =
+  let v r_min r_max grid_points rel_tol adaptive =
+    C.Border.Window.over ?r_min ?r_max ?grid_points ?rel_tol
+      ~strategy:
+        (if adaptive then C.Border.Window.Adaptive else C.Border.Window.Grid)
+      ()
+  in
+  Term.(const v $ r_min_arg $ r_max_arg $ grid_points_arg $ rel_tol_arg
+        $ adaptive_arg)
+
 (* ------------------------------------------------------------------ *)
 (* telemetry: --metrics / --trace on every subcommand                  *)
 (* ------------------------------------------------------------------ *)
@@ -347,7 +382,7 @@ let br_cmd =
              ~doc:"Detection condition, e.g. 'w1 w1 w0 r0'; reads carry \
                    their expected bit. Default: synthesized best.")
   in
-  let run tel ck kind placement cond tcyc vdd temp duty =
+  let run tel ck window kind placement cond tcyc vdd temp duty =
     with_telemetry tel @@ fun () ->
     with_checkpoint ck @@ fun checkpoint ->
     let stress = stress_of tcyc vdd temp duty in
@@ -367,36 +402,43 @@ let br_cmd =
           (String.split_on_char ' ' s |> List.filter (( <> ) ""))
       in
       let detection = C.Detection.v steps in
-      let br = C.Border.search ?checkpoint ~stress ~kind ~placement detection in
+      let br =
+        C.Border.search ?checkpoint ~window ~stress ~kind ~placement
+          detection
+      in
       Format.printf "%a under %a: %a@." C.Detection.pp detection S.pp stress
         C.Border.pp_result br
     | None ->
       let detection, br =
-        C.Sc_eval.best_detection ?checkpoint ~stress ~kind ~placement ()
+        C.Sc_eval.best_detection ?checkpoint ~window ~stress ~kind ~placement
+          ()
       in
       Format.printf "best detection %a under %a: %a@." C.Detection.pp
         detection S.pp stress C.Border.pp_result br
   in
   Cmd.v (Cmd.info "br" ~doc:"Search the border resistance of a defect")
-    Term.(const run $ telemetry_term $ checkpoint_term $ kind_arg
-          $ placement_arg $ cond_arg $ tcyc_arg $ vdd_arg $ temp_arg
-          $ duty_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ window_term
+          $ kind_arg $ placement_arg $ cond_arg $ tcyc_arg $ vdd_arg
+          $ temp_arg $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* stress: full optimization for one defect                            *)
 (* ------------------------------------------------------------------ *)
 
 let stress_cmd =
-  let run tel ck kind placement tcyc vdd temp duty =
+  let run tel ck window kind placement tcyc vdd temp duty =
     with_telemetry tel @@ fun () ->
     with_checkpoint ck @@ fun checkpoint ->
     let nominal = stress_of tcyc vdd temp duty in
-    let e = C.Sc_eval.evaluate ?checkpoint ~nominal ~kind ~placement () in
+    let e =
+      C.Sc_eval.evaluate ?checkpoint ~window ~nominal ~kind ~placement ()
+    in
     Format.printf "%a@." C.Sc_eval.pp e
   in
   Cmd.v (Cmd.info "stress" ~doc:"Optimize the stress combination for one defect (Section 4)")
-    Term.(const run $ telemetry_term $ checkpoint_term $ kind_arg
-          $ placement_arg $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg)
+    Term.(const run $ telemetry_term $ checkpoint_term $ window_term
+          $ kind_arg $ placement_arg $ tcyc_arg $ vdd_arg $ temp_arg
+          $ duty_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)

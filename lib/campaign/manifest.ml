@@ -2,6 +2,7 @@ module D = Dramstress_defect.Defect
 module S = Dramstress_dram.Stress
 module Sc = Dramstress_dram.Sim_config
 module Det = Dramstress_core.Detection
+module W = Dramstress_core.Border.Window
 module M = Dramstress_march.March
 
 type detection_spec =
@@ -16,10 +17,7 @@ type t = {
   stresses : (string * S.t) list;
   detections : detection_spec list;
   config : Sc.t;
-  r_min : float;
-  r_max : float;
-  grid_points : int;
-  rel_tol : float;
+  window : W.t;
 }
 
 type diagnostic =
@@ -515,10 +513,11 @@ let of_string ?(source = "<string>") src =
                 })))
     (List.rev !sim_fields);
   (* border section *)
-  let r_min = ref 1e3
-  and r_max = ref 1e11
-  and grid_points = ref 13
-  and rel_tol = ref 0.01 in
+  let r_min = ref W.default.W.r_min
+  and r_max = ref W.default.W.r_max
+  and grid_points = ref W.default.W.grid_points
+  and rel_tol = ref W.default.W.rel_tol
+  and strategy = ref W.default.W.strategy in
   List.iter
     (List.iter (fun field ->
          match field with
@@ -530,6 +529,19 @@ let of_string ?(source = "<string>") src =
            Option.iter (fun i -> grid_points := i) (int_of "border" "grid-points" v)
          | List [ Atom ("rel-tol" | "rel_tol"); Atom v ] ->
            Option.iter (fun f -> rel_tol := f) (float_of "border" "rel-tol" v)
+         | List [ Atom "strategy"; Atom v ] -> begin
+           match W.strategy_of_name v with
+           | Some s -> strategy := s
+           | None ->
+             diag
+               (Bad_value
+                  {
+                    section = "border";
+                    field = "strategy";
+                    value = v;
+                    msg = "expected grid | adaptive";
+                  })
+         end
          | List (Atom f :: _) ->
            diag
              (Bad_value
@@ -537,7 +549,8 @@ let of_string ?(source = "<string>") src =
                   section = "border";
                   field = f;
                   value = "";
-                  msg = "expected r-min | r-max | grid-points | rel-tol";
+                  msg =
+                    "expected r-min | r-max | grid-points | rel-tol | strategy";
                 })
          | _ ->
            diag
@@ -567,6 +580,27 @@ let of_string ?(source = "<string>") src =
            value = string_of_int !grid_points;
            msg = "need at least 2";
          });
+  if !rel_tol <= 0.0 then
+    diag
+      (Bad_value
+         {
+           section = "border";
+           field = "rel-tol";
+           value = Printf.sprintf "%g" !rel_tol;
+           msg = "need a positive tolerance";
+         });
+  let window =
+    match
+      W.v ~r_min:!r_min ~r_max:!r_max ~grid_points:!grid_points
+        ~rel_tol:!rel_tol ~strategy:!strategy ()
+    with
+    | w -> w
+    | exception Invalid_argument _ ->
+      (* only reachable when the explicit range checks above already
+         diagnosed the culprit field, so [Invalid] is raised below and
+         this placeholder is never observed *)
+      W.default
+  in
   if !name = None then diag (Missing_field { section = "campaign"; field = "name" });
   if !defects = [] then diag (Empty_section { section = "defects" });
   if stresses = [] then diag (Empty_section { section = "stress" });
@@ -588,10 +622,7 @@ let of_string ?(source = "<string>") src =
     detections =
       (match List.rev !detections with [] -> [ Best ] | ds -> ds);
     config;
-    r_min = !r_min;
-    r_max = !r_max;
-    grid_points = !grid_points;
-    rel_tol = !rel_tol;
+    window;
   }
 
 let load path =
@@ -600,11 +631,11 @@ let load path =
 let pp ppf m =
   Format.fprintf ppf
     "@[<v2>campaign %s:@ %d defect placement(s), %d stress setting(s), %d \
-     detection(s)@ border: %g..%g Ohm, %d grid points, %.2g rel tol@ %a@]"
+     detection(s)@ border: %a@ %a@]"
     m.name (List.length m.defects)
     (List.length m.stresses)
     (List.length m.detections)
-    m.r_min m.r_max m.grid_points m.rel_tol
+    W.pp m.window
     (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (l, s) ->
          Format.fprintf ppf "%s: %a" l S.pp s))
     m.stresses

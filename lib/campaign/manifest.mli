@@ -24,9 +24,16 @@
       (detections best (seq "w1 w1 w0 r0") (march "{up(w0);up(r0,w1)}"))
       ;; simulation-config overrides (Sim_config.v fields)
       (sim (steps-per-cycle 400) (deadline 30) (jobs 4))
-      ;; border-search window and tolerance
-      (border (r-min 1e3) (r-max 1e11) (grid-points 13) (rel-tol 0.01)))
+      ;; border-search window, tolerance and scan strategy
+      (border (r-min 1e3) (r-max 1e11) (grid-points 13) (rel-tol 0.01)
+              (strategy grid)))
     v}
+
+    [strategy] is [grid] (the exhaustive oracle, the default) or
+    [adaptive] (sparse probing of the same grid — see
+    {!Dramstress_core.Border.Window.strategy}); under [adaptive] the
+    runner also warm-starts each point's bracket from the previous
+    stress setting of the same (defect, detection) chain.
 
     Validation is collected, not fail-fast: {!of_string} gathers {e
     every} problem into one {!Invalid} report, in the style of
@@ -57,10 +64,11 @@ type t = {
   config : Dramstress_dram.Sim_config.t;
       (** resolved simulation configuration ([sim] section over
           {!Dramstress_dram.Sim_config.default}) *)
-  r_min : float;
-  r_max : float;
-  grid_points : int;
-  rel_tol : float;  (** border-search window and tolerance *)
+  window : Dramstress_core.Border.Window.t;
+      (** border-search window, tolerance and strategy ([border]
+          section over {!Dramstress_core.Border.Window.default}; the
+          former flat [r_min]/[r_max]/[grid_points]/[rel_tol] fields
+          live inside it now) *)
 }
 
 (** One problem found while reading a manifest. *)

@@ -92,14 +92,18 @@ let placement_tag = function D.True_bl -> "true" | D.Comp_bl -> "comp"
 let descriptor (m : Manifest.t) p =
   let c = m.Manifest.config in
   (* only value-changing physics: scheduling knobs (jobs, deadline,
-     retry) are deliberately left out of the fingerprint *)
+     retry) are deliberately left out of the fingerprint. The window
+     part is [Window.fingerprint]: a [provably_grid] window prints
+     byte-identically to the historical v1 "rmin,rmax,n,tol" tail, so
+     pre-existing grid-mode stores stay valid, while a genuinely
+     adaptive window gets its own address — Grid and Adaptive share a
+     record only when their results are provably identical *)
   let physics = Ck.fingerprint (c.Sc.tech, c.Sc.sim, c.Sc.steps_per_cycle) in
-  Printf.sprintf "campaign.point|v1|%s|%h,%h,%h,%h|%s|%s|%s|%h,%h,%d,%h"
+  Printf.sprintf "campaign.point|v1|%s|%h,%h,%h,%h|%s|%s|%s|%s"
     physics p.stress.S.tcyc p.stress.S.duty p.stress.S.vdd p.stress.S.temp_c
     p.defect.D.id (placement_tag p.placement)
     (detection_canon p.detection)
-    m.Manifest.r_min m.Manifest.r_max m.Manifest.grid_points
-    m.Manifest.rel_tol
+    (Border.Window.fingerprint m.Manifest.window)
 
 let fail_key m p = "campaign.fail|" ^ descriptor m p
 

@@ -8,7 +8,16 @@
     window. It excludes the stress {e label} (a renamed setting reuses
     its records), the campaign name, and scheduling knobs (jobs,
     deadline, retry policy) — two campaigns that agree on the physics
-    share results byte for byte. *)
+    share results byte for byte.
+
+    The window part of the address is
+    {!Dramstress_core.Border.Window.fingerprint}: a window whose scan is
+    provably identical to the grid oracle
+    ({!Dramstress_core.Border.Window.provably_grid}) addresses exactly
+    like the plain grid window on the same bounds — so Grid and
+    Adaptive strategies share store records only when identical results
+    are guaranteed, and stores written before the strategy field
+    existed remain valid for grid-mode campaigns. *)
 
 type point = {
   defect : Dramstress_defect.Defect.entry;

@@ -7,6 +7,7 @@ module M = Dramstress_march.March
 module Store = Dramstress_util.Store
 module Outcome = Dramstress_util.Outcome
 module Par = Dramstress_util.Par
+module Chaos = Dramstress_util.Chaos
 module Tel = Dramstress_util.Telemetry
 
 let c_planned = Tel.Counter.make "campaign.points_planned"
@@ -40,11 +41,49 @@ type summary = {
   failures : Plan.point Outcome.failure list;
 }
 
+(* warm-start seeds for the next point of a chain: the border estimates
+   of a finished result. They only ADD probes to an adaptive scan, so a
+   wrong hint costs a couple of extra samples, never correctness. *)
+let hints_of (r : Plan.result) =
+  match r.Plan.br with
+  | Border.Br v -> [ v ]
+  | Border.Faulty_band { lo; hi } -> [ lo; hi ]
+  | Border.Bands bands ->
+    List.concat_map
+      (fun b -> [ Border.edge_mid b.Border.b_lo; Border.edge_mid b.Border.b_hi ])
+      bands
+  | Border.Always_faulty | Border.Never_faulty | Border.Unsampled -> []
+
+(* adjacent stress settings of the same (defect, placement, detection)
+   cell form one warm-start chain: the plan orders detections innermost
+   and stresses next, so grouping by everything BUT the stress keeps
+   each chain in manifest stress order *)
+let chain_key (p : Plan.point) =
+  Format.asprintf "%s|%a|%s" p.Plan.defect.D.id D.pp_placement
+    p.Plan.placement
+    (Manifest.detection_label p.Plan.detection)
+
+let chains_of classified =
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ((p, _) as item) ->
+      let k = chain_key p in
+      match Hashtbl.find_opt tbl k with
+      | Some items -> items := item :: !items
+      | None ->
+        order := k :: !order;
+        Hashtbl.add tbl k (ref [ item ]))
+    classified;
+  List.rev_map (fun k -> List.rev !(Hashtbl.find tbl k)) !order
+
 let run ?jobs ~store (m : Manifest.t) =
   let points = Plan.points m in
   let planned = List.length points in
   Tel.Counter.add c_planned planned;
-  (* split against the store: successes are never recomputed *)
+  (* split against the store: successes are never recomputed — the
+     passive half of the active planner (a point whose BR the store
+     already bounds is skipped before any scheduling happens) *)
   let classified =
     List.map
       (fun p ->
@@ -54,7 +93,6 @@ let run ?jobs ~store (m : Manifest.t) =
       points
   in
   let reused = List.filter_map (fun (p, r) -> Option.map (fun r -> (p, r)) r) classified in
-  let todo = List.filter_map (fun (p, r) -> if r = None then Some p else None) classified in
   Tel.Counter.add c_reused (List.length reused);
   let jobs =
     match jobs with
@@ -66,42 +104,66 @@ let run ?jobs ~store (m : Manifest.t) =
      classification step; the point record itself is written from the
      worker the moment its result exists *)
   let checkpoint = Store.checkpoint store in
+  let simulate ~hint (p : Plan.point) =
+    match p.Plan.detection with
+    | Manifest.Best | Manifest.Best_no_pause ->
+      let allow_pause = p.Plan.detection = Manifest.Best in
+      let detection, br =
+        Sc_eval.best_detection ~config:m.Manifest.config ~checkpoint
+          ~window:m.Manifest.window ~hint ~allow_pause ~stress:p.Plan.stress
+          ~kind:p.Plan.defect.D.kind ~placement:p.Plan.placement ()
+      in
+      { Plan.detection; br }
+    | Manifest.Seq _ | Manifest.March _ ->
+      let d =
+        match p.Plan.detection with
+        | Manifest.Seq d -> d
+        | Manifest.March t -> M.to_detection t
+        | _ -> assert false
+      in
+      let br =
+        Border.search ~config:m.Manifest.config ~checkpoint
+          ~window:m.Manifest.window ~hint ~stress:p.Plan.stress
+          ~kind:p.Plan.defect.D.kind ~placement:p.Plan.placement d
+      in
+      { Plan.detection = d; br }
+  in
+  (* the active half of the planner: each chain walks its stress
+     settings in manifest order, seeding every search with the previous
+     result's border estimates; chains are independent and fan out over
+     domains. Per-point fault isolation matches
+     [Par.parallel_map_outcomes]: one failed point becomes a [Failed]
+     outcome (chaos faults included), resets the hint — a failed point
+     has no border to seed from — and the chain carries on. *)
+  let chain_outcomes items =
+    let _, outcomes =
+      List.fold_left
+        (fun (hint, acc) ((p : Plan.point), stored) ->
+          match stored with
+          | Some r -> (hints_of r, acc)
+          | None -> begin
+            match
+              if Chaos.armed () && Chaos.fire Chaos.Fail_worker_task then
+                raise (Chaos.Injected_fault { fault = Chaos.Fail_worker_task });
+              simulate ~hint p
+            with
+            | r ->
+              let descr = Format.asprintf "%a" Plan.pp_point p in
+              Store.put store ~key:(Plan.descriptor m p) ~descr
+                (Plan.encode_result r);
+              (hints_of r, Outcome.Ok (p, r) :: acc)
+            | exception e ->
+              ( [],
+                Outcome.Failed
+                  { Outcome.point = p; error = e; retries = O.retries_of e }
+                :: acc )
+          end)
+        ([], []) items
+    in
+    List.rev outcomes
+  in
   let outcomes =
-    Par.parallel_map_outcomes ~jobs ~retries_of:O.retries_of
-      (fun (p : Plan.point) ->
-        let r =
-          match p.Plan.detection with
-          | Manifest.Best | Manifest.Best_no_pause ->
-            let allow_pause = p.Plan.detection = Manifest.Best in
-            let detection, br =
-              Sc_eval.best_detection ~config:m.Manifest.config ~checkpoint
-                ~r_min:m.Manifest.r_min ~r_max:m.Manifest.r_max
-                ~grid_points:m.Manifest.grid_points ~rel_tol:m.Manifest.rel_tol
-                ~allow_pause ~stress:p.Plan.stress ~kind:p.Plan.defect.D.kind
-                ~placement:p.Plan.placement ()
-            in
-            { Plan.detection; br }
-          | Manifest.Seq _ | Manifest.March _ ->
-            let d =
-              match p.Plan.detection with
-              | Manifest.Seq d -> d
-              | Manifest.March t -> M.to_detection t
-              | _ -> assert false
-            in
-            let br =
-              Border.search ~config:m.Manifest.config ~checkpoint
-                ~r_min:m.Manifest.r_min ~r_max:m.Manifest.r_max
-                ~grid_points:m.Manifest.grid_points ~rel_tol:m.Manifest.rel_tol
-                ~stress:p.Plan.stress ~kind:p.Plan.defect.D.kind
-                ~placement:p.Plan.placement d
-            in
-            { Plan.detection = d; br }
-        in
-        let descr = Format.asprintf "%a" Plan.pp_point p in
-        Store.put store ~key:(Plan.descriptor m p) ~descr
-          (Plan.encode_result r);
-        (p, r))
-      todo
+    List.concat (Par.parallel_map ~jobs chain_outcomes (chains_of classified))
   in
   let fresh, failures = Outcome.partition outcomes in
   Tel.Counter.add c_simulated (List.length fresh);

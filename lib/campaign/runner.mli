@@ -12,7 +12,27 @@
       points finish, so a killed run keeps everything completed so far —
       and the store's checkpoint handle is threaded into every border
       search, so even a half-finished point resumes from its finished
-      searches.
+      searches (under an adaptive window that includes per-probe and
+      per-edge records, so a kill mid-refinement re-simulates only the
+      unfinished brackets).
+
+    {2 Active planning}
+
+    The runner is an {e active} planner over the manifest cross
+    product. Points sharing a (defect, placement, detection) cell form
+    one {e chain} through the manifest's stress settings, walked in
+    declaration order; each completed point's border estimates seed the
+    next point's search ([?hint] on {!Dramstress_core.Border.search}),
+    which under [(strategy adaptive)] warm-starts the bracket around
+    the adjacent stress setting's border. Hints only {e add} probes —
+    they never narrow the scan — so a wrong hint costs a few extra
+    samples, never correctness; a failed point resets its chain's hint.
+    Chains are independent and fan out over worker domains; under
+    [(strategy grid)] the chain walk degenerates to the old
+    point-parallel behaviour (hints are ignored), only the scheduling
+    order differs. Points whose BR is already bounded by a stored
+    record are skipped before any scheduling happens and still feed
+    their stored estimates into the chain.
 
     Counters: [campaign.points_planned], [campaign.points_reused],
     [campaign.points_simulated], [campaign.points_failed]. A warm rerun
@@ -45,10 +65,11 @@ type summary = {
 }
 
 (** [run ?jobs ~store m] executes the campaign: expands the plan, reuses
-    stored successes, simulates the rest in parallel
-    ({!Dramstress_util.Par.parallel_map_outcomes} over the config's
-    domain count; [?jobs] overrides). Solver failures become [failures],
-    not exceptions. *)
+    stored successes, simulates the rest as warm-start chains fanned
+    out over the config's domain count ([?jobs] overrides). Solver
+    failures become [failures], not exceptions — per-point fault
+    isolation matches {!Dramstress_util.Par.parallel_map_outcomes},
+    chaos injection included. *)
 val run :
   ?jobs:int -> store:Dramstress_util.Store.t -> Manifest.t -> summary
 

@@ -12,6 +12,7 @@ module Tel = Dramstress_util.Telemetry
 
 let c_skipped = Tel.Counter.make "core.border.skipped_samples"
 let c_unknown_edges = Tel.Counter.make "core.border.unknown_edges"
+let c_probes = Tel.Counter.make "core.border.probes"
 
 type edge = Exact of float | Unknown of { lo : float; hi : float }
 
@@ -105,6 +106,134 @@ let of_samples ~refine ~r_min ~r_max samples =
     end
 
 (* ------------------------------------------------------------------ *)
+(* Search windows                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Window = struct
+  type strategy = Grid | Adaptive
+
+  type t = {
+    r_min : float;
+    r_max : float;
+    grid_points : int;
+    rel_tol : float;
+    strategy : strategy;
+  }
+
+  (* the adaptive coarse pass probes this many skeleton indices, ends
+     included; a window no finer than the skeleton probes every grid
+     index, at which point the two strategies are the same algorithm *)
+  let coarse_points = 5
+
+  let v ?(r_min = 1e3) ?(r_max = 1e11) ?(grid_points = 13) ?(rel_tol = 0.01)
+      ?(strategy = Grid) () =
+    if not (r_min > 0.0 && r_max > r_min) then
+      invalid_arg "Border.Window.v: need 0 < r_min < r_max";
+    if grid_points < 2 then invalid_arg "Border.Window.v: grid_points < 2";
+    if not (rel_tol > 0.0) then invalid_arg "Border.Window.v: rel_tol <= 0";
+    { r_min; r_max; grid_points; rel_tol; strategy }
+
+  let default = v ()
+
+  let adaptive ?r_min ?r_max ?grid_points ?rel_tol () =
+    v ?r_min ?r_max ?grid_points ?rel_tol ~strategy:Adaptive ()
+
+  let with_strategy strategy w = { w with strategy }
+
+  (* legacy-optional merge: the deprecated [?r_min ?r_max ?grid_points
+     ?rel_tol] spellings override the matching fields of [base] *)
+  let over ?(base = default) ?r_min ?r_max ?grid_points ?rel_tol ?strategy ()
+      =
+    v
+      ~r_min:(Option.value r_min ~default:base.r_min)
+      ~r_max:(Option.value r_max ~default:base.r_max)
+      ~grid_points:(Option.value grid_points ~default:base.grid_points)
+      ~rel_tol:(Option.value rel_tol ~default:base.rel_tol)
+      ~strategy:(Option.value strategy ~default:base.strategy)
+      ()
+
+  let strategy_name = function Grid -> "grid" | Adaptive -> "adaptive"
+
+  let strategy_of_name = function
+    | "grid" -> Some Grid
+    | "adaptive" -> Some Adaptive
+    | _ -> None
+
+  let provably_grid w = w.strategy = Grid || w.grid_points <= coarse_points
+
+  let fingerprint w =
+    Printf.sprintf "%h,%h,%d,%h%s" w.r_min w.r_max w.grid_points w.rel_tol
+      (if provably_grid w then "" else ",adaptive")
+
+  let equal (a : t) (b : t) = a = b
+
+  let pp ppf w =
+    Format.fprintf ppf "%g..%g Ohm, %d grid points, %.2g rel tol [%s]"
+      w.r_min w.r_max w.grid_points w.rel_tol (strategy_name w.strategy)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive index scan                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [adaptive_scan] drives the sparse scan over grid INDICES, so its
+   known samples land on exactly the points the grid strategy would
+   simulate: probe a coarse skeleton (plus any seeded indices), then
+   bisect every outcome flip between non-adjacent known samples down to
+   one grid interval. Gaps whose ends agree are deliberately not
+   subdivided — that is the entire saving, and the reason the grid
+   strategy stays the golden oracle for bands narrower than the
+   skeleton spacing. Any probe the solver loses escalates the scan to
+   the full grid, so the skip pattern (and therefore the
+   classification) matches the oracle exactly on failure paths. *)
+let adaptive_scan ~n ~coarse ~seeds probe_many =
+  if n < 1 then invalid_arg "Border.adaptive_scan: n < 1";
+  let tbl = Hashtbl.create (4 * n) in
+  let ask idxs =
+    let idxs =
+      List.sort_uniq Int.compare
+        (List.filter
+           (fun i -> i >= 0 && i < n && not (Hashtbl.mem tbl i))
+           idxs)
+    in
+    if idxs = [] then 0
+    else begin
+      List.iter (fun (i, v) -> Hashtbl.replace tbl i v) (probe_many idxs);
+      List.length idxs
+    end
+  in
+  let coarse = Int.max 2 (Int.min coarse n) in
+  let skeleton =
+    if n = 1 then [ 0 ]
+    else List.init coarse (fun k -> k * (n - 1) / (coarse - 1))
+  in
+  ignore (ask (skeleton @ seeds));
+  let known () =
+    List.sort
+      (fun (i, _) (j, _) -> Int.compare i j)
+      (Hashtbl.fold
+         (fun i v acc -> match v with Some b -> (i, b) :: acc | None -> acc)
+         tbl [])
+  in
+  let rec bisect_flips () =
+    let rec mids acc = function
+      | (i, bi) :: ((j, bj) :: _ as rest) ->
+        let acc =
+          if bi <> bj && j > i + 1 then ((i + j) / 2) :: acc else acc
+        in
+        mids acc rest
+      | [ _ ] | [] -> acc
+    in
+    if ask (mids [] (known ())) > 0 then bisect_flips ()
+  in
+  bisect_flips ();
+  if Hashtbl.fold (fun _ v acc -> acc || v = None) tbl false then
+    ignore (ask (List.init n Fun.id));
+  List.sort
+    (fun (i, _) (j, _) -> Int.compare i j)
+    (Hashtbl.fold (fun i v acc -> (i, v) :: acc) tbl [])
+
+(* ------------------------------------------------------------------ *)
 (* Electrical search                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -183,11 +312,27 @@ let decode_result s =
 
 let equal_result a b = String.equal (encode_result a) (encode_result b)
 
-let search ?tech ?config ?checkpoint ?(r_min = 1e3) ?(r_max = 1e11)
-    ?(grid_points = 13) ?(rel_tol = 0.01) ~stress ~kind ~placement cond =
+let encode_probe = function Some true -> "1" | Some false -> "0" | None -> "x"
+
+let decode_probe = function
+  | "1" -> Some (Some true)
+  | "0" -> Some (Some false)
+  | "x" -> Some None
+  | _ -> None
+
+let search ?tech ?config ?checkpoint ?window ?r_min ?r_max ?grid_points
+    ?rel_tol ?(hint = []) ~stress ~kind ~placement cond =
+  let w = Window.over ?base:window ?r_min ?r_max ?grid_points ?rel_tol () in
+  (* the physics fingerprint: everything a single probe's boolean
+     outcome depends on, excluding the window (a probe at resistance r
+     is the same simulation whatever window asked for it) *)
+  let fp =
+    lazy (Ck.fingerprint (tech, config, stress, kind, placement, cond))
+  in
   let compute () =
     let cfg = Sc.resolve ?tech ?config () in
     let detect r =
+      Tel.Counter.incr c_probes;
       Detection.detects ~config:cfg ~stress ~defect:(D.v kind placement r)
         cond
     in
@@ -198,22 +343,24 @@ let search ?tech ?config ?checkpoint ?(r_min = 1e3) ?(r_max = 1e11)
         Tel.Counter.incr c_skipped;
         None
     in
-    let grid = G.logspace r_min r_max grid_points in
+    let grid =
+      Array.of_list (G.logspace w.Window.r_min w.Window.r_max w.Window.grid_points)
+    in
+    let n = Array.length grid in
     let lanes_max = Sc.resolve_lanes cfg in
-    let samples =
-      (* the grid scan batches by default: all resistances of the scan
-         become lanes of shared ensembles ([O.run_batch]) judged per
-         lane; scalar for [lanes = 1], per-point deadlines, or an armed
-         chaos harness — same values, same cache keys, either way. The
-         refinement bisections below stay scalar: each walks its own
-         resistance trajectory, and caching makes revisits free. *)
-      if
-        lanes_max > 1
-        && cfg.Sc.deadline = None
-        && (not (Chaos.armed ()))
-        && List.length grid > 1
-      then begin
-        let defects = List.map (fun r -> D.v kind placement r) grid in
+    let use_batch =
+      lanes_max > 1 && cfg.Sc.deadline = None && not (Chaos.armed ())
+    in
+    (* [scan rs] simulates each resistance of [rs] in order. Batched by
+       default: the resistances become lanes of shared ensembles
+       ([O.run_batch]) judged per lane; scalar for [lanes = 1],
+       per-point deadlines, or an armed chaos harness — same values,
+       same cache keys, either way. The refinement bisections below stay
+       scalar: each walks its own resistance trajectory, and caching
+       makes revisits free. *)
+    let scan rs =
+      if use_batch && List.length rs > 1 then begin
+        let defects = List.map (fun r -> D.v kind placement r) rs in
         let vc_init =
           Detection.initial_vc cond ~stress ~defect:(List.hd defects)
         in
@@ -224,6 +371,7 @@ let search ?tech ?config ?checkpoint ?(r_min = 1e3) ?(r_max = 1e11)
                  let lanes =
                    List.map (fun d -> { O.defect = Some d; O.vc_init }) chunk
                  in
+                 Tel.Counter.add c_probes (List.length lanes);
                  match
                    O.run_batch ~config:cfg ~stress ~lanes
                      (Detection.ops cond)
@@ -240,29 +388,114 @@ let search ?tech ?config ?checkpoint ?(r_min = 1e3) ?(r_max = 1e11)
               Tel.Counter.incr c_skipped;
               (r, None)
             | Error e -> raise e)
-          grid results
+          rs results
       end
-      else List.map (fun r -> (r, try_detect r)) grid
+      else List.map (fun r -> (r, try_detect r)) rs
     in
-    let refine r0 r1 =
+    let samples =
+      match w.Window.strategy with
+      | Window.Grid -> scan (Array.to_list grid)
+      | Window.Adaptive ->
+        (* the adaptive scan probes a sparse subset of the SAME grid the
+           oracle would, so any sample it does take is bit-identical to
+           the grid strategy's. Per-probe checkpoint records let an
+           interrupted refinement resume re-simulating only the probes
+           it had not finished. *)
+        let probe_key i =
+          Ck.digest_key
+            (Printf.sprintf "border.probe|%s|%h" (Lazy.force fp) grid.(i))
+        in
+        let probe_many idxs =
+          let cached, missing =
+            match checkpoint with
+            | None -> ([], idxs)
+            | Some ck ->
+              List.partition_map
+                (fun i ->
+                  match Option.bind (Ck.find ck (probe_key i)) decode_probe with
+                  | Some v -> Either.Left (i, v)
+                  | None -> Either.Right i)
+                idxs
+          in
+          let fresh =
+            List.map2
+              (fun i (_, v) -> (i, v))
+              missing
+              (scan (List.map (fun i -> grid.(i)) missing))
+          in
+          (match checkpoint with
+          | Some ck ->
+            List.iter
+              (fun (i, v) ->
+                Ck.record ck ~key:(probe_key i)
+                  ~descr:(Printf.sprintf "border probe @ %h Ohm" grid.(i))
+                  (encode_probe v))
+              fresh
+          | None -> ());
+          cached @ fresh
+        in
+        let bracket_index r =
+          (* grid interval containing r: seeds the adjacent index pair *)
+          let t =
+            float_of_int (n - 1)
+            *. log (r /. w.Window.r_min)
+            /. log (w.Window.r_max /. w.Window.r_min)
+          in
+          let i = int_of_float (Float.floor t) in
+          Int.max 0 (Int.min (n - 2) i)
+        in
+        let seeds =
+          List.concat_map
+            (fun r ->
+              if r > 0.0 then
+                let i = bracket_index r in
+                [ i; i + 1 ]
+              else [])
+            hint
+        in
+        let indexed =
+          adaptive_scan ~n ~coarse:Window.coarse_points ~seeds probe_many
+        in
+        List.map (fun (i, v) -> (grid.(i), v)) indexed
+    in
+    let refine_raw r0 r1 =
       (* the bisection revisits resistances near the transition; if one
          of them is itself unsimulatable the edge position degrades to
-         the bracketing known samples instead of aborting the search *)
-      match B.threshold_log ~rel_tol detect r0 r1 with
+         the bracketing known samples instead of aborting the search.
+         Note the bisection is over a boolean detect predicate, so
+         Illinois/regula-falsi acceleration does not apply: there is no
+         continuous residual to interpolate, only a sign. *)
+      match B.threshold_log ~rel_tol:w.Window.rel_tol detect r0 r1 with
       | v -> Exact v
       | exception e when is_solver_failure e ->
         Tel.Counter.incr c_unknown_edges;
         Unknown { lo = r0; hi = r1 }
     in
-    of_samples ~refine ~r_min ~r_max samples
+    let refine =
+      match (w.Window.strategy, checkpoint) with
+      | Window.Adaptive, Some _ ->
+        fun r0 r1 ->
+          (* per-edge memo: a resumed adaptive search replays finished
+             edge refinements from the checkpoint and re-simulates only
+             the unfinished ones *)
+          let key =
+            Printf.sprintf "border.edge|%s|%h|%h|%h" (Lazy.force fp) r0 r1
+              w.Window.rel_tol
+          in
+          Ck.memo checkpoint ~key
+            ~descr:(Printf.sprintf "border edge %h..%h Ohm" r0 r1)
+            ~encode:encode_edge ~decode:decode_edge
+            (fun () -> refine_raw r0 r1)
+      | _ -> refine_raw
+    in
+    of_samples ~refine ~r_min:w.Window.r_min ~r_max:w.Window.r_max samples
   in
   match checkpoint with
   | None -> compute ()
   | Some _ ->
     let key =
-      Printf.sprintf "border.search|%s|%h|%h|%d|%h"
-        (Ck.fingerprint (tech, config, stress, kind, placement, cond))
-        r_min r_max grid_points rel_tol
+      Printf.sprintf "border.search|%s|%s" (Lazy.force fp)
+        (Window.fingerprint w)
     in
     let descr =
       Format.asprintf "border %a/%a under %a" D.pp_kind kind D.pp_placement
@@ -306,7 +539,7 @@ let coverage_width polarity result =
     0.0
     (covered_ranges polarity result ~r_min:notional_min ~r_max:notional_max)
 
-let improvement polarity ~nominal ~stressed =
+let improvement ?window polarity ~nominal ~stressed =
   match (nominal, stressed) with
   | Br a, Br b -> begin
     match polarity with
@@ -318,10 +551,16 @@ let improvement polarity ~nominal ~stressed =
     (* mixed result shapes: compare covered widths in log decades, the
        same axis [coverage_width] scores on — a linear hi-lo ratio here
        would contradict the paper's log-resistance axis and make the
-       mixed-shape improvement incommensurable with the BR-ratio case *)
+       mixed-shape improvement incommensurable with the BR-ratio case.
+       The nominal width must clear the window's edge-location
+       tolerance before a ratio is meaningful: edges are only located
+       to [rel_tol] relative error, so a nominal coverage narrower than
+       one tolerance step in log space is pure refinement noise. *)
+    let tol = (Option.value window ~default:Window.default).Window.rel_tol in
+    let floor_ = log10 (1.0 +. tol) in
     let a = coverage_width polarity nominal in
     let b = coverage_width polarity stressed in
-    if a > 0.0 then Some (b /. a) else None
+    if a > floor_ then Some (b /. a) else None
 
 let better polarity a b =
   coverage_width polarity a > coverage_width polarity b +. 1e-9

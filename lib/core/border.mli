@@ -59,31 +59,163 @@ val of_samples :
   (float * bool option) list ->
   result
 
-(** [search ?tech ?config ?checkpoint ?r_min ?r_max ?grid_points
-    ?rel_tol ~stress ~kind ~placement cond] scans a log grid (default 13
-    points over [1 kOhm, 100 GOhm]) for detection-outcome changes and
-    refines each edge by bisection to [rel_tol] (default 1%). One edge
+(** Search windows — the first-class description of {e where} and {e how
+    finely} {!search} looks for the border.
+
+    [Window.t] collapses the former [?r_min ?r_max ?grid_points ?rel_tol]
+    optional-argument sprawl into one value that can be stored in
+    manifests, fingerprinted into campaign store keys, and threaded
+    unchanged through {!Plane}, {!Exhaustive}, {!Table1},
+    {!Sc_eval.best_detection} and the CLI.
+
+    {2 Migration from the deprecated optionals}
+
+    Old spelling (still accepted for one release):
+    {[ Border.search ~r_min:1e4 ~r_max:1e8 ~grid_points:25 ~rel_tol:0.05 ... ]}
+    New spelling:
+    {[ Border.search ~window:(Border.Window.v ~r_min:1e4 ~r_max:1e8
+         ~grid_points:25 ~rel_tol:0.05 ()) ... ]}
+    When both are given, the explicit optionals override the matching
+    fields of [window] ({!Window.over} semantics), so partial migrations
+    behave predictably. The deprecated optionals will be removed in the
+    release after next. *)
+module Window : sig
+  (** How the window is scanned.
+
+      [Grid] — the golden oracle: simulate every grid point, then bisect
+      each detection flip. [Adaptive] — probe a 5-point coarse skeleton
+      of the {e same} grid (one batched ensemble solve), bisect each
+      detected flip down to a single grid interval {e by index}, then
+      run the identical edge refinement on the identical bracketing
+      pair. On curves with at most one detection transition per skeleton
+      interval the two strategies provably return bit-identical results;
+      bands narrower than the skeleton spacing can be missed by
+      [Adaptive], which is why [Grid] remains the oracle and the
+      default. A solver failure during an adaptive probe escalates the
+      scan to the full grid so failure-path classification matches the
+      oracle exactly. *)
+  type strategy = Grid | Adaptive
+
+  type t = private {
+    r_min : float;        (** low end of the searched range, ohm *)
+    r_max : float;        (** high end of the searched range, ohm *)
+    grid_points : int;    (** log-grid resolution, >= 2 *)
+    rel_tol : float;      (** relative tolerance of edge bisection *)
+    strategy : strategy;
+  }
+
+  (** Number of skeleton probes the adaptive coarse pass takes. *)
+  val coarse_points : int
+
+  (** [v ()] builds a window; defaults reproduce the historical
+      behaviour: 13 points over [1 kOhm, 100 GOhm], 1% tolerance,
+      [Grid]. Raises [Invalid_argument] unless
+      [0 < r_min < r_max], [grid_points >= 2] and [rel_tol > 0]. *)
+  val v :
+    ?r_min:float -> ?r_max:float -> ?grid_points:int -> ?rel_tol:float ->
+    ?strategy:strategy -> unit -> t
+
+  val default : t
+
+  (** [adaptive ()] is [v ~strategy:Adaptive ()]. *)
+  val adaptive :
+    ?r_min:float -> ?r_max:float -> ?grid_points:int -> ?rel_tol:float ->
+    unit -> t
+
+  val with_strategy : strategy -> t -> t
+
+  (** [over ?base ...] rebuilds [base] (default {!default}) with any
+      explicitly given fields replaced — the merge rule behind the
+      deprecated optional arguments. *)
+  val over :
+    ?base:t -> ?r_min:float -> ?r_max:float -> ?grid_points:int ->
+    ?rel_tol:float -> ?strategy:strategy -> unit -> t
+
+  val strategy_name : strategy -> string
+  val strategy_of_name : string -> strategy option
+
+  (** [provably_grid w] — true when a search under [w] provably
+      simulates and classifies exactly as the grid oracle would: either
+      [w.strategy = Grid], or the grid is no finer than the adaptive
+      skeleton (so every index is probed anyway). Campaign store
+      records are shared between two windows iff their {!fingerprint}s
+      agree, and the fingerprint folds this predicate in — so [Grid]
+      and [Adaptive] share records only when identical results are
+      guaranteed, not merely expected. *)
+  val provably_grid : t -> bool
+
+  (** Canonical fingerprint for store/checkpoint keys: hex-float exact.
+      Windows with [provably_grid] true fingerprint identically to the
+      plain grid window on the same bounds. *)
+  val fingerprint : t -> string
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+(** [adaptive_scan ~n ~coarse ~seeds probe_many] — the pure index-space
+    driver behind [Window.Adaptive], exposed for property tests. Probes
+    a [coarse]-point skeleton of indices [0..n-1] plus any [seeds]
+    (out-of-range or duplicate seeds are ignored; seeding only {e adds}
+    probes, never narrows the scan), then repeatedly probes the midpoint
+    of every gap between non-adjacent known samples with differing
+    outcomes until each flip is confined to one index step. If any probe
+    returns [None] the whole index range is probed, matching the grid
+    oracle's failure-path behaviour. [probe_many] receives a sorted list
+    of not-yet-probed indices and must return an outcome for each.
+    Returns all probed [(index, outcome)] pairs in ascending index
+    order. *)
+val adaptive_scan :
+  n:int ->
+  coarse:int ->
+  seeds:int list ->
+  (int list -> (int * bool option) list) ->
+  (int * bool option) list
+
+(** [search ?tech ?config ?checkpoint ?window ?hint ~stress ~kind
+    ~placement cond] scans [window]'s log grid (default {!Window.default}:
+    13 points over [1 kOhm, 100 GOhm]) for detection-outcome changes and
+    refines each edge by bisection to the window's [rel_tol]. One edge
     yields {!Br}; an interior detected region yields {!Faulty_band};
     multiple regions or unrefinable edges yield {!Bands}.
+
+    With [window.strategy = Adaptive] only a sparse subset of the grid
+    is simulated (see {!Window.strategy} for the oracle relationship and
+    its caveats). [hint] (used by the campaign planner's warm-start
+    chains) is a list of border-resistance estimates from adjacent
+    stress points; each seeds the grid interval containing it into the
+    coarse pass. Hints only add probes — a warm-started search never
+    sees fewer samples than a cold adaptive one. [hint] is ignored under
+    [Grid].
+
+    The deprecated [?r_min ?r_max ?grid_points ?rel_tol] optionals
+    override the matching [window] fields ({!Window.over}) and will be
+    removed in the release after next.
 
     Grid samples and edge refinements that fail with a solver error
     ([Transient.Step_failed], [Newton.No_convergence],
     [Ops.Exhausted_retries]) are skipped / degraded to {!Unknown} and
     counted on [core.border.skipped_samples] /
-    [core.border.unknown_edges]; other exceptions propagate.
+    [core.border.unknown_edges]; other exceptions propagate. Every
+    simulated sample (scan or bisection) counts on
+    [core.border.probes].
 
-    [checkpoint] memoizes the whole result in a
-    {!Dramstress_util.Checkpoint} store keyed by every input that can
-    change it, so interrupted campaigns (Table 1, stress optimisation)
-    resume without re-simulating finished searches. *)
+    [checkpoint] memoizes the whole result keyed by every input that can
+    change it (including {!Window.fingerprint}), so interrupted
+    campaigns resume without re-simulating finished searches. Adaptive
+    searches additionally record each probe and each refined edge, so a
+    run killed mid-refinement resumes by re-simulating only the probes
+    and brackets it had not finished. *)
 val search :
   ?tech:Dramstress_dram.Tech.t ->
   ?config:Dramstress_dram.Sim_config.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?window:Window.t ->
   ?r_min:float ->
   ?r_max:float ->
   ?grid_points:int ->
   ?rel_tol:float ->
+  ?hint:float list ->
   stress:Dramstress_dram.Stress.t ->
   kind:Dramstress_defect.Defect.kind ->
   placement:Dramstress_defect.Defect.placement ->
@@ -123,13 +255,18 @@ val covered_range :
     [1 kOhm, 100 GOhm] axis. *)
 val coverage_width : Dramstress_defect.Defect.polarity -> result -> float
 
-(** [improvement polarity ~nominal ~stressed] — the growth factor of the
-    covered failing-resistance range: for two single boundaries, the BR
-    ratio oriented by polarity; for any other combination, the ratio of
-    {!coverage_width} values (log decades — the same axis as the BR
-    case, unlike the linear widths older revisions compared). [None]
-    when either side detects nothing. *)
+(** [improvement ?window polarity ~nominal ~stressed] — the growth
+    factor of the covered failing-resistance range: for two single
+    boundaries, the BR ratio oriented by polarity; for any other
+    combination, the ratio of {!coverage_width} values (log decades —
+    the same axis as the BR case, unlike the linear widths older
+    revisions compared). [None] when either side detects nothing, or
+    when the nominal coverage is narrower than one edge-location
+    tolerance step ([window.rel_tol], default {!Window.default}'s 1% —
+    formerly a hard-coded 1% regardless of the search's actual
+    tolerance): below that the ratio is refinement noise, not signal. *)
 val improvement :
+  ?window:Window.t ->
   Dramstress_defect.Defect.polarity -> nominal:result -> stressed:result ->
   float option
 

@@ -17,7 +17,7 @@ type t = {
   failures : S.t Dramstress_util.Outcome.failure list;
 }
 
-let optimize ?tech ?jobs ?config ?checkpoint
+let optimize ?tech ?jobs ?config ?checkpoint ?window
     ?(tcyc_values = [ 55e-9; 60e-9; 65e-9 ])
     ?(temp_values = [ -33.0; 27.0; 87.0 ])
     ?(vdd_values = [ 2.1; 2.4; 2.7 ]) ~nominal ~kind ~placement detection =
@@ -52,8 +52,8 @@ let optimize ?tech ?jobs ?config ?checkpoint
                      ("vdd", Tel.Float sc.S.vdd) ])
                  (fun () ->
                    ( sc,
-                     Border.search ?checkpoint ~config ~stress:sc ~kind
-                       ~placement detection ))))
+                     Border.search ?checkpoint ?window ~config ~stress:sc
+                       ~kind ~placement detection ))))
          combos)
   in
   let ranking =
@@ -84,16 +84,19 @@ type comparison = {
   agreement : bool;
 }
 
-let compare_methods ?tech ?config ?checkpoint ~nominal ~kind ~placement () =
+let compare_methods ?tech ?config ?checkpoint ?window ~nominal ~kind
+    ~placement () =
   let detection =
     Detection.standard ~victim:(D.logical_victim kind placement) ~primes:2
   in
   let exhaustive =
-    optimize ?tech ?config ?checkpoint ~nominal ~kind ~placement detection
+    optimize ?tech ?config ?checkpoint ?window ~nominal ~kind ~placement
+      detection
   in
   let before = O.run_count () in
   let e =
-    Sc_eval.evaluate ?tech ?config ?checkpoint ~nominal ~kind ~placement ()
+    Sc_eval.evaluate ?tech ?config ?checkpoint ?window ~nominal ~kind
+      ~placement ()
   in
   let probe_simulations = O.run_count () - before in
   let close a b rel = Float.abs (a -. b) <= rel *. Float.abs b +. 1e-12 in

@@ -41,6 +41,7 @@ val optimize :
   ?jobs:int ->
   ?config:Dramstress_dram.Sim_config.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?window:Border.Window.t ->
   ?tcyc_values:float list ->
   ?temp_values:float list ->
   ?vdd_values:float list ->
@@ -68,6 +69,7 @@ val compare_methods :
   ?tech:Dramstress_dram.Tech.t ->
   ?config:Dramstress_dram.Sim_config.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?window:Border.Window.t ->
   nominal:Dramstress_dram.Stress.t ->
   kind:Dramstress_defect.Defect.kind ->
   placement:Dramstress_defect.Defect.placement ->

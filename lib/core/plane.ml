@@ -41,6 +41,17 @@ type t = {
 
 let default_rops = G.logspace 1e3 1e6 12
 
+(* the resistance axis of a plane sweep, resolved from the explicit
+   [rops] list when given, else from a [Border.Window]'s bounds and
+   resolution, else the historical 12-point default *)
+let resolve_rops ?window ?rops () =
+  match (rops, window) with
+  | Some rops, _ -> rops
+  | None, Some w ->
+    G.logspace w.Border.Window.r_min w.Border.Window.r_max
+      w.Border.Window.grid_points
+  | None, None -> default_rops
+
 (* physical read result for an initial storage voltage: a single read op,
    unwrapping the logical inversion of complementary placement *)
 let read_physical ~config ~stress ?defect vc =
@@ -375,8 +386,9 @@ let write_plane_batched ~config ~jobs ~lanes_max ~checkpoint ~n_ops ~stress
     (fun o -> Out.map (fun (r, (vcs, v)) -> (r, vcs, v)) o)
     (assemble_outcomes ~slots rops_arr)
 
-let write_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 4)
-    ?(rops = default_rops) ~stress ~kind ~placement ~op () =
+let write_plane ?tech ?sim ?jobs ?config ?checkpoint ?window ?(n_ops = 4)
+    ?rops ~stress ~kind ~placement ~op () =
+  let rops = resolve_rops ?window ?rops () in
   (match op with
   | O.W0 | O.W1 -> ()
   | O.R | O.Pause _ -> invalid_arg "Plane.write_plane: op must be a write");
@@ -488,8 +500,9 @@ let read_plane_batched ~config ~jobs ~lanes_max ~checkpoint ~n_ops ~offset
     (fun o -> Out.map (fun (r, (v, b, a)) -> (r, v, b, a)) o)
     (assemble_outcomes ~slots rops_arr)
 
-let read_plane ?tech ?sim ?jobs ?config ?checkpoint ?(n_ops = 3)
-    ?(rops = default_rops) ?(offset = 0.2) ~stress ~kind ~placement () =
+let read_plane ?tech ?sim ?jobs ?config ?checkpoint ?window ?(n_ops = 3)
+    ?rops ?(offset = 0.2) ~stress ~kind ~placement () =
+  let rops = resolve_rops ?window ?rops () in
   if n_ops < 1 then invalid_arg "Plane.read_plane: n_ops < 1";
   let config = Sc.resolve ?tech ?sim ?jobs ?config () in
   let jobs = Sc.resolve_jobs config in

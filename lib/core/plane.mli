@@ -66,12 +66,14 @@ val vsa :
   unit ->
   vsa_value
 
-(** [write_plane ?tech ?n_ops ?rops ~stress ~kind ~placement ~op ()]
-    generates the plane for a repeated write ([W0] planes start from a
-    floating full-1 cell, [W1] planes from a full-0 cell, following the
-    paper). [n_ops] defaults to 4; [rops] defaults to 12 points over
-    [1 kOhm, 1 MOhm]. Raises [Invalid_argument] if [op] is a read or
-    pause.
+(** [write_plane ?tech ?window ?n_ops ?rops ~stress ~kind ~placement ~op
+    ()] generates the plane for a repeated write ([W0] planes start from
+    a floating full-1 cell, [W1] planes from a full-0 cell, following
+    the paper). [n_ops] defaults to 4. The resistance axis is [rops]
+    when given; otherwise it derives from [window] ({!Border.Window.t}
+    bounds and grid resolution, so planes and border searches of one
+    campaign share an axis); otherwise 12 points over [1 kOhm, 1 MOhm].
+    Raises [Invalid_argument] if [op] is a read or pause.
 
     [jobs] caps the number of domains used for the resistance sweep
     (each point is an independent simulation); it defaults to
@@ -95,6 +97,7 @@ val write_plane :
   ?jobs:int ->
   ?config:Dramstress_dram.Sim_config.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?window:Border.Window.t ->
   ?n_ops:int ->
   ?rops:float list ->
   stress:Dramstress_dram.Stress.t ->
@@ -115,6 +118,7 @@ val read_plane :
   ?jobs:int ->
   ?config:Dramstress_dram.Sim_config.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?window:Border.Window.t ->
   ?n_ops:int ->
   ?rops:float list ->
   ?offset:float ->

@@ -31,15 +31,16 @@ let candidate_detections ?(allow_pause = true) ?(pause = 1e-3) ~placement
   | D.Bridge_to_neighbour ->
     standards
 
-let best_detection ?tech ?config ?checkpoint ?r_min ?r_max ?grid_points
-    ?rel_tol ?allow_pause ?pause ~stress ~kind ~placement () =
+let best_detection ?tech ?config ?checkpoint ?window ?r_min ?r_max
+    ?grid_points ?rel_tol ?hint ?allow_pause ?pause ~stress ~kind ~placement
+    () =
   let polarity = D.polarity kind in
   let scored =
     List.map
       (fun cond ->
         ( cond,
-          Border.search ?tech ?config ?checkpoint ?r_min ?r_max ?grid_points
-            ?rel_tol ~stress ~kind ~placement cond ))
+          Border.search ?tech ?config ?checkpoint ?window ?r_min ?r_max
+            ?grid_points ?rel_tol ?hint ~stress ~kind ~placement cond ))
       (candidate_detections ?allow_pause ?pause ~placement kind)
   in
   match scored with
@@ -50,22 +51,22 @@ let best_detection ?tech ?config ?checkpoint ?r_min ?r_max ?grid_points
         if Border.better polarity b best_b then (c, b) else (best_c, best_b))
       first rest
 
-let evaluate ?tech ?config ?checkpoint
+let evaluate ?tech ?config ?checkpoint ?window
     ?(axes = [ S.Cycle_time; S.Temperature; S.Supply_voltage ])
     ?(analysis_r = 200e3) ?pause ~nominal ~kind ~placement () =
   (* retention pauses are part of the stress repertoire, not the nominal
      test: the nominal detection is pause-free *)
   let nominal_detection, nominal_br =
-    best_detection ?tech ?config ?checkpoint ~allow_pause:false ?pause
-      ~stress:nominal ~kind ~placement ()
+    best_detection ?tech ?config ?checkpoint ?window ~allow_pause:false
+      ?pause ~stress:nominal ~kind ~placement ()
   in
   (* probe each axis at the nominal point, resolving by BR against the
      nominal best detection *)
   let probes =
     List.map
       (fun axis ->
-        Stressor.probe_axis ?tech ?checkpoint ~analysis_r ~stress:nominal
-          ~kind ~placement ~detection:nominal_detection axis
+        Stressor.probe_axis ?tech ?checkpoint ?window ~analysis_r
+          ~stress:nominal ~kind ~placement ~detection:nominal_detection axis
           (Stressor.default_values axis ~stress:nominal))
       axes
   in
@@ -76,11 +77,11 @@ let evaluate ?tech ?config ?checkpoint
   in
   (* Section 4.4: re-derive the detection condition under the applied SC *)
   let stressed_detection, stressed_br =
-    best_detection ?tech ?config ?checkpoint ?pause ~stress:stressed ~kind
-      ~placement ()
+    best_detection ?tech ?config ?checkpoint ?window ?pause ~stress:stressed
+      ~kind ~placement ()
   in
   let improvement =
-    Border.improvement (D.polarity kind) ~nominal:nominal_br
+    Border.improvement ?window (D.polarity kind) ~nominal:nominal_br
       ~stressed:stressed_br
   in
   {

@@ -30,19 +30,24 @@ val candidate_detections :
   placement:Dramstress_defect.Defect.placement ->
   Dramstress_defect.Defect.kind -> Detection.t list
 
-(** [best_detection ?tech ~stress ~kind ~placement ()] picks the
+(** [best_detection ?tech ?window ~stress ~kind ~placement ()] picks the
     candidate with the most covering BR at the given SC, returning the
-    winning condition with its BR. [?r_min ?r_max ?grid_points ?rel_tol]
-    pass through to every underlying {!Border.search} (campaign
-    manifests narrow the window to bound cost). *)
+    winning condition with its BR. [window] passes through to every
+    underlying {!Border.search} (campaign manifests narrow it to bound
+    cost), as does [hint] (warm-start border estimates from adjacent
+    campaign points). The [?r_min ?r_max ?grid_points ?rel_tol]
+    optionals are deprecated spellings of [window]'s fields and override
+    them when given ({!Border.Window.over}). *)
 val best_detection :
   ?tech:Dramstress_dram.Tech.t ->
   ?config:Dramstress_dram.Sim_config.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?window:Border.Window.t ->
   ?r_min:float ->
   ?r_max:float ->
   ?grid_points:int ->
   ?rel_tol:float ->
+  ?hint:float list ->
   ?allow_pause:bool ->
   ?pause:float ->
   stress:Dramstress_dram.Stress.t ->
@@ -60,6 +65,7 @@ val evaluate :
   ?tech:Dramstress_dram.Tech.t ->
   ?config:Dramstress_dram.Sim_config.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?window:Border.Window.t ->
   ?axes:Dramstress_dram.Stress.axis list ->
   ?analysis_r:float ->
   ?pause:float ->

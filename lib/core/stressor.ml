@@ -46,7 +46,8 @@ let victim_write kind placement =
   (* the physical level under attack is placement-independent *)
   (logical_op, D.victim_bit kind)
 
-let probe_axis ?tech ?checkpoint ?(analysis_r = 200e3) ?(epsilon = 0.01)
+let probe_axis ?tech ?checkpoint ?window ?(analysis_r = 200e3)
+    ?(epsilon = 0.01)
     ?(force_br = false) ~stress ~kind ~placement ~detection axis values =
   if List.length values < 2 then
     invalid_arg "Stressor.probe_axis: need at least two values";
@@ -87,8 +88,8 @@ let probe_axis ?tech ?checkpoint ?(analysis_r = 200e3) ?(epsilon = 0.01)
   let br_compare () =
     let br_of v =
       ( v,
-        Border.search ?tech ?checkpoint ~stress:(S.set stress axis v) ~kind
-          ~placement detection )
+        Border.search ?tech ?checkpoint ?window
+          ~stress:(S.set stress axis v) ~kind ~placement detection )
     in
     let b_lo = br_of lo and b_hi = br_of hi in
     let verdict =

@@ -45,10 +45,12 @@ type probe = {
     choice). [epsilon] is the significance floor for calling a direction
     (default 10 mV). [force_br] always resolves by BR comparison.
     [checkpoint] memoizes the BR searches a conflicting verdict falls
-    back to. *)
+    back to; [window] is the {!Border.Window} those searches run
+    under (default {!Border.Window.default}). *)
 val probe_axis :
   ?tech:Dramstress_dram.Tech.t ->
   ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?window:Border.Window.t ->
   ?analysis_r:float ->
   ?epsilon:float ->
   ?force_br:bool ->

@@ -20,7 +20,7 @@ type t = {
   nominal : S.t;
 }
 
-let generate ?tech ?jobs ?config ?checkpoint ?(nominal = S.nominal)
+let generate ?tech ?jobs ?config ?checkpoint ?window ?(nominal = S.nominal)
     ?(entries = D.catalog) ?(placements = [ D.True_bl; D.Comp_bl ]) ?pause ()
     =
   let config = Sc.resolve ?tech ?jobs ?config () in
@@ -49,8 +49,8 @@ let generate ?tech ?jobs ?config ?checkpoint ?(nominal = S.nominal)
                   defect_id = entry.D.id;
                   placement;
                   evaluation =
-                    Sc_eval.evaluate ~config ?checkpoint ?pause ~nominal
-                      ~kind:entry.D.kind ~placement ();
+                    Sc_eval.evaluate ~config ?checkpoint ?window ?pause
+                      ~nominal ~kind:entry.D.kind ~placement ();
                 })))
       work
   in

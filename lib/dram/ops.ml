@@ -280,6 +280,11 @@ let set_cache_capacity n = Cache.resize Cache.default n
 let clear_cache () = Cache.clear Cache.default
 let cache_stats () = Cache.stats Cache.default
 
+(* the planner's cost metric: requests that actually reached the solver
+   (scalar transient runs plus ensemble lanes), i.e. what the paper
+   counts as "simulations". Cached replays are free and excluded. *)
+let simulations () = (Cache.stats Cache.default).misses
+
 (* ------------------------------------------------------------------ *)
 (* Retry / degradation ladder                                          *)
 (* ------------------------------------------------------------------ *)

@@ -181,6 +181,14 @@ val clear_cache : unit -> unit
 
 val cache_stats : unit -> cache_stats
 
+(** [simulations ()] is [(cache_stats ()).misses] — the number of
+    requests that actually reached the electrical solver (scalar
+    transient runs plus ensemble lanes; cached replays excluded) since
+    start-up or the last {!clear_cache}. This is the cost metric the
+    adaptive campaign planner minimises and the bench tripwires
+    compare, named so call sites read as what they measure. *)
+val simulations : unit -> int
+
 (** [run ?tech ?sim ?steps_per_cycle ?defect ?vc_init ?v_neighbour
     ?config ?cache ~stress ops] executes the sequence.
 

@@ -16,6 +16,7 @@ module C = Dramstress_core
 module M = Dramstress_march.March
 module St = Dramstress_util.Store
 module Outcome = Dramstress_util.Outcome
+module W = C.Border.Window
 
 let with_store_dir f =
   let dir = Filename.temp_file "dramstress_campaign" "" in
@@ -64,8 +65,8 @@ let test_manifest_full () =
   Alcotest.(check int) "detections" 4 (List.length m.Manifest.detections);
   Alcotest.(check int) "steps-per-cycle" 200 m.Manifest.config.Sc.steps_per_cycle;
   Alcotest.(check (option int)) "jobs" (Some 2) m.Manifest.config.Sc.jobs;
-  Alcotest.(check (float 0.0)) "r-min" 1e4 m.Manifest.r_min;
-  Alcotest.(check int) "grid" 5 m.Manifest.grid_points;
+  Alcotest.(check (float 0.0)) "r-min" 1e4 m.Manifest.window.W.r_min;
+  Alcotest.(check int) "grid" 5 m.Manifest.window.W.grid_points;
   (* the sweep entries really moved the axes *)
   let swept = List.assoc "vdd=2.1,temp=87" m.Manifest.stresses in
   Alcotest.(check (float 0.0)) "swept vdd" 2.1 swept.S.vdd;
@@ -79,9 +80,11 @@ let test_manifest_defaults () =
     (List.length m.Manifest.detections);
   Alcotest.(check bool) "the default is Best" true
     (m.Manifest.detections = [ Manifest.Best ]);
-  Alcotest.(check (float 0.0)) "default r-min" 1e3 m.Manifest.r_min;
-  Alcotest.(check (float 0.0)) "default r-max" 1e11 m.Manifest.r_max;
-  Alcotest.(check int) "default grid" 13 m.Manifest.grid_points
+  Alcotest.(check (float 0.0)) "default r-min" 1e3 m.Manifest.window.W.r_min;
+  Alcotest.(check (float 0.0)) "default r-max" 1e11 m.Manifest.window.W.r_max;
+  Alcotest.(check int) "default grid" 13 m.Manifest.window.W.grid_points;
+  Alcotest.(check bool) "default strategy is grid" true
+    (m.Manifest.window.W.strategy = W.Grid)
 
 let test_manifest_collects_diagnostics () =
   (* one parse, every problem reported: unknown defect, bad axis,
@@ -210,6 +213,26 @@ let test_march_seq_share_address () =
     (Plan.descriptor seq (List.hd (Plan.points seq)))
     (Plan.descriptor march (List.hd (Plan.points march)))
 
+let test_descriptor_strategy_sharing () =
+  (* Grid and Adaptive records may share a store address only when the
+     strategies are provably identical: at [grid-points <= coarse] the
+     adaptive skeleton IS the grid, so the fingerprints collapse;
+     beyond that the adaptive scan may legitimately skip points and the
+     records must live apart *)
+  let d m = Plan.descriptor m (List.hd (Plan.points m)) in
+  let border ?(points = 5) strategy =
+    Printf.sprintf
+      "(border (r-min 1e4) (r-max 1e8) (grid-points %d) (rel-tol 0.05) \
+       (strategy %s))"
+      points strategy
+  in
+  Alcotest.(check string) "coarse adaptive shares the grid address"
+    (d (mini ~border:(border "grid") ()))
+    (d (mini ~border:(border "adaptive") ()));
+  Alcotest.(check bool) "fine adaptive addresses separately" true
+    (d (mini ~border:(border ~points:13 "grid") ())
+    <> d (mini ~border:(border ~points:13 "adaptive") ()))
+
 let test_result_codec_roundtrip () =
   let det =
     C.Detection.v
@@ -320,6 +343,23 @@ let test_runner_failure_retry () =
           (fun (_, st) -> match st with `Done _ -> true | _ -> false)
           states))
 
+let planner_manifest strategy =
+  (* a dense window over one warm-start chain: three sweep settings of
+     the same (defect, placement, detection) cell, walked in order so
+     each border seeds the next bracket *)
+  Printf.sprintf
+    {|
+(campaign
+  (name plan-t)
+  (defects (O1 true))
+  (stress nominal)
+  (sweep (vdd 2.1 2.7))
+  (detections (seq "w1 w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 33) (rel-tol 0.05)
+          (strategy %s)))
+|}
+    strategy
+
 (* ------------------------------------------------------------------ *)
 (* diff                                                                *)
 (* ------------------------------------------------------------------ *)
@@ -330,6 +370,35 @@ let run_campaign dir src =
   let r = Runner.run ~jobs:1 ~store:s m in
   St.close s;
   (m, r)
+
+let test_runner_adaptive_planner_parity () =
+  (* the tentpole end to end: the adaptive planner must report exactly
+     the borders the grid oracle reports, from strictly fewer
+     simulations. [O.simulations] counts solver cache misses, the real
+     cost metric — reused store records and LRU hits are free. *)
+  let run strategy =
+    with_store_dir @@ fun dir ->
+    O.clear_cache ();
+    let before = O.simulations () in
+    let _, r = run_campaign dir (planner_manifest strategy) in
+    (r, O.simulations () - before)
+  in
+  let grid, grid_sims = run "grid" in
+  let adaptive, adaptive_sims = run "adaptive" in
+  Alcotest.(check int) "all points simulated both ways" 3
+    grid.Runner.simulated;
+  Alcotest.(check int) "adaptive planned the same points" 3
+    adaptive.Runner.simulated;
+  List.iter2
+    (fun (_, (g : Plan.result)) (_, (a : Plan.result)) ->
+      Alcotest.(check bool) "borders identical" true
+        (C.Border.equal_result g.Plan.br a.Plan.br))
+    grid.Runner.results adaptive.Runner.results;
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %d sims < grid %d sims" adaptive_sims
+       grid_sims)
+    true
+    (adaptive_sims > 0 && adaptive_sims < grid_sims)
 
 let side dir (m : Manifest.t) label =
   { Diff.store = St.open_ ~engine:"e" ~name:m.Manifest.name dir;
@@ -448,6 +517,7 @@ let () =
           tc "address stable across domains" test_descriptor_domain_stable;
           tc "march and equivalent seq share records"
             test_march_seq_share_address;
+          tc "strategy-aware record sharing" test_descriptor_strategy_sharing;
           tc "result codec round-trips" test_result_codec_roundtrip;
         ] );
       ( "runner",
@@ -455,6 +525,8 @@ let () =
           tc "cold run then warm 100% reuse" test_runner_cold_then_warm;
           tc "failures recorded and retried, successes kept"
             test_runner_failure_retry;
+          tc "adaptive planner: grid parity from fewer simulations"
+            test_runner_adaptive_planner_parity;
         ] );
       ( "diff",
         [

@@ -758,6 +758,321 @@ let test_batched_sweeps_match_scalar () =
         cs.C.Plane.points cb.C.Plane.points)
     ps.C.Plane.curves pb.C.Plane.curves
 
+(* ------------------------------------------------------------------ *)
+(* Adaptive border search                                               *)
+(* ------------------------------------------------------------------ *)
+
+let coarse = C.Border.Window.coarse_points
+
+(* drive [adaptive_scan] over a synthetic boolean curve; indices listed
+   in [fail] probe as unsimulatable *)
+let scan_curve ?(fail = []) ?(seeds = []) curve =
+  let n = Array.length curve in
+  C.Border.adaptive_scan ~n ~coarse ~seeds (fun idxs ->
+      List.map
+        (fun i -> (i, if List.mem i fail then None else Some curve.(i)))
+        idxs)
+
+(* classify sampled indices through [of_samples] on a synthetic grid;
+   the pure refine means equal bracket pairs give equal results — the
+   same argument that makes the electrical strategies bit-identical *)
+let classify n samples =
+  let r_of i = float_of_int (i + 1) in
+  C.Border.of_samples
+    ~refine:(fun r0 r1 -> C.Border.Exact (sqrt (r0 *. r1)))
+    ~r_min:(r_of 0) ~r_max:(r_of (n - 1))
+    (List.map (fun (i, v) -> (r_of i, v)) samples)
+
+let grid_samples curve =
+  List.init (Array.length curve) (fun i -> (i, Some curve.(i)))
+
+(* the provable curve class: at most one detection transition per
+   skeleton interval — every maximal run of equal values touches a
+   skeleton index. Includes non-monotone multi-band curves (up to one
+   flip per gap = up to two interior bands). On this class adaptive
+   equals grid EXACTLY, whatever extra seeds are mixed in. *)
+let provable_curve_gen =
+  let open QCheck.Gen in
+  let seq gens =
+    List.fold_right
+      (fun g acc -> g >>= fun x -> acc >>= fun xs -> return (x :: xs))
+      gens (return [])
+  in
+  int_range coarse 64 >>= fun n ->
+  bool >>= fun init ->
+  let skeleton = List.init coarse (fun k -> k * (n - 1) / (coarse - 1)) in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  let gap_gen (a, b) =
+    if b <= a + 1 then return None
+    else
+      frequency
+        [ (1, return None); (2, map Option.some (int_range (a + 1) b)) ]
+  in
+  seq (List.map gap_gen (pairs skeleton)) >>= fun flips ->
+  let flips = List.filter_map Fun.id flips in
+  return
+    (Array.init n (fun i ->
+         let crossed = List.length (List.filter (fun t -> t <= i) flips) in
+         if crossed mod 2 = 0 then init else not init))
+
+let test_adaptive_scan_parity_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500
+       ~name:"adaptive == grid on the provable class, under any seeds"
+       (QCheck.make
+          QCheck.Gen.(
+            pair provable_curve_gen (small_list (int_range (-3) 80))))
+       (fun (curve, seeds) ->
+         let n = Array.length curve in
+         let adaptive = classify n (scan_curve ~seeds curve) in
+         let grid = classify n (grid_samples curve) in
+         C.Border.equal_result adaptive grid))
+
+let test_adaptive_scan_probes_sparse_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"adaptive probes strictly fewer points on featureless curves"
+       (QCheck.make (QCheck.Gen.int_range 16 64))
+       (fun n ->
+         (* a flat curve needs the skeleton only *)
+         let curve = Array.make n false in
+         List.length (scan_curve curve) = coarse))
+
+let test_adaptive_scan_escalates_on_failure () =
+  (* one lost probe makes the sparse skip pattern untrustworthy: the
+     scan must fall back to the full grid so failure-path semantics
+     (skipped samples, Unknown edges) match the oracle exactly *)
+  let curve = Array.init 33 (fun i -> i >= 20) in
+  let sampled = scan_curve ~fail:[ 8 ] curve in
+  Alcotest.(check int) "all indices probed" 33 (List.length sampled);
+  Alcotest.(check bool) "failed index is None" true
+    (List.assoc 8 sampled = None);
+  Alcotest.(check bool) "classification matches oracle with same failure"
+    true
+    (C.Border.equal_result
+       (classify 33 sampled)
+       (classify 33
+          (List.init 33 (fun i ->
+               (i, if i = 8 then None else Some curve.(i))))))
+
+let test_adaptive_scan_seeds_reveal_narrow_band () =
+  (* the documented caveat, pinned: a band narrower than the skeleton
+     spacing hides from a cold adaptive scan (grid stays the oracle),
+     but a warm-start seed inside it restores full grid parity *)
+  let n = 17 in
+  let curve = Array.init n (fun i -> i = 6) in
+  let cold = classify n (scan_curve curve) in
+  let seeded = classify n (scan_curve ~seeds:[ 6 ] curve) in
+  let grid = classify n (grid_samples curve) in
+  Alcotest.(check bool) "cold adaptive misses the hidden band" true
+    (C.Border.equal_result cold C.Border.Never_faulty);
+  Alcotest.(check bool) "seeded adaptive equals grid" true
+    (C.Border.equal_result seeded grid)
+
+(* capped at 1e8: beyond ~4e8 the solver legitimately fails on opens,
+   and a failed skeleton probe escalates the adaptive scan to the full
+   grid (parity still holds, but the sparseness assertions would be
+   vacuous) *)
+let parity_window strategy =
+  C.Border.Window.v ~r_min:1e3 ~r_max:1e8 ~grid_points:9 ~rel_tol:0.05
+    ~strategy ()
+
+let test_border_adaptive_matches_grid_catalog () =
+  (* every defect class and placement in the catalog must report the
+     same border under both strategies — the electrical face of the
+     parity property *)
+  List.iter
+    (fun (entry : D.entry) ->
+      List.iter
+        (fun placement ->
+          let cond =
+            C.Detection.standard
+              ~victim:(D.logical_victim entry.D.kind placement) ~primes:2
+          in
+          let br strategy =
+            C.Border.search
+              ~window:(parity_window strategy)
+              ~stress:nominal ~kind:entry.D.kind ~placement cond
+          in
+          let g = br C.Border.Window.Grid in
+          let a = br C.Border.Window.Adaptive in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: %s == %s" entry.D.id
+               (Format.asprintf "%a" D.pp_placement placement)
+               (Format.asprintf "%a" C.Border.pp_result g)
+               (Format.asprintf "%a" C.Border.pp_result a))
+            true (C.Border.equal_result g a))
+        [ D.True_bl; D.Comp_bl ])
+    D.catalog;
+  (* the banded case too: B2 retention at the hot corner yields an
+     interior band under grid mode; adaptive must agree exactly *)
+  let cond = C.Detection.retention ~victim:0 ~pause:1e-3 in
+  let br strategy =
+    C.Border.search
+      ~window:
+        (C.Border.Window.v ~r_min:1e3 ~r_max:1e11 ~grid_points:13
+           ~rel_tol:0.05 ~strategy ())
+      ~stress:(S.with_temp_c nominal 87.0)
+      ~kind:D.Bridge_to_neighbour ~placement:D.True_bl cond
+  in
+  let g = br C.Border.Window.Grid in
+  Alcotest.(check bool) "banded result and parity" true
+    ((match g with C.Border.Faulty_band _ -> true | _ -> false)
+    && C.Border.equal_result g (br C.Border.Window.Adaptive))
+
+let test_border_hint_invariance () =
+  (* warm-start hints add probes, never change the answer: a good hint,
+     a wrong hint and an out-of-window hint all report the cold result *)
+  let cond = C.Detection.standard ~victim:0 ~primes:2 in
+  let br hint =
+    C.Border.search
+      ~window:(parity_window C.Border.Window.Adaptive)
+      ~hint ~stress:nominal ~kind:open_kind ~placement:D.True_bl cond
+  in
+  let cold = br [] in
+  List.iter
+    (fun hint ->
+      Alcotest.(check bool) "hinted equals cold" true
+        (C.Border.equal_result cold (br hint)))
+    [ [ 2e5 ]; [ 1e8 ]; [ 1e-2 ]; [ 2e5; 1e7 ] ]
+
+let test_border_adaptive_simulates_fewer () =
+  (* the point of the strategy: on a dense window the adaptive scan
+     must take well under half the grid's probes (the bench tripwire
+     enforces the full >=5x claim on the campaign scale) *)
+  let module Tel = Dramstress_util.Telemetry in
+  let c_probes = Tel.Counter.make "core.border.probes" in
+  Tel.set_enabled true;
+  Fun.protect ~finally:(fun () -> Tel.set_enabled false) @@ fun () ->
+  O.set_caching false;
+  Fun.protect ~finally:(fun () -> O.set_caching true) @@ fun () ->
+  let cond = C.Detection.standard ~victim:0 ~primes:2 in
+  let probes strategy =
+    let before = Tel.Counter.value c_probes in
+    ignore
+      (C.Border.search
+         ~window:
+           (C.Border.Window.v ~r_min:1e3 ~r_max:1e8 ~grid_points:33
+              ~rel_tol:0.05 ~strategy ())
+         ~stress:nominal ~kind:open_kind ~placement:D.True_bl cond);
+    Tel.Counter.value c_probes - before
+  in
+  let g = probes C.Border.Window.Grid in
+  let a = probes C.Border.Window.Adaptive in
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %d probes < half of grid %d" a g)
+    true
+    (a > 0 && 2 * a < g)
+
+let test_border_adaptive_checkpoint_resume () =
+  (* kill mid-refinement: drop the whole-result record and the last
+     edge record, resume, and assert the result is identical while only
+     the unfinished bracket re-simulates *)
+  let module Tel = Dramstress_util.Telemetry in
+  let module Ck = Dramstress_util.Checkpoint in
+  let c_probes = Tel.Counter.make "core.border.probes" in
+  let path = Filename.temp_file "dramstress_adaptive" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Tel.set_enabled true;
+      Fun.protect ~finally:(fun () -> Tel.set_enabled false) @@ fun () ->
+      let cond = C.Detection.standard ~victim:0 ~primes:2 in
+      let search checkpoint =
+        let before = Tel.Counter.value c_probes in
+        let r =
+          C.Border.search ?checkpoint
+            ~window:
+              (C.Border.Window.v ~r_min:1e3 ~r_max:1e8 ~grid_points:17
+                 ~rel_tol:0.05 ~strategy:C.Border.Window.Adaptive ())
+            ~stress:nominal ~kind:open_kind ~placement:D.True_bl cond
+        in
+        (r, Tel.Counter.value c_probes - before)
+      in
+      let ck = Ck.open_ path in
+      let cold, cold_probes = search (Some ck) in
+      Ck.close ck;
+      let lines =
+        let ic = open_in path in
+        let rec go acc =
+          match input_line ic with
+          | l -> go (l :: acc)
+          | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+        in
+        go []
+      in
+      Alcotest.(check bool) "cold run wrote probe + edge + result records"
+        true
+        (List.length lines > 3);
+      let keep = List.filteri (fun i _ -> i < List.length lines - 2) lines in
+      let oc = open_out path in
+      List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+      close_out oc;
+      let ck = Ck.open_ ~resume:true path in
+      let resumed, resumed_probes = search (Some ck) in
+      Ck.close ck;
+      Alcotest.(check bool) "resumed result identical" true
+        (C.Border.equal_result cold resumed);
+      Alcotest.(check bool)
+        (Printf.sprintf "resume re-simulated only the lost bracket: %d < %d"
+           resumed_probes cold_probes)
+        true
+        (resumed_probes > 0 && resumed_probes < cold_probes);
+      (* a third run replays the completed whole-result record: free *)
+      let ck = Ck.open_ ~resume:true path in
+      let replayed, replay_probes = search (Some ck) in
+      Ck.close ck;
+      Alcotest.(check bool) "warm replay is free and identical" true
+        (C.Border.equal_result cold replayed && replay_probes = 0))
+
+let test_window_smart_constructors () =
+  let module W = C.Border.Window in
+  Alcotest.check_raises "r_min >= r_max rejected"
+    (Invalid_argument "Border.Window.v: need 0 < r_min < r_max") (fun () ->
+      ignore (W.v ~r_min:1e6 ~r_max:1e3 ()));
+  Alcotest.check_raises "grid_points < 2 rejected"
+    (Invalid_argument "Border.Window.v: grid_points < 2") (fun () ->
+      ignore (W.v ~grid_points:1 ()));
+  Alcotest.check_raises "rel_tol <= 0 rejected"
+    (Invalid_argument "Border.Window.v: rel_tol <= 0") (fun () ->
+      ignore (W.v ~rel_tol:0.0 ()));
+  (* deprecated optionals override the matching window fields *)
+  let w = W.over ~base:(W.v ~r_min:1e4 ~grid_points:25 ()) ~r_min:1e5 () in
+  Alcotest.(check (float 0.0)) "override wins" 1e5 w.W.r_min;
+  Alcotest.(check int) "untouched field kept" 25 w.W.grid_points;
+  (* fingerprint: provably-grid adaptive windows share the grid address *)
+  let g = W.v ~grid_points:5 () in
+  let a5 = W.v ~grid_points:5 ~strategy:W.Adaptive () in
+  let a13 = W.v ~strategy:W.Adaptive () in
+  Alcotest.(check string) "coarse adaptive == grid fingerprint"
+    (W.fingerprint g) (W.fingerprint a5);
+  Alcotest.(check bool) "fine adaptive addresses separately" true
+    (W.fingerprint a13 <> W.fingerprint (W.v ()));
+  Alcotest.(check bool) "strategy names round-trip" true
+    (W.strategy_of_name (W.strategy_name W.Adaptive) = Some W.Adaptive
+    && W.strategy_of_name (W.strategy_name W.Grid) = Some W.Grid
+    && W.strategy_of_name "bogus" = None)
+
+let test_improvement_uses_window_tolerance () =
+  (* mixed shapes whose nominal coverage is narrower than the window
+     tolerance are refinement noise under the default 1%% but real
+     signal under a tight window *)
+  let nominal_br = C.Border.Faulty_band { lo = 1e6; hi = 1.005e6 } in
+  let stressed = C.Border.Always_faulty in
+  let pol = D.High_r_fails in
+  Alcotest.(check bool) "noise under the default tolerance" true
+    (C.Border.improvement pol ~nominal:nominal_br ~stressed = None);
+  let tight = C.Border.Window.v ~rel_tol:1e-4 () in
+  Alcotest.(check bool) "signal under a tight window" true
+    (match C.Border.improvement ~window:tight pol ~nominal:nominal_br ~stressed with
+    | Some f -> f > 1.0
+    | None -> false)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -784,6 +1099,26 @@ let () =
           tc "of_samples unknown edges" test_of_samples_unknown_edge;
           tc "result codec roundtrip" test_border_codec_roundtrip;
           tc "improvement in log decades" test_improvement_log_decades;
+        ] );
+      ( "adaptive",
+        [
+          test_adaptive_scan_parity_prop;
+          test_adaptive_scan_probes_sparse_prop;
+          tc "escalates to full grid on probe failure"
+            test_adaptive_scan_escalates_on_failure;
+          tc "seeds reveal a sub-skeleton band"
+            test_adaptive_scan_seeds_reveal_narrow_band;
+          slow "grid parity across the defect catalog"
+            test_border_adaptive_matches_grid_catalog;
+          slow "hints never change the result" test_border_hint_invariance;
+          slow "adaptive simulates fewer points"
+            test_border_adaptive_simulates_fewer;
+          slow "checkpoint resume mid-refinement"
+            test_border_adaptive_checkpoint_resume;
+          tc "window constructors and fingerprints"
+            test_window_smart_constructors;
+          tc "improvement floor follows the window"
+            test_improvement_uses_window_tolerance;
         ] );
       ( "planes",
         [
