@@ -1011,6 +1011,19 @@ let campaign () =
   in
   let cold, cold_sum = wall run in
   let warm, warm_sum = wall run in
+  (* the same campaign against a fingerprint-sharded store — the layout
+     the campaign service uses — prices the per-shard open/index cost *)
+  let sh_dir = dir ^ ".sharded" in
+  Fun.protect ~finally:(fun () -> try rm sh_dir with Sys_error _ -> ())
+  @@ fun () ->
+  let run_sharded () =
+    let s = St.open_ ~shards:16 ~name:"bench" sh_dir in
+    Fun.protect
+      ~finally:(fun () -> St.close s)
+      (fun () -> Cp.Runner.run ~jobs:1 ~store:s m)
+  in
+  let sh_cold, _ = wall run_sharded in
+  let sh_warm, sh_warm_sum = wall run_sharded in
   O.set_caching true;
   let ratio a b = if b > 0.0 then a /. b else Float.nan in
   let write_overhead_pct = 100.0 *. (ratio cold direct -. 1.0) in
@@ -1032,6 +1045,15 @@ let campaign () =
     (if reuse_ok then "ok" else "VIOLATION: warm run recomputed");
   Printf.printf "  %-40s %10.1f us/point\n" "store read cost, warm"
     (1e6 *. warm /. float_of_int n);
+  let sh_reuse_ok =
+    sh_warm_sum.Cp.Runner.simulated = 0 && sh_warm_sum.Cp.Runner.reused = n
+  in
+  Printf.printf "  %-40s %10.4f s   (vs single-file %+.1f%%)\n"
+    "cold run, 16-way sharded store" sh_cold
+    (100.0 *. (ratio sh_cold cold -. 1.0));
+  Printf.printf "  %-40s %10.4f s   (%d/%d reused: %s)\n"
+    "warm rerun, 16-way sharded store" sh_warm sh_warm_sum.Cp.Runner.reused n
+    (if sh_reuse_ok then "ok" else "VIOLATION: warm run recomputed");
   let json =
     Printf.sprintf
       "{\n\
@@ -1042,11 +1064,13 @@ let campaign () =
       \  \"warm_speedup\": { \"value\": %.1f, \"limit\": %.1f, \
        \"within_limit\": %b },\n\
       \  \"warm_reuse\": { \"reused\": %d, \"simulated\": %d, \"full_reuse\": \
-       %b }\n\
+       %b },\n\
+      \  \"sharded\": { \"shards\": 16, \"cold_s\": %.5f, \"warm_s\": %.5f, \
+       \"full_reuse\": %b }\n\
        }\n"
       n direct cold warm write_overhead_pct warm_speedup speedup_limit
       speedup_ok warm_sum.Cp.Runner.reused warm_sum.Cp.Runner.simulated
-      reuse_ok
+      reuse_ok sh_cold sh_warm sh_reuse_ok
   in
   Out_channel.with_open_text "BENCH_campaign.json" (fun oc ->
       output_string oc json);

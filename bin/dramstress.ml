@@ -816,27 +816,72 @@ let jobs_arg =
            ~doc:"Worker domains (default: the manifest's sim section, \
                  else the machine).")
 
+let server_arg =
+  Arg.(value & opt (some string) None
+       & info [ "server" ] ~docv:"SOCK"
+           ~doc:"Submit the manifest to a running $(b,dramstress serve) \
+                 daemon at this Unix-domain socket instead of simulating \
+                 locally; per-point results stream back as they land.")
+
+let reconnect_arg =
+  Arg.(value & opt int 10
+       & info [ "reconnect" ] ~docv:"N"
+           ~doc:"With $(b,--server): reconnect and resubmit up to N times \
+                 when the connection drops mid-campaign. Completed points \
+                 persist server-side, so a resubmission reuses them.")
+
 let campaign_run_cmd =
-  let run tel fail_on_error jobs manifest store_dir =
-    let failures =
-      with_telemetry tel @@ fun () ->
-      let m = Cp.Manifest.load manifest in
-      let dir = store_dir_of manifest store_dir in
-      with_store ~name:m.Cp.Manifest.name dir @@ fun store ->
-      let s = Cp.Runner.run ?jobs ~store m in
-      Format.printf "%a@." Cp.Runner.pp_summary s;
-      List.map
-        (fun f -> f.Dramstress_util.Outcome.error)
-        s.Cp.Runner.failures
-    in
-    failures_exit ~fail_on_error failures
+  let run tel fail_on_error jobs manifest store_dir server reconnect =
+    match server with
+    | Some socket ->
+      let failed =
+        with_telemetry tel @@ fun () ->
+        let text = In_channel.with_open_text manifest In_channel.input_all in
+        let on_event = function
+          | Cp.Protocol.Point { descr; status; payload } ->
+            Printf.printf "%-44s %-9s %s\n%!" descr
+              (Cp.Protocol.string_of_point_status status)
+              payload
+          | _ -> ()
+        in
+        (match
+           Cp.Service.Client.submit_retrying ?jobs ~attempts:reconnect
+             ~on_event ~socket text
+         with
+        | Ok o ->
+          Printf.printf
+            "campaign: %d point(s) planned, %d reused, %d simulated, %d \
+             deduped, %d failed\n"
+            o.Cp.Service.Client.planned o.Cp.Service.Client.reused
+            o.Cp.Service.Client.simulated o.Cp.Service.Client.deduped
+            o.Cp.Service.Client.failed;
+          o.Cp.Service.Client.failed
+        | Error msg ->
+          prerr_endline ("dramstress: server error: " ^ msg);
+          exit 1)
+      in
+      if fail_on_error && failed > 0 then exit 3
+    | None ->
+      let failures =
+        with_telemetry tel @@ fun () ->
+        let m = Cp.Manifest.load manifest in
+        let dir = store_dir_of manifest store_dir in
+        with_store ~name:m.Cp.Manifest.name dir @@ fun store ->
+        let s = Cp.Runner.run ?jobs ~store m in
+        Format.printf "%a@." Cp.Runner.pp_summary s;
+        List.map
+          (fun f -> f.Dramstress_util.Outcome.error)
+          s.Cp.Runner.failures
+      in
+      failures_exit ~fail_on_error failures
   in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Execute a campaign: simulate only the points its store does \
-             not already hold")
+             not already hold (locally, or via a campaign server)")
     Term.(const run $ telemetry_term $ fail_on_error_arg $ jobs_arg
-          $ manifest_pos 0 "MANIFEST" $ store_opt_arg)
+          $ manifest_pos 0 "MANIFEST" $ store_opt_arg $ server_arg
+          $ reconnect_arg)
 
 let campaign_status_cmd =
   let run tel manifest store_dir =
@@ -999,6 +1044,155 @@ let campaign_cmd =
       campaign_diff_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* serve: the campaign service daemon (and its control client)         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"SOCK"
+             ~doc:"Unix-domain socket path (default: \
+                   $(b,DIR/dramstress.sock) under $(b,--store)).")
+  in
+  let serve_store_arg =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Store directory the server owns (created if needed).")
+  in
+  let shards_serve_arg =
+    Arg.(value & opt int 16
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Shard a freshly created store N ways by fingerprint \
+                   prefix. An existing store keeps its own layout.")
+  in
+  let name_arg =
+    Arg.(value & opt string "service"
+         & info [ "name" ] ~docv:"NAME" ~doc:"Store name for a fresh store.")
+  in
+  let stop_arg =
+    Arg.(value & flag
+         & info [ "stop" ]
+             ~doc:"Client mode: ask the daemon at the socket to shut down \
+                   (in-flight submissions complete first).")
+  in
+  let status_flag_arg =
+    Arg.(value & flag
+         & info [ "status" ]
+             ~doc:"Client mode: print the daemon's store summary and \
+                   in-flight count.")
+  in
+  let counters_arg =
+    Arg.(value & flag
+         & info [ "counters" ]
+             ~doc:"Client mode: print the daemon's telemetry counters, \
+                   one $(b,name value) line each.")
+  in
+  let run tel socket store_dir shards name jobs stop status counters =
+    with_telemetry tel @@ fun () ->
+    let socket_of () =
+      match (socket, store_dir) with
+      | Some s, _ -> s
+      | None, Some d -> Filename.concat d "dramstress.sock"
+      | None, None -> failwith "serve: need --socket or --store"
+    in
+    if stop then begin
+      match
+        Cp.Service.Client.request ~socket:(socket_of ()) Cp.Protocol.Shutdown
+      with
+      | Cp.Protocol.Bye -> print_endline "server stopping"
+      | _ -> failwith "unexpected reply to shutdown"
+    end
+    else if counters then begin
+      match
+        Cp.Service.Client.request ~socket:(socket_of ()) Cp.Protocol.Counters
+      with
+      | Cp.Protocol.Counter_values cs ->
+        List.iter (fun (n, v) -> Printf.printf "%s %d\n" n v) cs
+      | _ -> failwith "unexpected reply to counters"
+    end
+    else if status then begin
+      match
+        Cp.Service.Client.request ~socket:(socket_of ()) Cp.Protocol.Status
+      with
+      | Cp.Protocol.Status_report { name; engine; records; shards; inflight }
+        ->
+        Printf.printf
+          "store:    %s\nengine:   %s\nrecords:  %d\nshards:   %d\n\
+           inflight: %d\n"
+          name engine records shards inflight
+      | _ -> failwith "unexpected reply to status"
+    end
+    else begin
+      let dir =
+        match store_dir with
+        | Some d -> d
+        | None -> failwith "serve: --store DIR required to run the daemon"
+      in
+      let store = Store.open_ ~name ~shards dir in
+      let socket_path = socket_of () in
+      let srv = Cp.Service.create ?jobs ~store ~socket_path () in
+      let graceful = Sys.Signal_handle (fun _ -> Cp.Service.stop srv) in
+      Sys.set_signal Sys.sigterm graceful;
+      Sys.set_signal Sys.sigint graceful;
+      Printf.printf
+        "dramstress serve: listening on %s (store %s, %d shard(s))\n%!"
+        socket_path dir (Store.shards store);
+      Cp.Service.serve srv
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the campaign service: a daemon owning a sharded store, \
+             executing concurrent campaign submissions over a local \
+             socket with in-flight deduplication")
+    Term.(const run $ telemetry_term $ socket_arg $ serve_store_arg
+          $ shards_serve_arg $ name_arg $ jobs_arg $ stop_arg
+          $ status_flag_arg $ counters_arg)
+
+(* ------------------------------------------------------------------ *)
+(* store: offline store maintenance                                    *)
+(* ------------------------------------------------------------------ *)
+
+let store_merge_cmd =
+  let dir_pos idx docv doc =
+    Arg.(required & pos idx (some string) None & info [] ~docv ~doc)
+  in
+  let run tel src dst =
+    with_telemetry tel @@ fun () ->
+    if not (Sys.file_exists src && Sys.is_directory src) then
+      failwith (src ^ " is not a store directory");
+    let dst_name =
+      match Store.index dst with
+      | Some ix -> ix.Store.ix_name
+      | None -> "store"
+    in
+    let dst_store = Store.open_ ~name:dst_name dst in
+    let src_store = Store.open_ ~name:"merge-src" src in
+    Fun.protect
+      ~finally:(fun () ->
+        Store.close src_store;
+        Store.close dst_store)
+      (fun () ->
+        let st = Store.merge ~src:src_store ~dst:dst_store in
+        Printf.printf "merged %s into %s: %d added, %d replaced, %d kept\n"
+          src dst st.Store.added st.Store.replaced st.Store.kept)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:"Union SRC's records into DST by content address; on \
+             conflicting payloads the current-engine record wins, \
+             otherwise DST keeps its copy")
+    Term.(const run $ telemetry_term
+          $ dir_pos 0 "SRC" "Source store directory (read only)."
+          $ dir_pos 1 "DST" "Destination store directory (created if needed).")
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Offline maintenance of campaign result stores")
+    [ store_merge_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* version: build metadata                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1035,4 +1229,4 @@ let () =
        (Cmd.group info
           [ run_cmd; plane_cmd; br_cmd; stress_cmd; table1_cmd; shmoo_cmd;
             march_cmd; catalog_cmd; sim_cmd; chaos_cmd; campaign_cmd;
-            version_cmd ]))
+            serve_cmd; store_cmd; version_cmd ]))

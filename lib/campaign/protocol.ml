@@ -1,0 +1,355 @@
+(* Wire protocol of the campaign service: small s-expressions in
+   length-prefixed frames over a local Unix-domain socket.
+
+   A frame is an 8-hex-digit payload length followed by exactly that
+   many bytes of rendered s-expression. Hex keeps the header fixed
+   width and human-greppable in captures; the length prefix means
+   neither side ever scans for a terminator inside manifest text. *)
+
+type sexp = Atom of string | List of sexp list
+
+(* ---- rendering ---- *)
+
+let needs_quoting s =
+  s = ""
+  || String.exists
+       (function
+         | ' ' | '(' | ')' | '"' | '\n' | '\t' | '\r' | '\\' -> true
+         | _ -> false)
+       s
+
+let rec print buf = function
+  | Atom s ->
+    if needs_quoting s then begin
+      Buffer.add_char buf '"';
+      String.iter
+        (fun c ->
+          match c with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | '\t' -> Buffer.add_string buf "\\t"
+          | '\r' -> Buffer.add_string buf "\\r"
+          | c -> Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '"'
+    end
+    else Buffer.add_string buf s
+  | List xs ->
+    Buffer.add_char buf '(';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ' ';
+        print buf x)
+      xs;
+    Buffer.add_char buf ')'
+
+let to_string x =
+  let b = Buffer.create 256 in
+  print b x;
+  Buffer.contents b
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+      incr pos;
+      skip_ws ()
+    | _ -> ()
+  in
+  let rec parse () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Parse_error "unexpected end of input")
+    | Some '(' ->
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip_ws ();
+        match peek () with
+        | Some ')' -> incr pos
+        | None -> raise (Parse_error "unclosed list")
+        | Some _ ->
+          items := parse () :: !items;
+          loop ()
+      in
+      loop ();
+      List (List.rev !items)
+    | Some ')' -> raise (Parse_error "unexpected )")
+    | Some '"' ->
+      incr pos;
+      let b = Buffer.create 32 in
+      let rec qloop () =
+        if !pos >= n then raise (Parse_error "unclosed string");
+        let c = s.[!pos] in
+        incr pos;
+        match c with
+        | '"' -> ()
+        | '\\' ->
+          if !pos >= n then raise (Parse_error "dangling escape");
+          let e = s.[!pos] in
+          incr pos;
+          Buffer.add_char b
+            (match e with 'n' -> '\n' | 't' -> '\t' | 'r' -> '\r' | c -> c);
+          qloop ()
+        | c ->
+          Buffer.add_char b c;
+          qloop ()
+      in
+      qloop ();
+      Atom (Buffer.contents b)
+    | Some _ ->
+      let start = !pos in
+      let rec aloop () =
+        match peek () with
+        | Some (' ' | '\n' | '\t' | '\r' | '(' | ')' | '"') | None -> ()
+        | Some _ ->
+          incr pos;
+          aloop ()
+      in
+      aloop ();
+      Atom (String.sub s start (!pos - start))
+  in
+  match parse () with
+  | x ->
+    skip_ws ();
+    if !pos <> n then Error "trailing bytes after s-expression" else Ok x
+  | exception Parse_error m -> Error m
+
+(* ---- framing ---- *)
+
+(* well above any manifest or rendered diff, well below a typo'd header *)
+let max_frame = 16 * 1024 * 1024
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n = Unix.write fd buf off len in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_frame fd x =
+  let payload = Bytes.of_string (to_string x) in
+  let header = Bytes.of_string (Printf.sprintf "%08x" (Bytes.length payload)) in
+  write_all fd header 0 8;
+  write_all fd payload 0 (Bytes.length payload)
+
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off >= len then Some buf
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> None
+      | n -> go (off + n)
+  in
+  go 0
+
+let read_frame fd =
+  match read_exact fd 8 with
+  | None -> Error `Eof
+  | Some h -> (
+    match int_of_string_opt ("0x" ^ Bytes.to_string h) with
+    | None -> Error (`Protocol "bad frame header")
+    | Some len when len < 0 || len > max_frame ->
+      Error (`Protocol "oversized frame")
+    | Some len -> (
+      match read_exact fd len with
+      | None -> Error `Eof
+      | Some payload -> (
+        match of_string (Bytes.to_string payload) with
+        | Ok x -> Ok x
+        | Error m -> Error (`Protocol m))))
+
+(* ---- typed requests and responses ---- *)
+
+type request =
+  | Submit of { manifest : string; jobs : int option }
+  | Status
+  | Query of string
+  | Diff of { a : string; b : string }
+  | Merge of string
+  | Counters
+  | Shutdown
+
+type point_status = Reused | Simulated | Deduped | Failed
+
+type response =
+  | Point of { descr : string; status : point_status; payload : string }
+  | Done of {
+      planned : int;
+      reused : int;
+      simulated : int;
+      deduped : int;
+      failed : int;
+    }
+  | Status_report of {
+      name : string;
+      engine : string;
+      records : int;
+      shards : int;
+      inflight : int;
+    }
+  | Found of string
+  | Not_found
+  | Diff_report of string
+  | Merged of { added : int; replaced : int; kept : int }
+  | Counter_values of (string * int) list
+  | Bye
+  | Error_msg of string
+
+let kv name v = List [ Atom name; Atom v ]
+let kvi name v = kv name (string_of_int v)
+
+let field name items =
+  List.find_map
+    (function
+      | List [ Atom n; Atom v ] when n = name -> Some v
+      | _ -> None)
+    items
+
+let int_field name items = Option.bind (field name items) int_of_string_opt
+
+let string_of_point_status = function
+  | Reused -> "reused"
+  | Simulated -> "simulated"
+  | Deduped -> "deduped"
+  | Failed -> "failed"
+
+let point_status_of_string = function
+  | "reused" -> Some Reused
+  | "simulated" -> Some Simulated
+  | "deduped" -> Some Deduped
+  | "failed" -> Some Failed
+  | _ -> None
+
+let encode_request = function
+  | Submit { manifest; jobs } ->
+    List
+      (Atom "submit" :: kv "manifest" manifest
+      :: (match jobs with Some j -> [ kvi "jobs" j ] | None -> []))
+  | Status -> List [ Atom "status" ]
+  | Query key -> List [ Atom "query"; Atom key ]
+  | Diff { a; b } -> List [ Atom "diff"; kv "a" a; kv "b" b ]
+  | Merge dir -> List [ Atom "merge"; Atom dir ]
+  | Counters -> List [ Atom "counters" ]
+  | Shutdown -> List [ Atom "shutdown" ]
+
+let decode_request = function
+  | List (Atom "submit" :: items) -> (
+    match field "manifest" items with
+    | Some manifest -> Ok (Submit { manifest; jobs = int_field "jobs" items })
+    | None -> Error "submit: missing manifest")
+  | List [ Atom "status" ] -> Ok Status
+  | List [ Atom "query"; Atom key ] -> Ok (Query key)
+  | List (Atom "diff" :: items) -> (
+    match (field "a" items, field "b" items) with
+    | Some a, Some b -> Ok (Diff { a; b })
+    | _ -> Error "diff: missing side")
+  | List [ Atom "merge"; Atom dir ] -> Ok (Merge dir)
+  | List [ Atom "counters" ] -> Ok Counters
+  | List [ Atom "shutdown" ] -> Ok Shutdown
+  | x -> Error ("unknown request: " ^ to_string x)
+
+let encode_response = function
+  | Point { descr; status; payload } ->
+    List
+      [
+        Atom "point";
+        kv "descr" descr;
+        kv "status" (string_of_point_status status);
+        kv "payload" payload;
+      ]
+  | Done { planned; reused; simulated; deduped; failed } ->
+    List
+      [
+        Atom "done";
+        kvi "planned" planned;
+        kvi "reused" reused;
+        kvi "simulated" simulated;
+        kvi "deduped" deduped;
+        kvi "failed" failed;
+      ]
+  | Status_report { name; engine; records; shards; inflight } ->
+    List
+      [
+        Atom "status";
+        kv "name" name;
+        kv "engine" engine;
+        kvi "records" records;
+        kvi "shards" shards;
+        kvi "inflight" inflight;
+      ]
+  | Found v -> List [ Atom "found"; Atom v ]
+  | Not_found -> List [ Atom "not-found" ]
+  | Diff_report text -> List [ Atom "diff-report"; Atom text ]
+  | Merged { added; replaced; kept } ->
+    List
+      [ Atom "merged"; kvi "added" added; kvi "replaced" replaced;
+        kvi "kept" kept ]
+  | Counter_values cs ->
+    List (Atom "counters" :: List.map (fun (n, v) -> kvi n v) cs)
+  | Bye -> List [ Atom "bye" ]
+  | Error_msg m -> List [ Atom "error"; Atom m ]
+
+let decode_response = function
+  | List (Atom "point" :: items) -> (
+    match
+      ( field "descr" items,
+        Option.bind (field "status" items) point_status_of_string,
+        field "payload" items )
+    with
+    | Some descr, Some status, Some payload ->
+      Ok (Point { descr; status; payload })
+    | _ -> Error "point: missing field")
+  | List (Atom "done" :: items) -> (
+    match
+      ( int_field "planned" items,
+        int_field "reused" items,
+        int_field "simulated" items,
+        int_field "deduped" items,
+        int_field "failed" items )
+    with
+    | Some planned, Some reused, Some simulated, Some deduped, Some failed ->
+      Ok (Done { planned; reused; simulated; deduped; failed })
+    | _ -> Error "done: missing field")
+  | List (Atom "status" :: items) -> (
+    match
+      ( field "name" items,
+        field "engine" items,
+        int_field "records" items,
+        int_field "shards" items,
+        int_field "inflight" items )
+    with
+    | Some name, Some engine, Some records, Some shards, Some inflight ->
+      Ok (Status_report { name; engine; records; shards; inflight })
+    | _ -> Error "status: missing field")
+  | List [ Atom "found"; Atom v ] -> Ok (Found v)
+  | List [ Atom "not-found" ] -> Ok Not_found
+  | List [ Atom "diff-report"; Atom text ] -> Ok (Diff_report text)
+  | List (Atom "merged" :: items) -> (
+    match
+      ( int_field "added" items,
+        int_field "replaced" items,
+        int_field "kept" items )
+    with
+    | Some added, Some replaced, Some kept -> Ok (Merged { added; replaced; kept })
+    | _ -> Error "merged: missing field")
+  | List (Atom "counters" :: items) ->
+    Ok
+      (Counter_values
+         (List.filter_map
+            (function
+              | List [ Atom n; Atom v ] ->
+                Option.map (fun v -> (n, v)) (int_of_string_opt v)
+              | _ -> None)
+            items))
+  | List [ Atom "bye" ] -> Ok Bye
+  | List [ Atom "error"; Atom m ] -> Ok (Error_msg m)
+  | x -> Error ("unknown response: " ^ to_string x)

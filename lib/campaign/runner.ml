@@ -14,6 +14,7 @@ let c_planned = Tel.Counter.make "campaign.points_planned"
 let c_reused = Tel.Counter.make "campaign.points_reused"
 let c_simulated = Tel.Counter.make "campaign.points_simulated"
 let c_failed = Tel.Counter.make "campaign.points_failed"
+let c_deduped = Tel.Counter.make "campaign.points_deduped"
 
 type state = [ `Done of Plan.result | `Failed of string | `Missing ]
 
@@ -37,9 +38,26 @@ type summary = {
   planned : int;
   reused : int;
   simulated : int;
+  deduped : int;
   results : (Plan.point * Plan.result) list;
   failures : Plan.point Outcome.failure list;
 }
+
+(* in-flight deduplication hook for multi-client execution: before
+   simulating a missing point the runner [claim]s its descriptor; the
+   gate answers [`Run] (we own it — [publish] the outcome when done,
+   success or failure, or every waiter hangs) or [`Wait] (someone else
+   owns it — the thunk blocks until their published outcome) *)
+type gate = {
+  claim : string -> [ `Run | `Wait of unit -> (Plan.result, string) result ];
+  publish : string -> (Plan.result, string) result -> unit;
+}
+
+type event =
+  [ `Reused of Plan.result
+  | `Simulated of Plan.result
+  | `Deduped of Plan.result
+  | `Failed of string ]
 
 (* warm-start seeds for the next point of a chain: the border estimates
    of a finished result. They only ADD probes to an adaptive scan, so a
@@ -77,7 +95,7 @@ let chains_of classified =
     classified;
   List.rev_map (fun k -> List.rev !(Hashtbl.find tbl k)) !order
 
-let run ?jobs ~store (m : Manifest.t) =
+let run ?jobs ?gate ?on_point ~store (m : Manifest.t) =
   let points = Plan.points m in
   let planned = List.length points in
   Tel.Counter.add c_planned planned;
@@ -102,9 +120,12 @@ let run ?jobs ~store (m : Manifest.t) =
   (* the store's checkpoint handle memoizes the border searches INSIDE
      each point, so killing a run mid-point loses nothing but the
      classification step; the point record itself is written from the
-     worker the moment its result exists *)
-  let checkpoint = Store.checkpoint store in
+     worker the moment its result exists. Routing by the point's own
+     descriptor keeps a point's probe memos in the same shard as its
+     result on a sharded store. *)
+  let notify p ev = match on_point with Some f -> f p ev | None -> () in
   let simulate ~hint (p : Plan.point) =
+    let checkpoint = Store.checkpoint_for store ~key:(Plan.descriptor m p) in
     match p.Plan.detection with
     | Manifest.Best | Manifest.Best_no_pause ->
       let allow_pause = p.Plan.detection = Manifest.Best in
@@ -140,23 +161,70 @@ let run ?jobs ~store (m : Manifest.t) =
       List.fold_left
         (fun (hint, acc) ((p : Plan.point), stored) ->
           match stored with
-          | Some r -> (hints_of r, acc)
+          | Some r ->
+            notify p (`Reused r);
+            (hints_of r, acc)
           | None -> begin
+            let key = Plan.descriptor m p in
             match
-              if Chaos.armed () && Chaos.fire Chaos.Fail_worker_task then
-                raise (Chaos.Injected_fault { fault = Chaos.Fail_worker_task });
-              simulate ~hint p
+              match gate with None -> `Run | Some g -> g.claim key
             with
-            | r ->
-              let descr = Format.asprintf "%a" Plan.pp_point p in
-              Store.put store ~key:(Plan.descriptor m p) ~descr
-                (Plan.encode_result r);
-              (hints_of r, Outcome.Ok (p, r) :: acc)
-            | exception e ->
-              ( [],
-                Outcome.Failed
-                  { Outcome.point = p; error = e; retries = O.retries_of e }
-                :: acc )
+            | `Wait wait -> begin
+              (* another submission owns this point: block for its
+                 outcome instead of simulating it a second time *)
+              match wait () with
+              | Ok r ->
+                notify p (`Deduped r);
+                (hints_of r, Outcome.Ok (p, r, `Dedup) :: acc)
+              | Error msg ->
+                notify p (`Failed msg);
+                ( [],
+                  Outcome.Failed
+                    { Outcome.point = p; error = Failure msg; retries = 0 }
+                  :: acc )
+            end
+            | `Run -> begin
+              let publish res =
+                match gate with Some g -> g.publish key res | None -> ()
+              in
+              (* gated runs re-check the store before simulating: a
+                 concurrent submission may have landed the point after
+                 our classification pass *)
+              let late =
+                match gate with
+                | None -> None
+                | Some _ -> Option.bind (Store.find store ~key) Plan.decode_result
+              in
+              match late with
+              | Some r ->
+                publish (Ok r);
+                notify p (`Deduped r);
+                (hints_of r, Outcome.Ok (p, r, `Dedup) :: acc)
+              | None -> begin
+                match
+                  if Chaos.armed () && Chaos.fire Chaos.Fail_worker_task then
+                    raise
+                      (Chaos.Injected_fault { fault = Chaos.Fail_worker_task });
+                  simulate ~hint p
+                with
+                | r ->
+                  let descr = Format.asprintf "%a" Plan.pp_point p in
+                  Store.put store ~key ~descr (Plan.encode_result r);
+                  (* publish only after the record is durable: a waiter
+                     released here must find the point on its next
+                     classification pass too *)
+                  publish (Ok r);
+                  notify p (`Simulated r);
+                  (hints_of r, Outcome.Ok (p, r, `Fresh) :: acc)
+                | exception e ->
+                  publish (Error (Printexc.to_string e));
+                  notify p (`Failed (Printexc.to_string e));
+                  ( [],
+                    Outcome.Failed
+                      { Outcome.point = p; error = e; retries = O.retries_of e }
+                    :: acc )
+              end
+            end
           end)
         ([], []) items
     in
@@ -165,8 +233,19 @@ let run ?jobs ~store (m : Manifest.t) =
   let outcomes =
     List.concat (Par.parallel_map ~jobs chain_outcomes (chains_of classified))
   in
-  let fresh, failures = Outcome.partition outcomes in
+  let succeeded, failures = Outcome.partition outcomes in
+  let fresh =
+    List.filter_map
+      (fun (p, r, o) -> if o = `Fresh then Some (p, r) else None)
+      succeeded
+  in
+  let deduped =
+    List.filter_map
+      (fun (p, r, o) -> if o = `Dedup then Some (p, r) else None)
+      succeeded
+  in
   Tel.Counter.add c_simulated (List.length fresh);
+  Tel.Counter.add c_deduped (List.length deduped);
   Tel.Counter.add c_failed (List.length failures);
   (* failure records: separate namespace, last attempt wins, so status
      reports the current story and the next run retries them *)
@@ -181,7 +260,7 @@ let run ?jobs ~store (m : Manifest.t) =
   let by_point = Hashtbl.create 64 in
   List.iter
     (fun (p, r) -> Hashtbl.replace by_point (Plan.descriptor m p) r)
-    (reused @ fresh);
+    (reused @ fresh @ deduped);
   let results =
     List.filter_map
       (fun p ->
@@ -192,6 +271,7 @@ let run ?jobs ~store (m : Manifest.t) =
     planned;
     reused = List.length reused;
     simulated = List.length fresh;
+    deduped = List.length deduped;
     results;
     failures;
   }
@@ -199,8 +279,8 @@ let run ?jobs ~store (m : Manifest.t) =
 let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v2>campaign: %d point(s) planned, %d reused, %d simulated, %d \
-     failed@ %a@]"
-    s.planned s.reused s.simulated
+     deduped, %d failed@ %a@]"
+    s.planned s.reused s.simulated s.deduped
     (List.length s.failures)
     (Format.pp_print_list (Outcome.pp_failure Plan.pp_point))
     s.failures

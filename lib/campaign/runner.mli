@@ -57,6 +57,10 @@ type summary = {
   planned : int;
   reused : int;  (** points answered from the store *)
   simulated : int;  (** points computed this run (successfully) *)
+  deduped : int;
+      (** points answered by a concurrent submission through the
+          in-flight {!gate} (or found in the store after
+          classification) — nobody simulated them twice *)
   results : (Plan.point * Plan.result) list;
       (** every finished point — reused and fresh — in plan order *)
   failures : Plan.point Dramstress_util.Outcome.failure list;
@@ -64,13 +68,49 @@ type summary = {
           the store's failure namespace and retried on the next run *)
 }
 
-(** [run ?jobs ~store m] executes the campaign: expands the plan, reuses
-    stored successes, simulates the rest as warm-start chains fanned
-    out over the config's domain count ([?jobs] overrides). Solver
-    failures become [failures], not exceptions — per-point fault
-    isolation matches {!Dramstress_util.Par.parallel_map_outcomes},
-    chaos injection included. *)
+(** In-flight deduplication hook for multi-client execution (the
+    campaign service). Before simulating a missing point the runner
+    [claim]s the point's descriptor:
+
+    - [`Run] — this runner owns the point; it {e must} [publish] the
+      outcome under the same descriptor when done (success {e or}
+      failure — an unpublished claim hangs every waiter forever);
+    - [`Wait w] — another submission owns it; [w ()] blocks until that
+      owner publishes and returns its outcome.
+
+    Both closures are called from worker domains, so a gate
+    implementation must be domain-safe. With a gate installed the
+    runner also re-checks the store immediately before simulating a
+    claimed point, catching results that landed after its
+    classification pass; both paths count as [deduped]. *)
+type gate = {
+  claim : string -> [ `Run | `Wait of unit -> (Plan.result, string) result ];
+  publish : string -> (Plan.result, string) result -> unit;
+}
+
+(** What happened to one point, streamed to [?on_point] the moment it
+    is known (from whichever worker domain resolved the point — the
+    callback must be domain-safe and should be quick). *)
+type event =
+  [ `Reused of Plan.result
+  | `Simulated of Plan.result
+  | `Deduped of Plan.result
+  | `Failed of string ]
+
+(** [run ?jobs ?gate ?on_point ~store m] executes the campaign: expands
+    the plan, reuses stored successes, simulates the rest as warm-start
+    chains fanned out over the config's domain count ([?jobs]
+    overrides). Solver failures become [failures], not exceptions —
+    per-point fault isolation matches
+    {!Dramstress_util.Par.parallel_map_outcomes}, chaos injection
+    included. [?gate] deduplicates in-flight points across concurrent
+    submissions; [?on_point] streams per-point events as they land. *)
 val run :
-  ?jobs:int -> store:Dramstress_util.Store.t -> Manifest.t -> summary
+  ?jobs:int ->
+  ?gate:gate ->
+  ?on_point:(Plan.point -> event -> unit) ->
+  store:Dramstress_util.Store.t ->
+  Manifest.t ->
+  summary
 
 val pp_summary : Format.formatter -> summary -> unit

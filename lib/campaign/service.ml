@@ -1,0 +1,355 @@
+(* The campaign service: a long-running process owning one (sharded)
+   store, executing campaign submissions from concurrent clients over a
+   Unix-domain socket.
+
+   Threading model: the main thread accepts; each connection gets one
+   systhread. A [submit] runs the ordinary Runner on the shared store
+   with two hooks installed — the in-flight gate (below), so two
+   clients asking for the same point descriptor produce one simulation
+   and two waiters, and a per-point streaming callback that frames
+   results back as they land. Worker domains inside Runner.run call
+   both hooks, so everything here is mutex-guarded.
+
+   A client that disappears mid-campaign must not take its submission
+   down with it: other clients may be waiting on points this submission
+   owns. Writes to a dead socket flip a per-connection [alive] flag and
+   are silently dropped from then on; the campaign itself runs to
+   completion and the store keeps every result. *)
+
+module Store = Dramstress_util.Store
+module Tel = Dramstress_util.Telemetry
+module P = Protocol
+
+let c_connections = Tel.Counter.make "campaign.service.connections"
+let c_submissions = Tel.Counter.make "campaign.service.submissions"
+let c_requests = Tel.Counter.make "campaign.service.requests"
+
+(* a claim answered [`Wait]: a second client asked for a point already
+   being simulated — the whole reason the service exists *)
+let c_dedup = Tel.Counter.make "campaign.service.inflight_dedup"
+let c_streamed = Tel.Counter.make "campaign.service.points_streamed"
+
+type pending = {
+  pm : Mutex.t;
+  pc : Condition.t;
+  mutable outcome : (Plan.result, string) result option;
+}
+
+type t = {
+  store : Store.t;
+  socket_path : string;
+  jobs : int option;
+  listen_fd : Unix.file_descr;
+  inflight : (string, pending) Hashtbl.t;
+  inflight_lock : Mutex.t;
+  mutable stopping : bool;
+}
+
+(* the dedup gate shared by every submission: first claimant of a
+   descriptor runs it, later claimants block on the pending cell.
+   Claims resolve under [inflight_lock]; waiting happens outside it, on
+   the cell's own mutex, so a wait never blocks other claims. *)
+let gate srv =
+  {
+    Runner.claim =
+      (fun key ->
+        Mutex.protect srv.inflight_lock (fun () ->
+            match Hashtbl.find_opt srv.inflight key with
+            | Some p ->
+              Tel.Counter.incr c_dedup;
+              `Wait
+                (fun () ->
+                  Mutex.protect p.pm (fun () ->
+                      while p.outcome = None do
+                        Condition.wait p.pc p.pm
+                      done;
+                      Option.get p.outcome))
+            | None ->
+              Hashtbl.replace srv.inflight key
+                {
+                  pm = Mutex.create ();
+                  pc = Condition.create ();
+                  outcome = None;
+                };
+              `Run));
+    Runner.publish =
+      (fun key res ->
+        Mutex.protect srv.inflight_lock (fun () ->
+            match Hashtbl.find_opt srv.inflight key with
+            | None -> ()
+            | Some p ->
+              Hashtbl.remove srv.inflight key;
+              Mutex.protect p.pm (fun () ->
+                  p.outcome <- Some res;
+                  Condition.broadcast p.pc)));
+  }
+
+let create ?jobs ~store ~socket_path () =
+  (* the counters verb is part of the protocol, so the server always
+     collects — there is no human attaching --metrics to a daemon *)
+  Tel.set_enabled true;
+  (* a client vanishing mid-stream must be an error code, not a fatal
+     signal delivered to whichever domain happened to be writing *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX socket_path);
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  {
+    store;
+    socket_path;
+    jobs;
+    listen_fd = fd;
+    inflight = Hashtbl.create 64;
+    inflight_lock = Mutex.create ();
+    stopping = false;
+  }
+
+(* per-connection response writer: serializes frames from concurrent
+   worker domains and downgrades a dead peer to a no-op *)
+let sender fd =
+  let lock = Mutex.create () in
+  let alive = ref true in
+  fun resp ->
+    Mutex.protect lock (fun () ->
+        if !alive then
+          try P.write_frame fd (P.encode_response resp) with
+          | Unix.Unix_error ((EPIPE | ECONNRESET | EBADF), _, _)
+          | Sys_error _ ->
+            alive := false)
+
+let manifest_of_text ~source text =
+  match Manifest.of_string ~source text with
+  | m -> Ok m
+  | exception Manifest.Invalid diags ->
+    Error
+      (Format.asprintf "@[<v>invalid manifest:@ %a@]"
+         (Format.pp_print_list Manifest.pp_diagnostic)
+         diags)
+
+let handle_submit srv ~send ~manifest ~jobs =
+  Tel.Counter.incr c_submissions;
+  match manifest_of_text ~source:"<submit>" manifest with
+  | Error msg -> send (P.Error_msg msg)
+  | Ok m ->
+    let on_point p ev =
+      let descr = Format.asprintf "%a" Plan.pp_point p in
+      let status, payload =
+        match ev with
+        | `Reused r -> (P.Reused, Plan.encode_result r)
+        | `Simulated r -> (P.Simulated, Plan.encode_result r)
+        | `Deduped r -> (P.Deduped, Plan.encode_result r)
+        | `Failed msg -> (P.Failed, msg)
+      in
+      Tel.Counter.incr c_streamed;
+      send (P.Point { descr; status; payload })
+    in
+    let jobs = match jobs with Some _ -> jobs | None -> srv.jobs in
+    let s =
+      Runner.run ?jobs ~gate:(gate srv) ~on_point ~store:srv.store m
+    in
+    send
+      (P.Done
+         {
+           planned = s.Runner.planned;
+           reused = s.Runner.reused;
+           simulated = s.Runner.simulated;
+           deduped = s.Runner.deduped;
+           failed = List.length s.Runner.failures;
+         })
+
+let handle_diff srv ~send ~a ~b =
+  match
+    (manifest_of_text ~source:"<diff:a>" a, manifest_of_text ~source:"<diff:b>" b)
+  with
+  | Error msg, _ | _, Error msg -> send (P.Error_msg msg)
+  | Ok ma, Ok mb ->
+    let side label m = { Diff.store = srv.store; manifest = m; label } in
+    let d = Diff.v ~a:(side "a" ma) ~b:(side "b" mb) () in
+    send (P.Diff_report (Diff.render d))
+
+let handle_merge srv ~send dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    send (P.Error_msg (Printf.sprintf "merge: %s is not a store directory" dir))
+  else begin
+    let src = Store.open_ ~name:"merge-src" dir in
+    Fun.protect
+      ~finally:(fun () -> Store.close src)
+      (fun () ->
+        let st = Store.merge ~src ~dst:srv.store in
+        send
+          (P.Merged
+             { added = st.Store.added;
+               replaced = st.Store.replaced;
+               kept = st.Store.kept }))
+  end
+
+let stop srv =
+  srv.stopping <- true;
+  (* shutdown, not close: closing an fd another thread is blocked in
+     [accept] on does NOT wake it — shutting the socket down makes the
+     pending accept return immediately. In-flight submissions run to
+     completion; the accept loop closes the fd on its way out. *)
+  try Unix.shutdown srv.listen_fd Unix.SHUTDOWN_ALL
+  with Unix.Unix_error _ -> ()
+
+let handle_request srv ~send = function
+  | P.Submit { manifest; jobs } -> handle_submit srv ~send ~manifest ~jobs
+  | P.Status ->
+    let inflight =
+      Mutex.protect srv.inflight_lock (fun () -> Hashtbl.length srv.inflight)
+    in
+    send
+      (P.Status_report
+         {
+           name = Store.name srv.store;
+           engine = Store.engine srv.store;
+           records = Store.entries srv.store;
+           shards = Store.shards srv.store;
+           inflight;
+         })
+  | P.Query key -> (
+    match Store.find srv.store ~key with
+    | Some v -> send (P.Found v)
+    | None -> send P.Not_found)
+  | P.Diff { a; b } -> handle_diff srv ~send ~a ~b
+  | P.Merge dir -> handle_merge srv ~send dir
+  | P.Counters -> send (P.Counter_values (Tel.snapshot ()).Tel.counters)
+  | P.Shutdown ->
+    send P.Bye;
+    stop srv
+
+let handle_connection srv fd =
+  Tel.Counter.incr c_connections;
+  let send = sender fd in
+  let rec loop () =
+    match P.read_frame fd with
+    | Error `Eof -> ()
+    | Error (`Protocol m) -> send (P.Error_msg ("protocol: " ^ m))
+    | Ok x -> (
+      Tel.Counter.incr c_requests;
+      match P.decode_request x with
+      | Error m ->
+        send (P.Error_msg m);
+        loop ()
+      | Ok req ->
+        (match handle_request srv ~send req with
+        | () -> ()
+        | exception e -> send (P.Error_msg (Printexc.to_string e)));
+        if req <> P.Shutdown then loop ())
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    loop
+
+(* accept loop; returns once [stop] (or the shutdown verb) closes the
+   listening socket and every connection thread has drained *)
+let serve srv =
+  let rec accept_loop threads =
+    if srv.stopping then threads
+    else
+      match Unix.accept srv.listen_fd with
+      | fd, _ ->
+        if srv.stopping then begin
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          threads
+        end
+        else begin
+          let th = Thread.create (fun () -> handle_connection srv fd) () in
+          accept_loop (th :: threads)
+        end
+      | exception Unix.Unix_error (EINTR, _, _) -> accept_loop threads
+      | exception Unix.Unix_error ((EBADF | EINVAL | ECONNABORTED), _, _) ->
+        threads
+  in
+  let threads = accept_loop [] in
+  (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+  List.iter Thread.join threads;
+  (try Unix.unlink srv.socket_path with Unix.Unix_error _ -> ());
+  Store.close srv.store
+
+(* ---- client side ---- *)
+
+module Client = struct
+  exception Transport of string
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+
+  let with_connection path f =
+    let fd = connect path in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> f fd)
+
+  let read_response fd =
+    match P.read_frame fd with
+    | Error `Eof -> raise (Transport "connection closed")
+    | Error (`Protocol m) -> raise (Transport ("protocol: " ^ m))
+    | Ok x -> (
+      match P.decode_response x with
+      | Ok r -> r
+      | Error m -> raise (Transport ("protocol: " ^ m)))
+
+  (* one-shot request/response *)
+  let request ~socket req =
+    with_connection socket (fun fd ->
+        P.write_frame fd (P.encode_request req);
+        read_response fd)
+
+  type outcome = {
+    planned : int;
+    reused : int;
+    simulated : int;
+    deduped : int;
+    failed : int;
+  }
+
+  (* one submission over one connection: streams [on_event] per point,
+     returns the final tally. [Error] carries a server-side message (a
+     bad manifest, a failed handler); transport trouble raises
+     {!Transport} so retry logic can tell the two apart. *)
+  let submit ?jobs ?(on_event = fun _ -> ()) ~socket manifest =
+    with_connection socket (fun fd ->
+        P.write_frame fd (P.encode_request (P.Submit { manifest; jobs }));
+        let rec loop () =
+          match read_response fd with
+          | P.Point _ as p ->
+            on_event p;
+            loop ()
+          | P.Done { planned; reused; simulated; deduped; failed } ->
+            Ok { planned; reused; simulated; deduped; failed }
+          | P.Error_msg m -> Error m
+          | _ -> raise (Transport "unexpected response to submit")
+        in
+        loop ())
+
+  (* resilient submission: reconnect-and-resubmit on transport failure
+     (server killed mid-stream, not yet listening, ...). Completed
+     points persist in the server's store, so a resubmission reuses
+     them — the retry converges instead of redoing work. Server-side
+     errors (bad manifest) are not retried. *)
+  let submit_retrying ?jobs ?on_event ?(attempts = 10) ?(delay = 0.5) ~socket
+      manifest =
+    let rec go n =
+      match submit ?jobs ?on_event ~socket manifest with
+      | (Ok _ | Error _) as r -> r
+      | exception
+          ( Transport _
+          | Unix.Unix_error
+              ((ECONNREFUSED | ECONNRESET | ENOENT | EPIPE), _, _) )
+        when n > 1 ->
+        Unix.sleepf delay;
+        go (n - 1)
+    in
+    go attempts
+end

@@ -1,0 +1,83 @@
+(** The campaign service: a long-running daemon owning one (typically
+    sharded) {!Dramstress_util.Store}, executing campaign submissions
+    from concurrent clients over a Unix-domain socket speaking
+    {!Protocol}.
+
+    Two clients submitting overlapping manifests cost one simulation
+    per point: a submission {e claims} each missing point descriptor
+    through an in-flight gate ({!Runner.gate}) before simulating;
+    later claimants of the same descriptor block until the owner
+    publishes its outcome (counted on
+    [campaign.service.inflight_dedup]). Completed points stream back to
+    each client as [point] frames the moment they land.
+
+    A client that disconnects mid-campaign does not abort its
+    submission — other clients may be waiting on points it owns; frames
+    to the dead peer are dropped and the campaign runs to completion,
+    every result persisted in the store.
+
+    Counters: [campaign.service.connections] / [requests] /
+    [submissions] / [inflight_dedup] / [points_streamed]. *)
+
+type t
+
+(** [create ?jobs ~store ~socket_path ()] binds and listens on
+    [socket_path] (an existing socket file is replaced) and installs a
+    [SIGPIPE] ignore. [jobs] caps worker domains per submission when
+    the submission itself does not say. The server owns [store] from
+    here on; {!serve} closes it. *)
+val create :
+  ?jobs:int -> store:Dramstress_util.Store.t -> socket_path:string -> unit -> t
+
+(** [serve t] accepts and handles connections (one thread each) until
+    {!stop} is called or a client sends the [shutdown] verb; drains
+    in-flight submissions, removes the socket file and closes the
+    store before returning. *)
+val serve : t -> unit
+
+(** [stop t] initiates shutdown from another thread (or a signal
+    handler): the accept loop exits, in-flight submissions complete. *)
+val stop : t -> unit
+
+module Client : sig
+  (** Connection-level trouble — refused, closed mid-stream, protocol
+      garbage. Distinct from a server-side [Error] reply so retry
+      logic never retries a genuinely bad request. *)
+  exception Transport of string
+
+  (** [request ~socket req] is a one-shot request/response exchange.
+      Raises {!Transport}. Not for [Submit] — use {!submit}. *)
+  val request : socket:string -> Protocol.request -> Protocol.response
+
+  type outcome = {
+    planned : int;
+    reused : int;
+    simulated : int;
+    deduped : int;
+    failed : int;
+  }
+
+  (** [submit ?jobs ?on_event ~socket manifest] submits manifest text
+      and streams [on_event] per [point] frame until the final tally.
+      [Error] carries a server-side message; {!Transport} is raised on
+      connection trouble. *)
+  val submit :
+    ?jobs:int ->
+    ?on_event:(Protocol.response -> unit) ->
+    socket:string ->
+    string ->
+    (outcome, string) result
+
+  (** [submit_retrying] is {!submit} plus reconnect-and-resubmit on
+      transport failure, [attempts] times [delay] seconds apart.
+      Completed points persist server-side, so a resubmission reuses
+      them and the retry converges. Server-side errors do not retry. *)
+  val submit_retrying :
+    ?jobs:int ->
+    ?on_event:(Protocol.response -> unit) ->
+    ?attempts:int ->
+    ?delay:float ->
+    socket:string ->
+    string ->
+    (outcome, string) result
+end

@@ -18,6 +18,13 @@ let c_records = Tel.Counter.make "util.checkpoint.records"
 let c_loaded = Tel.Counter.make "util.checkpoint.loaded"
 let c_skipped = Tel.Counter.make "util.checkpoint.malformed_lines"
 
+(* records that were syntactically fine but semantically unusable: a
+   line that raised during field extraction on load, or a stored payload
+   the caller's decoder refused.  Distinct from [malformed_lines]
+   (truncated/non-record lines): these looked like records and were
+   dropped anyway, so resumable layers must recompute them. *)
+let c_skipped_records = Tel.Counter.make "util.checkpoint.skipped_records"
+
 type t = {
   path : string;
   lock : Mutex.t;
@@ -91,11 +98,39 @@ let load_into table path =
         try
           while true do
             let line = input_line ic in
+            (* one sick line must never strand the records behind it: a
+               mid-file record whose extraction raises is skipped and
+               counted, and the load carries on to the tail *)
             match (field line "key", field line "value") with
             | Some k, Some v ->
               Hashtbl.replace table k v;
               Tel.Counter.incr c_loaded
             | _, _ -> if String.trim line <> "" then Tel.Counter.incr c_skipped
+            | exception _ -> Tel.Counter.incr c_skipped_records
+          done
+        with End_of_file -> ())
+
+(* tolerant scan of a records file on disk, without opening a handle:
+   the raw view ([Store.merge] and the engine tally need the stamped
+   [extra] fields, which the replay table drops). Later records for a
+   key follow earlier ones, so replaying [f] in order reproduces the
+   last-wins semantics of {!load_into}. *)
+let scan path f =
+  match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            match (field line "key", field line "value") with
+            | Some key, Some value ->
+              f ~descr:(field line "descr") ~engine:(field line "engine") ~key
+                ~value
+            | _, _ -> ()
+            | exception _ -> Tel.Counter.incr c_skipped_records
           done
         with End_of_file -> ())
 
@@ -117,7 +152,7 @@ let entries t = Hashtbl.length t.table
 let find t key =
   Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.table key)
 
-let record t ~key ?(descr = "") ?(overwrite = false) value =
+let record t ~key ?(descr = "") ?(overwrite = false) ?extra value =
   Mutex.protect t.lock (fun () ->
       if overwrite || not (Hashtbl.mem t.table key) then begin
         Hashtbl.replace t.table key value;
@@ -134,7 +169,7 @@ let record t ~key ?(descr = "") ?(overwrite = false) value =
                  (fun (k, v) ->
                    Printf.sprintf "\"%s\":\"%s\"," (Tel.json_escape k)
                      (Tel.json_escape v))
-                 t.extra)
+                 (Option.value ~default:t.extra extra))
           in
           let line =
             Printf.sprintf "{%s%s\"key\":\"%s\",\"value\":\"%s\"}\n"
@@ -167,17 +202,20 @@ let memo t ~key ?descr ~encode ~decode f =
   | None -> f ()
   | Some t ->
     let k = digest_key key in
-    let cached =
-      match find t k with
-      | None -> None
-      | Some payload -> decode payload
-    in
+    let payload = find t k in
+    let cached = Option.bind payload decode in
     (match cached with
     | Some v ->
       Tel.Counter.incr c_hits;
       v
     | None ->
+      (* a stored payload the decoder refused is a corrupt/foreign
+         record: count it and REPAIR it — without [overwrite] the
+         recompute would never reach the file (the key is already in
+         the table) and every future resume would recompute it again *)
+      let corrupt = payload <> None in
+      if corrupt then Tel.Counter.incr c_skipped_records;
       Tel.Counter.incr c_misses;
       let v = f () in
-      record t ~key:k ?descr (encode v);
+      record t ~key:k ?descr ~overwrite:corrupt (encode v);
       v)

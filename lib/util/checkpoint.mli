@@ -17,7 +17,13 @@
 
     When {!Telemetry} is enabled, activity feeds the
     [util.checkpoint.hits] / [misses] / [records] / [loaded] /
-    [malformed_lines] counters. *)
+    [malformed_lines] / [skipped_records] counters. [malformed_lines]
+    counts lines that are not records at all (the truncated-final-line
+    signature); [skipped_records] counts lines that {e looked} like
+    records but were unusable — a mid-file line whose field extraction
+    raised on load, or a stored payload the caller's {!memo} decoder
+    refused. Both are skipped, never fatal: the records behind a sick
+    line still replay. *)
 
 type t
 
@@ -40,14 +46,23 @@ val entries : t -> int
 (** [find t key] looks up a digest key ({!digest_key}). *)
 val find : t -> string -> string option
 
-(** [record t ~key ?descr ?overwrite value] appends one completed point
-    and flushes. Duplicate keys are ignored (first record wins, matching
-    what {!find} would have returned) unless [overwrite] is set, in
-    which case the new value replaces the table entry and a fresh line
-    is appended — on reload the {e last} record for a key wins, so the
-    append-only file stays consistent with the in-memory view. *)
+(** [record t ~key ?descr ?overwrite ?extra value] appends one completed
+    point and flushes. Duplicate keys are ignored (first record wins,
+    matching what {!find} would have returned) unless [overwrite] is
+    set, in which case the new value replaces the table entry and a
+    fresh line is appended — on reload the {e last} record for a key
+    wins, so the append-only file stays consistent with the in-memory
+    view. [extra] overrides the handle's constant stamped fields for
+    this one record — how {!Store.merge} preserves the {e original}
+    engine identity of a record it copies between stores. *)
 val record :
-  t -> key:string -> ?descr:string -> ?overwrite:bool -> string -> unit
+  t ->
+  key:string ->
+  ?descr:string ->
+  ?overwrite:bool ->
+  ?extra:(string * string) list ->
+  string ->
+  unit
 
 (** [close t] closes the underlying channel; further {!record}s update
     only the in-memory table. *)
@@ -65,6 +80,22 @@ val digest_key : string -> string
     higher-level stores ({!Store}) and tests can read the stamped
     [extra] fields back. *)
 val field : string -> string -> string option
+
+(** [scan path f] reads the records file at [path] without opening a
+    handle, calling [f] once per parseable record in file order — the
+    raw view, including the stamped [engine] field that the replay
+    table drops. Later records for a key follow earlier ones, so a
+    last-wins replay can be reproduced by [Hashtbl.replace]-ing in
+    order. Missing files are an empty scan; unusable lines are skipped
+    (and counted) exactly as {!open_} would. *)
+val scan :
+  string ->
+  (descr:string option ->
+  engine:string option ->
+  key:string ->
+  value:string ->
+  unit) ->
+  unit
 
 (** [fingerprint v] digests an arbitrary (closure-free) value via its
     marshalled bytes — a convenient way to fold structured context

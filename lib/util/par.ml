@@ -21,20 +21,54 @@ let h_tasks_per_worker =
   Tel.Histogram.make ~unit_:"tasks" ~lo:1.0 ~hi:1e6 ~buckets:24
     "util.par.tasks_per_worker"
 
+(* Environment junk must not pass silently: a user who exported
+   DRAMSTRESS_JOBS=0 (or =-4, or =banana) deserves to hear, once, that
+   the value was ignored — a sweep quietly running on the default count
+   looks exactly like the knob working. One warning per variable per
+   process, mirrored into [env_warnings] so tests can assert on it
+   without capturing stderr. *)
+let warned_lock = Mutex.create ()
+let warned : (string, unit) Hashtbl.t = Hashtbl.create 4
+let warning_log : (string * string) list ref = ref []
+
+let warn_env ~env ~raw ~used =
+  Mutex.protect warned_lock (fun () ->
+      if not (Hashtbl.mem warned env) then begin
+        Hashtbl.add warned env ();
+        warning_log := (env, raw) :: !warning_log;
+        Printf.eprintf
+          "dramstress: ignoring %s=%S (worker counts must be integers >= \
+           1); using %d\n\
+           %!"
+          env raw used
+      end)
+
+let env_warnings () = List.rev !warning_log
+
+let reset_env_warnings () =
+  Mutex.protect warned_lock (fun () ->
+      Hashtbl.reset warned;
+      warning_log := [])
+
 (* One clamping/validation point shared by every worker-count knob
    (jobs, ensemble lanes): explicit argument > environment variable >
    default. An explicit value clamps to at least 1; environment junk —
-   unparsable text, zero, negatives — degrades to the default rather
-   than diverging per knob. *)
+   unparsable text, zero, negatives — degrades to the default (itself
+   always >= 1) with a once-per-variable stderr warning rather than
+   diverging per knob. *)
 let clamp_count ?explicit ~env ~default () =
   match explicit with
   | Some j -> Int.max 1 j
   | None -> begin
     match Sys.getenv_opt env with
+    | Some "" -> default ()
     | Some s -> begin
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 1 -> n
-      | Some _ | None -> default ()
+      | Some _ | None ->
+        let used = Int.max 1 (default ()) in
+        warn_env ~env ~raw:s ~used;
+        used
     end
     | None -> default ()
   end

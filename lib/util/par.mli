@@ -25,9 +25,21 @@ val resolve_jobs : ?jobs:int -> unit -> int
     helper behind {!resolve_jobs} and {!resolve_lanes}: an [explicit]
     value is clamped to at least 1; otherwise the [env] environment
     variable is consulted and anything that does not parse as a positive
-    integer (junk text, [0], negatives) degrades to [default ()]. *)
+    integer (junk text, [0], negatives) degrades to [default ()] —
+    itself always at least 1 — with a once-per-variable warning on
+    stderr. An unset or empty variable is not junk: it takes the
+    default silently. *)
 val clamp_count :
   ?explicit:int -> env:string -> default:(unit -> int) -> unit -> int
+
+(** [env_warnings ()] lists the [(variable, rejected value)] pairs that
+    have been warned about so far, oldest first — the test hook for the
+    once-per-variable stderr warning. *)
+val env_warnings : unit -> (string * string) list
+
+(** [reset_env_warnings ()] clears the warned-set and the log, so tests
+    can observe the warning again. *)
+val reset_env_warnings : unit -> unit
 
 (** [resolve_lanes ?lanes ()] resolves the ensemble batch width with the
     same precedence and degradation rules as {!resolve_jobs}:

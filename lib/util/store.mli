@@ -6,7 +6,7 @@
     fingerprint, so two campaigns (or a campaign and a direct sweep)
     that need the same simulated point compute it once.
 
-    Layout under the store directory:
+    Layout under the store directory, single-file mode (the default):
 
     - [records.jsonl] — the {!Checkpoint} machinery opened in
       append-only mode: one record per completed point, hex-float
@@ -14,10 +14,33 @@
       domain-safe. Every record is stamped with the engine identity of
       the binary that produced it ({!Build_info.identity} unless
       overridden), so stale-engine results are detectable.
-    - [index.json] — a small summary (store name, engine, record count)
-      rewritten atomically on {!close}; a convenience for humans and
-      status commands, never the source of truth. A missing or stale
-      index is rebuilt from [records.jsonl].
+    - [index.json] — a small summary (store name, engine, record count,
+      shard count) rewritten atomically on {!close}; a convenience for
+      humans and status commands, never the source of truth. A missing
+      or stale index is rebuilt from [records.jsonl] (counted on
+      [util.store.index_recovered]).
+    - [store.lock] — advisory inter-process lockfile: record appends
+      through {!put}/{!merge} and index rewrites hold a [lockf] region
+      on it, so concurrent processes sharing the directory cannot
+      interleave an index rewrite with each other's appends.
+
+    Sharded mode ([open_ ~shards:n] with [n >= 2], or autodetected on
+    reopen) replaces the single [records.jsonl]/[index.json] pair with
+    [shards/<xx>/records.jsonl] + [shards/<xx>/index.json], where a
+    record's shard is the first two hex digits of its content digest
+    modulo the shard count — a pure function of the key, so every
+    process routes identically and a point's result lands next to its
+    probe memos. Shards open lazily on first touch; the shard count is
+    pinned at creation ([shards/.count]) and reopening with a different
+    count is refused. The top-level [index.json] keeps the store-wide
+    summary with its [shards] field set.
+
+    Atomic index rewrites stage through a unique
+    [index.json.tmp.<pid>.<seq>] file created with [O_EXCL]; orphaned
+    temp files from killed writers are swept on open (counted on
+    [util.store.orphan_tmp_removed]). A staging file whose embedded pid
+    still names a live process is left alone — it belongs to another
+    process mid-rewrite, not to a dead one.
 
     Records are keyed by {!Checkpoint.digest_key} of a canonical point
     descriptor — the content address. Unlike a checkpoint, {!put} may
@@ -26,16 +49,23 @@
     never recomputed.
 
     Activity feeds the same [util.checkpoint.*] telemetry counters as
-    the checkpoint layer. *)
+    the checkpoint layer, plus the [util.store.*] counters above. *)
 
 type t
 
-(** [open_ ?engine ~name dir] opens (creating if needed) the store
-    directory [dir]. Existing records are loaded; new records append.
-    [name] labels the store in [index.json]; [engine] (default
-    {!Build_info.identity}) is stamped onto every record written through
-    this handle. *)
-val open_ : ?engine:string -> name:string -> string -> t
+(** [open_ ?engine ?shards ~name dir] opens (creating if needed) the
+    store directory [dir]. Existing records are loaded (single mode) or
+    mapped lazily (sharded mode); new records append. [name] labels the
+    store in [index.json]; [engine] (default {!Build_info.identity}) is
+    stamped onto every record written through this handle.
+
+    [shards >= 2] creates a fresh store sharded that many ways; [shards]
+    absent (or [<= 1]) creates single-file. An existing store's layout
+    always wins on reopen: a sharded directory reopens sharded at its
+    pinned count regardless of [shards] (a {e different} explicit count
+    raises [Invalid_argument]), and asking for shards on an existing
+    single-file store raises [Invalid_argument]. *)
+val open_ : ?engine:string -> ?shards:int -> name:string -> string -> t
 
 val dir : t -> string
 val name : t -> string
@@ -43,22 +73,36 @@ val name : t -> string
 (** [engine t] is the identity stamped on records this handle writes. *)
 val engine : t -> string
 
-(** [entries t] is the number of distinct keys held (all engines). *)
+(** [shards t] is the pinned shard count, or [0] for a single-file
+    store. *)
+val shards : t -> int
+
+(** [entries t] is the number of distinct keys held (all engines). For
+    a sharded store this opens every shard that has records on disk. *)
 val entries : t -> int
 
-(** [checkpoint t] is the underlying {!Checkpoint} handle — the reuse
-    hook: pass it as [?checkpoint] to {!Dramstress_core.Border.search},
-    Table 1 generation or any other sweep layer and their per-point
-    memoization lands in this store, content-addressed alongside the
-    campaign's own records. *)
+(** [checkpoint t] is the underlying {!Checkpoint} handle of a
+    single-file store — the reuse hook: pass it as [?checkpoint] to
+    {!Dramstress_core.Border.search}, Table 1 generation or any other
+    sweep layer and their per-point memoization lands in this store,
+    content-addressed alongside the campaign's own records. Raises
+    [Invalid_argument] on a sharded store — use {!checkpoint_for}. *)
 val checkpoint : t -> Checkpoint.t
+
+(** [checkpoint_for t ~key] is the {!Checkpoint} handle that holds (or
+    would hold) descriptor [key] — on a sharded store, the key's shard,
+    opened lazily; on a single-file store, the one handle. Sweep layers
+    working on one point should pass this as their [?checkpoint], so
+    the point's probe memos shard together with its result. *)
+val checkpoint_for : t -> key:string -> Checkpoint.t
 
 (** [find t ~key] looks up the raw (undigested) descriptor [key]. *)
 val find : t -> key:string -> string option
 
 (** [put t ~key ?descr ?overwrite value] records a completed point
-    under descriptor [key] and flushes. Default first-wins; with
-    [overwrite] the last record wins (used for failure markers). *)
+    under descriptor [key] and flushes, holding the inter-process store
+    lock across the append. Default first-wins; with [overwrite] the
+    last record wins (used for failure markers). *)
 val put : t -> key:string -> ?descr:string -> ?overwrite:bool -> string -> unit
 
 (** [memo t ~key ?descr ~encode ~decode f] — serve the decoded stored
@@ -72,19 +116,46 @@ val memo :
   (unit -> 'a) ->
   'a
 
-(** [engines t] scans [records.jsonl] and returns the distinct engine
+(** [engines t] scans the record files and returns the distinct engine
     identity strings found with their record counts, most frequent
     first — the staleness report: more than one entry means the store
     mixes results from different builds. Records written before engine
     stamping existed count under ["unknown"]. *)
 val engines : t -> (string * int) list
 
-(** [close t] flushes, closes the record channel and rewrites
-    [index.json] (atomically, via a temp file + rename). *)
+(** What {!merge} did, per source key. *)
+type merge_stats = { added : int; replaced : int; kept : int }
+
+(** [merge ~src ~dst] unions [src] into [dst] by content address,
+    appending through [dst]'s handle (so an open destination sees the
+    merged records immediately, and the inter-process lock is held per
+    appended record). Winner rules per key present in both:
+
+    - identical payloads — [dst] kept (counted [kept]);
+    - differing payloads — the [src] copy wins {e only} when it was
+      produced by the engine identity [dst]'s handle stamps (the
+      current build) and the [dst] copy was not (counted [replaced]);
+      every other conflict keeps [dst] (counted [kept]).
+
+    Keys absent from [dst] are appended (counted [added]). A copied
+    record keeps its {e original} engine stamp, so staleness remains
+    detectable after any number of merges. [src] is read via raw file
+    scans and is never written. *)
+val merge : src:t -> dst:t -> merge_stats
+
+(** [close t] flushes, closes the record channel(s) and rewrites the
+    index summaries (atomically, via unique temp files + rename) under
+    the inter-process lock. *)
 val close : t -> unit
 
-(** What {!index} reads back from [index.json]. *)
-type index = { ix_name : string; ix_engine : string; ix_records : int }
+(** What {!index} reads back from [index.json]. [ix_shards] is [0] for
+    a single-file store. *)
+type index = {
+  ix_name : string;
+  ix_engine : string;
+  ix_records : int;
+  ix_shards : int;
+}
 
 (** [index dirpath] reads the summary of a store directory without
     opening (or locking) the store; [None] if no readable index exists. *)

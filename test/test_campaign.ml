@@ -496,6 +496,305 @@ let test_best_point_parity () =
   | rs -> Alcotest.failf "expected one result, got %d" (List.length rs)
 
 (* ------------------------------------------------------------------ *)
+(* protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Pr = Cp.Protocol
+module Svc = Cp.Service
+module Tel = Dramstress_util.Telemetry
+
+let test_protocol_sexp_roundtrip () =
+  let nasty = "a \"quoted\" (atom)\nwith\\slashes\tand spaces" in
+  let x =
+    Pr.List
+      [ Pr.Atom "submit";
+        Pr.List [ Pr.Atom "manifest"; Pr.Atom nasty ];
+        Pr.Atom "";
+        Pr.Atom "plain" ]
+  in
+  (match Pr.of_string (Pr.to_string x) with
+  | Ok y -> Alcotest.(check bool) "nasty atoms round-trip" true (x = y)
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S rejected" bad)
+        true
+        (match Pr.of_string bad with Error _ -> true | Ok _ -> false))
+    [ "("; "a b"; "\"unclosed"; ")"; "" ]
+
+let test_protocol_request_roundtrip () =
+  List.iter
+    (fun r ->
+      match Pr.decode_request (Pr.encode_request r) with
+      | Ok r' -> Alcotest.(check bool) "request round-trips" true (r = r')
+      | Error m -> Alcotest.failf "decode refused its own encoding: %s" m)
+    [ Pr.Submit { manifest = full_manifest; jobs = Some 3 };
+      Pr.Submit { manifest = "(campaign (name x))"; jobs = None };
+      Pr.Status; Pr.Query "campaign.point|v1|abc|0x1p1";
+      Pr.Diff { a = "(a)"; b = "(b)" }; Pr.Merge "/tmp/other-store";
+      Pr.Counters; Pr.Shutdown ]
+
+let test_protocol_response_roundtrip () =
+  List.iter
+    (fun r ->
+      match Pr.decode_response (Pr.encode_response r) with
+      | Ok r' -> Alcotest.(check bool) "response round-trips" true (r = r')
+      | Error m -> Alcotest.failf "decode refused its own encoding: %s" m)
+    [ Pr.Point { descr = "O1/true seq"; status = Pr.Reused; payload = "p" };
+      Pr.Point { descr = "d"; status = Pr.Simulated; payload = "" };
+      Pr.Point { descr = "d"; status = Pr.Deduped; payload = "p" };
+      Pr.Point { descr = "d"; status = Pr.Failed; payload = "boom (line 3)" };
+      Pr.Done { planned = 9; reused = 3; simulated = 4; deduped = 1;
+                failed = 1 };
+      Pr.Status_report
+        { name = "svc"; engine = "dramstress 1.0"; records = 12; shards = 16;
+          inflight = 2 };
+      Pr.Found "0x1.9p+3"; Pr.Not_found;
+      Pr.Diff_report "multi\nline\treport";
+      Pr.Merged { added = 4; replaced = 1; kept = 2 };
+      Pr.Counter_values
+        [ ("campaign.points_planned", 4); ("campaign.service.requests", 9) ];
+      Pr.Bye; Pr.Error_msg "manifest: line 2: unknown section" ]
+
+let test_protocol_frames () =
+  let a, b = Unix.(socketpair PF_UNIX SOCK_STREAM 0) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* a frame big enough to span several reads *)
+  let big = String.concat " " (List.init 5000 (Printf.sprintf "atom-%d")) in
+  let x = Pr.List [ Pr.Atom "blob"; Pr.Atom big ] in
+  Pr.write_frame a x;
+  (match Pr.read_frame b with
+  | Ok y -> Alcotest.(check bool) "large frame round-trips" true (x = y)
+  | Error _ -> Alcotest.fail "read_frame failed");
+  (* garbage header is a protocol error, not an allocation *)
+  ignore (Unix.write_substring a "zzzzzzzz" 0 8);
+  (match Pr.read_frame b with
+  | Error (`Protocol _) -> ()
+  | _ -> Alcotest.fail "bad header must be a protocol error");
+  Unix.close a;
+  match Pr.read_frame b with
+  | Error `Eof -> ()
+  | _ -> Alcotest.fail "closed peer must read as EOF"
+
+(* ------------------------------------------------------------------ *)
+(* service (in-process: server thread + socket clients)                *)
+(* ------------------------------------------------------------------ *)
+
+let with_service ?(shards = 4) f =
+  with_store_dir @@ fun dir ->
+  let socket = Filename.temp_file "dramstress_svc" ".sock" in
+  Sys.remove socket;
+  let store = St.open_ ~shards ~name:"svc-t" dir in
+  let srv = Svc.create ~jobs:1 ~store ~socket_path:socket () in
+  let th = Thread.create Svc.serve srv in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         match Svc.Client.request ~socket Pr.Shutdown with _ -> ()
+       with _ -> ());
+      Thread.join th;
+      try Sys.remove socket with Sys_error _ -> ())
+  @@ fun () -> f ~socket
+
+let ok_outcome = function
+  | Ok (o : Svc.Client.outcome) -> o
+  | Error m -> Alcotest.failf "server rejected submission: %s" m
+
+let test_service_submit_cold_warm () =
+  with_service @@ fun ~socket ->
+  let streamed = ref [] in
+  let on_event = function
+    | Pr.Point { status; _ } -> streamed := status :: !streamed
+    | _ -> ()
+  in
+  let o = ok_outcome (Svc.Client.submit ~on_event ~socket run_manifest) in
+  Alcotest.(check int) "planned" 2 o.Svc.Client.planned;
+  Alcotest.(check int) "cold: everything simulated" 2 o.Svc.Client.simulated;
+  Alcotest.(check int) "cold: nothing reused" 0 o.Svc.Client.reused;
+  Alcotest.(check int) "no failures" 0 o.Svc.Client.failed;
+  Alcotest.(check int) "one frame streamed per point" 2
+    (List.length !streamed);
+  Alcotest.(check bool) "all frames say simulated" true
+    (List.for_all (fun s -> s = Pr.Simulated) !streamed);
+  (* warm resubmission over the same socket path: pure reuse *)
+  let o = ok_outcome (Svc.Client.submit ~socket run_manifest) in
+  Alcotest.(check int) "warm: everything reused" 2 o.Svc.Client.reused;
+  Alcotest.(check int) "warm: nothing simulated" 0 o.Svc.Client.simulated;
+  (* status verb *)
+  (match Svc.Client.request ~socket Pr.Status with
+  | Pr.Status_report { shards; records; inflight; _ } ->
+    Alcotest.(check int) "status: shard count" 4 shards;
+    Alcotest.(check bool) "status: records hold the plan" true (records >= 2);
+    Alcotest.(check int) "status: idle" 0 inflight
+  | _ -> Alcotest.fail "expected a status report");
+  (* query verb: raw descriptor lookup against the live store *)
+  let m = Manifest.of_string run_manifest in
+  let p = List.hd (Plan.points m) in
+  (match Svc.Client.request ~socket (Pr.Query (Plan.descriptor m p)) with
+  | Pr.Found payload ->
+    Alcotest.(check bool) "query payload decodes" true
+      (Plan.decode_result payload <> None)
+  | _ -> Alcotest.fail "expected found");
+  (match Svc.Client.request ~socket (Pr.Query "no such point") with
+  | Pr.Not_found -> ()
+  | _ -> Alcotest.fail "expected not-found");
+  (* counters verb *)
+  match Svc.Client.request ~socket Pr.Counters with
+  | Pr.Counter_values cs ->
+    Alcotest.(check bool) "submissions counted" true
+      (match List.assoc_opt "campaign.service.submissions" cs with
+      | Some n -> n >= 2
+      | None -> false)
+  | _ -> Alcotest.fail "expected counters"
+
+let test_service_bad_manifest_is_error () =
+  with_service @@ fun ~socket ->
+  match Svc.Client.submit ~socket "(campaign (name))" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "broken manifest must be a server-side error"
+
+let test_service_concurrent_dedup () =
+  with_service @@ fun ~socket ->
+  let c_sim = Tel.Counter.make "campaign.points_simulated" in
+  let sim_before = Tel.Counter.value c_sim in
+  O.clear_cache ();
+  let results = Array.make 2 None in
+  let client i = results.(i) <- Some (Svc.Client.submit ~socket run_manifest) in
+  let ths = List.init 2 (fun i -> Thread.create client i) in
+  List.iter Thread.join ths;
+  let outs =
+    Array.to_list results
+    |> List.map (function
+         | Some r -> ok_outcome r
+         | None -> Alcotest.fail "client thread did not report")
+  in
+  let sum f = List.fold_left (fun acc o -> acc + f o) 0 outs in
+  (* the acceptance criterion, counter-verified: two concurrent clients
+     on the same manifest, every point simulated exactly once *)
+  Alcotest.(check int) "each point simulated exactly once" 2
+    (Tel.Counter.value c_sim - sim_before);
+  Alcotest.(check int) "simulations split across the clients" 2
+    (sum (fun o -> o.Svc.Client.simulated));
+  Alcotest.(check int) "the other client's points came for free" 2
+    (sum (fun o -> o.Svc.Client.deduped + o.Svc.Client.reused));
+  List.iter
+    (fun (o : Svc.Client.outcome) ->
+      Alcotest.(check int) "full plan per client" 2 o.Svc.Client.planned;
+      Alcotest.(check int) "no failures" 0 o.Svc.Client.failed;
+      Alcotest.(check int) "per-client accounting closes" 2
+        (o.Svc.Client.reused + o.Svc.Client.simulated
+        + o.Svc.Client.deduped))
+    outs
+
+let test_service_merge_verb_and_diff () =
+  (* build a second store with the low-vdd half of the plan, absorb it
+     through the merge verb, and check the server now reuses it *)
+  let half =
+    {|
+(campaign
+  (name half-b)
+  (defects (O1 true))
+  (stress low-vdd (vdd 2.1))
+  (detections (seq "w1 w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+  in
+  let other =
+    {|
+(campaign
+  (name half-a)
+  (defects (O1 true))
+  (stress nominal)
+  (detections (seq "w1 w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+  in
+  with_store_dir @@ fun src_dir ->
+  let m_half = Manifest.of_string half in
+  let src = St.open_ ~name:"half-b" src_dir in
+  let r = Runner.run ~jobs:1 ~store:src m_half in
+  St.close src;
+  Alcotest.(check int) "source half computed" 1 r.Runner.simulated;
+  with_service @@ fun ~socket ->
+  (* cover the nominal half server-side first *)
+  let o = ok_outcome (Svc.Client.submit ~socket other) in
+  Alcotest.(check int) "nominal half simulated" 1 o.Svc.Client.simulated;
+  (match Svc.Client.request ~socket (Pr.Merge src_dir) with
+  | Pr.Merged { added; replaced; _ } ->
+    Alcotest.(check bool) "merge brought records" true (added > 0);
+    Alcotest.(check int) "no replacements across halves" 0 replaced
+  | Pr.Error_msg m -> Alcotest.failf "merge refused: %s" m
+  | _ -> Alcotest.fail "expected merge stats");
+  (* the merged half is now served without simulation *)
+  let o = ok_outcome (Svc.Client.submit ~socket run_manifest) in
+  Alcotest.(check int) "both halves reused after merge" 2
+    o.Svc.Client.reused;
+  Alcotest.(check int) "nothing simulated after merge" 0
+    o.Svc.Client.simulated;
+  (* diff verb: both manifests against the server store, rendered *)
+  match Svc.Client.request ~socket (Pr.Diff { a = other; b = half }) with
+  | Pr.Diff_report text ->
+    Alcotest.(check bool) "report rendered" true (String.length text > 0)
+  | Pr.Error_msg m -> Alcotest.failf "diff refused: %s" m
+  | _ -> Alcotest.fail "expected a diff report"
+
+let test_store_merge_campaign_parity () =
+  (* two sharded stores built by disjoint half-campaigns, merged, must
+     be record-identical to one single-process run of the full plan *)
+  let half name stress =
+    Printf.sprintf
+      {|
+(campaign
+  (name %s)
+  (defects (O1 true))
+  (stress %s)
+  (detections (seq "w1 w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+      name stress
+  in
+  with_store_dir @@ fun a_dir ->
+  with_store_dir @@ fun b_dir ->
+  with_store_dir @@ fun ref_dir ->
+  let run ?shards dir src =
+    let m = Manifest.of_string src in
+    let s = St.open_ ?shards ~name:m.Manifest.name dir in
+    let r = Runner.run ~jobs:1 ~store:s m in
+    St.close s;
+    Alcotest.(check int) "half-run clean" 0 (List.length r.Runner.failures)
+  in
+  run ~shards:4 a_dir (half "half-a" "nominal");
+  run ~shards:4 b_dir (half "half-b" "low-vdd (vdd 2.1)");
+  run ref_dir run_manifest;
+  let dst = St.open_ ~name:"half-a" a_dir in
+  let src = St.open_ ~name:"half-b" b_dir in
+  let src_entries = St.entries src in
+  let stats = St.merge ~src ~dst in
+  St.close src;
+  Alcotest.(check int) "disjoint halves: everything added" src_entries
+    stats.St.added;
+  Alcotest.(check int) "nothing replaced" 0 stats.St.replaced;
+  let rs = St.open_ ~name:"ref" ref_dir in
+  let m = Manifest.of_string run_manifest in
+  List.iter
+    (fun p ->
+      let key = Plan.descriptor m p in
+      let merged = St.find dst ~key and reference = St.find rs ~key in
+      Alcotest.(check bool) "point present on both sides" true
+        (merged <> None && reference <> None);
+      Alcotest.(check (option string))
+        "merged sharded store record-identical to single-process run"
+        reference merged)
+    (Plan.points m);
+  St.close rs;
+  St.close dst
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -534,5 +833,25 @@ let () =
           tc "stress pair matches direct search" test_diff_stress_pair_parity;
           tc "missing side reported, not shifted" test_diff_missing_side;
           tc "best point matches Sc_eval directly" test_best_point_parity;
+        ] );
+      ( "protocol",
+        [
+          tc "sexp printer/parser round-trip" test_protocol_sexp_roundtrip;
+          tc "request codec round-trips" test_protocol_request_roundtrip;
+          tc "response codec round-trips" test_protocol_response_roundtrip;
+          tc "framing: large, garbage, EOF" test_protocol_frames;
+        ] );
+      ( "service",
+        [
+          tc "submit cold/warm + status/query/counters"
+            test_service_submit_cold_warm;
+          tc "broken manifest is a server-side error"
+            test_service_bad_manifest_is_error;
+          tc "concurrent clients: one simulation per point"
+            test_service_concurrent_dedup;
+          tc "merge verb absorbs a store, diff verb renders"
+            test_service_merge_verb_and_diff;
+          tc "merged sharded halves equal one full run"
+            test_store_merge_campaign_parity;
         ] );
     ]

@@ -1,0 +1,160 @@
+(* Server-level chaos: SIGKILL the campaign service mid-campaign,
+   restart it on the same sharded store, resubmit, and require that
+   completed points are never re-simulated and that the final store is
+   record-identical to an unkilled single-process run.
+
+   Fork-based, so this lives in its own binary: OCaml refuses
+   [Unix.fork] once any domain has ever been spawned, which is why the
+   parent only ever uses [jobs = 1] (the inline path of [Par]). The
+   forked servers are free to thread and spawn as they like. *)
+
+module Cp = Dramstress_campaign
+module Manifest = Cp.Manifest
+module Plan = Cp.Plan
+module Runner = Cp.Runner
+module Pr = Cp.Protocol
+module Svc = Cp.Service
+module St = Dramstress_util.Store
+module Chaos = Dramstress_util.Chaos
+
+let with_dir f =
+  let dir = Filename.temp_file "dramstress_chaos" "" in
+  Sys.remove dir;
+  let rec rm p =
+    if Sys.file_exists p then
+      if Sys.is_directory p then begin
+        Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+        Sys.rmdir p
+      end
+      else Sys.remove p
+  in
+  Fun.protect
+    ~finally:(fun () -> try rm dir with Sys_error _ -> ())
+    (fun () -> f dir)
+
+let manifest_text =
+  {|
+(campaign
+  (name chaos-t)
+  (defects (O1 true))
+  (stress nominal)
+  (stress low-vdd (vdd 2.1))
+  (detections (seq "w1 w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+
+(* the daemon under test, optionally with torn-write chaos armed so
+   the kill also exercises truncated-record recovery *)
+let fork_server ?chaos ~dir ~socket () =
+  match Unix.fork () with
+  | 0 ->
+    (try
+       Option.iter (fun spec -> Chaos.configure ~seed:7 spec) chaos;
+       let store = St.open_ ~name:"chaos-t" dir in
+       let srv = Svc.create ~jobs:1 ~store ~socket_path:socket () in
+       Svc.serve srv
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let fork_client ~socket text =
+  match Unix.fork () with
+  | 0 ->
+    (* the submission this client drives is expected to die with the
+       first server; any outcome (including transport failure) is fine *)
+    (try
+       ignore
+         (Svc.Client.submit_retrying ~attempts:8 ~delay:0.25 ~socket text)
+     with _ -> ());
+    Unix._exit 0
+  | pid -> pid
+
+let done_points m dir =
+  let s = St.open_ ~name:"chaos-t" dir in
+  let sts = Runner.states ~store:s m in
+  St.close s;
+  List.length
+    (List.filter (fun (_, st) -> match st with `Done _ -> true | _ -> false) sts)
+
+let test_kill_restart_resubmit () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  with_dir @@ fun srv_dir ->
+  with_dir @@ fun ref_dir ->
+  let socket = Filename.temp_file "dramstress_chaos" ".sock" in
+  Sys.remove socket;
+  let m = Manifest.of_string manifest_text in
+  let points = Plan.points m in
+  (* pin the sharded layout before any process races to create it *)
+  let s = St.open_ ~shards:4 ~name:"chaos-t" srv_dir in
+  St.close s;
+  let server1 =
+    fork_server ~chaos:"truncate_checkpoint@9" ~dir:srv_dir ~socket ()
+  in
+  let client1 = fork_client ~socket manifest_text in
+  (* wait until at least one point is durably recorded, then murder
+     the daemon mid-campaign *)
+  let rec wait_progress n =
+    if n = 0 then Alcotest.fail "no point completed before the kill"
+    else if done_points m srv_dir < 1 then begin
+      Unix.sleepf 0.25;
+      wait_progress (n - 1)
+    end
+  in
+  wait_progress 480;
+  Unix.kill server1 Sys.sigkill;
+  ignore (Unix.waitpid [] server1);
+  ignore (Unix.waitpid [] client1);
+  let completed_before = done_points m srv_dir in
+  Alcotest.(check bool) "progress survived the kill" true
+    (completed_before >= 1);
+  (* restart on the same store, resubmit from this process *)
+  let server2 = fork_server ~dir:srv_dir ~socket () in
+  (match
+     Svc.Client.submit_retrying ~attempts:40 ~delay:0.25 ~socket
+       manifest_text
+   with
+  | Error msg -> Alcotest.failf "resubmission rejected: %s" msg
+  | Ok o ->
+    Alcotest.(check int) "full plan" (List.length points) o.Svc.Client.planned;
+    Alcotest.(check int) "no failures" 0 o.Svc.Client.failed;
+    (* the acceptance criterion: zero re-simulation of completed points *)
+    Alcotest.(check int) "completed points reused, not re-simulated"
+      completed_before o.Svc.Client.reused;
+    Alcotest.(check int) "only the lost points simulated"
+      (List.length points - completed_before)
+      (o.Svc.Client.simulated + o.Svc.Client.deduped));
+  (match Svc.Client.request ~socket Pr.Shutdown with
+  | Pr.Bye -> ()
+  | _ -> Alcotest.fail "expected bye");
+  ignore (Unix.waitpid [] server2);
+  (* an unkilled single-process run is the reference: the store that
+     lived through kill + restart must hold record-identical results
+     for every planned point *)
+  let rs = St.open_ ~name:"ref" ref_dir in
+  let r = Runner.run ~jobs:1 ~store:rs m in
+  St.close rs;
+  Alcotest.(check int) "reference run clean" 0
+    (List.length r.Runner.failures);
+  let rs = St.open_ ~name:"ref" ref_dir in
+  let ss = St.open_ ~name:"chaos-t" srv_dir in
+  List.iter
+    (fun p ->
+      let key = Plan.descriptor m p in
+      let survived = St.find ss ~key and reference = St.find rs ~key in
+      Alcotest.(check bool) "point recorded on both sides" true
+        (survived <> None && reference <> None);
+      Alcotest.(check (option string)) "record-identical to unkilled run"
+        reference survived)
+    points;
+  St.close rs;
+  St.close ss;
+  try Sys.remove socket with Sys_error _ -> ()
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "dramstress_service_chaos"
+    [
+      ( "service-chaos",
+        [ tc "kill, restart, resubmit: no re-simulation"
+            test_kill_restart_resubmit ] );
+    ]

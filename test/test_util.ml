@@ -1149,6 +1149,358 @@ let test_fingerprint_domain_stable () =
     fps
 
 (* ------------------------------------------------------------------ *)
+(* Par: env junk degrades with one warning                             *)
+(* ------------------------------------------------------------------ *)
+
+module Tel = Dramstress_util.Telemetry
+
+let with_tel f =
+  Tel.set_enabled true;
+  Fun.protect ~finally:(fun () -> Tel.set_enabled false) f
+
+let test_par_env_warning_logged_once () =
+  let with_env var v f =
+    let old = Sys.getenv_opt var in
+    Unix.putenv var v;
+    Par.reset_env_warnings ();
+    Fun.protect f ~finally:(fun () ->
+        Unix.putenv var (Option.value old ~default:"");
+        Par.reset_env_warnings ())
+  in
+  (* zero, negative and non-numeric env values all degrade to the
+     default — never to a crash, never to 0 domains — and each variable
+     warns exactly once no matter how often it is resolved *)
+  with_env "DRAMSTRESS_LANES" "0" (fun () ->
+      Alcotest.(check int) "zero falls back" Par.default_lanes
+        (Par.resolve_lanes ());
+      Alcotest.(check (list (pair string string)))
+        "rejected value logged"
+        [ ("DRAMSTRESS_LANES", "0") ]
+        (Par.env_warnings ());
+      ignore (Par.resolve_lanes ());
+      ignore (Par.resolve_lanes ());
+      Alcotest.(check int) "warned once, not per resolve" 1
+        (List.length (Par.env_warnings ())));
+  with_env "DRAMSTRESS_LANES" "-2" (fun () ->
+      Alcotest.(check int) "negative falls back" Par.default_lanes
+        (Par.resolve_lanes ());
+      Alcotest.(check (list (pair string string)))
+        "negative logged"
+        [ ("DRAMSTRESS_LANES", "-2") ]
+        (Par.env_warnings ()));
+  with_env "DRAMSTRESS_JOBS" "banana" (fun () ->
+      Alcotest.(check bool) "garbage resolves to >= 1" true
+        (Par.resolve_jobs () >= 1);
+      Alcotest.(check (list (pair string string)))
+        "garbage logged"
+        [ ("DRAMSTRESS_JOBS", "banana") ]
+        (Par.env_warnings ()));
+  (* unset (empty) is the documented "not set" spelling: silent *)
+  with_env "DRAMSTRESS_LANES" "" (fun () ->
+      Alcotest.(check int) "empty takes the default" Par.default_lanes
+        (Par.resolve_lanes ());
+      Alcotest.(check (list (pair string string)))
+        "empty is not junk" [] (Par.env_warnings ()))
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint: sick lines mid-file                                     *)
+(* ------------------------------------------------------------------ *)
+
+let file_lines path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let write_file_lines path lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let test_ck_bad_middle_line_tail_replays () =
+  with_ck_file @@ fun path ->
+  let t = Ck.open_ path in
+  List.iter
+    (fun k -> Ck.record t ~key:(Ck.digest_key k) ("payload-" ^ k))
+    [ "k1"; "k2"; "k3" ];
+  Ck.close t;
+  (* mangle the middle line in place, keeping its newline: the records
+     behind it must still replay *)
+  (match file_lines path with
+  | [ l1; l2; l3 ] ->
+    let chopped = String.sub l2 0 (String.length l2 - 10) in
+    write_file_lines path [ l1; chopped; l3 ]
+  | ls -> Alcotest.failf "expected 3 lines, found %d" (List.length ls));
+  let t = Ck.open_ ~resume:true path in
+  Alcotest.(check int) "tail replayed past the sick line" 2 (Ck.entries t);
+  Alcotest.(check (option string))
+    "head intact" (Some "payload-k1")
+    (Ck.find t (Ck.digest_key "k1"));
+  Alcotest.(check (option string))
+    "tail intact" (Some "payload-k3")
+    (Ck.find t (Ck.digest_key "k3"));
+  Alcotest.(check (option string))
+    "sick record lost, not resurrected" None
+    (Ck.find t (Ck.digest_key "k2"));
+  (* the lost point is simply recomputed and the file heals *)
+  Ck.record t ~key:(Ck.digest_key "k2") "payload-k2";
+  Ck.close t;
+  let t = Ck.open_ ~resume:true path in
+  Alcotest.(check (option string))
+    "recomputed record persisted" (Some "payload-k2")
+    (Ck.find t (Ck.digest_key "k2"));
+  Ck.close t
+
+let test_ck_corrupt_payload_repaired () =
+  with_tel @@ fun () ->
+  with_ck_file @@ fun path ->
+  let calls = ref 0 in
+  let compute v () =
+    incr calls;
+    v
+  in
+  let memo t k v =
+    Ck.memo (Some t) ~key:k ~encode:string_of_int
+      ~decode:int_of_string_opt (compute v)
+  in
+  let t = Ck.open_ path in
+  ignore (memo t "k1" 1);
+  ignore (memo t "k2" 2);
+  ignore (memo t "k3" 3);
+  Ck.close t;
+  Alcotest.(check int) "three cold computes" 3 !calls;
+  (* replace the middle record's payload with a well-formed line the
+     decoder refuses: a mid-file corruption, not a truncated tail *)
+  (match file_lines path with
+  | [ l1; _; l3 ] ->
+    let bad =
+      Printf.sprintf {|{"key":"%s","value":"not-an-int"}|}
+        (Ck.digest_key "k2")
+    in
+    write_file_lines path [ l1; bad; l3 ]
+  | ls -> Alcotest.failf "expected 3 lines, found %d" (List.length ls));
+  let t = Ck.open_ ~resume:true path in
+  let skipped_before = Tel.Counter.value (Tel.Counter.make "util.checkpoint.skipped_records") in
+  calls := 0;
+  Alcotest.(check int) "clean head is a hit" 1 (memo t "k1" 1);
+  Alcotest.(check int) "clean tail replayed" 3 (memo t "k3" 3);
+  Alcotest.(check int) "no recompute for clean records" 0 !calls;
+  Alcotest.(check int) "refused payload recomputed" 2 (memo t "k2" 2);
+  Alcotest.(check int) "one recompute" 1 !calls;
+  Alcotest.(check int) "skip counted" (skipped_before + 1)
+    (Tel.Counter.value (Tel.Counter.make "util.checkpoint.skipped_records"));
+  Alcotest.(check int) "repair served from memory" 2 (memo t "k2" 2);
+  Alcotest.(check int) "still one recompute" 1 !calls;
+  Ck.close t;
+  (* the repair was appended (last record wins), so a fresh resume
+     serves it without recomputation *)
+  let t = Ck.open_ ~resume:true path in
+  calls := 0;
+  Alcotest.(check int) "repair persisted" 2 (memo t "k2" 2);
+  Alcotest.(check int) "no recompute after repair" 0 !calls;
+  Ck.close t
+
+(* ------------------------------------------------------------------ *)
+(* Store: sharding, inter-process appends, recovery, merge             *)
+(* ------------------------------------------------------------------ *)
+
+let test_store_sharded_roundtrip () =
+  with_store_dir @@ fun dir ->
+  let keys = List.init 20 (Printf.sprintf "point-%d") in
+  let s = St.open_ ~engine:"e" ~shards:4 ~name:"sh" dir in
+  Alcotest.(check int) "pinned shard count" 4 (St.shards s);
+  List.iter (fun k -> St.put s ~key:k ~descr:k ("v:" ^ k)) keys;
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string)) "hit" (Some ("v:" ^ k))
+        (St.find s ~key:k))
+    keys;
+  Alcotest.(check int) "entries across shards" 20 (St.entries s);
+  (* a sharded store has no single checkpoint; routing is per key *)
+  Alcotest.(check bool) "checkpoint refused" true
+    (match St.checkpoint s with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  List.iter
+    (fun k ->
+      let ck = St.checkpoint_for s ~key:k in
+      Alcotest.(check (option string)) "routed shard holds the record"
+        (Some ("v:" ^ k))
+        (Ck.find ck (Ck.digest_key k)))
+    keys;
+  St.close s;
+  (match St.index dir with
+  | None -> Alcotest.fail "top index missing after close"
+  | Some ix ->
+    Alcotest.(check int) "index shards" 4 ix.St.ix_shards;
+    Alcotest.(check int) "index records" 20 ix.St.ix_records);
+  (* reopen with no explicit count: the on-disk layout wins *)
+  let s = St.open_ ~engine:"e" ~name:"sh" dir in
+  Alcotest.(check int) "layout autodetected" 4 (St.shards s);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string)) "persisted" (Some ("v:" ^ k))
+        (St.find s ~key:k))
+    keys;
+  St.close s;
+  (* the matching explicit count is fine; any other count is refused *)
+  let s = St.open_ ~engine:"e" ~shards:4 ~name:"sh" dir in
+  St.close s;
+  Alcotest.(check bool) "mismatched count refused" true
+    (match St.open_ ~engine:"e" ~shards:8 ~name:"sh" dir with
+    | exception Invalid_argument _ -> true
+    | s ->
+      St.close s;
+      false)
+
+let test_store_layout_conflict_refused () =
+  with_store_dir @@ fun dir ->
+  let s = St.open_ ~engine:"e" ~name:"single" dir in
+  St.put s ~key:"k" "v";
+  St.close s;
+  Alcotest.(check bool) "shards on an existing single-file store" true
+    (match St.open_ ~engine:"e" ~shards:4 ~name:"single" dir with
+    | exception Invalid_argument _ -> true
+    | s ->
+      St.close s;
+      false)
+
+let test_store_orphan_tmp_cleanup () =
+  with_tel @@ fun () ->
+  with_store_dir @@ fun dir ->
+  let s = St.open_ ~engine:"e" ~name:"orph" dir in
+  St.put s ~key:"k" "v";
+  St.close s;
+  (* a writer killed between staging and rename leaves these behind;
+     pid 3999999 is comfortably above anything alive in a test box *)
+  let plant n =
+    let oc = open_out (Filename.concat dir n) in
+    output_string oc "{\"half\":";
+    close_out oc
+  in
+  plant "index.json.tmp.3999999.0";
+  plant "index.json.tmp.3999999.1";
+  (* a staging file of a LIVE process (ours) must survive the sweep:
+     it belongs to a concurrent writer mid-rewrite, not a dead one *)
+  let live = Printf.sprintf "index.json.tmp.%d.7" (Unix.getpid ()) in
+  plant live;
+  let counter = Tel.Counter.make "util.store.orphan_tmp_removed" in
+  let before = Tel.Counter.value counter in
+  let s = St.open_ ~engine:"e" ~name:"orph" dir in
+  Alcotest.(check int) "dead writers' orphans counted" (before + 2)
+    (Tel.Counter.value counter);
+  Alcotest.(check bool) "dead writers' orphans removed" true
+    (Sys.readdir dir |> Array.to_list
+    |> List.for_all (fun n ->
+           n = live
+           || not
+                (String.length n >= 14
+                && String.sub n 0 14 = "index.json.tmp")));
+  Alcotest.(check bool) "live writer's staging file kept" true
+    (Sys.file_exists (Filename.concat dir live));
+  Sys.remove (Filename.concat dir live);
+  Alcotest.(check (option string)) "records untouched" (Some "v")
+    (St.find s ~key:"k");
+  St.close s
+
+let test_store_index_recovery () =
+  with_tel @@ fun () ->
+  with_store_dir @@ fun dir ->
+  let s = St.open_ ~engine:"e" ~name:"rix" dir in
+  St.put s ~key:"k1" "v1";
+  St.put s ~key:"k2" "v2";
+  St.close s;
+  (* a stale index (e.g. from a killed writer's last successful rename)
+     must lose to the records file, which is the source of truth *)
+  let oc = open_out (Filename.concat dir "index.json") in
+  output_string oc
+    {|{"name":"rix","engine":"e","records":7,"shards":0}|};
+  close_out oc;
+  let counter = Tel.Counter.make "util.store.index_recovered" in
+  let before = Tel.Counter.value counter in
+  let s = St.open_ ~engine:"e" ~name:"rix" dir in
+  Alcotest.(check int) "recovery counted" (before + 1)
+    (Tel.Counter.value counter);
+  Alcotest.(check int) "true record count" 2 (St.entries s);
+  Alcotest.(check (option string)) "records intact" (Some "v1")
+    (St.find s ~key:"k1");
+  St.close s;
+  (match St.index dir with
+  | None -> Alcotest.fail "index missing after recovery"
+  | Some ix -> Alcotest.(check int) "index rebuilt" 2 ix.St.ix_records);
+  (* a second open with the honest index is not a recovery *)
+  let before = Tel.Counter.value counter in
+  let s = St.open_ ~engine:"e" ~name:"rix" dir in
+  St.close s;
+  Alcotest.(check int) "no spurious recovery" before
+    (Tel.Counter.value counter)
+
+let test_store_merge_rules () =
+  with_store_dir @@ fun dst_dir ->
+  with_store_dir @@ fun src_dir ->
+  (* dst holds records from an old build *)
+  let d = St.open_ ~engine:"old" ~name:"m" dst_dir in
+  St.put d ~key:"kA" "old-a";
+  St.put d ~key:"kB" "same";
+  St.close d;
+  (* src mixes records from the current build and a third one *)
+  let s = St.open_ ~engine:"cur" ~name:"m" src_dir in
+  St.put s ~key:"kA" "cur-a";
+  St.put s ~key:"kB" "same";
+  St.put s ~key:"kC" "cur-c";
+  St.close s;
+  let s = St.open_ ~engine:"third" ~name:"m" src_dir in
+  St.put s ~key:"kD" "third-d";
+  St.close s;
+  let src = St.open_ ~engine:"cur" ~name:"m" src_dir in
+  let dst = St.open_ ~engine:"cur" ~name:"m" dst_dir in
+  let stats = St.merge ~src ~dst in
+  (* kC+kD added; kA replaced (src is current-engine, dst copy is
+     not); kB kept (identical) *)
+  Alcotest.(check int) "added" 2 stats.St.added;
+  Alcotest.(check int) "replaced" 1 stats.St.replaced;
+  Alcotest.(check int) "kept" 1 stats.St.kept;
+  (* the open destination sees the merge immediately *)
+  Alcotest.(check (option string)) "conflict: current engine wins"
+    (Some "cur-a") (St.find dst ~key:"kA");
+  Alcotest.(check (option string)) "added record" (Some "cur-c")
+    (St.find dst ~key:"kC");
+  Alcotest.(check (option string)) "copied record" (Some "third-d")
+    (St.find dst ~key:"kD");
+  (* a copied record keeps its original engine stamp *)
+  let tally = St.engines dst in
+  Alcotest.(check (option int)) "third-party stamp survives the copy"
+    (Some 1)
+    (List.assoc_opt "third" tally);
+  St.close src;
+  St.close dst;
+  (* the reverse conflict: a stale src copy never clobbers a
+     current-engine dst record *)
+  let d = St.open_ ~engine:"cur" ~name:"m" dst_dir in
+  St.put d ~key:"kF" "cur-f";
+  St.close d;
+  let s = St.open_ ~engine:"old" ~name:"m" src_dir in
+  St.put s ~key:"kF" "old-f";
+  St.close s;
+  let src = St.open_ ~engine:"cur" ~name:"m" src_dir in
+  let dst = St.open_ ~engine:"cur" ~name:"m" dst_dir in
+  let stats = St.merge ~src ~dst in
+  Alcotest.(check int) "nothing added on re-merge" 0 stats.St.added;
+  Alcotest.(check int) "stale src never replaces" 0 stats.St.replaced;
+  Alcotest.(check (option string)) "current dst record kept"
+    (Some "cur-f") (St.find dst ~key:"kF");
+  St.close src;
+  St.close dst
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -1190,6 +1542,8 @@ let () =
           tc "worker backtrace preserved" test_par_backtrace_preserved;
           tc "outcome variant keeps every slot" test_par_outcomes_mixed;
           tc "outcome retries_of hook" test_par_outcomes_retries_hook;
+          tc "env junk degrades with one warning"
+            test_par_env_warning_logged_once;
         ] );
       ( "checkpoint",
         [
@@ -1200,6 +1554,10 @@ let () =
           tc "memo hit/miss/fallback" test_ck_memo;
           tc "fingerprint stability" test_ck_fingerprint_stable;
           tc "truncation at every byte offset" test_ck_truncate_every_byte;
+          tc "sick middle line skipped, tail replays"
+            test_ck_bad_middle_line_tail_replays;
+          tc "refused payload recomputed and repaired"
+            test_ck_corrupt_payload_repaired;
         ] );
       ( "store",
         [
@@ -1211,6 +1569,14 @@ let () =
             test_fingerprint_domain_stable;
           QCheck_alcotest.to_alcotest prop_fingerprint_injective;
           QCheck_alcotest.to_alcotest prop_fingerprint_stable_reserialized;
+          tc "sharded roundtrip and layout autodetect"
+            test_store_sharded_roundtrip;
+          tc "shards on a single-file store refused"
+            test_store_layout_conflict_refused;
+          tc "orphan index temp files swept" test_store_orphan_tmp_cleanup;
+          tc "stale index recovered from records"
+            test_store_index_recovery;
+          tc "merge union and staleness rules" test_store_merge_rules;
         ] );
       ( "chaos",
         [
