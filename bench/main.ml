@@ -957,9 +957,8 @@ let campaign () =
     let v = f () in
     (Unix.gettimeofday () -. t0, v)
   in
-  let m =
-    Cp.Manifest.of_string
-      {|
+  let mtext =
+    {|
 (campaign
   (name bench)
   (defects (O1 true))
@@ -969,11 +968,23 @@ let campaign () =
   (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
 |}
   in
+  let m = Cp.Manifest.of_string mtext in
   let points = Cp.Plan.points m in
   let n = List.length points in
   (* the in-process LRU would serve repeat runs from memory and hide the
      store entirely; disable it so every number prices the store *)
   O.set_caching false;
+  (* fork the sandbox worker now, while this process is still
+     fork-capable and with caching disabled so the worker prices the
+     same physics; a process that already spawned domains (earlier
+     bench sections with jobs > 1) cannot fork, so the measurement
+     degrades to skipped rather than failing the bench *)
+  let module Pp = Dramstress_util.Procpool in
+  let pool =
+    match Pp.create ~workers:1 ~worker:Cp.Sandbox.worker () with
+    | pool -> Ok pool
+    | exception e -> Error (Printexc.to_string e)
+  in
   (* baseline: the same physics with no persistence anywhere *)
   let direct, () =
     wall (fun () ->
@@ -1024,6 +1035,34 @@ let campaign () =
   in
   let sh_cold, _ = wall run_sharded in
   let sh_warm, sh_warm_sum = wall run_sharded in
+  (* the same cold campaign through the service's sandboxed worker
+     pool: every point crosses a pipe to a forked worker and the result
+     crosses back, which prices process isolation against the
+     in-process cold run above *)
+  let sb_dir = dir ^ ".sandbox" in
+  let sandbox =
+    match pool with
+    | Error reason -> Error reason
+    | Ok pool ->
+      Fun.protect
+        ~finally:(fun () ->
+          Pp.shutdown pool;
+          try rm sb_dir with Sys_error _ -> ())
+        (fun () ->
+          let run_sandboxed () =
+            let s = St.open_ ~name:"bench" sb_dir in
+            Fun.protect
+              ~finally:(fun () -> St.close s)
+              (fun () ->
+                let executor =
+                  Cp.Sandbox.executor pool ~manifest_text:mtext m
+                in
+                Cp.Runner.run ~jobs:1 ~executor ~fanout:`Threads ~store:s m)
+          in
+          match wall run_sandboxed with
+          | t, sum -> Ok (t, sum)
+          | exception e -> Error (Printexc.to_string e))
+  in
   O.set_caching true;
   let ratio a b = if b > 0.0 then a /. b else Float.nan in
   let write_overhead_pct = 100.0 *. (ratio cold direct -. 1.0) in
@@ -1054,6 +1093,35 @@ let campaign () =
   Printf.printf "  %-40s %10.4f s   (%d/%d reused: %s)\n"
     "warm rerun, 16-way sharded store" sh_warm sh_warm_sum.Cp.Runner.reused n
     (if sh_reuse_ok then "ok" else "VIOLATION: warm run recomputed");
+  let sandbox_limit_pct = 15.0 in
+  let sandbox_json =
+    match sandbox with
+    | Error reason ->
+      Printf.printf "  %-40s skipped (%s)\n" "cold run, sandboxed worker pool"
+        reason;
+      Printf.sprintf "{ \"skipped\": true, \"reason\": %S }" reason
+    | Ok (sb_cold, sb_sum) ->
+      let overhead_pct = 100.0 *. (ratio sb_cold cold -. 1.0) in
+      let within = overhead_pct <= sandbox_limit_pct in
+      let clean =
+        sb_sum.Cp.Runner.simulated = n
+        && List.length sb_sum.Cp.Runner.failures = 0
+      in
+      Printf.printf
+        "  %-40s %10.4f s   (vs in-process %+.1f%%, limit %.0f%%: %s)\n"
+        "cold run, sandboxed worker pool" sb_cold overhead_pct
+        sandbox_limit_pct
+        (if within then "ok" else "EXCEEDED");
+      if not clean then
+        Printf.printf "  %-40s VIOLATION: %d simulated, %d failures\n"
+          "sandboxed run" sb_sum.Cp.Runner.simulated
+          (List.length sb_sum.Cp.Runner.failures);
+      Printf.sprintf
+        "{ \"skipped\": false, \"workers\": 1, \"cold_s\": %.5f, \
+         \"inprocess_cold_s\": %.5f, \"overhead_pct\": %.2f, \"limit_pct\": \
+         %.1f, \"within_limit\": %b, \"clean\": %b }"
+        sb_cold cold overhead_pct sandbox_limit_pct within clean
+  in
   let json =
     Printf.sprintf
       "{\n\
@@ -1066,11 +1134,12 @@ let campaign () =
       \  \"warm_reuse\": { \"reused\": %d, \"simulated\": %d, \"full_reuse\": \
        %b },\n\
       \  \"sharded\": { \"shards\": 16, \"cold_s\": %.5f, \"warm_s\": %.5f, \
-       \"full_reuse\": %b }\n\
+       \"full_reuse\": %b },\n\
+      \  \"sandbox\": %s\n\
        }\n"
       n direct cold warm write_overhead_pct warm_speedup speedup_limit
       speedup_ok warm_sum.Cp.Runner.reused warm_sum.Cp.Runner.simulated
-      reuse_ok sh_cold sh_warm sh_reuse_ok
+      reuse_ok sh_cold sh_warm sh_reuse_ok sandbox_json
   in
   Out_channel.with_open_text "BENCH_campaign.json" (fun oc ->
       output_string oc json);

@@ -1087,7 +1087,47 @@ let serve_cmd =
              ~doc:"Client mode: print the daemon's telemetry counters, \
                    one $(b,name value) line each.")
   in
-  let run tel socket store_dir shards name jobs stop status counters =
+  let no_sandbox_arg =
+    Arg.(value & flag
+         & info [ "no-sandbox" ]
+             ~doc:"Execute points in-process over domains instead of the \
+                   supervised worker-process pool. Faster to start, but a \
+                   solver crash then takes the daemon with it.")
+  in
+  let max_active_arg =
+    Arg.(value & opt int 4
+         & info [ "max-active" ] ~docv:"N"
+             ~doc:"Admission control: at most N submissions execute \
+                   concurrently.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 8
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admission control: up to N further submissions wait \
+                   server-side; beyond that clients get a typed \
+                   $(b,busy) response with a retry hint.")
+  in
+  let read_timeout_arg =
+    Arg.(value & opt float 10.0
+         & info [ "read-timeout" ] ~docv:"SECONDS"
+             ~doc:"Drop a connection whose frame stalls mid-transmission \
+                   for this long (slowloris defence). 0 disables. Idle \
+                   connections between frames are never dropped.")
+  in
+  let worker_deaths_arg =
+    Arg.(value & opt int 3
+         & info [ "worker-deaths" ] ~docv:"K"
+             ~doc:"Quarantine a point as failed after it kills K \
+                   consecutive sandbox workers.")
+  in
+  let worker_timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "worker-timeout" ] ~docv:"SECONDS"
+             ~doc:"SIGKILL a sandbox worker stuck on one point longer than \
+                   this (counts as a worker death).")
+  in
+  let run tel socket store_dir shards name jobs stop status counters
+      no_sandbox max_active queue read_timeout worker_deaths worker_timeout =
     with_telemetry tel @@ fun () ->
     let socket_of () =
       match (socket, store_dir) with
@@ -1130,13 +1170,28 @@ let serve_cmd =
       in
       let store = Store.open_ ~name ~shards dir in
       let socket_path = socket_of () in
-      let srv = Cp.Service.create ?jobs ~store ~socket_path () in
+      let srv =
+        match
+          Cp.Service.create ?jobs ~sandbox:(not no_sandbox)
+            ~max_task_deaths:worker_deaths ?task_timeout:worker_timeout
+            ~max_active ~queue ~read_timeout ~store ~socket_path ()
+        with
+        | srv -> srv
+        | exception Cp.Service.Already_running path ->
+          Store.close store;
+          Printf.eprintf
+            "dramstress serve: another daemon is already listening on %s\n%!"
+            path;
+          exit 2
+      in
       let graceful = Sys.Signal_handle (fun _ -> Cp.Service.stop srv) in
       Sys.set_signal Sys.sigterm graceful;
       Sys.set_signal Sys.sigint graceful;
       Printf.printf
-        "dramstress serve: listening on %s (store %s, %d shard(s))\n%!"
-        socket_path dir (Store.shards store);
+        "dramstress serve: listening on %s (store %s, %d shard(s), %s)\n%!"
+        socket_path dir (Store.shards store)
+        (if Cp.Service.sandboxed srv then "sandboxed workers"
+         else "in-process execution");
       Cp.Service.serve srv
     end
   in
@@ -1144,10 +1199,13 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the campaign service: a daemon owning a sharded store, \
              executing concurrent campaign submissions over a local \
-             socket with in-flight deduplication")
+             socket with supervised worker processes, admission control \
+             and in-flight deduplication")
     Term.(const run $ telemetry_term $ socket_arg $ serve_store_arg
           $ shards_serve_arg $ name_arg $ jobs_arg $ stop_arg
-          $ status_flag_arg $ counters_arg)
+          $ status_flag_arg $ counters_arg $ no_sandbox_arg $ max_active_arg
+          $ queue_arg $ read_timeout_arg $ worker_deaths_arg
+          $ worker_timeout_arg)
 
 (* ------------------------------------------------------------------ *)
 (* store: offline store maintenance                                    *)

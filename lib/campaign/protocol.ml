@@ -140,32 +140,77 @@ let write_frame fd x =
   write_all fd header 0 8;
   write_all fd payload 0 (Bytes.length payload)
 
-let read_exact fd len =
+(* [deadline] is an absolute instant: once a frame has started
+   arriving, every further byte must land before it, enforced with
+   [Unix.select] ahead of each read — the defence against slowloris
+   peers that trickle half a frame and hold the connection hostage. *)
+let read_exact ?deadline fd len =
   let buf = Bytes.create len in
   let rec go off =
-    if off >= len then Some buf
-    else
-      match Unix.read fd buf off (len - off) with
-      | 0 -> None
-      | n -> go (off + n)
+    if off >= len then `Ok buf
+    else begin
+      let ready =
+        match deadline with
+        | None -> `Ready
+        | Some d ->
+          let rec wait () =
+            let remaining = d -. Unix.gettimeofday () in
+            if remaining <= 0.0 then `Timeout
+            else begin
+              match Unix.select [ fd ] [] [] remaining with
+              | [], _, _ -> `Timeout
+              | _ -> `Ready
+              | exception Unix.Unix_error (EINTR, _, _) -> wait ()
+            end
+          in
+          wait ()
+      in
+      match ready with
+      | `Timeout -> `Timeout
+      | `Ready -> begin
+        match Unix.read fd buf off (len - off) with
+        | 0 -> `Eof
+        | n -> go (off + n)
+        | exception Unix.Unix_error (EINTR, _, _) -> go off
+      end
+    end
   in
   go 0
 
-let read_frame fd =
-  match read_exact fd 8 with
-  | None -> Error `Eof
-  | Some h -> (
-    match int_of_string_opt ("0x" ^ Bytes.to_string h) with
-    | None -> Error (`Protocol "bad frame header")
-    | Some len when len < 0 || len > max_frame ->
-      Error (`Protocol "oversized frame")
-    | Some len -> (
-      match read_exact fd len with
-      | None -> Error `Eof
-      | Some payload -> (
-        match of_string (Bytes.to_string payload) with
-        | Ok x -> Ok x
-        | Error m -> Error (`Protocol m))))
+let read_frame ?frame_timeout fd =
+  (* Block indefinitely for the first byte: an idle keep-alive client
+     is welcome to sit silent between requests. The deadline starts
+     the moment a frame begins. *)
+  let first = Bytes.create 1 in
+  let rec first_read () =
+    match Unix.read fd first 0 1 with
+    | 0 -> Error `Eof
+    | _ -> Ok ()
+    | exception Unix.Unix_error (EINTR, _, _) -> first_read ()
+  in
+  match first_read () with
+  | Error e -> Error e
+  | Ok () -> (
+    let deadline =
+      Option.map (fun t -> Unix.gettimeofday () +. t) frame_timeout
+    in
+    match read_exact ?deadline fd 7 with
+    | `Eof -> Error `Eof
+    | `Timeout -> Error `Timeout
+    | `Ok rest -> (
+      let h = Bytes.to_string first ^ Bytes.to_string rest in
+      match int_of_string_opt ("0x" ^ h) with
+      | None -> Error (`Protocol "bad frame header")
+      | Some len when len < 0 || len > max_frame ->
+        Error (`Protocol "oversized frame")
+      | Some len -> (
+        match read_exact ?deadline fd len with
+        | `Eof -> Error `Eof
+        | `Timeout -> Error `Timeout
+        | `Ok payload -> (
+          match of_string (Bytes.to_string payload) with
+          | Ok x -> Ok x
+          | Error m -> Error (`Protocol m)))))
 
 (* ---- typed requests and responses ---- *)
 
@@ -201,6 +246,8 @@ type response =
   | Diff_report of string
   | Merged of { added : int; replaced : int; kept : int }
   | Counter_values of (string * int) list
+  | Busy of { retry_after : float }
+  | Draining
   | Bye
   | Error_msg of string
 
@@ -295,6 +342,10 @@ let encode_response = function
         kvi "kept" kept ]
   | Counter_values cs ->
     List (Atom "counters" :: List.map (fun (n, v) -> kvi n v) cs)
+  | Busy { retry_after } ->
+    (* %h so the hint round-trips exactly *)
+    List [ Atom "busy"; kv "retry-after" (Printf.sprintf "%h" retry_after) ]
+  | Draining -> List [ Atom "draining" ]
   | Bye -> List [ Atom "bye" ]
   | Error_msg m -> List [ Atom "error"; Atom m ]
 
@@ -350,6 +401,11 @@ let decode_response = function
                 Option.map (fun v -> (n, v)) (int_of_string_opt v)
               | _ -> None)
             items))
+  | List (Atom "busy" :: items) -> (
+    match Option.bind (field "retry-after" items) float_of_string_opt with
+    | Some retry_after -> Ok (Busy { retry_after })
+    | None -> Error "busy: missing retry-after")
+  | List [ Atom "draining" ] -> Ok Draining
   | List [ Atom "bye" ] -> Ok Bye
   | List [ Atom "error"; Atom m ] -> Ok (Error_msg m)
   | x -> Error ("unknown response: " ^ to_string x)

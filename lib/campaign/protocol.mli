@@ -23,11 +23,19 @@ val max_frame : int
 
 val write_frame : Unix.file_descr -> sexp -> unit
 
-(** [read_frame fd] reads one frame. [`Eof] is a clean (or mid-frame)
-    connection close; [`Protocol] is a malformed header, oversized
-    frame or unparseable payload. *)
+(** [read_frame ?frame_timeout fd] reads one frame. [`Eof] is a clean
+    (or mid-frame) connection close; [`Protocol] is a malformed header,
+    oversized frame or unparseable payload.
+
+    [frame_timeout] (seconds) is the slowloris defence: it bounds the
+    time from a frame's {e first byte} to its last — a peer that opens
+    a frame and trickles gets [`Timeout]; a connection sitting silent
+    {e between} frames is never timed out, so idle keep-alive clients
+    are unaffected. *)
 val read_frame :
-  Unix.file_descr -> (sexp, [ `Eof | `Protocol of string ]) result
+  ?frame_timeout:float ->
+  Unix.file_descr ->
+  (sexp, [ `Eof | `Protocol of string | `Timeout ]) result
 
 type request =
   | Submit of { manifest : string; jobs : int option }
@@ -71,6 +79,12 @@ type response =
   | Diff_report of string
   | Merged of { added : int; replaced : int; kept : int }
   | Counter_values of (string * int) list
+  | Busy of { retry_after : float }
+      (** admission control: over capacity — retry the submission after
+          (roughly) [retry_after] seconds *)
+  | Draining
+      (** the server is shutting down gracefully and accepts no new
+          submissions; in-flight work is being finished *)
   | Bye
   | Error_msg of string
 

@@ -95,7 +95,35 @@ let chains_of classified =
     classified;
   List.rev_map (fun k -> List.rev !(Hashtbl.find tbl k)) !order
 
-let run ?jobs ?gate ?on_point ~store (m : Manifest.t) =
+(* The pure simulation of one point — no store access beyond the
+   optional checkpoint handle, so it can run behind a process boundary
+   (the sandbox worker) exactly as it runs in a worker domain. *)
+let simulate_point ?checkpoint ?(hint = []) (m : Manifest.t) (p : Plan.point) =
+  match p.Plan.detection with
+  | Manifest.Best | Manifest.Best_no_pause ->
+    let allow_pause = p.Plan.detection = Manifest.Best in
+    let detection, br =
+      Sc_eval.best_detection ~config:m.Manifest.config ?checkpoint
+        ~window:m.Manifest.window ~hint ~allow_pause ~stress:p.Plan.stress
+        ~kind:p.Plan.defect.D.kind ~placement:p.Plan.placement ()
+    in
+    { Plan.detection; br }
+  | Manifest.Seq _ | Manifest.March _ ->
+    let d =
+      match p.Plan.detection with
+      | Manifest.Seq d -> d
+      | Manifest.March t -> M.to_detection t
+      | _ -> assert false
+    in
+    let br =
+      Border.search ~config:m.Manifest.config ?checkpoint
+        ~window:m.Manifest.window ~hint ~stress:p.Plan.stress
+        ~kind:p.Plan.defect.D.kind ~placement:p.Plan.placement d
+    in
+    { Plan.detection = d; br }
+
+let run ?jobs ?gate ?on_point ?executor ?(fanout = `Domains) ~store
+    (m : Manifest.t) =
   let points = Plan.points m in
   let planned = List.length points in
   Tel.Counter.add c_planned planned;
@@ -125,29 +153,11 @@ let run ?jobs ?gate ?on_point ~store (m : Manifest.t) =
      result on a sharded store. *)
   let notify p ev = match on_point with Some f -> f p ev | None -> () in
   let simulate ~hint (p : Plan.point) =
-    let checkpoint = Store.checkpoint_for store ~key:(Plan.descriptor m p) in
-    match p.Plan.detection with
-    | Manifest.Best | Manifest.Best_no_pause ->
-      let allow_pause = p.Plan.detection = Manifest.Best in
-      let detection, br =
-        Sc_eval.best_detection ~config:m.Manifest.config ~checkpoint
-          ~window:m.Manifest.window ~hint ~allow_pause ~stress:p.Plan.stress
-          ~kind:p.Plan.defect.D.kind ~placement:p.Plan.placement ()
-      in
-      { Plan.detection; br }
-    | Manifest.Seq _ | Manifest.March _ ->
-      let d =
-        match p.Plan.detection with
-        | Manifest.Seq d -> d
-        | Manifest.March t -> M.to_detection t
-        | _ -> assert false
-      in
-      let br =
-        Border.search ~config:m.Manifest.config ~checkpoint
-          ~window:m.Manifest.window ~hint ~stress:p.Plan.stress
-          ~kind:p.Plan.defect.D.kind ~placement:p.Plan.placement d
-      in
-      { Plan.detection = d; br }
+    match executor with
+    | Some ex -> ex ~hint p
+    | None ->
+      let checkpoint = Store.checkpoint_for store ~key:(Plan.descriptor m p) in
+      simulate_point ~checkpoint ~hint m p
   in
   (* the active half of the planner: each chain walks its stress
      settings in manifest order, seeding every search with the previous
@@ -230,8 +240,17 @@ let run ?jobs ?gate ?on_point ~store (m : Manifest.t) =
     in
     List.rev outcomes
   in
+  (* Domains for a local run; systhreads when the process must stay
+     fork-capable (the sandboxed service daemon) — exec'ing a point on a
+     pool worker blocks outside the runtime anyway, so threads lose
+     nothing there. *)
+  let fan =
+    match fanout with
+    | `Domains -> Par.parallel_map
+    | `Threads -> Par.concurrent_map
+  in
   let outcomes =
-    List.concat (Par.parallel_map ~jobs chain_outcomes (chains_of classified))
+    List.concat (fan ~jobs chain_outcomes (chains_of classified))
   in
   let succeeded, failures = Outcome.partition outcomes in
   let fresh =

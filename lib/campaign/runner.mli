@@ -97,18 +97,49 @@ type event =
   | `Deduped of Plan.result
   | `Failed of string ]
 
-(** [run ?jobs ?gate ?on_point ~store m] executes the campaign: expands
-    the plan, reuses stored successes, simulates the rest as warm-start
-    chains fanned out over the config's domain count ([?jobs]
-    overrides). Solver failures become [failures], not exceptions —
-    per-point fault isolation matches
+(** [simulate_point ?checkpoint ?hint m p] is the pure simulation of one
+    plan point — the border search (or best-detection scan) with no
+    store access beyond the optional [checkpoint] memo handle. This is
+    the unit of work the sandboxed service ships to a
+    {!Dramstress_util.Procpool} worker; in-process execution goes
+    through exactly the same function, so the two paths cannot diverge.
+    [hint] seeds the adaptive search as in {!run}'s warm-start chains
+    (default none). *)
+val simulate_point :
+  ?checkpoint:Dramstress_util.Checkpoint.t ->
+  ?hint:float list ->
+  Manifest.t ->
+  Plan.point ->
+  Plan.result
+
+(** [run ?jobs ?gate ?on_point ?executor ?fanout ~store m] executes the
+    campaign: expands the plan, reuses stored successes, simulates the
+    rest as warm-start chains fanned out over the config's domain count
+    ([?jobs] overrides). Solver failures become [failures], not
+    exceptions — per-point fault isolation matches
     {!Dramstress_util.Par.parallel_map_outcomes}, chaos injection
     included. [?gate] deduplicates in-flight points across concurrent
-    submissions; [?on_point] streams per-point events as they land. *)
+    submissions; [?on_point] streams per-point events as they land.
+
+    [?executor] replaces the in-process {!simulate_point} call with an
+    external execution hook (the sandboxed worker-pool path): it
+    receives the chain's current warm-start hints and the point, and
+    must return the point's result or raise — a raise (including
+    {!Dramstress_util.Procpool.Worker_lost} for a quarantined poison
+    point) becomes that point's [Failed] outcome like any solver error.
+    Classification, gating, store writes and failure records stay in
+    this process either way.
+
+    [?fanout] selects the fan-out mechanism for the chains:
+    [`Domains] (default) for local runs, [`Threads] for a process that
+    must remain fork-capable — the sandboxed daemon, whose chains spend
+    their time blocked on pool pipes, not in OCaml code. *)
 val run :
   ?jobs:int ->
   ?gate:gate ->
   ?on_point:(Plan.point -> event -> unit) ->
+  ?executor:(hint:float list -> Plan.point -> Plan.result) ->
+  ?fanout:[ `Domains | `Threads ] ->
   store:Dramstress_util.Store.t ->
   Manifest.t ->
   summary

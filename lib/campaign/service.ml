@@ -7,8 +7,26 @@
    with two hooks installed — the in-flight gate (below), so two
    clients asking for the same point descriptor produce one simulation
    and two waiters, and a per-point streaming callback that frames
-   results back as they land. Worker domains inside Runner.run call
-   both hooks, so everything here is mutex-guarded.
+   results back as they land.
+
+   Fault isolation: by default ([sandbox = true]) points execute in a
+   supervised pool of forked worker processes (Util.Procpool via
+   Sandbox) — a solver segfault or OOM kill costs one worker, never the
+   daemon — and chain fan-out uses systhreads so the daemon stays
+   fork-capable (OCaml refuses fork once any domain has been spawned).
+   [sandbox = false] restores the in-process Domains path.
+
+   Overload discipline: at most [max_active] submissions run at once;
+   up to [queue] more wait server-side; beyond that the server answers
+   a typed [Busy {retry_after}] instead of hanging the connection.
+   Half-frame (slowloris) peers are dropped by a per-connection read
+   deadline that starts at each frame's first byte.
+
+   Lifecycle: SIGTERM / the shutdown verb / [stop] flip the server into
+   Draining — new submissions get a typed [Draining] rejection,
+   in-flight ones finish, then the store is flushed and [serve]
+   returns. Drain is initiated through a self-pipe so a signal handler
+   never touches a mutex.
 
    A client that disappears mid-campaign must not take its submission
    down with it: other clients may be waiting on points this submission
@@ -18,6 +36,8 @@
 
 module Store = Dramstress_util.Store
 module Tel = Dramstress_util.Telemetry
+module Par = Dramstress_util.Par
+module Procpool = Dramstress_util.Procpool
 module P = Protocol
 
 let c_connections = Tel.Counter.make "campaign.service.connections"
@@ -29,20 +49,55 @@ let c_requests = Tel.Counter.make "campaign.service.requests"
 let c_dedup = Tel.Counter.make "campaign.service.inflight_dedup"
 let c_streamed = Tel.Counter.make "campaign.service.points_streamed"
 
+(* supervision + overload accounting, reconciled by [--counters] *)
+let c_worker_restarts = Tel.Counter.make "campaign.service.worker_restarts"
+let c_poison = Tel.Counter.make "campaign.service.poison_points"
+let c_busy = Tel.Counter.make "campaign.service.busy_rejections"
+let c_draining = Tel.Counter.make "campaign.service.draining_rejections"
+let c_read_timeouts = Tel.Counter.make "campaign.service.read_timeouts"
+
+exception Already_running of string
+
+let () =
+  Printexc.register_printer (function
+    | Already_running path ->
+      Some
+        (Printf.sprintf
+           "another campaign service is already listening on %s" path)
+    | _ -> None)
+
 type pending = {
   pm : Mutex.t;
   pc : Condition.t;
   mutable outcome : (Plan.result, string) result option;
 }
 
+type lifecycle = Running | Draining | Stopped
+
 type t = {
   store : Store.t;
   socket_path : string;
   jobs : int option;
+  pool : Procpool.t option;  (* Some = sandboxed execution *)
   listen_fd : Unix.file_descr;
   inflight : (string, pending) Hashtbl.t;
   inflight_lock : Mutex.t;
-  mutable stopping : bool;
+  (* admission control + lifecycle, all under [adm] *)
+  adm : Mutex.t;
+  adm_cond : Condition.t;
+  max_active : int;
+  queue_limit : int;
+  mutable active : int;
+  mutable waiting : int;
+  mutable state : lifecycle;
+  (* live connections, so drain can wake their read loops *)
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  conns_lock : Mutex.t;
+  (* self-pipe: [stop] (possibly a signal handler) writes one byte; the
+     drainer thread does the real, lock-taking work *)
+  drain_r : Unix.file_descr;
+  drain_w : Unix.file_descr;
+  read_timeout : float option;
 }
 
 (* the dedup gate shared by every submission: first claimant of a
@@ -84,33 +139,149 @@ let gate srv =
                   Condition.broadcast p.pc)));
   }
 
-let create ?jobs ~store ~socket_path () =
+(* Probe for a live daemon before touching the socket file: connecting
+   to a bound-and-listening Unix socket succeeds; connecting to a stale
+   file left by a dead daemon fails with ECONNREFUSED. Only a stale
+   file is unlinked — a second daemon must never silently destroy the
+   first one's socket. *)
+let claim_socket_path socket_path =
+  if Sys.file_exists socket_path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let verdict =
+      match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+      | () -> `Live
+      | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) -> `Stale
+      | exception e -> `Error e
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    match verdict with
+    | `Live -> raise (Already_running socket_path)
+    | `Stale -> ( try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    | `Error e -> raise e
+  end
+
+let create ?jobs ?(sandbox = true) ?(max_task_deaths = 3) ?task_timeout
+    ?(max_active = 4) ?(queue = 8) ?(read_timeout = 10.0) ~store ~socket_path
+    () =
   (* the counters verb is part of the protocol, so the server always
      collects — there is no human attaching --metrics to a daemon *)
   Tel.set_enabled true;
   (* a client vanishing mid-stream must be an error code, not a fatal
-     signal delivered to whichever domain happened to be writing *)
+     signal delivered to whichever thread happened to be writing *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  claim_socket_path socket_path;
+  (* the worker pool must fork before anything else starts threads that
+     might hold locks, and absolutely before any domain could exist *)
+  let pool =
+    if not sandbox then None
+    else
+      Some
+        (Procpool.create ~max_task_deaths ?task_timeout
+           ~on_worker_restart:(fun () -> Tel.Counter.incr c_worker_restarts)
+           ~workers:(Par.resolve_jobs ?jobs ())
+           ~worker:Sandbox.worker ())
+  in
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (try
      Unix.bind fd (Unix.ADDR_UNIX socket_path);
      Unix.listen fd 16
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
+     Option.iter Procpool.shutdown pool;
      raise e);
+  let drain_r, drain_w = Unix.pipe ~cloexec:false () in
   {
     store;
     socket_path;
     jobs;
+    pool;
     listen_fd = fd;
     inflight = Hashtbl.create 64;
     inflight_lock = Mutex.create ();
-    stopping = false;
+    adm = Mutex.create ();
+    adm_cond = Condition.create ();
+    max_active = Int.max 1 max_active;
+    queue_limit = Int.max 0 queue;
+    active = 0;
+    waiting = 0;
+    state = Running;
+    conns = Hashtbl.create 16;
+    conns_lock = Mutex.create ();
+    drain_r;
+    drain_w;
+    read_timeout = (if read_timeout <= 0.0 then None else Some read_timeout);
   }
 
+let sandboxed srv = srv.pool <> None
+
+(* ---- admission control ---- *)
+
+(* [`Go] holds one of the [max_active] submission slots (pair with
+   [release]); a full house queues up to [queue_limit] submitters
+   server-side; beyond that the caller gets [`Busy hint] — the hint
+   scales with the queue depth so pileups spread out instead of
+   thundering back. *)
+let admit srv =
+  Mutex.protect srv.adm (fun () ->
+      if srv.state <> Running then `Draining
+      else if srv.active < srv.max_active then begin
+        srv.active <- srv.active + 1;
+        `Go
+      end
+      else if srv.waiting >= srv.queue_limit then
+        `Busy (Float.min 5.0 (0.5 *. float_of_int (1 + srv.waiting)))
+      else begin
+        srv.waiting <- srv.waiting + 1;
+        let rec wait () =
+          if srv.state <> Running then begin
+            srv.waiting <- srv.waiting - 1;
+            `Draining
+          end
+          else if srv.active < srv.max_active then begin
+            srv.waiting <- srv.waiting - 1;
+            srv.active <- srv.active + 1;
+            `Go
+          end
+          else begin
+            Condition.wait srv.adm_cond srv.adm;
+            wait ()
+          end
+        in
+        wait ()
+      end)
+
+(* drain completes exactly when nothing is active and nobody queued;
+   whoever observes that transition wakes every blocked read so the
+   connection threads (and then [serve]) can finish *)
+let try_finish_drain srv =
+  let finish =
+    Mutex.protect srv.adm (fun () ->
+        if srv.state = Draining && srv.active = 0 && srv.waiting = 0 then begin
+          srv.state <- Stopped;
+          true
+        end
+        else false)
+  in
+  if finish then begin
+    (try Unix.shutdown srv.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    Mutex.protect srv.conns_lock (fun () ->
+        Hashtbl.iter
+          (fun fd () ->
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+          srv.conns)
+  end
+
+let release srv =
+  Mutex.protect srv.adm (fun () ->
+      srv.active <- srv.active - 1;
+      Condition.broadcast srv.adm_cond);
+  try_finish_drain srv
+
+(* ---- request handlers ---- *)
+
 (* per-connection response writer: serializes frames from concurrent
-   worker domains and downgrades a dead peer to a no-op *)
+   workers and downgrades a dead peer to a no-op *)
 let sender fd =
   let lock = Mutex.create () in
   let alive = ref true in
@@ -133,34 +304,62 @@ let manifest_of_text ~source text =
 
 let handle_submit srv ~send ~manifest ~jobs =
   Tel.Counter.incr c_submissions;
-  match manifest_of_text ~source:"<submit>" manifest with
-  | Error msg -> send (P.Error_msg msg)
-  | Ok m ->
-    let on_point p ev =
-      let descr = Format.asprintf "%a" Plan.pp_point p in
-      let status, payload =
-        match ev with
-        | `Reused r -> (P.Reused, Plan.encode_result r)
-        | `Simulated r -> (P.Simulated, Plan.encode_result r)
-        | `Deduped r -> (P.Deduped, Plan.encode_result r)
-        | `Failed msg -> (P.Failed, msg)
-      in
-      Tel.Counter.incr c_streamed;
-      send (P.Point { descr; status; payload })
-    in
-    let jobs = match jobs with Some _ -> jobs | None -> srv.jobs in
-    let s =
-      Runner.run ?jobs ~gate:(gate srv) ~on_point ~store:srv.store m
-    in
-    send
-      (P.Done
-         {
-           planned = s.Runner.planned;
-           reused = s.Runner.reused;
-           simulated = s.Runner.simulated;
-           deduped = s.Runner.deduped;
-           failed = List.length s.Runner.failures;
-         })
+  (match admit srv with
+  | `Busy retry_after ->
+    Tel.Counter.incr c_busy;
+    send (P.Busy { retry_after })
+  | `Draining ->
+    Tel.Counter.incr c_draining;
+    send P.Draining
+  | `Go ->
+    Fun.protect
+      ~finally:(fun () -> release srv)
+      (fun () ->
+        match manifest_of_text ~source:"<submit>" manifest with
+        | Error msg -> send (P.Error_msg msg)
+        | Ok m ->
+          let on_point p ev =
+            let descr = Format.asprintf "%a" Plan.pp_point p in
+            let status, payload =
+              match ev with
+              | `Reused r -> (P.Reused, Plan.encode_result r)
+              | `Simulated r -> (P.Simulated, Plan.encode_result r)
+              | `Deduped r -> (P.Deduped, Plan.encode_result r)
+              | `Failed msg -> (P.Failed, msg)
+            in
+            Tel.Counter.incr c_streamed;
+            send (P.Point { descr; status; payload })
+          in
+          let s =
+            match srv.pool with
+            | Some pool ->
+              (* sandboxed: points execute on pool workers, chains fan
+                 out over threads (the daemon must stay fork-capable),
+                 and width comes from the pool — per-submission [jobs]
+                 cannot exceed the workers that exist *)
+              let executor =
+                Sandbox.executor
+                  ~on_poison:(fun _ -> Tel.Counter.incr c_poison)
+                  pool ~manifest_text:manifest m
+              in
+              Runner.run ~jobs:(Procpool.size pool) ~gate:(gate srv)
+                ~on_point ~executor ~fanout:`Threads ~store:srv.store m
+            | None ->
+              let jobs = match jobs with Some _ -> jobs | None -> srv.jobs in
+              Runner.run ?jobs ~gate:(gate srv) ~on_point ~store:srv.store m
+          in
+          send
+            (P.Done
+               {
+                 planned = s.Runner.planned;
+                 reused = s.Runner.reused;
+                 simulated = s.Runner.simulated;
+                 deduped = s.Runner.deduped;
+                 failed = List.length s.Runner.failures;
+               })));
+  (* a queued submitter that was rejected by a starting drain may have
+     been the last thing the drain waited on *)
+  try_finish_drain srv
 
 let handle_diff srv ~send ~a ~b =
   match
@@ -188,14 +387,23 @@ let handle_merge srv ~send dir =
                kept = st.Store.kept }))
   end
 
+(* [stop] is the drain trigger and must be callable from a signal
+   handler: one write to the self-pipe, no locks. The drainer thread in
+   [serve] does the rest. Idempotent — extra bytes are harmless. *)
 let stop srv =
-  srv.stopping <- true;
-  (* shutdown, not close: closing an fd another thread is blocked in
-     [accept] on does NOT wake it — shutting the socket down makes the
-     pending accept return immediately. In-flight submissions run to
-     completion; the accept loop closes the fd on its way out. *)
-  try Unix.shutdown srv.listen_fd Unix.SHUTDOWN_ALL
+  try ignore (Unix.write srv.drain_w (Bytes.make 1 'D') 0 1)
   with Unix.Unix_error _ -> ()
+
+(* The listener stays open while Draining: new submissions must get
+   the {e typed} [Draining] rejection (and status/counters must keep
+   answering), not a refused connection. [try_finish_drain] closes it
+   when the last in-flight submission releases. *)
+let begin_drain srv =
+  Mutex.protect srv.adm (fun () ->
+      if srv.state = Running then srv.state <- Draining;
+      (* queued submitters wake and answer [Draining] *)
+      Condition.broadcast srv.adm_cond);
+  try_finish_drain srv
 
 let handle_request srv ~send = function
   | P.Submit { manifest; jobs } -> handle_submit srv ~send ~manifest ~jobs
@@ -223,12 +431,23 @@ let handle_request srv ~send = function
     send P.Bye;
     stop srv
 
+let register_conn srv fd =
+  Mutex.protect srv.conns_lock (fun () -> Hashtbl.replace srv.conns fd ())
+
+let unregister_conn srv fd =
+  Mutex.protect srv.conns_lock (fun () -> Hashtbl.remove srv.conns fd)
+
 let handle_connection srv fd =
   Tel.Counter.incr c_connections;
+  register_conn srv fd;
   let send = sender fd in
   let rec loop () =
-    match P.read_frame fd with
+    match P.read_frame ?frame_timeout:srv.read_timeout fd with
     | Error `Eof -> ()
+    | Error `Timeout ->
+      (* slowloris: a frame started and stalled — drop the peer; other
+         connections are on their own threads and unaffected *)
+      Tel.Counter.incr c_read_timeouts
     | Error (`Protocol m) -> send (P.Error_msg ("protocol: " ^ m))
     | Ok x -> (
       Tel.Counter.incr c_requests;
@@ -243,18 +462,35 @@ let handle_connection srv fd =
         if req <> P.Shutdown then loop ())
   in
   Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    loop
+    ~finally:(fun () ->
+      unregister_conn srv fd;
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* a connection accepted in the instant the drain completed may
+         have registered after the finisher swept the registry — it
+         must not sit blocked in [read_frame] forever *)
+      if Mutex.protect srv.adm (fun () -> srv.state = Stopped) then ()
+      else loop ())
 
-(* accept loop; returns once [stop] (or the shutdown verb) closes the
-   listening socket and every connection thread has drained *)
+(* accept loop; returns once a drain (stop / shutdown verb / SIGTERM)
+   has completed and every connection thread has drained *)
 let serve srv =
+  let drainer =
+    Thread.create
+      (fun () ->
+        let b = Bytes.create 1 in
+        (try ignore (Unix.read srv.drain_r b 0 1)
+         with Unix.Unix_error _ -> ());
+        begin_drain srv)
+      ()
+  in
+  let stopped () = Mutex.protect srv.adm (fun () -> srv.state = Stopped) in
   let rec accept_loop threads =
-    if srv.stopping then threads
+    if stopped () then threads
     else
       match Unix.accept srv.listen_fd with
       | fd, _ ->
-        if srv.stopping then begin
+        if stopped () then begin
           (try Unix.close fd with Unix.Unix_error _ -> ());
           threads
         end
@@ -267,8 +503,12 @@ let serve srv =
         threads
   in
   let threads = accept_loop [] in
-  (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
   List.iter Thread.join threads;
+  Thread.join drainer;
+  (try Unix.close srv.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close srv.drain_r with Unix.Unix_error _ -> ());
+  (try Unix.close srv.drain_w with Unix.Unix_error _ -> ());
+  Option.iter Procpool.shutdown srv.pool;
   (try Unix.unlink srv.socket_path with Unix.Unix_error _ -> ());
   Store.close srv.store
 
@@ -276,6 +516,15 @@ let serve srv =
 
 module Client = struct
   exception Transport of string
+  exception Busy of { retry_after : float }
+  exception Draining
+
+  let () =
+    Printexc.register_printer (function
+      | Busy { retry_after } ->
+        Some (Printf.sprintf "server busy (retry after %.1fs)" retry_after)
+      | Draining -> Some "server is draining (shutting down)"
+      | _ -> None)
 
   let connect path =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -294,6 +543,7 @@ module Client = struct
   let read_response fd =
     match P.read_frame fd with
     | Error `Eof -> raise (Transport "connection closed")
+    | Error `Timeout -> raise (Transport "read timeout")
     | Error (`Protocol m) -> raise (Transport ("protocol: " ^ m))
     | Ok x -> (
       match P.decode_response x with
@@ -317,7 +567,8 @@ module Client = struct
   (* one submission over one connection: streams [on_event] per point,
      returns the final tally. [Error] carries a server-side message (a
      bad manifest, a failed handler); transport trouble raises
-     {!Transport} so retry logic can tell the two apart. *)
+     {!Transport}, capacity rejections raise {!Busy} / {!Draining} so
+     retry logic can tell the three apart. *)
   let submit ?jobs ?(on_event = fun _ -> ()) ~socket manifest =
     with_connection socket (fun fd ->
         P.write_frame fd (P.encode_request (P.Submit { manifest; jobs }));
@@ -328,28 +579,44 @@ module Client = struct
             loop ()
           | P.Done { planned; reused; simulated; deduped; failed } ->
             Ok { planned; reused; simulated; deduped; failed }
+          | P.Busy { retry_after } -> raise (Busy { retry_after })
+          | P.Draining -> raise Draining
           | P.Error_msg m -> Error m
           | _ -> raise (Transport "unexpected response to submit")
         in
         loop ())
 
   (* resilient submission: reconnect-and-resubmit on transport failure
-     (server killed mid-stream, not yet listening, ...). Completed
-     points persist in the server's store, so a resubmission reuses
-     them — the retry converges instead of redoing work. Server-side
-     errors (bad manifest) are not retried. *)
+     (server killed mid-stream, not yet listening, ...) or a capacity
+     rejection. Backoff is capped jittered exponential from [delay];
+     an explicit [Busy {retry_after}] hint from the server takes
+     precedence (also jittered, so a crowd rejected together does not
+     return together). Completed points persist in the server's store,
+     so a resubmission reuses them — the retry converges instead of
+     redoing work. Server-side errors (bad manifest) are not retried. *)
   let submit_retrying ?jobs ?on_event ?(attempts = 10) ?(delay = 0.5) ~socket
       manifest =
-    let rec go n =
+    let rng =
+      Random.State.make
+        [| Unix.getpid (); int_of_float (Unix.gettimeofday () *. 1e6) |]
+    in
+    let backoff tried =
+      Float.min 5.0 (delay *. (2.0 ** float_of_int tried))
+      *. (0.5 +. Random.State.float rng 0.5)
+    in
+    let rec go n tried =
       match submit ?jobs ?on_event ~socket manifest with
       | (Ok _ | Error _) as r -> r
+      | exception Busy { retry_after } when n > 1 ->
+        Unix.sleepf (retry_after *. (0.75 +. Random.State.float rng 0.5));
+        go (n - 1) (tried + 1)
       | exception
-          ( Transport _
+          ( Transport _ | Draining
           | Unix.Unix_error
               ((ECONNREFUSED | ECONNRESET | ENOENT | EPIPE), _, _) )
         when n > 1 ->
-        Unix.sleepf delay;
-        go (n - 1)
+        Unix.sleepf (backoff tried);
+        go (n - 1) (tried + 1)
     in
-    go attempts
+    go attempts 0
 end

@@ -166,6 +166,48 @@ let parallel_map ?jobs f xs =
 let parallel_iter ?jobs f xs =
   ignore (parallel_map ?jobs (fun x -> f x) xs)
 
+(* Thread-based sibling of [parallel_map], for callers that block
+   outside the OCaml runtime (pipe/socket waits) AND must never spawn a
+   domain — once any domain has run, the runtime refuses Unix.fork, and
+   the sandboxed service daemon lives or dies by staying fork-capable. *)
+let concurrent_map ?jobs f xs =
+  let jobs = resolve_jobs ?jobs () in
+  Tel.Counter.incr c_sweeps;
+  Tel.Counter.add c_tasks (List.length xs);
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when jobs = 1 -> List.map f xs
+  | _ ->
+    let input = Array.of_list xs in
+    let n = Array.length input in
+    let jobs = Int.min jobs n in
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f input.(i) with
+          | y -> out.(i) <- Some y
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Thread.create worker ()) in
+    worker ();
+    List.iter Thread.join helpers;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map (function Some y -> y | None -> assert false) out)
+
 (* Per-point fault tolerance: every item completes with a structured
    outcome instead of the first raise killing the sweep. The inner
    closure never raises, so [parallel_map]'s abandon path is never

@@ -84,6 +84,17 @@ val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_iter ?jobs f xs] is {!parallel_map} ignoring results. *)
 val parallel_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 
+(** [concurrent_map ?jobs f xs] is {!parallel_map} fanned out over
+    {e systhreads} instead of domains: same self-scheduling cursor, same
+    order guarantee, same first-failure semantics (backtrace preserved).
+
+    Threads share one runtime lock, so this buys nothing for CPU-bound
+    OCaml code — it exists for work that {e blocks outside the runtime}
+    (waiting on a {!Procpool} worker over a pipe, socket I/O). Crucially
+    it spawns no domain, so a process that must stay fork-capable (the
+    sandboxed service daemon) can still fan out. *)
+val concurrent_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
 (** [parallel_map_outcomes ?jobs ?retries_of f xs] is the fault-tolerant
     variant: a raise from [f x] becomes [Outcome.Failed] for that slot —
     counted on [util.par.task_failures] — and every other item still

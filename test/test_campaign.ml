@@ -555,6 +555,8 @@ let test_protocol_response_roundtrip () =
       Pr.Merged { added = 4; replaced = 1; kept = 2 };
       Pr.Counter_values
         [ ("campaign.points_planned", 4); ("campaign.service.requests", 9) ];
+      Pr.Busy { retry_after = 1.5 }; Pr.Busy { retry_after = 0.125 };
+      Pr.Draining;
       Pr.Bye; Pr.Error_msg "manifest: line 2: unknown section" ]
 
 let test_protocol_frames () =
@@ -576,21 +578,59 @@ let test_protocol_frames () =
   (match Pr.read_frame b with
   | Error (`Protocol _) -> ()
   | _ -> Alcotest.fail "bad header must be a protocol error");
+  (* an oversized declared length (> max_frame) is refused before any
+     allocation, not trusted *)
+  ignore (Unix.write_substring a "01000001" 0 8);
+  (match Pr.read_frame b with
+  | Error (`Protocol m) ->
+    Alcotest.(check string) "oversized refused" "oversized frame" m
+  | _ -> Alcotest.fail "oversized header must be a protocol error");
+  (* a frame truncated by a dying peer reads as EOF *)
+  ignore (Unix.write_substring a "00000010hello" 0 13);
   Unix.close a;
   match Pr.read_frame b with
   | Error `Eof -> ()
-  | _ -> Alcotest.fail "closed peer must read as EOF"
+  | _ -> Alcotest.fail "truncated frame must read as EOF"
+
+let test_protocol_frame_timeout () =
+  let a, b = Unix.(socketpair PF_UNIX SOCK_STREAM 0) in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* a whole frame arriving promptly is untouched by the deadline *)
+  Pr.write_frame a (Pr.Atom "quick");
+  (match Pr.read_frame ~frame_timeout:0.5 b with
+  | Ok (Pr.Atom "quick") -> ()
+  | _ -> Alcotest.fail "prompt frame must pass under a deadline");
+  (* half a header then silence: the deadline fires once the frame has
+     started, bounded by roughly the timeout *)
+  ignore (Unix.write_substring a "0000" 0 4);
+  let t0 = Unix.gettimeofday () in
+  (match Pr.read_frame ~frame_timeout:0.2 b with
+  | Error `Timeout -> ()
+  | _ -> Alcotest.fail "stalled frame must time out");
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "timed out promptly" true (dt >= 0.15 && dt < 5.0)
 
 (* ------------------------------------------------------------------ *)
 (* service (in-process: server thread + socket clients)                *)
 (* ------------------------------------------------------------------ *)
 
-let with_service ?(shards = 4) f =
+(* [~sandbox:false] everywhere here: this binary runs domain-based
+   tests, and a process that has ever spawned a domain cannot fork a
+   worker pool. The sandboxed path gets its own fork-based binary
+   (test_service_chaos). *)
+let with_service ?(shards = 4) ?max_active ?queue ?read_timeout f =
   with_store_dir @@ fun dir ->
   let socket = Filename.temp_file "dramstress_svc" ".sock" in
   Sys.remove socket;
   let store = St.open_ ~shards ~name:"svc-t" dir in
-  let srv = Svc.create ~jobs:1 ~store ~socket_path:socket () in
+  let srv =
+    Svc.create ~jobs:1 ~sandbox:false ?max_active ?queue ?read_timeout ~store
+      ~socket_path:socket ()
+  in
   let th = Thread.create Svc.serve srv in
   Fun.protect
     ~finally:(fun () ->
@@ -657,6 +697,245 @@ let test_service_bad_manifest_is_error () =
   match Svc.Client.submit ~socket "(campaign (name))" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "broken manifest must be a server-side error"
+
+(* raw socket helpers for the robustness tests below *)
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let counter_value name =
+  Tel.Counter.value (Tel.Counter.make name)
+
+let test_service_garbage_frames () =
+  with_service @@ fun ~socket ->
+  (* garbage header: typed protocol error back, connection closed,
+     server unharmed *)
+  let fd = raw_connect socket in
+  ignore (Unix.write_substring fd "zzzzzzzz" 0 8);
+  (match Pr.read_frame fd with
+  | Ok x -> (
+    match Pr.decode_response x with
+    | Ok (Pr.Error_msg _) -> ()
+    | _ -> Alcotest.fail "garbage must answer a typed protocol error")
+  | Error _ -> Alcotest.fail "expected an error frame, not a drop");
+  (match Pr.read_frame fd with
+  | Error `Eof -> ()
+  | _ -> Alcotest.fail "server must close after protocol garbage");
+  Unix.close fd;
+  (* a valid frame carrying a non-request s-expression: typed error,
+     connection stays usable *)
+  let fd = raw_connect socket in
+  Pr.write_frame fd (Pr.List [ Pr.Atom "no-such-verb" ]);
+  (match Pr.read_frame fd with
+  | Ok x -> (
+    match Pr.decode_response x with
+    | Ok (Pr.Error_msg _) -> ()
+    | _ -> Alcotest.fail "unknown verb must answer a typed error")
+  | Error _ -> Alcotest.fail "expected an error frame");
+  Pr.write_frame fd (Pr.encode_request Pr.Status);
+  (match Pr.read_frame fd with
+  | Ok x -> (
+    match Pr.decode_response x with
+    | Ok (Pr.Status_report _) -> ()
+    | _ -> Alcotest.fail "connection must survive an unknown verb")
+  | Error _ -> Alcotest.fail "expected a status report");
+  Unix.close fd;
+  (* and the server still serves fresh clients *)
+  match Svc.Client.request ~socket Pr.Status with
+  | Pr.Status_report _ -> ()
+  | _ -> Alcotest.fail "server must survive garbage clients"
+
+let test_service_slowloris_dropped () =
+  with_service ~read_timeout:0.3 @@ fun ~socket ->
+  let timeouts_before = counter_value "campaign.service.read_timeouts" in
+  (* half a frame header, then silence *)
+  let loris = raw_connect socket in
+  ignore (Unix.write_substring loris "0000" 0 4);
+  (* an honest client is served while the slowloris timer runs *)
+  (match Svc.Client.request ~socket Pr.Status with
+  | Pr.Status_report _ -> ()
+  | _ -> Alcotest.fail "honest client starved by a slowloris peer");
+  (* the stalled connection is dropped by the read deadline *)
+  (match Unix.select [ loris ] [] [] 10.0 with
+  | [], _, _ -> Alcotest.fail "slowloris connection was never dropped"
+  | _ -> (
+    match Unix.read loris (Bytes.create 1) 0 1 with
+    | 0 -> ()
+    | _ -> Alcotest.fail "expected EOF on the dropped connection"));
+  Unix.close loris;
+  Alcotest.(check bool) "read_timeouts counted" true
+    (counter_value "campaign.service.read_timeouts" > timeouts_before);
+  (* idle keep-alive connections are NOT slowloris: silence between
+     frames never trips the deadline *)
+  let idle = raw_connect socket in
+  Unix.sleepf 0.7;
+  Pr.write_frame idle (Pr.encode_request Pr.Status);
+  (match Pr.read_frame idle with
+  | Ok x -> (
+    match Pr.decode_response x with
+    | Ok (Pr.Status_report _) -> ()
+    | _ -> Alcotest.fail "idle connection must still be served")
+  | Error _ -> Alcotest.fail "idle connection must not be dropped");
+  Unix.close idle
+
+(* enough electrical work (4 points, fine grid, tight tolerance) that a
+   submission reliably holds its admission slot while the test pokes
+   the server from other connections *)
+let slow_manifest =
+  {|
+(campaign
+  (name slow-t)
+  (defects (O1 true) (Sg true))
+  (stress nominal)
+  (stress low-vdd (vdd 2.1))
+  (detections (seq "w1 w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 9) (rel-tol 0.01)))
+|}
+
+(* wait until the server has admitted a submission AND is simulating:
+   a nonzero status [inflight] can only come from an admitted
+   submission holding its slot *)
+let await_submission_started ~socket =
+  let rec go n =
+    let busy =
+      match Svc.Client.request ~socket Pr.Status with
+      | Pr.Status_report { inflight; _ } -> inflight >= 1
+      | _ -> false
+    in
+    if busy then ()
+    else if n = 0 then Alcotest.fail "submission never reached the server"
+    else begin
+      Unix.sleepf 0.01;
+      go (n - 1)
+    end
+  in
+  go 1000
+
+let test_service_admission_busy () =
+  with_service ~max_active:1 ~queue:0 @@ fun ~socket ->
+  O.clear_cache ();
+  let busy_before = counter_value "campaign.service.busy_rejections" in
+  let slow_result = ref None in
+  let slow =
+    Thread.create
+      (fun () -> slow_result := Some (Svc.Client.submit ~socket slow_manifest))
+      ()
+  in
+  await_submission_started ~socket;
+  (* the slot is held and the queue is zero: a second submission gets
+     the typed Busy response with a usable hint, not a hung connection *)
+  (match Svc.Client.submit ~socket run_manifest with
+  | exception Svc.Client.Busy { retry_after } ->
+    Alcotest.(check bool) "retry hint is sane" true
+      (retry_after > 0.0 && retry_after <= 60.0)
+  | Ok _ -> Alcotest.fail "over-capacity submission must be rejected Busy"
+  | Error m -> Alcotest.failf "expected Busy, got server error %s" m);
+  Alcotest.(check bool) "busy_rejections counted" true
+    (counter_value "campaign.service.busy_rejections" > busy_before);
+  (* status and counters verbs are not subject to submission admission *)
+  (match Svc.Client.request ~socket Pr.Status with
+  | Pr.Status_report _ -> ()
+  | _ -> Alcotest.fail "status must answer while the slot is held");
+  (* a backoff-retrying client converges once the slot frees up *)
+  (match
+     Svc.Client.submit_retrying ~attempts:60 ~delay:0.05 ~socket run_manifest
+   with
+  | Ok o ->
+    Alcotest.(check int) "retrying client ran the full plan" 2
+      o.Svc.Client.planned
+  | Error m -> Alcotest.failf "retrying client rejected: %s" m);
+  Thread.join slow;
+  match !slow_result with
+  | Some (Ok o) ->
+    Alcotest.(check int) "slow submission unharmed" 4 o.Svc.Client.planned;
+    Alcotest.(check int) "slow submission clean" 0 o.Svc.Client.failed
+  | Some (Error m) -> Alcotest.failf "slow submission rejected: %s" m
+  | None -> Alcotest.fail "slow client never reported"
+
+let test_service_graceful_drain () =
+  with_service @@ fun ~socket ->
+  O.clear_cache ();
+  let draining_before = counter_value "campaign.service.draining_rejections" in
+  let slow_result = ref None in
+  let slow =
+    Thread.create
+      (fun () -> slow_result := Some (Svc.Client.submit ~socket slow_manifest))
+      ()
+  in
+  await_submission_started ~socket;
+  (* shutdown verb: the server flips to Draining while the submission
+     is in flight *)
+  (match Svc.Client.request ~socket Pr.Shutdown with
+  | Pr.Bye -> ()
+  | _ -> Alcotest.fail "expected bye");
+  (* the drainer thread flips the state asynchronously after Bye *)
+  Unix.sleepf 0.3;
+  (* new submissions are rejected with the typed Draining response *)
+  (match Svc.Client.submit ~socket run_manifest with
+  | exception Svc.Client.Draining -> ()
+  | Ok _ -> Alcotest.fail "draining server must reject new submissions"
+  | Error m -> Alcotest.failf "expected Draining, got server error %s" m);
+  Alcotest.(check bool) "draining_rejections counted" true
+    (counter_value "campaign.service.draining_rejections" > draining_before);
+  (* the in-flight submission finishes cleanly — drain, not abort *)
+  Thread.join slow;
+  (match !slow_result with
+  | Some (Ok o) ->
+    Alcotest.(check int) "in-flight submission drained to completion" 4
+      o.Svc.Client.planned;
+    Alcotest.(check int) "no failures" 0 o.Svc.Client.failed
+  | Some (Error m) -> Alcotest.failf "in-flight submission rejected: %s" m
+  | None -> Alcotest.fail "slow client never reported");
+  (* once drained, the server is gone: connections are refused *)
+  let rec await_exit n =
+    if n = 0 then Alcotest.fail "server did not exit after draining"
+    else
+      match raw_connect socket with
+      | fd ->
+        Unix.close fd;
+        Unix.sleepf 0.05;
+        await_exit (n - 1)
+      | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) -> ()
+  in
+  await_exit 100
+
+let test_service_already_running () =
+  with_service @@ fun ~socket ->
+  (* a second daemon on a live socket must refuse, typed — and must NOT
+     destroy the first daemon's socket *)
+  with_store_dir @@ fun dir2 ->
+  let store2 = St.open_ ~name:"svc-2" dir2 in
+  (match
+     Svc.create ~jobs:1 ~sandbox:false ~store:store2 ~socket_path:socket ()
+   with
+  | _ -> Alcotest.fail "second daemon must refuse a live socket"
+  | exception Svc.Already_running p ->
+    Alcotest.(check string) "names the socket" socket p);
+  St.close store2;
+  (* the first daemon is unharmed *)
+  (match Svc.Client.request ~socket Pr.Status with
+  | Pr.Status_report _ -> ()
+  | _ -> Alcotest.fail "first daemon must survive the refused start");
+  (* a stale socket file (owner dead) is reclaimed silently *)
+  with_store_dir @@ fun dir3 ->
+  let stale = Filename.temp_file "dramstress_stale" ".sock" in
+  Sys.remove stale;
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX stale);
+  Unix.close dead;
+  (* bound then closed without listening: the file exists, nobody answers *)
+  let store3 = St.open_ ~name:"svc-3" dir3 in
+  let srv = Svc.create ~jobs:1 ~sandbox:false ~store:store3 ~socket_path:stale () in
+  let th = Thread.create Svc.serve srv in
+  (match Svc.Client.request ~socket:stale Pr.Status with
+  | Pr.Status_report _ -> ()
+  | _ -> Alcotest.fail "daemon on a reclaimed stale socket must serve");
+  (match Svc.Client.request ~socket:stale Pr.Shutdown with
+  | Pr.Bye -> ()
+  | _ -> Alcotest.fail "expected bye");
+  Thread.join th;
+  try Sys.remove stale with Sys_error _ -> ()
 
 let test_service_concurrent_dedup () =
   with_service @@ fun ~socket ->
@@ -840,6 +1119,8 @@ let () =
           tc "request codec round-trips" test_protocol_request_roundtrip;
           tc "response codec round-trips" test_protocol_response_roundtrip;
           tc "framing: large, garbage, EOF" test_protocol_frames;
+          tc "read deadline: stalled frame times out, prompt frame passes"
+            test_protocol_frame_timeout;
         ] );
       ( "service",
         [
@@ -847,6 +1128,16 @@ let () =
             test_service_submit_cold_warm;
           tc "broken manifest is a server-side error"
             test_service_bad_manifest_is_error;
+          tc "garbage frames answered, server unharmed"
+            test_service_garbage_frames;
+          tc "slowloris half-frame dropped, honest clients served"
+            test_service_slowloris_dropped;
+          tc "over capacity: typed Busy, retrying client converges"
+            test_service_admission_busy;
+          tc "graceful drain: in-flight finishes, new work refused"
+            test_service_graceful_drain;
+          tc "second daemon refused on a live socket, stale reclaimed"
+            test_service_already_running;
           tc "concurrent clients: one simulation per point"
             test_service_concurrent_dedup;
           tc "merge verb absorbs a store, diff verb renders"
