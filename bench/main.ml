@@ -1063,6 +1063,32 @@ let campaign () =
           | t, sum -> Ok (t, sum)
           | exception e -> Error (Printexc.to_string e))
   in
+  (* a batched wait-axis (retention) sweep through the same store
+     machinery: prices the decay transient the new stress axis adds per
+     point, and tripwires warm reuse on extended-fingerprint records *)
+  let wmtext =
+    {|
+(campaign
+  (name bench-wait)
+  (defects (O1 true))
+  (sweep (wait (range 0.01 1.0 3)))
+  (detections (seq "w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+  in
+  let wm = Cp.Manifest.of_string wmtext in
+  let wn = List.length (Cp.Plan.points wm) in
+  let w_dir = dir ^ ".wait" in
+  Fun.protect ~finally:(fun () -> try rm w_dir with Sys_error _ -> ())
+  @@ fun () ->
+  let run_wait () =
+    let s = St.open_ ~name:"bench" w_dir in
+    Fun.protect
+      ~finally:(fun () -> St.close s)
+      (fun () -> Cp.Runner.run ~jobs:1 ~store:s wm)
+  in
+  let w_cold, _ = wall run_wait in
+  let w_warm, w_warm_sum = wall run_wait in
   O.set_caching true;
   let ratio a b = if b > 0.0 then a /. b else Float.nan in
   let write_overhead_pct = 100.0 *. (ratio cold direct -. 1.0) in
@@ -1093,6 +1119,15 @@ let campaign () =
   Printf.printf "  %-40s %10.4f s   (%d/%d reused: %s)\n"
     "warm rerun, 16-way sharded store" sh_warm sh_warm_sum.Cp.Runner.reused n
     (if sh_reuse_ok then "ok" else "VIOLATION: warm run recomputed");
+  let w_reuse_ok =
+    w_warm_sum.Cp.Runner.simulated = 0 && w_warm_sum.Cp.Runner.reused = wn
+  in
+  Printf.printf "  %-40s %10.4f s   (%d points, %.1f ms/point)\n"
+    "cold wait sweep (0.01..1 s, log)" w_cold wn
+    (1e3 *. w_cold /. float_of_int (Int.max 1 wn));
+  Printf.printf "  %-40s %10.4f s   (%d/%d reused: %s)\n"
+    "warm wait sweep" w_warm w_warm_sum.Cp.Runner.reused wn
+    (if w_reuse_ok then "ok" else "VIOLATION: warm run recomputed");
   let sandbox_limit_pct = 15.0 in
   let sandbox_json =
     match sandbox with
@@ -1135,11 +1170,14 @@ let campaign () =
        %b },\n\
       \  \"sharded\": { \"shards\": 16, \"cold_s\": %.5f, \"warm_s\": %.5f, \
        \"full_reuse\": %b },\n\
+      \  \"wait_sweep\": { \"points\": %d, \"cold_s\": %.5f, \"warm_s\": \
+       %.5f, \"full_reuse\": %b },\n\
       \  \"sandbox\": %s\n\
        }\n"
       n direct cold warm write_overhead_pct warm_speedup speedup_limit
       speedup_ok warm_sum.Cp.Runner.reused warm_sum.Cp.Runner.simulated
-      reuse_ok sh_cold sh_warm sh_reuse_ok sandbox_json
+      reuse_ok sh_cold sh_warm sh_reuse_ok wn w_cold w_warm w_reuse_ok
+      sandbox_json
   in
   Out_channel.with_open_text "BENCH_campaign.json" (fun oc ->
       output_string oc json);

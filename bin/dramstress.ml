@@ -54,7 +54,96 @@ let temp_arg =
 let duty_arg =
   Arg.(value & opt float 0.5 & info [ "duty" ] ~docv:"F" ~doc:"Clock duty cycle.")
 
-let stress_of tcyc vdd temp duty = { S.tcyc; vdd; temp_c = temp; duty }
+(* extension axes, all neutral by default (see Stressaxis) *)
+let wait_arg =
+  Arg.(value & opt float 0.0
+       & info [ "wait" ] ~docv:"S"
+           ~doc:"Retention wait inserted before the first read, seconds.")
+
+let pattern_conv =
+  let parse s =
+    match S.pattern_of_name s with
+    | Some p -> Ok p
+    | None -> Error (`Msg ("pattern must be all0|all1|checkerboard, got " ^ s))
+  in
+  Arg.conv (parse, S.pp_pattern)
+
+let pattern_arg =
+  Arg.(value & opt pattern_conv S.All_1
+       & info [ "pattern" ] ~docv:"PAT"
+           ~doc:"Data background on the neighbour cell: all0, all1 or \
+                 checkerboard.")
+
+let hammer_arg =
+  Arg.(value & opt int 0
+       & info [ "hammer" ] ~docv:"N"
+           ~doc:"Aggressor word-line pulses inserted before the first read.")
+
+let leak_arg =
+  Arg.(value & opt float 0.0
+       & info [ "leak" ] ~docv:"S(IEMENS)"
+           ~doc:"Storage-node leakage conductance, siemens.")
+
+let couple_arg =
+  Arg.(value & opt float 0.0
+       & info [ "couple" ] ~docv:"F"
+           ~doc:"Cell-to-cell coupling capacitance as a fraction of C_cell.")
+
+let twr_trim_arg =
+  Arg.(value & opt float 0.0
+       & info [ "twr-trim" ] ~docv:"S"
+           ~doc:"Additive trim on the write-enable instant (tWR-style).")
+
+let tras_trim_arg =
+  Arg.(value & opt float 0.0
+       & info [ "tras-trim" ] ~docv:"S"
+           ~doc:"Additive trim on the word-line deactivation (tRAS-style).")
+
+(* one Term bundling every stress flag, so each command crosses the
+   extension axes with the paper's four without its own plumbing *)
+let stress_term =
+  let v tcyc vdd temp duty wait pattern hammer leak couple twr_trim tras_trim
+      =
+    {
+      S.tcyc;
+      vdd;
+      temp_c = temp;
+      duty;
+      wait;
+      pattern;
+      hammer;
+      leak;
+      couple;
+      twr_trim;
+      tras_trim;
+    }
+  in
+  Term.(const v $ tcyc_arg $ vdd_arg $ temp_arg $ duty_arg $ wait_arg
+        $ pattern_arg $ hammer_arg $ leak_arg $ couple_arg $ twr_trim_arg
+        $ tras_trim_arg)
+
+(* repeatable --axis flag: which axes a direction analysis probes *)
+let axes_term =
+  let axis_conv =
+    let parse s =
+      match Dramstress_stressaxis.Stressaxis.find s with
+      | Some e -> Ok e.Dramstress_stressaxis.Stressaxis.axis
+      | None ->
+        Error
+          (`Msg
+             ("unknown stress axis " ^ s ^ " (use "
+             ^ String.concat "|" (Dramstress_stressaxis.Stressaxis.names ())
+             ^ ")"))
+    in
+    Arg.conv (parse, S.pp_axis)
+  in
+  let v = function [] -> None | axes -> Some axes in
+  Term.(
+    const v
+    $ Arg.(value & opt_all axis_conv []
+           & info [ "axis" ] ~docv:"AXIS"
+               ~doc:"Stress axis to probe (repeatable); default: the \
+                     paper's tcyc, temp, vdd."))
 
 (* border-search window flags, shared by the commands that search *)
 let r_min_arg =
@@ -309,10 +398,9 @@ let run_cmd =
   let vc_arg =
     Arg.(value & opt float 0.0 & info [ "vc" ] ~docv:"V" ~doc:"Initial cell voltage.")
   in
-  let run tel ck seq kind placement r vc tcyc vdd temp duty =
+  let run tel ck seq kind placement r vc stress =
     with_telemetry tel @@ fun () ->
     with_checkpoint ck @@ fun _ck ->
-    let stress = stress_of tcyc vdd temp duty in
     let defect = D.v kind placement r in
     let ops = O.parse_seq seq in
     let outcome = O.run ~stress ~defect ~vc_init:vc ops in
@@ -329,8 +417,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run an operation sequence on a defective column")
     Term.(const run $ telemetry_term $ checkpoint_term $ seq_arg $ kind_arg
-          $ placement_arg $ r_arg $ vc_arg $ tcyc_arg $ vdd_arg $ temp_arg
-          $ duty_arg)
+          $ placement_arg $ r_arg $ vc_arg $ stress_term)
 
 (* ------------------------------------------------------------------ *)
 (* plane: figure 2 / figure 6                                          *)
@@ -343,12 +430,10 @@ let plane_cmd =
              ~doc:"Number of resistance points per plane (default 12); \
                    small values make quick smoke runs.")
   in
-  let run tel ck fail_on_error deadline kind placement points tcyc vdd temp
-      duty =
+  let run tel ck fail_on_error deadline kind placement points stress =
     let failures =
       with_telemetry tel @@ fun () ->
       with_checkpoint ck @@ fun checkpoint ->
-      let stress = stress_of tcyc vdd temp duty in
       let rops =
         Option.map
           (fun n ->
@@ -368,8 +453,8 @@ let plane_cmd =
   in
   Cmd.v (Cmd.info "plane" ~doc:"Generate the w0/w1/r result planes (Figures 2 and 6)")
     Term.(const run $ telemetry_term $ checkpoint_term $ fail_on_error_arg
-          $ deadline_arg $ kind_arg $ placement_arg $ points_arg $ tcyc_arg
-          $ vdd_arg $ temp_arg $ duty_arg)
+          $ deadline_arg $ kind_arg $ placement_arg $ points_arg
+          $ stress_term)
 
 (* ------------------------------------------------------------------ *)
 (* br: border resistance                                               *)
@@ -382,10 +467,9 @@ let br_cmd =
              ~doc:"Detection condition, e.g. 'w1 w1 w0 r0'; reads carry \
                    their expected bit. Default: synthesized best.")
   in
-  let run tel ck window kind placement cond tcyc vdd temp duty =
+  let run tel ck window kind placement cond stress =
     with_telemetry tel @@ fun () ->
     with_checkpoint ck @@ fun checkpoint ->
-    let stress = stress_of tcyc vdd temp duty in
     match cond with
     | Some s ->
       let steps =
@@ -396,6 +480,10 @@ let br_cmd =
             | "w1" -> C.Detection.Write 1
             | "r0" -> C.Detection.Read 0
             | "r1" -> C.Detection.Read 1
+            | "ham" -> C.Detection.Hammer 1
+            | t when String.length t > 3 && String.sub t 0 3 = "ham" ->
+              C.Detection.Hammer
+                (int_of_string (String.sub t 3 (String.length t - 3)))
             | t when String.length t > 1 && t.[0] = 'p' ->
               C.Detection.Wait (float_of_string (String.sub t 1 (String.length t - 1)))
             | t -> failwith ("bad detection token: " ^ t))
@@ -418,27 +506,25 @@ let br_cmd =
   in
   Cmd.v (Cmd.info "br" ~doc:"Search the border resistance of a defect")
     Term.(const run $ telemetry_term $ checkpoint_term $ window_term
-          $ kind_arg $ placement_arg $ cond_arg $ tcyc_arg $ vdd_arg
-          $ temp_arg $ duty_arg)
+          $ kind_arg $ placement_arg $ cond_arg $ stress_term)
 
 (* ------------------------------------------------------------------ *)
 (* stress: full optimization for one defect                            *)
 (* ------------------------------------------------------------------ *)
 
 let stress_cmd =
-  let run tel ck window kind placement tcyc vdd temp duty =
+  let run tel ck window kind placement nominal axes =
     with_telemetry tel @@ fun () ->
     with_checkpoint ck @@ fun checkpoint ->
-    let nominal = stress_of tcyc vdd temp duty in
     let e =
-      C.Sc_eval.evaluate ?checkpoint ~window ~nominal ~kind ~placement ()
+      C.Sc_eval.evaluate ?checkpoint ~window ?axes ~nominal ~kind ~placement
+        ()
     in
     Format.printf "%a@." C.Sc_eval.pp e
   in
   Cmd.v (Cmd.info "stress" ~doc:"Optimize the stress combination for one defect (Section 4)")
     Term.(const run $ telemetry_term $ checkpoint_term $ window_term
-          $ kind_arg $ placement_arg $ tcyc_arg $ vdd_arg $ temp_arg
-          $ duty_arg)
+          $ kind_arg $ placement_arg $ stress_term $ axes_term)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -453,7 +539,7 @@ let table1_cmd =
     Arg.(value & opt (some string) None
          & info [ "csv" ] ~docv:"FILE" ~doc:"Also write CSV to FILE.")
   in
-  let run tel ck fail_on_error deadline quick csv =
+  let run tel ck fail_on_error deadline quick csv axes =
     let failures =
       with_telemetry tel @@ fun () ->
       with_checkpoint ck @@ fun checkpoint ->
@@ -466,7 +552,7 @@ let table1_cmd =
       let table =
         C.Table1.generate
           ?config:(config_of_deadline deadline)
-          ?checkpoint ~entries ()
+          ?checkpoint ?axes ~entries ()
       in
       print_string (C.Table1.render table);
       Option.iter
@@ -481,7 +567,7 @@ let table1_cmd =
   in
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 over the defect catalog")
     Term.(const run $ telemetry_term $ checkpoint_term $ fail_on_error_arg
-          $ deadline_arg $ quick_arg $ csv_arg)
+          $ deadline_arg $ quick_arg $ csv_arg $ axes_term)
 
 (* ------------------------------------------------------------------ *)
 (* shmoo                                                               *)

@@ -1,0 +1,18 @@
+; Retention smoke campaign: a tiny wait-axis sweep crossing decay time
+; with the data background on the neighbour cell. The wait stress
+; inserts a retention pause before the first read of every detection,
+; so even the plain write/read sequence below becomes a retention test
+; at wait > 0. Run it with
+;
+;   dune exec bin/dramstress.exe -- campaign run examples/retention_smoke.sexp
+;
+; A warm rerun against the same store must simulate zero points — CI
+; checks exactly that.
+(campaign
+  (name retention-smoke)
+  (defects (O1 true))
+  ; 3 log-spaced decay delays x 2 data backgrounds
+  (sweep (wait (range 0.01 1.0 3)) (pattern all1 checkerboard))
+  (detections (seq "w1 w0 r0"))
+  ; a coarse window keeps the smoke run quick
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))

@@ -1,5 +1,6 @@
 module D = Dramstress_defect.Defect
 module S = Dramstress_dram.Stress
+module Ax = Dramstress_stressaxis.Stressaxis
 module Sc = Dramstress_dram.Sim_config
 module Det = Dramstress_core.Detection
 module W = Dramstress_core.Border.Window
@@ -33,6 +34,12 @@ type diagnostic =
       value : string;
       msg : string;
     }
+  | Bad_range of {
+      axis : string;
+      lo : float;
+      hi : float;
+      reason : string;
+    }
 
 let pp_diagnostic ppf = function
   | Parse_error { line; msg } ->
@@ -51,6 +58,9 @@ let pp_diagnostic ppf = function
   | Bad_value { section; field; value; msg } ->
     Format.fprintf ppf "section (%s), field %s: bad value %S (%s)" section
       field value msg
+  | Bad_range { axis; lo; hi; reason } ->
+    Format.fprintf ppf "sweep axis %s: bad range %g..%g (%s)" axis lo hi
+      reason
 
 exception Invalid of diagnostic list
 
@@ -168,7 +178,8 @@ let detection_label = function
            (function
              | Det.Write b -> Printf.sprintf "w%d" b
              | Det.Read b -> Printf.sprintf "r%d" b
-             | Det.Wait t -> Printf.sprintf "p%g" t)
+             | Det.Wait t -> Printf.sprintf "p%g" t
+             | Det.Hammer n -> Printf.sprintf "h%d" n)
            d.Det.steps)
   | March m -> "march:" ^ m.M.name
 
@@ -217,12 +228,26 @@ let of_string ?(source = "<string>") src =
       diag (Bad_value { section; field; value = v; msg = "not an integer" });
       None
   in
-  let axis_of_name = function
-    | "tcyc" -> Some S.Cycle_time
-    | "duty" -> Some S.Duty_cycle
-    | "vdd" -> Some S.Supply_voltage
-    | "temp" -> Some S.Temperature
-    | _ -> None
+  (* all axes come from the stress-axis registry: the manifest learns
+     about new axes (wait, hammer, leak, ...) without edits here *)
+  let axis_of_name name = Option.map (fun e -> e.Ax.axis) (Ax.find name) in
+  let unknown_axis_msg =
+    "unknown stress axis (" ^ String.concat "|" (Ax.names ()) ^ ")"
+  in
+  (* axis values are numeric, except the pattern axis also accepts its
+     symbolic names (all0 | all1 | checkerboard) *)
+  let axis_value_of section axis_name ax v =
+    match float_of_string_opt v with
+    | Some f -> Some f
+    | None -> begin
+      match (ax, S.pattern_of_name v) with
+      | S.Pattern, Some p -> Some (S.float_of_pattern p)
+      | _, _ ->
+        diag
+          (Bad_value
+             { section; field = axis_name; value = v; msg = "not a number" });
+        None
+    end
   in
   let parse_stress_fields ~section base fields =
     List.fold_left
@@ -233,15 +258,10 @@ let of_string ?(source = "<string>") src =
           | None ->
             diag
               (Bad_value
-                 {
-                   section;
-                   field = axis;
-                   value = v;
-                   msg = "unknown stress axis (tcyc|duty|vdd|temp)";
-                 });
+                 { section; field = axis; value = v; msg = unknown_axis_msg });
             stress
           | Some ax -> begin
-            match float_of section axis v with
+            match axis_value_of section axis ax v with
             | Some f -> S.set stress ax f
             | None -> stress
           end
@@ -325,6 +345,23 @@ let of_string ?(source = "<string>") src =
               | "r0" -> (Det.Read 0 :: acc, last)
               | "r1" -> (Det.Read 1 :: acc, last)
               | "r" -> (Det.Read last :: acc, last)
+              | "ham" -> (Det.Hammer 1 :: acc, last)
+              | t when String.length t > 3 && String.sub t 0 3 = "ham" -> begin
+                match
+                  int_of_string_opt (String.sub t 3 (String.length t - 3))
+                with
+                | Some n when n > 0 -> (Det.Hammer n :: acc, last)
+                | Some _ | None ->
+                  diag
+                    (Bad_value
+                       {
+                         section = "detections";
+                         field = "seq";
+                         value = t;
+                         msg = "bad hammer count";
+                       });
+                  (acc, last)
+              end
               | t when String.length t > 1 && t.[0] = 'p' -> begin
                 match float_of_string_opt (String.sub t 1 (String.length t - 1)) with
                 | Some p -> (Det.Wait p :: acc, last)
@@ -337,7 +374,7 @@ let of_string ?(source = "<string>") src =
                        section = "detections";
                        field = "seq";
                        value = t;
-                       msg = "expected w0|w1|r|r0|r1|p<seconds>";
+                       msg = "expected w0|w1|r|r0|r1|p<seconds>|ham<n>";
                      });
                 (acc, last))
             ([], 0)
@@ -413,27 +450,94 @@ let of_string ?(source = "<string>") src =
                      section = "sweep";
                      field = axis;
                      value = "";
-                     msg = "unknown stress axis (tcyc|duty|vdd|temp)";
+                     msg = unknown_axis_msg;
                    });
               None
             | Some ax ->
-              let vs =
-                List.filter_map
-                  (function
-                    | Atom v -> float_of "sweep" axis v
-                    | List _ ->
+              let entry = Ax.of_axis ax in
+              let expand_range args =
+                let scale_of = function
+                  | "log" -> Some Ax.Log
+                  | "lin" | "linear" -> Some Ax.Linear
+                  | _ -> None
+                in
+                let parsed =
+                  match args with
+                  | [ Atom lo; Atom hi; Atom n ] ->
+                    Some (lo, hi, n, entry.Ax.scale)
+                  | [ Atom lo; Atom hi; Atom n; Atom sc ] -> begin
+                    match scale_of sc with
+                    | Some scale -> Some (lo, hi, n, scale)
+                    | None ->
                       diag
                         (Bad_value
                            {
                              section = "sweep";
                              field = axis;
-                             value = "";
-                             msg = "expected numeric values";
+                             value = sc;
+                             msg = "range scale must be log|lin";
                            });
-                      None)
-                  values
+                      None
+                  end
+                  | _ ->
+                    diag
+                      (Bad_value
+                         {
+                           section = "sweep";
+                           field = axis;
+                           value = "";
+                           msg = "expected (range lo hi n [log|lin])";
+                         });
+                    None
+                in
+                match parsed with
+                | None -> []
+                | Some (lo_s, hi_s, n_s, scale) -> begin
+                  match
+                    ( float_of "sweep" axis lo_s,
+                      float_of "sweep" axis hi_s,
+                      int_of "sweep" axis n_s )
+                  with
+                  | Some lo, Some hi, Some n -> begin
+                    match Ax.range ~scale ~lo ~hi n with
+                    | Ok vs -> vs
+                    | Error e ->
+                      diag
+                        (Bad_range
+                           {
+                             axis;
+                             lo;
+                             hi;
+                             reason =
+                               Format.asprintf "%a" Ax.pp_range_error e;
+                           });
+                      []
+                  end
+                  | _, _, _ -> []
+                end
               in
-              if vs = [] then None else Some (axis, ax, vs)
+              let expand_value = function
+                | Atom v -> begin
+                  match axis_value_of "sweep" axis ax v with
+                  | Some f -> [ f ]
+                  | None -> []
+                end
+                | List (Atom "range" :: args) -> expand_range args
+                | List _ ->
+                  diag
+                    (Bad_value
+                       {
+                         section = "sweep";
+                         field = axis;
+                         value = "";
+                         msg =
+                           "expected numeric values or (range lo hi n \
+                            [log|lin])";
+                       });
+                  []
+              in
+              let vs = List.concat_map expand_value values in
+              if vs = [] then None else Some (axis, entry, ax, vs)
           end
           | _ ->
             diag
@@ -448,12 +552,14 @@ let of_string ?(source = "<string>") src =
         axes
     in
     List.fold_left
-      (fun combos (axis_name, ax, vs) ->
+      (fun combos (axis_name, entry, ax, vs) ->
         List.concat_map
           (fun (label, stress) ->
             List.map
               (fun v ->
-                let part = Printf.sprintf "%s=%g" axis_name v in
+                let part =
+                  Printf.sprintf "%s=%s" axis_name (Ax.value_string entry v)
+                in
                 let label = if label = "" then part else label ^ "," ^ part in
                 (label, S.set stress ax v))
               vs)

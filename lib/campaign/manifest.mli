@@ -15,11 +15,19 @@
       (name vdd-study)
       ;; bare id = both bit-line placements; (id true|comp) = one
       (defects O1 (Sg true) (B1 comp))
-      ;; named stress settings; unset axes inherit the paper's nominal
+      ;; named stress settings; unset axes inherit the paper's nominal.
+      ;; Any axis in the {!Dramstress_stressaxis.Stressaxis} registry
+      ;; works: the paper's four plus wait, pattern, hammer, leak,
+      ;; couple, twr-trim, tras-trim. The pattern axis also takes its
+      ;; symbolic names (all0 | checkerboard | all1).
       (stress nominal)
       (stress low-vdd (vdd 2.1))
-      ;; optional cross-product sweep, auto-labeled "vdd=2.1,temp=-33"
+      (stress retention (wait 1.0) (pattern checkerboard) (leak 1e-13))
+      ;; optional cross-product sweep, auto-labeled "vdd=2.1,temp=-33";
+      ;; (range lo hi n [log|lin]) expands to n values spaced per the
+      ;; axis's natural scale (wait/leak/hammer sweep logarithmically)
       (sweep (vdd 2.1 2.7) (temp -33 87))
+      (sweep (wait (range 0.01 100 4)) (hammer 0 (range 10 1000 3)))
       ;; operation sequences evaluated per (defect, stress) pair
       (detections best (seq "w1 w1 w0 r0") (march "{up(w0);up(r0,w1)}"))
       ;; simulation-config overrides (Sim_config.v fields)
@@ -86,6 +94,14 @@ type diagnostic =
       value : string;
       msg : string;
     }
+  | Bad_range of {
+      axis : string;
+      lo : float;
+      hi : float;
+      reason : string;
+    }
+      (** a [(range lo hi n [log|lin])] sweep whose bounds are empty
+          (min >= max, or n < 1) or whose log spacing crosses zero *)
 
 val pp_diagnostic : Format.formatter -> diagnostic -> unit
 

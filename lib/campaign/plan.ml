@@ -38,7 +38,8 @@ let encode_detection (d : Det.t) =
        (function
          | Det.Write b -> Printf.sprintf "w%d" b
          | Det.Read b -> Printf.sprintf "r%d" b
-         | Det.Wait t -> Printf.sprintf "p%h" t)
+         | Det.Wait t -> Printf.sprintf "p%h" t
+         | Det.Hammer n -> Printf.sprintf "h%d" n)
        d.Det.steps)
 
 let decode_detection s =
@@ -50,6 +51,7 @@ let decode_detection s =
       | 'w' -> Option.map (fun b -> Det.Write b) (int_of_string_opt (rest ()))
       | 'r' -> Option.map (fun b -> Det.Read b) (int_of_string_opt (rest ()))
       | 'p' -> Option.map (fun t -> Det.Wait t) (float_of_string_opt (rest ()))
+      | 'h' -> Option.map (fun n -> Det.Hammer n) (int_of_string_opt (rest ()))
       | _ -> None
   in
   let toks = String.split_on_char ',' s in
@@ -99,11 +101,16 @@ let descriptor (m : Manifest.t) p =
      adaptive window gets its own address — Grid and Adaptive share a
      record only when their results are provably identical *)
   let physics = Ck.fingerprint (c.Sc.tech, c.Sc.sim, c.Sc.steps_per_cycle) in
-  Printf.sprintf "campaign.point|v1|%s|%h,%h,%h,%h|%s|%s|%s|%s"
+  (* extension axes (wait, pattern, hammer, ...) contribute a suffix
+     only when off-neutral ([Stressaxis.fingerprint_ext] is "" for a
+     plain four-axis stress), so every pre-extension record keeps its
+     byte-identical v1 address and stays reusable *)
+  Printf.sprintf "campaign.point|v1|%s|%h,%h,%h,%h|%s|%s|%s|%s%s"
     physics p.stress.S.tcyc p.stress.S.duty p.stress.S.vdd p.stress.S.temp_c
     p.defect.D.id (placement_tag p.placement)
     (detection_canon p.detection)
     (Border.Window.fingerprint m.Manifest.window)
+    (Dramstress_stressaxis.Stressaxis.fingerprint_ext p.stress)
 
 let fail_key m p = "campaign.fail|" ^ descriptor m p
 

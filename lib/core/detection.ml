@@ -2,7 +2,7 @@ module O = Dramstress_dram.Ops
 module S = Dramstress_dram.Stress
 module D = Dramstress_defect.Defect
 
-type step = Write of int | Read of int | Wait of float
+type step = Write of int | Read of int | Wait of float | Hammer of int
 
 type t = { steps : step list }
 
@@ -13,7 +13,9 @@ let v steps =
       match s with
       | Write b | Read b ->
         if b <> 0 && b <> 1 then invalid_arg "Detection.v: bit not 0/1"
-      | Wait d -> if d <= 0.0 then invalid_arg "Detection.v: non-positive wait")
+      | Wait d -> if d <= 0.0 then invalid_arg "Detection.v: non-positive wait"
+      | Hammer n ->
+        if n < 1 then invalid_arg "Detection.v: non-positive hammer count")
     steps;
   { steps }
 
@@ -27,6 +29,9 @@ let standard ~victim ~primes =
 let retention ~victim ~pause =
   v [ Write victim; Wait pause; Read victim ]
 
+let hammer ~victim ~count =
+  v [ Write victim; Hammer count; Read victim ]
+
 let ops cond =
   List.map
     (fun s ->
@@ -34,15 +39,18 @@ let ops cond =
       | Write 0 -> O.W0
       | Write _ -> O.W1
       | Read _ -> O.R
-      | Wait d -> O.Pause d)
+      | Wait d -> O.Pause d
+      | Hammer n -> O.Ham n)
     cond.steps
 
 let expected_reads cond =
-  List.filter_map (function Read b -> Some b | Write _ | Wait _ -> None)
+  List.filter_map
+    (function Read b -> Some b | Write _ | Wait _ | Hammer _ -> None)
     cond.steps
 
 let first_write cond =
-  List.find_map (function Write b -> Some b | Read _ | Wait _ -> None)
+  List.find_map
+    (function Write b -> Some b | Read _ | Wait _ | Hammer _ -> None)
     cond.steps
 
 let initial_vc cond ~stress ~defect =
@@ -77,6 +85,7 @@ let pp ppf cond =
     | Write b -> Format.fprintf ppf "w%d" b
     | Read b -> Format.fprintf ppf "r%d" b
     | Wait d -> Format.fprintf ppf "del(%a)" Dramstress_util.Units.pp_si d
+    | Hammer n -> Format.fprintf ppf "ham(%d)" n
   in
   Format.fprintf ppf "{... %a ...}"
     (Format.pp_print_list

@@ -9,10 +9,15 @@ type step =
   | Write of int      (** write the logical bit (0 or 1) *)
   | Read of int       (** read, expecting the logical bit *)
   | Wait of float     (** retention pause, s *)
+  | Hammer of int
+      (** activate the neighbour (aggressor) word line for n full cycles
+          without touching the victim's column — the coupling-disturb
+          element. [n >= 1]. *)
 
 type t = { steps : step list }
 
-(** [v steps] validates bits are 0/1 and pauses positive. *)
+(** [v steps] validates bits are 0/1, pauses positive, hammer counts
+    >= 1. *)
 val v : step list -> t
 
 (** [standard ~victim ~primes] is the paper's shape:
@@ -24,6 +29,13 @@ val standard : victim:int -> primes:int -> t
     the classic data-retention element used against high-resistance
     shorts. *)
 val retention : victim:int -> pause:float -> t
+
+(** [hammer ~victim ~count] writes [victim], pulses the aggressor word
+    line [count] times, reads [victim] — the coupling-disturb element
+    ("hammer the aggressor N times, then read the victim"). Cross it
+    with the [c_couple] stress axis to expose inter-cell coupling
+    defects. *)
+val hammer : victim:int -> count:int -> t
 
 (** [ops cond] lowers the condition to raw memory operations. *)
 val ops : t -> Dramstress_dram.Ops.op list

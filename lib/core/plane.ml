@@ -92,7 +92,9 @@ let vsa_substitute stress = function
 
 (* the physical storage level a logical write targets *)
 let physical_target placement op =
-  let logical = match op with O.W0 -> 0 | O.W1 -> 1 | O.R | O.Pause _ -> 1 in
+  let logical =
+    match op with O.W0 -> 0 | O.W1 -> 1 | O.R | O.Pause _ | O.Ham _ -> 1
+  in
   match placement with D.True_bl -> logical | D.Comp_bl -> 1 - logical
 
 (* ------------------------------------------------------------------ *)
@@ -391,7 +393,8 @@ let write_plane ?tech ?sim ?jobs ?config ?checkpoint ?window ?(n_ops = 4)
   let rops = resolve_rops ?window ?rops () in
   (match op with
   | O.W0 | O.W1 -> ()
-  | O.R | O.Pause _ -> invalid_arg "Plane.write_plane: op must be a write");
+  | O.R | O.Pause _ | O.Ham _ ->
+    invalid_arg "Plane.write_plane: op must be a write");
   if n_ops < 1 then invalid_arg "Plane.write_plane: n_ops < 1";
   let config = Sc.resolve ?tech ?sim ?jobs ?config () in
   let jobs = Sc.resolve_jobs config in

@@ -1,6 +1,7 @@
 module O = Dramstress_dram.Ops
 module S = Dramstress_dram.Stress
 module D = Dramstress_defect.Defect
+module Ax = Dramstress_stressaxis.Stressaxis
 
 type direction = Increase | Decrease | Neutral
 
@@ -21,13 +22,7 @@ type probe = {
   rationale : string;
 }
 
-let default_values axis ~stress =
-  match axis with
-  | S.Cycle_time -> [ stress.S.tcyc -. 5e-9; stress.S.tcyc ]
-  | S.Temperature -> [ -33.0; stress.S.temp_c; 87.0 ]
-  | S.Supply_voltage ->
-    [ stress.S.vdd -. 0.3; stress.S.vdd; stress.S.vdd +. 0.3 ]
-  | S.Duty_cycle -> [ stress.S.duty -. 0.15; stress.S.duty; stress.S.duty +. 0.15 ]
+let default_values axis ~stress = (Ax.of_axis axis).Ax.probe_values stress
 
 (* direction of the stress metric: does the metric grow with the axis? *)
 let metric_direction ~epsilon samples metric =
@@ -130,17 +125,7 @@ let probe_axis ?tech ?checkpoint ?window ?(analysis_r = 200e3)
   }
 
 let apply_verdict probe ~stress =
-  let nudge axis sign =
-    match axis with
-    | S.Cycle_time ->
-      S.with_tcyc stress (Float.max 20e-9 (stress.S.tcyc +. (sign *. 5e-9)))
-    | S.Temperature -> S.with_temp_c stress (if sign > 0.0 then 87.0 else -33.0)
-    | S.Supply_voltage ->
-      S.with_vdd stress (stress.S.vdd +. (sign *. 0.3))
-    | S.Duty_cycle ->
-      S.with_duty stress
-        (Float.max 0.2 (Float.min 0.8 (stress.S.duty +. (sign *. 0.15))))
-  in
+  let nudge axis sign = (Ax.of_axis axis).Ax.nudge stress sign in
   match probe.verdict with
   | Neutral -> stress
   | Increase -> nudge probe.axis 1.0

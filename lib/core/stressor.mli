@@ -62,15 +62,17 @@ val probe_axis :
   float list ->
   probe
 
-(** [default_values axis ~stress] — the paper's candidate values per
-    axis: t_cyc 55/60 ns, T −33/+27/+87 C, V_dd 2.1/2.4/2.7 V, duty
-    0.35/0.5/0.65 (scaled around the given nominal). *)
+(** [default_values axis ~stress] — the registry's candidate values per
+    axis ({!Dramstress_stressaxis.Stressaxis.probe_values}). For the
+    paper's four: t_cyc 55/60 ns, T −33/+27/+87 C, V_dd 2.1/2.4/2.7 V,
+    duty 0.35/0.5/0.65 (scaled around the given nominal). *)
 val default_values :
   Dramstress_dram.Stress.axis -> stress:Dramstress_dram.Stress.t -> float list
 
-(** [apply_verdict probe ~stress] moves the axis one paper-style notch in
-    the stressful direction (t_cyc −5 ns, T ±60 C, V_dd ∓0.3 V, duty
-    ∓0.15), clamped to physical ranges; identity for [Neutral]. *)
+(** [apply_verdict probe ~stress] moves the axis one registry notch
+    ({!Dramstress_stressaxis.Stressaxis.nudge}) in the stressful
+    direction (for the paper's four: t_cyc −5 ns, T ±60 C, V_dd ∓0.3 V,
+    duty ∓0.15), clamped to physical ranges; identity for [Neutral]. *)
 val apply_verdict :
   probe -> stress:Dramstress_dram.Stress.t -> Dramstress_dram.Stress.t
 

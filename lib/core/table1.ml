@@ -1,5 +1,6 @@
 module S = Dramstress_dram.Stress
 module Sc = Dramstress_dram.Sim_config
+module Ax = Dramstress_stressaxis.Stressaxis
 module D = Dramstress_defect.Defect
 module U = Dramstress_util.Units
 module Tel = Dramstress_util.Telemetry
@@ -21,8 +22,8 @@ type t = {
 }
 
 let generate ?tech ?jobs ?config ?checkpoint ?window ?(nominal = S.nominal)
-    ?(entries = D.catalog) ?(placements = [ D.True_bl; D.Comp_bl ]) ?pause ()
-    =
+    ?(entries = D.catalog) ?(placements = [ D.True_bl; D.Comp_bl ]) ?axes
+    ?pause () =
   let config = Sc.resolve ?tech ?jobs ?config () in
   (* one work item per (defect, placement) row; rows are independent.
      A row whose evaluation fails outright becomes a [Failed] slot so
@@ -49,7 +50,7 @@ let generate ?tech ?jobs ?config ?checkpoint ?window ?(nominal = S.nominal)
                   defect_id = entry.D.id;
                   placement;
                   evaluation =
-                    Sc_eval.evaluate ~config ?checkpoint ?window ?pause
+                    Sc_eval.evaluate ~config ?checkpoint ?window ?axes ?pause
                       ~nominal ~kind:entry.D.kind ~placement ();
                 })))
       work
@@ -68,6 +69,22 @@ let dir_arrow probe =
   | Stressor.Increase -> "+"
   | Stressor.Decrease -> "-"
   | Stressor.Neutral -> "="
+
+(* direction columns come from whatever axes were actually probed; an
+   empty table falls back to the paper's three directed axes so the
+   header stays stable *)
+let probed_axes table =
+  match table.rows with
+  | row :: _ ->
+    List.map (fun p -> p.Stressor.axis) row.evaluation.Sc_eval.probes
+  | [] -> [ S.Cycle_time; S.Temperature; S.Supply_voltage ]
+
+let axis_arrow e axis =
+  match
+    List.find_opt (fun p -> p.Stressor.axis = axis) e.Sc_eval.probes
+  with
+  | Some p -> dir_arrow p
+  | None -> "?"
 
 let edge_string = function
   | Border.Exact v -> U.si_string v
@@ -90,31 +107,40 @@ let br_string = function
 
 let render table =
   let buf = Buffer.create 2048 in
+  let axes = probed_axes table in
+  let cols =
+    List.map
+      (fun a ->
+        let name = Ax.name_of_axis a in
+        (a, name, Int.max 4 (String.length name)))
+      axes
+  in
+  let pad w s =
+    if String.length s >= w then s ^ " "
+    else s ^ String.make (w - String.length s + 1) ' '
+  in
+  let dir_cells cell =
+    String.concat "" (List.map (fun (a, name, w) -> pad w (cell a name)) cols)
+  in
   Buffer.add_string buf
     (Format.asprintf
        "Table 1 -- ST optimization results (nominal SC: %a)\n" S.pp
        table.nominal);
   Buffer.add_string buf
-    (Printf.sprintf "%-6s %-6s %-12s %-6s %-4s %-6s %-12s %-8s %s\n"
-       "Defect" "Place" "Nom. border" "t_cyc" "T" "V_dd" "Str. border"
-       "Coverage" "Str. detection condition");
+    (Printf.sprintf "%-6s %-6s %-12s %s%-12s %-8s %s\n"
+       "Defect" "Place" "Nom. border"
+       (dir_cells (fun _ name -> name))
+       "Str. border" "Coverage" "Str. detection condition");
   Buffer.add_string buf (String.make 100 '-' ^ "\n");
   List.iter
     (fun row ->
       let e = row.evaluation in
-      let probe axis =
-        List.find_opt (fun p -> p.Stressor.axis = axis) e.Sc_eval.probes
-      in
-      let arrow axis =
-        match probe axis with Some p -> dir_arrow p | None -> "?"
-      in
       Buffer.add_string buf
-        (Printf.sprintf "%-6s %-6s %-12s %-6s %-4s %-6s %-12s %-8s %s\n"
+        (Printf.sprintf "%-6s %-6s %-12s %s%-12s %-8s %s\n"
            row.defect_id
            (Format.asprintf "%a" D.pp_placement row.placement)
            (br_string e.Sc_eval.nominal_br)
-           (arrow S.Cycle_time) (arrow S.Temperature)
-           (arrow S.Supply_voltage)
+           (dir_cells (fun a _ -> axis_arrow e a))
            (br_string e.Sc_eval.stressed_br)
            (match e.Sc_eval.improvement with
            | Some f -> Printf.sprintf "%.2fx" f
@@ -140,9 +166,11 @@ let render table =
   Buffer.contents buf
 
 let to_csv table =
+  let axes = probed_axes table in
   let header =
-    [ "defect"; "placement"; "nominal_br_ohm"; "tcyc_dir"; "temp_dir";
-      "vdd_dir"; "stressed_br_ohm"; "improvement"; "stressed_detection" ]
+    [ "defect"; "placement"; "nominal_br_ohm" ]
+    @ List.map (fun a -> Ax.name_of_axis a ^ "_dir") axes
+    @ [ "stressed_br_ohm"; "improvement"; "stressed_detection" ]
   in
   let edge_csv = function
     | Border.Exact v -> Printf.sprintf "%.6g" v
@@ -165,26 +193,15 @@ let to_csv table =
     List.map
       (fun row ->
         let e = row.evaluation in
-        let arrow axis =
-          match
-            List.find_opt (fun p -> p.Stressor.axis = axis) e.Sc_eval.probes
-          with
-          | Some p -> dir_arrow p
-          | None -> "?"
-        in
-        [
-          row.defect_id;
+        [ row.defect_id;
           Format.asprintf "%a" D.pp_placement row.placement;
-          br_csv e.Sc_eval.nominal_br;
-          arrow S.Cycle_time;
-          arrow S.Temperature;
-          arrow S.Supply_voltage;
-          br_csv e.Sc_eval.stressed_br;
-          (match e.Sc_eval.improvement with
-          | Some f -> Printf.sprintf "%.4g" f
-          | None -> "n/a");
-          Detection.to_string e.Sc_eval.stressed_detection;
-        ])
+          br_csv e.Sc_eval.nominal_br ]
+        @ List.map (axis_arrow e) axes
+        @ [ br_csv e.Sc_eval.stressed_br;
+            (match e.Sc_eval.improvement with
+            | Some f -> Printf.sprintf "%.4g" f
+            | None -> "n/a");
+            Detection.to_string e.Sc_eval.stressed_detection ])
       table.rows
   in
   Dramstress_util.Csvout.to_string ~header rows

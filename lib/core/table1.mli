@@ -31,7 +31,13 @@ type t = {
 
     [checkpoint] threads a {!Dramstress_util.Checkpoint} store through
     every border search of every row: an interrupted table regeneration
-    resumes from the finished searches instead of starting over. *)
+    resumes from the finished searches instead of starting over.
+
+    [axes] selects which stress axes each row probes and optimizes
+    (default {!Sc_eval.evaluate}'s paper trio: cycle time, temperature,
+    supply voltage). Any {!Dramstress_dram.Stress.axis} registered in
+    {!Dramstress_stressaxis.Stressaxis} works; the rendered/CSV
+    direction columns follow the probed axes. *)
 val generate :
   ?tech:Dramstress_dram.Tech.t ->
   ?jobs:int ->
@@ -41,6 +47,7 @@ val generate :
   ?nominal:Dramstress_dram.Stress.t ->
   ?entries:Dramstress_defect.Defect.entry list ->
   ?placements:Dramstress_defect.Defect.placement list ->
+  ?axes:Dramstress_dram.Stress.axis list ->
   ?pause:float ->
   unit ->
   t
@@ -51,8 +58,12 @@ val generate :
     identically to the canonical table. *)
 val br_string : Border.result -> string
 
-(** [render table] formats the paper-style table as text. *)
+(** [render table] formats the paper-style table as text. Direction
+    columns are derived from the axes actually probed (registry names),
+    so extended-axis tables render without a layout change here. *)
 val render : t -> string
 
-(** [to_csv table] machine-readable form. *)
+(** [to_csv table] machine-readable form. Direction column headers are
+    ["<axis>_dir"] per probed axis — ["tcyc_dir"; "temp_dir";
+    "vdd_dir"] for the default trio, unchanged from earlier versions. *)
 val to_csv : t -> string

@@ -5,6 +5,7 @@ module D = Dramstress_defect.Defect
 type controls = {
   wl : W.t;
   wl_ref : W.t;
+  wl_nb : W.t;
   pre : W.t;
   sae : W.t;
   wr_acc_hi : W.t;
@@ -18,6 +19,7 @@ let idle_controls =
   {
     wl = W.dc 0.0;
     wl_ref = W.dc 0.0;
+    wl_nb = W.dc 0.0;
     pre = W.dc 1.0;
     sae = W.dc 0.0;
     wr_acc_hi = W.dc 0.0;
@@ -26,6 +28,11 @@ let idle_controls =
     wr_ref_lo = W.dc 0.0;
     colsel = W.dc 0.0;
   }
+
+(* parasitic bridge in parallel with the inter-cell coupling capacitor
+   (the Rcouple_cells element): fixed and weak — the sweepable knob is
+   the capacitance, which dominates the disturb *)
+let r_couple_ohm = 1e9
 
 type built = {
   compiled : C.Netlist.compiled;
@@ -57,7 +64,8 @@ let inject nl (tech : Tech.t) ~acc_bl ~ref_bl (defect : D.t) =
   | D.Bridge_to_neighbour ->
     C.Netlist.resistor nl ~name:"r_defect" "cell" "cell_nb" defect.D.r
 
-let build ~(tech : Tech.t) ~vdd ~controls ?defect () =
+let build ~(tech : Tech.t) ~vdd ~controls ?(leak_g = 0.0) ?(couple = 0.0)
+    ?defect () =
   let nl = C.Netlist.create () in
   let acc_bl, ref_bl =
     match defect with
@@ -68,7 +76,7 @@ let build ~(tech : Tech.t) ~vdd ~controls ?defect () =
   C.Netlist.vsource nl ~name:"v_vdd" "vddr" "0" (W.dc vdd);
   C.Netlist.vsource nl ~name:"v_wl" "wl" "0" controls.wl;
   C.Netlist.vsource nl ~name:"v_wlr" "wlr" "0" controls.wl_ref;
-  C.Netlist.vsource nl ~name:"v_wlnb" "wl_nb" "0" (W.dc 0.0);
+  C.Netlist.vsource nl ~name:"v_wlnb" "wl_nb" "0" controls.wl_nb;
   (* bit lines *)
   C.Netlist.capacitor nl ~name:"c_bl" "bl" "0" tech.Tech.c_bl;
   C.Netlist.capacitor nl ~name:"c_blb" "blb" "0" tech.Tech.c_bl;
@@ -138,6 +146,20 @@ let build ~(tech : Tech.t) ~vdd ~controls ?defect () =
   C.Netlist.capacitor nl ~name:"c_dq" "dq" "0" tech.Tech.c_out;
   C.Netlist.switch nl ~name:"sw_dqrst" "dq" "vddr" ~ctrl:controls.pre
     ~g_on:tech.Tech.g_switch ~g_off:tech.Tech.g_off ();
+  (* retention: junction/gate-induced leakage off both storage nodes.
+     Modeled as a conductance to substrate; zero means an ideal cell and
+     adds no device, so the untouched netlist stays byte-identical. *)
+  if leak_g > 0.0 then begin
+    C.Netlist.resistor nl ~name:"r_leak" "cell" "0" (1.0 /. leak_g);
+    C.Netlist.resistor nl ~name:"r_leak_nb" "cell_nb" "0" (1.0 /. leak_g)
+  end;
+  (* coupling disturb: Ccouple/Rcouple between the accessed and the
+     neighbour storage node (the Transistor_Pilates
+     Ccouple_cells/Rcouple_cells pair) *)
+  if couple > 0.0 then begin
+    C.Netlist.capacitor nl ~name:"c_couple" "cell" "cell_nb" couple;
+    C.Netlist.resistor nl ~name:"r_couple" "cell" "cell_nb" r_couple_ohm
+  end;
   (match defect with
   | Some d -> inject nl tech ~acc_bl ~ref_bl d
   | None -> ());

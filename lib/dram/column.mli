@@ -14,6 +14,9 @@
 type controls = {
   wl : Dramstress_circuit.Waveform.t;       (** accessed word line *)
   wl_ref : Dramstress_circuit.Waveform.t;   (** reference word line *)
+  wl_nb : Dramstress_circuit.Waveform.t;
+    (** neighbour (aggressor) word line — fired by hammer cycles,
+        otherwise held low *)
   pre : Dramstress_circuit.Waveform.t;      (** precharge + equalize *)
   sae : Dramstress_circuit.Waveform.t;      (** sense-amplifier enable *)
   wr_acc_hi : Dramstress_circuit.Waveform.t; (** accessed line to V_dd *)
@@ -37,12 +40,22 @@ type built = {
   probes : string list;  (** standard probe set, includes the above *)
 }
 
-(** [build ~tech ~vdd ~controls ?defect ()] constructs and compiles the
-    column. The defect, if any, is injected per its kind and placement. *)
+(** [build ~tech ~vdd ~controls ?leak_g ?couple ?defect ()] constructs
+    and compiles the column. The defect, if any, is injected per its
+    kind and placement.
+
+    [leak_g] (S, default 0) adds a leakage conductance from each storage
+    node to substrate — the retention-stress knob. [couple] (F, default
+    0) adds a coupling capacitor (plus a fixed weak parallel bridge,
+    the Ccouple/Rcouple pair) between the accessed and the neighbour
+    storage node — the disturb-stress knob. At 0 neither adds a device,
+    so the default netlist is unchanged. *)
 val build :
   tech:Tech.t ->
   vdd:float ->
   controls:controls ->
+  ?leak_g:float ->
+  ?couple:float ->
   ?defect:Dramstress_defect.Defect.t ->
   unit ->
   built

@@ -38,7 +38,7 @@ let () =
    this error ({!Dramstress_util.Par.parallel_map_outcomes}) *)
 let retries_of = function Exhausted_retries { attempts; _ } -> attempts | _ -> 0
 
-type op = W0 | W1 | R | Pause of float
+type op = W0 | W1 | R | Pause of float | Ham of int
 
 let pp_op ppf = function
   | W0 -> Format.pp_print_string ppf "w0"
@@ -46,6 +46,8 @@ let pp_op ppf = function
   | R -> Format.pp_print_string ppf "r"
   | Pause d ->
     Format.fprintf ppf "p%a" Dramstress_util.Units.pp_si d
+  | Ham 1 -> Format.pp_print_string ppf "ham"
+  | Ham n -> Format.fprintf ppf "ham%d" n
 
 let parse_seq s =
   let tokens =
@@ -57,6 +59,12 @@ let parse_seq s =
     | "w0" -> W0
     | "w1" -> W1
     | "r" | "r0" | "r1" -> R
+    | "ham" -> Ham 1
+    | tok when String.length tok > 3 && String.sub tok 0 3 = "ham" -> begin
+      match int_of_string_opt (String.sub tok 3 (String.length tok - 3)) with
+      | Some n when n > 0 -> Ham n
+      | Some _ | None -> invalid_arg ("Ops.parse_seq: bad hammer count " ^ t)
+    end
     | tok when String.length tok > 1 && tok.[0] = 'p' -> begin
       match float_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
       | Some d when d > 0.0 -> Pause d
@@ -90,25 +98,50 @@ let vc_curve outcome = E.Transient.probe outcome.trace outcome.built.Column.vc_n
 let sensed_bits outcome =
   List.filter_map (fun r -> r.sensed) outcome.results
 
+(* The stress vector's own sequence contributions: a retention wait
+   and/or a burst of aggressor activations slipped in just before the
+   first read, so ANY detection condition crosses with the wait/hammer
+   stress axes without being rewritten. Sequences with no read have
+   nothing to detect and are left alone. Neutral stresses (wait = 0,
+   hammer = 0) return the list physically unchanged. *)
+let effective_ops ~(stress : Stress.t) ops =
+  let extra =
+    (if stress.Stress.wait > 0.0 then [ Pause stress.Stress.wait ] else [])
+    @ (if stress.Stress.hammer > 0 then [ Ham stress.Stress.hammer ] else [])
+  in
+  if extra = [] || not (List.mem R ops) then ops
+  else
+    let rec insert = function
+      | [] -> []
+      | R :: rest -> extra @ R :: rest
+      | op :: rest -> op :: insert rest
+    in
+    insert ops
+
 (* Expand the op list into control-signal step events and time segments.
    Returns (controls, segments, schedule) where schedule carries the
    per-op absolute instants needed to interpret the trace. *)
 let plan ~(tech : Tech.t) ~(stress : Stress.t) ~inverted ~steps_per_cycle ops =
+  let ops = effective_ops ~stress ops in
   let ph = Timing.phases tech stress in
   let wl_high = stress.Stress.vdd +. tech.Tech.wl_boost in
   let dt_active = stress.Stress.tcyc /. float_of_int steps_per_cycle in
   (* step-event accumulators, in reverse time order *)
   let wl = ref [] and wlr = ref [] and pre = ref [] and sae = ref [] in
+  let wlnb = ref [] in
   let colsel = ref [] in
   let wacc_hi = ref [] and wacc_lo = ref [] in
   let wref_hi = ref [] and wref_lo = ref [] in
   let segments = ref [] and schedule = ref [] in
   let push r ev = r := ev :: !r in
   let active_cycle off op =
+    (* a hammer cycle activates the neighbour (aggressor) row: same
+       precharge/sense choreography, but the pulse lands on wl_nb *)
+    let row = match op with Ham _ -> wlnb | W0 | W1 | R | Pause _ -> wl in
     push pre (off +. ph.Timing.t_pre_off, 0.0);
     push pre (off +. ph.Timing.t_wl_off +. 1e-9, 1.0);
-    push wl (off +. ph.Timing.t_wl_on, wl_high);
-    push wl (off +. ph.Timing.t_wl_off, 0.0);
+    push row (off +. ph.Timing.t_wl_on, wl_high);
+    push row (off +. ph.Timing.t_wl_off, 0.0);
     (* the reference word line is cut off at sense enable so the dummy
        does not load the paired line during latch regeneration *)
     push wlr (off +. ph.Timing.t_wl_on, wl_high);
@@ -119,7 +152,7 @@ let plan ~(tech : Tech.t) ~(stress : Stress.t) ~inverted ~steps_per_cycle ops =
     | W0 | W1 ->
       if ph.Timing.t_wr < ph.Timing.t_wl_off -. 1e-9 then begin
         (* physical bit: logical bit, inverted on the complementary line *)
-        let logical = match op with W0 -> 0 | W1 | R | Pause _ -> 1 in
+        let logical = match op with W0 -> 0 | W1 | R | Pause _ | Ham _ -> 1 in
         let physical = if inverted then 1 - logical else logical in
         let acc_drive = if physical = 1 then wacc_hi else wacc_lo in
         let ref_drive = if physical = 1 then wref_lo else wref_hi in
@@ -132,7 +165,7 @@ let plan ~(tech : Tech.t) ~(stress : Stress.t) ~inverted ~steps_per_cycle ops =
       (* connect the output buffer once the latch has regenerated *)
       push colsel (off +. ph.Timing.t_decide, 1.0);
       push colsel (off +. ph.Timing.t_wl_off, 0.0)
-    | Pause _ -> ());
+    | Pause _ | Ham _ -> ());
     push segments (off +. ph.Timing.t_cyc, dt_active)
   in
   let off = ref 0.0 in
@@ -144,6 +177,11 @@ let plan ~(tech : Tech.t) ~(stress : Stress.t) ~inverted ~steps_per_cycle ops =
         let dt_pause = Float.max dt_active (d /. 1000.0) in
         push segments (t_start +. d, dt_pause);
         off := t_start +. d
+      | Ham n ->
+        for i = 0 to n - 1 do
+          active_cycle (t_start +. (float_of_int i *. ph.Timing.t_cyc)) op
+        done;
+        off := t_start +. (float_of_int (Int.max 0 n) *. ph.Timing.t_cyc)
       | W0 | W1 | R ->
         active_cycle t_start op;
         off := t_start +. ph.Timing.t_cyc);
@@ -154,6 +192,7 @@ let plan ~(tech : Tech.t) ~(stress : Stress.t) ~inverted ~steps_per_cycle ops =
     {
       Column.wl = mk 0.0 !wl;
       wl_ref = mk 0.0 !wlr;
+      wl_nb = mk 0.0 !wlnb;
       pre = mk 1.0 !pre;
       sae = mk 0.0 !sae;
       wr_acc_hi = mk 0.0 !wacc_hi;
@@ -338,7 +377,7 @@ let interpret ~inverted ~schedule ~(ph : Timing.t) ~(built : Column.built)
             let physical = if va > vr then 1 else 0 in
             ( Some (if inverted then 1 - physical else physical),
               Some (Float.abs (va -. vr)) )
-          | W0 | W1 | Pause _ -> (None, None)
+          | W0 | W1 | Pause _ | Ham _ -> (None, None)
         in
         { op; t_start; t_end; vc_end = I.eval vc (t_end -. 1e-12); sensed;
           separation })
@@ -346,10 +385,30 @@ let interpret ~inverted ~schedule ~(ph : Timing.t) ~(built : Column.built)
   in
   { results; trace; built; phases = ph }
 
+(* the neighbour's initial level under a data-background pattern:
+   all-1/all-0 pin it to a rail; checkerboard holds the complement of
+   the victim's written value, i.e. the rail the victim STARTS from
+   (the first write flips the victim to the other one) *)
+let neighbour_of_pattern ~(stress : Stress.t) ~vc_init v_neighbour =
+  match v_neighbour with
+  | Some v -> v
+  | None -> begin
+    match stress.Stress.pattern with
+    | Stress.All_1 -> stress.Stress.vdd
+    | Stress.All_0 -> 0.0
+    | Stress.Checkerboard ->
+      if vc_init > 0.5 *. stress.Stress.vdd then stress.Stress.vdd else 0.0
+  end
+
+(* the netlist knobs the stress vector carries: leakage conductance
+   directly, coupling as a fraction of the storage capacitance *)
+let netlist_knobs ~(tech : Tech.t) ~(stress : Stress.t) =
+  (stress.Stress.leak, stress.Stress.couple *. tech.Tech.c_cell)
+
 let execute ~tech ?sim ~steps_per_cycle ?deadline_at ?defect ~vc_init
     ?v_neighbour ~stress ops =
   let vdd = stress.Stress.vdd in
-  let v_neighbour = Option.value v_neighbour ~default:vdd in
+  let v_neighbour = neighbour_of_pattern ~stress ~vc_init v_neighbour in
   let inverted =
     match defect with
     | Some { D.placement = D.Comp_bl; _ } -> true
@@ -358,7 +417,8 @@ let execute ~tech ?sim ~steps_per_cycle ?deadline_at ?defect ~vc_init
   let controls, segments, schedule, ph =
     plan ~tech ~stress ~inverted ~steps_per_cycle ops
   in
-  let built = Column.build ~tech ~vdd ~controls ?defect () in
+  let leak_g, couple = netlist_knobs ~tech ~stress in
+  let built = Column.build ~tech ~vdd ~controls ~leak_g ~couple ?defect () in
   let opts =
     let base = Option.value sim ~default:E.Options.default in
     { base with E.Options.temp = Stress.temp_kelvin stress }
@@ -512,7 +572,6 @@ type lane = { defect : D.t option; vc_init : float }
 let execute_batch ~(cfg : Sim_config.t) ?v_neighbour ~stress ~lanes ops =
   let tech = cfg.Sim_config.tech in
   let vdd = stress.Stress.vdd in
-  let v_nb = Option.value v_neighbour ~default:vdd in
   let defect0 = (List.hd lanes).defect in
   let inverted =
     match defect0 with
@@ -526,7 +585,10 @@ let execute_batch ~(cfg : Sim_config.t) ?v_neighbour ~stress ~lanes ops =
   (* the column is built once, with the first lane's defect; every lane
      (including the first) then overrides [r_defect] with its own
      resistance, so the netlist value never leaks into any lane *)
-  let built = Column.build ~tech ~vdd ~controls ?defect:defect0 () in
+  let leak_g, couple = netlist_knobs ~tech ~stress in
+  let built =
+    Column.build ~tech ~vdd ~controls ~leak_g ~couple ?defect:defect0 ()
+  in
   let opts =
     let base = Option.value cfg.Sim_config.sim ~default:E.Options.default in
     { base with E.Options.temp = Stress.temp_kelvin stress }
@@ -535,6 +597,11 @@ let execute_batch ~(cfg : Sim_config.t) ?v_neighbour ~stress ~lanes ops =
     Array.of_list
       (List.map
          (fun l ->
+           (* per-lane pattern resolution keeps lane/scalar parity exact:
+              a checkerboard neighbour depends on the lane's own vc_init *)
+           let v_nb =
+             neighbour_of_pattern ~stress ~vc_init:l.vc_init v_neighbour
+           in
            {
              E.Ensemble.ics =
                Column.initial_conditions built ~vdd ~vc_init:l.vc_init

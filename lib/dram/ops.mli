@@ -33,13 +33,27 @@ type op =
   | W1            (** write logical 1 *)
   | R             (** read (destructive, with sense-amp restore) *)
   | Pause of float  (** idle retention time, s *)
+  | Ham of int
+    (** [n] aggressor activations: full precharge/sense cycles whose
+        word-line pulse lands on the neighbour row ([wl_nb]) instead of
+        the accessed one — the read-disturb hammer *)
 
 val pp_op : Format.formatter -> op -> unit
 
 (** [parse_seq s] parses a compact sequence such as ["w1 w1 w0 r"] or
-    ["w1,w1,w0,r"]; pauses are written ["p1e-3"]. Raises
-    [Invalid_argument] on junk. *)
+    ["w1,w1,w0,r"]; pauses are written ["p1e-3"], hammer bursts ["ham"]
+    or ["ham5"]. Raises [Invalid_argument] on junk. *)
 val parse_seq : string -> op list
+
+(** [effective_ops ~stress ops] is the sequence actually simulated: when
+    the stress carries a retention wait and/or a hammer count, a
+    [Pause]/[Ham] pair is inserted immediately before the first [R], so
+    every detection condition crosses with those stress axes without
+    being rewritten. Neutral stresses return [ops] unchanged; so do
+    read-free sequences. [run]/[run_batch] apply this internally — it is
+    exposed for layers that need to display or account the effective
+    sequence. *)
+val effective_ops : stress:Stress.t -> op list -> op list
 
 (** [seq_to_string ops] is the inverse of {!parse_seq}. *)
 val seq_to_string : op list -> string
@@ -194,8 +208,9 @@ val simulations : unit -> int
 
     - [vc_init] (default [0.0]): initial storage voltage, V — the paper's
       floating-cell initialisation.
-    - [v_neighbour] (default: the supply): initial neighbour-cell voltage
-      (bridge aggressor value).
+    - [v_neighbour] (default: derived from [stress.pattern] — all-1
+      pins it to the supply, the historical behaviour): initial
+      neighbour-cell voltage (bridge aggressor / data background).
     - [config] bundles technology / solver options / step resolution
       ({!Sim_config.t}); the loose [?tech ?sim ?steps_per_cycle]
       optionals are the original spelling, kept for compatibility, and

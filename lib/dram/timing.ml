@@ -15,12 +15,23 @@ let phases (tech : Tech.t) (stress : Stress.t) =
   let margin =
     tech.Tech.t_margin0 +. (tech.Tech.t_margin_duty *. (1.0 -. stress.Stress.duty))
   in
-  let t_wl_off = t_cyc -. margin in
+  (* tRAS-style trim: shift word-line turn-off. Adding 0.0 is a float
+     identity, so an untrimmed stress produces byte-identical phases. *)
+  let t_wl_off = t_cyc -. margin +. stress.Stress.tras_trim in
   if t_wl_off <= t_wl_on +. 1e-9 then
     invalid_arg "Timing.phases: cycle too short to open the word line";
+  if t_wl_off >= t_cyc -. 0.5e-9 then
+    invalid_arg "Timing.phases: tras_trim pushes word line past cycle end";
   let t_sense = Float.min (t_wl_on +. tech.Tech.t_share) (t_wl_off -. 1e-9) in
   let t_decide = Float.min (t_sense +. tech.Tech.t_decide) (t_wl_off -. 0.5e-9) in
-  let t_wr = Float.max tech.Tech.t_wr_cmd (t_sense +. 2e-9) in
+  (* tWR-style trim: shift the write-driver turn-on; a positive trim
+     starts the write later, shrinking the recovery window before the
+     word line closes. Clamped so the driver never fires before the
+     word line is up. *)
+  let t_wr =
+    Float.max (t_wl_on +. 1e-9)
+      (Float.max tech.Tech.t_wr_cmd (t_sense +. 2e-9) +. stress.Stress.twr_trim)
+  in
   { t_pre_off = t_wl_on -. 1e-9; t_wl_on; t_sense; t_decide; t_wr; t_wl_off;
     t_cyc }
 

@@ -1,6 +1,6 @@
 type order = Up | Down | Either
 
-type mop = Mw of int | Mr of int | Mdel of float
+type mop = Mw of int | Mr of int | Mdel of float | Mham of int
 
 type element = { order : order; ops : mop list }
 
@@ -16,7 +16,8 @@ let v name elements =
           match op with
           | Mw b | Mr b ->
             if b <> 0 && b <> 1 then invalid_arg "March.v: bit not 0/1"
-          | Mdel d -> if d <= 0.0 then invalid_arg "March.v: bad pause")
+          | Mdel d -> if d <= 0.0 then invalid_arg "March.v: bad pause"
+          | Mham n -> if n < 1 then invalid_arg "March.v: bad hammer count")
         e.ops)
     elements;
   { name; elements }
@@ -50,7 +51,8 @@ let of_detection ~name cond =
         match step with
         | Dramstress_core.Detection.Write b -> Mw b
         | Dramstress_core.Detection.Read b -> Mr b
-        | Dramstress_core.Detection.Wait d -> Mdel d)
+        | Dramstress_core.Detection.Wait d -> Mdel d
+        | Dramstress_core.Detection.Hammer n -> Mham n)
       cond.Dramstress_core.Detection.steps
   in
   v name [ either ops ]
@@ -65,7 +67,8 @@ let to_detection test =
           (function
             | Mw b -> Dramstress_core.Detection.Write b
             | Mr b -> Dramstress_core.Detection.Read b
-            | Mdel d -> Dramstress_core.Detection.Wait d)
+            | Mdel d -> Dramstress_core.Detection.Wait d
+            | Mham n -> Dramstress_core.Detection.Hammer n)
           e.ops)
       test.elements
   in
@@ -76,13 +79,16 @@ let op_count test =
     (fun acc e ->
       acc
       + List.length
-          (List.filter (function Mw _ | Mr _ -> true | Mdel _ -> false) e.ops))
+          (List.filter
+             (function Mw _ | Mr _ -> true | Mdel _ | Mham _ -> false)
+             e.ops))
     0 test.elements
 
 let pp_mop ppf = function
   | Mw b -> Format.fprintf ppf "w%d" b
   | Mr b -> Format.fprintf ppf "r%d" b
   | Mdel d -> Format.fprintf ppf "del(%a)" Dramstress_util.Units.pp_si d
+  | Mham n -> Format.fprintf ppf "ham(%d)" n
 
 let pp_element ppf e =
   let arrow =
@@ -127,6 +133,14 @@ let parse ~name s =
         match float_of_string_opt (String.trim inner) with
         | Some d when d > 0.0 -> Mdel d
         | Some _ | None -> invalid_arg ("March.parse: bad delay " ^ tok)
+      end
+      else if String.length tok > 5 && String.sub tok 0 4 = "ham(" &&
+              tok.[String.length tok - 1] = ')'
+      then begin
+        let inner = String.sub tok 4 (String.length tok - 5) in
+        match int_of_string_opt (String.trim inner) with
+        | Some n when n >= 1 -> Mham n
+        | Some _ | None -> invalid_arg ("March.parse: bad hammer count " ^ tok)
       end
       else invalid_arg ("March.parse: unknown op " ^ tok)
   in

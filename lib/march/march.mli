@@ -13,6 +13,9 @@ type mop =
   | Mw of int      (** write the bit *)
   | Mr of int      (** read, expecting the bit *)
   | Mdel of float  (** pause (retention element), s *)
+  | Mham of int
+      (** pulse the aggressor (neighbour-row) word line n times — the
+          coupling-disturb/hammer element. n >= 1. *)
 
 type element = { order : order; ops : mop list }
 

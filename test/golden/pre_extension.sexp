@@ -1,0 +1,7 @@
+(campaign
+  (name golden-pre-extension)
+  (defects (O1 true))
+  (stress nominal)
+  (stress low-vdd (vdd 2.1))
+  (detections (seq "w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))

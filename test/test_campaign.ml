@@ -132,6 +132,58 @@ let test_manifest_parse_error_line () =
     Alcotest.(check int) "line of the unclosed paren" 3 line
   | exception Manifest.Invalid _ -> Alcotest.fail "expected one parse error"
 
+let bad_range_diag src pred =
+  match Manifest.of_string src with
+  | _ -> Alcotest.fail "expected Invalid"
+  | exception Manifest.Invalid ds ->
+    Alcotest.(check bool) "Bad_range reported" true (List.exists pred ds)
+
+let test_manifest_range_min_ge_max () =
+  bad_range_diag
+    {|(campaign (name r) (defects O1) (stress nominal)
+       (sweep (vdd (range 2.7 2.1 3))))|}
+    (function
+      | Manifest.Bad_range { axis = "vdd"; lo; hi; reason } ->
+        lo = 2.7 && hi = 2.1 && reason = "range min >= max"
+      | _ -> false)
+
+let test_manifest_range_log_crosses_zero () =
+  (* wait sweeps default to the registry's log scale, where a zero
+     endpoint is meaningless *)
+  bad_range_diag
+    {|(campaign (name r) (defects O1) (stress nominal)
+       (sweep (wait (range 0 1 3))))|}
+    (function
+      | Manifest.Bad_range { axis = "wait"; reason; _ } ->
+        reason = "log sweep crosses (or touches) zero"
+      | _ -> false)
+
+let test_manifest_extended_sweep () =
+  (* range expansion and discrete patterns cross like any other axis,
+     with labels rendered by the registry *)
+  let m =
+    Manifest.of_string
+      {|(campaign (name e) (defects O1)
+         (sweep (wait (range 0.01 1.0 3)) (pattern all1 checkerboard)))|}
+  in
+  Alcotest.(check (list string)) "labels: log mid-point, pattern names"
+    [ "wait=0.01,pattern=all1"; "wait=0.01,pattern=checkerboard";
+      "wait=0.1,pattern=all1"; "wait=0.1,pattern=checkerboard";
+      "wait=1,pattern=all1"; "wait=1,pattern=checkerboard" ]
+    (List.map fst m.Manifest.stresses);
+  let sc = List.assoc "wait=1,pattern=checkerboard" m.Manifest.stresses in
+  Alcotest.(check (float 1e-9)) "wait moved" 1.0 sc.S.wait;
+  Alcotest.(check bool) "pattern moved" true (sc.S.pattern = S.Checkerboard);
+  (* an explicit lin override on a log-default axis admits zero *)
+  let m =
+    Manifest.of_string
+      {|(campaign (name e) (defects O1)
+         (sweep (wait (range 0 1 3 lin))))|}
+  in
+  Alcotest.(check (list string)) "linear override"
+    [ "wait=0"; "wait=0.5"; "wait=1" ]
+    (List.map fst m.Manifest.stresses)
+
 (* ------------------------------------------------------------------ *)
 (* plan: content addressing                                            *)
 (* ------------------------------------------------------------------ *)
@@ -232,6 +284,29 @@ let test_descriptor_strategy_sharing () =
   Alcotest.(check bool) "fine adaptive addresses separately" true
     (d (mini ~border:(border ~points:13 "grid") ())
     <> d (mini ~border:(border ~points:13 "adaptive") ()))
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_descriptor_extension_suffix () =
+  let d m = Plan.descriptor m (List.hd (Plan.points m)) in
+  let base = mini () in
+  (* neutral points keep the pre-extension address shape... *)
+  Alcotest.(check bool) "neutral: no extension suffix" false
+    (contains_sub (d base) "|ext:");
+  (* ...spelling the neutral defaults out changes nothing... *)
+  Alcotest.(check string) "explicit neutral collapses to the same address"
+    (d base)
+    (d (mini ~stress:"(stress n (wait 0) (hammer 0) (leak 0))" ()));
+  (* ...and any moved extension axis stamps the suffix in *)
+  let waited = mini ~stress:"(stress w (wait 1))" () in
+  Alcotest.(check bool) "moved axis grows the suffix" true
+    (contains_sub (d waited) "|ext:");
+  Alcotest.(check bool) "and relocates the record" true (d base <> d waited);
+  Alcotest.(check bool) "different extension values differ" true
+    (d waited <> d (mini ~stress:"(stress w (wait 2))" ()))
 
 let test_result_codec_roundtrip () =
   let det =
@@ -494,6 +569,122 @@ let test_best_point_parity () =
       (Plan.encode_detection detection)
       (Plan.encode_detection stored.Plan.detection)
   | rs -> Alcotest.failf "expected one result, got %d" (List.length rs)
+
+(* ------------------------------------------------------------------ *)
+(* extension axes end to end: golden reuse, cross-axis diff, parity    *)
+(* ------------------------------------------------------------------ *)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+let test_golden_store_reuse () =
+  (* the checked-in store was produced by the pre-extension binary
+     (engine stamp "git e8ceb9b"): the extended planner must address
+     every one of its records byte-for-byte, simulating nothing *)
+  with_store_dir @@ fun dir ->
+  Sys.mkdir dir 0o755;
+  List.iter
+    (fun f ->
+      copy_file
+        (Filename.concat "golden/pre_extension_store" f)
+        (Filename.concat dir f))
+    [ "records.jsonl"; "index.json" ];
+  let m = Manifest.load "golden/pre_extension.sexp" in
+  O.clear_cache ();
+  let s = St.open_ ~engine:"post-extension" ~name:"golden-pre-extension" dir in
+  let r = Runner.run ~jobs:1 ~store:s m in
+  St.close s;
+  Alcotest.(check int) "planned" 2 r.Runner.planned;
+  Alcotest.(check int) "all reused from the golden store" 2 r.Runner.reused;
+  Alcotest.(check int) "nothing simulated" 0 r.Runner.simulated;
+  Alcotest.(check int) "no failures" 0 (List.length r.Runner.failures)
+
+let cross_axis_manifest =
+  {|
+(campaign
+  (name cross-axes)
+  (defects (O1 true))
+  (stress nominal)
+  (stress stressed (vdd 2.1) (wait 1.0) (hammer 100))
+  (detections (seq "w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 5) (rel-tol 0.05)))
+|}
+
+let test_cross_axis_campaign_diff () =
+  (* the paper's V_dd axis crossed with the retention wait and the
+     disturb hammer, through the whole plan/runner/diff stack: the
+     stressed border must match a direct search and report as shifted *)
+  with_store_dir @@ fun dir ->
+  let m, r = run_campaign dir cross_axis_manifest in
+  Alcotest.(check int) "both points simulated" 2 r.Runner.simulated;
+  let a = side dir m "a" and b = side dir m "b" in
+  let d =
+    Diff.v ~pairing:(Diff.Stress_pair { a = "nominal"; b = "stressed" }) ~a ~b
+      ()
+  in
+  St.close a.Diff.store;
+  St.close b.Diff.store;
+  match d.Diff.rows with
+  | [ row ] ->
+    Alcotest.(check int) "no missing sides" 0 d.Diff.missing;
+    Alcotest.(check int) "the extended SC moves the border" 1 d.Diff.shifted;
+    let rb = Option.get row.Diff.b in
+    let entry = Option.get (D.find_entry "O1") in
+    let stressed =
+      { S.nominal with S.vdd = 2.1; wait = 1.0; hammer = 100 }
+    in
+    let direct =
+      C.Border.search ~config:m.Manifest.config ~r_min:1e4 ~r_max:1e8
+        ~grid_points:5 ~rel_tol:0.05 ~stress:stressed ~kind:entry.D.kind
+        ~placement:D.True_bl
+        (C.Detection.v
+           [ C.Detection.Write 1; C.Detection.Write 0; C.Detection.Read 0 ])
+    in
+    Alcotest.(check bool) "stressed side = direct search" true
+      (C.Border.equal_result rb.Plan.br direct)
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let planner_wait_manifest strategy =
+  Printf.sprintf
+    {|
+(campaign
+  (name plan-w)
+  (defects (O1 true))
+  (stress nominal)
+  (sweep (wait (range 0.01 1.0 3)))
+  (detections (seq "w1 w0 r0"))
+  (border (r-min 1e4) (r-max 1e8) (grid-points 33) (rel-tol 0.05)
+          (strategy %s)))
+|}
+    strategy
+
+let test_adaptive_parity_wait_axis () =
+  (* the adaptive planner's grid parity holds on an extension axis
+     exactly as it does on the paper's four *)
+  let run strategy =
+    with_store_dir @@ fun dir ->
+    O.clear_cache ();
+    let before = O.simulations () in
+    let _, r = run_campaign dir (planner_wait_manifest strategy) in
+    (r, O.simulations () - before)
+  in
+  let grid, grid_sims = run "grid" in
+  let adaptive, adaptive_sims = run "adaptive" in
+  Alcotest.(check int) "four wait points" 4 grid.Runner.simulated;
+  List.iter2
+    (fun (_, (g : Plan.result)) (_, (a : Plan.result)) ->
+      Alcotest.(check bool) "borders identical" true
+        (C.Border.equal_result g.Plan.br a.Plan.br))
+    grid.Runner.results adaptive.Runner.results;
+  Alcotest.(check bool)
+    (Printf.sprintf "adaptive %d sims < grid %d sims" adaptive_sims grid_sims)
+    true
+    (adaptive_sims > 0 && adaptive_sims < grid_sims)
 
 (* ------------------------------------------------------------------ *)
 (* protocol                                                            *)
@@ -1086,6 +1277,10 @@ let () =
           tc "diagnostics collected, not fail-fast"
             test_manifest_collects_diagnostics;
           tc "parse errors carry line numbers" test_manifest_parse_error_line;
+          tc "range with min >= max diagnosed" test_manifest_range_min_ge_max;
+          tc "log range touching zero diagnosed"
+            test_manifest_range_log_crosses_zero;
+          tc "extension axes sweep and label" test_manifest_extended_sweep;
         ] );
       ( "plan",
         [
@@ -1096,6 +1291,8 @@ let () =
           tc "march and equivalent seq share records"
             test_march_seq_share_address;
           tc "strategy-aware record sharing" test_descriptor_strategy_sharing;
+          tc "extension axes stamp addresses compatibly"
+            test_descriptor_extension_suffix;
           tc "result codec round-trips" test_result_codec_roundtrip;
         ] );
       ( "runner",
@@ -1105,6 +1302,10 @@ let () =
             test_runner_failure_retry;
           tc "adaptive planner: grid parity from fewer simulations"
             test_runner_adaptive_planner_parity;
+          tc "pre-extension golden store fully reused"
+            test_golden_store_reuse;
+          tc "adaptive parity holds on the wait axis"
+            test_adaptive_parity_wait_axis;
         ] );
       ( "diff",
         [
@@ -1112,6 +1313,8 @@ let () =
           tc "stress pair matches direct search" test_diff_stress_pair_parity;
           tc "missing side reported, not shifted" test_diff_missing_side;
           tc "best point matches Sc_eval directly" test_best_point_parity;
+          tc "cross-axis stress pair shifts the border"
+            test_cross_axis_campaign_diff;
         ] );
       ( "protocol",
         [

@@ -21,14 +21,29 @@ let test_stress_validate () =
   Alcotest.check_raises "bad tcyc" (Invalid_argument "Stress: tcyc <= 0")
     (fun () -> S.validate (S.with_tcyc nominal 0.0));
   Alcotest.check_raises "cold" (Invalid_argument "Stress: temperature below 0 K")
-    (fun () -> S.validate (S.with_temp_c nominal (-300.0)))
+    (fun () -> S.validate (S.with_temp_c nominal (-300.0)));
+  Alcotest.check_raises "negative wait" (Invalid_argument "Stress: wait < 0")
+    (fun () -> S.validate (S.with_wait nominal (-1.0)));
+  Alcotest.check_raises "negative hammer" (Invalid_argument "Stress: hammer < 0")
+    (fun () -> S.validate (S.with_hammer nominal (-1)));
+  Alcotest.check_raises "trim swallows the cycle"
+    (Invalid_argument "Stress: |twr_trim| >= tcyc") (fun () ->
+      S.validate (S.with_twr_trim nominal nominal.S.tcyc))
 
 let test_stress_axes () =
   let sc = S.set nominal S.Supply_voltage 2.1 in
   Alcotest.(check (float 1e-9)) "set/get" 2.1 (S.get sc S.Supply_voltage);
   Alcotest.(check (float 1e-9)) "others untouched" nominal.S.tcyc
     (S.get sc S.Cycle_time);
-  Alcotest.(check (float 1e-9)) "kelvin" 300.15 (S.temp_k nominal)
+  Alcotest.(check (float 1e-9)) "kelvin" 300.15 (S.temp_k nominal);
+  (* discrete extension axes decode from the float representation *)
+  let sc = S.set nominal S.Hammer 99.6 in
+  Alcotest.(check bool) "hammer rounds" true (sc.S.hammer = 100);
+  let sc = S.set nominal S.Pattern 0.4 in
+  Alcotest.(check bool) "pattern snaps to nearest" true
+    (sc.S.pattern = S.Checkerboard);
+  Alcotest.(check (float 1e-9)) "pattern reads back as float" 0.5
+    (S.get sc S.Pattern)
 
 (* ------------------------------------------------------------------ *)
 (* Timing                                                              *)
@@ -591,7 +606,7 @@ let check_op_parity ~ctx (br : O.op_result) (sr : O.op_result) =
 
 (* batched and scalar runs of one defect class, both with memoization
    off so every lane really simulates on its own path *)
-let batch_vs_scalar ~tag ~kind ~placement ~rs ops =
+let batch_vs_scalar ?(stress = nominal) ~tag ~kind ~placement ~rs ops =
   let lanes =
     List.mapi
       (fun i r ->
@@ -603,13 +618,13 @@ let batch_vs_scalar ~tag ~kind ~placement ~rs ops =
   in
   let bcache = O.Cache.create ~enabled:false () in
   let scache = O.Cache.create ~enabled:false () in
-  let batched = O.run_batch ~cache:bcache ~stress:nominal ~lanes ops in
+  let batched = O.run_batch ~cache:bcache ~stress ~lanes ops in
   List.iteri
     (fun i lane ->
       let ctx = Printf.sprintf "%s lane %d" tag i in
       let scalar =
         O.run ~cache:scache ?defect:lane.O.defect ~vc_init:lane.O.vc_init
-          ~stress:nominal ops
+          ~stress ops
       in
       match List.nth batched i with
       | Error e -> Alcotest.failf "%s failed: %s" ctx (Printexc.to_string e)
@@ -704,6 +719,133 @@ let test_batch_exhausted_lane_isolated () =
     (List.combine clean poisoned)
 
 (* ------------------------------------------------------------------ *)
+(* Extended stress axes: retention, disturb, timing trim               *)
+(* ------------------------------------------------------------------ *)
+
+let no_cache () = O.Cache.create ~enabled:false ()
+
+let test_extension_neutral_identity () =
+  (* a record spelling out every neutral default IS the nominal SC, and
+     its electrical results are bit-identical — the back-compat
+     contract behind reusable store fingerprints *)
+  let explicit =
+    { nominal with
+      S.wait = 0.0; pattern = S.All_1; hammer = 0; leak = 0.0; couple = 0.0;
+      twr_trim = 0.0; tras_trim = 0.0 }
+  in
+  Alcotest.(check bool) "explicit neutral = nominal" true (explicit = nominal);
+  Alcotest.(check bool) "nominal is not extended" false (S.is_extended nominal);
+  Alcotest.(check bool) "one moved axis is" true
+    (S.is_extended (S.with_wait nominal 1.0));
+  let ops = [ O.W1; O.R; O.W0; O.R ] in
+  let a = O.run ~cache:(no_cache ()) ~stress:nominal ~vc_init:0.0 ops in
+  let b = O.run ~cache:(no_cache ()) ~stress:explicit ~vc_init:0.0 ops in
+  List.iter2
+    (fun (ra : O.op_result) (rb : O.op_result) ->
+      Alcotest.(check bool) "vc_end bitwise-identical" true
+        (Int64.equal
+           (Int64.bits_of_float ra.O.vc_end)
+           (Int64.bits_of_float rb.O.vc_end)))
+    a.O.results b.O.results
+
+let test_effective_ops_insertion () =
+  let stress = S.with_hammer (S.with_wait nominal 0.5) 3 in
+  (* the pause/hammer pair lands immediately before the FIRST read *)
+  (match O.effective_ops ~stress [ O.W1; O.R; O.R ] with
+  | [ O.W1; O.Pause w; O.Ham 3; O.R; O.R ] ->
+    Alcotest.(check (float 0.0)) "wait carried" 0.5 w
+  | _ -> Alcotest.fail "expected w1 p0.5 ham3 r r");
+  (* wait alone, hammer alone *)
+  (match O.effective_ops ~stress:(S.with_wait nominal 0.2) [ O.W0; O.R ] with
+  | [ O.W0; O.Pause _; O.R ] -> ()
+  | _ -> Alcotest.fail "expected w0 p r");
+  (match O.effective_ops ~stress:(S.with_hammer nominal 7) [ O.W0; O.R ] with
+  | [ O.W0; O.Ham 7; O.R ] -> ()
+  | _ -> Alcotest.fail "expected w0 ham7 r");
+  (* neutral stress and read-free sequences pass through untouched *)
+  Alcotest.(check bool) "neutral is identity" true
+    (O.effective_ops ~stress:nominal [ O.W1; O.R ] = [ O.W1; O.R ]);
+  Alcotest.(check bool) "no read, nothing to stress" true
+    (O.effective_ops ~stress [ O.W1; O.W0 ] = [ O.W1; O.W0 ])
+
+let test_pattern_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "name round-trips" true
+        (S.pattern_of_name (S.pattern_name p) = Some p);
+      Alcotest.(check bool) "float round-trips" true
+        (S.pattern_of_float (S.float_of_pattern p) = p))
+    [ S.All_0; S.All_1; S.Checkerboard ];
+  Alcotest.(check bool) "aliases accepted" true
+    (S.pattern_of_name "all0" = Some S.All_0
+    && S.pattern_of_name "all1" = Some S.All_1
+    && S.pattern_of_name "checkerboard" = Some S.Checkerboard);
+  Alcotest.(check bool) "garbage refused" true (S.pattern_of_name "zebra" = None)
+
+let test_trim_moves_phases () =
+  let ph = Tm.phases T.default nominal in
+  let ph_wr = Tm.phases T.default (S.with_twr_trim nominal 5e-9) in
+  Alcotest.(check (float 1e-15)) "tWR trim delays the write driver"
+    (ph.Tm.t_wr +. 5e-9) ph_wr.Tm.t_wr;
+  Alcotest.(check (float 1e-15)) "word line untouched by tWR trim"
+    ph.Tm.t_wl_off ph_wr.Tm.t_wl_off;
+  let ph_ras = Tm.phases T.default (S.with_tras_trim nominal (-5e-9)) in
+  Alcotest.(check (float 1e-15)) "tRAS trim cuts word-line-off short"
+    (ph.Tm.t_wl_off -. 5e-9) ph_ras.Tm.t_wl_off;
+  Alcotest.check_raises "trim past cycle end rejected"
+    (Invalid_argument "Timing.phases: tras_trim pushes word line past cycle end")
+    (fun () -> ignore (Tm.phases T.default (S.with_tras_trim nominal 4e-9)))
+
+let test_leak_wait_decay () =
+  (* over a 10 ms decay delay the intrinsic cell (tau ~ 0.1 s) still
+     reads back its 1; adding the leakage-conductance stress
+     (tau = c_cell/g_leak ~ 80 us << wait) loses it — the retention
+     pair working end to end through [effective_ops] *)
+  let run leak =
+    let stress = S.with_leak (S.with_wait nominal 0.01) leak in
+    let ops = O.effective_ops ~stress [ O.W1; O.R ] in
+    bits (O.run ~cache:(no_cache ()) ~stress ~vc_init:0.0 ops)
+  in
+  Alcotest.(check string) "intrinsic cell retains over 10 ms" "1" (run 0.0);
+  Alcotest.(check string) "leaky cell decays to 0" "0" (run 1e-9)
+
+let test_couple_hammer_disturb () =
+  (* hammering the aggressor row with an all-0 background drags a
+     coupled victim's stored 1 down; an uncoupled victim shrugs it off *)
+  let vc_after_hammer couple =
+    let stress =
+      S.with_pattern (S.with_couple nominal couple) S.All_0
+    in
+    let oc =
+      O.run ~cache:(no_cache ()) ~stress ~vc_init:0.0
+        [ O.W1; O.Ham 20 ]
+    in
+    (List.nth oc.O.results 1).O.vc_end
+  in
+  let uncoupled = vc_after_hammer 0.0 in
+  let coupled = vc_after_hammer 0.5 in
+  Alcotest.(check bool) "uncoupled victim holds its 1" true (uncoupled > 2.2);
+  Alcotest.(check bool)
+    (Printf.sprintf "coupling bleeds charge (%.3f < %.3f)" coupled uncoupled)
+    true
+    (coupled < uncoupled -. 0.05)
+
+let test_batch_matches_scalar_extended_stress () =
+  (* lane/scalar parity must survive every extension hook at once:
+     leakage devices, coupling elements, pattern-driven neighbour
+     state, and the inserted pause/hammer ops *)
+  let stress =
+    { nominal with
+      S.wait = 1e-3; pattern = S.Checkerboard; hammer = 3; leak = 1e-11;
+      couple = 0.2 }
+  in
+  let ops = O.effective_ops ~stress [ O.W1; O.W0; O.R ] in
+  batch_vs_scalar ~stress ~tag:"O1/ext" ~kind:(D.Open_cell D.At_bitline_contact)
+    ~placement:D.True_bl ~rs:[ 1e5; 1e7 ] ops;
+  batch_vs_scalar ~stress ~tag:"B2/ext" ~kind:D.Bridge_to_neighbour
+    ~placement:D.True_bl ~rs:[ 2e5; 5e7 ] ops
+
+(* ------------------------------------------------------------------ *)
 (* Property tests                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -715,7 +857,7 @@ let prop_healthy_readback =
       quad (float_range 58e-9 90e-9) (float_range 2.1 2.7)
         (float_range (-20.0) 70.0) (int_range 0 1))
     (fun (tcyc, vdd, temp_c, first_bit) ->
-      let stress = { S.tcyc; vdd; temp_c; duty = 0.5 } in
+      let stress = { S.nominal with S.tcyc; vdd; temp_c; duty = 0.5 } in
       let w b = if b = 1 then O.W1 else O.W0 in
       let ops = [ w first_bit; O.R; w (1 - first_bit); O.R ] in
       let oc = O.run ~stress ~vc_init:(vdd /. 2.0) ops in
@@ -810,6 +952,19 @@ let () =
           tc "retention stream matches scalar"
             test_batch_matches_scalar_retention_stream;
           tc "exhausted lane isolated" test_batch_exhausted_lane_isolated;
+        ] );
+      ( "extended stress axes",
+        [
+          tc "explicit neutral = nominal, bit for bit"
+            test_extension_neutral_identity;
+          tc "pause/hammer inserted before first read"
+            test_effective_ops_insertion;
+          tc "pattern codec round-trips" test_pattern_roundtrip;
+          tc "timing trims move the right phases" test_trim_moves_phases;
+          tc "leak + wait decays a stored 1" test_leak_wait_decay;
+          tc "coupled hammer disturbs the victim" test_couple_hammer_disturb;
+          tc "batch parity under every extension hook"
+            test_batch_matches_scalar_extended_stress;
         ] );
       ( "properties",
         [

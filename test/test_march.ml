@@ -72,6 +72,29 @@ let test_march_parse () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_march_hammer () =
+  let t = M.parse ~name:"ham" "any(w1,ham(5),r1)" in
+  (match t.M.elements with
+  | [ { M.ops = [ M.Mw 1; M.Mham 5; M.Mr 1 ]; _ } ] -> ()
+  | _ -> Alcotest.fail "hammer element not parsed");
+  (* printer and parser agree *)
+  let t' = M.parse ~name:"ham" (M.to_string t) in
+  Alcotest.(check bool) "pp/parse round-trip" true
+    (t'.M.elements = t.M.elements);
+  (* aggressor activations are free in march complexity accounting *)
+  Alcotest.(check int) "op count excludes ham" 2 (M.op_count t);
+  (* lowering to the electrical detection layer and back *)
+  (match (M.to_detection t).C.Detection.steps with
+  | [ C.Detection.Write 1; C.Detection.Hammer 5; C.Detection.Read 1 ] -> ()
+  | _ -> Alcotest.fail "unexpected lowering");
+  let cond = C.Detection.hammer ~victim:1 ~count:7 in
+  Alcotest.(check bool) "of_detection round-trips" true
+    (M.to_detection (M.of_detection ~name:"rt" cond) = cond);
+  Alcotest.(check bool) "ham(0) rejected" true
+    (match M.parse ~name:"x" "{up(ham(0))}" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let prop_parse_roundtrip =
   (* generate a random well-formed test, print it, reparse, compare *)
   let gen_op =
@@ -313,6 +336,7 @@ let () =
           tc "of_detection" test_of_detection;
           tc "to_detection lowering" test_to_detection;
           tc "parsing" test_march_parse;
+          tc "hammer ops" test_march_hammer;
           QCheck_alcotest.to_alcotest prop_parse_roundtrip;
           QCheck_alcotest.to_alcotest prop_clean_memory_never_fails;
         ] );
